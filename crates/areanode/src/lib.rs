@@ -1,0 +1,54 @@
+//! The areanode tree (paper §2.2) and its dynamic object links.
+//!
+//! The server maintains, next to the BSP, a balanced binary tree that
+//! recursively halves the world volume along alternating X/Y axis
+//! planes. It answers one question fast: *which game objects can a move
+//! with this bounding box interact with?* In the parallel server it is
+//! also the **locking substrate** (paper §3.3): each leaf is a lockable
+//! region of the world, and objects crossing division planes hang off
+//! interior ("parent") nodes whose object lists get short-duration
+//! locks.
+//!
+//! The crate splits the structure into:
+//!
+//! * [`AreanodeTree`] — immutable geometry: node bounds, split planes,
+//!   leaf-set queries and lock-plan computation,
+//! * [`LinkTable`] — the mutable per-node object lists, guarded by the
+//!   *external* region-locking protocol; in debug builds every access
+//!   verifies the accessing task actually holds the covering lock,
+//! * [`LeafSet`] — an ordered, deduplicated set of leaf indices, the
+//!   deadlock-free lock acquisition plan for one move.
+
+pub mod link;
+pub mod tree;
+
+pub use link::{LinkTable, TaskId, NO_TASK};
+pub use tree::{AreanodeTree, LeafSet, NodeId};
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use parquake_math::vec3::vec3;
+    use parquake_math::Aabb;
+
+    #[test]
+    fn tree_and_links_work_together() {
+        let bounds = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(1024.0, 1024.0, 256.0));
+        let tree = AreanodeTree::new(bounds, 4);
+        let links = LinkTable::new(tree.node_count());
+        links.set_checking(false);
+
+        // Link an object near a corner; it must land in a leaf.
+        let obb = Aabb::centered(vec3(100.0, 100.0, 50.0), vec3(16.0, 16.0, 28.0));
+        let node = tree.node_for_box(&obb);
+        assert!(tree.is_leaf(node));
+        links.push(node, 0, 7);
+        assert_eq!(links.len(node, 0), 1);
+
+        // An object straddling the root plane links to the root.
+        let straddle = Aabb::centered(vec3(512.0, 100.0, 50.0), vec3(16.0, 16.0, 28.0));
+        let root_node = tree.node_for_box(&straddle);
+        assert_eq!(root_node, tree.root());
+        assert!(!tree.is_leaf(root_node));
+    }
+}

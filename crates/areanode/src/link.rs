@@ -1,0 +1,307 @@
+//! Per-areanode object lists with lock-discipline checking.
+//!
+//! `LinkTable` holds, for every areanode, the list of entity ids linked
+//! to it. In the parallel server those lists are read and written
+//! concurrently — correctness is guaranteed *by protocol*, not by an
+//! internal mutex: a task must hold the region lock covering a node
+//! before touching its list (leaf lock for leaves, the short parent
+//! list lock for interior nodes). Routing synchronization through the
+//! external lock manager is essential here: it lets the virtual-time
+//! fabric account lock wait time, which is the very quantity the paper
+//! measures.
+//!
+//! Rust cannot verify a protocol it does not see, so the lists live in
+//! `UnsafeCell`s behind a safe API, and in debug builds (or whenever
+//! checking is enabled) every access asserts that the calling task has
+//! registered ownership of the node via [`LinkTable::note_locked`]. The
+//! server's lock wrappers maintain these notes; tests deliberately
+//! violate the protocol to prove the checker fires.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use crate::tree::NodeId;
+
+/// Identifies the task (server thread) performing an access.
+pub type TaskId = u32;
+
+/// Sentinel: no task owns the node.
+pub const NO_TASK: u32 = u32::MAX;
+
+struct Slot {
+    list: UnsafeCell<Vec<u32>>,
+    /// Current lock owner when checking is enabled.
+    owner: AtomicU32,
+}
+
+/// Object lists for every node of an areanode tree.
+pub struct LinkTable {
+    slots: Vec<Slot>,
+    /// When false (sequential server, single-task tests), ownership
+    /// assertions are skipped.
+    checking: AtomicBool,
+}
+
+// SAFETY: concurrent access to the interior `Vec`s is governed by the
+// external region-locking protocol; with checking enabled every access
+// dynamically verifies single-owner access. The type is Sync so the
+// server can share it across worker threads.
+unsafe impl Sync for LinkTable {}
+unsafe impl Send for LinkTable {}
+
+impl LinkTable {
+    /// A table with one (empty) list per tree node.
+    pub fn new(node_count: usize) -> LinkTable {
+        LinkTable {
+            slots: (0..node_count)
+                .map(|_| Slot {
+                    list: UnsafeCell::new(Vec::new()),
+                    owner: AtomicU32::new(NO_TASK),
+                })
+                .collect(),
+            checking: AtomicBool::new(cfg!(debug_assertions)),
+        }
+    }
+
+    /// Enable or disable ownership checking (off for sequential use).
+    pub fn set_checking(&self, on: bool) {
+        self.checking.store(on, Ordering::Release);
+    }
+
+    pub fn is_checking(&self) -> bool {
+        self.checking.load(Ordering::Acquire)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record that `task` now holds the lock covering `node`. Called by
+    /// the server's lock wrappers, *after* the fabric lock is acquired.
+    pub fn note_locked(&self, node: NodeId, task: TaskId) {
+        if self.is_checking() {
+            let prev = self.slots[node as usize].owner.swap(task, Ordering::AcqRel);
+            assert_eq!(
+                prev, NO_TASK,
+                "lock protocol violation: node {node} already owned by task {prev} \
+                 when task {task} locked it"
+            );
+        }
+    }
+
+    /// Record that `task` released the lock covering `node`.
+    pub fn note_unlocked(&self, node: NodeId, task: TaskId) {
+        if self.is_checking() {
+            let prev = self.slots[node as usize]
+                .owner
+                .swap(NO_TASK, Ordering::AcqRel);
+            assert_eq!(
+                prev, task,
+                "lock protocol violation: task {task} unlocked node {node} owned by {prev}"
+            );
+        }
+    }
+
+    #[inline]
+    fn check_owner(&self, node: NodeId, task: TaskId) {
+        if self.is_checking() {
+            let owner = self.slots[node as usize].owner.load(Ordering::Acquire);
+            assert_eq!(
+                owner, task,
+                "lock protocol violation: task {task} accessed node {node} owned by \
+                 {owner} (NO_TASK = {NO_TASK})"
+            );
+        }
+    }
+
+    /// Read access to a node's list.
+    pub fn with_list<R>(&self, node: NodeId, task: TaskId, f: impl FnOnce(&[u32]) -> R) -> R {
+        self.check_owner(node, task);
+        // SAFETY: protocol (checked above when enabled) guarantees
+        // exclusive access for the duration of the closure.
+        let list = unsafe { &*self.slots[node as usize].list.get() };
+        f(list)
+    }
+
+    /// Append an entity id to a node's list.
+    pub fn push(&self, node: NodeId, task: TaskId, ent: u32) {
+        self.check_owner(node, task);
+        // SAFETY: see `with_list`.
+        let list = unsafe { &mut *self.slots[node as usize].list.get() };
+        debug_assert!(!list.contains(&ent), "entity {ent} double-linked to {node}");
+        list.push(ent);
+    }
+
+    /// Remove an entity id from a node's list. Returns true if present.
+    pub fn remove(&self, node: NodeId, task: TaskId, ent: u32) -> bool {
+        self.check_owner(node, task);
+        // SAFETY: see `with_list`.
+        let list = unsafe { &mut *self.slots[node as usize].list.get() };
+        if let Some(pos) = list.iter().position(|&e| e == ent) {
+            list.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current list length.
+    pub fn len(&self, node: NodeId, task: TaskId) -> usize {
+        self.with_list(node, task, |l| l.len())
+    }
+
+    /// True when the node's list is empty.
+    pub fn is_empty(&self, node: NodeId, task: TaskId) -> bool {
+        self.len(node, task) == 0
+    }
+
+    /// Copy a node's list into `out` (appending).
+    pub fn extend_into(&self, node: NodeId, task: TaskId, out: &mut Vec<u32>) {
+        self.with_list(node, task, |l| out.extend_from_slice(l));
+    }
+
+    /// Wipe every list (between experiments). Requires no concurrent
+    /// users; takes `&mut self` to enforce that statically.
+    pub fn clear_all(&mut self) {
+        for slot in &self.slots {
+            // SAFETY: `&mut self` guarantees exclusivity.
+            unsafe { (*slot.list.get()).clear() };
+            slot.owner.store(NO_TASK, Ordering::Release);
+        }
+    }
+
+    /// Total number of linked entities across all nodes (diagnostic;
+    /// requires quiescence, enforced by `&mut self`).
+    pub fn total_links(&mut self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| unsafe { (*s.list.get()).len() })
+            .sum()
+    }
+
+    /// Snapshot every `(node, entity)` link for consistency audits.
+    ///
+    /// # Contract
+    /// The table must be externally quiescent (no concurrent server
+    /// activity) — intended for post-run verification in tests.
+    pub fn snapshot_links(&self) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::new();
+        for (node, slot) in self.slots.iter().enumerate() {
+            // SAFETY: quiescence per the documented contract.
+            let list = unsafe { &*slot.list.get() };
+            for &e in list {
+                out.push((node as NodeId, e));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_push_remove_with_checking_disabled() {
+        let t = LinkTable::new(4);
+        t.set_checking(false);
+        t.push(2, 0, 10);
+        t.push(2, 0, 11);
+        assert_eq!(t.len(2, 0), 2);
+        assert!(t.remove(2, 0, 10));
+        assert!(!t.remove(2, 0, 10));
+        assert_eq!(t.len(2, 0), 1);
+        t.with_list(2, 0, |l| assert_eq!(l, &[11]));
+    }
+
+    #[test]
+    fn checked_access_with_lock_notes_passes() {
+        let t = LinkTable::new(4);
+        t.set_checking(true);
+        t.note_locked(1, 7);
+        t.push(1, 7, 42);
+        assert_eq!(t.len(1, 7), 1);
+        t.note_unlocked(1, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock protocol violation")]
+    fn unlocked_access_panics_when_checking() {
+        let t = LinkTable::new(4);
+        t.set_checking(true);
+        t.push(1, 7, 42); // no note_locked: protocol violation
+    }
+
+    #[test]
+    #[should_panic(expected = "lock protocol violation")]
+    fn wrong_task_access_panics() {
+        let t = LinkTable::new(4);
+        t.set_checking(true);
+        t.note_locked(1, 7);
+        t.push(1, 8, 42); // task 8 touching task 7's region
+    }
+
+    #[test]
+    #[should_panic(expected = "lock protocol violation")]
+    fn double_lock_panics() {
+        let t = LinkTable::new(4);
+        t.set_checking(true);
+        t.note_locked(1, 7);
+        t.note_locked(1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock protocol violation")]
+    fn mismatched_unlock_panics() {
+        let t = LinkTable::new(4);
+        t.set_checking(true);
+        t.note_locked(1, 7);
+        t.note_unlocked(1, 9);
+    }
+
+    #[test]
+    fn clear_all_resets_lists_and_owners() {
+        let mut t = LinkTable::new(3);
+        t.set_checking(false);
+        t.push(0, 0, 1);
+        t.push(1, 0, 2);
+        assert_eq!(t.total_links(), 2);
+        t.clear_all();
+        assert_eq!(t.total_links(), 0);
+    }
+
+    #[test]
+    fn extend_into_appends() {
+        let t = LinkTable::new(2);
+        t.set_checking(false);
+        t.push(0, 0, 5);
+        t.push(1, 0, 6);
+        let mut out = vec![99];
+        t.extend_into(0, 0, &mut out);
+        t.extend_into(1, 0, &mut out);
+        assert_eq!(out, vec![99, 5, 6]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_nodes_are_safe() {
+        // Two threads working on different nodes with proper notes.
+        let t = std::sync::Arc::new(LinkTable::new(8));
+        t.set_checking(true);
+        let mut handles = Vec::new();
+        for task in 0..4u32 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let node = task; // disjoint node per task
+                for i in 0..1000 {
+                    t.note_locked(node, task);
+                    t.push(node, task, i);
+                    t.remove(node, task, i);
+                    t.note_unlocked(node, task);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

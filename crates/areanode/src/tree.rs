@@ -1,0 +1,468 @@
+//! Static areanode tree geometry and lock-plan queries.
+
+use parquake_math::{Aabb, Axis, AxisPlane, Side};
+
+/// Index of an areanode within its tree. The root is always `0`.
+/// Node indices double as **lock ids**: the ordered-locking protocol
+/// acquires leaves in ascending `NodeId` order.
+pub type NodeId = u32;
+
+/// One areanode. Interior nodes carry a split plane; leaves do not.
+#[derive(Clone, Debug)]
+pub struct Areanode {
+    /// The world sub-volume this node represents.
+    pub bounds: Aabb,
+    /// Split plane (interior nodes only).
+    pub plane: Option<AxisPlane>,
+    /// `[front, back]` children (interior nodes only).
+    pub children: [NodeId; 2],
+    /// Parent node (root has none).
+    pub parent: Option<NodeId>,
+    /// Depth in the tree (root = 0).
+    pub depth: u32,
+}
+
+impl Areanode {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.plane.is_none()
+    }
+}
+
+/// The balanced binary areanode tree of paper §2.2.
+///
+/// Splits alternate between the X and Y axes (the structure is 2D: all
+/// nodes span the full world height). With `depth = 4` — the server's
+/// default — the tree has 31 nodes, 16 of them leaves; the paper sweeps
+/// `depth` 1..=5 (3..=63 nodes) in Figure 7(b).
+pub struct AreanodeTree {
+    nodes: Vec<Areanode>,
+    leaves: Vec<NodeId>,
+    depth: u32,
+}
+
+impl AreanodeTree {
+    /// Build a tree of the given depth over `bounds`. `depth` is the
+    /// number of split levels: the tree has `2^(depth+1) - 1` nodes and
+    /// `2^depth` leaves. The first split uses the world's longer
+    /// horizontal axis; deeper levels alternate.
+    pub fn new(bounds: Aabb, depth: u32) -> AreanodeTree {
+        assert!(depth >= 1, "areanode tree needs at least one split");
+        assert!(depth <= 12, "areanode depth {depth} is unreasonable");
+        let size = bounds.size();
+        let first_axis = if size.x >= size.y { Axis::X } else { Axis::Y };
+        let mut tree = AreanodeTree {
+            nodes: Vec::with_capacity((1usize << (depth + 1)) - 1),
+            leaves: Vec::with_capacity(1usize << depth),
+            depth,
+        };
+        tree.build(bounds, first_axis, 0, None);
+        tree.leaves.sort_unstable();
+        tree
+    }
+
+    fn build(
+        &mut self,
+        bounds: Aabb,
+        axis: Axis,
+        depth: u32,
+        parent: Option<NodeId>,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        if depth == self.depth {
+            self.nodes.push(Areanode {
+                bounds,
+                plane: None,
+                children: [0, 0],
+                parent,
+                depth,
+            });
+            self.leaves.push(id);
+            return id;
+        }
+        let ai = axis.index();
+        let mid = (bounds.min[ai] + bounds.max[ai]) * 0.5;
+        let plane = AxisPlane::new(axis, mid);
+        self.nodes.push(Areanode {
+            bounds,
+            plane: Some(plane),
+            children: [0, 0],
+            parent,
+            depth,
+        });
+        let mut front_bounds = bounds;
+        front_bounds.min[ai] = mid;
+        let mut back_bounds = bounds;
+        back_bounds.max[ai] = mid;
+        let next = axis.next_horizontal();
+        let front = self.build(front_bounds, next, depth + 1, Some(id));
+        let back = self.build(back_bounds, next, depth + 1, Some(id));
+        self.nodes[id as usize].children = [front, back];
+        id
+    }
+
+    /// Total node count (paper's "total number of areanodes").
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Split depth the tree was built with.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The root node id (always 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Areanode {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id as usize].is_leaf()
+    }
+
+    /// All leaf ids in ascending order (the conservative "lock the whole
+    /// map" plan used for long-range interactions in the baseline
+    /// policy, paper §4.3).
+    #[inline]
+    pub fn all_leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// The node an object with bounding box `b` links to: the deepest
+    /// node whose region entirely contains `b` on the split axes. An
+    /// object crossing a division plane stops at that plane's node — the
+    /// paper's "associated with a unique parent of the leafs they
+    /// cross".
+    pub fn node_for_box(&self, b: &Aabb) -> NodeId {
+        let mut cur = 0 as NodeId;
+        loop {
+            let node = &self.nodes[cur as usize];
+            let Some(plane) = node.plane else {
+                return cur;
+            };
+            match plane.box_side(b) {
+                Side::Front => cur = node.children[0],
+                Side::Back => cur = node.children[1],
+                Side::Both => return cur,
+            }
+        }
+    }
+
+    /// Collect the leaves whose regions overlap `b`, in ascending id
+    /// order, into `out` (cleared first). Returns the number of tree
+    /// nodes visited (a work metric).
+    ///
+    /// This is the **lock plan** for a move with bounding box `b`:
+    /// acquiring exactly these leaves in the returned order is
+    /// deadlock-free because every thread orders identically.
+    pub fn leaves_overlapping(&self, b: &Aabb, out: &mut LeafSet) -> u32 {
+        out.clear();
+        let mut visited = 0u32;
+        self.collect_leaves(0, b, out, &mut visited);
+        out.ids.sort_unstable();
+        visited
+    }
+
+    fn collect_leaves(&self, id: NodeId, b: &Aabb, out: &mut LeafSet, visited: &mut u32) {
+        *visited += 1;
+        let node = &self.nodes[id as usize];
+        let Some(plane) = node.plane else {
+            out.ids.push(id);
+            return;
+        };
+        match plane.box_side(b) {
+            Side::Front => self.collect_leaves(node.children[0], b, out, visited),
+            Side::Back => self.collect_leaves(node.children[1], b, out, visited),
+            Side::Both => {
+                self.collect_leaves(node.children[0], b, out, visited);
+                self.collect_leaves(node.children[1], b, out, visited);
+            }
+        }
+    }
+
+    /// Collect *all* nodes (parents and leaves) whose regions overlap
+    /// `b`, in visit (pre)order — the nodes whose object lists a
+    /// candidate-collection traversal reads (paper §2.3 step 2).
+    pub fn nodes_overlapping(&self, b: &Aabb, out: &mut Vec<NodeId>) -> u32 {
+        out.clear();
+        let mut visited = 0u32;
+        self.collect_nodes(0, b, out, &mut visited);
+        visited
+    }
+
+    fn collect_nodes(&self, id: NodeId, b: &Aabb, out: &mut Vec<NodeId>, visited: &mut u32) {
+        *visited += 1;
+        out.push(id);
+        let node = &self.nodes[id as usize];
+        let Some(plane) = node.plane else {
+            return;
+        };
+        match plane.box_side(b) {
+            Side::Front => self.collect_nodes(node.children[0], b, out, visited),
+            Side::Back => self.collect_nodes(node.children[1], b, out, visited),
+            Side::Both => {
+                self.collect_nodes(node.children[0], b, out, visited);
+                self.collect_nodes(node.children[1], b, out, visited);
+            }
+        }
+    }
+
+    /// Chain of ancestors of `id`, root last.
+    pub fn ancestors(&self, mut id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        while let Some(p) = self.nodes[id as usize].parent {
+            out.push(p);
+            id = p;
+        }
+        out
+    }
+}
+
+/// An ordered, deduplicated set of leaf node ids: the lock acquisition
+/// plan for one request. Kept as a reusable buffer to avoid per-request
+/// allocation in the hot path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LeafSet {
+    ids: Vec<NodeId>,
+}
+
+impl LeafSet {
+    pub fn new() -> LeafSet {
+        LeafSet {
+            ids: Vec::with_capacity(16),
+        }
+    }
+
+    #[inline]
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Leaf ids in ascending order.
+    #[inline]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Insert preserving order; no-op if present.
+    pub fn insert(&mut self, id: NodeId) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+        }
+    }
+
+    /// Merge another set into this one.
+    pub fn merge(&mut self, other: &LeafSet) {
+        for &id in &other.ids {
+            self.insert(id);
+        }
+    }
+
+    /// Replace contents with every id in `ids` (sorted, deduped).
+    pub fn assign(&mut self, ids: &[NodeId]) {
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.ids.sort_unstable();
+        self.ids.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_math::vec3::vec3;
+    use parquake_math::Vec3;
+
+    fn world() -> Aabb {
+        Aabb::new(vec3(0.0, 0.0, 0.0), vec3(1024.0, 1024.0, 256.0))
+    }
+
+    #[test]
+    fn default_depth_matches_paper_counts() {
+        let t = AreanodeTree::new(world(), 4);
+        assert_eq!(t.node_count(), 31);
+        assert_eq!(t.leaf_count(), 16);
+        // Paper's sweep: depth 1..=5 → 3..=63 nodes.
+        assert_eq!(AreanodeTree::new(world(), 1).node_count(), 3);
+        assert_eq!(AreanodeTree::new(world(), 5).node_count(), 63);
+    }
+
+    #[test]
+    fn nodes_span_full_height() {
+        let t = AreanodeTree::new(world(), 4);
+        for id in 0..t.node_count() as NodeId {
+            let n = t.node(id);
+            assert_eq!(n.bounds.min.z, 0.0);
+            assert_eq!(n.bounds.max.z, 256.0);
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let t = AreanodeTree::new(world(), 3);
+        for id in 0..t.node_count() as NodeId {
+            let n = t.node(id);
+            if let Some(plane) = n.plane {
+                let f = t.node(n.children[0]);
+                let b = t.node(n.children[1]);
+                let ai = plane.axis.index();
+                assert_eq!(f.bounds.min[ai], plane.dist);
+                assert_eq!(b.bounds.max[ai], plane.dist);
+                assert_eq!(f.bounds.union(&b.bounds), n.bounds);
+                assert_eq!(f.parent, Some(id));
+                assert_eq!(b.parent, Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn axes_alternate_with_depth() {
+        let t = AreanodeTree::new(world(), 4);
+        for id in 0..t.node_count() as NodeId {
+            let n = t.node(id);
+            if let Some(plane) = n.plane {
+                let expect = if n.depth.is_multiple_of(2) { Axis::X } else { Axis::Y };
+                assert_eq!(plane.axis, expect, "node {id} depth {}", n.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn small_box_links_to_leaf() {
+        let t = AreanodeTree::new(world(), 4);
+        let b = Aabb::centered(vec3(100.0, 100.0, 50.0), Vec3::splat(10.0));
+        let id = t.node_for_box(&b);
+        assert!(t.is_leaf(id));
+        assert!(t.node(id).bounds.contains(&b));
+    }
+
+    #[test]
+    fn box_crossing_root_plane_links_to_root() {
+        let t = AreanodeTree::new(world(), 4);
+        let b = Aabb::centered(vec3(512.0, 100.0, 50.0), Vec3::splat(10.0));
+        assert_eq!(t.node_for_box(&b), t.root());
+    }
+
+    #[test]
+    fn box_crossing_deep_plane_links_to_that_parent() {
+        let t = AreanodeTree::new(world(), 4);
+        // Crosses the y = 512 plane but stays in x < 512: links to the
+        // back child of the root.
+        let b = Aabb::centered(vec3(100.0, 512.0, 50.0), Vec3::splat(10.0));
+        let id = t.node_for_box(&b);
+        assert_eq!(t.node(id).depth, 1);
+        assert!(!t.is_leaf(id));
+        assert!(t.node(id).bounds.contains(&b));
+    }
+
+    #[test]
+    fn leaves_overlapping_brute_force_agreement() {
+        let t = AreanodeTree::new(world(), 4);
+        let mut plan = LeafSet::new();
+        let boxes = [
+            Aabb::centered(vec3(100.0, 100.0, 50.0), Vec3::splat(30.0)),
+            Aabb::centered(vec3(512.0, 512.0, 50.0), Vec3::splat(80.0)),
+            Aabb::centered(vec3(900.0, 200.0, 50.0), vec3(200.0, 40.0, 50.0)),
+            world(), // everything
+        ];
+        for b in &boxes {
+            t.leaves_overlapping(b, &mut plan);
+            let brute: Vec<NodeId> = t
+                .all_leaves()
+                .iter()
+                .copied()
+                .filter(|&l| t.node(l).bounds.intersects(b))
+                .collect();
+            assert_eq!(plan.ids(), &brute[..], "box {b:?}");
+        }
+    }
+
+    #[test]
+    fn whole_world_overlaps_all_leaves() {
+        let t = AreanodeTree::new(world(), 4);
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(&world(), &mut plan);
+        assert_eq!(plan.len(), 16);
+        assert_eq!(plan.ids(), t.all_leaves());
+    }
+
+    #[test]
+    fn lock_plan_is_sorted_ascending() {
+        let t = AreanodeTree::new(world(), 5);
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(
+            &Aabb::centered(vec3(500.0, 500.0, 50.0), Vec3::splat(120.0)),
+            &mut plan,
+        );
+        let mut sorted = plan.ids().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(plan.ids(), &sorted[..]);
+        assert!(plan.len() >= 2);
+    }
+
+    #[test]
+    fn nodes_overlapping_includes_root_always() {
+        let t = AreanodeTree::new(world(), 4);
+        let mut nodes = Vec::new();
+        let tiny = Aabb::centered(vec3(10.0, 10.0, 10.0), Vec3::splat(1.0));
+        t.nodes_overlapping(&tiny, &mut nodes);
+        assert_eq!(nodes[0], t.root());
+        // A tiny box in a corner passes through exactly depth+1 nodes.
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn ancestors_chain_to_root() {
+        let t = AreanodeTree::new(world(), 4);
+        let leaf = *t.all_leaves().last().unwrap();
+        let anc = t.ancestors(leaf);
+        assert_eq!(anc.len(), 4);
+        assert_eq!(*anc.last().unwrap(), t.root());
+    }
+
+    #[test]
+    fn leafset_insert_merge_dedup() {
+        let mut a = LeafSet::new();
+        a.insert(5);
+        a.insert(1);
+        a.insert(5);
+        assert_eq!(a.ids(), &[1, 5]);
+        let mut b = LeafSet::new();
+        b.assign(&[9, 1, 3, 3]);
+        assert_eq!(b.ids(), &[1, 3, 9]);
+        a.merge(&b);
+        assert_eq!(a.ids(), &[1, 3, 5, 9]);
+        assert!(a.contains(3));
+        assert!(!a.contains(4));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the areanode tree.
+
+use parquake_areanode::{AreanodeTree, LeafSet, LinkTable};
+use parquake_math::vec3::vec3;
+use parquake_math::{Aabb, Vec3};
+use proptest::prelude::*;
+
+const W: f32 = 2048.0;
+
+fn world() -> Aabb {
+    Aabb::new(vec3(0.0, 0.0, 0.0), vec3(W, W, 256.0))
+}
+
+fn arb_box() -> impl Strategy<Value = Aabb> {
+    (
+        0.0f32..W,
+        0.0f32..W,
+        1.0f32..300.0,
+        1.0f32..300.0,
+    )
+        .prop_map(|(x, y, w, h)| {
+            Aabb::new(
+                vec3(x, y, 10.0),
+                vec3((x + w).min(W), (y + h).min(W), 60.0),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn linked_node_contains_box(b in arb_box(), depth in 1u32..6) {
+        let t = AreanodeTree::new(world(), depth);
+        let id = t.node_for_box(&b);
+        prop_assert!(t.node(id).bounds.contains(&b));
+    }
+
+    #[test]
+    fn linked_node_is_deepest_containing(b in arb_box()) {
+        let t = AreanodeTree::new(world(), 4);
+        let id = t.node_for_box(&b);
+        // No child of the chosen node fully contains the box.
+        let n = t.node(id);
+        if !n.is_leaf() {
+            for c in n.children {
+                prop_assert!(!t.node(c).bounds.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn lock_plan_matches_brute_force(b in arb_box(), depth in 1u32..6) {
+        let t = AreanodeTree::new(world(), depth);
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(&b, &mut plan);
+        let brute: Vec<u32> = t
+            .all_leaves()
+            .iter()
+            .copied()
+            .filter(|&l| t.node(l).bounds.intersects(&b))
+            .collect();
+        prop_assert_eq!(plan.ids(), &brute[..]);
+    }
+
+    #[test]
+    fn lock_plan_is_sorted_and_unique(b in arb_box()) {
+        let t = AreanodeTree::new(world(), 5);
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(&b, &mut plan);
+        prop_assert!(plan.ids().windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn nodes_overlapping_is_superset_of_plan_and_ancestors(b in arb_box()) {
+        let t = AreanodeTree::new(world(), 4);
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(&b, &mut plan);
+        let mut nodes = Vec::new();
+        t.nodes_overlapping(&b, &mut nodes);
+        for &leaf in plan.ids() {
+            prop_assert!(nodes.contains(&leaf));
+            for anc in t.ancestors(leaf) {
+                prop_assert!(nodes.contains(&anc), "missing ancestor {anc}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_unlink_roundtrip(boxes in prop::collection::vec(arb_box(), 1..32)) {
+        let t = AreanodeTree::new(world(), 4);
+        let mut links = LinkTable::new(t.node_count());
+        links.set_checking(false);
+        let nodes: Vec<u32> = boxes.iter().enumerate().map(|(i, b)| {
+            let n = t.node_for_box(b);
+            links.push(n, 0, 1000 + i as u32);
+            n
+        }).collect();
+        // Every link must be findable where we put it.
+        for (i, &n) in nodes.iter().enumerate() {
+            links.with_list(n, 0, |l| assert!(l.contains(&(1000 + i as u32))));
+        }
+        links.clear_all();
+        prop_assert_eq!(links.total_links(), 0);
+    }
+
+    #[test]
+    fn leafset_merge_is_union(a in prop::collection::vec(0u32..64, 0..20),
+                              b in prop::collection::vec(0u32..64, 0..20)) {
+        let mut sa = LeafSet::new();
+        sa.assign(&a);
+        let mut sb = LeafSet::new();
+        sb.assign(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(merged.ids(), &expect[..]);
+    }
+
+    #[test]
+    fn deeper_trees_lock_smaller_world_fraction(b in arb_box()) {
+        // Figure 7(b)'s mechanism: the fraction of the world locked per
+        // request shrinks (weakly) as the tree deepens.
+        let mut plan = LeafSet::new();
+        let mut prev_frac = f32::INFINITY;
+        for depth in 1..=5 {
+            let t = AreanodeTree::new(world(), depth);
+            t.leaves_overlapping(&b, &mut plan);
+            let frac = plan.len() as f32 / t.leaf_count() as f32;
+            prop_assert!(frac <= prev_frac + 1e-6,
+                "depth {depth}: fraction {frac} grew from {prev_frac}");
+            prev_frac = frac;
+        }
+    }
+
+    #[test]
+    fn tiny_point_box_always_single_leaf_or_plane(x in 1.0f32..W-1.0, y in 1.0f32..W-1.0) {
+        let t = AreanodeTree::new(world(), 4);
+        let b = Aabb::point(vec3(x, y, 50.0)).inflated(Vec3::splat(0.01));
+        let mut plan = LeafSet::new();
+        t.leaves_overlapping(&b, &mut plan);
+        // A near-point box overlaps at most 4 leaves (at a corner).
+        prop_assert!((1..=4).contains(&plan.len()));
+    }
+}

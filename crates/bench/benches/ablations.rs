@@ -1,0 +1,107 @@
+//! Ablation studies for the design choices DESIGN.md calls out: the
+//! hyper-threading model, the shared-bus memory model, the map profile,
+//! and bot behaviour mixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parquake_bench::{bench_experiment, run};
+use parquake_bots::BotBehavior;
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{FabricKind, VirtualSmpConfig};
+use parquake_server::{LockPolicy, ServerKind};
+
+fn smp_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_smp_model");
+    g.sample_size(10);
+    let kind = ServerKind::Parallel {
+        threads: 8,
+        locking: LockPolicy::Baseline,
+    };
+    for (name, ht, mem) in [
+        ("full_model", true, 0.17),
+        ("no_ht_penalty", false, 0.17),
+        ("no_mem_penalty", true, 0.0),
+        ("ideal_smp", false, 0.0),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(ht, mem), |b, &(ht, mem)| {
+            b.iter(|| {
+                let mut cfg = bench_experiment(32, kind);
+                cfg.fabric = FabricKind::VirtualSmp(VirtualSmpConfig {
+                    hyperthreading: ht,
+                    mem_penalty: mem,
+                    ..VirtualSmpConfig::default()
+                });
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn map_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_map_profile");
+    g.sample_size(10);
+    let kind = ServerKind::Parallel {
+        threads: 4,
+        locking: LockPolicy::Optimized,
+    };
+    for name in ["eval", "small", "hall"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut cfg = bench_experiment(32, kind);
+                cfg.map = match name {
+                    "eval" => MapGenConfig::eval_arena(1),
+                    "small" => MapGenConfig::small_arena(1),
+                    _ => MapGenConfig::open_hall(1),
+                };
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn behavior_mixes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bot_behavior");
+    g.sample_size(10);
+    let kind = ServerKind::Parallel {
+        threads: 4,
+        locking: LockPolicy::Baseline,
+    };
+    for name in ["deathmatch", "wander", "idle"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut cfg = bench_experiment(32, kind);
+                cfg.behavior = match name {
+                    "deathmatch" => BotBehavior::deathmatch(),
+                    "wander" => BotBehavior::wander(),
+                    _ => BotBehavior::idle(),
+                };
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn lock_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lock_policy");
+    g.sample_size(10);
+    for (name, locking) in [
+        ("baseline", LockPolicy::Baseline),
+        ("optimized", LockPolicy::Optimized),
+        ("one_pass", LockPolicy::OnePass),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &locking, |b, &locking| {
+            b.iter(|| {
+                run(bench_experiment(
+                    48,
+                    ServerKind::Parallel { threads: 4, locking },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, smp_model, map_profiles, behavior_mixes, lock_policies);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! One benchmark group per paper table/figure: times the regeneration
+//! of a scaled-down version of each configuration on the virtual SMP.
+//! (Full-scale regeneration with the paper's player counts is the
+//! `repro` binary; these benches track the *cost of reproducing* each
+//! figure and catch performance regressions in the simulator itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parquake_bench::{bench_experiment, run};
+use parquake_server::{LockPolicy, ServerKind};
+
+fn fig4_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_seq_vs_par1");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("sequential", ServerKind::Sequential),
+        (
+            "parallel-1",
+            ServerKind::Parallel {
+                threads: 1,
+                locking: LockPolicy::Baseline,
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| run(bench_experiment(32, kind)))
+        });
+    }
+    g.finish();
+}
+
+fn fig5_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_baseline_threads");
+    g.sample_size(10);
+    for threads in [2u32, 4, 8] {
+        let kind = ServerKind::Parallel {
+            threads,
+            locking: LockPolicy::Baseline,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &kind, |b, &kind| {
+            b.iter(|| run(bench_experiment(32, kind)))
+        });
+    }
+    g.finish();
+}
+
+fn fig6_optimized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_optimized_threads");
+    g.sample_size(10);
+    for threads in [2u32, 4, 8] {
+        let kind = ServerKind::Parallel {
+            threads,
+            locking: LockPolicy::Optimized,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &kind, |b, &kind| {
+            b.iter(|| run(bench_experiment(32, kind)))
+        });
+    }
+    g.finish();
+}
+
+fn fig7_areanode_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7b_areanode_depth");
+    g.sample_size(10);
+    for depth in [1u32, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut cfg = bench_experiment(
+                    32,
+                    ServerKind::Parallel {
+                        threads: 4,
+                        locking: LockPolicy::Baseline,
+                    },
+                );
+                cfg.areanode_depth = depth;
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig4_overhead,
+    fig5_thread_scaling,
+    fig6_optimized,
+    fig7_areanode_sizes
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Microbenchmarks of the hot kernels underneath the servers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parquake_areanode::{AreanodeTree, LeafSet};
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_bsp::Hull;
+use parquake_math::vec3::vec3;
+use parquake_math::{Aabb, Pcg32, Vec3};
+use parquake_protocol::{ClientMessage, Decode, Encode, MoveCmd};
+use parquake_sim::visibility::build_reply_entities;
+use parquake_sim::{GameWorld, WorkCounters};
+use std::sync::Arc;
+
+fn bsp_traces(c: &mut Criterion) {
+    let world = MapGenConfig::eval_arena(3).generate();
+    let start = world.spawn_points[0];
+    let mut g = c.benchmark_group("bsp");
+    g.bench_function("trace_player_hull_short", |b| {
+        b.iter(|| {
+            black_box(world.trace(
+                Hull::Player,
+                black_box(start),
+                black_box(start + vec3(48.0, 30.0, 0.0)),
+            ))
+        })
+    });
+    g.bench_function("trace_point_hull_long", |b| {
+        b.iter(|| {
+            black_box(world.trace(
+                Hull::Point,
+                black_box(start),
+                black_box(start + vec3(4096.0, 512.0, 0.0)),
+            ))
+        })
+    });
+    g.bench_function("contents_query", |b| {
+        b.iter(|| black_box(world.contents(black_box(start))))
+    });
+    g.finish();
+}
+
+fn areanode_queries(c: &mut Criterion) {
+    let world = MapGenConfig::eval_arena(3).generate();
+    let tree = AreanodeTree::new(world.bounds, 4);
+    let player_box = Aabb::centered(world.spawn_points[0], vec3(16.0, 16.0, 28.0));
+    let move_box = player_box.inflated(Vec3::splat(45.0));
+    let mut plan = LeafSet::new();
+    let mut nodes = Vec::new();
+    let mut g = c.benchmark_group("areanode");
+    g.bench_function("lock_plan_short_move", |b| {
+        b.iter(|| tree.leaves_overlapping(black_box(&move_box), &mut plan))
+    });
+    g.bench_function("lock_plan_whole_map", |b| {
+        b.iter(|| tree.leaves_overlapping(black_box(&world.bounds), &mut plan))
+    });
+    g.bench_function("candidate_traversal", |b| {
+        b.iter(|| tree.nodes_overlapping(black_box(&move_box), &mut nodes))
+    });
+    g.bench_function("node_for_box_link", |b| {
+        b.iter(|| black_box(tree.node_for_box(black_box(&player_box))))
+    });
+    g.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let msg = ClientMessage::Move {
+        client_id: 42,
+        cmd: MoveCmd {
+            seq: 9,
+            sent_at: 123456789,
+            pitch: -5.0,
+            yaw: 132.0,
+            forward: 320.0,
+            side: 0.0,
+            up: 0.0,
+            buttons: parquake_protocol::Buttons(3),
+            msec: 30,
+        },
+    };
+    let bytes = msg.to_bytes();
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_move", |b| {
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            out.clear();
+            black_box(&msg).encode(&mut out);
+        })
+    });
+    g.bench_function("decode_move", |b| {
+        b.iter(|| ClientMessage::from_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn visibility(c: &mut Criterion) {
+    let map = Arc::new(MapGenConfig::eval_arena(3).generate());
+    let world = GameWorld::new(map, 4, 128);
+    let mut rng = Pcg32::seeded(5);
+    for i in 0..128 {
+        world.spawn_player(i, i as u32, &mut rng);
+    }
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    c.bench_function("visibility/reply_scope_128p", |b| {
+        b.iter(|| {
+            let mut work = WorkCounters::new();
+            build_reply_entities(&world, black_box(7), &mut out, &mut scratch, &mut work);
+            black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(benches, bsp_traces, areanode_queries, codec, visibility);
+criterion_main!(benches);

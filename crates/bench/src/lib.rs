@@ -1,0 +1,44 @@
+//! Shared helpers for the `parquake` benchmark suite.
+//!
+//! Benches live in `benches/`:
+//!
+//! * `substrates` — microbenchmarks of the hot kernels (BSP traces,
+//!   areanode queries, codec, visibility),
+//! * `figures` — one group per paper figure, timing the scaled-down
+//!   regeneration of each configuration on the virtual SMP,
+//! * `ablations` — the design-choice studies DESIGN.md calls out
+//!   (lock policy, HT model, memory model, areanode depth, map).
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_harness::experiment::{Experiment, ExperimentConfig, Outcome};
+use parquake_server::ServerKind;
+
+/// A scaled-down experiment sized for benchmarking (one virtual second,
+/// bench-friendly wall time per iteration).
+pub fn bench_experiment(players: u32, server: ServerKind) -> ExperimentConfig {
+    ExperimentConfig {
+        players,
+        server,
+        map: MapGenConfig::small_arena(1),
+        duration_ns: 1_000_000_000,
+        bot_drivers: 4,
+        checking: false,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Run a configuration and return its outcome (benches time this).
+pub fn run(cfg: ExperimentConfig) -> Outcome {
+    Experiment::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_runs() {
+        let out = run(bench_experiment(8, ServerKind::Sequential));
+        assert_eq!(out.connected, 8);
+    }
+}

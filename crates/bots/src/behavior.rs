@@ -1,0 +1,299 @@
+//! Bot decision making.
+
+use parquake_math::angles::{wrap_degrees, Angles};
+use parquake_math::{Pcg32, Vec3};
+use parquake_protocol::{Buttons, EntityKind, EntityUpdate, MoveCmd};
+
+/// Tunable behaviour mix. Probabilities are per move command.
+#[derive(Clone, Debug)]
+pub struct BotBehavior {
+    /// Chance of firing a hitscan attack (long-range, directional).
+    pub attack_chance: f32,
+    /// Chance of throwing a projectile (long-range, expanded).
+    pub throw_chance: f32,
+    /// Chance of jumping.
+    pub jump_chance: f32,
+    /// Maximum random yaw drift per command, degrees.
+    pub turn_jitter: f32,
+    /// Forward speed as a fraction of maximum (320 u/s).
+    pub speed: f32,
+    /// Chance per command of steering toward the nearest visible
+    /// player (deathmatch clustering — the contention driver).
+    pub seek_chance: f32,
+}
+
+impl BotBehavior {
+    /// The default deathmatch mix used by the paper-reproduction runs.
+    pub fn deathmatch() -> BotBehavior {
+        BotBehavior {
+            attack_chance: 0.12,
+            throw_chance: 0.06,
+            jump_chance: 0.05,
+            turn_jitter: 25.0,
+            speed: 1.0,
+            seek_chance: 0.6,
+        }
+    }
+
+    /// Pure wandering: no long-range interactions at all.
+    pub fn wander() -> BotBehavior {
+        BotBehavior {
+            attack_chance: 0.0,
+            throw_chance: 0.0,
+            jump_chance: 0.02,
+            seek_chance: 0.0,
+            ..BotBehavior::deathmatch()
+        }
+    }
+
+    /// Stationary idlers (protocol load without game load).
+    pub fn idle() -> BotBehavior {
+        BotBehavior {
+            attack_chance: 0.0,
+            throw_chance: 0.0,
+            jump_chance: 0.0,
+            turn_jitter: 0.0,
+            speed: 0.0,
+            seek_chance: 0.0,
+        }
+    }
+}
+
+/// One bot's evolving view of the game.
+pub struct BotMind {
+    pub client_id: u32,
+    pub seq: u32,
+    pub yaw: f32,
+    pub rng: Pcg32,
+    behavior: BotBehavior,
+    /// Our origin from the last reply (authoritative).
+    pub last_origin: Vec3,
+    /// Origin from the reply before that (stuck detection).
+    prev_origin: Vec3,
+    /// Players seen in the most recent reply.
+    visible_players: Vec<(u16, Vec3)>,
+    /// Entity cache for delta-compressed replies (id -> update).
+    cache: std::collections::HashMap<u16, EntityUpdate>,
+    replies_seen: u64,
+}
+
+impl BotMind {
+    pub fn new(client_id: u32, seed: u64, behavior: BotBehavior) -> BotMind {
+        let mut rng = Pcg32::new(seed, client_id as u64);
+        let yaw = rng.range_f32(-180.0, 180.0);
+        BotMind {
+            client_id,
+            seq: 0,
+            yaw,
+            rng,
+            behavior,
+            last_origin: Vec3::ZERO,
+            prev_origin: Vec3::ZERO,
+            visible_players: Vec::new(),
+            cache: std::collections::HashMap::new(),
+            replies_seen: 0,
+        }
+    }
+
+    /// Digest a full-state server reply.
+    pub fn observe(&mut self, origin: Vec3, entities: &[EntityUpdate]) {
+        self.observe_update(origin, false, entities, &[]);
+    }
+
+    /// Digest a reply, delta-compressed or full. In delta mode the
+    /// update set is merged into the entity cache and `removed` entries
+    /// are dropped; otherwise the cache is replaced.
+    pub fn observe_update(
+        &mut self,
+        origin: Vec3,
+        delta: bool,
+        entities: &[EntityUpdate],
+        removed: &[u16],
+    ) {
+        self.prev_origin = self.last_origin;
+        self.last_origin = origin;
+        if !delta {
+            self.cache.clear();
+        }
+        for e in entities {
+            self.cache.insert(e.id, *e);
+        }
+        for r in removed {
+            self.cache.remove(r);
+        }
+        self.visible_players.clear();
+        for e in self.cache.values() {
+            if e.kind == EntityKind::Player && e.state > 0 {
+                self.visible_players.push((e.id, e.pos));
+            }
+        }
+        // Deterministic ordering for target selection.
+        self.visible_players.sort_unstable_by_key(|&(id, _)| id);
+        self.replies_seen += 1;
+    }
+
+    /// Produce the next move command.
+    pub fn think(&mut self, now: u64, msec: u8) -> MoveCmd {
+        self.seq += 1;
+        let b = self.behavior.clone();
+
+        // Stuck against a wall? Turn hard. Otherwise drift — or home in
+        // on the nearest visible player (deathmatch clustering).
+        let moved = self.last_origin.distance(self.prev_origin);
+        if self.replies_seen >= 2 && moved < 1.0 && b.speed > 0.0 {
+            self.yaw = wrap_degrees(self.yaw + self.rng.range_f32(90.0, 270.0));
+        } else if b.seek_chance > 0.0
+            && self.rng.chance(b.seek_chance)
+            && !self.visible_players.is_empty()
+        {
+            let target = self
+                .visible_players
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.1.distance_sq(self.last_origin);
+                    let db = b.1.distance_sq(self.last_origin);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|&(_, p)| p)
+                .unwrap();
+            let aim = Angles::looking_at(self.last_origin, target);
+            let noise = self.rng.range_f32(-10.0, 10.0);
+            self.yaw = wrap_degrees(aim.yaw + noise);
+        } else {
+            self.yaw = wrap_degrees(self.yaw + self.rng.range_f32(-b.turn_jitter, b.turn_jitter));
+        }
+
+        let mut buttons = Buttons::NONE;
+        let mut pitch = 0.0;
+        let mut yaw = self.yaw;
+        if self.rng.chance(b.jump_chance) {
+            buttons = buttons.with(Buttons::JUMP);
+        }
+        let wants_attack = self.rng.chance(b.attack_chance);
+        let wants_throw = !wants_attack && self.rng.chance(b.throw_chance);
+        if wants_attack || wants_throw {
+            // Aim at the nearest visible player if any.
+            if let Some(&(_, target)) = self
+                .visible_players
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.1.distance_sq(self.last_origin);
+                    let db = b.1.distance_sq(self.last_origin);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+            {
+                let a = Angles::looking_at(self.last_origin, target);
+                yaw = a.yaw;
+                pitch = a.pitch;
+            }
+            buttons = buttons.with(if wants_attack {
+                Buttons::ATTACK
+            } else {
+                Buttons::THROW
+            });
+        }
+
+        MoveCmd {
+            seq: self.seq,
+            sent_at: now,
+            pitch,
+            yaw,
+            forward: 320.0 * b.speed,
+            side: 0.0,
+            up: 0.0,
+            buttons,
+            msec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_math::vec3::vec3;
+
+    #[test]
+    fn think_is_deterministic_per_seed() {
+        let mut a = BotMind::new(3, 42, BotBehavior::deathmatch());
+        let mut b = BotMind::new(3, 42, BotBehavior::deathmatch());
+        for i in 0..50 {
+            let ca = a.think(i, 30);
+            let cb = b.think(i, 30);
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut m = BotMind::new(0, 1, BotBehavior::wander());
+        let c1 = m.think(0, 30);
+        let c2 = m.think(30, 30);
+        assert_eq!(c2.seq, c1.seq + 1);
+        assert_eq!(c2.sent_at, 30);
+    }
+
+    #[test]
+    fn idle_bots_never_act() {
+        let mut m = BotMind::new(0, 9, BotBehavior::idle());
+        for i in 0..200 {
+            let c = m.think(i, 30);
+            assert_eq!(c.forward, 0.0);
+            assert_eq!(c.buttons.0, 0);
+        }
+    }
+
+    #[test]
+    fn wander_bots_never_go_long_range() {
+        let mut m = BotMind::new(0, 9, BotBehavior::wander());
+        for i in 0..500 {
+            let c = m.think(i, 30);
+            assert!(!c.buttons.long_range());
+        }
+    }
+
+    #[test]
+    fn deathmatch_bots_eventually_attack() {
+        let mut m = BotMind::new(0, 9, BotBehavior::deathmatch());
+        let attacks = (0..500).filter(|&i| m.think(i, 30).buttons.long_range()).count();
+        assert!(attacks > 10, "only {attacks} long-range moves in 500");
+        assert!(attacks < 250, "{attacks} long-range moves is too many");
+    }
+
+    #[test]
+    fn attacks_aim_at_visible_players() {
+        let mut m = BotMind::new(0, 7, BotBehavior {
+            attack_chance: 1.0,
+            ..BotBehavior::deathmatch()
+        });
+        m.observe(vec3(0.0, 0.0, 25.0), &[EntityUpdate {
+            id: 5,
+            kind: EntityKind::Player,
+            state: 100,
+            pos: vec3(100.0, 0.0, 25.0),
+            yaw: 0.0,
+        }]);
+        m.observe(vec3(0.0, 0.0, 25.0), &[EntityUpdate {
+            id: 5,
+            kind: EntityKind::Player,
+            state: 100,
+            pos: vec3(100.0, 0.0, 25.0),
+            yaw: 0.0,
+        }]);
+        let c = m.think(0, 30);
+        assert!(c.buttons.has(Buttons::ATTACK));
+        // Target due east: yaw ≈ 0.
+        assert!(c.yaw.abs() < 1.0, "yaw = {}", c.yaw);
+    }
+
+    #[test]
+    fn stuck_bots_turn_around() {
+        let mut m = BotMind::new(0, 7, BotBehavior::wander());
+        let p = vec3(50.0, 50.0, 25.0);
+        m.observe(p, &[]);
+        m.observe(p, &[]); // no progress between replies
+        let before = m.yaw;
+        m.think(0, 30);
+        let delta = (m.yaw - before).abs();
+        assert!((80.0..=280.0).contains(&delta), "turned only {delta}°");
+    }
+}

@@ -1,0 +1,402 @@
+//! Bot driver tasks: the client machines of the testbed.
+//!
+//! Each driver owns one fabric port and multiplexes many bots over it,
+//! exactly like the original setup drove several automatic players per
+//! dual-processor client box. Drivers pace every bot at one move per
+//! client frame regardless of replies (the paper's worst-case,
+//! always-active workload) and collect response statistics.
+
+use std::sync::{Arc, Mutex};
+
+use parquake_fabric::{Fabric, Nanos, PortId, TaskCtx};
+use parquake_metrics::ResponseStats;
+use parquake_protocol::{ClientMessage, Decode, Encode, ServerMessage};
+
+use crate::behavior::{BotBehavior, BotMind};
+
+/// Swarm configuration.
+#[derive(Clone, Debug)]
+pub struct BotSwarmConfig {
+    /// Total bots (player count of the experiment).
+    pub players: u32,
+    /// Driver tasks to spread them over (client machines).
+    pub drivers: u32,
+    /// Client frame length — one move per bot per frame (~30 ms).
+    pub client_frame_ms: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Bots stop sending at this time (give the server room to drain).
+    pub send_until: Nanos,
+    /// Behaviour mix.
+    pub behavior: BotBehavior,
+    /// Modelled client CPU cost per sent command.
+    pub think_cost_ns: Nanos,
+    /// Random cadence jitter (±ns) applied per command — clients are
+    /// asynchronous, which is what creates the paper's fine-grain
+    /// per-frame imbalance (§4.2).
+    pub jitter_ns: Nanos,
+}
+
+impl BotSwarmConfig {
+    pub fn new(players: u32, send_until: Nanos) -> BotSwarmConfig {
+        BotSwarmConfig {
+            players,
+            drivers: 8.min(players.max(1)),
+            client_frame_ms: 30,
+            seed: 0xB07_5EED,
+            send_until,
+            behavior: BotBehavior::deathmatch(),
+            think_cost_ns: 15_000,
+            jitter_ns: 8_000_000,
+        }
+    }
+}
+
+/// A spawned swarm; stats are filled when the fabric run completes.
+pub struct BotSwarm {
+    /// Aggregated response statistics across all bots.
+    pub stats: Arc<Mutex<ResponseStats>>,
+    /// Connection counter: bots that got a ConnectAck.
+    pub connected: Arc<Mutex<u32>>,
+}
+
+/// Spawn driver tasks for `cfg.players` bots. `server_ports` lists every
+/// server thread's port; `initial_thread(client)` gives the connect-time
+/// thread (block assignment from the server handle). Bots later follow
+/// `assigned_thread` redirects in replies (the dynamic region-affine
+/// assignment extension).
+pub fn spawn_swarm(
+    fabric: &Arc<dyn Fabric>,
+    cfg: &BotSwarmConfig,
+    server_ports: &[PortId],
+    initial_thread: impl Fn(u32) -> usize,
+) -> BotSwarm {
+    let stats = Arc::new(Mutex::new(ResponseStats::new()));
+    let connected = Arc::new(Mutex::new(0u32));
+    let drivers = cfg.drivers.clamp(1, cfg.players.max(1));
+    let per = cfg.players.div_ceil(drivers);
+    for d in 0..drivers {
+        let lo = d * per;
+        let hi = ((d + 1) * per).min(cfg.players);
+        if lo >= hi {
+            break;
+        }
+        let port = fabric.alloc_port();
+        let all_ports = server_ports.to_vec();
+        let threads: Vec<usize> = (lo..hi)
+            .map(|c| initial_thread(c).min(all_ports.len() - 1))
+            .collect();
+        let cfg = cfg.clone();
+        let stats = stats.clone();
+        let connected = connected.clone();
+        fabric.spawn(
+            &format!("bots-{d}"),
+            None, // client machines: off the modelled server CPUs
+            Box::new(move |ctx| {
+                drive(ctx, port, lo, hi, &all_ports, threads, &cfg, &stats, &connected);
+            }),
+        );
+    }
+    BotSwarm { stats, connected }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    ctx: &TaskCtx,
+    port: PortId,
+    lo: u32,
+    hi: u32,
+    server_ports: &[PortId],
+    mut cur_thread: Vec<usize>,
+    cfg: &BotSwarmConfig,
+    stats_out: &Mutex<ResponseStats>,
+    connected_out: &Mutex<u32>,
+) {
+    let n = (hi - lo) as usize;
+    let frame_ns = cfg.client_frame_ms as Nanos * 1_000_000;
+    let mut bots: Vec<BotMind> = (lo..hi)
+        .map(|c| BotMind::new(c, cfg.seed, cfg.behavior.clone()))
+        .collect();
+    let mut acked = vec![false; n];
+    // Stagger bots across the client frame so requests arrive
+    // asynchronously (the paper's fine-grain imbalance source).
+    let mut next_at: Vec<Nanos> = (0..n)
+        .map(|i| (i as Nanos * frame_ns) / n as Nanos)
+        .collect();
+    let mut stats = ResponseStats::new();
+    let mut connected = 0u32;
+
+    loop {
+        let now = ctx.now();
+        if now >= cfg.send_until {
+            break;
+        }
+        // Act on every bot whose schedule has come.
+        for i in 0..n {
+            if next_at[i] > now {
+                continue;
+            }
+            if !acked[i] {
+                ctx.charge(cfg.think_cost_ns);
+                let msg = ClientMessage::Connect {
+                    client_id: lo + i as u32,
+                };
+                ctx.send(port, server_ports[cur_thread[i]], msg.to_bytes());
+                next_at[i] = now + 100_000_000; // retry ack in 100 ms
+            } else {
+                ctx.charge(cfg.think_cost_ns);
+                let cmd = bots[i].think(now, cfg.client_frame_ms.min(250) as u8);
+                stats.note_sent();
+                let msg = ClientMessage::Move {
+                    client_id: lo + i as u32,
+                    cmd,
+                };
+                ctx.send(port, server_ports[cur_thread[i]], msg.to_bytes());
+                // Always-active cadence with asynchronous jitter.
+                let jitter = if cfg.jitter_ns > 0 {
+                    let j = bots[i].rng.next_u32() as Nanos % (2 * cfg.jitter_ns);
+                    j as i64 - cfg.jitter_ns as i64
+                } else {
+                    0
+                };
+                next_at[i] = (next_at[i] as i64 + frame_ns as i64 + jitter) as Nanos;
+                if next_at[i] <= now {
+                    next_at[i] = now + frame_ns / 2;
+                }
+            }
+        }
+        // Sleep until the next bot action, draining replies meanwhile.
+        let wake = *next_at.iter().min().unwrap();
+        let deadline = wake.min(cfg.send_until);
+        loop {
+            let now = ctx.now();
+            if now >= deadline {
+                break;
+            }
+            if !ctx.wait_readable(port, Some(deadline)) {
+                break;
+            }
+            while let Some(raw) = ctx.try_recv(port) {
+                let Ok(msg) = ServerMessage::from_bytes(&raw.payload) else {
+                    continue;
+                };
+                match msg {
+                    ServerMessage::ConnectAck { client_id, .. } => {
+                        let i = (client_id - lo) as usize;
+                        if i < n && !acked[i] {
+                            acked[i] = true;
+                            connected += 1;
+                            // Start moving on the next tick.
+                            next_at[i] = ctx.now();
+                        }
+                    }
+                    ServerMessage::Reply {
+                        client_id,
+                        sent_at_echo,
+                        assigned_thread,
+                        origin,
+                        delta,
+                        entities,
+                        removed,
+                        ..
+                    } => {
+                        let i = (client_id - lo) as usize;
+                        if i < n {
+                            let now = ctx.now();
+                            if sent_at_echo > 0 && now >= sent_at_echo {
+                                stats.note_reply(now - sent_at_echo);
+                            }
+                            // Follow server steering (dynamic
+                            // region-affine assignment).
+                            let t = assigned_thread as usize;
+                            if t < server_ports.len() {
+                                cur_thread[i] = t;
+                            }
+                            bots[i].observe_update(origin, delta, &entities, &removed);
+                        }
+                    }
+                    ServerMessage::Bye { .. } => {}
+                }
+            }
+        }
+    }
+
+    stats_out.lock().unwrap().merge(&stats);
+    *connected_out.lock().unwrap() += connected;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_fabric::FabricKind;
+
+    /// A stub server that acks every connect and echoes every move.
+    fn stub_server(fabric: &Arc<dyn Fabric>, port: PortId, until: Nanos) {
+        fabric.spawn(
+            "stub-server",
+            Some(0),
+            Box::new(move |ctx| {
+                while ctx.wait_readable(port, Some(until)) {
+                    while let Some(raw) = ctx.try_recv(port) {
+                        match ClientMessage::from_bytes(&raw.payload) {
+                            Ok(ClientMessage::Connect { client_id }) => {
+                                let ack = ServerMessage::ConnectAck {
+                                    client_id,
+                                    spawn: parquake_math::Vec3::ZERO,
+                                };
+                                ctx.send(port, raw.from, ack.to_bytes());
+                            }
+                            Ok(ClientMessage::Move { client_id, cmd }) => {
+                                let reply = ServerMessage::Reply {
+                                    client_id,
+                                    seq: cmd.seq,
+                                    sent_at_echo: cmd.sent_at,
+                                    frame: 0,
+                                    assigned_thread: 0,
+                                    origin: parquake_math::Vec3::ZERO,
+                                    delta: false,
+                                    entities: vec![],
+                                    removed: vec![],
+                                    events: vec![],
+                                };
+                                ctx.send(port, raw.from, reply.to_bytes());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }),
+        );
+    }
+
+    #[test]
+    fn swarm_connects_and_measures_latency() {
+        let fabric = FabricKind::VirtualSmp(Default::default()).build();
+        let server_port = fabric.alloc_port();
+        let until: Nanos = 2_000_000_000; // 2 virtual seconds
+        stub_server(&fabric, server_port, until + 500_000_000);
+        let cfg = BotSwarmConfig {
+            drivers: 2,
+            ..BotSwarmConfig::new(10, until)
+        };
+        let swarm = spawn_swarm(&fabric, &cfg, &[server_port], |_c| 0);
+        fabric.run();
+
+        assert_eq!(*swarm.connected.lock().unwrap(), 10);
+        let stats = swarm.stats.lock().unwrap();
+        // 10 bots for ~2 s at 30 ms cadence ≈ 600+ moves.
+        assert!(stats.sent > 400, "sent only {}", stats.sent);
+        assert!(stats.received > 400, "received only {}", stats.received);
+        // Round trip = 2 × link latency (0.15 ms each way) + stub time.
+        let avg = stats.avg_latency_ms();
+        assert!(avg > 0.25 && avg < 5.0, "avg latency {avg} ms");
+    }
+
+    #[test]
+    fn bots_follow_thread_redirects() {
+        // A two-port server: port A acks and immediately steers the bot
+        // to thread 1; port B echoes moves. The bot must switch.
+        let fabric = FabricKind::VirtualSmp(Default::default()).build();
+        let port_a = fabric.alloc_port();
+        let port_b = fabric.alloc_port();
+        let until: Nanos = 1_500_000_000;
+        let moves_at_b = Arc::new(Mutex::new(0u64));
+
+        // Port A: acks connects, replies to moves with a redirect.
+        fabric.spawn(
+            "thread-a",
+            Some(0),
+            Box::new(move |ctx| {
+                while ctx.wait_readable(port_a, Some(until)) {
+                    while let Some(raw) = ctx.try_recv(port_a) {
+                        match ClientMessage::from_bytes(&raw.payload) {
+                            Ok(ClientMessage::Connect { client_id }) => {
+                                let ack = ServerMessage::ConnectAck {
+                                    client_id,
+                                    spawn: parquake_math::Vec3::ZERO,
+                                };
+                                ctx.send(port_a, raw.from, ack.to_bytes());
+                            }
+                            Ok(ClientMessage::Move { client_id, cmd }) => {
+                                let reply = ServerMessage::Reply {
+                                    client_id,
+                                    seq: cmd.seq,
+                                    sent_at_echo: cmd.sent_at,
+                                    frame: 0,
+                                    assigned_thread: 1, // go to B
+                                    origin: parquake_math::Vec3::ZERO,
+                                    delta: false,
+                                    entities: vec![],
+                                    removed: vec![],
+                                    events: vec![],
+                                };
+                                ctx.send(port_a, raw.from, reply.to_bytes());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }),
+        );
+        // Port B: counts the moves it receives and echoes them.
+        let counter = moves_at_b.clone();
+        fabric.spawn(
+            "thread-b",
+            Some(1),
+            Box::new(move |ctx| {
+                while ctx.wait_readable(port_b, Some(until)) {
+                    while let Some(raw) = ctx.try_recv(port_b) {
+                        if let Ok(ClientMessage::Move { client_id, cmd }) =
+                            ClientMessage::from_bytes(&raw.payload)
+                        {
+                            *counter.lock().unwrap() += 1;
+                            let reply = ServerMessage::Reply {
+                                client_id,
+                                seq: cmd.seq,
+                                sent_at_echo: cmd.sent_at,
+                                frame: 0,
+                                assigned_thread: 1, // stay here
+                                origin: parquake_math::Vec3::ZERO,
+                                delta: false,
+                                entities: vec![],
+                                removed: vec![],
+                                events: vec![],
+                            };
+                            ctx.send(port_b, raw.from, reply.to_bytes());
+                        }
+                    }
+                }
+            }),
+        );
+
+        let cfg = BotSwarmConfig {
+            drivers: 1,
+            ..BotSwarmConfig::new(2, until)
+        };
+        let swarm = spawn_swarm(&fabric, &cfg, &[port_a, port_b], |_c| 0);
+        fabric.run();
+        assert_eq!(*swarm.connected.lock().unwrap(), 2);
+        // After the first redirect, all further moves land on B.
+        let at_b = *moves_at_b.lock().unwrap();
+        assert!(at_b > 40, "bots never switched threads (moves at B: {at_b})");
+    }
+
+    #[test]
+    fn swarm_is_deterministic_on_virtual_fabric() {
+        let run = || {
+            let fabric = FabricKind::VirtualSmp(Default::default()).build();
+            let server_port = fabric.alloc_port();
+            let until: Nanos = 1_000_000_000;
+            stub_server(&fabric, server_port, until + 100_000_000);
+            let cfg = BotSwarmConfig {
+                drivers: 3,
+                ..BotSwarmConfig::new(7, until)
+            };
+            let swarm = spawn_swarm(&fabric, &cfg, &[server_port], |_c| 0);
+            fabric.run();
+            let s = swarm.stats.lock().unwrap();
+            (s.sent, s.received, s.latency_sum_ns)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,102 @@
+//! Solid brushes: the source geometry the BSP compiler consumes.
+//!
+//! World geometry is authored (by the map generator or by hand in tests)
+//! as a set of axis-aligned solid boxes. Restricting brushes to AABBs
+//! keeps the compiler simple while preserving everything the paper's
+//! workload depends on: corridors, rooms, doorways, pillars and the
+//! resulting collision/visibility structure.
+
+use parquake_math::{Aabb, Vec3};
+
+/// What a brush is made of. `Solid` and `Clip` block movement; `Water`
+/// volumes are swimmable (non-blocking, reported by contents queries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Material {
+    Solid,
+    Clip,
+    /// Swimmable liquid: does not block traces, changes movement.
+    Water,
+}
+
+/// An axis-aligned solid volume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Brush {
+    pub bounds: Aabb,
+    pub material: Material,
+}
+
+impl Brush {
+    /// A solid brush covering `bounds`.
+    pub fn solid(bounds: Aabb) -> Brush {
+        Brush {
+            bounds,
+            material: Material::Solid,
+        }
+    }
+
+    /// Inflate for a clip hull: a box with extents `[mins, maxs]`
+    /// (relative to its origin) collides with this brush exactly when
+    /// the box *origin* is inside the inflated brush (Minkowski sum).
+    /// For axis-aligned geometry this expansion is exact, which is why
+    /// per-hull compilation gives exact swept-box traces.
+    pub fn inflated_for_hull(&self, mins: Vec3, maxs: Vec3) -> Brush {
+        Brush {
+            bounds: Aabb::new(self.bounds.min - maxs, self.bounds.max - mins),
+            material: self.material,
+        }
+    }
+
+    /// A water brush covering `bounds`.
+    pub fn water(bounds: Aabb) -> Brush {
+        Brush {
+            bounds,
+            material: Material::Water,
+        }
+    }
+
+    /// Does this brush block movement?
+    #[inline]
+    pub fn is_collidable(&self) -> bool {
+        matches!(self.material, Material::Solid | Material::Clip)
+    }
+
+    /// Is this a liquid volume?
+    #[inline]
+    pub fn is_water(&self) -> bool {
+        self.material == Material::Water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_math::vec3::vec3;
+
+    #[test]
+    fn inflation_grows_by_hull_extents() {
+        let b = Brush::solid(Aabb::new(vec3(0.0, 0.0, 0.0), vec3(10.0, 10.0, 10.0)));
+        // Player-like hull: mins (-16,-16,-24), maxs (16,16,32).
+        let mins = vec3(-16.0, -16.0, -24.0);
+        let maxs = vec3(16.0, 16.0, 32.0);
+        let i = b.inflated_for_hull(mins, maxs);
+        assert_eq!(i.bounds.min, vec3(-16.0, -16.0, -32.0));
+        assert_eq!(i.bounds.max, vec3(26.0, 26.0, 34.0));
+    }
+
+    #[test]
+    fn point_hull_inflation_is_identity() {
+        let b = Brush::solid(Aabb::new(vec3(-5.0, -5.0, -5.0), vec3(5.0, 5.0, 5.0)));
+        let i = b.inflated_for_hull(Vec3::ZERO, Vec3::ZERO);
+        assert_eq!(i.bounds, b.bounds);
+    }
+
+    #[test]
+    fn materials_collide() {
+        let b = Brush {
+            bounds: Aabb::point(Vec3::ZERO),
+            material: Material::Clip,
+        };
+        assert!(b.is_collidable());
+        assert!(Brush::solid(Aabb::point(Vec3::ZERO)).is_collidable());
+    }
+}

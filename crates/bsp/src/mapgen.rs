@@ -1,0 +1,595 @@
+//! Deterministic procedural deathmatch arenas.
+//!
+//! The paper evaluates on `gmdm10.bsp`, "one of the largest maps we
+//! could find", designed for 16–32 players, so that 64–160 synthetic
+//! players over-crowd it and interactions are extreme. We cannot ship
+//! that copyrighted map, so this generator produces mazes with the same
+//! load-bearing properties: many rooms and corridors (layout
+//! complexity), pillars (intra-room occlusion), items to contend for,
+//! and teleporters (far relocation during move execution — the paper's
+//! motivating example for long-range effects).
+//!
+//! Maps are fully determined by [`MapGenConfig`], including the seed, so
+//! every experiment is reproducible bit-for-bit.
+
+use crate::brush::Brush;
+use crate::rooms::{RoomGraph, RoomId};
+use crate::{BspWorld, ItemSpawn};
+use parquake_math::vec3::vec3;
+use parquake_math::{Aabb, Pcg32, Vec3};
+
+/// Parameters of the arena generator.
+#[derive(Clone, Debug)]
+pub struct MapGenConfig {
+    pub seed: u64,
+    /// Rooms along X.
+    pub grid_w: u16,
+    /// Rooms along Y.
+    pub grid_h: u16,
+    /// Interior side length of one room, in units.
+    pub room_size: f32,
+    /// Wall slab thickness.
+    pub wall_thickness: f32,
+    /// Playable height (floor to ceiling).
+    pub ceiling_height: f32,
+    /// Width of door gaps between connected rooms.
+    pub door_width: f32,
+    /// Probability of adding a door beyond the spanning tree (loops).
+    pub extra_door_chance: f32,
+    /// Probability a room gets a central pillar.
+    pub pillar_chance: f32,
+    /// Item markers placed per room.
+    pub items_per_room: u8,
+    /// Number of teleporter pads (each with a distinct destination room).
+    pub teleporter_pairs: u8,
+    /// Door-graph distance at which rooms remain mutually visible.
+    pub vis_depth: u32,
+    /// Probability a room floor is flooded with a waist-deep pool.
+    pub water_chance: f32,
+}
+
+impl MapGenConfig {
+    /// The default evaluation map: a large maze arena sized like a
+    /// 16–32 player map (the paper's `gmdm10` stand-in).
+    pub fn large_arena(seed: u64) -> MapGenConfig {
+        MapGenConfig {
+            seed,
+            grid_w: 10,
+            grid_h: 10,
+            room_size: 384.0,
+            wall_thickness: 32.0,
+            ceiling_height: 192.0,
+            door_width: 128.0,
+            extra_door_chance: 0.35,
+            pillar_chance: 0.30,
+            items_per_room: 2,
+            teleporter_pairs: 6,
+            vis_depth: 2,
+            water_chance: 0.0,
+        }
+    }
+
+    /// The paper's evaluation regime: a map designed for 16-32 players
+    /// hosting 64-160, so interactions are extreme (paper §4: "even
+    /// with a large map, the observed level of interaction among
+    /// players is very high").
+    pub fn eval_arena(seed: u64) -> MapGenConfig {
+        MapGenConfig {
+            grid_w: 7,
+            grid_h: 7,
+            extra_door_chance: 0.45,
+            teleporter_pairs: 6,
+            ..MapGenConfig::large_arena(seed)
+        }
+    }
+
+    /// A small, cramped map: interactions increase (paper §4 notes small
+    /// maps induce more interaction).
+    pub fn small_arena(seed: u64) -> MapGenConfig {
+        MapGenConfig {
+            grid_w: 5,
+            grid_h: 5,
+            teleporter_pairs: 3,
+            ..MapGenConfig::large_arena(seed)
+        }
+    }
+
+    /// A partially flooded maze: pools change movement (swimming) in
+    /// about a third of the rooms.
+    pub fn flooded_arena(seed: u64) -> MapGenConfig {
+        MapGenConfig {
+            water_chance: 0.35,
+            ..MapGenConfig::small_arena(seed)
+        }
+    }
+
+    /// One giant hall with pillars: maximal visibility and contention.
+    pub fn open_hall(seed: u64) -> MapGenConfig {
+        MapGenConfig {
+            grid_w: 1,
+            grid_h: 1,
+            room_size: 2048.0,
+            pillar_chance: 1.0,
+            items_per_room: 12,
+            teleporter_pairs: 2,
+            vis_depth: 0,
+            ..MapGenConfig::large_arena(seed)
+        }
+    }
+
+    /// Distance between successive cell origins.
+    #[inline]
+    pub fn pitch(&self) -> f32 {
+        self.room_size + self.wall_thickness
+    }
+
+    /// Total world footprint (including outer walls).
+    pub fn footprint(&self) -> (f32, f32) {
+        (
+            self.wall_thickness + self.grid_w as f32 * self.pitch(),
+            self.wall_thickness + self.grid_h as f32 * self.pitch(),
+        )
+    }
+
+    /// Generate and compile the world.
+    pub fn generate(&self) -> BspWorld {
+        Generator::new(self.clone()).run()
+    }
+}
+
+struct Generator {
+    cfg: MapGenConfig,
+    rng: Pcg32,
+    brushes: Vec<Brush>,
+    doors: Vec<(RoomId, RoomId)>,
+}
+
+impl Generator {
+    fn new(cfg: MapGenConfig) -> Generator {
+        let rng = Pcg32::new(cfg.seed, 0xA1EA);
+        Generator {
+            cfg,
+            rng,
+            brushes: Vec::new(),
+            doors: Vec::new(),
+        }
+    }
+
+    /// Interior AABB (XY) of cell (cx, cy) at floor level.
+    fn cell_interior(&self, cx: u16, cy: u16) -> (f32, f32, f32, f32) {
+        let c = &self.cfg;
+        let x0 = c.wall_thickness + cx as f32 * c.pitch();
+        let y0 = c.wall_thickness + cy as f32 * c.pitch();
+        (x0, y0, x0 + c.room_size, y0 + c.room_size)
+    }
+
+    fn cell_center(&self, cx: u16, cy: u16) -> Vec3 {
+        let (x0, y0, x1, y1) = self.cell_interior(cx, cy);
+        vec3((x0 + x1) * 0.5, (y0 + y1) * 0.5, 0.0)
+    }
+
+    fn run(mut self) -> BspWorld {
+        let c = self.cfg.clone();
+        let (w, h) = c.footprint();
+        let zlo = -c.wall_thickness;
+        let zhi = c.ceiling_height + c.wall_thickness;
+        let bounds = Aabb::new(vec3(0.0, 0.0, zlo), vec3(w, h, zhi));
+
+        // Floor and ceiling slabs over the full footprint.
+        self.solid(0.0, 0.0, zlo, w, h, 0.0);
+        self.solid(0.0, 0.0, c.ceiling_height, w, h, zhi);
+        // Outer walls (full height, sealing corners).
+        let t = c.wall_thickness;
+        self.solid(0.0, 0.0, zlo, t, h, zhi);
+        self.solid(w - t, 0.0, zlo, w, h, zhi);
+        self.solid(0.0, 0.0, zlo, w, t, zhi);
+        self.solid(0.0, h - t, zlo, w, h, zhi);
+
+        let connected = self.carve_connectivity();
+        self.place_inner_walls(&connected);
+        self.place_corner_posts();
+        let pillar_rooms = self.place_pillars();
+        self.place_water();
+
+        // Rooms graph with PVS.
+        let rooms = RoomGraph::new(
+            c.grid_w,
+            c.grid_h,
+            c.wall_thickness,
+            c.wall_thickness,
+            c.pitch(),
+            &self.doors,
+            c.vis_depth,
+            bounds,
+        );
+
+        // Spawn points: room centers (plus quarter offsets in big maps),
+        // at standing height (player feet just above the floor).
+        let spawn_z = 25.0;
+        let mut spawns = Vec::new();
+        for cy in 0..c.grid_h {
+            for cx in 0..c.grid_w {
+                let mut p = self.cell_center(cx, cy);
+                p.z = spawn_z;
+                if pillar_rooms.contains(&rooms.room_at(cx, cy)) {
+                    // Keep spawns off the central pillar.
+                    p.x += c.room_size * 0.25;
+                }
+                spawns.push(p);
+            }
+        }
+
+        // Item markers near room corners, classes cycling.
+        let mut items = Vec::new();
+        let inset = c.room_size * 0.25;
+        for cy in 0..c.grid_h {
+            for cx in 0..c.grid_w {
+                let center = self.cell_center(cx, cy);
+                for k in 0..c.items_per_room {
+                    let corner = k % 4;
+                    let (sx, sy) = match corner {
+                        0 => (-1.0, -1.0),
+                        1 => (1.0, -1.0),
+                        2 => (1.0, 1.0),
+                        _ => (-1.0, 1.0),
+                    };
+                    items.push(ItemSpawn {
+                        pos: vec3(center.x + sx * inset, center.y + sy * inset, 0.0),
+                        class: self.rng.below(5) as u8,
+                    });
+                }
+            }
+        }
+
+        // Teleporters: pad in one room, destination in a far room.
+        let mut teleporters = Vec::new();
+        let n_rooms = rooms.room_count() as u32;
+        if n_rooms >= 2 {
+            for _ in 0..c.teleporter_pairs {
+                let a = self.rng.below(n_rooms) as RoomId;
+                let mut b = self.rng.below(n_rooms) as RoomId;
+                if b == a {
+                    b = (b + 1) % n_rooms as RoomId;
+                }
+                let (ax, ay) = rooms.cell_of(a);
+                let (bx, by) = rooms.cell_of(b);
+                let mut pad = self.cell_center(ax, ay);
+                pad.x -= c.room_size * 0.3;
+                pad.y -= c.room_size * 0.3;
+                let mut dst = self.cell_center(bx, by);
+                dst.z = spawn_z;
+                if pillar_rooms.contains(&b) {
+                    // Keep destinations off the central pillar.
+                    dst.x -= c.room_size * 0.25;
+                }
+                teleporters.push((pad, dst));
+            }
+        }
+
+        BspWorld::compile(bounds, self.brushes, rooms, spawns, items, teleporters)
+    }
+
+    fn solid(&mut self, x0: f32, y0: f32, z0: f32, x1: f32, y1: f32, z1: f32) {
+        self.brushes.push(Brush::solid(Aabb::new(
+            vec3(x0, y0, z0),
+            vec3(x1, y1, z1),
+        )));
+    }
+
+    /// Randomized-DFS spanning tree plus extra loop doors. Returns the
+    /// set of connected (door-carrying) adjacent cell pairs.
+    fn carve_connectivity(&mut self) -> Vec<(RoomId, RoomId)> {
+        let (gw, gh) = (self.cfg.grid_w, self.cfg.grid_h);
+        let n = gw as usize * gh as usize;
+        let room = |cx: u16, cy: u16| -> RoomId { cy * gw + cx };
+        let mut visited = vec![false; n];
+        let mut stack = vec![0 as RoomId];
+        visited[0] = true;
+        let mut connected = Vec::new();
+        while let Some(&cur) = stack.last() {
+            let (cx, cy) = (cur % gw, cur / gw);
+            let mut options = Vec::new();
+            if cx > 0 && !visited[room(cx - 1, cy) as usize] {
+                options.push(room(cx - 1, cy));
+            }
+            if cx + 1 < gw && !visited[room(cx + 1, cy) as usize] {
+                options.push(room(cx + 1, cy));
+            }
+            if cy > 0 && !visited[room(cx, cy - 1) as usize] {
+                options.push(room(cx, cy - 1));
+            }
+            if cy + 1 < gh && !visited[room(cx, cy + 1) as usize] {
+                options.push(room(cx, cy + 1));
+            }
+            if options.is_empty() {
+                stack.pop();
+                continue;
+            }
+            let next = *self.rng.pick(&options);
+            visited[next as usize] = true;
+            connected.push((cur.min(next), cur.max(next)));
+            stack.push(next);
+        }
+        // Extra loop doors.
+        for cy in 0..gh {
+            for cx in 0..gw {
+                let a = room(cx, cy);
+                if cx + 1 < gw {
+                    let b = room(cx + 1, cy);
+                    let pair = (a.min(b), a.max(b));
+                    if !connected.contains(&pair) && self.rng.chance(self.cfg.extra_door_chance) {
+                        connected.push(pair);
+                    }
+                }
+                if cy + 1 < gh {
+                    let b = room(cx, cy + 1);
+                    let pair = (a.min(b), a.max(b));
+                    if !connected.contains(&pair) && self.rng.chance(self.cfg.extra_door_chance) {
+                        connected.push(pair);
+                    }
+                }
+            }
+        }
+        self.doors = connected.clone();
+        connected
+    }
+
+    /// Inner wall slabs between adjacent rooms; connected pairs get a
+    /// centered door gap.
+    fn place_inner_walls(&mut self, connected: &[(RoomId, RoomId)]) {
+        let c = self.cfg.clone();
+        let (gw, gh) = (c.grid_w, c.grid_h);
+        let zhi = c.ceiling_height;
+        let has_door = |a: RoomId, b: RoomId| connected.contains(&(a.min(b), a.max(b)));
+        // Vertical walls (between horizontally adjacent cells).
+        for cy in 0..gh {
+            for cx in 0..gw.saturating_sub(1) {
+                let (_, y0, x1, y1) = self.cell_interior(cx, cy);
+                let wx0 = x1;
+                let wx1 = x1 + c.wall_thickness;
+                let a = cy * gw + cx;
+                let b = cy * gw + cx + 1;
+                if has_door(a, b) {
+                    let yc = (y0 + y1) * 0.5;
+                    let g0 = yc - c.door_width * 0.5;
+                    let g1 = yc + c.door_width * 0.5;
+                    if g0 > y0 {
+                        self.solid(wx0, y0, 0.0, wx1, g0, zhi);
+                    }
+                    if g1 < y1 {
+                        self.solid(wx0, g1, 0.0, wx1, y1, zhi);
+                    }
+                } else {
+                    self.solid(wx0, y0, 0.0, wx1, y1, zhi);
+                }
+            }
+        }
+        // Horizontal walls (between vertically adjacent cells).
+        for cy in 0..gh.saturating_sub(1) {
+            for cx in 0..gw {
+                let (x0, _, x1, y1) = self.cell_interior(cx, cy);
+                let wy0 = y1;
+                let wy1 = y1 + c.wall_thickness;
+                let a = cy * gw + cx;
+                let b = (cy + 1) * gw + cx;
+                if has_door(a, b) {
+                    let xc = (x0 + x1) * 0.5;
+                    let g0 = xc - c.door_width * 0.5;
+                    let g1 = xc + c.door_width * 0.5;
+                    if g0 > x0 {
+                        self.solid(x0, wy0, 0.0, g0, wy1, zhi);
+                    }
+                    if g1 < x1 {
+                        self.solid(g1, wy0, 0.0, x1, wy1, zhi);
+                    }
+                } else {
+                    self.solid(x0, wy0, 0.0, x1, wy1, zhi);
+                }
+            }
+        }
+    }
+
+    /// Posts sealing the interior corners where four cells meet.
+    fn place_corner_posts(&mut self) {
+        let c = self.cfg.clone();
+        let zhi = c.ceiling_height;
+        for cy in 0..c.grid_h.saturating_sub(1) {
+            for cx in 0..c.grid_w.saturating_sub(1) {
+                let (_, _, x1, y1) = self.cell_interior(cx, cy);
+                self.solid(x1, y1, 0.0, x1 + c.wall_thickness, y1 + c.wall_thickness, zhi);
+            }
+        }
+    }
+
+    /// Waist-deep pools covering flooded room floors.
+    fn place_water(&mut self) {
+        let c = self.cfg.clone();
+        if c.water_chance <= 0.0 {
+            return;
+        }
+        for cy in 0..c.grid_h {
+            for cx in 0..c.grid_w {
+                if self.rng.chance(c.water_chance) {
+                    let (x0, y0, x1, y1) = self.cell_interior(cx, cy);
+                    self.brushes.push(Brush::water(Aabb::new(
+                        vec3(x0, y0, 0.0),
+                        vec3(x1, y1, 40.0),
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Optional central pillars; returns rooms that got one.
+    fn place_pillars(&mut self) -> Vec<RoomId> {
+        let c = self.cfg.clone();
+        let mut out = Vec::new();
+        let half = c.wall_thickness;
+        for cy in 0..c.grid_h {
+            for cx in 0..c.grid_w {
+                if self.rng.chance(c.pillar_chance) {
+                    let center = self.cell_center(cx, cy);
+                    self.solid(
+                        center.x - half,
+                        center.y - half,
+                        0.0,
+                        center.x + half,
+                        center.y + half,
+                        c.ceiling_height,
+                    );
+                    out.push(cy * c.grid_w + cx);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Contents;
+    use crate::Hull;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MapGenConfig::small_arena(7).generate();
+        let b = MapGenConfig::small_arena(7).generate();
+        assert_eq!(a.brushes.len(), b.brushes.len());
+        for (x, y) in a.brushes.iter().zip(b.brushes.iter()) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.spawn_points, b.spawn_points);
+        assert_eq!(a.item_spawns, b.item_spawns);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MapGenConfig::small_arena(1).generate();
+        let b = MapGenConfig::small_arena(2).generate();
+        let same = a
+            .brushes
+            .iter()
+            .zip(b.brushes.iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(same < a.brushes.len().min(b.brushes.len()));
+    }
+
+    #[test]
+    fn spawn_points_are_in_open_space() {
+        let w = MapGenConfig::small_arena(42).generate();
+        assert_eq!(w.spawn_points.len(), 25);
+        for (i, &s) in w.spawn_points.iter().enumerate() {
+            assert!(w.player_fits(s), "spawn {i} at {s:?} blocked");
+        }
+    }
+
+    #[test]
+    fn item_spawns_are_reachable_points() {
+        let w = MapGenConfig::small_arena(42).generate();
+        assert_eq!(w.item_spawns.len(), 50);
+        for it in &w.item_spawns {
+            // Item origin sits at floor level; probe just above.
+            let p = it.pos + vec3(0.0, 0.0, 8.0);
+            assert_eq!(w.contents(p), Contents::Empty, "item at {:?}", it.pos);
+        }
+    }
+
+    #[test]
+    fn world_is_sealed_downwards() {
+        let w = MapGenConfig::small_arena(3).generate();
+        // Falling from any spawn must land on a floor, never escape.
+        for &s in &w.spawn_points {
+            let tr = w.trace(Hull::Player, s, s + vec3(0.0, 0.0, -10_000.0));
+            assert!(tr.hit(), "fell through world at {s:?}");
+            assert!(tr.end.z > -100.0);
+        }
+    }
+
+    #[test]
+    fn rooms_are_connected_by_spanning_tree() {
+        let w = MapGenConfig::large_arena(5).generate();
+        // BFS over door graph must reach every room.
+        let n = w.rooms.room_count();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0u16]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(r) = queue.pop_front() {
+            for &nb in w.rooms.neighbors(r) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    count += 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert_eq!(count, n, "maze is disconnected");
+    }
+
+    #[test]
+    fn teleporters_have_valid_destinations() {
+        let w = MapGenConfig::large_arena(11).generate();
+        assert_eq!(w.teleporters.len(), 6);
+        for &(pad, dst) in &w.teleporters {
+            assert!(w.bounds.contains_point(pad));
+            assert!(w.player_fits(dst), "teleporter dest {dst:?} blocked");
+        }
+    }
+
+    #[test]
+    fn doorways_are_passable() {
+        let w = MapGenConfig::small_arena(9).generate();
+        // For each door, trace from one room center to the other;
+        // the trace must make it past the shared wall (doors are wide
+        // enough for the player hull).
+        let cfg = MapGenConfig::small_arena(9);
+        let pitch = cfg.pitch();
+        for r in 0..w.rooms.room_count() as u16 {
+            let (cx, cy) = w.rooms.cell_of(r);
+            for &nb in w.rooms.neighbors(r) {
+                if nb < r {
+                    continue;
+                }
+                let (nx, ny) = w.rooms.cell_of(nb);
+                let center = |gx: u16, gy: u16| {
+                    vec3(
+                        cfg.wall_thickness + gx as f32 * pitch + cfg.room_size * 0.5,
+                        cfg.wall_thickness + gy as f32 * pitch + cfg.room_size * 0.5,
+                        40.0,
+                    )
+                };
+                // Probe the doorway itself: points a quarter-room either
+                // side of the shared wall, clear of any central pillars.
+                let ca = center(cx, cy);
+                let cb = center(nx, ny);
+                let mid = ca.lerp(cb, 0.5);
+                let a = mid.lerp(ca, 0.4);
+                let b = mid.lerp(cb, 0.4);
+                let tr = w.trace(Hull::Player, a, b);
+                assert!(
+                    !tr.hit(),
+                    "door {r}->{nb} blocked at fraction {}",
+                    tr.fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_hall_is_one_big_room() {
+        let w = MapGenConfig::open_hall(13).generate();
+        assert_eq!(w.rooms.room_count(), 1);
+        assert!(w.player_fits(w.spawn_points[0]));
+    }
+
+    #[test]
+    fn footprint_matches_layout() {
+        let cfg = MapGenConfig::large_arena(0);
+        let (fw, fh) = cfg.footprint();
+        let w = cfg.generate();
+        assert_eq!(w.bounds.max.x, fw);
+        assert_eq!(w.bounds.max.y, fh);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the procedural map generator: every
+//! configuration in the supported space must produce a playable,
+//! sealed, fully-connected world.
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_bsp::tree::Contents;
+use parquake_bsp::Hull;
+use parquake_math::vec3::vec3;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = MapGenConfig> {
+    (
+        any::<u64>(),
+        1u16..5,
+        1u16..5,
+        192.0f32..512.0,
+        0.0f32..1.0,
+        0.0f32..1.0,
+        0u8..4,
+        0u8..4,
+    )
+        .prop_map(
+            |(seed, gw, gh, room, extra, pillar, items, teles)| MapGenConfig {
+                seed,
+                grid_w: gw,
+                grid_h: gh,
+                room_size: room,
+                extra_door_chance: extra,
+                pillar_chance: pillar,
+                items_per_room: items,
+                teleporter_pairs: teles,
+                ..MapGenConfig::large_arena(seed)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_worlds_are_playable(cfg in arb_config()) {
+        let w = cfg.generate();
+
+        // Spawns exist (one per room) and stand in open space.
+        prop_assert_eq!(
+            w.spawn_points.len(),
+            cfg.grid_w as usize * cfg.grid_h as usize
+        );
+        for &s in &w.spawn_points {
+            prop_assert!(w.player_fits(s), "blocked spawn at {s:?}");
+            // Sealed downward: falling players land, never escape.
+            let tr = w.trace(Hull::Player, s, s + vec3(0.0, 0.0, -100_000.0));
+            prop_assert!(tr.hit(), "no floor under {s:?}");
+            // Sealed upward too.
+            let tr = w.trace(Hull::Player, s, s + vec3(0.0, 0.0, 100_000.0));
+            prop_assert!(tr.hit(), "no ceiling over {s:?}");
+        }
+
+        // Maze connectivity: BFS over doors reaches every room.
+        let n = w.rooms.room_count();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0u16]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(r) = queue.pop_front() {
+            for &nb in w.rooms.neighbors(r) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    count += 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        prop_assert_eq!(count, n, "maze is disconnected");
+
+        // Items sit in open space just above the floor.
+        for it in &w.item_spawns {
+            prop_assert_eq!(
+                w.contents(it.pos + vec3(0.0, 0.0, 8.0)),
+                Contents::Empty
+            );
+        }
+        // Teleporter destinations admit a standing player.
+        for &(_, dst) in &w.teleporters {
+            prop_assert!(w.player_fits(dst));
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(cfg in arb_config()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(a.brushes.len(), b.brushes.len());
+        prop_assert_eq!(&a.spawn_points, &b.spawn_points);
+        prop_assert_eq!(a.hull_player.node_count(), b.hull_player.node_count());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for BSP compilation and tracing.
+
+use parquake_bsp::tree::Contents;
+use parquake_bsp::{Brush, BspTree};
+use parquake_math::vec3::vec3;
+use parquake_math::{Aabb, Vec3};
+use proptest::prelude::*;
+
+const R: f32 = 100.0;
+
+fn arb_brush() -> impl Strategy<Value = Brush> {
+    (
+        -R..R,
+        -R..R,
+        -R..R,
+        4.0f32..60.0,
+        4.0f32..60.0,
+        4.0f32..60.0,
+    )
+        .prop_map(|(x, y, z, w, h, d)| {
+            Brush::solid(Aabb::new(vec3(x, y, z), vec3(x + w, y + h, z + d)))
+        })
+}
+
+fn arb_point() -> impl Strategy<Value = Vec3> {
+    (-R..R, -R..R, -R..R).prop_map(|(x, y, z)| vec3(x, y, z))
+}
+
+fn compile(brushes: &[Brush]) -> BspTree {
+    let bounds = Aabb::new(Vec3::splat(-R - 70.0), Vec3::splat(R + 70.0));
+    BspTree::compile(brushes, bounds, Vec3::ZERO, Vec3::ZERO)
+}
+
+fn brute_solid(brushes: &[Brush], p: Vec3) -> Option<bool> {
+    // None when the point is too close to any face for a decisive answer.
+    let eps = 0.01;
+    let mut solid = false;
+    for b in brushes {
+        let bb = &b.bounds;
+        let near_face = (0..3).any(|i| {
+            (p[i] - bb.min[i]).abs() < eps || (p[i] - bb.max[i]).abs() < eps
+        });
+        if near_face && bb.inflated(Vec3::splat(eps)).contains_point(p) {
+            return None;
+        }
+        if (0..3).all(|i| p[i] > bb.min[i] && p[i] < bb.max[i]) {
+            solid = true;
+        }
+    }
+    Some(solid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn contents_matches_brute_force(
+        brushes in prop::collection::vec(arb_brush(), 0..8),
+        points in prop::collection::vec(arb_point(), 32),
+    ) {
+        let tree = compile(&brushes);
+        for p in points {
+            if let Some(expect) = brute_solid(&brushes, p) {
+                let got = tree.contents(p) == Contents::Solid;
+                prop_assert_eq!(got, expect, "at {:?}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_fraction_is_in_unit_range(
+        brushes in prop::collection::vec(arb_brush(), 0..8),
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        let tree = compile(&brushes);
+        let tr = tree.trace(a, b);
+        prop_assert!((0.0..=1.0).contains(&tr.fraction));
+    }
+
+    #[test]
+    fn trace_end_is_not_inside_solid(
+        brushes in prop::collection::vec(arb_brush(), 0..8),
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        let tree = compile(&brushes);
+        let tr = tree.trace(a, b);
+        if !tr.start_solid {
+            prop_assert_ne!(tree.contents(tr.end), Contents::Solid,
+                "end {:?} for {:?} -> {:?}", tr.end, a, b);
+        }
+    }
+
+    #[test]
+    fn clean_trace_path_is_clear(
+        brushes in prop::collection::vec(arb_brush(), 0..8),
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        let tree = compile(&brushes);
+        let tr = tree.trace(a, b);
+        if tr.fraction == 1.0 && !tr.start_solid {
+            // Sample interior points; none may be decisively solid.
+            for k in 1..10 {
+                let p = a.lerp(b, k as f32 / 10.0);
+                if let Some(solid) = brute_solid(&brushes, p) {
+                    prop_assert!(!solid, "sample {:?} solid on clean trace", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone_in_target_distance(
+        brushes in prop::collection::vec(arb_brush(), 1..8),
+        a in arb_point(),
+        d in arb_point(),
+    ) {
+        // Tracing further in the same direction can only hit at the same
+        // point or further along.
+        let tree = compile(&brushes);
+        let t1 = tree.trace(a, a + d * 0.5);
+        let t2 = tree.trace(a, a + d);
+        if !t1.start_solid && !t2.start_solid && t1.hit() {
+            let d1 = (t1.end - a).length();
+            let d2 = (t2.end - a).length();
+            prop_assert!(d2 >= d1 - 0.1, "shorter trace went further: {d1} vs {d2}");
+        }
+    }
+}

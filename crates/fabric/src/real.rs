@@ -1,0 +1,419 @@
+//! The real-thread fabric: OS threads, parking_lot primitives,
+//! wall-clock time.
+//!
+//! Semantics mirror the pthreads environment of the original server.
+//! `charge()` spins for the requested duration — modelled work consumes
+//! real CPU — so workload shapes carry over between fabrics. Condition
+//! variables may wake spuriously (as pthreads allows); all callers must
+//! re-check predicates in a loop.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::lock_api::RawMutex as RawMutexTrait;
+use parking_lot::{Condvar, Mutex, RawMutex, RwLock};
+
+use crate::{CondId, Fabric, LockId, Message, Nanos, PortId, TaskBody, TaskCtx, TaskId};
+
+struct CondImpl {
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
+struct PortImpl {
+    q: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+/// OS-thread implementation of [`Fabric`].
+pub struct RealFabric {
+    epoch: Instant,
+    locks: RwLock<Vec<Arc<RawMutex>>>,
+    conds: RwLock<Vec<Arc<CondImpl>>>,
+    ports: RwLock<Vec<Arc<PortImpl>>>,
+    pending: Mutex<Vec<(String, TaskBody)>>,
+    me: Mutex<Option<Weak<dyn Fabric>>>,
+    started: Mutex<bool>,
+}
+
+impl RealFabric {
+    pub fn new() -> RealFabric {
+        RealFabric {
+            epoch: Instant::now(),
+            locks: RwLock::new(Vec::new()),
+            conds: RwLock::new(Vec::new()),
+            ports: RwLock::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+            me: Mutex::new(None),
+            started: Mutex::new(false),
+        }
+    }
+
+    /// Create behind an `Arc<dyn Fabric>` with the self-reference wired
+    /// up (needed to hand `TaskCtx`s to spawned threads).
+    pub fn new_arc() -> Arc<dyn Fabric> {
+        Self::new_arc_pair().1
+    }
+
+    /// As [`RealFabric::new_arc`], but also return the concrete handle —
+    /// needed by gateways that inject external traffic (e.g. the real
+    /// UDP bridge) via [`RealFabric::send_external`].
+    pub fn new_arc_pair() -> (Arc<RealFabric>, Arc<dyn Fabric>) {
+        let arc: Arc<RealFabric> = Arc::new(RealFabric::new());
+        let dyn_arc: Arc<dyn Fabric> = arc.clone();
+        let weak: Weak<dyn Fabric> = Arc::downgrade(&dyn_arc);
+        *arc.me.lock() = Some(weak);
+        (arc, dyn_arc)
+    }
+
+    /// Inject a datagram from *outside* the fabric (a plain OS thread,
+    /// e.g. a socket pump). Real fabric only: ports are plain queues,
+    /// so external producers are safe.
+    pub fn send_external(&self, from: PortId, to: PortId, payload: Vec<u8>) {
+        let p = self.port_ref(to);
+        let mut q = p.q.lock();
+        q.push_back(Message {
+            from,
+            sent_at: self.epoch.elapsed().as_nanos() as Nanos,
+            payload,
+        });
+        p.cv.notify_one();
+    }
+
+    fn lock_ref(&self, l: LockId) -> Arc<RawMutex> {
+        self.locks.read()[l as usize].clone()
+    }
+
+    fn cond_ref(&self, c: CondId) -> Arc<CondImpl> {
+        self.conds.read()[c as usize].clone()
+    }
+
+    fn port_ref(&self, p: PortId) -> Arc<PortImpl> {
+        self.ports.read()[p as usize].clone()
+    }
+
+    fn abs_instant(&self, t: Nanos) -> Instant {
+        self.epoch + Duration::from_nanos(t)
+    }
+}
+
+impl Default for RealFabric {
+    fn default() -> Self {
+        RealFabric::new()
+    }
+}
+
+impl Fabric for RealFabric {
+    fn kind(&self) -> &'static str {
+        "real"
+    }
+
+    fn alloc_lock(&self) -> LockId {
+        let mut v = self.locks.write();
+        v.push(Arc::new(RawMutex::INIT));
+        (v.len() - 1) as LockId
+    }
+
+    fn alloc_cond(&self) -> CondId {
+        let mut v = self.conds.write();
+        v.push(Arc::new(CondImpl {
+            m: Mutex::new(()),
+            cv: Condvar::new(),
+        }));
+        (v.len() - 1) as CondId
+    }
+
+    fn alloc_port(&self) -> PortId {
+        let mut v = self.ports.write();
+        v.push(Arc::new(PortImpl {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }));
+        (v.len() - 1) as PortId
+    }
+
+    fn spawn(&self, name: &str, _server_cpu: Option<u32>, body: TaskBody) -> TaskId {
+        let mut pending = self.pending.lock();
+        assert!(!*self.started.lock(), "spawn after run()");
+        pending.push((name.to_string(), body));
+        (pending.len() - 1) as TaskId
+    }
+
+    fn run(&self) {
+        {
+            let mut started = self.started.lock();
+            assert!(!*started, "run() called twice");
+            *started = true;
+        }
+        let tasks: Vec<(String, TaskBody)> = std::mem::take(&mut *self.pending.lock());
+        let me = self.me.lock().clone().expect(
+            "RealFabric must be created via new_arc()/FabricKind::build so tasks can \
+             reference it",
+        );
+        let mut handles = Vec::new();
+        for (i, (name, body)) in tasks.into_iter().enumerate() {
+            let weak = me.clone();
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .stack_size(1 << 20)
+                .spawn(move || {
+                    let fabric = weak.upgrade().expect("fabric dropped during run");
+                    let ctx = TaskCtx::new(i as TaskId, fabric);
+                    // A panicking task would leave peers blocked on
+                    // fabric primitives forever; fail the whole process
+                    // loudly instead of hanging.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        body(&ctx)
+                    }));
+                    if let Err(payload) = r {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        eprintln!("fatal: real-fabric task panicked: {msg}");
+                        std::process::abort();
+                    }
+                })
+                .expect("thread spawn failed");
+            handles.push(handle);
+        }
+        for h in handles {
+            h.join().expect("task panicked");
+        }
+    }
+
+    fn now(&self, _task: TaskId) -> Nanos {
+        self.epoch.elapsed().as_nanos() as Nanos
+    }
+
+    fn charge(&self, _task: TaskId, ns: Nanos) {
+        // Modelled work burns real CPU so contention shapes are
+        // preserved under real threads.
+        let target = Instant::now() + Duration::from_nanos(ns);
+        while Instant::now() < target {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn lock(&self, task: TaskId, lock: LockId) -> Nanos {
+        let l = self.lock_ref(lock);
+        if l.try_lock() {
+            return 0;
+        }
+        let t0 = self.now(task);
+        l.lock();
+        self.now(task) - t0
+    }
+
+    fn unlock(&self, _task: TaskId, lock: LockId) {
+        // SAFETY: protocol — the calling task holds the lock (verified
+        // in debug runs by the LinkTable owner checks layered above).
+        unsafe { self.lock_ref(lock).unlock() };
+    }
+
+    fn cond_wait(&self, task: TaskId, cond: CondId, lock: LockId) -> Nanos {
+        let c = self.cond_ref(cond);
+        let t0 = self.now(task);
+        {
+            let mut guard = c.m.lock();
+            // Release the user lock only after taking the condvar's
+            // internal mutex: signalers hold the user lock, so no
+            // wakeup can be lost in between.
+            self.unlock(task, lock);
+            c.cv.wait(&mut guard);
+        }
+        self.lock(task, lock);
+        self.now(task) - t0
+    }
+
+    fn cond_wait_until(
+        &self,
+        task: TaskId,
+        cond: CondId,
+        lock: LockId,
+        deadline: Nanos,
+    ) -> (Nanos, bool) {
+        let c = self.cond_ref(cond);
+        let t0 = self.now(task);
+        let timed_out;
+        {
+            let mut guard = c.m.lock();
+            self.unlock(task, lock);
+            let r = c.cv.wait_until(&mut guard, self.abs_instant(deadline));
+            timed_out = r.timed_out();
+        }
+        self.lock(task, lock);
+        (self.now(task) - t0, timed_out)
+    }
+
+    fn cond_signal(&self, _task: TaskId, cond: CondId) {
+        let c = self.cond_ref(cond);
+        let _guard = c.m.lock();
+        c.cv.notify_one();
+    }
+
+    fn cond_broadcast(&self, _task: TaskId, cond: CondId) {
+        let c = self.cond_ref(cond);
+        let _guard = c.m.lock();
+        c.cv.notify_all();
+    }
+
+    fn send(&self, task: TaskId, from: PortId, to: PortId, payload: Vec<u8>) {
+        let p = self.port_ref(to);
+        let mut q = p.q.lock();
+        q.push_back(Message {
+            from,
+            sent_at: self.now(task),
+            payload,
+        });
+        p.cv.notify_one();
+    }
+
+    fn try_recv(&self, _task: TaskId, port: PortId) -> Option<Message> {
+        self.port_ref(port).q.lock().pop_front()
+    }
+
+    fn wait_readable(&self, _task: TaskId, port: PortId, deadline: Option<Nanos>) -> bool {
+        let p = self.port_ref(port);
+        let mut q = p.q.lock();
+        loop {
+            if !q.is_empty() {
+                return true;
+            }
+            match deadline {
+                Some(d) => {
+                    if p.cv.wait_until(&mut q, self.abs_instant(d)).timed_out() {
+                        return !q.is_empty();
+                    }
+                }
+                None => p.cv.wait(&mut q),
+            }
+        }
+    }
+
+    fn sleep_until(&self, task: TaskId, t: Nanos) {
+        let now = self.now(task);
+        if t > now {
+            std::thread::sleep(Duration::from_nanos(t - now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FabricKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let fabric = FabricKind::Real.build();
+        let lock = fabric.alloc_lock();
+        let shared = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let s = shared.clone();
+            fabric.spawn(
+                "worker",
+                None,
+                Box::new(move |ctx| {
+                    for _ in 0..500 {
+                        ctx.lock(lock);
+                        // Non-atomic read-modify-write protected by the
+                        // fabric lock.
+                        let v = s.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        s.store(v + 1, Ordering::Relaxed);
+                        ctx.unlock(lock);
+                    }
+                }),
+            );
+        }
+        fabric.run();
+        assert_eq!(shared.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn message_roundtrip_and_timeout() {
+        let fabric = FabricKind::Real.build();
+        let a = fabric.alloc_port();
+        let b = fabric.alloc_port();
+        fabric.spawn(
+            "pinger",
+            None,
+            Box::new(move |ctx| {
+                ctx.send(a, b, vec![1, 2, 3]);
+                assert!(ctx.wait_readable(a, None));
+                let m = ctx.try_recv(a).unwrap();
+                assert_eq!(m.payload, vec![9]);
+                assert_eq!(m.from, b);
+            }),
+        );
+        fabric.spawn(
+            "ponger",
+            None,
+            Box::new(move |ctx| {
+                assert!(ctx.wait_readable(b, None));
+                let m = ctx.try_recv(b).unwrap();
+                assert_eq!(m.payload, vec![1, 2, 3]);
+                ctx.send(b, a, vec![9]);
+                // Timeout path: no more messages are coming.
+                let deadline = ctx.now() + 2_000_000; // 2ms
+                assert!(!ctx.wait_readable(b, Some(deadline)));
+            }),
+        );
+        fabric.run();
+    }
+
+    #[test]
+    fn cond_timed_wait_times_out() {
+        let fabric = FabricKind::Real.build();
+        let lock = fabric.alloc_lock();
+        let cond = fabric.alloc_cond();
+        fabric.spawn(
+            "waiter",
+            None,
+            Box::new(move |ctx| {
+                ctx.lock(lock);
+                let (_w, timed_out) = ctx.cond_wait_until(cond, lock, ctx.now() + 1_000_000);
+                assert!(timed_out);
+                ctx.unlock(lock);
+            }),
+        );
+        fabric.run();
+    }
+
+    #[test]
+    fn charge_advances_wall_clock() {
+        let fabric = FabricKind::Real.build();
+        let took = Arc::new(AtomicU64::new(0));
+        let t = took.clone();
+        fabric.spawn(
+            "burner",
+            None,
+            Box::new(move |ctx| {
+                let t0 = ctx.now();
+                ctx.charge(3_000_000); // 3 ms
+                t.store(ctx.now() - t0, Ordering::Relaxed);
+            }),
+        );
+        fabric.run();
+        assert!(took.load(Ordering::Relaxed) >= 3_000_000);
+    }
+
+    #[test]
+    fn sleep_until_reaches_target() {
+        let fabric = FabricKind::Real.build();
+        fabric.spawn(
+            "sleeper",
+            None,
+            Box::new(move |ctx| {
+                let target = ctx.now() + 2_000_000;
+                ctx.sleep_until(target);
+                assert!(ctx.now() >= target);
+            }),
+        );
+        fabric.run();
+    }
+}

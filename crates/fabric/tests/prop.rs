@@ -1,0 +1,126 @@
+//! Property-based tests for the virtual-time scheduler: determinism,
+//! mutual exclusion and clock monotonicity under randomized programs.
+
+use std::sync::{Arc, Mutex};
+
+use parquake_fabric::{Fabric, FabricKind, VirtualSmpConfig};
+use proptest::prelude::*;
+
+/// A small random program step executed by a task.
+#[derive(Clone, Debug)]
+enum Step {
+    Charge(u32),
+    Lock(u8),
+    Sleep(u32),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..5000).prop_map(Step::Charge),
+            (0u8..3).prop_map(Step::Lock),
+            (1u32..20_000).prop_map(Step::Sleep),
+        ],
+        1..12,
+    )
+}
+
+fn fabric() -> Arc<dyn Fabric> {
+    FabricKind::VirtualSmp(VirtualSmpConfig {
+        hyperthreading: false,
+        mem_penalty: 0.0,
+        link_latency_ns: 100,
+        ..VirtualSmpConfig::default()
+    })
+    .build()
+}
+
+/// Execute a program of tasks; return a per-event trace and verify
+/// lock-based mutual exclusion as we go.
+fn execute(programs: &[Vec<Step>]) -> Vec<(u32, u64)> {
+    let f = fabric();
+    let locks: Vec<_> = (0..3).map(|_| f.alloc_lock()).collect();
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let in_cs = Arc::new(Mutex::new([false; 3]));
+    for (id, prog) in programs.iter().enumerate() {
+        let prog = prog.clone();
+        let locks = locks.clone();
+        let trace = trace.clone();
+        let in_cs = in_cs.clone();
+        f.spawn(
+            &format!("t{id}"),
+            None,
+            Box::new(move |ctx| {
+                for step in &prog {
+                    match step {
+                        Step::Charge(ns) => ctx.charge(*ns as u64),
+                        Step::Sleep(ns) => {
+                            let t = ctx.now() + *ns as u64;
+                            ctx.sleep_until(t);
+                        }
+                        Step::Lock(l) => {
+                            ctx.lock(locks[*l as usize]);
+                            {
+                                let mut cs = in_cs.lock().unwrap();
+                                assert!(!cs[*l as usize], "two tasks inside CS {l}");
+                                cs[*l as usize] = true;
+                            }
+                            ctx.charge(100);
+                            {
+                                let mut cs = in_cs.lock().unwrap();
+                                cs[*l as usize] = false;
+                            }
+                            ctx.unlock(locks[*l as usize]);
+                        }
+                    }
+                    trace.lock().unwrap().push((id as u32, ctx.now()));
+                }
+            }),
+        );
+    }
+    f.run();
+    let t = trace.lock().unwrap().clone();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scheduler_is_deterministic(programs in prop::collection::vec(arb_steps(), 1..5)) {
+        let a = execute(&programs);
+        let b = execute(&programs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_task_clocks_are_monotone(programs in prop::collection::vec(arb_steps(), 1..5)) {
+        let trace = execute(&programs);
+        let mut last = vec![0u64; programs.len()];
+        for (id, t) in trace {
+            prop_assert!(t >= last[id as usize], "task {id} clock went backwards");
+            last[id as usize] = t;
+        }
+    }
+
+    #[test]
+    fn charges_accumulate_exactly_without_contention(steps in prop::collection::vec(1u64..10_000, 1..20)) {
+        // A single task with no contention: final clock == Σ charges.
+        let f = fabric();
+        let total: u64 = steps.iter().sum();
+        let out = Arc::new(Mutex::new(0u64));
+        let o = out.clone();
+        f.spawn(
+            "solo",
+            Some(0),
+            Box::new(move |ctx| {
+                for s in &steps {
+                    ctx.charge(*s);
+                }
+                *o.lock().unwrap() = ctx.now();
+            }),
+        );
+        f.run();
+        prop_assert_eq!(*out.lock().unwrap(), total);
+    }
+}

@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <subcommand> [options]
+//!
+//! subcommands:
+//!   table1            system configuration table
+//!   fig4              sequential vs 1-thread parallel overhead
+//!   fig5              parallel performance, baseline locking
+//!   fig6              parallel performance, optimized locking
+//!   fig7a|fig7b|fig7c locking overhead analysis
+//!   waitstats         §4.2/§5.2 imbalance and wait decomposition
+//!   batching          request batching study (paper future work)
+//!   onepass           one-pass locking study (paper future work)
+//!   dynassign         dynamic region-affine assignment (paper future work)
+//!   delta             QuakeWorld-style delta-compressed replies (extension)
+//!   timeline          per-frame CSV dump for one configuration
+//!   all               everything above in sequence
+//!
+//! options:
+//!   --quick           short runs, fewer player counts
+//!   --duration SECS   measured virtual seconds per configuration
+//!   --players LIST    comma-separated player counts (e.g. 64,128,160)
+//!   --seed N          map/workload seed
+//! ```
+
+use parquake_harness::figures::{
+    batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, onepass, table1,
+    waitstats,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!(
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|all> [options]"
+        );
+        std::process::exit(2);
+    };
+
+    let mut opts = SweepOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts = SweepOpts::quick(),
+            "--duration" => {
+                i += 1;
+                opts.duration_secs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--duration needs a number"));
+            }
+            "--players" => {
+                i += 1;
+                opts.players = args
+                    .get(i)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|p| p.parse().unwrap_or_else(|_| die("bad player count")))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| die("--players needs a list"));
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "table1" => println!("{}", table1::run()),
+        "fig4" => println!("{}", fig4::run(&opts)),
+        "fig5" => println!("{}", fig5::run(&opts)),
+        "fig6" => println!("{}", fig6::run(&opts)),
+        "fig7a" => println!("{}", fig7::run_a(&opts)),
+        "fig7b" => println!("{}", fig7::run_b(&opts)),
+        "fig7c" => println!("{}", fig7::run_c(&opts)),
+        "waitstats" => println!("{}", waitstats::run(&opts)),
+        "batching" => println!("{}", batching::run(&opts)),
+        "onepass" => println!("{}", onepass::run(&opts)),
+        "dynassign" => println!("{}", dynassign::run(&opts)),
+        "delta" => println!("{}", delta::run(&opts)),
+        "timeline" => {
+            // Per-frame CSV for one configuration (8 threads, optimized,
+            // last player count of the sweep).
+            use parquake_harness::figures::common::run_config;
+            use parquake_server::{LockPolicy, ServerKind};
+            let players = *opts.players.last().unwrap_or(&128);
+            let out = run_config(
+                players,
+                ServerKind::Parallel {
+                    threads: 8,
+                    locking: LockPolicy::Optimized,
+                },
+                &opts,
+            );
+            print!("{}", out.server.timeline.to_csv());
+            eprintln!(
+                "[repro] {} frames recorded, duration p50 {:.2} ms / p95 {:.2} ms",
+                out.server.timeline.len(),
+                out.server.timeline.duration_percentile(0.5) as f64 / 1e6,
+                out.server.timeline.duration_percentile(0.95) as f64 / 1e6,
+            );
+        }
+        "all" => {
+            println!("{}", table1::run());
+            println!("{}", fig4::run(&opts));
+            println!("{}", fig5::run(&opts));
+            println!("{}", fig6::run(&opts));
+            println!("{}", fig7::run_a(&opts));
+            println!("{}", fig7::run_b(&opts));
+            println!("{}", fig7::run_c(&opts));
+            println!("{}", waitstats::run(&opts));
+            println!("{}", batching::run(&opts));
+            println!("{}", onepass::run(&opts));
+            println!("{}", dynassign::run(&opts));
+            println!("{}", delta::run(&opts));
+        }
+        other => die(&format!("unknown subcommand {other}")),
+    }
+    eprintln!("[repro] completed in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,52 @@
+//! `udp_client` — drive real-UDP bots against a `udpd` gateway.
+//!
+//! ```text
+//! udp_client [--server 127.0.0.1:27500] [--threads 2] [--players 8] [--secs 5]
+//! ```
+
+use std::time::Duration;
+
+use parquake_harness::udp::run_udp_clients;
+
+fn main() {
+    let mut server: std::net::SocketAddr = "127.0.0.1:27500".parse().unwrap();
+    let mut threads = 2u32;
+    let mut players = 8u32;
+    let mut secs = 5u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => {
+                i += 1;
+                server = args[i].parse().expect("--server addr:port");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads");
+            }
+            "--players" => {
+                i += 1;
+                players = args[i].parse().expect("--players");
+            }
+            "--secs" => {
+                i += 1;
+                secs = args[i].parse().expect("--secs");
+            }
+            other => {
+                eprintln!("udp_client: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match run_udp_clients(server, threads, players, Duration::from_secs(secs)) {
+        Ok((sent, received, avg_ms)) => println!(
+            "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
+        ),
+        Err(e) => {
+            eprintln!("udp_client: {e}");
+            std::process::exit(1);
+        }
+    }
+}

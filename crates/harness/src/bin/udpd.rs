@@ -1,0 +1,62 @@
+//! `udpd` — serve parquake over real UDP sockets.
+//!
+//! ```text
+//! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
+//! ```
+//!
+//! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
+//! scheme). Pair with the `udp_client` binary or any protocol-speaking
+//! client.
+
+use std::time::Duration;
+
+use parquake_harness::udp::{run_udp_server, UdpServerOpts};
+
+fn main() {
+    let mut opts = UdpServerOpts::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                opts.base_port = args[i].parse().expect("--port needs a number");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args[i].parse().expect("--threads needs a number");
+            }
+            "--players" => {
+                i += 1;
+                opts.max_players = args[i].parse().expect("--players needs a number");
+            }
+            "--secs" => {
+                i += 1;
+                opts.duration = Duration::from_secs(args[i].parse().expect("--secs"));
+            }
+            other => {
+                eprintln!("udpd: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "udpd: {} threads on 127.0.0.1:{}..{}, {} player slots, {}s",
+        opts.threads,
+        opts.base_port,
+        opts.base_port + opts.threads as u16 - 1,
+        opts.max_players,
+        opts.duration.as_secs()
+    );
+    match run_udp_server(&opts) {
+        Ok(report) => println!(
+            "udpd: done — {} datagrams in, {} out, {} replies over {} frames",
+            report.datagrams_in, report.datagrams_out, report.replies, report.frames
+        ),
+        Err(e) => {
+            eprintln!("udpd: {e}");
+            std::process::exit(1);
+        }
+    }
+}

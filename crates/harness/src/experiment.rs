@@ -1,0 +1,220 @@
+//! Run one measured server configuration.
+
+use std::sync::Arc;
+
+use parquake_bots::{spawn_swarm, BotBehavior, BotSwarmConfig};
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{FabricKind, Nanos};
+use parquake_metrics::{Breakdown, ResponseStats};
+use parquake_server::{spawn_server, Assignment, CostModel, ServerConfig, ServerKind, ServerResults};
+use parquake_sim::GameWorld;
+
+/// One experiment configuration (a single bar/point in a figure).
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of automatic players.
+    pub players: u32,
+    /// Server under test.
+    pub server: ServerKind,
+    /// Map generator settings.
+    pub map: MapGenConfig,
+    /// Areanode tree depth (4 ⇒ the paper's default 31 nodes).
+    pub areanode_depth: u32,
+    /// Measured run length in fabric time.
+    pub duration_ns: Nanos,
+    /// Execution platform.
+    pub fabric: FabricKind,
+    /// Modelled CPU costs.
+    pub cost: CostModel,
+    /// Bot behaviour mix.
+    pub behavior: BotBehavior,
+    /// Workload seed (bots) — map seed lives in `map`.
+    pub seed: u64,
+    /// Client frame length in ms (one move per bot per frame).
+    pub client_frame_ms: u32,
+    /// Bot driver tasks (client machines).
+    pub bot_drivers: u32,
+    /// Run the dynamic locking-protocol checkers.
+    pub checking: bool,
+    /// Request batching window for the parallel server (paper §5.2
+    /// future work; 0 reproduces the measured paper behaviour).
+    pub frame_batch_ns: Nanos,
+    /// Player-to-thread assignment (static = the paper's scheme).
+    pub assignment: Assignment,
+    /// QuakeWorld-style delta-compressed replies (extension).
+    pub delta_compression: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            players: 64,
+            server: ServerKind::Sequential,
+            map: MapGenConfig::large_arena(0x6D_6D_31),
+            areanode_depth: 4,
+            duration_ns: 10_000_000_000, // 10 virtual seconds
+            fabric: FabricKind::VirtualSmp(Default::default()),
+            cost: CostModel::default(),
+            behavior: BotBehavior::deathmatch(),
+            seed: 0xB07_5EED,
+            client_frame_ms: 30,
+            bot_drivers: 8,
+            checking: cfg!(debug_assertions),
+            frame_batch_ns: 0,
+            assignment: Assignment::Static,
+            delta_compression: false,
+        }
+    }
+}
+
+/// Result of one experiment.
+pub struct Outcome {
+    pub server: ServerResults,
+    pub response: ResponseStats,
+    /// Bots that completed the connection handshake.
+    pub connected: u32,
+    /// The measured window (bots' send window).
+    pub duration_ns: Nanos,
+    /// Hash of the final world state (determinism checks).
+    pub world_hash: u64,
+    /// The final world state (scoreboards, item states, positions).
+    pub world: Arc<GameWorld>,
+}
+
+impl Outcome {
+    /// Total server response rate, replies/second (Fig 4b/5b/6b).
+    pub fn response_rate(&self) -> f64 {
+        self.response.response_rate(self.duration_ns)
+    }
+
+    /// Average response time in ms (Fig 4c/5c/6c).
+    pub fn avg_response_ms(&self) -> f64 {
+        self.response.avg_latency_ms()
+    }
+
+    /// Average per-thread execution breakdown (Fig 4a/5a/6a).
+    pub fn breakdown(&self) -> Breakdown {
+        self.server.average_breakdown()
+    }
+}
+
+/// A configured, runnable experiment.
+pub struct Experiment {
+    pub cfg: ExperimentConfig,
+}
+
+impl Experiment {
+    pub fn new(cfg: ExperimentConfig) -> Experiment {
+        Experiment { cfg }
+    }
+
+    /// Build the world, spawn server and swarm, run the fabric to
+    /// completion and collect every metric.
+    pub fn run(&self) -> Outcome {
+        let cfg = &self.cfg;
+        let map = Arc::new(cfg.map.generate());
+        let world = Arc::new(GameWorld::new(
+            map,
+            cfg.areanode_depth,
+            cfg.players.max(1) as u16,
+        ));
+        let fabric = cfg.fabric.build();
+
+        // The server runs a little longer than the bots send, so the
+        // final requests drain.
+        let server_cfg = ServerConfig {
+            kind: cfg.server,
+            end_time: cfg.duration_ns + 500_000_000,
+            cost: cfg.cost.clone(),
+            checking: cfg.checking,
+            frame_batch_ns: cfg.frame_batch_ns,
+            assignment: cfg.assignment,
+            delta_compression: cfg.delta_compression,
+        };
+        let server = spawn_server(&fabric, server_cfg, world.clone());
+
+        let swarm_cfg = BotSwarmConfig {
+            players: cfg.players,
+            drivers: cfg.bot_drivers,
+            client_frame_ms: cfg.client_frame_ms,
+            seed: cfg.seed,
+            send_until: cfg.duration_ns,
+            behavior: cfg.behavior.clone(),
+            think_cost_ns: 15_000,
+            jitter_ns: 8_000_000,
+        };
+        let spt = server.slots_per_thread;
+        let swarm = spawn_swarm(&fabric, &swarm_cfg, &server.ports, move |client| {
+            (client / spt) as usize
+        });
+
+        fabric.run();
+
+        let results = server.results.lock().unwrap().clone();
+        let response = swarm.stats.lock().unwrap().clone();
+        let connected = *swarm.connected.lock().unwrap();
+        Outcome {
+            server: results,
+            response,
+            connected,
+            duration_ns: cfg.duration_ns,
+            world_hash: world.world_hash(),
+            world,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_metrics::Bucket;
+    use parquake_server::LockPolicy;
+
+    fn quick(players: u32, server: ServerKind) -> ExperimentConfig {
+        ExperimentConfig {
+            players,
+            server,
+            map: MapGenConfig::small_arena(7),
+            duration_ns: 2_000_000_000,
+            bot_drivers: 4,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn sequential_smoke() {
+        let out = Experiment::new(quick(8, ServerKind::Sequential)).run();
+        assert_eq!(out.connected, 8, "all bots must connect");
+        assert!(out.response.received > 100, "replies: {}", out.response.received);
+        assert!(out.server.frame_count > 10);
+        let bd = out.breakdown();
+        assert!(bd.get(Bucket::Reply) > 0);
+        assert!(bd.get(Bucket::Exec) > 0);
+        // The sequential server takes no locks at all.
+        assert_eq!(bd.get(Bucket::Lock), 0);
+    }
+
+    #[test]
+    fn parallel_smoke() {
+        let out = Experiment::new(quick(
+            8,
+            ServerKind::Parallel {
+                threads: 2,
+                locking: LockPolicy::Baseline,
+            },
+        ))
+        .run();
+        assert_eq!(out.connected, 8);
+        assert!(out.response.received > 100);
+        assert_eq!(out.server.threads.len(), 2);
+    }
+
+    #[test]
+    fn determinism_on_virtual_fabric() {
+        let run = || {
+            let out = Experiment::new(quick(6, ServerKind::Sequential)).run();
+            (out.response.received, out.world_hash)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod batching;
+pub mod common;
+pub mod delta;
+pub mod dynassign;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod onepass;
+pub mod table1;
+pub mod waitstats;
+
+pub use common::SweepOpts;

@@ -1,0 +1,58 @@
+//! Figure 4: overhead of the parallel server.
+//!
+//! Sequential vs single-thread parallel (baseline locking) at 64, 96
+//! and 128 players: (a) execution-time breakdowns, (b) total response
+//! rate, (c) average response time. The paper finds the 1-thread
+//! parallel overhead under 5% at 64 players, rising to ~15% at 128
+//! (locking is performed in recursive procedures and regions must be
+//! determined), with negligible impact on response rate and time.
+
+use parquake_server::{LockPolicy, ServerKind};
+
+use crate::figures::common::{kind_label, render_outcomes, run_config, SweepOpts};
+
+/// Player counts used by the paper for this figure.
+pub fn default_players() -> Vec<u32> {
+    vec![64, 96, 128]
+}
+
+/// Run the sweep and render the figure.
+pub fn run(opts: &SweepOpts) -> String {
+    let players = if opts.players == SweepOpts::default().players {
+        default_players()
+    } else {
+        opts.players.clone()
+    };
+    let mut rows = Vec::new();
+    for &p in &players {
+        for kind in [
+            ServerKind::Sequential,
+            ServerKind::Parallel {
+                threads: 1,
+                locking: LockPolicy::Baseline,
+            },
+        ] {
+            let out = run_config(p, kind, opts);
+            rows.push((format!("{} {p}p", kind_label(kind)), out));
+        }
+    }
+    let mut s = render_outcomes("Figure 4: overhead of the parallel server", &rows);
+
+    // Headline comparison: per-player-count overhead of the parallel
+    // version (workload time, excluding idle/waits).
+    s.push_str("single-thread parallel overhead vs sequential (workload time):\n");
+    for chunk in rows.chunks(2) {
+        if let [(seq_label, seq), (_, par)] = chunk {
+            let seq_w = seq.server.merged().breakdown.workload() as f64;
+            let par_w = par.server.merged().breakdown.workload() as f64;
+            if seq_w > 0.0 {
+                s.push_str(&format!(
+                    "  {:>10}: {:+.1}%\n",
+                    seq_label.replace("seq ", ""),
+                    (par_w / seq_w - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    s
+}

@@ -1,0 +1,45 @@
+//! Figure 5: parallel server performance (baseline locking).
+//!
+//! 2/4/8 threads across 64–160 players: (a) breakdowns, (b) response
+//! rate, (c) response time. The paper's findings: saturation at 128,
+//! 144 and 160 players for 2, 4 and 8 threads; receive and reply scale;
+//! lock time grows from ~2% to ~35%; inter-/intra-frame waits reach
+//! 40%+; at 8 threads lock+wait dominate (up to 70%).
+
+use parquake_server::{LockPolicy, ServerKind};
+
+use crate::experiment::Outcome;
+use crate::figures::common::{
+    kind_label, render_lock_stats, render_outcomes, run_config, SweepOpts,
+};
+
+/// The thread counts of the figure.
+pub const THREAD_COUNTS: [u32; 3] = [2, 4, 8];
+
+/// Run the full sweep for a given lock policy; returns labelled rows.
+pub fn sweep(policy: LockPolicy, opts: &SweepOpts) -> Vec<(String, Outcome)> {
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        for &p in &opts.players {
+            let kind = ServerKind::Parallel {
+                threads,
+                locking: policy,
+            };
+            let out = run_config(p, kind, opts);
+            rows.push((format!("{} {p}p", kind_label(kind)), out));
+        }
+    }
+    rows
+}
+
+/// Run the sweep and render the figure.
+pub fn run(opts: &SweepOpts) -> String {
+    let rows = sweep(LockPolicy::Baseline, opts);
+    let mut s = render_outcomes(
+        "Figure 5: parallel server performance (baseline locking)",
+        &rows,
+    );
+    s.push_str("lock statistics:\n");
+    s.push_str(&render_lock_stats(&rows));
+    s
+}

@@ -1,0 +1,106 @@
+//! Figure 7: locking overhead and contention analysis (paper §5.1).
+//!
+//! * (a) share of lock time due to parent vs leaf areanode locking per
+//!   thread count — leaves dominate and their share grows with threads
+//!   and players;
+//! * (b) average percentage of *distinct* leaf areanodes locked per
+//!   request as the total areanode count grows from 3 to 63 — a rapid
+//!   drop that flattens between 31 and 63 nodes, with 40%/30% of leaf
+//!   lock events being re-locks at 31/63 nodes;
+//! * (c) average percentage of leaves locked by at least two threads
+//!   per frame — rising steeply with players, with a knee between 128
+//!   and 144 and near-100% at saturation.
+
+use parquake_metrics::report::{f, numeric_table};
+use parquake_server::{LockPolicy, ServerKind};
+
+use crate::figures::common::{kind_label, run_config, SweepOpts};
+
+/// Figure 7(a): parent vs leaf lock-time shares.
+pub fn run_a(opts: &SweepOpts) -> String {
+    let mut rows = Vec::new();
+    for threads in [2u32, 4, 8] {
+        for &p in &opts.players {
+            let kind = ServerKind::Parallel {
+                threads,
+                locking: LockPolicy::Baseline,
+            };
+            let out = run_config(p, kind, opts);
+            let m = out.server.merged();
+            rows.push(vec![
+                format!("{} {p}p", kind_label(kind)),
+                f(m.lock.leaf_share() * 100.0, 1),
+                f((1.0 - m.lock.leaf_share()) * 100.0, 1),
+                m.lock.leaf_ops.to_string(),
+                m.lock.parent_ops.to_string(),
+            ]);
+        }
+    }
+    let mut s =
+        String::from("== Figure 7a: lock time share, leaf vs parent areanode locking ==\n\n");
+    s.push_str(&numeric_table(
+        &["configuration", "leaf%", "parent%", "leaf-ops", "parent-ops"],
+        &rows,
+    ));
+    s
+}
+
+/// Figure 7(b): distinct leaves locked per request vs areanode count.
+pub fn run_b(opts: &SweepOpts) -> String {
+    let players = *opts.players.iter().min().unwrap_or(&64);
+    let mut rows = Vec::new();
+    for depth in 1..=5u32 {
+        let node_count = (1u32 << (depth + 1)) - 1;
+        let kind = ServerKind::Parallel {
+            threads: 4,
+            locking: LockPolicy::Baseline,
+        };
+        let sweep = SweepOpts {
+            depth,
+            ..opts.clone()
+        };
+        let out = run_config(players, kind, &sweep);
+        let m = out.server.merged();
+        rows.push(vec![
+            format!("{node_count} areanodes ({} leaves)", 1 << depth),
+            f(m.lock.avg_distinct_leaf_percent(), 1),
+            f(m.lock.avg_distinct_leaves(), 2),
+            f(m.lock.relock_fraction() * 100.0, 1),
+        ]);
+    }
+    let mut s = format!(
+        "== Figure 7b: distinct leaf areanodes locked per request ({players} players, 4 threads) ==\n\n"
+    );
+    s.push_str(&numeric_table(
+        &["tree size", "leaves/req %", "leaves/req", "relock%"],
+        &rows,
+    ));
+    s
+}
+
+/// Figure 7(c): leaves locked by ≥ 2 threads per frame.
+pub fn run_c(opts: &SweepOpts) -> String {
+    let mut rows = Vec::new();
+    for threads in [2u32, 4, 8] {
+        for &p in &opts.players {
+            let kind = ServerKind::Parallel {
+                threads,
+                locking: LockPolicy::Baseline,
+            };
+            let out = run_config(p, kind, opts);
+            rows.push(vec![
+                format!("{} {p}p", kind_label(kind)),
+                f(out.server.frames.avg_shared_leaf_percent(), 1),
+                f(out.server.frames.avg_touched_leaf_percent(), 1),
+            ]);
+        }
+    }
+    let mut s = String::from(
+        "== Figure 7c: leaf areanodes locked by at least two threads per frame ==\n\n",
+    );
+    s.push_str(&numeric_table(
+        &["configuration", "shared-leaves%", "touched-leaves%"],
+        &rows,
+    ));
+    s
+}

@@ -1,0 +1,95 @@
+//! §4.2 and §5.2 statistics: per-frame workload imbalance and the
+//! decomposition of inter-frame wait time.
+//!
+//! The paper reports, at 128 players: 4 / 2.5 / 1.5 requests per thread
+//! per frame for 2/4/8 threads; for the 2-thread configuration a mean
+//! per-frame request difference of 3.3 (σ 2.5); and that ~25% of
+//! inter-frame wait is due to the world update with ~75% due to waiting
+//! for the previous frame to complete.
+
+use parquake_metrics::report::{f, numeric_table};
+use parquake_metrics::Bucket;
+use parquake_server::{LockPolicy, ServerKind};
+
+use crate::figures::common::{kind_label, run_config, SweepOpts};
+
+/// Run the analysis at a fixed player count (the paper uses 128).
+pub fn run(opts: &SweepOpts) -> String {
+    let players = if opts.players.contains(&128) {
+        128
+    } else {
+        *opts.players.last().unwrap_or(&128)
+    };
+    let mut rows = Vec::new();
+    for threads in [2u32, 4, 8] {
+        let kind = ServerKind::Parallel {
+            threads,
+            locking: LockPolicy::Optimized,
+        };
+        let out = run_config(players, kind, opts);
+        let fs = &out.server.frames;
+        let m = out.server.merged();
+        let reqs_per_thread_frame = if fs.frames > 0 && fs.participants_sum > 0 {
+            fs.requests_sum as f64 / fs.participants_sum as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            format!("{} {players}p", kind_label(kind)),
+            f(reqs_per_thread_frame, 2),
+            f(fs.mean_imbalance(), 2),
+            f(fs.stddev_imbalance(), 2),
+            f(fs.interwait_world_share() * 100.0, 1),
+            f((1.0 - fs.interwait_world_share()) * 100.0, 1),
+            f(m.breakdown.fraction_non_idle(Bucket::InterWait) * 100.0, 1),
+            f(m.breakdown.fraction_non_idle(Bucket::IntraWait) * 100.0, 1),
+            f(
+                100.0 * fs.frames_waited_on_world as f64
+                    / (fs.frames.max(1) * threads as u64) as f64,
+                1,
+            ),
+        ]);
+    }
+    let mut s = format!("== Wait-time analysis at {players} players (paper 4.2 / 5.2) ==\n\n");
+    s.push_str(&numeric_table(
+        &[
+            "configuration",
+            "req/thr/frame",
+            "imb-mean",
+            "imb-sd",
+            "iw-world%",
+            "iw-frame%",
+            "interwait%ni",
+            "intrawait%ni",
+            "frames-waited-world%",
+        ],
+        &rows,
+    ));
+
+    // The paper's exact §4.2 measurement: the per-frame request
+    // difference over the first fifty consecutive multi-threaded frames
+    // of the 2-thread configuration.
+    let kind = ServerKind::Parallel {
+        threads: 2,
+        locking: LockPolicy::Optimized,
+    };
+    let out = run_config(players, kind, opts);
+    let first50 = out.server.timeline.first_multithreaded(50);
+    if !first50.is_empty() {
+        let diffs: Vec<u32> = first50.iter().map(|f| f.imbalance()).collect();
+        let mean = diffs.iter().sum::<u32>() as f64 / diffs.len() as f64;
+        let var = diffs
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / diffs.len() as f64;
+        s.push_str(&format!(
+            "\nfirst {} multi-threaded frames (2 threads): per-frame request diff\n  mean {:.2}, sd {:.2} (paper: 3.3, sd 2.5)\n  series: {:?}\n",
+            diffs.len(),
+            mean,
+            var.sqrt(),
+            diffs
+        ));
+    }
+    s
+}

@@ -1,0 +1,13 @@
+//! Experiment harness: everything needed to regenerate the paper's
+//! evaluation (Figures 4–7, Table 1, and the §4.2/§5.2 statistics).
+//!
+//! [`experiment`] assembles a world, a server, and a bot swarm on a
+//! fabric and runs one measured configuration; [`figures`] sweeps
+//! configurations and prints the tables corresponding to each figure;
+//! the `repro` binary exposes one subcommand per figure.
+
+pub mod experiment;
+pub mod figures;
+pub mod udp;
+
+pub use experiment::{Experiment, ExperimentConfig, Outcome};

@@ -1,0 +1,294 @@
+//! Real-network UDP gateway: runs the parallel server on the
+//! real-thread fabric and bridges its fabric ports to actual
+//! `std::net::UdpSocket`s — one socket per server thread, like the
+//! original's one-UDP-port-per-thread scheme (paper §3.1).
+//!
+//! Architecture:
+//!
+//! ```text
+//!   UDP 0.0.0.0:base+t  ──(pump-in OS thread)──►  fabric port[t]
+//!   fabric gateway port ──(pump-out fabric task)─►  UdpSocket.send_to
+//! ```
+//!
+//! Inbound pumps are plain OS threads injecting datagrams with
+//! [`parquake_fabric::real::RealFabric::send_external`]; outbound pumps
+//! are fabric tasks owning one gateway port per server thread, so the
+//! server's ordinary `ctx.send(reply_port, …)` path works unchanged.
+//! Client addresses are learned from inbound traffic (client id →
+//! `SocketAddr`).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::real::RealFabric;
+use parquake_fabric::{Nanos, PortId};
+use parquake_protocol::{ClientMessage, Decode, ServerMessage};
+use parquake_server::{spawn_server, LockPolicy, ServerConfig, ServerKind};
+use parquake_sim::GameWorld;
+
+/// Gateway options.
+#[derive(Clone, Debug)]
+pub struct UdpServerOpts {
+    /// First UDP port; thread `t` listens on `base_port + t`.
+    pub base_port: u16,
+    pub threads: u32,
+    pub max_players: u16,
+    pub map: MapGenConfig,
+    /// Wall-clock run time.
+    pub duration: Duration,
+    pub locking: LockPolicy,
+}
+
+impl Default for UdpServerOpts {
+    fn default() -> Self {
+        UdpServerOpts {
+            base_port: 27500, // the classic QuakeWorld port
+            threads: 2,
+            max_players: 32,
+            map: MapGenConfig::small_arena(1),
+            duration: Duration::from_secs(5),
+            locking: LockPolicy::Optimized,
+        }
+    }
+}
+
+/// Summary returned when the gateway shuts down.
+#[derive(Debug, Default, Clone)]
+pub struct UdpServerReport {
+    pub datagrams_in: u64,
+    pub datagrams_out: u64,
+    pub replies: u64,
+    pub frames: u64,
+}
+
+/// Run the server with real UDP sockets until `opts.duration` elapses.
+/// Binds `threads` sockets on `127.0.0.1:base_port..`; returns a traffic
+/// report. Fails with `std::io::Error` if binding is not permitted.
+pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> {
+    let (real, fabric) = RealFabric::new_arc_pair();
+    let world = Arc::new(GameWorld::new(
+        Arc::new(opts.map.generate()),
+        4,
+        opts.max_players,
+    ));
+    let end_time: Nanos = opts.duration.as_nanos() as Nanos;
+    let server_cfg = ServerConfig {
+        kind: ServerKind::Parallel {
+            threads: opts.threads,
+            locking: opts.locking,
+        },
+        ..ServerConfig::new(
+            ServerKind::Parallel {
+                threads: opts.threads,
+                locking: opts.locking,
+            },
+            end_time,
+        )
+    };
+    let handle = spawn_server(&fabric, server_cfg, world);
+
+    // One socket per server thread, plus a gateway fabric port per
+    // thread for the outbound direction.
+    let mut sockets = Vec::new();
+    let mut gateways: Vec<PortId> = Vec::new();
+    for t in 0..opts.threads {
+        let sock = UdpSocket::bind(("127.0.0.1", opts.base_port + t as u16))?;
+        sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+        sockets.push(sock);
+        gateways.push(fabric.alloc_port());
+    }
+
+    // Client address book, shared between pumps.
+    let addrs: Arc<Mutex<HashMap<u32, SocketAddr>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stats_in = Arc::new(Mutex::new(0u64));
+    let stats_out = Arc::new(Mutex::new(0u64));
+
+    // Outbound pumps: fabric tasks draining each gateway port.
+    for t in 0..opts.threads as usize {
+        let sock = sockets[t].try_clone()?;
+        let gw = gateways[t];
+        let addrs = addrs.clone();
+        let stats_out = stats_out.clone();
+        fabric.spawn(
+            &format!("udp-out-{t}"),
+            None,
+            Box::new(move |ctx| {
+                let mut sent = 0u64;
+                while ctx.wait_readable(gw, Some(end_time)) {
+                    while let Some(msg) = ctx.try_recv(gw) {
+                        let client = match ServerMessage::from_bytes(&msg.payload) {
+                            Ok(ServerMessage::ConnectAck { client_id, .. }) => Some(client_id),
+                            Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
+                            Ok(ServerMessage::Bye { client_id }) => Some(client_id),
+                            Err(_) => None,
+                        };
+                        if let Some(cid) = client {
+                            if let Some(addr) = addrs.lock().unwrap().get(&cid).copied() {
+                                if sock.send_to(&msg.payload, addr).is_ok() {
+                                    sent += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                *stats_out.lock().unwrap() += sent;
+            }),
+        );
+    }
+
+    // Inbound pumps: plain OS threads feeding the server's ports.
+    let mut pump_handles = Vec::new();
+    for t in 0..opts.threads as usize {
+        let sock = sockets[t].try_clone()?;
+        let real = real.clone();
+        let server_port = handle.ports[t];
+        let gw = gateways[t];
+        let addrs = addrs.clone();
+        let stats_in = stats_in.clone();
+        let deadline = std::time::Instant::now() + opts.duration;
+        pump_handles.push(std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            let mut received = 0u64;
+            while std::time::Instant::now() < deadline {
+                match sock.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        received += 1;
+                        // Learn/refresh the sender's address.
+                        if let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) {
+                            let cid = match msg {
+                                ClientMessage::Connect { client_id }
+                                | ClientMessage::Move { client_id, .. }
+                                | ClientMessage::Disconnect { client_id } => client_id,
+                            };
+                            addrs.lock().unwrap().insert(cid, from);
+                        }
+                        // Forward verbatim; the server validates again.
+                        real.send_external(gw, server_port, buf[..n].to_vec());
+                    }
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            *stats_in.lock().unwrap() += received;
+        }));
+    }
+
+    fabric.run();
+    for h in pump_handles {
+        let _ = h.join();
+    }
+
+    let results = handle.results.lock().unwrap();
+    let datagrams_in = *stats_in.lock().unwrap();
+    let datagrams_out = *stats_out.lock().unwrap();
+    Ok(UdpServerReport {
+        datagrams_in,
+        datagrams_out,
+        replies: results.merged().replies,
+        frames: results.frame_count,
+    })
+}
+
+/// A minimal real-UDP client: drives `players` bots against a gateway
+/// for `duration`, returns (sent, received, avg latency ms).
+pub fn run_udp_clients(
+    server: SocketAddr,
+    threads: u32,
+    players: u32,
+    duration: Duration,
+) -> std::io::Result<(u64, u64, f64)> {
+    use parquake_protocol::Encode;
+
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.set_read_timeout(Some(Duration::from_millis(5)))?;
+    let start = std::time::Instant::now();
+    let mut acked = vec![false; players as usize];
+    let mut seq = vec![0u32; players as usize];
+    let mut cur_thread = vec![0u32; players as usize];
+    let mut next_at = vec![Duration::ZERO; players as usize];
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut latency_sum = 0f64;
+    let mut buf = [0u8; 4096];
+
+    let port_of = |t: u32, base: SocketAddr| {
+        let mut a = base;
+        a.set_port(base.port() + (t as u16 % threads as u16));
+        a
+    };
+
+    while start.elapsed() < duration {
+        let now_ns = start.elapsed().as_nanos() as u64;
+        for i in 0..players as usize {
+            if start.elapsed() < next_at[i] {
+                continue;
+            }
+            let msg = if !acked[i] {
+                next_at[i] = start.elapsed() + Duration::from_millis(100);
+                ClientMessage::Connect { client_id: i as u32 }
+            } else {
+                seq[i] += 1;
+                next_at[i] = start.elapsed() + Duration::from_millis(30);
+                ClientMessage::Move {
+                    client_id: i as u32,
+                    cmd: parquake_protocol::MoveCmd {
+                        seq: seq[i],
+                        sent_at: now_ns,
+                        pitch: 0.0,
+                        yaw: (i as f32 * 37.0) % 360.0 - 180.0,
+                        forward: 320.0,
+                        side: 0.0,
+                        up: 0.0,
+                        buttons: parquake_protocol::Buttons::NONE,
+                        msec: 30,
+                    },
+                }
+            };
+            let target = port_of(cur_thread[i], server);
+            if sock.send_to(&msg.to_bytes(), target).is_ok() {
+                sent += 1;
+            }
+        }
+        // Drain replies briefly.
+        while let Ok((n, _)) = sock.recv_from(&mut buf) {
+            match ServerMessage::from_bytes(&buf[..n]) {
+                Ok(ServerMessage::ConnectAck { client_id, .. }) => {
+                    if let Some(a) = acked.get_mut(client_id as usize) {
+                        *a = true;
+                    }
+                }
+                Ok(ServerMessage::Reply {
+                    client_id,
+                    sent_at_echo,
+                    assigned_thread,
+                    ..
+                }) => {
+                    received += 1;
+                    let now = start.elapsed().as_nanos() as u64;
+                    if sent_at_echo > 0 && now > sent_at_echo {
+                        latency_sum += (now - sent_at_echo) as f64 / 1e6;
+                    }
+                    if let Some(t) = cur_thread.get_mut(client_id as usize) {
+                        *t = assigned_thread as u32;
+                    }
+                }
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let avg = if received > 0 {
+        latency_sum / received as f64
+    } else {
+        0.0
+    };
+    Ok((sent, received, avg))
+}

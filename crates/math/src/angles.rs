@@ -1,0 +1,164 @@
+//! View-angle handling.
+//!
+//! Move commands carry the player's view angles (paper §2.3 item i).
+//! Angles follow the Quake convention: degrees, `yaw` rotates about +Z
+//! (0 = +X, counter-clockwise), `pitch` is positive *down*, `roll` is
+//! unused by movement but carried for completeness.
+
+use crate::vec3::{vec3, Vec3};
+
+/// View angles in degrees.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Angles {
+    /// Positive pitches the view down.
+    pub pitch: f32,
+    /// Heading about +Z; 0 looks along +X.
+    pub yaw: f32,
+    pub roll: f32,
+}
+
+impl Angles {
+    pub const fn new(pitch: f32, yaw: f32, roll: f32) -> Self {
+        Angles { pitch, yaw, roll }
+    }
+
+    /// Pure-yaw angles (level view).
+    pub const fn yawed(yaw: f32) -> Self {
+        Angles {
+            pitch: 0.0,
+            yaw,
+            roll: 0.0,
+        }
+    }
+
+    /// Forward, right and up unit vectors for these angles
+    /// (Quake's `AngleVectors`).
+    pub fn basis(&self) -> (Vec3, Vec3, Vec3) {
+        let (sy, cy) = self.yaw.to_radians().sin_cos();
+        let (sp, cp) = self.pitch.to_radians().sin_cos();
+        let (sr, cr) = self.roll.to_radians().sin_cos();
+
+        let forward = vec3(cp * cy, cp * sy, -sp);
+        // Quake's AngleVectors: right already points to the player's
+        // right (forward × up = −Y when facing +X in Z-up coordinates).
+        let right = vec3(
+            -sr * sp * cy + cr * sy,
+            -sr * sp * sy - cr * cy,
+            -sr * cp,
+        );
+        let up = vec3(
+            cr * sp * cy + sr * sy,
+            cr * sp * sy - sr * cy,
+            cr * cp,
+        );
+        (forward, right, up)
+    }
+
+    /// Just the forward vector.
+    pub fn forward(&self) -> Vec3 {
+        self.basis().0
+    }
+
+    /// Normalize each angle into `[-180, 180)`.
+    pub fn normalized(&self) -> Angles {
+        Angles {
+            pitch: wrap_degrees(self.pitch),
+            yaw: wrap_degrees(self.yaw),
+            roll: wrap_degrees(self.roll),
+        }
+    }
+
+    /// Angles that look from `from` towards `to`.
+    pub fn looking_at(from: Vec3, to: Vec3) -> Angles {
+        let d = to - from;
+        let yaw = d.y.atan2(d.x).to_degrees();
+        let horiz = d.length_xy();
+        let pitch = if horiz > 1e-6 || d.z.abs() > 1e-6 {
+            (-d.z).atan2(horiz).to_degrees()
+        } else {
+            0.0
+        };
+        Angles::new(pitch, yaw, 0.0)
+    }
+}
+
+/// Wrap an angle in degrees into `[-180, 180)`.
+pub fn wrap_degrees(a: f32) -> f32 {
+    let mut a = a % 360.0;
+    if a >= 180.0 {
+        a -= 360.0;
+    } else if a < -180.0 {
+        a += 360.0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).length() < 1e-5
+    }
+
+    #[test]
+    fn yaw_zero_faces_plus_x() {
+        let (f, r, u) = Angles::yawed(0.0).basis();
+        assert!(close(f, vec3(1.0, 0.0, 0.0)), "f = {f:?}");
+        assert!(close(r, vec3(0.0, -1.0, 0.0)), "r = {r:?}");
+        assert!(close(u, vec3(0.0, 0.0, 1.0)), "u = {u:?}");
+    }
+
+    #[test]
+    fn yaw_90_faces_plus_y() {
+        let (f, _, _) = Angles::yawed(90.0).basis();
+        assert!(close(f, vec3(0.0, 1.0, 0.0)), "f = {f:?}");
+    }
+
+    #[test]
+    fn pitch_down_lowers_forward() {
+        let (f, _, _) = Angles::new(45.0, 0.0, 0.0).basis();
+        assert!(f.z < -0.5, "f = {f:?}");
+        assert!((f.length() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let (f, r, u) = Angles::new(30.0, 120.0, 10.0).basis();
+        assert!((f.length() - 1.0).abs() < 1e-5);
+        assert!((r.length() - 1.0).abs() < 1e-5);
+        assert!((u.length() - 1.0).abs() < 1e-5);
+        assert!(f.dot(r).abs() < 1e-5);
+        assert!(f.dot(u).abs() < 1e-5);
+        assert!(r.dot(u).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wrap_degrees_range() {
+        assert_eq!(wrap_degrees(0.0), 0.0);
+        assert_eq!(wrap_degrees(350.0), -10.0);
+        assert_eq!(wrap_degrees(-190.0), 170.0);
+        assert_eq!(wrap_degrees(720.0), 0.0);
+        assert_eq!(wrap_degrees(180.0), -180.0);
+    }
+
+    #[test]
+    fn looking_at_recovers_direction() {
+        let from = vec3(0.0, 0.0, 0.0);
+        let to = vec3(10.0, 10.0, 0.0);
+        let a = Angles::looking_at(from, to);
+        assert!((a.yaw - 45.0).abs() < 1e-4);
+        assert!(a.pitch.abs() < 1e-4);
+        let f = a.forward();
+        assert!(close(f, (to - from).normalized()));
+    }
+
+    #[test]
+    fn looking_at_pitch_sign() {
+        // Target below: positive pitch (down) in Quake convention.
+        let a = Angles::looking_at(vec3(0.0, 0.0, 10.0), vec3(10.0, 0.0, 0.0));
+        assert!(a.pitch > 0.0);
+        let f = a.forward();
+        assert!(f.z < 0.0);
+    }
+}

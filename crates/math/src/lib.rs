@@ -1,0 +1,55 @@
+//! Vector math substrate for `parquake`.
+//!
+//! Everything in the game world lives in a right-handed, Z-up coordinate
+//! space measured in *units* (one unit ≈ one inch, following the Quake
+//! convention the reproduced paper inherits). This crate provides the
+//! small, dependency-free geometric vocabulary shared by the BSP world,
+//! the areanode tree and the movement simulation:
+//!
+//! * [`Vec3`] — `f32` 3-vectors with the usual operations,
+//! * [`Aabb`] — axis-aligned bounding boxes and swept-box tests,
+//! * [`plane`] — axis-aligned and general splitting planes,
+//! * [`angles`] — view angles to basis vector conversion,
+//! * [`rng`] — a tiny deterministic RNG so substrates stay seedable
+//!   without pulling `rand` into every crate.
+
+pub mod aabb;
+pub mod angles;
+pub mod plane;
+pub mod rng;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use plane::{Axis, AxisPlane, Plane, Side};
+pub use rng::Pcg32;
+pub use vec3::Vec3;
+
+/// Floating point tolerance used throughout collision code.
+///
+/// Quake used `DIST_EPSILON = 0.03125` (1/32 unit) to keep traces from
+/// tunnelling through planes due to f32 rounding; we keep the same value
+/// so trace behaviour matches the original's feel.
+pub const DIST_EPSILON: f32 = 0.031_25;
+
+/// Clamp `v` into `[lo, hi]`.
+#[inline]
+pub fn clampf(v: f32, lo: f32, hi: f32) -> f32 {
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clampf_clamps_both_ends() {
+        assert_eq!(clampf(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clampf(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clampf(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn dist_epsilon_matches_quake() {
+        assert_eq!(DIST_EPSILON, 1.0 / 32.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! `f32` 3-vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component `f32` vector in world space (Z up).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+/// Shorthand constructor: `vec3(x, y, z)`.
+#[inline]
+pub const fn vec3(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = vec3(0.0, 0.0, 0.0);
+    pub const ONE: Vec3 = vec3(1.0, 1.0, 1.0);
+    pub const UP: Vec3 = vec3(0.0, 0.0, 1.0);
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        vec3(x, y, z)
+    }
+
+    /// All components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        vec3(v, v, v)
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        vec3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn length_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_sq().sqrt()
+    }
+
+    /// Horizontal (XY-plane) length, used for ground speed.
+    #[inline]
+    pub fn length_xy(self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Unit vector in the same direction, or zero if the vector is
+    /// (numerically) zero — the Quake convention for degenerate inputs.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len > 1e-12 {
+            self / len
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f32 {
+        (self - o).length()
+    }
+
+    #[inline]
+    pub fn distance_sq(self, o: Vec3) -> f32 {
+        (self - o).length_sq()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        vec3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        vec3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        vec3(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `o` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f32) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// `a + b * scale` — the `VectorMA` idiom from the original server,
+    /// used pervasively in movement code.
+    #[inline]
+    pub fn mul_add(self, dir: Vec3, scale: f32) -> Vec3 {
+        vec3(
+            self.x + dir.x * scale,
+            self.y + dir.y * scale,
+            self.z + dir.z * scale,
+        )
+    }
+
+    /// True when every component is finite (guards against NaN motion).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Access by axis index: 0 = x, 1 = y, 2 = z.
+    #[inline]
+    pub fn axis(self, i: usize) -> f32 {
+        self[i]
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, i: usize) -> &f32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        vec3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f32) -> Vec3 {
+        vec3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        vec3(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Debug for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = vec3(1.0, 2.0, 3.0);
+        let b = vec3(4.0, 5.0, 6.0);
+        assert_eq!(a + b, vec3(5.0, 7.0, 9.0));
+        assert_eq!(b - a, vec3(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, vec3(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, vec3(0.5, 1.0, 1.5));
+        assert_eq!(-a, vec3(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = vec3(1.0, 0.0, 0.0);
+        let y = vec3(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), vec3(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), vec3(0.0, 0.0, -1.0));
+        assert_eq!(vec3(2.0, 3.0, 4.0).dot(vec3(5.0, 6.0, 7.0)), 56.0);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = vec3(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_xy(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = vec3(0.0, 0.0, 0.0);
+        let b = vec3(10.0, -10.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), vec3(5.0, -5.0, 2.0));
+    }
+
+    #[test]
+    fn mul_add_matches_vector_ma() {
+        let origin = vec3(1.0, 1.0, 1.0);
+        let dir = vec3(0.0, 0.0, -1.0);
+        assert_eq!(origin.mul_add(dir, 3.0), vec3(1.0, 1.0, -2.0));
+    }
+
+    #[test]
+    fn indexing_by_axis() {
+        let mut v = vec3(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+        v[2] = 1.0;
+        assert_eq!(v.z, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = vec3(0.0, 0.0, 0.0)[3];
+    }
+
+    #[test]
+    fn component_min_max_abs() {
+        let a = vec3(1.0, -5.0, 3.0);
+        let b = vec3(-2.0, 4.0, 3.5);
+        assert_eq!(a.min(b), vec3(-2.0, -5.0, 3.0));
+        assert_eq!(a.max(b), vec3(1.0, 4.0, 3.5));
+        assert_eq!(a.abs(), vec3(1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(vec3(1.0, 2.0, 3.0).is_finite());
+        assert!(!vec3(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!vec3(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the math substrate.
+
+use parquake_math::vec3::vec3;
+use parquake_math::{Aabb, Pcg32, Vec3};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    -1000.0f32..1000.0f32
+}
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (finite_f32(), finite_f32(), finite_f32()).prop_map(|(x, y, z)| vec3(x, y, z))
+}
+
+fn arb_aabb() -> impl Strategy<Value = Aabb> {
+    (arb_vec3(), arb_vec3()).prop_map(|(a, b)| Aabb::from_corners(a, b))
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in arb_vec3(), b in arb_vec3()) {
+        prop_assert_eq!(a.dot(b), b.dot(a));
+    }
+
+    #[test]
+    fn cross_is_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+        let c = a.cross(b);
+        // |a·(a×b)| should be tiny relative to the magnitudes involved.
+        let scale = (a.length() * b.length()).max(1.0);
+        prop_assert!(a.dot(c).abs() <= scale * scale * 1e-3);
+        prop_assert!(b.dot(c).abs() <= scale * scale * 1e-3);
+    }
+
+    #[test]
+    fn normalized_has_unit_length_or_zero(a in arb_vec3()) {
+        let n = a.normalized();
+        if a.length() > 1e-6 {
+            prop_assert!((n.length() - 1.0).abs() < 1e-4);
+        } else {
+            prop_assert_eq!(n, Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn aabb_union_contains_both(a in arb_aabb(), b in arb_aabb()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn aabb_intersection_is_symmetric(a in arb_aabb(), b in arb_aabb()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn swept_box_contains_endpoints(b in arb_aabb(), d in arb_vec3()) {
+        let s = b.swept(d);
+        prop_assert!(s.contains(&b));
+        prop_assert!(s.contains(&b.translated(d)));
+    }
+
+    #[test]
+    fn sweep_hit_fraction_is_valid_and_touches(b in arb_aabb(), d in arb_vec3(), t in arb_aabb()) {
+        if let Some(frac) = b.sweep_hit(d, &t) {
+            prop_assert!((0.0..=1.0).contains(&frac));
+            // Slightly past the hit fraction, the boxes must overlap
+            // (the entry fraction is where faces first touch).
+            let eps = 1e-3f32;
+            let probe = b.translated(d * (frac + eps).min(1.0));
+            let slack = Vec3::splat(d.length() * eps + 1e-3);
+            prop_assert!(probe.inflated(slack).intersects(&t));
+        }
+    }
+
+    #[test]
+    fn sweep_hit_zero_delta_matches_overlap(b in arb_aabb(), t in arb_aabb()) {
+        let hit = b.sweep_hit(Vec3::ZERO, &t);
+        if b.intersects(&t) {
+            prop_assert_eq!(hit, Some(0.0));
+        } else {
+            prop_assert_eq!(hit, None);
+        }
+    }
+
+    #[test]
+    fn pcg_below_bound_holds(seed in any::<u64>(), bound in 1u32..10_000) {
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn pcg_streams_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Pcg32::new(seed, stream);
+        let mut b = Pcg32::new(seed, stream);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Measurement infrastructure for `parquake`.
+//!
+//! The paper's evaluation (§4) rests on three instruments, all
+//! reproduced here:
+//!
+//! * **execution-time breakdowns** — every nanosecond of a server
+//!   thread's life is attributed to one of the paper's buckets
+//!   ([`Bucket`]): request execution, lock synchronization, receive,
+//!   reply, intra-/inter-frame wait, idle, plus the world-update phase;
+//! * **response rate and response time** — measured at the clients
+//!   ([`ResponseStats`]);
+//! * **lock statistics** — leaf vs parent lock shares, distinct leaves
+//!   locked per request, relock counts, and per-frame overlap between
+//!   threads ([`LockStats`], [`FrameStats`]).
+//!
+//! All types are passive accumulators: the server and bots feed them
+//! durations and counts obtained from whichever fabric (real or
+//! virtual-time) the experiment runs on. Everything is mergeable so
+//! per-thread collectors can be combined into run-level results.
+
+pub mod breakdown;
+pub mod report;
+pub mod stats;
+pub mod timeline;
+
+pub use breakdown::{Breakdown, Bucket};
+pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
+pub use timeline::{FrameSample, Timeline};
+
+/// Nanoseconds — the common time unit across fabrics.
+pub type Nanos = u64;
+
+/// Convert nanoseconds to seconds as f64.
+#[inline]
+pub fn ns_to_secs(ns: Nanos) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Convert nanoseconds to milliseconds as f64.
+#[inline]
+pub fn ns_to_ms(ns: Nanos) -> f64 {
+    ns as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ns_to_secs(1_500_000_000), 1.5);
+        assert_eq!(ns_to_ms(2_500_000), 2.5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Text-table rendering of breakdowns and statistics (the harness's
+//! figure output format).
+
+use crate::breakdown::{Breakdown, Bucket};
+
+/// Render a set of labelled breakdowns as a percentage table, one row
+/// per configuration — the textual equivalent of the paper's stacked
+/// bar charts.
+pub fn breakdown_table(rows: &[(String, &Breakdown)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28}", "configuration"));
+    for b in Bucket::ALL {
+        out.push_str(&format!("{:>11}", b.label()));
+    }
+    out.push('\n');
+    for (label, bd) in rows {
+        out.push_str(&format!("{label:<28}"));
+        for b in Bucket::ALL {
+            out.push_str(&format!("{:>10.1}%", bd.percent(b)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a simple aligned numeric table.
+pub fn numeric_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float to a fixed number of decimals (helper for tables).
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_table_contains_labels_and_percentages() {
+        let mut b = Breakdown::new();
+        b.add(Bucket::Exec, 50);
+        b.add(Bucket::Idle, 50);
+        let t = breakdown_table(&[("seq 64p".to_string(), &b)]);
+        assert!(t.contains("seq 64p"));
+        assert!(t.contains("exec"));
+        assert!(t.contains("50.0%"));
+    }
+
+    #[test]
+    fn numeric_table_aligns() {
+        let t = numeric_table(
+            &["players", "rate"],
+            &[
+                vec!["64".into(), "1000.0".into()],
+                vec!["128".into(), "9.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("players"));
+        assert!(lines[2].contains("9.5"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-frame time series.
+//!
+//! The paper's §4.2 measures "the dynamic difference in the number of
+//! requests per thread per frame … for the first fifty consecutive
+//! multi-threaded frames". Aggregates can't show that; this bounded
+//! per-frame recorder can.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// One server frame's vital signs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameSample {
+    /// Frame start time.
+    pub start_ns: Nanos,
+    /// Wall/virtual duration of the frame.
+    pub duration_ns: Nanos,
+    /// Threads that participated.
+    pub participants: u32,
+    /// Move requests processed, total across participants.
+    pub requests: u32,
+    /// Largest per-thread request count this frame.
+    pub requests_max: u32,
+    /// Smallest per-thread request count this frame (participants only).
+    pub requests_min: u32,
+    /// The frame's master thread.
+    pub master: u32,
+}
+
+impl FrameSample {
+    /// The paper's per-frame imbalance measure (max − min).
+    #[inline]
+    pub fn imbalance(&self) -> u32 {
+        self.requests_max.saturating_sub(self.requests_min)
+    }
+}
+
+/// A bounded frame recorder: keeps the first `capacity` frames (the
+/// paper looks at the *first* fifty, so early frames are the ones that
+/// matter; steady-state behaviour lives in the aggregates).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Timeline {
+    samples: Vec<FrameSample>,
+    capacity: usize,
+    /// Frames seen in total (recorded or not).
+    pub total_frames: u64,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new(4096)
+    }
+}
+
+impl Timeline {
+    pub fn new(capacity: usize) -> Timeline {
+        Timeline {
+            samples: Vec::new(),
+            capacity,
+            total_frames: 0,
+        }
+    }
+
+    /// Record one frame (dropped silently once at capacity).
+    pub fn push(&mut self, sample: FrameSample) {
+        self.total_frames += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        }
+    }
+
+    pub fn samples(&self) -> &[FrameSample] {
+        &self.samples
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The first `n` frames in which more than one thread participated —
+    /// the paper's "first fifty consecutive multi-threaded frames".
+    pub fn first_multithreaded(&self, n: usize) -> Vec<FrameSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.participants > 1)
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    /// Percentile of frame duration (nearest-rank), in nanoseconds.
+    pub fn duration_percentile(&self, p: f64) -> Nanos {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut durs: Vec<Nanos> = self.samples.iter().map(|s| s.duration_ns).collect();
+        durs.sort_unstable();
+        let rank = ((durs.len() as f64) * p.clamp(0.0, 1.0)).ceil() as usize;
+        durs[rank.saturating_sub(1).min(durs.len() - 1)]
+    }
+
+    /// CSV dump (`start_ms,duration_ms,participants,requests,imbalance`).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("frame,start_ms,duration_ms,participants,requests,imbalance,master\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{},{},{},{}\n",
+                i,
+                s.start_ns as f64 / 1e6,
+                s.duration_ns as f64 / 1e6,
+                s.participants,
+                s.requests,
+                s.imbalance(),
+                s.master,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(start: Nanos, dur: Nanos, parts: u32, max: u32, min: u32) -> FrameSample {
+        FrameSample {
+            start_ns: start,
+            duration_ns: dur,
+            participants: parts,
+            requests: max + min,
+            requests_max: max,
+            requests_min: min,
+            master: 0,
+        }
+    }
+
+    #[test]
+    fn push_respects_capacity_but_counts_all() {
+        let mut t = Timeline::new(3);
+        for i in 0..10 {
+            t.push(sample(i, 100, 1, 1, 1));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_frames, 10);
+    }
+
+    #[test]
+    fn first_multithreaded_skips_solo_frames() {
+        let mut t = Timeline::new(100);
+        t.push(sample(0, 1, 1, 1, 1));
+        t.push(sample(1, 1, 3, 5, 2));
+        t.push(sample(2, 1, 1, 1, 1));
+        t.push(sample(3, 1, 2, 4, 1));
+        let mt = t.first_multithreaded(50);
+        assert_eq!(mt.len(), 2);
+        assert_eq!(mt[0].imbalance(), 3);
+        assert_eq!(mt[1].imbalance(), 3);
+    }
+
+    #[test]
+    fn duration_percentiles() {
+        let mut t = Timeline::new(100);
+        for i in 1..=100u64 {
+            t.push(sample(i, i * 10, 1, 1, 1));
+        }
+        assert_eq!(t.duration_percentile(0.5), 500);
+        assert_eq!(t.duration_percentile(1.0), 1000);
+        assert_eq!(Timeline::new(4).duration_percentile(0.5), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Timeline::new(10);
+        t.push(sample(1_000_000, 2_000_000, 2, 3, 1));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("frame,"));
+        assert!(lines[1].contains("2,4,2,0")); // participants,requests,imbalance,master
+    }
+}

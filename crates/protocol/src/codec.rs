@@ -1,0 +1,158 @@
+//! Little-endian byte codec primitives.
+
+use bytes::{Buf, BufMut};
+
+/// Decoding failure. The enclosing datagram should be dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the field needs.
+    Truncated,
+    /// Unknown discriminant byte for the given type.
+    BadTag(&'static str, u8),
+    /// A length prefix exceeds protocol limits.
+    BadLength(&'static str, usize),
+    /// Leftover bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "datagram truncated"),
+            CodecError::BadTag(what, v) => write!(f, "bad {what} tag {v}"),
+            CodecError::BadLength(what, v) => write!(f, "bad {what} length {v}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Types that serialize themselves onto a byte buffer.
+pub trait Encode {
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        self.encode(&mut v);
+        v
+    }
+}
+
+/// Types that parse themselves from a byte slice.
+pub trait Decode: Sized {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Parse a whole datagram, rejecting trailing bytes.
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut buf)?;
+        if buf.is_empty() {
+            Ok(v)
+        } else {
+            Err(CodecError::TrailingBytes(buf.len()))
+        }
+    }
+}
+
+#[inline]
+pub fn need(buf: &&[u8], n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+#[inline]
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+#[inline]
+pub fn get_u16(buf: &mut &[u8]) -> Result<u16, CodecError> {
+    need(buf, 2)?;
+    Ok(buf.get_u16_le())
+}
+
+#[inline]
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+#[inline]
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+#[inline]
+pub fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
+    need(buf, 4)?;
+    Ok(buf.get_f32_le())
+}
+
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.put_u8(v);
+}
+
+#[inline]
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.put_u16_le(v);
+}
+
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.put_u32_le(v);
+}
+
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.put_u64_le(v);
+}
+
+#[inline]
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.put_f32_le(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0xAB);
+        put_u16(&mut out, 0x1234);
+        put_u32(&mut out, 0xDEADBEEF);
+        put_u64(&mut out, 42);
+        put_f32(&mut out, -1.5);
+        let mut buf = &out[..];
+        assert_eq!(get_u8(&mut buf).unwrap(), 0xAB);
+        assert_eq!(get_u16(&mut buf).unwrap(), 0x1234);
+        assert_eq!(get_u32(&mut buf).unwrap(), 0xDEADBEEF);
+        assert_eq!(get_u64(&mut buf).unwrap(), 42);
+        assert_eq!(get_f32(&mut buf).unwrap(), -1.5);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let out = [1u8, 2];
+        let mut buf = &out[..];
+        assert_eq!(get_u32(&mut buf), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(CodecError::Truncated.to_string(), "datagram truncated");
+        assert_eq!(
+            CodecError::BadTag("message", 9).to_string(),
+            "bad message tag 9"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Client/server wire protocol.
+//!
+//! A compact, hand-rolled datagram codec in the spirit of the original
+//! QuakeWorld protocol: clients send *connect / move / disconnect*
+//! messages; the server answers explicit requests with per-client
+//! replies carrying visible-entity updates plus broadcast game events
+//! (the global state buffer of paper §3.3). The *move* command carries
+//! exactly the fields the paper enumerates in §2.3: view angles, motion
+//! impulses, action flags and the duration in milliseconds.
+//!
+//! All integers are little-endian; floats are IEEE-754 bits. Decoding
+//! is total: malformed or truncated datagrams yield [`CodecError`],
+//! never panics — the server drops bad packets like the original does.
+
+pub mod codec;
+pub mod types;
+
+pub use codec::{CodecError, Decode, Encode};
+pub use types::{
+    Buttons, ClientMessage, EntityKind, EntityUpdate, GameEvent, GameEventKind, MoveCmd,
+    ServerMessage,
+};
+
+/// Protocol version byte; bumped on incompatible changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Maximum duration a single move command may apply, in milliseconds
+/// (Quake clamps client msec to 250).
+pub const MAX_MOVE_MSEC: u8 = 250;
+
+/// Maximum entity updates in one reply datagram (keeps replies within
+/// a conventional MTU-ish budget; the server truncates by distance).
+pub const MAX_ENTITIES_PER_REPLY: usize = 64;
+
+/// Maximum broadcast events in one reply datagram.
+pub const MAX_EVENTS_PER_REPLY: usize = 32;
+
+/// Maximum removal notices in one delta-compressed reply.
+pub const MAX_REMOVALS_PER_REPLY: usize = 64;
+
+// Compile-time sanity on protocol limits.
+const _: () = assert!(MAX_MOVE_MSEC >= 100);
+const _: () = assert!(MAX_ENTITIES_PER_REPLY >= 32);
+const _: () = assert!(MAX_EVENTS_PER_REPLY >= 16);

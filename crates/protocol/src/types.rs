@@ -1,0 +1,599 @@
+//! Protocol message types.
+
+use crate::codec::{
+    get_f32, get_u16, get_u32, get_u64, get_u8, put_f32, put_u16, put_u32, put_u64, put_u8,
+    CodecError, Decode, Encode,
+};
+use crate::{MAX_ENTITIES_PER_REPLY, MAX_EVENTS_PER_REPLY, MAX_MOVE_MSEC, MAX_REMOVALS_PER_REPLY};
+use parquake_math::vec3::vec3;
+use parquake_math::Vec3;
+
+/// Action-flag bits carried by a move command (paper §2.3 item iii).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Buttons(pub u8);
+
+impl Buttons {
+    pub const NONE: Buttons = Buttons(0);
+    /// Fire the current weapon (long-range interaction).
+    pub const ATTACK: u8 = 1 << 0;
+    /// Jump.
+    pub const JUMP: u8 = 1 << 1;
+    /// Use / activate (switch backpack items etc.).
+    pub const USE: u8 = 1 << 2;
+    /// Throw an item at a distant target (long-range interaction of the
+    /// "fully simulated" kind).
+    pub const THROW: u8 = 1 << 3;
+
+    #[inline]
+    pub fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    #[inline]
+    pub fn with(self, bit: u8) -> Buttons {
+        Buttons(self.0 | bit)
+    }
+
+    /// Any long-range interaction requested?
+    #[inline]
+    pub fn long_range(self) -> bool {
+        self.has(Buttons::ATTACK) || self.has(Buttons::THROW)
+    }
+}
+
+/// The move command: the only request type that affects gameplay
+/// (paper §2.3). One is sent per client frame (~30 ms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveCmd {
+    /// Client sequence number, echoed in the reply.
+    pub seq: u32,
+    /// Client clock when the command was sent (for response-time
+    /// measurement; the original benchmarking harness did the same).
+    pub sent_at: u64,
+    /// View angles: pitch then yaw, degrees.
+    pub pitch: f32,
+    pub yaw: f32,
+    /// Forward/side/up motion impulses in units/second (±320 walking).
+    pub forward: f32,
+    pub side: f32,
+    pub up: f32,
+    /// Action flags.
+    pub buttons: Buttons,
+    /// Milliseconds this command applies for (clamped to
+    /// [`MAX_MOVE_MSEC`]).
+    pub msec: u8,
+}
+
+impl MoveCmd {
+    /// A do-nothing move of `msec` milliseconds.
+    pub fn idle(seq: u32, msec: u8) -> MoveCmd {
+        MoveCmd {
+            seq,
+            sent_at: 0,
+            pitch: 0.0,
+            yaw: 0.0,
+            forward: 0.0,
+            side: 0.0,
+            up: 0.0,
+            buttons: Buttons::NONE,
+            msec,
+        }
+    }
+
+    /// Command duration in seconds, clamped like the original server.
+    #[inline]
+    pub fn duration_secs(&self) -> f32 {
+        self.msec.min(MAX_MOVE_MSEC) as f32 / 1000.0
+    }
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMessage {
+    /// Join the session.
+    Connect { client_id: u32 },
+    /// A move command from `client_id`.
+    Move { client_id: u32, cmd: MoveCmd },
+    /// Leave the session.
+    Disconnect { client_id: u32 },
+}
+
+const TAG_CONNECT: u8 = 1;
+const TAG_MOVE: u8 = 2;
+const TAG_DISCONNECT: u8 = 3;
+
+impl Encode for ClientMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientMessage::Connect { client_id } => {
+                put_u8(out, TAG_CONNECT);
+                put_u32(out, *client_id);
+            }
+            ClientMessage::Move { client_id, cmd } => {
+                put_u8(out, TAG_MOVE);
+                put_u32(out, *client_id);
+                put_u32(out, cmd.seq);
+                put_u64(out, cmd.sent_at);
+                put_f32(out, cmd.pitch);
+                put_f32(out, cmd.yaw);
+                put_f32(out, cmd.forward);
+                put_f32(out, cmd.side);
+                put_f32(out, cmd.up);
+                put_u8(out, cmd.buttons.0);
+                put_u8(out, cmd.msec);
+            }
+            ClientMessage::Disconnect { client_id } => {
+                put_u8(out, TAG_DISCONNECT);
+                put_u32(out, *client_id);
+            }
+        }
+    }
+}
+
+impl Decode for ClientMessage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            TAG_CONNECT => Ok(ClientMessage::Connect {
+                client_id: get_u32(buf)?,
+            }),
+            TAG_MOVE => Ok(ClientMessage::Move {
+                client_id: get_u32(buf)?,
+                cmd: MoveCmd {
+                    seq: get_u32(buf)?,
+                    sent_at: get_u64(buf)?,
+                    pitch: get_f32(buf)?,
+                    yaw: get_f32(buf)?,
+                    forward: get_f32(buf)?,
+                    side: get_f32(buf)?,
+                    up: get_f32(buf)?,
+                    buttons: Buttons(get_u8(buf)?),
+                    msec: get_u8(buf)?,
+                },
+            }),
+            TAG_DISCONNECT => Ok(ClientMessage::Disconnect {
+                client_id: get_u32(buf)?,
+            }),
+            t => Err(CodecError::BadTag("client message", t)),
+        }
+    }
+}
+
+/// What kind of thing an entity update describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntityKind {
+    Player,
+    Item,
+    Projectile,
+    Teleporter,
+}
+
+impl EntityKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            EntityKind::Player => 0,
+            EntityKind::Item => 1,
+            EntityKind::Projectile => 2,
+            EntityKind::Teleporter => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<EntityKind, CodecError> {
+        Ok(match v {
+            0 => EntityKind::Player,
+            1 => EntityKind::Item,
+            2 => EntityKind::Projectile,
+            3 => EntityKind::Teleporter,
+            t => return Err(CodecError::BadTag("entity kind", t)),
+        })
+    }
+}
+
+/// One visible entity's state in a reply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EntityUpdate {
+    pub id: u16,
+    pub kind: EntityKind,
+    /// Generic state byte (alive/taken/in-flight…; kind-specific).
+    pub state: u8,
+    pub pos: Vec3,
+    pub yaw: f32,
+}
+
+impl Encode for EntityUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.id);
+        put_u8(out, self.kind.to_u8());
+        put_u8(out, self.state);
+        put_f32(out, self.pos.x);
+        put_f32(out, self.pos.y);
+        put_f32(out, self.pos.z);
+        put_f32(out, self.yaw);
+    }
+}
+
+impl Decode for EntityUpdate {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(EntityUpdate {
+            id: get_u16(buf)?,
+            kind: EntityKind::from_u8(get_u8(buf)?)?,
+            state: get_u8(buf)?,
+            pos: vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?),
+            yaw: get_f32(buf)?,
+        })
+    }
+}
+
+/// Broadcast event kinds (contents of the global state buffer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GameEventKind {
+    Pickup,
+    Teleport,
+    Hit,
+    Spawn,
+    Sound,
+}
+
+impl GameEventKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            GameEventKind::Pickup => 0,
+            GameEventKind::Teleport => 1,
+            GameEventKind::Hit => 2,
+            GameEventKind::Spawn => 3,
+            GameEventKind::Sound => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<GameEventKind, CodecError> {
+        Ok(match v {
+            0 => GameEventKind::Pickup,
+            1 => GameEventKind::Teleport,
+            2 => GameEventKind::Hit,
+            3 => GameEventKind::Spawn,
+            4 => GameEventKind::Sound,
+            t => return Err(CodecError::BadTag("event kind", t)),
+        })
+    }
+}
+
+/// A broadcast game event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GameEvent {
+    pub kind: GameEventKind,
+    /// Primary entity (e.g. the player who picked something up).
+    pub a: u16,
+    /// Secondary entity (e.g. the item).
+    pub b: u16,
+    pub pos: Vec3,
+}
+
+impl Encode for GameEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, self.kind.to_u8());
+        put_u16(out, self.a);
+        put_u16(out, self.b);
+        put_f32(out, self.pos.x);
+        put_f32(out, self.pos.y);
+        put_f32(out, self.pos.z);
+    }
+}
+
+impl Decode for GameEvent {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(GameEvent {
+            kind: GameEventKind::from_u8(get_u8(buf)?)?,
+            a: get_u16(buf)?,
+            b: get_u16(buf)?,
+            pos: vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?),
+        })
+    }
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMessage {
+    /// Connection accepted; here is your spawn position.
+    ConnectAck { client_id: u32, spawn: Vec3 },
+    /// Reply to the client's latest move (one per server frame).
+    Reply {
+        client_id: u32,
+        /// Echo of the last processed move's sequence number.
+        seq: u32,
+        /// Echo of that move's `sent_at` (response-time measurement).
+        sent_at_echo: u64,
+        /// Server frame number.
+        frame: u32,
+        /// Server thread index the client should address next (used by
+        /// the dynamic region-affine assignment extension; static
+        /// servers echo the handling thread).
+        assigned_thread: u8,
+        /// The client's own position after the move (authoritative).
+        origin: Vec3,
+        /// Whether `entities` is a delta against the previous reply
+        /// (QuakeWorld-style compression) or the full visible set.
+        delta: bool,
+        /// Visible entities (changed-only when `delta`).
+        entities: Vec<EntityUpdate>,
+        /// Entities no longer visible (delta mode only).
+        removed: Vec<u16>,
+        /// Broadcast events since the last reply.
+        events: Vec<GameEvent>,
+    },
+    /// The server is shutting down or kicked this client.
+    Bye { client_id: u32 },
+}
+
+const TAG_ACK: u8 = 100;
+const TAG_REPLY: u8 = 101;
+const TAG_BYE: u8 = 102;
+
+impl Encode for ServerMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerMessage::ConnectAck { client_id, spawn } => {
+                put_u8(out, TAG_ACK);
+                put_u32(out, *client_id);
+                put_f32(out, spawn.x);
+                put_f32(out, spawn.y);
+                put_f32(out, spawn.z);
+            }
+            ServerMessage::Reply {
+                client_id,
+                seq,
+                sent_at_echo,
+                frame,
+                assigned_thread,
+                origin,
+                delta,
+                entities,
+                removed,
+                events,
+            } => {
+                put_u8(out, TAG_REPLY);
+                put_u32(out, *client_id);
+                put_u32(out, *seq);
+                put_u64(out, *sent_at_echo);
+                put_u32(out, *frame);
+                put_u8(out, *assigned_thread);
+                put_f32(out, origin.x);
+                put_f32(out, origin.y);
+                put_f32(out, origin.z);
+                put_u8(out, u8::from(*delta));
+                debug_assert!(entities.len() <= MAX_ENTITIES_PER_REPLY);
+                put_u8(out, entities.len().min(MAX_ENTITIES_PER_REPLY) as u8);
+                for e in entities.iter().take(MAX_ENTITIES_PER_REPLY) {
+                    e.encode(out);
+                }
+                debug_assert!(removed.len() <= MAX_REMOVALS_PER_REPLY);
+                put_u8(out, removed.len().min(MAX_REMOVALS_PER_REPLY) as u8);
+                for r in removed.iter().take(MAX_REMOVALS_PER_REPLY) {
+                    put_u16(out, *r);
+                }
+                debug_assert!(events.len() <= MAX_EVENTS_PER_REPLY);
+                put_u8(out, events.len().min(MAX_EVENTS_PER_REPLY) as u8);
+                for e in events.iter().take(MAX_EVENTS_PER_REPLY) {
+                    e.encode(out);
+                }
+            }
+            ServerMessage::Bye { client_id } => {
+                put_u8(out, TAG_BYE);
+                put_u32(out, *client_id);
+            }
+        }
+    }
+}
+
+impl Decode for ServerMessage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            TAG_ACK => Ok(ServerMessage::ConnectAck {
+                client_id: get_u32(buf)?,
+                spawn: vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?),
+            }),
+            TAG_REPLY => {
+                let client_id = get_u32(buf)?;
+                let seq = get_u32(buf)?;
+                let sent_at_echo = get_u64(buf)?;
+                let frame = get_u32(buf)?;
+                let assigned_thread = get_u8(buf)?;
+                let origin = vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?);
+                let delta = get_u8(buf)? != 0;
+                let n_ent = get_u8(buf)? as usize;
+                if n_ent > MAX_ENTITIES_PER_REPLY {
+                    return Err(CodecError::BadLength("entities", n_ent));
+                }
+                let mut entities = Vec::with_capacity(n_ent);
+                for _ in 0..n_ent {
+                    entities.push(EntityUpdate::decode(buf)?);
+                }
+                let n_rm = get_u8(buf)? as usize;
+                if n_rm > MAX_REMOVALS_PER_REPLY {
+                    return Err(CodecError::BadLength("removals", n_rm));
+                }
+                let mut removed = Vec::with_capacity(n_rm);
+                for _ in 0..n_rm {
+                    removed.push(get_u16(buf)?);
+                }
+                let n_ev = get_u8(buf)? as usize;
+                if n_ev > MAX_EVENTS_PER_REPLY {
+                    return Err(CodecError::BadLength("events", n_ev));
+                }
+                let mut events = Vec::with_capacity(n_ev);
+                for _ in 0..n_ev {
+                    events.push(GameEvent::decode(buf)?);
+                }
+                Ok(ServerMessage::Reply {
+                    client_id,
+                    seq,
+                    sent_at_echo,
+                    frame,
+                    assigned_thread,
+                    origin,
+                    delta,
+                    entities,
+                    removed,
+                    events,
+                })
+            }
+            TAG_BYE => Ok(ServerMessage::Bye {
+                client_id: get_u32(buf)?,
+            }),
+            t => Err(CodecError::BadTag("server message", t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_move() -> ClientMessage {
+        ClientMessage::Move {
+            client_id: 7,
+            cmd: MoveCmd {
+                seq: 99,
+                sent_at: 123_456_789,
+                pitch: -10.0,
+                yaw: 135.5,
+                forward: 320.0,
+                side: -320.0,
+                up: 0.0,
+                buttons: Buttons(Buttons::ATTACK | Buttons::JUMP),
+                msec: 30,
+            },
+        }
+    }
+
+    #[test]
+    fn client_message_roundtrips() {
+        for msg in [
+            ClientMessage::Connect { client_id: 1 },
+            sample_move(),
+            ClientMessage::Disconnect { client_id: 2 },
+        ] {
+            let bytes = msg.to_bytes();
+            assert_eq!(ClientMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_message_roundtrips() {
+        let reply = ServerMessage::Reply {
+            client_id: 7,
+            seq: 99,
+            sent_at_echo: 123,
+            frame: 42,
+            assigned_thread: 3,
+            origin: vec3(1.0, 2.0, 3.0),
+            delta: true,
+            removed: vec![9, 10],
+            entities: vec![
+                EntityUpdate {
+                    id: 5,
+                    kind: EntityKind::Player,
+                    state: 1,
+                    pos: vec3(10.0, 20.0, 30.0),
+                    yaw: 90.0,
+                },
+                EntityUpdate {
+                    id: 6,
+                    kind: EntityKind::Item,
+                    state: 0,
+                    pos: vec3(-1.0, -2.0, -3.0),
+                    yaw: 0.0,
+                },
+            ],
+            events: vec![GameEvent {
+                kind: GameEventKind::Pickup,
+                a: 5,
+                b: 6,
+                pos: vec3(0.0, 0.0, 0.0),
+            }],
+        };
+        let bytes = reply.to_bytes();
+        assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), reply);
+
+        for msg in [
+            ServerMessage::ConnectAck {
+                client_id: 3,
+                spawn: vec3(5.0, 6.0, 7.0),
+            },
+            ServerMessage::Bye { client_id: 4 },
+        ] {
+            let bytes = msg.to_bytes();
+            assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        assert_eq!(
+            ClientMessage::from_bytes(&[250, 0, 0, 0, 0]),
+            Err(CodecError::BadTag("client message", 250))
+        );
+        assert_eq!(
+            ServerMessage::from_bytes(&[7]),
+            Err(CodecError::BadTag("server message", 7))
+        );
+    }
+
+    #[test]
+    fn truncated_message_is_rejected() {
+        let bytes = sample_move().to_bytes();
+        for cut in 1..bytes.len() {
+            assert!(
+                ClientMessage::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = ClientMessage::Connect { client_id: 1 }.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            ClientMessage::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn oversized_entity_count_is_rejected() {
+        // Hand-craft a reply header claiming 200 entities.
+        let mut bytes = Vec::new();
+        put_u8(&mut bytes, 101);
+        put_u32(&mut bytes, 1); // client
+        put_u32(&mut bytes, 1); // seq
+        put_u64(&mut bytes, 0); // echo
+        put_u32(&mut bytes, 0); // frame
+        put_u8(&mut bytes, 0); // assigned thread
+        put_f32(&mut bytes, 0.0);
+        put_f32(&mut bytes, 0.0);
+        put_f32(&mut bytes, 0.0);
+        put_u8(&mut bytes, 0); // delta flag
+        put_u8(&mut bytes, 200); // entity count over limit
+        assert_eq!(
+            ServerMessage::from_bytes(&bytes),
+            Err(CodecError::BadLength("entities", 200))
+        );
+    }
+
+    #[test]
+    fn buttons_flag_logic() {
+        let b = Buttons::NONE.with(Buttons::ATTACK);
+        assert!(b.has(Buttons::ATTACK));
+        assert!(!b.has(Buttons::JUMP));
+        assert!(b.long_range());
+        assert!(Buttons(Buttons::THROW).long_range());
+        assert!(!Buttons(Buttons::JUMP).long_range());
+    }
+
+    #[test]
+    fn move_duration_clamps() {
+        let mut cmd = MoveCmd::idle(0, 30);
+        assert!((cmd.duration_secs() - 0.030).abs() < 1e-6);
+        cmd.msec = 255;
+        assert!((cmd.duration_secs() - 0.250).abs() < 1e-6);
+    }
+}

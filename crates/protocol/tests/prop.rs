@@ -1,0 +1,156 @@
+//! Property-based tests: codec round-trips and fuzz-style decoding.
+
+use parquake_protocol::{
+    Buttons, ClientMessage, Decode, Encode, EntityKind, EntityUpdate, GameEvent, GameEventKind,
+    MoveCmd, ServerMessage,
+};
+use parquake_math::vec3::vec3;
+use proptest::prelude::*;
+
+fn arb_move() -> impl Strategy<Value = MoveCmd> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        -90.0f32..90.0,
+        -180.0f32..180.0,
+        -400.0f32..400.0,
+        -400.0f32..400.0,
+        -400.0f32..400.0,
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_map(
+            |(seq, sent_at, pitch, yaw, forward, side, up, buttons, msec)| MoveCmd {
+                seq,
+                sent_at,
+                pitch,
+                yaw,
+                forward,
+                side,
+                up,
+                buttons: Buttons(buttons),
+                msec,
+            },
+        )
+}
+
+fn arb_client_msg() -> impl Strategy<Value = ClientMessage> {
+    prop_oneof![
+        any::<u32>().prop_map(|client_id| ClientMessage::Connect { client_id }),
+        (any::<u32>(), arb_move())
+            .prop_map(|(client_id, cmd)| ClientMessage::Move { client_id, cmd }),
+        any::<u32>().prop_map(|client_id| ClientMessage::Disconnect { client_id }),
+    ]
+}
+
+fn arb_entity() -> impl Strategy<Value = EntityUpdate> {
+    (
+        any::<u16>(),
+        0u8..4,
+        any::<u8>(),
+        -4096.0f32..4096.0,
+        -4096.0f32..4096.0,
+        -4096.0f32..4096.0,
+        -180.0f32..180.0,
+    )
+        .prop_map(|(id, kind, state, x, y, z, yaw)| EntityUpdate {
+            id,
+            kind: match kind {
+                0 => EntityKind::Player,
+                1 => EntityKind::Item,
+                2 => EntityKind::Projectile,
+                _ => EntityKind::Teleporter,
+            },
+            state,
+            pos: vec3(x, y, z),
+            yaw,
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = GameEvent> {
+    (
+        0u8..5,
+        any::<u16>(),
+        any::<u16>(),
+        -4096.0f32..4096.0,
+        -4096.0f32..4096.0,
+    )
+        .prop_map(|(k, a, b, x, y)| GameEvent {
+            kind: match k {
+                0 => GameEventKind::Pickup,
+                1 => GameEventKind::Teleport,
+                2 => GameEventKind::Hit,
+                3 => GameEventKind::Spawn,
+                _ => GameEventKind::Sound,
+            },
+            a,
+            b,
+            pos: vec3(x, y, 0.0),
+        })
+}
+
+fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
+    prop_oneof![
+        (any::<u32>(), -100.0f32..100.0).prop_map(|(client_id, x)| ServerMessage::ConnectAck {
+            client_id,
+            spawn: vec3(x, x, x)
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<bool>(),
+            prop::collection::vec(arb_entity(), 0..64),
+            prop::collection::vec(any::<u16>(), 0..64),
+            prop::collection::vec(arb_event(), 0..32),
+        )
+            .prop_map(
+                |(client_id, seq, sent_at_echo, frame, assigned_thread, delta, entities, removed, events)| {
+                    ServerMessage::Reply {
+                        client_id,
+                        seq,
+                        sent_at_echo,
+                        frame,
+                        assigned_thread,
+                        origin: vec3(1.0, 2.0, 3.0),
+                        delta,
+                        entities,
+                        removed,
+                        events,
+                    }
+                }
+            ),
+        any::<u32>().prop_map(|client_id| ServerMessage::Bye { client_id }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn client_messages_roundtrip(msg in arb_client_msg()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(ClientMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn server_messages_roundtrip(msg in arb_server_msg()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary garbage must return an error or a message,
+        // never panic.
+        let _ = ClientMessage::from_bytes(&bytes);
+        let _ = ServerMessage::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncations_never_panic(msg in arb_server_msg(), frac in 0.0f64..1.0) {
+        let bytes = msg.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = ServerMessage::from_bytes(&bytes[..cut]);
+    }
+}

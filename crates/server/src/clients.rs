@@ -1,0 +1,176 @@
+//! The client/slot table.
+//!
+//! One slot per player. Slots are written by different threads at
+//! different points of the frame, but never concurrently:
+//!
+//! * the owning thread (static block assignment) writes during *its*
+//!   request and reply phases,
+//! * the frame master transitions `Pending → Active` and applies
+//!   disconnects during the world phase, when every other thread is
+//!   barred from the slot by the phase invariants,
+//! * the broadcast-event queue (`events`) is additionally protected by
+//!   a per-slot fabric lock, because the master may append to slots of
+//!   non-participating threads during the reply phase (paper §3.3).
+//!
+//! As elsewhere, this protocol is invisible to the borrow checker, so
+//! slots live in `UnsafeCell`s behind a minimal API.
+
+use std::cell::UnsafeCell;
+
+use std::collections::HashMap;
+
+use parquake_fabric::PortId;
+use parquake_protocol::{EntityUpdate, GameEvent};
+
+/// Cap on queued broadcast events per client (oldest dropped first),
+/// mirroring the original's bounded reliable-message buffers.
+pub const MAX_PENDING_EVENTS: usize = 128;
+
+/// Connection state of a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    Empty,
+    /// Connect received; the next world phase will spawn the player.
+    Pending,
+    /// In the game.
+    Active,
+}
+
+/// One player slot.
+#[derive(Debug)]
+pub struct Slot {
+    pub state: SlotState,
+    pub client_id: u32,
+    /// Where replies go.
+    pub reply_port: PortId,
+    /// Thread currently responsible for this slot's replies: under
+    /// static assignment the connect-time thread forever; under the
+    /// dynamic region-affine extension, the thread that most recently
+    /// processed a request for the slot.
+    pub owner: u32,
+    /// Thread the client is being steered to (sent in replies).
+    pub desired_thread: u32,
+    /// Send a ConnectAck in the next reply phase.
+    pub needs_ack: bool,
+    /// Disconnect requested; the next world phase clears the slot.
+    pub leaving: bool,
+    /// Move requests processed for this slot in the current frame.
+    pub requests_this_frame: u32,
+    /// Sequence number of the most recent processed move.
+    pub last_seq: u32,
+    /// `sent_at` echo of the most recent processed move.
+    pub last_sent_at: u64,
+    /// Queued broadcast events (guarded by the slot's fabric lock).
+    pub events: Vec<GameEvent>,
+    /// Last entity state acked to this client (delta compression
+    /// baseline; owner-thread access only, reply phase).
+    pub baseline: HashMap<u16, EntityUpdate>,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            state: SlotState::Empty,
+            client_id: 0,
+            reply_port: 0,
+            owner: 0,
+            desired_thread: 0,
+            needs_ack: false,
+            leaving: false,
+            requests_this_frame: 0,
+            last_seq: 0,
+            last_sent_at: 0,
+            events: Vec::new(),
+            baseline: HashMap::new(),
+        }
+    }
+
+    /// Queue a broadcast event, dropping the oldest on overflow.
+    pub fn push_event(&mut self, ev: GameEvent) {
+        if self.events.len() >= MAX_PENDING_EVENTS {
+            self.events.remove(0);
+        }
+        self.events.push(ev);
+    }
+}
+
+/// The table of all player slots.
+pub struct ClientTable {
+    slots: Vec<UnsafeCell<Slot>>,
+}
+
+// SAFETY: access is serialized by the frame-phase protocol and the
+// per-slot fabric locks described in the module docs.
+unsafe impl Sync for ClientTable {}
+unsafe impl Send for ClientTable {}
+
+impl ClientTable {
+    pub fn new(capacity: usize) -> ClientTable {
+        ClientTable {
+            slots: (0..capacity).map(|_| UnsafeCell::new(Slot::empty())).collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Access a slot. The caller must hold the right to access it under
+    /// the phase protocol (owning thread in its phases, master during
+    /// the world phase, or the slot's fabric lock for `events`).
+    #[allow(clippy::mut_from_ref)]
+    pub fn slot(&self, idx: usize) -> &mut Slot {
+        // SAFETY: protocol — see module docs.
+        unsafe { &mut *self.slots[idx].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_protocol::GameEventKind;
+    use parquake_math::Vec3;
+
+    fn ev(a: u16) -> GameEvent {
+        GameEvent {
+            kind: GameEventKind::Sound,
+            a,
+            b: 0,
+            pos: Vec3::ZERO,
+        }
+    }
+
+    #[test]
+    fn slots_start_empty() {
+        let t = ClientTable::new(4);
+        assert_eq!(t.capacity(), 4);
+        for i in 0..4 {
+            assert_eq!(t.slot(i).state, SlotState::Empty);
+        }
+    }
+
+    #[test]
+    fn slot_transitions() {
+        let t = ClientTable::new(2);
+        let s = t.slot(0);
+        s.state = SlotState::Pending;
+        s.client_id = 42;
+        s.reply_port = 9;
+        assert_eq!(t.slot(0).client_id, 42);
+        t.slot(0).state = SlotState::Active;
+        assert_eq!(t.slot(0).state, SlotState::Active);
+        assert_eq!(t.slot(1).state, SlotState::Empty);
+    }
+
+    #[test]
+    fn event_queue_caps_and_drops_oldest() {
+        let t = ClientTable::new(1);
+        let s = t.slot(0);
+        for i in 0..(MAX_PENDING_EVENTS + 10) {
+            s.push_event(ev(i as u16));
+        }
+        assert_eq!(s.events.len(), MAX_PENDING_EVENTS);
+        // The first ten were dropped.
+        assert_eq!(s.events[0].a, 10);
+    }
+}

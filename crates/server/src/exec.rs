@@ -1,0 +1,537 @@
+//! Move execution under a region-locking policy (paper §2.3 + §3.3).
+//!
+//! This is the heart of the parallel server: for each move command it
+//! computes the *bounding box of the move*, acquires the areanode
+//! leaves overlapping it (in ascending id order — deadlock-free),
+//! gathers candidate objects from the overlapped nodes' object lists
+//! (short parent-node list locks), runs the motion simulation, relinks
+//! the mover, and releases everything. Long-range actions run as a
+//! second locking phase whose region depends on the policy:
+//! the whole map under `Baseline`, a directional beam or expanded box
+//! under `Optimized` (§4.3).
+//!
+//! The same executor drives the sequential server with `policy: None`
+//! — no lock plan is computed and no lock calls are made, exactly like
+//! the original single-threaded code path.
+
+use parquake_areanode::{LeafSet, NodeId};
+use parquake_fabric::{LockId, Nanos, TaskCtx};
+use parquake_math::angles::Angles;
+use parquake_math::{Aabb, Vec3};
+use parquake_metrics::{Bucket, ThreadStats};
+use parquake_protocol::{Buttons, GameEvent, GameEventKind, MoveCmd};
+use parquake_sim::entity::EntityId;
+use parquake_sim::interact::{
+    directional_beam_box, launch_projectile, run_hitscan, EXPANDED_LOCK_MARGIN, HITSCAN_RANGE,
+};
+use parquake_sim::movement::{move_bounding_box, run_move, TouchEvent};
+use parquake_sim::{GameWorld, WorkCounters};
+
+use crate::cost::CostModel;
+use crate::LockPolicy;
+
+/// Extra margin added to every lock region so that any object
+/// *intersecting* the query region is *fully covered* by the locked
+/// leaves (the paper's "slightly larger region than necessary"). Full
+/// coverage makes concurrent claims on one object impossible: every
+/// thread that can reach the object must lock all leaves it overlaps,
+/// so any two such threads share a leaf lock.
+pub const LOCK_COVERAGE_MARGIN: f32 = 72.0;
+
+/// Fabric lock ids and leaf-index mapping for one server instance.
+pub struct RegionLocks {
+    /// One fabric lock per areanode (leaves = region locks, interior
+    /// nodes = object-list locks).
+    node_locks: Vec<LockId>,
+    /// The global state buffer lock.
+    pub global_lock: LockId,
+    /// Per-player reply buffer locks.
+    client_locks: Vec<LockId>,
+    /// Dense leaf index per node id (u32::MAX for interior nodes).
+    leaf_index: Vec<u32>,
+}
+
+impl RegionLocks {
+    pub fn new(
+        fabric: &std::sync::Arc<dyn parquake_fabric::Fabric>,
+        tree: &parquake_areanode::AreanodeTree,
+        slots: usize,
+    ) -> RegionLocks {
+        let node_locks: Vec<LockId> = (0..tree.node_count()).map(|_| fabric.alloc_lock()).collect();
+        let mut leaf_index = vec![u32::MAX; tree.node_count()];
+        for (i, &leaf) in tree.all_leaves().iter().enumerate() {
+            leaf_index[leaf as usize] = i as u32;
+        }
+        RegionLocks {
+            node_locks,
+            global_lock: fabric.alloc_lock(),
+            client_locks: (0..slots).map(|_| fabric.alloc_lock()).collect(),
+            leaf_index,
+        }
+    }
+
+    #[inline]
+    pub fn node_lock(&self, node: NodeId) -> LockId {
+        self.node_locks[node as usize]
+    }
+
+    #[inline]
+    pub fn client_lock(&self, slot: usize) -> LockId {
+        self.client_locks[slot]
+    }
+
+    /// Bit for a leaf in the per-frame usage mask (trees are ≤ 64
+    /// leaves for every configuration the paper sweeps).
+    #[inline]
+    pub fn leaf_bit(&self, node: NodeId) -> u64 {
+        let idx = self.leaf_index[node as usize];
+        debug_assert_ne!(idx, u32::MAX, "node {node} is not a leaf");
+        if idx < 64 {
+            1u64 << idx
+        } else {
+            0
+        }
+    }
+}
+
+/// Everything `execute_move` needs from its server.
+pub struct ExecEnv<'a> {
+    pub world: &'a GameWorld,
+    pub locks: &'a RegionLocks,
+    pub cost: &'a CostModel,
+    /// `None` = sequential execution (no locking at all).
+    pub policy: Option<LockPolicy>,
+}
+
+/// Execute one move command for the player in `slot`. Returns the
+/// broadcastable events it produced (the caller flushes them to the
+/// global buffer) and updates `stats` and the per-frame leaf usage
+/// mask. `task` identifies the server thread for the protocol checkers.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_move(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    slot: u16,
+    cmd: &MoveCmd,
+    stats: &mut ThreadStats,
+    frame_leaf_mask: &mut u64,
+) -> ExecOutcome {
+    let mover = env.world.player_slot(slot);
+    let me = env.world.store.snapshot(mover);
+    if !me.active {
+        return ExecOutcome::default();
+    }
+    let t_start = ctx.now();
+    let mut lock_ns: Nanos = 0;
+    let mut outcome = ExecOutcome::default();
+    let mut request_leaf_events = 0u64;
+    let mut request_distinct = LeafSet::new();
+
+    ctx.charge(env.cost.move_base);
+    let buttons = Buttons(cmd.buttons.0);
+    let one_pass = env.policy == Some(LockPolicy::OnePass);
+
+    // ---- Phase A: short-range motion -------------------------------
+    let move_bbox = move_bounding_box(&me.abs_box(), me.vel, cmd.msec);
+    let mut work = WorkCounters::new();
+
+    // One-pass locking (paper §5.1 future work): pre-compute the union
+    // of the motion region and a conservatively inflated action region
+    // and acquire it once; no leaf is re-locked within the request.
+    let initial_region = if one_pass && buttons.long_range() {
+        move_bbox.union(&one_pass_action_region(env, &me, cmd, buttons))
+    } else {
+        move_bbox
+    };
+
+    let mut plan = LeafSet::new();
+    lock_region(
+        env, ctx, task, &initial_region, &mut plan, &mut lock_ns, stats, frame_leaf_mask,
+        &mut request_leaf_events, &mut request_distinct,
+    );
+
+    let mut nodes = Vec::new();
+    let mut candidates = Vec::new();
+    gather_candidates(
+        env, ctx, task, &move_bbox, &plan, &mut nodes, &mut candidates, &mut work,
+        &mut lock_ns, stats,
+    );
+
+    // Claim everything we may mutate, run the motion, relink, release.
+    if env.policy.is_some() {
+        let t0 = ctx.now();
+        ctx.charge(env.cost.claim_op * (candidates.len() as u64 + 1));
+        lock_ns += ctx.now() - t0;
+    }
+    claim_all(env, task, mover, &candidates);
+    let mut touched = Vec::new();
+    run_move(
+        env.world,
+        task,
+        mover,
+        cmd,
+        &candidates,
+        ctx.now(),
+        &mut touched,
+        &mut work,
+    );
+    relink_locked(env, ctx, task, mover, &plan, &mut lock_ns, stats);
+    release_all(env, task, mover, &candidates);
+    if !one_pass {
+        unlock_region(env, ctx, task, &plan, &mut lock_ns);
+    }
+
+    for t in &touched {
+        match *t {
+            TouchEvent::Pickup { item } => outcome.events.push(GameEvent {
+                kind: GameEventKind::Pickup,
+                a: mover,
+                b: item,
+                pos: env.world.store.snapshot(item).pos,
+            }),
+            TouchEvent::Teleport { dest } => outcome.events.push(GameEvent {
+                kind: GameEventKind::Teleport,
+                a: mover,
+                b: 0,
+                pos: dest,
+            }),
+            TouchEvent::PlayerContact { .. } => {}
+        }
+    }
+
+    // ---- Phase B: long-range action ---------------------------------
+    if buttons.long_range() {
+        let after = env.world.store.snapshot(mover);
+        let region = if one_pass {
+            // Already covered by the initial acquisition; query the
+            // post-move action region within it.
+            action_region_for(env, &after, buttons, true)
+        } else {
+            action_region_for(env, &after, buttons, false)
+        };
+        let mut action_plan = LeafSet::new();
+        if one_pass {
+            action_plan.merge(&plan);
+        } else {
+            lock_region(
+                env, ctx, task, &region, &mut action_plan, &mut lock_ns, stats, frame_leaf_mask,
+                &mut request_leaf_events, &mut request_distinct,
+            );
+        }
+        let mut action_nodes = Vec::new();
+        let mut action_cands = Vec::new();
+        gather_candidates(
+            env, ctx, task, &region, &action_plan, &mut action_nodes, &mut action_cands,
+            &mut work, &mut lock_ns, stats,
+        );
+        if env.policy.is_some() {
+            let t0 = ctx.now();
+            ctx.charge(env.cost.claim_op * (action_cands.len() as u64 + 1));
+            lock_ns += ctx.now() - t0;
+        }
+        claim_all(env, task, mover, &action_cands);
+        if buttons.has(Buttons::ATTACK) {
+            if let Some(hit) = run_hitscan(env.world, task, mover, &action_cands, &mut work) {
+                outcome.events.push(GameEvent {
+                    kind: GameEventKind::Hit,
+                    a: mover,
+                    b: hit.victim,
+                    pos: hit.pos,
+                });
+            }
+        }
+        if buttons.has(Buttons::THROW) {
+            // The projectile slot is private to its shooter, so the
+            // claim can never conflict; it must still precede mutation.
+            let slot_ent = env.world.projectile_slot(slot);
+            env.world.store.claim(slot_ent, task);
+            if let Some(proj) = launch_projectile(env.world, task, slot, ctx.now(), &mut work) {
+                relink_locked(env, ctx, task, proj, &action_plan, &mut lock_ns, stats);
+            }
+            env.world.store.release(slot_ent, task);
+        }
+        release_all(env, task, mover, &action_cands);
+        unlock_region(env, ctx, task, &action_plan, &mut lock_ns);
+    } else if one_pass {
+        unlock_region(env, ctx, task, &plan, &mut lock_ns);
+    }
+
+    // ---- Accounting --------------------------------------------------
+    ctx.charge(env.cost.work_ns(&work));
+    let total = ctx.now() - t_start;
+    stats.breakdown.add(Bucket::Lock, lock_ns);
+    stats.breakdown.add(Bucket::Exec, total.saturating_sub(lock_ns));
+    stats.requests += 1;
+    if env.policy.is_some() {
+        stats.lock.requests += 1;
+        stats.lock.distinct_leaves += request_distinct.len() as u64;
+        stats.lock.leaf_lock_events += request_leaf_events;
+        stats.lock.leaf_capacity += env.world.tree.leaf_count() as u64;
+    }
+    outcome
+}
+
+/// Result of one move execution.
+#[derive(Default)]
+pub struct ExecOutcome {
+    /// Broadcastable events produced by this move.
+    pub events: Vec<GameEvent>,
+}
+
+/// The lock/query region for a long-range action (paper §4.3).
+/// `optimized_shape` forces the directional/expanded form (used by the
+/// one-pass policy, whose region shapes follow the optimized rules).
+fn action_region_for(
+    env: &ExecEnv<'_>,
+    me: &parquake_sim::Entity,
+    buttons: Buttons,
+    optimized_shape: bool,
+) -> Aabb {
+    match env.policy {
+        Some(LockPolicy::Baseline) | None if !optimized_shape => {
+            // Conservative: the entire map.
+            env.world.map.bounds
+        }
+        _ => {
+            if buttons.has(Buttons::ATTACK) {
+                // Directional bounding-box locking for fully simulated
+                // objects (hitscan).
+                directional_beam_box(me.eye(), Angles::new(me.pitch, me.yaw, 0.0), HITSCAN_RANGE)
+            } else {
+                // Expanded bounding-box locking for objects completed
+                // in the world phase (thrown projectiles).
+                me.abs_box().inflated(Vec3::splat(EXPANDED_LOCK_MARGIN))
+            }
+        }
+    }
+}
+
+/// Pre-motion action region for the one-pass policy: the optimized
+/// region computed from the *command's* view angles at the pre-move
+/// position, inflated by the maximum travel distance so it still covers
+/// the post-move region.
+fn one_pass_action_region(
+    env: &ExecEnv<'_>,
+    me: &parquake_sim::Entity,
+    cmd: &MoveCmd,
+    buttons: Buttons,
+) -> Aabb {
+    let _ = env;
+    let slack = parquake_sim::movement::max_move_distance(cmd.msec) + 8.0;
+    let region = if buttons.has(Buttons::ATTACK) {
+        directional_beam_box(me.eye(), Angles::new(cmd.pitch, cmd.yaw, 0.0), HITSCAN_RANGE)
+    } else {
+        me.abs_box().inflated(Vec3::splat(EXPANDED_LOCK_MARGIN))
+    };
+    region.inflated(Vec3::splat(slack))
+}
+
+/// Compute and acquire the ordered leaf lock plan for `region`.
+#[allow(clippy::too_many_arguments)]
+fn lock_region(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    region: &Aabb,
+    plan: &mut LeafSet,
+    lock_ns: &mut Nanos,
+    stats: &mut ThreadStats,
+    frame_leaf_mask: &mut u64,
+    request_leaf_events: &mut u64,
+    request_distinct: &mut LeafSet,
+) {
+    let Some(_policy) = env.policy else {
+        plan.clear();
+        return;
+    };
+    let t0 = ctx.now();
+    // Region determination is charged to locking (paper §4.1: "locking
+    // is performed in recursive procedures that traverse the areanode
+    // tree and the server needs to determine which regions to lock").
+    let covered = region.inflated(Vec3::splat(LOCK_COVERAGE_MARGIN));
+    let visits = env.world.tree.leaves_overlapping(&covered, plan);
+    ctx.charge(visits as u64 * env.cost.areanode_visit);
+    for &leaf in plan.ids() {
+        ctx.charge(env.cost.lock_op);
+        let waited = ctx.lock(env.locks.node_lock(leaf));
+        env.world.links.note_locked(leaf, task);
+        stats.lock.leaf_ns += waited;
+        stats.lock.leaf_ops += 1;
+        *frame_leaf_mask |= env.locks.leaf_bit(leaf);
+        *request_leaf_events += 1;
+        request_distinct.insert(leaf);
+    }
+    *lock_ns += ctx.now() - t0;
+}
+
+/// Release a leaf lock plan (reverse order, though any order is safe).
+fn unlock_region(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    plan: &LeafSet,
+    lock_ns: &mut Nanos,
+) {
+    if env.policy.is_none() {
+        return;
+    }
+    let t0 = ctx.now();
+    for &leaf in plan.ids().iter().rev() {
+        ctx.charge(env.cost.unlock_op);
+        env.world.links.note_unlocked(leaf, task);
+        ctx.unlock(env.locks.node_lock(leaf));
+    }
+    *lock_ns += ctx.now() - t0;
+}
+
+/// Walk the areanode tree collecting candidate entities whose boxes
+/// intersect `query` (paper §2.3 step 2). Leaf lists are read under the
+/// already-held leaf locks; interior ("parent") lists under short
+/// per-node locks.
+#[allow(clippy::too_many_arguments)]
+fn gather_candidates(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    query: &Aabb,
+    plan: &LeafSet,
+    nodes: &mut Vec<NodeId>,
+    out: &mut Vec<EntityId>,
+    work: &mut WorkCounters,
+    lock_ns: &mut Nanos,
+    stats: &mut ThreadStats,
+) {
+    out.clear();
+    let visits = env.world.tree.nodes_overlapping(query, nodes);
+    work.areanode_visits += visits as u64;
+    let mut raw: Vec<u32> = Vec::new();
+    for &node in nodes.iter() {
+        raw.clear();
+        let is_leaf = env.world.tree.is_leaf(node);
+        if env.policy.is_some() && !is_leaf {
+            // Parent areanode: lock its object list for the read only.
+            let t0 = ctx.now();
+            ctx.charge(env.cost.lock_op);
+            let waited = ctx.lock(env.locks.node_lock(node));
+            env.world.links.note_locked(node, task);
+            stats.lock.parent_ns += waited;
+            stats.lock.parent_ops += 1;
+            env.world.links.extend_into(node, task, &mut raw);
+            ctx.charge(env.cost.unlock_op);
+            env.world.links.note_unlocked(node, task);
+            ctx.unlock(env.locks.node_lock(node));
+            *lock_ns += ctx.now() - t0;
+        } else {
+            if env.policy.is_some() {
+                debug_assert!(plan.contains(node), "reading unlocked leaf {node}");
+            }
+            env.world.links.extend_into(node, task, &mut raw);
+        }
+        for &id in &raw {
+            let id = id as EntityId;
+            work.candidates += 1;
+            let e = env.world.store.snapshot(id);
+            if e.active && e.abs_box().intersects(query) {
+                out.push(id);
+            }
+        }
+    }
+}
+
+/// Claim the mover and every candidate for mutation checking.
+fn claim_all(env: &ExecEnv<'_>, task: u32, mover: EntityId, candidates: &[EntityId]) {
+    env.world.store.claim(mover, task);
+    for &c in candidates {
+        if c != mover {
+            env.world.store.claim(c, task);
+        }
+    }
+}
+
+fn release_all(env: &ExecEnv<'_>, task: u32, mover: EntityId, candidates: &[EntityId]) {
+    for &c in candidates {
+        if c != mover {
+            env.world.store.release(c, task);
+        }
+    }
+    env.world.store.release(mover, task);
+}
+
+/// Relink an entity after motion. Both its old and new nodes lie within
+/// the locked region (motion is bounded by the move bbox, which the
+/// plan covers with margin); interior-node lists still take the short
+/// parent lock.
+fn relink_locked(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    ent: EntityId,
+    plan: &LeafSet,
+    lock_ns: &mut Nanos,
+    stats: &mut ThreadStats,
+) {
+    if env.policy.is_none() {
+        env.world.relink_unlocked(ent);
+        return;
+    }
+    let e = env.world.store.snapshot(ent);
+    let new_node = env.world.tree.node_for_box(&e.abs_box());
+    if !e.linked {
+        // Fresh link (a just-launched projectile): insert only.
+        link_into(env, ctx, task, ent, new_node, plan, lock_ns, stats, true);
+        env.world.store.with_mut(ent, task, |x| {
+            x.linked_node = new_node;
+            x.linked = true;
+        });
+        return;
+    }
+    if new_node == e.linked_node {
+        return;
+    }
+    link_into(env, ctx, task, ent, e.linked_node, plan, lock_ns, stats, false);
+    link_into(env, ctx, task, ent, new_node, plan, lock_ns, stats, true);
+    env.world.store.with_mut(ent, task, |x| x.linked_node = new_node);
+}
+
+/// Insert (`insert = true`) or remove an entity from one node's object
+/// list, taking the short parent lock when the node is interior. Leaves
+/// must already be covered by the held lock plan.
+#[allow(clippy::too_many_arguments)]
+fn link_into(
+    env: &ExecEnv<'_>,
+    ctx: &TaskCtx,
+    task: u32,
+    ent: EntityId,
+    node: NodeId,
+    plan: &LeafSet,
+    lock_ns: &mut Nanos,
+    stats: &mut ThreadStats,
+    insert: bool,
+) {
+    let is_leaf = env.world.tree.is_leaf(node);
+    if is_leaf {
+        debug_assert!(plan.contains(node), "relink through unlocked leaf {node}");
+        if insert {
+            env.world.links.push(node, task, ent as u32);
+        } else {
+            env.world.links.remove(node, task, ent as u32);
+        }
+    } else {
+        let t0 = ctx.now();
+        ctx.charge(env.cost.lock_op);
+        let waited = ctx.lock(env.locks.node_lock(node));
+        env.world.links.note_locked(node, task);
+        stats.lock.parent_ns += waited;
+        stats.lock.parent_ops += 1;
+        if insert {
+            env.world.links.push(node, task, ent as u32);
+        } else {
+            env.world.links.remove(node, task, ent as u32);
+        }
+        ctx.charge(env.cost.unlock_op);
+        env.world.links.note_unlocked(node, task);
+        ctx.unlock(env.locks.node_lock(node));
+        *lock_ns += ctx.now() - t0;
+    }
+}

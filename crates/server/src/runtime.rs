@@ -1,0 +1,502 @@
+//! Shared server runtime: the pieces both the sequential and parallel
+//! servers compose — message handling, the world-update phase, the
+//! reply phase, and the global state buffer.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use parquake_fabric::{Fabric, Nanos, PortId, TaskCtx};
+use parquake_math::Pcg32;
+use parquake_metrics::ThreadStats;
+use parquake_protocol::{
+    ClientMessage, Decode, Encode, GameEvent, ServerMessage, MAX_EVENTS_PER_REPLY,
+};
+use parquake_sim::worldphase::run_world_phase;
+use parquake_sim::{GameWorld, WorkCounters};
+
+use crate::clients::{ClientTable, SlotState};
+use crate::cost::CostModel;
+use crate::exec::{execute_move, ExecEnv, RegionLocks};
+use crate::visibility_reply::build_reply;
+use crate::{Assignment, LockPolicy, ServerConfig};
+
+/// State shared by every server thread of one server instance.
+pub struct ServerShared {
+    pub world: Arc<GameWorld>,
+    pub clients: ClientTable,
+    pub locks: RegionLocks,
+    pub cost: CostModel,
+    pub policy: Option<LockPolicy>,
+    pub end_time: Nanos,
+    pub checking: bool,
+    /// Request batching window (0 = off).
+    pub frame_batch_ns: Nanos,
+    /// Player-to-thread assignment scheme.
+    pub assignment: Assignment,
+    /// QuakeWorld-style delta compression of replies (extension).
+    pub delta_compression: bool,
+    pub threads: u32,
+    pub slots_per_thread: u32,
+    pub ports: Vec<PortId>,
+    /// The global state buffer (paper §3.3): broadcast events appended
+    /// during the world and request phases; guarded by
+    /// `locks.global_lock`.
+    global_events: UnsafeCell<Vec<GameEvent>>,
+    /// World-phase RNG; only the frame master touches it.
+    rng: UnsafeCell<Pcg32>,
+    /// Time of the previous world update (master-only).
+    last_world: UnsafeCell<Nanos>,
+}
+
+// SAFETY: interior state is guarded by the fabric global lock
+// (global_events) or by the single-master phase protocol (rng,
+// last_world).
+unsafe impl Sync for ServerShared {}
+unsafe impl Send for ServerShared {}
+
+impl ServerShared {
+    pub fn new(
+        fabric: &Arc<dyn Fabric>,
+        cfg: &ServerConfig,
+        world: Arc<GameWorld>,
+        threads: u32,
+        policy: Option<LockPolicy>,
+    ) -> ServerShared {
+        let slots = world.max_players() as usize;
+        let locks = RegionLocks::new(fabric, &world.tree, slots);
+        let ports: Vec<PortId> = (0..threads).map(|_| fabric.alloc_port()).collect();
+        ServerShared {
+            clients: ClientTable::new(slots),
+            locks,
+            cost: cfg.cost.clone(),
+            policy,
+            end_time: cfg.end_time,
+            checking: cfg.checking && policy.is_some(),
+            frame_batch_ns: cfg.frame_batch_ns,
+            assignment: cfg.assignment,
+            delta_compression: cfg.delta_compression,
+            threads,
+            slots_per_thread: (slots as u32).div_ceil(threads),
+            ports,
+            global_events: UnsafeCell::new(Vec::new()),
+            rng: UnsafeCell::new(Pcg32::new(0x5EB0_0715, 99)),
+            last_world: UnsafeCell::new(0),
+            world,
+        }
+    }
+
+    /// The static *home* block of a thread (connect-time assignment,
+    /// §3.1). Under static assignment this is also the ownership set.
+    pub fn own_slots(&self, thread: u32) -> std::ops::Range<usize> {
+        let per = self.slots_per_thread as usize;
+        let start = thread as usize * per;
+        let end = (start + per).min(self.clients.capacity());
+        start..end.max(start)
+    }
+
+    /// Slots this thread currently answers for. Under static assignment
+    /// this is exactly the home block; under the region-affine scheme it
+    /// follows the most recent processing thread.
+    pub fn owned_slots(&self, thread: u32) -> Vec<usize> {
+        match self.assignment {
+            Assignment::Static => self
+                .own_slots(thread)
+                .filter(|&i| self.clients.slot(i).state != SlotState::Empty)
+                .collect(),
+            Assignment::RegionAffine { .. } => (0..self.clients.capacity())
+                .filter(|&i| {
+                    let s = self.clients.slot(i);
+                    s.state != SlotState::Empty && s.owner == thread
+                })
+                .collect(),
+        }
+    }
+
+    /// Is the dynamic assignment scheme active?
+    #[inline]
+    pub fn dynamic_assignment(&self) -> bool {
+        matches!(self.assignment, Assignment::RegionAffine { .. })
+    }
+
+    pub fn exec_env(&self) -> ExecEnv<'_> {
+        ExecEnv {
+            world: &self.world,
+            locks: &self.locks,
+            cost: &self.cost,
+            policy: self.policy,
+        }
+    }
+
+    /// Append events to the global state buffer under its lock.
+    pub fn push_global_events(&self, ctx: &TaskCtx, stats: &mut ThreadStats, events: &[GameEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let waited = ctx.lock(self.locks.global_lock);
+        stats.lock.global_buffer_ns += waited;
+        // SAFETY: global_lock held.
+        unsafe { (*self.global_events.get()).extend_from_slice(events) };
+        ctx.unlock(self.locks.global_lock);
+    }
+
+    /// Snapshot the global buffer (reply phase).
+    pub fn read_global_events(&self, ctx: &TaskCtx, stats: &mut ThreadStats) -> Vec<GameEvent> {
+        let waited = ctx.lock(self.locks.global_lock);
+        stats.lock.global_buffer_ns += waited;
+        // SAFETY: global_lock held.
+        let copy = unsafe { (*self.global_events.get()).clone() };
+        ctx.unlock(self.locks.global_lock);
+        copy
+    }
+
+    /// Clear the global buffer (frame end, master only, under lock).
+    pub fn clear_global_events(&self, ctx: &TaskCtx, stats: &mut ThreadStats) {
+        let waited = ctx.lock(self.locks.global_lock);
+        stats.lock.global_buffer_ns += waited;
+        // SAFETY: global_lock held.
+        unsafe { (*self.global_events.get()).clear() };
+        ctx.unlock(self.locks.global_lock);
+    }
+
+    /// Toggle the dynamic protocol checkers (request phase on, world
+    /// phase off — the master mutates freely by phase exclusivity).
+    pub fn set_checking(&self, on: bool) {
+        if self.checking {
+            self.world.links.set_checking(on);
+            self.world.store.set_checking(on);
+        }
+    }
+
+    /// The world-update phase (master/sequential thread). Spawns
+    /// pending connections, despawns leavers, advances world physics,
+    /// and appends the resulting events to the global buffer. Returns
+    /// charged time via the fabric; the caller buckets it as `World`.
+    pub fn run_world_update(&self, ctx: &TaskCtx, stats: &mut ThreadStats, frame_no: u32) {
+        self.set_checking(false);
+        let now = ctx.now();
+        // SAFETY: master-only by the phase protocol.
+        let rng = unsafe { &mut *self.rng.get() };
+        let last = unsafe { &mut *self.last_world.get() };
+        let dt = if *last == 0 { 30_000_000 } else { now - *last };
+        *last = now;
+
+        // Connection maintenance.
+        for idx in 0..self.clients.capacity() {
+            let slot = self.clients.slot(idx);
+            match slot.state {
+                SlotState::Pending => {
+                    self.world.spawn_player(idx as u16, slot.client_id, rng);
+                    slot.state = SlotState::Active;
+                    slot.needs_ack = true;
+                    slot.leaving = false;
+                }
+                SlotState::Active if slot.leaving => {
+                    self.world.despawn_player(idx as u16);
+                    slot.state = SlotState::Empty;
+                    slot.leaving = false;
+                    slot.events.clear();
+                }
+                _ => {}
+            }
+        }
+
+        let mut events = Vec::new();
+        let mut work = WorkCounters::new();
+        run_world_phase(&self.world, now, dt.min(250_000_000), rng, &mut events, &mut work);
+
+        // Region-affine reassignment (paper §5.1 future work): cluster
+        // players by the areanode leaf they occupy and steer each client
+        // to the thread owning that part of the world.
+        if let Assignment::RegionAffine { period_frames } = self.assignment {
+            if period_frames > 0 && frame_no % period_frames == 0 {
+                self.recluster_players(ctx);
+            }
+        }
+
+        ctx.charge(self.cost.world_base + self.cost.work_ns(&work));
+        self.push_global_events(ctx, stats, &events);
+        self.set_checking(true);
+    }
+
+    /// Sort active players by areanode leaf (spatial order) and cut the
+    /// sorted list into `threads` contiguous groups: players sharing a
+    /// region land on the same thread, so concurrent moves mostly lock
+    /// disjoint leaves. Master-only (world phase).
+    fn recluster_players(&self, ctx: &TaskCtx) {
+        let mut keyed: Vec<(u32, usize)> = Vec::new();
+        for idx in 0..self.clients.capacity() {
+            let slot = self.clients.slot(idx);
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            let ent = self.world.store.snapshot(idx as u16);
+            keyed.push((ent.linked_node, idx));
+        }
+        if keyed.is_empty() {
+            return;
+        }
+        keyed.sort_unstable();
+        let per = keyed.len().div_ceil(self.threads as usize);
+        for (rank, &(_leaf, idx)) in keyed.iter().enumerate() {
+            let target = (rank / per) as u32;
+            self.clients.slot(idx).desired_thread = target.min(self.threads - 1);
+        }
+        // Modelled cost: a sort + scan over the player list.
+        ctx.charge(keyed.len() as u64 * 400);
+    }
+
+    /// Handle one decoded client message during request processing.
+    /// Returns `true` if it was a move (counts toward per-frame request
+    /// statistics).
+    pub fn handle_message(
+        &self,
+        ctx: &TaskCtx,
+        thread: u32,
+        from_port: PortId,
+        msg: ClientMessage,
+        stats: &mut ThreadStats,
+        frame_leaf_mask: &mut u64,
+    ) -> bool {
+        match msg {
+            ClientMessage::Connect { client_id } => {
+                let range = self.own_slots(thread);
+                // Re-ack an existing slot (anywhere, in case the client
+                // was steered) or claim a fresh one in the home block.
+                let mut target = None;
+                for idx in 0..self.clients.capacity() {
+                    let slot = self.clients.slot(idx);
+                    if slot.state != SlotState::Empty && slot.client_id == client_id {
+                        target = Some(idx);
+                        break;
+                    }
+                }
+                if target.is_none() {
+                    target = range.clone().find(|&idx| {
+                        self.clients.slot(idx).state == SlotState::Empty
+                    });
+                }
+                if let Some(idx) = target {
+                    let slot = self.clients.slot(idx);
+                    slot.client_id = client_id;
+                    slot.reply_port = from_port;
+                    match slot.state {
+                        SlotState::Empty => {
+                            slot.state = SlotState::Pending;
+                            slot.owner = thread;
+                            slot.desired_thread = thread;
+                        }
+                        SlotState::Active => slot.needs_ack = true,
+                        SlotState::Pending => {}
+                    }
+                }
+                false
+            }
+            ClientMessage::Disconnect { client_id } => {
+                for idx in 0..self.clients.capacity() {
+                    let slot = self.clients.slot(idx);
+                    if slot.state == SlotState::Active && slot.client_id == client_id {
+                        slot.leaving = true;
+                    }
+                }
+                false
+            }
+            ClientMessage::Move { client_id, cmd } => {
+                // Static assignment: the slot is in this thread's home
+                // block. Dynamic assignment: the client may have been
+                // steered here from any block, so scan everything.
+                let range: Box<dyn Iterator<Item = usize>> = if self.dynamic_assignment() {
+                    Box::new(0..self.clients.capacity())
+                } else {
+                    Box::new(self.own_slots(thread))
+                };
+                for idx in range {
+                    let slot = self.clients.slot(idx);
+                    if slot.state == SlotState::Active && slot.client_id == client_id {
+                        let env = self.exec_env();
+                        let outcome = execute_move(
+                            &env,
+                            ctx,
+                            thread,
+                            idx as u16,
+                            &cmd,
+                            stats,
+                            frame_leaf_mask,
+                        );
+                        self.push_global_events(ctx, stats, &outcome.events);
+                        // Slot bookkeeping: under dynamic assignment two
+                        // threads can transiently process one client's
+                        // moves in the same frame (port switch window),
+                        // so serialize on the slot's buffer lock.
+                        let dynamic = self.dynamic_assignment();
+                        if dynamic {
+                            let waited = ctx.lock(self.locks.client_lock(idx));
+                            stats.lock.reply_buffer_ns += waited;
+                        }
+                        let slot = self.clients.slot(idx);
+                        slot.requests_this_frame += 1;
+                        slot.last_seq = cmd.seq;
+                        slot.last_sent_at = cmd.sent_at;
+                        slot.owner = thread;
+                        if dynamic {
+                            ctx.unlock(self.locks.client_lock(idx));
+                        }
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Drain and process this thread's request queue (the Rx/E loop).
+    /// Returns the number of move requests processed.
+    pub fn drain_requests(
+        &self,
+        ctx: &TaskCtx,
+        thread: u32,
+        port: PortId,
+        stats: &mut ThreadStats,
+        frame_leaf_mask: &mut u64,
+    ) -> u32 {
+        let mut moves = 0u32;
+        loop {
+            let t0 = ctx.now();
+            let Some(raw) = ctx.try_recv(port) else {
+                break;
+            };
+            ctx.charge(self.cost.recv);
+            let decoded = ClientMessage::from_bytes(&raw.payload);
+            stats.breakdown.add(parquake_metrics::Bucket::Receive, ctx.now() - t0);
+            if let Ok(msg) = decoded {
+                if self.handle_message(ctx, thread, raw.from, msg, stats, frame_leaf_mask) {
+                    moves += 1;
+                }
+            }
+            // Malformed datagrams are dropped, like the original server.
+        }
+        moves
+    }
+
+    /// Distribute the global state buffer into the message buffers of
+    /// the slots in `range` (under per-player buffer locks), then send
+    /// replies/acks for slots that need them. `frame` is the server
+    /// frame number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reply_for_slots(
+        &self,
+        ctx: &TaskCtx,
+        port: PortId,
+        slots: &[usize],
+        global: &[GameEvent],
+        frame: u32,
+        stats: &mut ThreadStats,
+        send_replies: bool,
+    ) {
+        for &idx in slots {
+            let slot_state = self.clients.slot(idx).state;
+            if slot_state != SlotState::Active {
+                continue;
+            }
+            // Update the slot's message buffer from the global buffer.
+            if !global.is_empty() {
+                let waited = ctx.lock(self.locks.client_lock(idx));
+                stats.lock.reply_buffer_ns += waited;
+                let slot = self.clients.slot(idx);
+                for ev in global {
+                    slot.push_event(*ev);
+                }
+                ctx.charge(self.cost.event_append * global.len() as u64);
+                ctx.unlock(self.locks.client_lock(idx));
+            }
+            if !send_replies {
+                continue;
+            }
+            let slot = self.clients.slot(idx);
+            if slot.needs_ack {
+                slot.needs_ack = false;
+                let ack = ServerMessage::ConnectAck {
+                    client_id: slot.client_id,
+                    spawn: self.world.store.snapshot(idx as u16).pos,
+                };
+                ctx.charge(self.cost.reply_base / 2);
+                ctx.send(port, slot.reply_port, ack.to_bytes());
+                stats.replies += 1;
+            }
+            if slot.requests_this_frame == 0 {
+                continue;
+            }
+            // Build and send the reply.
+            let mut work = WorkCounters::new();
+            let reply = {
+                let waited = ctx.lock(self.locks.client_lock(idx));
+                stats.lock.reply_buffer_ns += waited;
+                let slot = self.clients.slot(idx);
+                let take = slot.events.len().min(MAX_EVENTS_PER_REPLY);
+                let events: Vec<GameEvent> = slot.events.drain(..take).collect();
+                ctx.unlock(self.locks.client_lock(idx));
+                let steer = slot.desired_thread.min(u8::MAX as u32) as u8;
+                build_reply(
+                    &self.world,
+                    idx as u16,
+                    slot,
+                    frame,
+                    steer,
+                    self.delta_compression,
+                    events,
+                    &mut work,
+                )
+            };
+            let bytes = reply.to_bytes();
+            ctx.charge(
+                self.cost.work_ns(&work)
+                    + self.cost.reply_base
+                    + self.cost.reply_byte * bytes.len() as u64,
+            );
+            let slot = self.clients.slot(idx);
+            ctx.send(port, slot.reply_port, bytes);
+            slot.requests_this_frame = 0;
+            stats.replies += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerKind;
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_fabric::FabricKind;
+
+    fn shared(threads: u32) -> (Arc<dyn Fabric>, ServerShared) {
+        let fabric = FabricKind::VirtualSmp(Default::default()).build();
+        let map = Arc::new(MapGenConfig::small_arena(1).generate());
+        let world = Arc::new(GameWorld::new(map, 4, 32));
+        let cfg = ServerConfig::new(ServerKind::Sequential, 1_000_000_000);
+        let s = ServerShared::new(&fabric, &cfg, world, threads, None);
+        (fabric, s)
+    }
+
+    #[test]
+    fn own_slots_partition_block_wise() {
+        let (_f, s) = shared(4);
+        assert_eq!(s.own_slots(0), 0..8);
+        assert_eq!(s.own_slots(1), 8..16);
+        assert_eq!(s.own_slots(3), 24..32);
+        // Ranges cover everything exactly once.
+        let total: usize = (0..4).map(|t| s.own_slots(t).len()).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn own_slots_handles_uneven_division() {
+        let fabric = FabricKind::VirtualSmp(Default::default()).build();
+        let map = Arc::new(MapGenConfig::small_arena(1).generate());
+        let world = Arc::new(GameWorld::new(map, 4, 10));
+        let cfg = ServerConfig::new(ServerKind::Sequential, 1);
+        let s = ServerShared::new(&fabric, &cfg, world, 3, None);
+        let total: usize = (0..3).map(|t| s.own_slots(t).len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(s.own_slots(0), 0..4);
+        assert_eq!(s.own_slots(2), 8..10);
+    }
+}

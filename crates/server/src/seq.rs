@@ -1,0 +1,105 @@
+//! The sequential server (paper §2.1): one thread, no locks.
+//!
+//! The frame loop is the original's: block in `select` until a request
+//! arrives, update world physics, receive and process requests until
+//! the queue is empty, then form and send replies to every client that
+//! sent a request this frame.
+
+use std::sync::{Arc, Mutex};
+
+use parquake_fabric::{Fabric, TaskCtx};
+use parquake_metrics::{Bucket, FrameSample, FrameStats, ThreadStats, Timeline};
+use parquake_sim::GameWorld;
+
+use crate::runtime::ServerShared;
+use crate::{ServerConfig, ServerHandle, ServerResults};
+
+/// Spawn the sequential server task onto `fabric`.
+pub fn spawn_sequential(
+    fabric: &Arc<dyn Fabric>,
+    cfg: ServerConfig,
+    world: Arc<GameWorld>,
+) -> ServerHandle {
+    let shared = Arc::new(ServerShared::new(fabric, &cfg, world, 1, None));
+    let results = Arc::new(Mutex::new(ServerResults::default()));
+    let handle = ServerHandle {
+        ports: shared.ports.clone(),
+        results: results.clone(),
+        slots_per_thread: shared.slots_per_thread,
+    };
+    let res = results.clone();
+    let sh = shared.clone();
+    fabric.spawn(
+        "server-seq",
+        Some(0),
+        Box::new(move |ctx| run(ctx, &sh, &res)),
+    );
+    handle
+}
+
+fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
+    // The sequential server never enables the parallel protocol
+    // checkers: there is no locking protocol to check.
+    shared.world.links.set_checking(false);
+    shared.world.store.set_checking(false);
+
+    let port = shared.ports[0];
+    let mut stats = ThreadStats::new();
+    let mut frames = FrameStats::new();
+    let mut timeline = Timeline::default();
+    let mut frame_no: u32 = 0;
+
+    loop {
+        // S: block until a request arrives (or the run ends).
+        let t0 = ctx.now();
+        let readable = ctx.wait_readable(port, Some(shared.end_time));
+        if !readable {
+            // End-of-run drain tail: not part of the measured window.
+            break;
+        }
+        stats.breakdown.add(Bucket::Idle, ctx.now() - t0);
+        ctx.charge(shared.cost.select_op);
+        frame_no += 1;
+        let frame_start = ctx.now();
+
+        // P: world physics.
+        let t0 = ctx.now();
+        shared.run_world_update(ctx, &mut stats, frame_no);
+        stats.breakdown.add(Bucket::World, ctx.now() - t0);
+        stats.mastered += 1;
+
+        // Rx/E: drain the request queue.
+        let mut unused_mask = 0u64;
+        let moves = shared.drain_requests(ctx, 0, port, &mut stats, &mut unused_mask);
+
+        // T/Tx: replies for everyone who sent a request.
+        let t0 = ctx.now();
+        let global = shared.read_global_events(ctx, &mut stats);
+        let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
+        shared.reply_for_slots(ctx, port, &all_slots, &global, frame_no, &mut stats, true);
+        shared.clear_global_events(ctx, &mut stats);
+        stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
+
+        stats.frames += 1;
+        frames.frames += 1;
+        frames.frame_ns_sum += ctx.now() - frame_start;
+        frames.note_frame_requests(&[moves]);
+        frames.leaf_count = shared.world.tree.leaf_count() as u64;
+        timeline.push(FrameSample {
+            start_ns: frame_start,
+            duration_ns: ctx.now() - frame_start,
+            participants: 1,
+            requests: moves,
+            requests_max: moves,
+            requests_min: moves,
+            master: 0,
+        });
+    }
+
+    let mut r = results.lock().unwrap();
+    r.threads = vec![stats];
+    r.frames = frames;
+    r.timeline = timeline;
+    r.frame_count = frame_no as u64;
+    r.leaf_count = shared.world.tree.leaf_count() as u64;
+}

@@ -1,0 +1,124 @@
+//! Reply construction: visibility-scoped entity updates plus queued
+//! broadcast events, one [`ServerMessage::Reply`] per requesting client
+//! per frame (paper §2.1).
+
+use parquake_protocol::{EntityUpdate, GameEvent, ServerMessage, MAX_REMOVALS_PER_REPLY};
+use parquake_sim::visibility::build_reply_entities;
+use parquake_sim::{GameWorld, WorkCounters};
+
+use crate::clients::Slot;
+
+/// Has the entity changed enough since `prev` to resend it?
+fn changed(prev: &EntityUpdate, cur: &EntityUpdate) -> bool {
+    prev.state != cur.state
+        || prev.kind != cur.kind
+        || prev.pos.distance_sq(cur.pos) > 0.0625 // > 1/4 unit
+        || (prev.yaw - cur.yaw).abs() > 1.0
+}
+
+/// Build the reply for `slot_idx`'s client. `assigned_thread` tells the
+/// client which server thread (port) to address next. When `delta` is
+/// set, only entities that changed since the client's baseline are
+/// included, plus removal notices — QuakeWorld-style delta compression
+/// (the slot's baseline is updated in place).
+#[allow(clippy::too_many_arguments)]
+pub fn build_reply(
+    world: &GameWorld,
+    slot_idx: u16,
+    slot: &mut Slot,
+    frame: u32,
+    assigned_thread: u8,
+    delta: bool,
+    events: Vec<GameEvent>,
+    work: &mut WorkCounters,
+) -> ServerMessage {
+    let mut visible = Vec::new();
+    let mut scratch = Vec::new();
+    build_reply_entities(world, slot_idx, &mut visible, &mut scratch, work);
+
+    let (entities, removed) = if delta {
+        let mut out = Vec::new();
+        for u in &visible {
+            match slot.baseline.get(&u.id) {
+                Some(prev) if !changed(prev, u) => {}
+                _ => {
+                    out.push(*u);
+                    slot.baseline.insert(u.id, *u);
+                }
+            }
+        }
+        // Entities that left the visible set.
+        let visible_ids: std::collections::HashSet<u16> =
+            visible.iter().map(|u| u.id).collect();
+        let mut removed: Vec<u16> = slot
+            .baseline
+            .keys()
+            .copied()
+            .filter(|id| !visible_ids.contains(id))
+            .take(MAX_REMOVALS_PER_REPLY)
+            .collect();
+        removed.sort_unstable();
+        for id in &removed {
+            slot.baseline.remove(id);
+        }
+        // Only the actually-encoded updates cost reply time.
+        work.encoded_entities = work.encoded_entities
+            - visible.len() as u64
+            + out.len() as u64
+            + removed.len() as u64 / 4;
+        (out, removed)
+    } else {
+        (visible, Vec::new())
+    };
+
+    ServerMessage::Reply {
+        client_id: slot.client_id,
+        seq: slot.last_seq,
+        sent_at_echo: slot.last_sent_at,
+        frame,
+        assigned_thread,
+        origin: world.store.snapshot(slot_idx).pos,
+        delta,
+        entities,
+        removed,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::ClientTable;
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::Pcg32;
+    use std::sync::Arc;
+
+    #[test]
+    fn reply_carries_echo_and_origin() {
+        let map = Arc::new(MapGenConfig::small_arena(2).generate());
+        let world = GameWorld::new(map, 4, 4);
+        let mut rng = Pcg32::seeded(1);
+        world.spawn_player(0, 7, &mut rng);
+        let table = ClientTable::new(4);
+        let slot = table.slot(0);
+        slot.client_id = 7;
+        slot.last_seq = 42;
+        slot.last_sent_at = 1234;
+        let mut work = WorkCounters::new();
+        let msg = build_reply(&world, 0, slot, 9, 2, false, Vec::new(), &mut work);
+        match msg {
+            ServerMessage::Reply {
+                client_id, seq, sent_at_echo, frame, assigned_thread, origin, ..
+            } => {
+                assert_eq!(client_id, 7);
+                assert_eq!(seq, 42);
+                assert_eq!(sent_at_echo, 1234);
+                assert_eq!(frame, 9);
+                assert_eq!(assigned_thread, 2);
+                assert_eq!(origin, world.store.snapshot(0).pos);
+            }
+            _ => unreachable!(),
+        }
+        assert!(work.visibility_checks > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Semantic equivalence: running the *same* command stream through the
+//! locked executor (either policy) must produce *exactly* the same
+//! world state as the lock-free sequential path — the locking machinery
+//! may cost time but must never change game semantics.
+
+use std::sync::{Arc, Mutex};
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{FabricKind, TaskCtx};
+use parquake_math::Pcg32;
+use parquake_metrics::ThreadStats;
+use parquake_protocol::{Buttons, MoveCmd};
+use parquake_server::exec::{execute_move, ExecEnv, RegionLocks};
+use parquake_server::{CostModel, LockPolicy};
+use parquake_sim::GameWorld;
+
+/// Deterministic command stream for `players` over `rounds` frames.
+fn command(rng: &mut Pcg32, round: u32, seq: u32) -> MoveCmd {
+    let mut buttons = Buttons::NONE;
+    if rng.chance(0.10) {
+        buttons = buttons.with(Buttons::ATTACK);
+    } else if rng.chance(0.05) {
+        buttons = buttons.with(Buttons::THROW);
+    }
+    if rng.chance(0.05) {
+        buttons = buttons.with(Buttons::JUMP);
+    }
+    MoveCmd {
+        seq,
+        sent_at: round as u64,
+        pitch: rng.range_f32(-20.0, 20.0),
+        yaw: rng.range_f32(-180.0, 180.0),
+        forward: 320.0,
+        side: 0.0,
+        up: 0.0,
+        buttons,
+        msec: 30,
+    }
+}
+
+/// Drive `rounds` frames of moves through `execute_move` on a single
+/// fabric task under the given policy; return the final world hash.
+fn drive(policy: Option<LockPolicy>, players: u16, rounds: u32) -> (u64, GameAudit) {
+    let map = Arc::new(MapGenConfig::small_arena(21).generate());
+    let world = Arc::new(GameWorld::new(map, 4, players));
+    // Checking stays off: one task, but the sequential reference path
+    // has no lock notes at all, so the comparison needs parity.
+    world.links.set_checking(false);
+    world.store.set_checking(false);
+    let mut srng = Pcg32::seeded(9);
+    for i in 0..players {
+        world.spawn_player(i, i as u32, &mut srng);
+    }
+
+    let fabric = FabricKind::VirtualSmp(Default::default()).build();
+    let locks = {
+        // RegionLocks must be allocated before run().
+        RegionLocks::new(&fabric, &world.tree, players as usize)
+    };
+    let result = Arc::new(Mutex::new((0u64, GameAudit::default())));
+    let res = result.clone();
+    let w = world.clone();
+    fabric.spawn(
+        "driver",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            let cost = CostModel::default();
+            let env = ExecEnv {
+                world: &w,
+                locks: &locks,
+                cost: &cost,
+                policy,
+            };
+            let mut stats = ThreadStats::new();
+            let mut mask = 0u64;
+            let mut rng = Pcg32::seeded(0xE0);
+            for round in 0..rounds {
+                for p in 0..players {
+                    let cmd = command(&mut rng, round, round);
+                    execute_move(&env, ctx, 0, p, &cmd, &mut stats, &mut mask);
+                }
+            }
+            let audit = GameAudit {
+                requests: stats.requests,
+                link_audit_ok: w.audit_links().is_ok(),
+            };
+            *res.lock().unwrap() = (w.world_hash(), audit);
+        }),
+    );
+    fabric.run();
+    let r = result.lock().unwrap();
+    (r.0, r.1.clone())
+}
+
+#[derive(Clone, Default)]
+struct GameAudit {
+    requests: u64,
+    link_audit_ok: bool,
+}
+
+#[test]
+fn locked_execution_matches_lockfree_execution_exactly() {
+    let (h_none, a_none) = drive(None, 12, 40);
+    let (h_base, a_base) = drive(Some(LockPolicy::Baseline), 12, 40);
+    let (h_opt, a_opt) = drive(Some(LockPolicy::Optimized), 12, 40);
+    let (h_1p, a_1p) = drive(Some(LockPolicy::OnePass), 12, 40);
+    assert_eq!(a_none.requests, 12 * 40);
+    assert_eq!(h_none, h_base, "baseline locking changed game semantics");
+    assert_eq!(h_none, h_opt, "optimized locking changed game semantics");
+    assert_eq!(h_none, h_1p, "one-pass locking changed game semantics");
+    assert!(
+        a_none.link_audit_ok && a_base.link_audit_ok && a_opt.link_audit_ok && a_1p.link_audit_ok
+    );
+}
+
+#[test]
+fn spatial_index_stays_consistent_under_churn() {
+    // Many rounds with lots of long-range actions (projectile launch /
+    // relink churn), then audit the link table exhaustively.
+    let (_h, audit) = drive(Some(LockPolicy::Optimized), 16, 120);
+    assert!(audit.link_audit_ok, "link audit failed after churn");
+    assert_eq!(audit.requests, 16 * 120);
+}

@@ -1,0 +1,254 @@
+//! Runtime-level tests of the shared server machinery: message
+//! handling, connection lifecycle, world updates and reply building,
+//! driven directly (one fabric task, no bots).
+
+use std::sync::{Arc, Mutex};
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{Fabric, FabricKind};
+use parquake_metrics::ThreadStats;
+use parquake_protocol::{ClientMessage, Decode, MoveCmd, ServerMessage};
+use parquake_server::clients::SlotState;
+use parquake_server::runtime::ServerShared;
+use parquake_server::{Assignment, LockPolicy, ServerConfig, ServerKind};
+use parquake_sim::GameWorld;
+
+fn make_shared(
+    threads: u32,
+    players: u16,
+    assignment: Assignment,
+) -> (Arc<dyn Fabric>, Arc<ServerShared>) {
+    let fabric = FabricKind::VirtualSmp(Default::default()).build();
+    let map = Arc::new(MapGenConfig::small_arena(9).generate());
+    let world = Arc::new(GameWorld::new(map, 4, players));
+    let cfg = ServerConfig {
+        assignment,
+        checking: false,
+        ..ServerConfig::new(
+            ServerKind::Parallel {
+                threads,
+                locking: LockPolicy::Optimized,
+            },
+            10_000_000_000,
+        )
+    };
+    let shared = Arc::new(ServerShared::new(&fabric, &cfg, world, threads, Some(LockPolicy::Optimized)));
+    (fabric, shared)
+}
+
+/// Run a closure inside a single fabric task and return its output.
+fn in_task<R: Send + 'static>(
+    fabric: &Arc<dyn Fabric>,
+    f: impl FnOnce(&parquake_fabric::TaskCtx) -> R + Send + 'static,
+) -> R {
+    let out = Arc::new(Mutex::new(None));
+    let o = out.clone();
+    fabric.spawn(
+        "driver",
+        Some(0),
+        Box::new(move |ctx| {
+            *o.lock().unwrap() = Some(f(ctx));
+        }),
+    );
+    fabric.run();
+    let mut guard = out.lock().unwrap();
+    guard.take().expect("task produced no output")
+}
+
+#[test]
+fn connect_then_world_update_spawns_and_acks() {
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let (state_after_connect, acked) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        // Connect lands a Pending slot in thread 0's home block.
+        let is_move = sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        assert!(!is_move);
+        let pending = sh.clients.slot(0).state;
+        // World update transitions Pending -> Active and spawns.
+        sh.run_world_update(ctx, &mut stats, 1);
+        let active = sh.clients.slot(0).state == SlotState::Active
+            && sh.clients.slot(0).needs_ack
+            && sh.world.store.snapshot(0).active;
+        // Reply phase sends the ack.
+        let my_port = sh.ports[0];
+        sh.reply_for_slots(ctx, my_port, &[0], &[], 1, &mut stats, true);
+        // Let the modelled link deliver the datagram.
+        ctx.sleep_until(ctx.now() + 2_000_000);
+        let got_ack = ctx.try_recv(client_port).map(|m| {
+            matches!(
+                ServerMessage::from_bytes(&m.payload),
+                Ok(ServerMessage::ConnectAck { client_id: 7, .. })
+            )
+        });
+        (pending, got_ack == Some(true) && active)
+    });
+    assert_eq!(state_after_connect, SlotState::Pending);
+    assert!(acked);
+}
+
+#[test]
+fn move_is_processed_and_replied_with_echo() {
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let echo = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        sh.run_world_update(ctx, &mut stats, 1);
+        let cmd = MoveCmd {
+            sent_at: 123456,
+            forward: 320.0,
+            ..MoveCmd::idle(42, 30)
+        };
+        let is_move = sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Move { client_id: 7, cmd },
+            &mut stats,
+            &mut mask,
+        );
+        assert!(is_move);
+        assert_eq!(stats.requests, 1);
+        let my_port = sh.ports[0];
+        sh.reply_for_slots(ctx, my_port, &[0], &[], 1, &mut stats, true);
+        // Let the modelled link deliver the datagrams.
+        ctx.sleep_until(ctx.now() + 2_000_000);
+        // First message is the ack; second the reply.
+        let mut echo = None;
+        while let Some(m) = ctx.try_recv(client_port) {
+            if let Ok(ServerMessage::Reply { seq, sent_at_echo, .. }) =
+                ServerMessage::from_bytes(&m.payload)
+            {
+                echo = Some((seq, sent_at_echo));
+            }
+        }
+        echo
+    });
+    assert_eq!(echo, Some((42, 123456)));
+}
+
+#[test]
+fn unknown_client_moves_are_ignored() {
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let processed = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Move {
+                client_id: 999,
+                cmd: MoveCmd::idle(1, 30),
+            },
+            &mut stats,
+            &mut mask,
+        )
+    });
+    assert!(!processed);
+}
+
+#[test]
+fn connects_fill_home_block_then_stop() {
+    // Thread 0 owns 4 of 8 slots; a fifth connect to it must be refused
+    // (no Empty slot in the home block).
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let states = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        for cid in 0..5u32 {
+            sh.handle_message(
+                ctx,
+                0,
+                client_port,
+                ClientMessage::Connect { client_id: 100 + cid },
+                &mut stats,
+                &mut mask,
+            );
+        }
+        (0..8).map(|i| sh.clients.slot(i).state).collect::<Vec<_>>()
+    });
+    assert_eq!(
+        states[..4],
+        [SlotState::Pending, SlotState::Pending, SlotState::Pending, SlotState::Pending]
+    );
+    assert_eq!(states[4..], [SlotState::Empty; 4]);
+}
+
+#[test]
+fn region_affine_reclustering_steers_clients() {
+    let (fabric, shared) = make_shared(4, 16, Assignment::RegionAffine { period_frames: 1 });
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let desired: Vec<u32> = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        // Connect 8 clients through their home threads (2 per thread).
+        for cid in 0..8u32 {
+            sh.handle_message(
+                ctx,
+                cid / 2,
+                client_port,
+                ClientMessage::Connect { client_id: cid },
+                &mut stats,
+                &mut mask,
+            );
+        }
+        // Spawn them, then recluster on the next world update.
+        sh.run_world_update(ctx, &mut stats, 1);
+        sh.run_world_update(ctx, &mut stats, 2);
+        (0..16).map(|i| sh.clients.slot(i).desired_thread).collect()
+    });
+    // Every active slot got a desired thread in range, and the spread
+    // uses more than one thread (8 players cluster into ≥2 groups).
+    let active: Vec<u32> = desired.iter().take(8).copied().collect();
+    assert!(active.iter().all(|&t| t < 4));
+    let distinct: std::collections::HashSet<u32> = active.iter().copied().collect();
+    assert!(distinct.len() >= 2, "no spread: {active:?}");
+}
+
+#[test]
+fn global_event_buffer_roundtrip() {
+    use parquake_math::Vec3;
+    use parquake_protocol::{GameEvent, GameEventKind};
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let sh = shared.clone();
+    let (n_read, n_after_clear) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let ev = GameEvent {
+            kind: GameEventKind::Sound,
+            a: 1,
+            b: 2,
+            pos: Vec3::ZERO,
+        };
+        sh.push_global_events(ctx, &mut stats, &[ev, ev, ev]);
+        let read = sh.read_global_events(ctx, &mut stats).len();
+        sh.clear_global_events(ctx, &mut stats);
+        (read, sh.read_global_events(ctx, &mut stats).len())
+    });
+    assert_eq!(n_read, 3);
+    assert_eq!(n_after_clear, 0);
+}

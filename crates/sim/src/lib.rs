@@ -1,0 +1,95 @@
+//! Game simulation for `parquake`.
+//!
+//! Everything the server *computes* when it processes a move command —
+//! independent of how that computation is scheduled or locked:
+//!
+//! * [`entity`] — the entity store (players, items, projectiles,
+//!   teleporters) with protocol-checked mutable access,
+//! * [`world`] — [`world::GameWorld`]: the compiled map, the areanode
+//!   tree, the link table and the entity store bundled together,
+//! * [`movement`] — player motion physics (acceleration, friction,
+//!   gravity, slide-move collision against world and objects) — the
+//!   short-range component of move execution (paper §2.3),
+//! * [`interact`] — long-range interactions: hitscan attacks and thrown
+//!   projectiles (the two object classes of paper §4.3),
+//! * [`worldphase`] — the world-physics phase run by the master thread
+//!   at the start of each frame (projectile flight, item respawn,
+//!   deferred relocations),
+//! * [`visibility`] — reply scoping: which entities a client can see.
+//!
+//! Simulation functions are *pure with respect to scheduling*: they
+//! receive the candidate entity lists the caller collected (under
+//! whatever locking policy it uses) and report the work they performed
+//! via [`WorkCounters`] so the caller can charge modelled CPU time.
+
+pub mod entity;
+pub mod interact;
+pub mod movement;
+pub mod visibility;
+pub mod world;
+pub mod worldphase;
+
+pub use entity::{Entity, EntityClass, EntityId, EntityStore, ItemClass};
+pub use world::GameWorld;
+
+/// Counters of raw algorithmic work performed by a simulation routine;
+/// the execution layer converts these into modelled CPU time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// BSP nodes visited by collision traces.
+    pub trace_steps: u64,
+    /// Swept/overlap tests against candidate objects.
+    pub object_tests: u64,
+    /// Physics integration substeps (slide-move bumps).
+    pub substeps: u64,
+    /// Candidate entities gathered from areanode lists.
+    pub candidates: u64,
+    /// Areanode tree nodes visited while gathering.
+    pub areanode_visits: u64,
+    /// Entity updates encoded into replies.
+    pub encoded_entities: u64,
+    /// Entities examined for visibility.
+    pub visibility_checks: u64,
+    /// Interaction events applied (pickups, hits, teleports…).
+    pub interactions: u64,
+}
+
+impl WorkCounters {
+    pub fn new() -> WorkCounters {
+        WorkCounters::default()
+    }
+
+    pub fn merge(&mut self, o: &WorkCounters) {
+        self.trace_steps += o.trace_steps;
+        self.object_tests += o.object_tests;
+        self.substeps += o.substeps;
+        self.candidates += o.candidates;
+        self.areanode_visits += o.areanode_visits;
+        self.encoded_entities += o.encoded_entities;
+        self.visibility_checks += o.visibility_checks;
+        self.interactions += o.interactions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_counters_merge() {
+        let mut a = WorkCounters {
+            trace_steps: 1,
+            object_tests: 2,
+            ..WorkCounters::new()
+        };
+        let b = WorkCounters {
+            trace_steps: 10,
+            encoded_entities: 5,
+            ..WorkCounters::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.trace_steps, 11);
+        assert_eq!(a.object_tests, 2);
+        assert_eq!(a.encoded_entities, 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Reply scoping: which entities each client is told about.
+//!
+//! The original server "determines which entities are of interest to
+//! each client and sends out information only for those" (paper §2).
+//! We reproduce that with the room PVS plus a view-distance cutoff;
+//! when more entities are visible than fit in a reply, the nearest win.
+//! Reply-building cost is proportional to the number of *visible*
+//! entities, which is what makes total reply time grow superlinearly
+//! with the player count — the effect that dominates the paper's
+//! sequential breakdown.
+
+use parquake_protocol::{EntityUpdate, MAX_ENTITIES_PER_REPLY};
+
+use crate::entity::EntityId;
+use crate::world::GameWorld;
+use crate::WorkCounters;
+
+/// Collect the entity updates visible to `viewer` into `out`
+/// (cleared first). Scratch buffer `dist_scratch` avoids per-call
+/// allocation in the reply hot path.
+pub fn build_reply_entities(
+    world: &GameWorld,
+    viewer: EntityId,
+    out: &mut Vec<EntityUpdate>,
+    dist_scratch: &mut Vec<(f32, EntityUpdate)>,
+    work: &mut WorkCounters,
+) {
+    out.clear();
+    dist_scratch.clear();
+    let me = world.store.snapshot(viewer);
+    let my_room = world.map.rooms.room_of(me.pos);
+    let max_d2 = world.max_view_dist * world.max_view_dist;
+
+    for id in 0..world.store.capacity() as EntityId {
+        if id == viewer {
+            continue;
+        }
+        let e = world.store.snapshot(id);
+        if !e.active {
+            continue;
+        }
+        work.visibility_checks += 1;
+        let d2 = e.pos.distance_sq(me.pos);
+        if d2 > max_d2 {
+            continue;
+        }
+        if !world.map.rooms.rooms_visible(my_room, world.map.rooms.room_of(e.pos)) {
+            continue;
+        }
+        dist_scratch.push((
+            d2,
+            EntityUpdate {
+                id: e.id,
+                kind: e.wire_kind(),
+                state: e.wire_state(),
+                pos: e.pos,
+                yaw: e.yaw,
+            },
+        ));
+    }
+
+    if dist_scratch.len() > MAX_ENTITIES_PER_REPLY {
+        dist_scratch
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dist_scratch.truncate(MAX_ENTITIES_PER_REPLY);
+    }
+    out.extend(dist_scratch.iter().map(|&(_, u)| u));
+    work.encoded_entities += out.len() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityClass;
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::vec3::vec3;
+    use parquake_math::Pcg32;
+    use std::sync::Arc;
+
+    fn build(world: &GameWorld, viewer: EntityId) -> Vec<EntityUpdate> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut work = WorkCounters::new();
+        build_reply_entities(world, viewer, &mut out, &mut scratch, &mut work);
+        out
+    }
+
+    #[test]
+    fn nearby_players_are_visible() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(1);
+        w.spawn_player(0, 0, &mut rng);
+        w.spawn_player(1, 1, &mut rng);
+        let p0 = w.store.snapshot(0).pos;
+        w.store.with_mut(1, 0, |e| e.pos = p0 + vec3(200.0, 0.0, 0.0));
+        let vis = build(&w, 0);
+        assert!(vis.iter().any(|u| u.id == 1), "player 1 invisible");
+        // Viewer never sees itself.
+        assert!(!vis.iter().any(|u| u.id == 0));
+    }
+
+    #[test]
+    fn distance_cutoff_applies() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let mut w = GameWorld::new(map, 4, 8);
+        w.max_view_dist = 100.0;
+        let mut rng = Pcg32::seeded(2);
+        w.spawn_player(0, 0, &mut rng);
+        w.spawn_player(1, 1, &mut rng);
+        let p0 = w.store.snapshot(0).pos;
+        w.store.with_mut(1, 0, |e| e.pos = p0 + vec3(500.0, 0.0, 0.0));
+        let vis = build(&w, 0);
+        assert!(!vis.iter().any(|u| u.id == 1));
+    }
+
+    #[test]
+    fn rooms_gate_visibility_in_mazes() {
+        let map = Arc::new(MapGenConfig::large_arena(5).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(3);
+        w.spawn_player(0, 0, &mut rng);
+        w.spawn_player(1, 1, &mut rng);
+        // Park player 1 far across the maze (many rooms away).
+        w.store.with_mut(0, 0, |e| e.pos = w.map.spawn_points[0]);
+        w.store
+            .with_mut(1, 0, |e| e.pos = *w.map.spawn_points.last().unwrap());
+        let vis = build(&w, 0);
+        assert!(!vis.iter().any(|u| u.id == 1), "saw through the maze");
+    }
+
+    #[test]
+    fn taken_items_report_state_zero() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(4);
+        w.spawn_player(0, 0, &mut rng);
+        let item = w.item_ids().next().unwrap();
+        let p0 = w.store.snapshot(0).pos;
+        w.store.with_mut(item, 0, |e| {
+            e.pos = p0 + vec3(100.0, 0.0, 0.0);
+            if let EntityClass::Item { taken, .. } = &mut e.class {
+                *taken = true;
+            }
+        });
+        let vis = build(&w, 0);
+        let u = vis.iter().find(|u| u.id == item).expect("item visible");
+        assert_eq!(u.state, 0);
+    }
+
+    #[test]
+    fn reply_size_is_capped_by_nearest() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let w = GameWorld::new(map, 4, 200);
+        let mut rng = Pcg32::seeded(5);
+        for i in 0..200 {
+            w.spawn_player(i, i as u32, &mut rng);
+        }
+        // Cluster everyone around player 0.
+        let p0 = w.store.snapshot(0).pos;
+        for i in 1..200u16 {
+            w.store.with_mut(i, 0, |e| {
+                e.pos = p0 + vec3((i as f32) * 3.0, 0.0, 0.0);
+            });
+        }
+        let vis = build(&w, 0);
+        assert_eq!(vis.len(), MAX_ENTITIES_PER_REPLY);
+        // The nearest player must be in; the farthest must not.
+        assert!(vis.iter().any(|u| u.id == 1));
+        assert!(!vis.iter().any(|u| u.id == 199));
+    }
+
+    #[test]
+    fn inactive_entities_are_never_sent() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(6);
+        w.spawn_player(0, 0, &mut rng);
+        // Idle projectile slots are inactive.
+        let slot = w.projectile_slot(3);
+        let vis = build(&w, 0);
+        assert!(!vis.iter().any(|u| u.id == slot));
+    }
+}

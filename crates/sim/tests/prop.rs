@@ -1,0 +1,153 @@
+//! Property-based tests for the game simulation: no command sequence
+//! may corrupt world state.
+
+use std::sync::Arc;
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_math::Pcg32;
+use parquake_protocol::{Buttons, MoveCmd};
+use parquake_sim::movement::run_move;
+use parquake_sim::{GameWorld, WorkCounters};
+use proptest::prelude::*;
+
+fn arb_cmd() -> impl Strategy<Value = MoveCmd> {
+    (
+        -89.0f32..89.0,
+        -180.0f32..180.0,
+        -320.0f32..320.0,
+        -320.0f32..320.0,
+        any::<u8>(),
+        1u8..100,
+    )
+        .prop_map(|(pitch, yaw, forward, side, buttons, msec)| MoveCmd {
+            seq: 0,
+            sent_at: 0,
+            pitch,
+            yaw,
+            forward,
+            side,
+            up: 0.0,
+            buttons: Buttons(buttons & 0b1111),
+            msec,
+        })
+}
+
+fn world(players: u16) -> GameWorld {
+    let map = Arc::new(MapGenConfig::small_arena(5).generate());
+    let w = GameWorld::new(map, 4, players);
+    let mut rng = Pcg32::seeded(3);
+    for i in 0..players {
+        w.spawn_player(i, i as u32, &mut rng);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn players_never_escape_or_embed(cmds in prop::collection::vec(arb_cmd(), 1..60)) {
+        let w = world(4);
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let mut now = 0u64;
+        for cmd in &cmds {
+            for p in 0..4u16 {
+                run_move(&w, 0, p, cmd, &[], now, &mut touched, &mut work);
+                w.relink_unlocked(p);
+                let e = w.store.snapshot(p);
+                prop_assert!(e.pos.is_finite(), "NaN position after {cmd:?}");
+                prop_assert!(e.vel.is_finite(), "NaN velocity");
+                prop_assert!(
+                    w.map.bounds.contains_point(e.pos),
+                    "escaped world at {:?}",
+                    e.pos
+                );
+                prop_assert!(
+                    w.map.player_fits(e.pos),
+                    "embedded in solid at {:?}",
+                    e.pos
+                );
+            }
+            now += 30_000_000;
+        }
+        prop_assert!(w.audit_links().is_ok());
+    }
+
+    #[test]
+    fn moves_with_candidates_stay_consistent(cmds in prop::collection::vec(arb_cmd(), 1..40)) {
+        // All players as mutual candidates: collisions and touches
+        // everywhere; spatial index must survive.
+        let w = world(6);
+        let candidates: Vec<u16> = (0..6).collect();
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let mut now = 0u64;
+        for cmd in &cmds {
+            for p in 0..6u16 {
+                run_move(&w, 0, p, cmd, &candidates, now, &mut touched, &mut work);
+                w.relink_unlocked(p);
+            }
+            now += 30_000_000;
+        }
+        prop_assert!(w.audit_links().is_ok(), "{:?}", w.audit_links());
+        // Linked node always contains the player's box.
+        for p in 0..6u16 {
+            let e = w.store.snapshot(p);
+            prop_assert!(w.tree.node(e.linked_node).bounds.contains(&e.abs_box()));
+        }
+    }
+
+    #[test]
+    fn world_phase_is_safe_after_arbitrary_commands(
+        cmds in prop::collection::vec(arb_cmd(), 1..30),
+        phases in 1usize..8,
+    ) {
+        let w = world(5);
+        let candidates: Vec<u16> = (0..5).collect();
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let mut rng = Pcg32::seeded(11);
+        let mut events = Vec::new();
+        let mut now = 0u64;
+        for cmd in &cmds {
+            for p in 0..5u16 {
+                run_move(&w, 0, p, cmd, &candidates, now, &mut touched, &mut work);
+                w.relink_unlocked(p);
+            }
+            now += 30_000_000;
+        }
+        for k in 0..phases {
+            parquake_sim::worldphase::run_world_phase(
+                &w,
+                now + k as u64 * 30_000_000,
+                30_000_000,
+                &mut rng,
+                &mut events,
+                &mut work,
+            );
+        }
+        prop_assert!(w.audit_links().is_ok(), "{:?}", w.audit_links());
+        // All players alive again (world phase respawns the dead).
+        for p in 0..5u16 {
+            let e = w.store.snapshot(p);
+            prop_assert!(e.active);
+        }
+    }
+
+    #[test]
+    fn world_hash_is_stable_under_noop_commands(reps in 1usize..20) {
+        // Zero-duration commands must not change the world at all.
+        let w = world(3);
+        let h0 = w.world_hash();
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let cmd = MoveCmd::idle(0, 0); // msec = 0: no time passes
+        for _ in 0..reps {
+            for p in 0..3u16 {
+                run_move(&w, 0, p, &cmd, &[], 0, &mut touched, &mut work);
+            }
+        }
+        prop_assert_eq!(w.world_hash(), h0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Water volumes and swim physics.
+
+use std::sync::Arc;
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_bsp::tree::Contents;
+use parquake_math::vec3::vec3;
+use parquake_math::Pcg32;
+use parquake_protocol::{Buttons, MoveCmd};
+use parquake_sim::movement::{run_move, MAX_GROUND_SPEED};
+use parquake_sim::{GameWorld, WorkCounters};
+
+fn flooded_world() -> (GameWorld, parquake_math::Vec3) {
+    // Deterministically find a seed whose map floods room (0,0) — the
+    // generator is pure, so probe seeds until one works.
+    for seed in 0..64u64 {
+        let cfg = MapGenConfig::flooded_arena(seed);
+        let map = cfg.generate();
+        let spawn = map.spawn_points[0];
+        let probe = vec3(spawn.x, spawn.y, 20.0);
+        if map.in_water(probe) {
+            let w = GameWorld::new(Arc::new(map), 4, 4);
+            let mut rng = Pcg32::seeded(1);
+            for i in 0..4 {
+                w.spawn_player(i, i as u32, &mut rng);
+            }
+            return (w, spawn);
+        }
+    }
+    panic!("no seed in 0..64 floods room (0,0)");
+}
+
+#[test]
+fn water_contents_are_reported() {
+    let (w, spawn) = flooded_world();
+    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, 20.0)), Contents::Water);
+    // Above the 40-unit pool surface: air.
+    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, 80.0)), Contents::Empty);
+    // Inside the floor: solid wins over water.
+    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, -10.0)), Contents::Solid);
+}
+
+#[test]
+fn water_does_not_block_movement_or_traces() {
+    let (w, spawn) = flooded_world();
+    let tr = w.map.trace(
+        parquake_bsp::Hull::Player,
+        vec3(spawn.x, spawn.y, 60.0),
+        vec3(spawn.x, spawn.y + 60.0, 60.0),
+    );
+    assert!(!tr.hit(), "water blocked a trace");
+}
+
+#[test]
+fn swimmers_sink_slowly_and_can_swim_up() {
+    let (w, spawn) = flooded_world();
+    // Park player 0 mid-pool.
+    w.store.with_mut(0, 0, |e| {
+        e.pos = vec3(spawn.x, spawn.y, 30.0);
+        e.vel = parquake_math::Vec3::ZERO;
+        e.on_ground = false;
+    });
+    w.relink_unlocked(0);
+    let mut touched = Vec::new();
+    let mut work = WorkCounters::new();
+
+    // Idle: slow sink, never free-fall.
+    for i in 0..10 {
+        run_move(&w, 0, 0, &MoveCmd::idle(i, 30), &[], 0, &mut touched, &mut work);
+    }
+    let e = w.store.snapshot(0);
+    assert!(e.vel.z < 0.0, "no sinking: {:?}", e.vel);
+    assert!(e.vel.z > -120.0, "sank like a stone: {:?}", e.vel);
+
+    // Swim-jump: upward motion.
+    let cmd = MoveCmd {
+        buttons: Buttons(Buttons::JUMP),
+        ..MoveCmd::idle(99, 30)
+    };
+    run_move(&w, 0, 0, &cmd, &[], 0, &mut touched, &mut work);
+    assert!(w.store.snapshot(0).vel.z > 0.0);
+}
+
+#[test]
+fn swimming_is_slower_than_running() {
+    let (w, spawn) = flooded_world();
+    w.store.with_mut(0, 0, |e| {
+        e.pos = vec3(spawn.x, spawn.y, 20.0);
+        e.vel = parquake_math::Vec3::ZERO;
+    });
+    w.relink_unlocked(0);
+    let mut touched = Vec::new();
+    let mut work = WorkCounters::new();
+    let cmd = MoveCmd {
+        forward: MAX_GROUND_SPEED,
+        ..MoveCmd::idle(0, 30)
+    };
+    for _ in 0..40 {
+        run_move(&w, 0, 0, &cmd, &[], 0, &mut touched, &mut work);
+        // Hold depth so we stay submerged for the whole measurement.
+        w.store.with_mut(0, 0, |e| e.pos.z = 20.0);
+        w.relink_unlocked(0);
+    }
+    let swim_speed = w.store.snapshot(0).vel.length_xy();
+    assert!(
+        swim_speed < MAX_GROUND_SPEED * 0.85,
+        "swimming too fast: {swim_speed}"
+    );
+    assert!(swim_speed > 50.0, "barely moving: {swim_speed}");
+}
+
+#[test]
+fn pitched_swimming_moves_vertically() {
+    let (w, spawn) = flooded_world();
+    w.store.with_mut(0, 0, |e| {
+        e.pos = vec3(spawn.x, spawn.y, 30.0);
+        e.vel = parquake_math::Vec3::ZERO;
+    });
+    w.relink_unlocked(0);
+    let mut touched = Vec::new();
+    let mut work = WorkCounters::new();
+    // Look up steeply and swim forward: should rise.
+    let cmd = MoveCmd {
+        pitch: -60.0, // negative pitch = up
+        forward: MAX_GROUND_SPEED,
+        ..MoveCmd::idle(0, 30)
+    };
+    for _ in 0..5 {
+        run_move(&w, 0, 0, &cmd, &[], 0, &mut touched, &mut work);
+    }
+    assert!(
+        w.store.snapshot(0).vel.z > 20.0,
+        "no upward swim: {:?}",
+        w.store.snapshot(0).vel
+    );
+}

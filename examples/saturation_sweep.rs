@@ -1,0 +1,69 @@
+//! The headline experiment as a terminal chart: sweep the player count
+//! across server configurations and draw response rate and response
+//! time, making the saturation knees visible at a glance.
+//!
+//! ```sh
+//! cargo run --release --example saturation_sweep
+//! ```
+
+use parquake::prelude::*;
+
+fn run(players: u32, server: ServerKind) -> (f64, f64) {
+    let out = Experiment::new(ExperimentConfig {
+        players,
+        server,
+        map: MapGenConfig::eval_arena(0x6D_6D_31),
+        duration_ns: 4_000_000_000,
+        checking: false,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    (out.response_rate(), out.avg_response_ms())
+}
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    let players = [64u32, 96, 128, 144, 160];
+    let configs = [
+        ("sequential", ServerKind::Sequential),
+        (
+            "4T baseline",
+            ServerKind::Parallel {
+                threads: 4,
+                locking: LockPolicy::Baseline,
+            },
+        ),
+        (
+            "4T optimized",
+            ServerKind::Parallel {
+                threads: 4,
+                locking: LockPolicy::Optimized,
+            },
+        ),
+    ];
+
+    println!("response rate (replies/s) vs offered load — knees mark saturation\n");
+    let max_rate = 160.0 * 33.4;
+    for (name, kind) in configs {
+        println!("-- {name} --");
+        for &p in &players {
+            let (rate, resp) = run(p, kind);
+            let offered = p as f64 * 33.33;
+            let marker = if rate < offered * 0.97 { "  <- saturated" } else { "" };
+            println!(
+                "{p:>4}p |{:<40}| {rate:>5.0}/{offered:>5.0}  {resp:>6.1} ms{marker}",
+                bar(rate, max_rate, 40),
+            );
+        }
+        println!();
+    }
+    println!(
+        "The paper's result in one picture: the sequential server gives out\n\
+         around 128 players, baseline locking buys little, and optimized\n\
+         region locking carries the same machine ~25% further."
+    );
+}

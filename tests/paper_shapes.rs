@@ -1,0 +1,186 @@
+//! Coarse assertions that the paper's qualitative findings hold on
+//! scaled-down configurations (full-size sweeps live in the `repro`
+//! binary; these run in CI-sized debug builds).
+
+use parquake::bsp::mapgen::MapGenConfig;
+use parquake::harness::experiment::{Experiment, ExperimentConfig};
+use parquake::metrics::Bucket;
+use parquake::server::{LockPolicy, ServerKind};
+
+fn run(players: u32, server: ServerKind) -> parquake::harness::experiment::Outcome {
+    Experiment::new(ExperimentConfig {
+        players,
+        server,
+        map: MapGenConfig::small_arena(31),
+        duration_ns: 3_000_000_000,
+        bot_drivers: 4,
+        checking: false,
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+#[test]
+fn lock_time_grows_with_player_count() {
+    // Paper §4.2: lock time grows from ~2% to ~35% as players increase.
+    let kind = ServerKind::Parallel {
+        threads: 2,
+        locking: LockPolicy::Baseline,
+    };
+    let lo = run(16, kind);
+    let hi = run(48, kind);
+    // Contention (time blocked on leaf locks) must grow super-linearly
+    // with the player count; compare per-request blocked time.
+    let per_req = |o: &parquake::harness::experiment::Outcome| {
+        let m = o.server.merged();
+        m.lock.leaf_ns as f64 / m.requests.max(1) as f64
+    };
+    let (wait_lo, wait_hi) = (per_req(&lo), per_req(&hi));
+    assert!(
+        wait_hi > wait_lo * 1.5,
+        "leaf lock wait per request did not grow: {wait_lo:.0} -> {wait_hi:.0} ns"
+    );
+}
+
+#[test]
+fn optimized_locking_reduces_lock_time() {
+    // Paper §4.3: optimized locking cuts lock time by more than half.
+    let base = run(
+        48,
+        ServerKind::Parallel {
+            threads: 2,
+            locking: LockPolicy::Baseline,
+        },
+    );
+    let opt = run(
+        48,
+        ServerKind::Parallel {
+            threads: 2,
+            locking: LockPolicy::Optimized,
+        },
+    );
+    let lb = base.server.merged().breakdown.get(Bucket::Lock);
+    let lo = opt.server.merged().breakdown.get(Bucket::Lock);
+    // At full scale the reduction is >2x (see EXPERIMENTS.md); on this
+    // scaled-down CI configuration we require at least 25%.
+    assert!(
+        (lo as f64) < lb as f64 * 0.75,
+        "optimized lock time {lo} not well below baseline {lb}"
+    );
+}
+
+#[test]
+fn reply_phase_dominates_request_phase_sequentially() {
+    // Paper §4.1: reply processing is over twice the request phase.
+    let out = run(48, ServerKind::Sequential);
+    let bd = out.server.merged().breakdown;
+    let reply = bd.get(Bucket::Reply);
+    let request = bd.request_phase();
+    assert!(
+        reply > request,
+        "reply {reply} did not dominate request {request}"
+    );
+}
+
+#[test]
+fn world_update_is_a_small_fraction_at_saturation() {
+    // Paper §3.1: world processing is <5% of sequential execution. The
+    // share is only meaningful at saturation and on the paper-scale
+    // evaluation map (the cramped small arena triggers far more
+    // teleports/respawns per player than the paper's regime).
+    let out = Experiment::new(ExperimentConfig {
+        players: 128,
+        server: ServerKind::Sequential,
+        map: MapGenConfig::eval_arena(31),
+        duration_ns: 2_000_000_000,
+        checking: false,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    let bd = out.server.merged().breakdown;
+    let share = bd.fraction_non_idle(Bucket::World);
+    assert!(share < 0.10, "world share {share:.3}");
+}
+
+#[test]
+fn parallel_waits_exist_and_interframe_dominates_intraframe() {
+    // Paper §4.2: high inter- and intra-frame waits; inter-frame is the
+    // more significant component.
+    let out = run(
+        48,
+        ServerKind::Parallel {
+            threads: 4,
+            locking: LockPolicy::Baseline,
+        },
+    );
+    let bd = out.server.merged().breakdown;
+    assert!(bd.get(Bucket::InterWait) > 0);
+    assert!(
+        bd.get(Bucket::InterWait) > bd.get(Bucket::IntraWait),
+        "inter {} <= intra {}",
+        bd.get(Bucket::InterWait),
+        bd.get(Bucket::IntraWait)
+    );
+}
+
+#[test]
+fn leaf_locking_dominates_parent_locking() {
+    // Paper §5.1 / Fig 7a: leaf locks account for most lock time.
+    let out = run(
+        48,
+        ServerKind::Parallel {
+            threads: 4,
+            locking: LockPolicy::Baseline,
+        },
+    );
+    let m = out.server.merged();
+    assert!(
+        m.lock.leaf_share() > 0.5,
+        "leaf share {:.2}",
+        m.lock.leaf_share()
+    );
+}
+
+#[test]
+fn deeper_areanode_trees_lock_smaller_world_fractions() {
+    // Paper Fig 7b: % of world locked per request drops as the tree
+    // grows.
+    let kind = ServerKind::Parallel {
+        threads: 2,
+        locking: LockPolicy::Baseline,
+    };
+    let mut prev = f64::INFINITY;
+    for depth in [1u32, 3, 5] {
+        let out = Experiment::new(ExperimentConfig {
+            players: 24,
+            server: kind,
+            map: MapGenConfig::small_arena(31),
+            areanode_depth: depth,
+            duration_ns: 2_000_000_000,
+            bot_drivers: 4,
+            checking: false,
+            ..ExperimentConfig::default()
+        })
+        .run();
+        let frac = out.server.merged().lock.avg_distinct_leaf_percent();
+        assert!(
+            frac < prev,
+            "depth {depth}: locked fraction {frac:.1}% did not drop (prev {prev:.1}%)"
+        );
+        prev = frac;
+    }
+}
+
+#[test]
+fn response_time_rises_under_overload() {
+    // Paper Fig 4c/5c: response time climbs sharply at saturation.
+    let kind = ServerKind::Sequential;
+    let light = run(16, kind);
+    let heavy = run(96, kind);
+    assert!(
+        heavy.avg_response_ms() > light.avg_response_ms() * 2.0,
+        "latency {:.2}ms -> {:.2}ms",
+        light.avg_response_ms(),
+        heavy.avg_response_ms()
+    );
+}

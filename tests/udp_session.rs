@@ -1,0 +1,45 @@
+//! Real-socket end-to-end session: udpd gateway + UDP clients over
+//! loopback. Skips silently when the environment forbids binding.
+
+use std::time::Duration;
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_harness::udp::{run_udp_clients, run_udp_server, UdpServerOpts};
+use parquake_server::LockPolicy;
+
+#[test]
+fn udp_gateway_serves_real_sockets() {
+    // Probe whether loopback UDP is permitted at all.
+    if std::net::UdpSocket::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping: loopback UDP not permitted in this environment");
+        return;
+    }
+    let opts = UdpServerOpts {
+        base_port: 28710,
+        threads: 2,
+        max_players: 16,
+        map: MapGenConfig::small_arena(3),
+        duration: Duration::from_secs(4),
+        locking: LockPolicy::Optimized,
+    };
+    let server = std::thread::spawn(move || run_udp_server(&opts));
+    std::thread::sleep(Duration::from_millis(300));
+    let (sent, received, avg_ms) = run_udp_clients(
+        "127.0.0.1:28710".parse().unwrap(),
+        2,
+        6,
+        Duration::from_secs(3),
+    )
+    .expect("client run");
+    let report = server.join().unwrap().expect("server run");
+
+    assert!(sent > 100, "sent only {sent}");
+    assert!(
+        received as f64 > sent as f64 * 0.5,
+        "too few replies: {received}/{sent}"
+    );
+    assert!(avg_ms < 500.0, "avg response {avg_ms} ms");
+    assert!(report.replies > 0);
+    assert!(report.frames > 0);
+    assert_eq!(report.datagrams_in, sent);
+}
