@@ -61,13 +61,7 @@ impl AreanodeTree {
         tree
     }
 
-    fn build(
-        &mut self,
-        bounds: Aabb,
-        axis: Axis,
-        depth: u32,
-        parent: Option<NodeId>,
-    ) -> NodeId {
+    fn build(&mut self, bounds: Aabb, axis: Axis, depth: u32, parent: Option<NodeId>) -> NodeId {
         let id = self.nodes.len() as NodeId;
         if depth == self.depth {
             self.nodes.push(Areanode {
@@ -351,7 +345,11 @@ mod tests {
         for id in 0..t.node_count() as NodeId {
             let n = t.node(id);
             if let Some(plane) = n.plane {
-                let expect = if n.depth.is_multiple_of(2) { Axis::X } else { Axis::Y };
+                let expect = if n.depth.is_multiple_of(2) {
+                    Axis::X
+                } else {
+                    Axis::Y
+                };
                 assert_eq!(plane.axis, expect, "node {id} depth {}", n.depth);
             }
         }

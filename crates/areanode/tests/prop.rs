@@ -12,18 +12,9 @@ fn world() -> Aabb {
 }
 
 fn arb_box() -> impl Strategy<Value = Aabb> {
-    (
-        0.0f32..W,
-        0.0f32..W,
-        1.0f32..300.0,
-        1.0f32..300.0,
-    )
-        .prop_map(|(x, y, w, h)| {
-            Aabb::new(
-                vec3(x, y, 10.0),
-                vec3((x + w).min(W), (y + h).min(W), 60.0),
-            )
-        })
+    (0.0f32..W, 0.0f32..W, 1.0f32..300.0, 1.0f32..300.0).prop_map(|(x, y, w, h)| {
+        Aabb::new(vec3(x, y, 10.0), vec3((x + w).min(W), (y + h).min(W), 60.0))
+    })
 }
 
 proptest! {

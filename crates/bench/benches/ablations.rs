@@ -22,17 +22,21 @@ fn smp_model(c: &mut Criterion) {
         ("no_mem_penalty", true, 0.0),
         ("ideal_smp", false, 0.0),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(ht, mem), |b, &(ht, mem)| {
-            b.iter(|| {
-                let mut cfg = bench_experiment(32, kind);
-                cfg.fabric = FabricKind::VirtualSmp(VirtualSmpConfig {
-                    hyperthreading: ht,
-                    mem_penalty: mem,
-                    ..VirtualSmpConfig::default()
-                });
-                run(cfg)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(ht, mem),
+            |b, &(ht, mem)| {
+                b.iter(|| {
+                    let mut cfg = bench_experiment(32, kind);
+                    cfg.fabric = FabricKind::VirtualSmp(VirtualSmpConfig {
+                        hyperthreading: ht,
+                        mem_penalty: mem,
+                        ..VirtualSmpConfig::default()
+                    });
+                    run(cfg)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -91,17 +95,30 @@ fn lock_policies(c: &mut Criterion) {
         ("optimized", LockPolicy::Optimized),
         ("one_pass", LockPolicy::OnePass),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &locking, |b, &locking| {
-            b.iter(|| {
-                run(bench_experiment(
-                    48,
-                    ServerKind::Parallel { threads: 4, locking },
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &locking,
+            |b, &locking| {
+                b.iter(|| {
+                    run(bench_experiment(
+                        48,
+                        ServerKind::Parallel {
+                            threads: 4,
+                            locking,
+                        },
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, smp_model, map_profiles, behavior_mixes, lock_policies);
+criterion_group!(
+    benches,
+    smp_model,
+    map_profiles,
+    behavior_mixes,
+    lock_policies
+);
 criterion_main!(benches);

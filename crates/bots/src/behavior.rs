@@ -173,15 +173,11 @@ impl BotMind {
         let wants_throw = !wants_attack && self.rng.chance(b.throw_chance);
         if wants_attack || wants_throw {
             // Aim at the nearest visible player if any.
-            if let Some(&(_, target)) = self
-                .visible_players
-                .iter()
-                .min_by(|a, b| {
-                    let da = a.1.distance_sq(self.last_origin);
-                    let db = b.1.distance_sq(self.last_origin);
-                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                })
-            {
+            if let Some(&(_, target)) = self.visible_players.iter().min_by(|a, b| {
+                let da = a.1.distance_sq(self.last_origin);
+                let db = b.1.distance_sq(self.last_origin);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            }) {
                 let a = Angles::looking_at(self.last_origin, target);
                 yaw = a.yaw;
                 pitch = a.pitch;
@@ -254,31 +250,43 @@ mod tests {
     #[test]
     fn deathmatch_bots_eventually_attack() {
         let mut m = BotMind::new(0, 9, BotBehavior::deathmatch());
-        let attacks = (0..500).filter(|&i| m.think(i, 30).buttons.long_range()).count();
+        let attacks = (0..500)
+            .filter(|&i| m.think(i, 30).buttons.long_range())
+            .count();
         assert!(attacks > 10, "only {attacks} long-range moves in 500");
         assert!(attacks < 250, "{attacks} long-range moves is too many");
     }
 
     #[test]
     fn attacks_aim_at_visible_players() {
-        let mut m = BotMind::new(0, 7, BotBehavior {
-            attack_chance: 1.0,
-            ..BotBehavior::deathmatch()
-        });
-        m.observe(vec3(0.0, 0.0, 25.0), &[EntityUpdate {
-            id: 5,
-            kind: EntityKind::Player,
-            state: 100,
-            pos: vec3(100.0, 0.0, 25.0),
-            yaw: 0.0,
-        }]);
-        m.observe(vec3(0.0, 0.0, 25.0), &[EntityUpdate {
-            id: 5,
-            kind: EntityKind::Player,
-            state: 100,
-            pos: vec3(100.0, 0.0, 25.0),
-            yaw: 0.0,
-        }]);
+        let mut m = BotMind::new(
+            0,
+            7,
+            BotBehavior {
+                attack_chance: 1.0,
+                ..BotBehavior::deathmatch()
+            },
+        );
+        m.observe(
+            vec3(0.0, 0.0, 25.0),
+            &[EntityUpdate {
+                id: 5,
+                kind: EntityKind::Player,
+                state: 100,
+                pos: vec3(100.0, 0.0, 25.0),
+                yaw: 0.0,
+            }],
+        );
+        m.observe(
+            vec3(0.0, 0.0, 25.0),
+            &[EntityUpdate {
+                id: 5,
+                kind: EntityKind::Player,
+                state: 100,
+                pos: vec3(100.0, 0.0, 25.0),
+                yaw: 0.0,
+            }],
+        );
         let c = m.think(0, 30);
         assert!(c.buttons.has(Buttons::ATTACK));
         // Target due east: yaw ≈ 0.

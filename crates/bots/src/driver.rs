@@ -93,7 +93,9 @@ pub fn spawn_swarm(
             &format!("bots-{d}"),
             None, // client machines: off the modelled server CPUs
             Box::new(move |ctx| {
-                drive(ctx, port, lo, hi, &all_ports, threads, &cfg, &stats, &connected);
+                drive(
+                    ctx, port, lo, hi, &all_ports, threads, &cfg, &stats, &connected,
+                );
             }),
         );
     }
@@ -221,8 +223,8 @@ fn drive(
         }
     }
 
-    stats_out.lock().unwrap().merge(&stats);
-    *connected_out.lock().unwrap() += connected;
+    stats_out.lock().unwrap().merge(&stats); // lockcheck: allow(raw-sync)
+    *connected_out.lock().unwrap() += connected; // lockcheck: allow(raw-sync)
 }
 
 #[cfg(test)]
@@ -378,7 +380,10 @@ mod tests {
         assert_eq!(*swarm.connected.lock().unwrap(), 2);
         // After the first redirect, all further moves land on B.
         let at_b = *moves_at_b.lock().unwrap();
-        assert!(at_b > 40, "bots never switched threads (moves at B: {at_b})");
+        assert!(
+            at_b > 40,
+            "bots never switched threads (moves at B: {at_b})"
+        );
     }
 
     #[test]

@@ -270,10 +270,8 @@ impl Generator {
     }
 
     fn solid(&mut self, x0: f32, y0: f32, z0: f32, x1: f32, y1: f32, z1: f32) {
-        self.brushes.push(Brush::solid(Aabb::new(
-            vec3(x0, y0, z0),
-            vec3(x1, y1, z1),
-        )));
+        self.brushes
+            .push(Brush::solid(Aabb::new(vec3(x0, y0, z0), vec3(x1, y1, z1))));
     }
 
     /// Randomized-DFS spanning tree plus extra loop doors. Returns the
@@ -396,7 +394,14 @@ impl Generator {
         for cy in 0..c.grid_h.saturating_sub(1) {
             for cx in 0..c.grid_w.saturating_sub(1) {
                 let (_, _, x1, y1) = self.cell_interior(cx, cy);
-                self.solid(x1, y1, 0.0, x1 + c.wall_thickness, y1 + c.wall_thickness, zhi);
+                self.solid(
+                    x1,
+                    y1,
+                    0.0,
+                    x1 + c.wall_thickness,
+                    y1 + c.wall_thickness,
+                    zhi,
+                );
             }
         }
     }

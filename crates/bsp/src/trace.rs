@@ -248,7 +248,12 @@ mod tests {
             let b = vec3(-(i as f32) * 1.3 + 60.0, (i as f32) * 1.1 - 50.0, -60.0);
             let tr = t.trace(a, b);
             if !tr.start_solid {
-                assert_ne!(t.contents(tr.end), Contents::Solid, "i={i} end={:?}", tr.end);
+                assert_ne!(
+                    t.contents(tr.end),
+                    Contents::Solid,
+                    "i={i} end={:?}",
+                    tr.end
+                );
             }
         }
     }

@@ -57,13 +57,27 @@ impl BspTree {
     /// to the traced origin (zero for the point hull). Brushes are
     /// inflated by the hull before partitioning.
     pub fn compile(brushes: &[Brush], bounds: Aabb, mins: Vec3, maxs: Vec3) -> BspTree {
-        Self::compile_filtered(brushes, bounds, mins, maxs, |b| b.is_collidable(), Contents::Solid)
+        Self::compile_filtered(
+            brushes,
+            bounds,
+            mins,
+            maxs,
+            |b| b.is_collidable(),
+            Contents::Solid,
+        )
     }
 
     /// Compile a tree over the water volumes only: a point query that
     /// answers "is this position submerged?".
     pub fn compile_water(brushes: &[Brush], bounds: Aabb) -> BspTree {
-        Self::compile_filtered(brushes, bounds, Vec3::ZERO, Vec3::ZERO, |b| b.is_water(), Contents::Water)
+        Self::compile_filtered(
+            brushes,
+            bounds,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            |b| b.is_water(),
+            Contents::Water,
+        )
     }
 
     fn compile_filtered(
@@ -280,7 +294,10 @@ mod tests {
     #[test]
     fn disjoint_brushes() {
         let t = world(&[
-            Brush::solid(Aabb::new(vec3(-50.0, -50.0, -50.0), vec3(-40.0, 50.0, 50.0))),
+            Brush::solid(Aabb::new(
+                vec3(-50.0, -50.0, -50.0),
+                vec3(-40.0, 50.0, 50.0),
+            )),
             Brush::solid(Aabb::new(vec3(40.0, -50.0, -50.0), vec3(50.0, 50.0, 50.0))),
         ]);
         assert_eq!(t.contents(vec3(-45.0, 0.0, 0.0)), Contents::Solid);
@@ -309,9 +326,15 @@ mod tests {
     #[test]
     fn brute_force_agreement_on_grid() {
         let brushes = vec![
-            Brush::solid(Aabb::new(vec3(-30.0, -30.0, -30.0), vec3(-10.0, 30.0, 30.0))),
+            Brush::solid(Aabb::new(
+                vec3(-30.0, -30.0, -30.0),
+                vec3(-10.0, 30.0, 30.0),
+            )),
             Brush::solid(Aabb::new(vec3(10.0, -30.0, -5.0), vec3(30.0, 30.0, 30.0))),
-            Brush::solid(Aabb::new(vec3(-30.0, -30.0, -30.0), vec3(30.0, -20.0, 30.0))),
+            Brush::solid(Aabb::new(
+                vec3(-30.0, -30.0, -30.0),
+                vec3(30.0, -20.0, 30.0),
+            )),
         ];
         let t = world(&brushes);
         let mut checked = 0;
@@ -342,7 +365,9 @@ mod tests {
 
     fn on_any_face(brushes: &[Brush], p: Vec3) -> bool {
         brushes.iter().any(|b| {
-            (0..3).any(|i| (p[i] - b.bounds.min[i]).abs() < 1e-3 || (p[i] - b.bounds.max[i]).abs() < 1e-3)
+            (0..3).any(|i| {
+                (p[i] - b.bounds.min[i]).abs() < 1e-3 || (p[i] - b.bounds.max[i]).abs() < 1e-3
+            })
         })
     }
 

@@ -37,9 +37,8 @@ fn brute_solid(brushes: &[Brush], p: Vec3) -> Option<bool> {
     let mut solid = false;
     for b in brushes {
         let bb = &b.bounds;
-        let near_face = (0..3).any(|i| {
-            (p[i] - bb.min[i]).abs() < eps || (p[i] - bb.max[i]).abs() < eps
-        });
+        let near_face =
+            (0..3).any(|i| (p[i] - bb.min[i]).abs() < eps || (p[i] - bb.max[i]).abs() < eps);
         if near_face && bb.inflated(Vec3::splat(eps)).contains_point(p) {
             return None;
         }

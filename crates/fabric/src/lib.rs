@@ -29,8 +29,11 @@
 
 pub mod real;
 pub mod virt;
+pub mod witness;
 
 use std::sync::Arc;
+
+pub use witness::LockWitness;
 
 /// Virtual or wall-clock nanoseconds since the fabric run started.
 pub type Nanos = u64;
@@ -102,6 +105,14 @@ pub trait Fabric: Send + Sync {
     fn cond_signal(&self, task: TaskId, cond: CondId);
     /// Wake all waiters.
     fn cond_broadcast(&self, task: TaskId, cond: CondId);
+
+    /// Attach a lock-discipline witness: from now on every lock
+    /// acquisition, release and condition wait is reported to it (see
+    /// [`witness::LockWitness`]). Attach before `run`; verification
+    /// runs only — the witness serializes lock bookkeeping.
+    fn attach_witness(&self, w: Arc<LockWitness>);
+    /// The witness attached to this fabric, if any.
+    fn witness(&self) -> Option<Arc<LockWitness>>;
 
     /// Send a datagram from `from` to `to`.
     fn send(&self, task: TaskId, from: PortId, to: PortId, payload: Vec<u8>);
@@ -218,6 +229,14 @@ pub struct VirtualSmpConfig {
     /// simultaneously (the 400 MHz-FSB quad Xeon of Table 1 was
     /// notoriously bandwidth-bound on pointer-chasing workloads).
     pub mem_penalty: f64,
+    /// Schedule-exploration seed. `0` (the default) keeps the canonical
+    /// deterministic schedule: equal-time ties dispatch by task id and
+    /// contended locks hand off FIFO. Any other value deterministically
+    /// perturbs those two decisions (tie-breaks and which waiter
+    /// receives a released lock), producing a different — but still
+    /// fully reproducible — legal interleaving per seed. Used by the
+    /// lock-discipline verification suite to explore many schedules.
+    pub schedule_seed: u64,
 }
 
 impl Default for VirtualSmpConfig {
@@ -228,6 +247,7 @@ impl Default for VirtualSmpConfig {
             ht_efficiency: 0.62,
             link_latency_ns: 150_000, // 0.15 ms switched 100 Mbit LAN
             mem_penalty: 0.17,
+            schedule_seed: 0,
         }
     }
 }

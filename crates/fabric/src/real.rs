@@ -11,9 +11,9 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use parking_lot::lock_api::RawMutex as RawMutexTrait;
 use parking_lot::{Condvar, Mutex, RawMutex, RwLock};
 
+use crate::witness::LockWitness;
 use crate::{CondId, Fabric, LockId, Message, Nanos, PortId, TaskBody, TaskCtx, TaskId};
 
 struct CondImpl {
@@ -35,6 +35,7 @@ pub struct RealFabric {
     pending: Mutex<Vec<(String, TaskBody)>>,
     me: Mutex<Option<Weak<dyn Fabric>>>,
     started: Mutex<bool>,
+    witness: Mutex<Option<Arc<LockWitness>>>,
 }
 
 impl RealFabric {
@@ -47,6 +48,7 @@ impl RealFabric {
             pending: Mutex::new(Vec::new()),
             me: Mutex::new(None),
             started: Mutex::new(false),
+            witness: Mutex::new(None),
         }
     }
 
@@ -163,9 +165,7 @@ impl Fabric for RealFabric {
                     // A panicking task would leave peers blocked on
                     // fabric primitives forever; fail the whole process
                     // loudly instead of hanging.
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        body(&ctx)
-                    }));
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                     if let Err(payload) = r {
                         let msg = payload
                             .downcast_ref::<String>()
@@ -197,17 +197,33 @@ impl Fabric for RealFabric {
         }
     }
 
-    fn lock(&self, task: TaskId, lock: LockId) -> Nanos {
-        let l = self.lock_ref(lock);
-        if l.try_lock() {
-            return 0;
-        }
-        let t0 = self.now(task);
-        l.lock();
-        self.now(task) - t0
+    fn attach_witness(&self, w: Arc<LockWitness>) {
+        *self.witness.lock() = Some(w);
     }
 
-    fn unlock(&self, _task: TaskId, lock: LockId) {
+    fn witness(&self) -> Option<Arc<LockWitness>> {
+        self.witness.lock().clone()
+    }
+
+    fn lock(&self, task: TaskId, lock: LockId) -> Nanos {
+        let l = self.lock_ref(lock);
+        let blocked = if l.try_lock() {
+            0
+        } else {
+            let t0 = self.now(task);
+            l.lock();
+            self.now(task) - t0
+        };
+        if let Some(w) = self.witness() {
+            w.on_acquire(task, lock, self.now(task));
+        }
+        blocked
+    }
+
+    fn unlock(&self, task: TaskId, lock: LockId) {
+        if let Some(w) = self.witness() {
+            w.on_release(task, lock);
+        }
         // SAFETY: protocol — the calling task holds the lock (verified
         // in debug runs by the LinkTable owner checks layered above).
         unsafe { self.lock_ref(lock).unlock() };
@@ -216,6 +232,9 @@ impl Fabric for RealFabric {
     fn cond_wait(&self, task: TaskId, cond: CondId, lock: LockId) -> Nanos {
         let c = self.cond_ref(cond);
         let t0 = self.now(task);
+        if let Some(w) = self.witness() {
+            w.on_wait(task, lock, t0);
+        }
         {
             let mut guard = c.m.lock();
             // Release the user lock only after taking the condvar's
@@ -237,6 +256,9 @@ impl Fabric for RealFabric {
     ) -> (Nanos, bool) {
         let c = self.cond_ref(cond);
         let t0 = self.now(task);
+        if let Some(w) = self.witness() {
+            w.on_wait(task, lock, t0);
+        }
         let timed_out;
         {
             let mut guard = c.m.lock();

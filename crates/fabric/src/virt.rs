@@ -26,6 +26,7 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use crate::witness::LockWitness;
 use crate::{
     CondId, Fabric, LockId, Message, Nanos, PortId, TaskBody, TaskCtx, TaskId, VirtualSmpConfig,
 };
@@ -103,6 +104,9 @@ struct Shared {
     /// Set when the scheduler finds live tasks but nothing to run;
     /// `run()` panics with this diagnostic.
     deadlock: Option<String>,
+    /// Deterministic decision counter for seeded schedule exploration
+    /// (advances once per perturbable scheduling decision).
+    nonce: u64,
 }
 
 /// Deterministic virtual-time SMP implementation of [`Fabric`].
@@ -112,6 +116,7 @@ pub struct VirtualSmp {
     done_cv: Condvar,
     pending: Mutex<Vec<(String, Option<u32>, TaskBody)>>,
     me: Mutex<Option<Weak<dyn Fabric>>>,
+    witness: Mutex<Option<Arc<LockWitness>>>,
 }
 
 impl VirtualSmp {
@@ -126,10 +131,12 @@ impl VirtualSmp {
                 live: 0,
                 started: false,
                 deadlock: None,
+                nonce: 0,
             }),
             done_cv: Condvar::new(),
             pending: Mutex::new(Vec::new()),
             me: Mutex::new(None),
+            witness: Mutex::new(None),
         }
     }
 
@@ -171,27 +178,51 @@ impl VirtualSmp {
         best
     }
 
+    /// splitmix64-style mix of the schedule seed with two decision
+    /// inputs; the basis of seeded (but fully deterministic) schedule
+    /// perturbation.
+    fn mix(&self, a: u64, b: u64) -> u64 {
+        let mut z = self
+            .cfg
+            .schedule_seed
+            .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Hand the CPU to the task with the smallest wake key, applying
     /// timeout transitions along the way. Caller's task must already be
-    /// in a non-Running state.
+    /// in a non-Running state. Equal-time ties break by task id, or by
+    /// a seeded hash when schedule exploration is on — either choice is
+    /// legal under the conservative virtual-time invariant, which only
+    /// constrains *strictly* earlier actions.
     fn dispatch(&self, g: &mut MutexGuard<'_, Shared>) {
+        g.nonce = g.nonce.wrapping_add(1);
+        let epoch = g.nonce;
         loop {
             if g.live == 0 {
                 self.done_cv.notify_all();
                 return;
             }
-            let mut best: Option<(Nanos, usize)> = None;
+            let mut best: Option<(Nanos, u64, usize)> = None;
             for id in 0..g.tasks.len() {
                 let key = Self::wake_key(g, id);
                 if key == INF {
                     continue;
                 }
+                let tie = if self.cfg.schedule_seed == 0 {
+                    id as u64
+                } else {
+                    self.mix(epoch, id as u64)
+                };
                 match best {
-                    Some((bk, bi)) if (bk, bi) <= (key, id) => {}
-                    _ => best = Some((key, id)),
+                    Some((bk, bt, bi)) if (bk, bt, bi) <= (key, tie, id) => {}
+                    _ => best = Some((key, tie, id)),
                 }
             }
-            let Some((key, id)) = best else {
+            let Some((key, _, id)) = best else {
                 let dump: Vec<String> = g
                     .tasks
                     .iter()
@@ -296,8 +327,8 @@ impl VirtualSmp {
             // A sibling occupies its core during my interval if its
             // current busy stretch started before my end time and it
             // still has runnable work.
-            let overlapping = matches!(t.status, Status::Runnable | Status::Running)
-                && t.busy_from < my_end;
+            let overlapping =
+                matches!(t.status, Status::Runnable | Status::Running) && t.busy_from < my_end;
             if !overlapping {
                 continue;
             }
@@ -331,6 +362,30 @@ impl VirtualSmp {
         task.clock = task.clock.max(t);
         task.busy_from = task.clock;
         task.status = Status::Runnable;
+    }
+
+    /// Release `lock` at time `at`, handing it directly to one waiter if
+    /// any are queued. FIFO by default; a nonzero schedule seed picks
+    /// the successor pseudo-randomly (all waiters are blocked with no
+    /// deadline, so any successor is a legal schedule).
+    fn handoff(&self, g: &mut MutexGuard<'_, Shared>, lock: LockId, at: Nanos) {
+        let n = g.locks[lock as usize].waiters.len();
+        if n == 0 {
+            g.locks[lock as usize].holder = None;
+            return;
+        }
+        let idx = if self.cfg.schedule_seed == 0 || n == 1 {
+            0
+        } else {
+            g.nonce = g.nonce.wrapping_add(1);
+            (self.mix(g.nonce, lock as u64) % n as u64) as usize
+        };
+        let w = g.locks[lock as usize]
+            .waiters
+            .remove(idx)
+            .expect("idx < len");
+        g.locks[lock as usize].holder = Some(w);
+        Self::make_runnable_at(g, w, at);
     }
 }
 
@@ -371,7 +426,9 @@ impl Fabric for VirtualSmp {
             busy_from: 0,
         });
         g.live += 1;
-        self.pending.lock().push((name.to_string(), server_cpu, body));
+        self.pending
+            .lock()
+            .push((name.to_string(), server_cpu, body));
         id
     }
 
@@ -381,7 +438,8 @@ impl Fabric for VirtualSmp {
             .lock()
             .clone()
             .expect("VirtualSmp must be created via new_arc()/FabricKind::build");
-        let bodies: Vec<(String, Option<u32>, TaskBody)> = std::mem::take(&mut *self.pending.lock());
+        let bodies: Vec<(String, Option<u32>, TaskBody)> =
+            std::mem::take(&mut *self.pending.lock());
         let mut handles = Vec::new();
         for (i, (name, _cpu, body)) in bodies.into_iter().enumerate() {
             let weak = me.clone();
@@ -404,9 +462,8 @@ impl Fabric for VirtualSmp {
                     // A panicking task must not leave run() waiting on
                     // done_cv forever: record the panic, finish the
                     // task, and let run() re-raise it.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        body(&ctx)
-                    }));
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                     let mut g = sched.state.lock();
                     if let Err(payload) = result {
                         let msg = payload
@@ -474,39 +531,49 @@ impl Fabric for VirtualSmp {
         }
     }
 
+    fn attach_witness(&self, w: Arc<LockWitness>) {
+        *self.witness.lock() = Some(w);
+    }
+
+    fn witness(&self) -> Option<Arc<LockWitness>> {
+        self.witness.lock().clone()
+    }
+
     fn lock(&self, task: TaskId, lock: LockId) -> Nanos {
         let mut g = self.sync_point(task);
         let t0 = g.tasks[task as usize].clock;
         let l = &mut g.locks[lock as usize];
         assert_ne!(l.holder, Some(task), "recursive lock {lock} by task {task}");
-        if l.holder.is_none() {
+        let blocked = if l.holder.is_none() {
             l.holder = Some(task);
-            return 0;
+            0
+        } else {
+            l.waiters.push_back(task);
+            g.tasks[task as usize].status = Status::LockWait(lock);
+            self.dispatch(&mut g);
+            self.wait_until_running(&mut g, task);
+            g.tasks[task as usize].clock - t0
+        };
+        if let Some(w) = self.witness() {
+            w.on_acquire(task, lock, g.tasks[task as usize].clock);
         }
-        l.waiters.push_back(task);
-        g.tasks[task as usize].status = Status::LockWait(lock);
-        self.dispatch(&mut g);
-        self.wait_until_running(&mut g, task);
-        g.tasks[task as usize].clock - t0
+        blocked
     }
 
     fn unlock(&self, task: TaskId, lock: LockId) {
         let mut g = self.sync_point(task);
+        if let Some(w) = self.witness() {
+            w.on_release(task, lock);
+        }
         let my_clock = g.tasks[task as usize].clock;
-        let l = &mut g.locks[lock as usize];
         assert_eq!(
-            l.holder,
+            g.locks[lock as usize].holder,
             Some(task),
             "task {task} unlocked lock {lock} it does not hold"
         );
-        if let Some(w) = l.waiters.pop_front() {
-            // Direct handoff: the head waiter owns the lock from the
-            // moment of release and resumes at the release time.
-            l.holder = Some(w);
-            Self::make_runnable_at(&mut g, w, my_clock);
-        } else {
-            l.holder = None;
-        }
+        // Direct handoff: the successor owns the lock from the moment
+        // of release and resumes at the release time.
+        self.handoff(&mut g, lock, my_clock);
     }
 
     fn cond_wait(&self, task: TaskId, cond: CondId, lock: LockId) -> Nanos {
@@ -624,19 +691,17 @@ impl VirtualSmp {
     ) -> (Nanos, bool) {
         let mut g = self.sync_point(task);
         let t0 = g.tasks[task as usize].clock;
+        if let Some(w) = self.witness() {
+            w.on_wait(task, lock, t0);
+            w.on_release(task, lock);
+        }
         // Release the lock with handoff semantics.
-        let l = &mut g.locks[lock as usize];
         assert_eq!(
-            l.holder,
+            g.locks[lock as usize].holder,
             Some(task),
             "cond_wait on lock {lock} not held by task {task}"
         );
-        if let Some(w) = l.waiters.pop_front() {
-            l.holder = Some(w);
-            Self::make_runnable_at(&mut g, w, t0);
-        } else {
-            l.holder = None;
-        }
+        self.handoff(&mut g, lock, t0);
         g.tasks[task as usize].timed_out = false;
         g.tasks[task as usize].status = Status::CondWait {
             cond,
@@ -649,6 +714,9 @@ impl VirtualSmp {
         // We resume holding the lock (signal/timeout routed us through
         // start_relock and the handoff chain).
         debug_assert_eq!(g.locks[lock as usize].holder, Some(task));
+        if let Some(w) = self.witness() {
+            w.on_acquire(task, lock, g.tasks[task as usize].clock);
+        }
         let waited = g.tasks[task as usize].clock - t0;
         (waited, g.tasks[task as usize].timed_out)
     }
@@ -714,7 +782,10 @@ mod tests {
         let times: Vec<u64> = events.iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        assert_eq!(times, sorted, "events out of virtual-time order: {events:?}");
+        assert_eq!(
+            times, sorted,
+            "events out of virtual-time order: {events:?}"
+        );
         assert_eq!(events.len(), 6);
     }
 
@@ -930,6 +1001,51 @@ mod tests {
     }
 
     #[test]
+    fn seeded_schedules_differ_but_replay_identically() {
+        // Four tasks contend on one lock from equal start times; the
+        // acquisition order is pure scheduling policy. Seeds must (a)
+        // replay identically and (b) produce more than one distinct
+        // order across a small seed sweep, while seed 0 keeps the
+        // canonical id-ordered schedule.
+        let run = |seed: u64| {
+            let f = FabricKind::VirtualSmp(VirtualSmpConfig {
+                hyperthreading: false,
+                link_latency_ns: 0,
+                schedule_seed: seed,
+                ..VirtualSmpConfig::default()
+            })
+            .build();
+            let l = f.alloc_lock();
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            for id in 0..4u64 {
+                let log = log.clone();
+                f.spawn(
+                    &format!("t{id}"),
+                    None,
+                    Box::new(move |ctx| {
+                        for _ in 0..3 {
+                            ctx.lock(l);
+                            ctx.charge(10);
+                            ctx.unlock(l);
+                            log.lock().unwrap().push(id);
+                        }
+                    }),
+                );
+            }
+            f.run();
+            let v = log.lock().unwrap().clone();
+            v
+        };
+        assert_eq!(run(0), run(0));
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..8 {
+            assert_eq!(run(seed), run(seed), "seed {seed} must replay");
+            distinct.insert(run(seed));
+        }
+        assert!(distinct.len() > 1, "seed sweep never changed the schedule");
+    }
+
+    #[test]
     fn ht_model_slows_paired_contexts() {
         let run = |cpus: [Option<u32>; 2]| {
             let f = FabricKind::VirtualSmp(VirtualSmpConfig {
@@ -938,6 +1054,7 @@ mod tests {
                 ht_efficiency: 0.5,
                 link_latency_ns: 0,
                 mem_penalty: 0.0,
+                schedule_seed: 0,
             })
             .build();
             let out = Arc::new(StdMutex::new(Vec::new()));
@@ -975,6 +1092,7 @@ mod tests {
             ht_efficiency: 0.5,
             link_latency_ns: 0,
             mem_penalty: 0.0,
+            schedule_seed: 0,
         })
         .build();
         let out = Arc::new(AtomicU64::new(0));

@@ -1,0 +1,345 @@
+//! Runtime lock-order witness (lockdep-style).
+//!
+//! Attached to a fabric via [`crate::Fabric::attach_witness`], the
+//! witness observes every successful lock acquisition, release and
+//! condition wait on **either** fabric and checks the region-locking
+//! protocol's discipline as interleavings actually happen:
+//!
+//! * **ascending leaves** — a task never acquires a leaf lock of rank
+//!   ≤ any leaf it already holds;
+//! * **acyclic layer order** — the graph of "held layer → acquired
+//!   layer" edges over [`LockLayer`]s stays acyclic, so no two tasks
+//!   can be taking protocol layers in opposite orders (the condition
+//!   from which deadlocks form, caught even when the deadlock itself
+//!   doesn't strike on this run);
+//! * **no guard across a barrier** — a task parking on a condition
+//!   variable (the frame/phase barriers) must hold nothing but the
+//!   mutex the wait releases.
+//!
+//! Violations are recorded — not panicked — and surface through a
+//! [`WitnessReport`] (`parquake-metrics`) so harness runs and tests can
+//! assert "zero violations" at the end; `LockWitness::strict()` panics
+//! at the violation site instead, which gives a stack trace pointing at
+//! the offending acquire.
+//!
+//! The witness serializes its own state with a host mutex. On the
+//! virtual fabric tasks are already serialized; on the real fabric this
+//! adds cross-thread ordering around lock operations, which is why
+//! witnessing is opt-in per run (attach only when verifying, not when
+//! measuring).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use parquake_metrics::witness::{
+    LockClass, LockLayer, LockViolation, LockViolationKind, WitnessReport,
+};
+
+use crate::{LockId, Nanos, TaskId};
+
+#[derive(Default)]
+struct WitnessState {
+    classes: HashMap<LockId, LockClass>,
+    /// Per-task stack of held locks, oldest first.
+    held: HashMap<TaskId, Vec<(LockId, LockClass)>>,
+    /// Observed order edges: held layer -> acquired layer.
+    edges: HashMap<LockLayer, Vec<LockLayer>>,
+    acquisitions: u64,
+    max_held_depth: usize,
+    violations: Vec<LockViolation>,
+}
+
+impl WitnessState {
+    fn class_of(&self, lock: LockId) -> LockClass {
+        *self
+            .classes
+            .get(&lock)
+            .unwrap_or(&LockClass::Other { id: lock })
+    }
+
+    /// Is `to` reachable from `from` in the observed order graph?
+    fn reaches(&self, from: LockLayer, to: LockLayer) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            for &next in self.edges.get(&n).into_iter().flatten() {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The witness. One instance observes one fabric run.
+pub struct LockWitness {
+    state: Mutex<WitnessState>,
+    strict: bool,
+}
+
+impl LockWitness {
+    /// Record violations for later reporting.
+    pub fn new() -> LockWitness {
+        LockWitness {
+            state: Mutex::new(WitnessState::default()),
+            strict: false,
+        }
+    }
+
+    /// Panic at the first violation (stack trace points at the
+    /// offending operation).
+    pub fn strict() -> LockWitness {
+        LockWitness {
+            state: Mutex::new(WitnessState::default()),
+            strict: true,
+        }
+    }
+
+    /// Declare `lock`'s role in the protocol. Unclassified locks get
+    /// their own private layer and only the cycle check applies to
+    /// them.
+    pub fn classify(&self, lock: LockId, class: LockClass) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.classes.insert(lock, class);
+    }
+
+    /// Hook: `task` successfully acquired `lock` at fabric time `at`.
+    pub fn on_acquire(&self, task: TaskId, lock: LockId, at: Nanos) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let class = s.class_of(lock);
+        let layer = class.layer();
+        let held = s.held.get(&task).cloned().unwrap_or_default();
+
+        let mut new_violations: Vec<LockViolation> = Vec::new();
+
+        // Ascending-leaf rule.
+        if let LockClass::Leaf { rank } = class {
+            if let Some(held_rank) = held
+                .iter()
+                .filter_map(|(_, c)| match c {
+                    LockClass::Leaf { rank: r } if *r >= rank => Some(*r),
+                    _ => None,
+                })
+                .max()
+            {
+                new_violations.push(LockViolation {
+                    kind: LockViolationKind::LeafOrder {
+                        held_rank,
+                        acquired_rank: rank,
+                    },
+                    task,
+                    lock,
+                    class,
+                    held: held.clone(),
+                    at,
+                });
+            }
+        }
+
+        // Layer-order graph: add held->acquired edges, flag inversions.
+        for (_, held_class) in &held {
+            let held_layer = held_class.layer();
+            if held_layer == layer {
+                continue; // same-layer order is the rank check's job
+            }
+            if s.reaches(layer, held_layer) {
+                new_violations.push(LockViolation {
+                    kind: LockViolationKind::LayerCycle {
+                        holding: held_layer,
+                        acquiring: layer,
+                    },
+                    task,
+                    lock,
+                    class,
+                    held: held.clone(),
+                    at,
+                });
+            }
+            let out = s.edges.entry(held_layer).or_default();
+            if !out.contains(&layer) {
+                out.push(layer);
+            }
+        }
+
+        s.acquisitions += 1;
+        let stack = s.held.entry(task).or_default();
+        stack.push((lock, class));
+        let depth = stack.len();
+        s.max_held_depth = s.max_held_depth.max(depth);
+        self.flag(s, new_violations);
+    }
+
+    /// Hook: `task` released `lock`.
+    pub fn on_release(&self, task: TaskId, lock: LockId) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stack) = s.held.get_mut(&task) {
+            if let Some(pos) = stack.iter().rposition(|(l, _)| *l == lock) {
+                stack.remove(pos);
+            }
+        }
+    }
+
+    /// Hook: `task` is about to park on a condition variable, releasing
+    /// `releasing`. Anything else still held is a guard living across a
+    /// barrier. (The caller pops `releasing` via `on_release` and
+    /// re-pushes it via `on_acquire` around the wait.)
+    pub fn on_wait(&self, task: TaskId, releasing: LockId, at: Nanos) {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let held = s.held.get(&task).cloned().unwrap_or_default();
+        let leaked: Vec<(LockId, LockClass)> = held
+            .iter()
+            .filter(|(l, _)| *l != releasing)
+            .cloned()
+            .collect();
+        if !leaked.is_empty() {
+            let class = s.class_of(releasing);
+            let v = vec![LockViolation {
+                kind: LockViolationKind::HeldAcrossWait,
+                task,
+                lock: releasing,
+                class,
+                held: leaked,
+                at,
+            }];
+            self.flag(s, v);
+        }
+    }
+
+    /// Snapshot everything observed so far.
+    pub fn report(&self) -> WitnessReport {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut order_edges: Vec<(LockLayer, LockLayer)> = s
+            .edges
+            .iter()
+            .flat_map(|(from, tos)| tos.iter().map(move |to| (*from, *to)))
+            .collect();
+        order_edges.sort();
+        WitnessReport {
+            acquisitions: s.acquisitions,
+            classified: s.classes.len(),
+            max_held_depth: s.max_held_depth,
+            order_edges,
+            violations: s.violations.clone(),
+        }
+    }
+
+    fn flag(
+        &self,
+        mut s: std::sync::MutexGuard<'_, WitnessState>,
+        new_violations: Vec<LockViolation>,
+    ) {
+        if new_violations.is_empty() {
+            return;
+        }
+        if self.strict {
+            let v = &new_violations[0];
+            panic!("lock witness (strict): {v}");
+        }
+        s.violations.extend(new_violations);
+    }
+}
+
+impl Default for LockWitness {
+    fn default() -> Self {
+        LockWitness::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_leaves_are_clean() {
+        let w = LockWitness::new();
+        for (id, rank) in [(3u32, 0u32), (5, 1), (9, 4)] {
+            w.classify(id, LockClass::Leaf { rank });
+        }
+        w.on_acquire(0, 3, 10);
+        w.on_acquire(0, 5, 20);
+        w.on_acquire(0, 9, 30);
+        w.on_release(0, 9);
+        w.on_release(0, 5);
+        w.on_release(0, 3);
+        let r = w.report();
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.acquisitions, 3);
+        assert_eq!(r.max_held_depth, 3);
+    }
+
+    #[test]
+    fn descending_leaves_are_flagged() {
+        let w = LockWitness::new();
+        w.classify(1, LockClass::Leaf { rank: 2 });
+        w.classify(2, LockClass::Leaf { rank: 7 });
+        w.on_acquire(0, 2, 0);
+        w.on_acquire(0, 1, 5);
+        let r = w.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(
+            r.violations[0].kind,
+            LockViolationKind::LeafOrder {
+                held_rank: 7,
+                acquired_rank: 2
+            }
+        );
+    }
+
+    #[test]
+    fn opposite_layer_orders_cycle() {
+        let w = LockWitness::new();
+        w.classify(1, LockClass::Global);
+        w.classify(2, LockClass::Client { slot: 0 });
+        // Task 0: global then client. Task 1: client then global.
+        w.on_acquire(0, 1, 0);
+        w.on_acquire(0, 2, 1);
+        w.on_release(0, 2);
+        w.on_release(0, 1);
+        w.on_acquire(1, 2, 2);
+        w.on_acquire(1, 1, 3);
+        let r = w.report();
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(
+            r.violations[0].kind,
+            LockViolationKind::LayerCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn wait_with_extra_guard_is_flagged() {
+        let w = LockWitness::new();
+        w.classify(0, LockClass::Ctrl);
+        w.classify(4, LockClass::Leaf { rank: 1 });
+        w.on_acquire(0, 4, 0);
+        w.on_acquire(0, 0, 1);
+        w.on_wait(0, 0, 2); // parks on a barrier still holding leaf 4
+        let r = w.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, LockViolationKind::HeldAcrossWait);
+        assert_eq!(r.violations[0].held, vec![(4, LockClass::Leaf { rank: 1 })]);
+    }
+
+    #[test]
+    fn wait_holding_only_the_released_lock_is_clean() {
+        let w = LockWitness::new();
+        w.classify(0, LockClass::Ctrl);
+        w.on_acquire(0, 0, 1);
+        w.on_wait(0, 0, 2);
+        assert!(w.report().clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock witness (strict)")]
+    fn strict_mode_panics_at_the_site() {
+        let w = LockWitness::strict();
+        w.classify(1, LockClass::Leaf { rank: 2 });
+        w.classify(2, LockClass::Leaf { rank: 7 });
+        w.on_acquire(0, 2, 0);
+        w.on_acquire(0, 1, 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Witness regression tests against *real fabric runs*: tasks acquire
+//! fabric locks through `TaskCtx`, and the attached witness must catch
+//! (or pass) the discipline from the hook wiring alone — no direct
+//! `on_acquire`/`on_wait` calls here.
+
+use std::sync::Arc;
+
+use parquake_fabric::{FabricKind, LockWitness, TaskCtx, VirtualSmpConfig};
+use parquake_metrics::witness::{LockClass, LockViolationKind};
+
+fn fabric_with_witness() -> (Arc<dyn parquake_fabric::Fabric>, Arc<LockWitness>) {
+    let fabric = FabricKind::VirtualSmp(VirtualSmpConfig::default()).build();
+    let witness = Arc::new(LockWitness::new());
+    fabric.attach_witness(witness.clone());
+    (fabric, witness)
+}
+
+#[test]
+fn compliant_contended_run_is_clean() {
+    let (fabric, witness) = fabric_with_witness();
+    let locks: Vec<_> = (0..4).map(|_| fabric.alloc_lock()).collect();
+    for (rank, &l) in locks.iter().enumerate() {
+        witness.classify(l, LockClass::Leaf { rank: rank as u32 });
+    }
+    for t in 0..3u32 {
+        let locks = locks.clone();
+        fabric.spawn(
+            &format!("worker-{t}"),
+            Some(t),
+            Box::new(move |ctx: &TaskCtx| {
+                for _ in 0..5 {
+                    // Ascending acquisition, full release between rounds.
+                    for &l in &locks {
+                        ctx.lock(l);
+                    }
+                    ctx.charge(1_000);
+                    for &l in locks.iter().rev() {
+                        ctx.unlock(l);
+                    }
+                }
+            }),
+        );
+    }
+    fabric.run();
+    let r = witness.report();
+    assert_eq!(r.acquisitions, 3 * 5 * 4);
+    assert!(r.max_held_depth >= 4);
+    r.assert_clean("compliant contended run");
+}
+
+#[test]
+fn out_of_order_leaf_acquisition_is_detected() {
+    let (fabric, witness) = fabric_with_witness();
+    let lo = fabric.alloc_lock();
+    let hi = fabric.alloc_lock();
+    witness.classify(lo, LockClass::Leaf { rank: 1 });
+    witness.classify(hi, LockClass::Leaf { rank: 8 });
+    fabric.spawn(
+        "descender",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(hi);
+            ctx.lock(lo); // rank 1 while holding rank 8
+            ctx.unlock(lo);
+            ctx.unlock(hi);
+        }),
+    );
+    fabric.run();
+    let r = witness.report();
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    assert_eq!(
+        r.violations[0].kind,
+        LockViolationKind::LeafOrder {
+            held_rank: 8,
+            acquired_rank: 1
+        }
+    );
+}
+
+#[test]
+fn opposite_layer_orders_across_tasks_are_detected() {
+    let (fabric, witness) = fabric_with_witness();
+    let global = fabric.alloc_lock();
+    let client = fabric.alloc_lock();
+    witness.classify(global, LockClass::Global);
+    witness.classify(client, LockClass::Client { slot: 0 });
+    fabric.spawn(
+        "global-then-client",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(global);
+            ctx.charge(10_000);
+            ctx.lock(client);
+            ctx.unlock(client);
+            ctx.unlock(global);
+        }),
+    );
+    fabric.spawn(
+        "client-then-global",
+        Some(1),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.charge(50_000); // run after the first task's edge exists
+            ctx.lock(client);
+            ctx.lock(global);
+            ctx.unlock(global);
+            ctx.unlock(client);
+        }),
+    );
+    fabric.run();
+    let r = witness.report();
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| matches!(v.kind, LockViolationKind::LayerCycle { .. })),
+        "no layer cycle flagged: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn guard_held_across_cond_wait_is_detected() {
+    let (fabric, witness) = fabric_with_witness();
+    let leaf = fabric.alloc_lock();
+    let barrier_lock = fabric.alloc_lock();
+    let cond = fabric.alloc_cond();
+    witness.classify(leaf, LockClass::Leaf { rank: 0 });
+    witness.classify(barrier_lock, LockClass::Ctrl);
+    fabric.spawn(
+        "leaker",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(leaf); // never released before parking
+            ctx.lock(barrier_lock);
+            ctx.cond_wait_until(cond, barrier_lock, 1_000_000);
+            ctx.unlock(barrier_lock);
+            ctx.unlock(leaf);
+        }),
+    );
+    fabric.run();
+    let r = witness.report();
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    assert_eq!(r.violations[0].kind, LockViolationKind::HeldAcrossWait);
+    assert_eq!(
+        r.violations[0].held,
+        vec![(leaf, LockClass::Leaf { rank: 0 })]
+    );
+}
+
+#[test]
+fn wait_holding_only_the_barrier_mutex_is_clean() {
+    let (fabric, witness) = fabric_with_witness();
+    let barrier_lock = fabric.alloc_lock();
+    let cond = fabric.alloc_cond();
+    witness.classify(barrier_lock, LockClass::Ctrl);
+    fabric.spawn(
+        "waiter",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(barrier_lock);
+            ctx.cond_wait_until(cond, barrier_lock, 1_000_000);
+            ctx.unlock(barrier_lock);
+        }),
+    );
+    fabric.spawn(
+        "signaller",
+        Some(1),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.charge(100_000);
+            ctx.cond_broadcast(cond);
+        }),
+    );
+    fabric.run();
+    witness.report().assert_clean("barrier wait");
+}

@@ -41,9 +41,9 @@ fn main() {
         i += 1;
     }
     match run_udp_clients(server, threads, players, Duration::from_secs(secs)) {
-        Ok((sent, received, avg_ms)) => println!(
-            "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
-        ),
+        Ok((sent, received, avg_ms)) => {
+            println!("udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms")
+        }
         Err(e) => {
             eprintln!("udp_client: {e}");
             std::process::exit(1);

@@ -4,9 +4,11 @@ use std::sync::Arc;
 
 use parquake_bots::{spawn_swarm, BotBehavior, BotSwarmConfig};
 use parquake_bsp::mapgen::MapGenConfig;
-use parquake_fabric::{FabricKind, Nanos};
-use parquake_metrics::{Breakdown, ResponseStats};
-use parquake_server::{spawn_server, Assignment, CostModel, ServerConfig, ServerKind, ServerResults};
+use parquake_fabric::{FabricKind, LockWitness, Nanos};
+use parquake_metrics::{Breakdown, ResponseStats, WitnessReport};
+use parquake_server::{
+    spawn_server, Assignment, CostModel, ServerConfig, ServerKind, ServerResults,
+};
 use parquake_sim::GameWorld;
 
 /// One experiment configuration (a single bar/point in a figure).
@@ -79,6 +81,8 @@ pub struct Outcome {
     pub world_hash: u64,
     /// The final world state (scoreboards, item states, positions).
     pub world: Arc<GameWorld>,
+    /// Lock-discipline witness report (present when `checking` was on).
+    pub witness: Option<WitnessReport>,
 }
 
 impl Outcome {
@@ -120,6 +124,17 @@ impl Experiment {
         ));
         let fabric = cfg.fabric.build();
 
+        // Checking runs also carry the lock-order witness: every fabric
+        // lock operation is checked against the region-locking
+        // discipline and the report lands in the outcome.
+        let witness = if cfg.checking {
+            let w = Arc::new(LockWitness::new());
+            fabric.attach_witness(w.clone());
+            Some(w)
+        } else {
+            None
+        };
+
         // The server runs a little longer than the bots send, so the
         // final requests drain.
         let server_cfg = ServerConfig {
@@ -150,9 +165,9 @@ impl Experiment {
 
         fabric.run();
 
-        let results = server.results.lock().unwrap().clone();
-        let response = swarm.stats.lock().unwrap().clone();
-        let connected = *swarm.connected.lock().unwrap();
+        let results = server.results.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let response = swarm.stats.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let connected = *swarm.connected.lock().unwrap(); // lockcheck: allow(raw-sync)
         Outcome {
             server: results,
             response,
@@ -160,6 +175,7 @@ impl Experiment {
             duration_ns: cfg.duration_ns,
             world_hash: world.world_hash(),
             world,
+            witness: witness.map(|w| w.report()),
         }
     }
 }
@@ -185,7 +201,11 @@ mod tests {
     fn sequential_smoke() {
         let out = Experiment::new(quick(8, ServerKind::Sequential)).run();
         assert_eq!(out.connected, 8, "all bots must connect");
-        assert!(out.response.received > 100, "replies: {}", out.response.received);
+        assert!(
+            out.response.received > 100,
+            "replies: {}",
+            out.response.received
+        );
         assert!(out.server.frame_count > 10);
         let bd = out.breakdown();
         assert!(bd.get(Bucket::Reply) > 0);
@@ -207,6 +227,9 @@ mod tests {
         assert_eq!(out.connected, 8);
         assert!(out.response.received > 100);
         assert_eq!(out.server.threads.len(), 2);
+        let report = out.witness.expect("checking runs carry a witness report");
+        assert!(report.acquisitions > 0);
+        report.assert_clean("parallel_smoke");
     }
 
     #[test]

@@ -57,9 +57,8 @@ pub fn run(opts: &SweepOpts) -> String {
             out.server.frame_count.to_string(),
         ]);
     }
-    let mut s = format!(
-        "== Request batching (paper 5.2 future work; 8 threads, {players} players) ==\n\n"
-    );
+    let mut s =
+        format!("== Request batching (paper 5.2 future work; 8 threads, {players} players) ==\n\n");
     s.push_str(&numeric_table(
         &[
             "batch window",

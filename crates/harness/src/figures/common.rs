@@ -93,7 +93,13 @@ pub fn render_outcomes(title: &str, rows: &[(String, Outcome)]) -> String {
         })
         .collect();
     out.push_str(&numeric_table(
-        &["configuration", "replies/s", "resp-ms", "connected", "frames"],
+        &[
+            "configuration",
+            "replies/s",
+            "resp-ms",
+            "connected",
+            "frames",
+        ],
         &table,
     ));
     out.push('\n');

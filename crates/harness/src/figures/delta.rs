@@ -48,9 +48,7 @@ pub fn run(opts: &SweepOpts) -> String {
             }
         }
     }
-    let mut s = String::from(
-        "== Delta-compressed replies (QuakeWorld-style, extension) ==\n\n",
-    );
+    let mut s = String::from("== Delta-compressed replies (QuakeWorld-style, extension) ==\n\n");
     s.push_str(&numeric_table(
         &["configuration", "replies/s", "resp-ms", "reply%", "idle%"],
         &rows,

@@ -48,18 +48,13 @@ pub fn run(opts: &SweepOpts) -> String {
                     f(out.response_rate(), 0),
                     f(out.avg_response_ms(), 1),
                     f(m.breakdown.percent(Bucket::Lock), 1),
-                    f(
-                        m.lock.leaf_ns as f64 / m.requests.max(1) as f64 / 1000.0,
-                        1,
-                    ),
+                    f(m.lock.leaf_ns as f64 / m.requests.max(1) as f64 / 1000.0, 1),
                     f(out.server.frames.avg_shared_leaf_percent(), 1),
                 ]);
             }
         }
     }
-    let mut s = String::from(
-        "== Dynamic region-affine assignment (paper 5.1 future work) ==\n\n",
-    );
+    let mut s = String::from("== Dynamic region-affine assignment (paper 5.1 future work) ==\n\n");
     s.push_str(&numeric_table(
         &[
             "configuration",

@@ -39,7 +39,13 @@ pub fn run_a(opts: &SweepOpts) -> String {
     let mut s =
         String::from("== Figure 7a: lock time share, leaf vs parent areanode locking ==\n\n");
     s.push_str(&numeric_table(
-        &["configuration", "leaf%", "parent%", "leaf-ops", "parent-ops"],
+        &[
+            "configuration",
+            "leaf%",
+            "parent%",
+            "leaf-ops",
+            "parent-ops",
+        ],
         &rows,
     ));
     s

@@ -42,9 +42,8 @@ pub fn run(opts: &SweepOpts) -> String {
             ]);
         }
     }
-    let mut s = String::from(
-        "== One-pass locking (paper 5.1 future work) vs the paper's policies ==\n\n",
-    );
+    let mut s =
+        String::from("== One-pass locking (paper 5.1 future work) vs the paper's policies ==\n\n");
     s.push_str(&numeric_table(
         &[
             "configuration",

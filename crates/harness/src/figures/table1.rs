@@ -34,7 +34,10 @@ pub fn run() -> String {
         vec![
             "OS".to_string(),
             "Linux RedHat 7.3".to_string(),
-            format!("{} / deterministic virtual-time scheduler", std::env::consts::OS),
+            format!(
+                "{} / deterministic virtual-time scheduler",
+                std::env::consts::OS
+            ),
         ],
         vec![
             "threads".to_string(),
@@ -44,11 +47,17 @@ pub fn run() -> String {
         vec![
             "NIC".to_string(),
             "100 MBit Ethernet".to_string(),
-            format!("modelled link, {:.2} ms one-way", smp.link_latency_ns as f64 / 1e6),
+            format!(
+                "modelled link, {:.2} ms one-way",
+                smp.link_latency_ns as f64 / 1e6
+            ),
         ],
     ];
     let mut out = String::from("== Table 1: game server system configuration ==\n\n");
-    out.push_str(&numeric_table(&["component", "paper", "this reproduction"], &rows));
+    out.push_str(&numeric_table(
+        &["component", "paper", "this reproduction"],
+        &rows,
+    ));
     out
 }
 

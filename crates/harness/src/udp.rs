@@ -126,6 +126,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                             Err(_) => None,
                         };
                         if let Some(cid) = client {
+                            // lockcheck: allow(raw-sync)
                             if let Some(addr) = addrs.lock().unwrap().get(&cid).copied() {
                                 if sock.send_to(&msg.payload, addr).is_ok() {
                                     sent += 1;
@@ -134,7 +135,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                         }
                     }
                 }
-                *stats_out.lock().unwrap() += sent;
+                *stats_out.lock().unwrap() += sent; // lockcheck: allow(raw-sync)
             }),
         );
     }
@@ -163,7 +164,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                                 | ClientMessage::Move { client_id, .. }
                                 | ClientMessage::Disconnect { client_id } => client_id,
                             };
-                            addrs.lock().unwrap().insert(cid, from);
+                            addrs.lock().unwrap().insert(cid, from); // lockcheck: allow(raw-sync)
                         }
                         // Forward verbatim; the server validates again.
                         real.send_external(gw, server_port, buf[..n].to_vec());
@@ -177,7 +178,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                     Err(_) => break,
                 }
             }
-            *stats_in.lock().unwrap() += received;
+            *stats_in.lock().unwrap() += received; // lockcheck: allow(raw-sync)
         }));
     }
 
@@ -186,9 +187,9 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
         let _ = h.join();
     }
 
-    let results = handle.results.lock().unwrap();
-    let datagrams_in = *stats_in.lock().unwrap();
-    let datagrams_out = *stats_out.lock().unwrap();
+    let results = handle.results.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let datagrams_in = *stats_in.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let datagrams_out = *stats_out.lock().unwrap(); // lockcheck: allow(raw-sync)
     Ok(UdpServerReport {
         datagrams_in,
         datagrams_out,
@@ -233,7 +234,9 @@ pub fn run_udp_clients(
             }
             let msg = if !acked[i] {
                 next_at[i] = start.elapsed() + Duration::from_millis(100);
-                ClientMessage::Connect { client_id: i as u32 }
+                ClientMessage::Connect {
+                    client_id: i as u32,
+                }
             } else {
                 seq[i] += 1;
                 next_at[i] = start.elapsed() + Duration::from_millis(30);

@@ -1,0 +1,553 @@
+//! parquake-lockcheck — the workspace lock-discipline lint.
+//!
+//! Enforces the static half of the region-locking verification layer
+//! (the dynamic half is the runtime witness in `parquake-fabric`):
+//!
+//! * **raw-sync** — no raw `std::sync::Mutex`/`parking_lot` lock
+//!   acquisition outside `crates/fabric`. Game-state synchronization
+//!   must go through the fabric so it is simulated, witnessed, and
+//!   deterministic. Host-side bookkeeping (result collection, stat
+//!   sinks) may opt out per line with `// lockcheck: allow(raw-sync)`.
+//! * **ordered-acquire** — inside `crates/server`, the fabric lock API
+//!   (`ctx.lock`/`ctx.unlock`) may only be called from functions marked
+//!   `// lockcheck: acquire-site` (the `RegionLocks` methods and
+//!   `Ctrl::enter`/`exit`). Everything else must use those methods, so
+//!   every protocol acquisition funnels through witnessed, ordered
+//!   sites.
+//! * **guard-across-wait** — no raw mutex guard may be live across a
+//!   fabric barrier/phase-transition call (`cond_wait`,
+//!   `cond_wait_until`, `sleep_until`, `wait_readable`).
+//! * **sim-lock-free** — `crates/sim` (the world-phase code, which the
+//!   frame protocol runs under master exclusivity) takes no object
+//!   locks at all: no fabric lock calls, no raw mutexes.
+//!
+//! The scanner is a hand-rolled token-level pass: it strips comments,
+//! strings and char literals (so quoted or commented `ctx.lock(` never
+//! trips a rule), honours `#[cfg(test)]` tails (test modules at the end
+//! of a source file are exempt — the discipline governs production
+//! code; integration tests under `tests/` are never scanned), and
+//! tracks brace depth to delimit `acquire-site` functions. A
+//! `syn`-based AST pass was considered and rejected to keep the checker
+//! dependency-free and offline-buildable.
+//!
+//! Usage: `cargo run -p parquake-lockcheck` from the workspace root
+//! (CI does exactly this); `--root <dir>` to point elsewhere;
+//! `--self-test` to run the embedded violation fixtures.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    /// 1-based.
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+const RULE_RAW_SYNC: &str = "raw-sync";
+const RULE_ORDERED: &str = "ordered-acquire";
+const RULE_GUARD: &str = "guard-across-wait";
+const RULE_SIM: &str = "sim-lock-free";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--self-test") {
+        return self_test();
+    }
+    let root = match args.iter().position(|a| a == "--root") {
+        Some(i) => PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or(".")),
+        None => PathBuf::from("."),
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "lockcheck: no Cargo.toml under {} (run from the workspace root)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            collect_rs(&e.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for f in &files {
+        let text = match fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lockcheck: cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = f
+            .strip_prefix(&root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(check_source(&rel, &text));
+        scanned += 1;
+    }
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!("lockcheck: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lockcheck: {} violation(s) in {scanned} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively gather `.rs` files under `dir`. Callers only pass `src/`
+/// roots, so `vendor/`, `target/`, `tests/` and `benches/` are never
+/// visited.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…` →
+/// `<name>`; the root package maps to `root`).
+fn crate_of(path: &str) -> &str {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return "root";
+    };
+    rest.split('/').next().unwrap_or("root")
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving line structure so diagnostics keep their line numbers.
+fn strip_source(text: &str) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            out.push_str("  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && (next == Some('"') || next == Some('#')) && !prev_is_ident(&b, i) {
+            // Raw string r"…" / r#"…"#.
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal vs lifetime: '\n' / 'x' are literals; 'a and
+            // 'static (no nearby closing quote) are lifetimes.
+            if next == Some('\\') {
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                out.push(' ');
+                i += 1;
+            } else if b.get(i + 2) == Some(&'\'') {
+                out.push_str("   ");
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// A raw-mutex guard binding live in some scope.
+struct Guard {
+    name: String,
+    depth: i32,
+}
+
+/// Run every rule over one file. `path` is workspace-relative with
+/// forward slashes.
+fn check_source(path: &str, text: &str) -> Vec<Violation> {
+    let krate = crate_of(path);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_source(text);
+    let lines: Vec<&str> = stripped.lines().collect();
+
+    // Production-code cutoff: everything from a `#[cfg(test)]` item to
+    // EOF is the file's test-module tail and is exempt.
+    let cutoff = lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    let allow_on = |idx: usize, what: &str| -> bool {
+        let tag = format!("lockcheck: allow({what})");
+        raw_lines.get(idx).is_some_and(|l| l.contains(&tag))
+            || (idx > 0 && raw_lines[idx - 1].contains(&tag))
+    };
+
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    let mut site_armed = false;
+    let mut in_site = false;
+    let mut site_depth: i32 = 0;
+    let mut site_opened = false;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (idx, &line) in lines.iter().enumerate().take(cutoff) {
+        if raw_lines[idx].contains("lockcheck: acquire-site") {
+            site_armed = true;
+        }
+        if site_armed && !in_site && line.contains("fn ") {
+            in_site = true;
+            site_armed = false;
+            site_depth = depth;
+            site_opened = false;
+        }
+
+        // ---- raw-sync ------------------------------------------------
+        if krate != "fabric" {
+            if line.contains("parking_lot") && !allow_on(idx, "raw-sync") {
+                out.push(Violation {
+                    file: path.into(),
+                    line: idx + 1,
+                    rule: RULE_RAW_SYNC,
+                    msg: "parking_lot is reserved for crates/fabric".into(),
+                });
+            }
+            if line.contains(".lock()") && !allow_on(idx, "raw-sync") {
+                out.push(Violation {
+                    file: path.into(),
+                    line: idx + 1,
+                    rule: RULE_RAW_SYNC,
+                    msg: "raw mutex acquisition outside crates/fabric (use the \
+                          fabric lock API, or annotate host-side bookkeeping \
+                          with `// lockcheck: allow(raw-sync)`)"
+                        .into(),
+                });
+            }
+        }
+
+        // ---- ordered-acquire ----------------------------------------
+        if krate == "server"
+            && (line.contains("ctx.lock(") || line.contains("ctx.unlock("))
+            && !in_site
+        {
+            out.push(Violation {
+                file: path.into(),
+                line: idx + 1,
+                rule: RULE_ORDERED,
+                msg: "fabric lock call outside an `// lockcheck: acquire-site` \
+                      function (go through RegionLocks / Ctrl::enter/exit)"
+                    .into(),
+            });
+        }
+
+        // ---- sim-lock-free ------------------------------------------
+        if krate == "sim"
+            && ["ctx.lock(", "ctx.unlock(", ".lock()", "Mutex", "RwLock"]
+                .iter()
+                .any(|p| line.contains(p))
+        {
+            out.push(Violation {
+                file: path.into(),
+                line: idx + 1,
+                rule: RULE_SIM,
+                msg: "world-phase code must take no object locks (phase \
+                      exclusivity belongs to the frame protocol)"
+                    .into(),
+            });
+        }
+
+        // ---- guard-across-wait --------------------------------------
+        if krate != "fabric" {
+            let barrier = [
+                "ctx.cond_wait(",
+                "ctx.cond_wait_until(",
+                "ctx.sleep_until(",
+                "ctx.wait_readable(",
+            ]
+            .iter()
+            .find(|p| line.contains(*p));
+            if let Some(b) = barrier {
+                if let Some(g) = guards.first() {
+                    if !allow_on(idx, "guard-across-wait") {
+                        out.push(Violation {
+                            file: path.into(),
+                            line: idx + 1,
+                            rule: RULE_GUARD,
+                            msg: format!(
+                                "`{}` called while raw guard `{}` is live",
+                                b.trim_end_matches('('),
+                                g.name
+                            ),
+                        });
+                    }
+                }
+            }
+            if let Some(name) = guard_binding(line) {
+                guards.push(Guard { name, depth });
+            }
+            if line.contains("drop(") {
+                guards.retain(|g| !line.contains(&format!("drop({})", g.name)));
+            }
+        }
+
+        // ---- brace tracking -----------------------------------------
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if in_site && depth > site_depth {
+                        site_opened = true;
+                    }
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        guards.retain(|g| depth >= g.depth);
+        if in_site && site_opened && depth <= site_depth {
+            in_site = false;
+        }
+    }
+    out
+}
+
+/// Detect `let [mut] NAME = <expr>.lock()[.unwrap()|.expect(…)];` — a
+/// raw guard binding that stays live to the end of its scope. (Operates
+/// on stripped lines, so `expect("…")` has become `expect(   )`.)
+fn guard_binding(line: &str) -> Option<String> {
+    let t = line.trim();
+    let rest = t.strip_prefix("let ")?;
+    let (name_part, expr) = rest.split_once('=')?;
+    let expr: String = expr
+        .trim()
+        .trim_end_matches(';')
+        .trim_end()
+        .chars()
+        .filter(|c| *c != ' ')
+        .collect();
+    let held = expr.ends_with(".lock()")
+        || expr.ends_with(".lock().unwrap()")
+        || expr.ends_with(".lock().expect()");
+    if !held {
+        return None;
+    }
+    let name = name_part
+        .trim()
+        .trim_start_matches("mut ")
+        .split(':')
+        .next()?
+        .trim()
+        .to_string();
+    (!name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_')).then_some(name)
+}
+
+// ---------------------------------------------------------------------
+// Self-test fixtures: seeded violations the lint must catch, plus
+// compliant twins it must pass.
+// ---------------------------------------------------------------------
+
+struct Fixture {
+    path: &'static str,
+    source: &'static str,
+    expect: &'static [(&'static str, usize)],
+}
+
+const FIXTURES: &[Fixture] = &[
+    // Raw std::sync::Mutex acquisition outside fabric: rejected.
+    Fixture {
+        path: "crates/bots/src/bad_mutex.rs",
+        source: "fn f(m: &std::sync::Mutex<u32>) {\n    let mut g = m.lock().unwrap();\n    *g += 1;\n}\n",
+        expect: &[(RULE_RAW_SYNC, 2)],
+    },
+    // Same with the escape pragma: accepted.
+    Fixture {
+        path: "crates/bots/src/allowed_mutex.rs",
+        source: "fn f(m: &std::sync::Mutex<u32>) {\n    // lockcheck: allow(raw-sync)\n    let mut g = m.lock().unwrap();\n    *g += 1;\n}\n",
+        expect: &[],
+    },
+    // parking_lot anywhere outside fabric: rejected.
+    Fixture {
+        path: "crates/harness/src/parking.rs",
+        source: "use parking_lot::Mutex;\n",
+        expect: &[(RULE_RAW_SYNC, 1)],
+    },
+    // Fabric lock API in server code outside an acquire-site: rejected.
+    Fixture {
+        path: "crates/server/src/rogue_lock.rs",
+        source: "fn f(ctx: &TaskCtx) {\n    ctx.lock(3);\n    ctx.unlock(3);\n}\n",
+        expect: &[(RULE_ORDERED, 2), (RULE_ORDERED, 3)],
+    },
+    // The pragma blesses exactly one function; the next is still rogue.
+    Fixture {
+        path: "crates/server/src/blessed_lock.rs",
+        source: "// lockcheck: acquire-site\nfn acquire(ctx: &TaskCtx) {\n    ctx.lock(3);\n}\nfn other(ctx: &TaskCtx) {\n    ctx.unlock(3);\n}\n",
+        expect: &[(RULE_ORDERED, 6)],
+    },
+    // Raw guard live across a fabric barrier: rejected.
+    Fixture {
+        path: "crates/server/src/guard_across.rs",
+        source: "fn f(ctx: &TaskCtx, m: &std::sync::Mutex<u32>) {\n    // lockcheck: allow(raw-sync)\n    let g = m.lock().unwrap();\n    ctx.cond_wait(0, 1);\n}\n",
+        expect: &[(RULE_GUARD, 4)],
+    },
+    // Guard scoped out (or dropped) before the barrier: accepted.
+    Fixture {
+        path: "crates/server/src/guard_dropped.rs",
+        source: "fn f(ctx: &TaskCtx, m: &std::sync::Mutex<u32>) {\n    {\n        // lockcheck: allow(raw-sync)\n        let g = m.lock().unwrap();\n        let _ = *g;\n    }\n    ctx.cond_wait(0, 1);\n}\n",
+        expect: &[],
+    },
+    // World-phase code taking any lock: rejected.
+    Fixture {
+        path: "crates/sim/src/world_phase.rs",
+        source: "fn step(ctx: &TaskCtx) {\n    ctx.lock(0);\n}\n",
+        expect: &[(RULE_SIM, 2)],
+    },
+    // Lock tokens inside strings/comments never trip a rule.
+    Fixture {
+        path: "crates/bots/src/quoted.rs",
+        source: "fn f() {\n    let s = \"m.lock() inside a string\";\n    // m.lock() inside a comment\n    let _ = s;\n}\n",
+        expect: &[],
+    },
+    // In-file #[cfg(test)] tails are exempt.
+    Fixture {
+        path: "crates/bots/src/test_tail.rs",
+        source: "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(m: &std::sync::Mutex<u32>) {\n        let _g = m.lock().unwrap();\n    }\n}\n",
+        expect: &[],
+    },
+    // Fabric itself may use parking_lot freely.
+    Fixture {
+        path: "crates/fabric/src/internals.rs",
+        source: "use parking_lot::Mutex;\nfn f(m: &Mutex<u32>) {\n    let _g = m.lock();\n}\n",
+        expect: &[],
+    },
+];
+
+fn self_test() -> ExitCode {
+    let mut failed = 0usize;
+    for fx in FIXTURES {
+        let got = check_source(fx.path, fx.source);
+        let got_pairs: Vec<(&str, usize)> = got.iter().map(|v| (v.rule, v.line)).collect();
+        if got_pairs != fx.expect {
+            failed += 1;
+            eprintln!("self-test FAIL {}:", fx.path);
+            eprintln!("  expected {:?}", fx.expect);
+            eprintln!("  got      {got_pairs:?}");
+            for v in &got {
+                eprintln!("    {v}");
+            }
+        }
+    }
+    if failed == 0 {
+        println!("lockcheck self-test: {} fixtures ok", FIXTURES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lockcheck self-test: {failed} fixture(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -41,16 +41,8 @@ impl Angles {
         let forward = vec3(cp * cy, cp * sy, -sp);
         // Quake's AngleVectors: right already points to the player's
         // right (forward × up = −Y when facing +X in Z-up coordinates).
-        let right = vec3(
-            -sr * sp * cy + cr * sy,
-            -sr * sp * sy - cr * cy,
-            -sr * cp,
-        );
-        let up = vec3(
-            cr * sp * cy + sr * sy,
-            cr * sp * sy - sr * cy,
-            cr * cp,
-        );
+        let right = vec3(-sr * sp * cy + cr * sy, -sr * sp * sy - cr * cy, -sr * cp);
+        let up = vec3(cr * sp * cy + sr * sy, cr * sp * sy - sr * cy, cr * cp);
         (forward, right, up)
     }
 

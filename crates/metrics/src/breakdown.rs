@@ -2,11 +2,10 @@
 //! stacked bars).
 
 use crate::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Where a server thread's time goes. The taxonomy and definitions are
 /// exactly the paper's (§4, "Our execution time breakdowns…"):
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Bucket {
     /// Time processing requests (move execution), *excluding* lock
     /// overhead.
@@ -73,7 +72,7 @@ impl Bucket {
 }
 
 /// Accumulated time per bucket.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Breakdown {
     ns: [Nanos; 8],
 }
@@ -252,8 +251,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Bucket::ALL.iter().map(|b| b.label()).collect();
+        let labels: std::collections::HashSet<_> = Bucket::ALL.iter().map(|b| b.label()).collect();
         assert_eq!(labels.len(), 8);
     }
 }

@@ -22,10 +22,12 @@ pub mod breakdown;
 pub mod report;
 pub mod stats;
 pub mod timeline;
+pub mod witness;
 
 pub use breakdown::{Breakdown, Bucket};
 pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
 pub use timeline::{FrameSample, Timeline};
+pub use witness::{LockClass, LockLayer, LockViolation, LockViolationKind, WitnessReport};
 
 /// Nanoseconds — the common time unit across fabrics.
 pub type Nanos = u64;

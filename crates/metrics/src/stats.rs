@@ -2,10 +2,9 @@
 
 use crate::breakdown::Breakdown;
 use crate::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Everything one server thread records over a run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ThreadStats {
     pub breakdown: Breakdown,
     /// Client requests processed (moves executed).
@@ -35,7 +34,7 @@ impl ThreadStats {
 }
 
 /// Areanode locking statistics (paper §5.1 / Figure 7).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LockStats {
     /// Time blocked acquiring leaf locks.
     pub leaf_ns: Nanos,
@@ -120,7 +119,7 @@ impl LockStats {
 }
 
 /// Client-side response statistics (response rate / response time).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ResponseStats {
     /// Requests sent.
     pub sent: u64,
@@ -219,7 +218,7 @@ impl ResponseStats {
 
 /// Per-frame, whole-server statistics recorded by the frame master
 /// (imbalance and overlap analysis, paper §4.2/§5).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FrameStats {
     /// Frames completed.
     pub frames: u64,

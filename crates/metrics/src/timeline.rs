@@ -5,12 +5,10 @@
 //! multi-threaded frames". Aggregates can't show that; this bounded
 //! per-frame recorder can.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Nanos;
 
 /// One server frame's vital signs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FrameSample {
     /// Frame start time.
     pub start_ns: Nanos,
@@ -39,7 +37,7 @@ impl FrameSample {
 /// A bounded frame recorder: keeps the first `capacity` frames (the
 /// paper looks at the *first* fifty, so early frames are the ones that
 /// matter; steady-state behaviour lives in the aggregates).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Timeline {
     samples: Vec<FrameSample>,
     capacity: usize,

@@ -1,0 +1,232 @@
+//! Lock-discipline witness reports.
+//!
+//! The fabric's runtime lock-order witness (lockdep-style; see
+//! `parquake-fabric::witness`) classifies every fabric mutex into a
+//! [`LockClass`], watches the per-task acquisition stacks, and reports
+//! what it saw through these types so the harness and tests can assert
+//! "zero violations" after every experiment. The types live here — not
+//! in the fabric — because `parquake-metrics` is the dependency-free
+//! reporting crate everything else already feeds.
+
+use std::fmt;
+
+/// Role of one fabric mutex in the region-locking protocol (§3.3 of the
+/// paper). The protocol's global acquisition order is: leaf locks in
+/// ascending rank, then (while leaves are held) parent, global-state
+/// and client reply locks, each held only for short sections. The
+/// control lock is only ever held alone (barrier/frame bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockClass {
+    /// Frame/barrier control lock (`server::par::Ctrl`).
+    Ctrl,
+    /// Global event-state buffer lock.
+    Global,
+    /// Areanode leaf lock; `rank` is the node's position in the
+    /// canonical ascending acquisition order.
+    Leaf { rank: u32 },
+    /// Internal (parent) areanode list lock.
+    Parent { node: u32 },
+    /// Per-client reply buffer lock.
+    Client { slot: u32 },
+    /// Never classified by the server (test locks, bot-side locks).
+    Other { id: u32 },
+}
+
+impl LockClass {
+    /// Rank-erased protocol layer, used as the node in the lock-order
+    /// graph. Unclassified locks each form their own layer so unrelated
+    /// test locks cannot fabricate cycles with protocol locks.
+    pub fn layer(&self) -> LockLayer {
+        match *self {
+            LockClass::Ctrl => LockLayer::Ctrl,
+            LockClass::Global => LockLayer::Global,
+            LockClass::Leaf { .. } => LockLayer::Leaf,
+            LockClass::Parent { .. } => LockLayer::Parent,
+            LockClass::Client { .. } => LockLayer::Client,
+            LockClass::Other { id } => LockLayer::Other(id),
+        }
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LockClass::Ctrl => write!(f, "ctrl"),
+            LockClass::Global => write!(f, "global"),
+            LockClass::Leaf { rank } => write!(f, "leaf#{rank}"),
+            LockClass::Parent { node } => write!(f, "parent#{node}"),
+            LockClass::Client { slot } => write!(f, "client#{slot}"),
+            LockClass::Other { id } => write!(f, "other#{id}"),
+        }
+    }
+}
+
+/// Node of the class-order graph (see [`LockClass::layer`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockLayer {
+    Ctrl,
+    Global,
+    Leaf,
+    Parent,
+    Client,
+    /// One layer per unclassified lock id.
+    Other(u32),
+}
+
+impl fmt::Display for LockLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LockLayer::Ctrl => write!(f, "ctrl"),
+            LockLayer::Global => write!(f, "global"),
+            LockLayer::Leaf => write!(f, "leaf"),
+            LockLayer::Parent => write!(f, "parent"),
+            LockLayer::Client => write!(f, "client"),
+            LockLayer::Other(id) => write!(f, "other#{id}"),
+        }
+    }
+}
+
+/// What the witness caught.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockViolationKind {
+    /// A leaf lock acquired while already holding a leaf of equal or
+    /// higher rank — breaks the ascending-order deadlock-freedom
+    /// argument.
+    LeafOrder { held_rank: u32, acquired_rank: u32 },
+    /// Acquiring a lock whose layer already has a path to a held layer
+    /// in the observed order graph — two tasks taking these layers in
+    /// opposite orders can deadlock.
+    LayerCycle {
+        holding: LockLayer,
+        acquiring: LockLayer,
+    },
+    /// A lock still held while the task parked on a condition variable
+    /// (barrier/phase transition) — the guard outlives the phase it
+    /// belongs to and stalls every task that needs it.
+    HeldAcrossWait,
+}
+
+impl fmt::Display for LockViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockViolationKind::LeafOrder {
+                held_rank,
+                acquired_rank,
+            } => write!(
+                f,
+                "leaf order: acquired leaf#{acquired_rank} while holding leaf#{held_rank}"
+            ),
+            LockViolationKind::LayerCycle { holding, acquiring } => write!(
+                f,
+                "layer cycle: acquiring {acquiring} while holding {holding}, but \
+                 {acquiring} -> {holding} order was also observed"
+            ),
+            LockViolationKind::HeldAcrossWait => write!(f, "lock held across condition wait"),
+        }
+    }
+}
+
+/// One detected violation, with enough context to debug it.
+#[derive(Clone, Debug)]
+pub struct LockViolation {
+    pub kind: LockViolationKind,
+    /// Task that performed the offending operation.
+    pub task: u32,
+    /// Lock being acquired (or waited through, for `HeldAcrossWait`).
+    pub lock: u32,
+    pub class: LockClass,
+    /// `(lock, class)` stack held at the time, oldest first.
+    pub held: Vec<(u32, LockClass)>,
+    /// Fabric time of the operation.
+    pub at: u64,
+}
+
+impl fmt::Display for LockViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} at t={}ns on lock {} ({}): {} [held:",
+            self.task, self.at, self.lock, self.class, self.kind
+        )?;
+        for (id, class) in &self.held {
+            write!(f, " {id}({class})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Everything the witness observed over one run.
+#[derive(Clone, Debug, Default)]
+pub struct WitnessReport {
+    /// Total successful lock acquisitions observed.
+    pub acquisitions: u64,
+    /// Locks that were explicitly classified (non-`Other`).
+    pub classified: usize,
+    /// Deepest simultaneous hold stack of any task.
+    pub max_held_depth: usize,
+    /// Distinct layer-order edges observed (held layer -> acquired
+    /// layer), sorted.
+    pub order_edges: Vec<(LockLayer, LockLayer)>,
+    pub violations: Vec<LockViolation>,
+}
+
+impl WitnessReport {
+    /// True when the run was discipline-clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with every violation listed unless the run was clean.
+    /// Harness/test convenience for the "zero violations" assertion.
+    pub fn assert_clean(&self, context: &str) {
+        if !self.clean() {
+            let mut msg = format!(
+                "{context}: lock witness caught {} violation(s):\n",
+                self.violations.len()
+            );
+            for v in &self.violations {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let v = LockViolation {
+            kind: LockViolationKind::LeafOrder {
+                held_rank: 5,
+                acquired_rank: 2,
+            },
+            task: 1,
+            lock: 9,
+            class: LockClass::Leaf { rank: 2 },
+            held: vec![(7, LockClass::Leaf { rank: 5 })],
+            at: 1234,
+        };
+        let s = v.to_string();
+        assert!(s.contains("leaf#2"), "{s}");
+        assert!(s.contains("holding leaf#5"), "{s}");
+        assert!(s.contains("task 1"), "{s}");
+    }
+
+    #[test]
+    fn layers_collapse_ranks() {
+        assert_eq!(LockClass::Leaf { rank: 3 }.layer(), LockLayer::Leaf);
+        assert_eq!(LockClass::Leaf { rank: 9 }.layer(), LockLayer::Leaf);
+        assert_ne!(
+            LockClass::Other { id: 1 }.layer(),
+            LockClass::Other { id: 2 }.layer()
+        );
+    }
+
+    #[test]
+    fn assert_clean_passes_on_empty() {
+        WitnessReport::default().assert_clean("test");
+    }
+}

@@ -1,10 +1,10 @@
 //! Property-based tests: codec round-trips and fuzz-style decoding.
 
+use parquake_math::vec3::vec3;
 use parquake_protocol::{
     Buttons, ClientMessage, Decode, Encode, EntityKind, EntityUpdate, GameEvent, GameEventKind,
     MoveCmd, ServerMessage,
 };
-use parquake_math::vec3::vec3;
 use proptest::prelude::*;
 
 fn arb_move() -> impl Strategy<Value = MoveCmd> {
@@ -107,7 +107,17 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
             prop::collection::vec(arb_event(), 0..32),
         )
             .prop_map(
-                |(client_id, seq, sent_at_echo, frame, assigned_thread, delta, entities, removed, events)| {
+                |(
+                    client_id,
+                    seq,
+                    sent_at_echo,
+                    frame,
+                    assigned_thread,
+                    delta,
+                    entities,
+                    removed,
+                    events,
+                )| {
                     ServerMessage::Reply {
                         client_id,
                         seq,

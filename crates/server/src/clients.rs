@@ -107,7 +107,9 @@ unsafe impl Send for ClientTable {}
 impl ClientTable {
     pub fn new(capacity: usize) -> ClientTable {
         ClientTable {
-            slots: (0..capacity).map(|_| UnsafeCell::new(Slot::empty())).collect(),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(Slot::empty()))
+                .collect(),
         }
     }
 
@@ -128,8 +130,8 @@ impl ClientTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parquake_protocol::GameEventKind;
     use parquake_math::Vec3;
+    use parquake_protocol::GameEventKind;
 
     fn ev(a: u16) -> GameEvent {
         GameEvent {

@@ -14,10 +14,11 @@
 //! — no lock plan is computed and no lock calls are made, exactly like
 //! the original single-threaded code path.
 
-use parquake_areanode::{LeafSet, NodeId};
+use parquake_areanode::{LeafSet, LinkTable, NodeId};
 use parquake_fabric::{LockId, Nanos, TaskCtx};
 use parquake_math::angles::Angles;
 use parquake_math::{Aabb, Vec3};
+use parquake_metrics::witness::LockClass;
 use parquake_metrics::{Bucket, ThreadStats};
 use parquake_protocol::{Buttons, GameEvent, GameEventKind, MoveCmd};
 use parquake_sim::entity::EntityId;
@@ -39,12 +40,23 @@ use crate::LockPolicy;
 pub const LOCK_COVERAGE_MARGIN: f32 = 72.0;
 
 /// Fabric lock ids and leaf-index mapping for one server instance.
+///
+/// Every lock of the region-locking protocol is acquired through the
+/// `acquire_*`/`release_*` methods below — the **ordered-acquire API**.
+/// The methods pair the fabric lock call with the `LinkTable` owner
+/// bookkeeping so neither can be skipped, and they are the only lines
+/// in `parquake-server` allowed to touch `ctx.lock`/`ctx.unlock`
+/// directly (enforced by `parquake-lockcheck`; the `lockcheck:
+/// acquire-site` pragmas below mark the sanctioned sites). Leaf locks
+/// must be taken in ascending node-id order; the runtime witness
+/// (`parquake-fabric::witness`) checks that ordering on every run in
+/// which it is attached.
 pub struct RegionLocks {
     /// One fabric lock per areanode (leaves = region locks, interior
     /// nodes = object-list locks).
     node_locks: Vec<LockId>,
     /// The global state buffer lock.
-    pub global_lock: LockId,
+    global_lock: LockId,
     /// Per-player reply buffer locks.
     client_locks: Vec<LockId>,
     /// Dense leaf index per node id (u32::MAX for interior nodes).
@@ -57,27 +69,42 @@ impl RegionLocks {
         tree: &parquake_areanode::AreanodeTree,
         slots: usize,
     ) -> RegionLocks {
-        let node_locks: Vec<LockId> = (0..tree.node_count()).map(|_| fabric.alloc_lock()).collect();
+        let node_locks: Vec<LockId> = (0..tree.node_count())
+            .map(|_| fabric.alloc_lock())
+            .collect();
         let mut leaf_index = vec![u32::MAX; tree.node_count()];
         for (i, &leaf) in tree.all_leaves().iter().enumerate() {
             leaf_index[leaf as usize] = i as u32;
         }
-        RegionLocks {
+        let locks = RegionLocks {
             node_locks,
             global_lock: fabric.alloc_lock(),
             client_locks: (0..slots).map(|_| fabric.alloc_lock()).collect(),
             leaf_index,
+        };
+        // Tell the lock-order witness (when one is attached) what each
+        // lock is. Leaf ranks are node ids: plans acquire leaves in
+        // ascending node-id order.
+        if let Some(w) = fabric.witness() {
+            for (node, &lock) in locks.node_locks.iter().enumerate() {
+                let class = if locks.leaf_index[node] != u32::MAX {
+                    LockClass::Leaf { rank: node as u32 }
+                } else {
+                    LockClass::Parent { node: node as u32 }
+                };
+                w.classify(lock, class);
+            }
+            w.classify(locks.global_lock, LockClass::Global);
+            for (slot, &lock) in locks.client_locks.iter().enumerate() {
+                w.classify(lock, LockClass::Client { slot: slot as u32 });
+            }
         }
+        locks
     }
 
     #[inline]
-    pub fn node_lock(&self, node: NodeId) -> LockId {
+    fn node_lock(&self, node: NodeId) -> LockId {
         self.node_locks[node as usize]
-    }
-
-    #[inline]
-    pub fn client_lock(&self, slot: usize) -> LockId {
-        self.client_locks[slot]
     }
 
     /// Bit for a leaf in the per-frame usage mask (trees are ≤ 64
@@ -92,6 +119,77 @@ impl RegionLocks {
             0
         }
     }
+
+    /// Acquire one leaf lock of an ordered plan (callers iterate plans
+    /// in ascending node-id order). Returns the blocked time.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn acquire_leaf(&self, ctx: &TaskCtx, links: &LinkTable, task: u32, leaf: NodeId) -> Nanos {
+        let waited = ctx.lock(self.node_lock(leaf));
+        links.note_locked(leaf, task);
+        waited
+    }
+
+    /// Release one leaf lock of a plan.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn release_leaf(&self, ctx: &TaskCtx, links: &LinkTable, task: u32, leaf: NodeId) {
+        links.note_unlocked(leaf, task);
+        ctx.unlock(self.node_lock(leaf));
+    }
+
+    /// Acquire an interior ("parent") node's object-list lock for a
+    /// short read/write section. Returns the blocked time.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn acquire_parent(
+        &self,
+        ctx: &TaskCtx,
+        links: &LinkTable,
+        task: u32,
+        node: NodeId,
+    ) -> Nanos {
+        let waited = ctx.lock(self.node_lock(node));
+        links.note_locked(node, task);
+        waited
+    }
+
+    /// Release a parent node's object-list lock.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn release_parent(&self, ctx: &TaskCtx, links: &LinkTable, task: u32, node: NodeId) {
+        links.note_unlocked(node, task);
+        ctx.unlock(self.node_lock(node));
+    }
+
+    /// Acquire the global state-buffer lock. Returns the blocked time.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn acquire_global(&self, ctx: &TaskCtx) -> Nanos {
+        ctx.lock(self.global_lock)
+    }
+
+    /// Release the global state-buffer lock.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn release_global(&self, ctx: &TaskCtx) {
+        ctx.unlock(self.global_lock)
+    }
+
+    /// Acquire one client's reply-buffer lock. Returns the blocked
+    /// time.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn acquire_client(&self, ctx: &TaskCtx, slot: usize) -> Nanos {
+        ctx.lock(self.client_locks[slot])
+    }
+
+    /// Release a client's reply-buffer lock.
+    // lockcheck: acquire-site
+    #[inline]
+    pub fn release_client(&self, ctx: &TaskCtx, slot: usize) {
+        ctx.unlock(self.client_locks[slot])
+    }
 }
 
 /// Everything `execute_move` needs from its server.
@@ -101,6 +199,52 @@ pub struct ExecEnv<'a> {
     pub cost: &'a CostModel,
     /// `None` = sequential execution (no locking at all).
     pub policy: Option<LockPolicy>,
+    /// Schedule-exploration hook: when set, every move is recorded at
+    /// its serialization point (just after its phase-A region locks are
+    /// all held). Conflicting short-range moves overlap in at least one
+    /// held leaf, so the recorded order is a valid linearization that a
+    /// sequential replay can follow. `None` in production servers.
+    pub commit_log: Option<&'a CommitLog>,
+}
+
+/// Order in which moves passed their serialization point, recorded by
+/// the schedule-exploration suite (see [`ExecEnv::commit_log`]).
+#[derive(Default)]
+pub struct CommitLog {
+    // Host-level observation buffer, not part of the simulated locking
+    // protocol (tasks are serialized on the virtual fabric anyway).
+    // lockcheck: allow(raw-sync)
+    entries: std::sync::Mutex<Vec<CommitEntry>>,
+}
+
+/// One recorded serialization point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Server task that executed the move.
+    pub task: u32,
+    /// Player slot the move belongs to.
+    pub slot: u16,
+    /// The move's sequence number within its slot's stream.
+    pub seq: u32,
+}
+
+impl CommitLog {
+    pub fn new() -> CommitLog {
+        CommitLog::default()
+    }
+
+    fn note(&self, task: u32, slot: u16, seq: u32) {
+        // lockcheck: allow(raw-sync)
+        let mut e = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        e.push(CommitEntry { task, slot, seq });
+    }
+
+    /// Drain the recorded order.
+    pub fn take(&self) -> Vec<CommitEntry> {
+        // lockcheck: allow(raw-sync)
+        let mut e = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::take(&mut *e)
+    }
 }
 
 /// Execute one move command for the player in `slot`. Returns the
@@ -147,15 +291,34 @@ pub fn execute_move(
 
     let mut plan = LeafSet::new();
     lock_region(
-        env, ctx, task, &initial_region, &mut plan, &mut lock_ns, stats, frame_leaf_mask,
-        &mut request_leaf_events, &mut request_distinct,
+        env,
+        ctx,
+        task,
+        &initial_region,
+        &mut plan,
+        &mut lock_ns,
+        stats,
+        frame_leaf_mask,
+        &mut request_leaf_events,
+        &mut request_distinct,
     );
+    if let Some(log) = env.commit_log {
+        log.note(task, slot, cmd.seq);
+    }
 
     let mut nodes = Vec::new();
     let mut candidates = Vec::new();
     gather_candidates(
-        env, ctx, task, &move_bbox, &plan, &mut nodes, &mut candidates, &mut work,
-        &mut lock_ns, stats,
+        env,
+        ctx,
+        task,
+        &move_bbox,
+        &plan,
+        &mut nodes,
+        &mut candidates,
+        &mut work,
+        &mut lock_ns,
+        stats,
     );
 
     // Claim everything we may mutate, run the motion, relink, release.
@@ -215,15 +378,31 @@ pub fn execute_move(
             action_plan.merge(&plan);
         } else {
             lock_region(
-                env, ctx, task, &region, &mut action_plan, &mut lock_ns, stats, frame_leaf_mask,
-                &mut request_leaf_events, &mut request_distinct,
+                env,
+                ctx,
+                task,
+                &region,
+                &mut action_plan,
+                &mut lock_ns,
+                stats,
+                frame_leaf_mask,
+                &mut request_leaf_events,
+                &mut request_distinct,
             );
         }
         let mut action_nodes = Vec::new();
         let mut action_cands = Vec::new();
         gather_candidates(
-            env, ctx, task, &region, &action_plan, &mut action_nodes, &mut action_cands,
-            &mut work, &mut lock_ns, stats,
+            env,
+            ctx,
+            task,
+            &region,
+            &action_plan,
+            &mut action_nodes,
+            &mut action_cands,
+            &mut work,
+            &mut lock_ns,
+            stats,
         );
         if env.policy.is_some() {
             let t0 = ctx.now();
@@ -261,7 +440,9 @@ pub fn execute_move(
     ctx.charge(env.cost.work_ns(&work));
     let total = ctx.now() - t_start;
     stats.breakdown.add(Bucket::Lock, lock_ns);
-    stats.breakdown.add(Bucket::Exec, total.saturating_sub(lock_ns));
+    stats
+        .breakdown
+        .add(Bucket::Exec, total.saturating_sub(lock_ns));
     stats.requests += 1;
     if env.policy.is_some() {
         stats.lock.requests += 1;
@@ -320,7 +501,11 @@ fn one_pass_action_region(
     let _ = env;
     let slack = parquake_sim::movement::max_move_distance(cmd.msec) + 8.0;
     let region = if buttons.has(Buttons::ATTACK) {
-        directional_beam_box(me.eye(), Angles::new(cmd.pitch, cmd.yaw, 0.0), HITSCAN_RANGE)
+        directional_beam_box(
+            me.eye(),
+            Angles::new(cmd.pitch, cmd.yaw, 0.0),
+            HITSCAN_RANGE,
+        )
     } else {
         me.abs_box().inflated(Vec3::splat(EXPANDED_LOCK_MARGIN))
     };
@@ -354,8 +539,7 @@ fn lock_region(
     ctx.charge(visits as u64 * env.cost.areanode_visit);
     for &leaf in plan.ids() {
         ctx.charge(env.cost.lock_op);
-        let waited = ctx.lock(env.locks.node_lock(leaf));
-        env.world.links.note_locked(leaf, task);
+        let waited = env.locks.acquire_leaf(ctx, &env.world.links, task, leaf);
         stats.lock.leaf_ns += waited;
         stats.lock.leaf_ops += 1;
         *frame_leaf_mask |= env.locks.leaf_bit(leaf);
@@ -366,21 +550,14 @@ fn lock_region(
 }
 
 /// Release a leaf lock plan (reverse order, though any order is safe).
-fn unlock_region(
-    env: &ExecEnv<'_>,
-    ctx: &TaskCtx,
-    task: u32,
-    plan: &LeafSet,
-    lock_ns: &mut Nanos,
-) {
+fn unlock_region(env: &ExecEnv<'_>, ctx: &TaskCtx, task: u32, plan: &LeafSet, lock_ns: &mut Nanos) {
     if env.policy.is_none() {
         return;
     }
     let t0 = ctx.now();
     for &leaf in plan.ids().iter().rev() {
         ctx.charge(env.cost.unlock_op);
-        env.world.links.note_unlocked(leaf, task);
-        ctx.unlock(env.locks.node_lock(leaf));
+        env.locks.release_leaf(ctx, &env.world.links, task, leaf);
     }
     *lock_ns += ctx.now() - t0;
 }
@@ -413,14 +590,12 @@ fn gather_candidates(
             // Parent areanode: lock its object list for the read only.
             let t0 = ctx.now();
             ctx.charge(env.cost.lock_op);
-            let waited = ctx.lock(env.locks.node_lock(node));
-            env.world.links.note_locked(node, task);
+            let waited = env.locks.acquire_parent(ctx, &env.world.links, task, node);
             stats.lock.parent_ns += waited;
             stats.lock.parent_ops += 1;
             env.world.links.extend_into(node, task, &mut raw);
             ctx.charge(env.cost.unlock_op);
-            env.world.links.note_unlocked(node, task);
-            ctx.unlock(env.locks.node_lock(node));
+            env.locks.release_parent(ctx, &env.world.links, task, node);
             *lock_ns += ctx.now() - t0;
         } else {
             if env.policy.is_some() {
@@ -489,9 +664,21 @@ fn relink_locked(
     if new_node == e.linked_node {
         return;
     }
-    link_into(env, ctx, task, ent, e.linked_node, plan, lock_ns, stats, false);
+    link_into(
+        env,
+        ctx,
+        task,
+        ent,
+        e.linked_node,
+        plan,
+        lock_ns,
+        stats,
+        false,
+    );
     link_into(env, ctx, task, ent, new_node, plan, lock_ns, stats, true);
-    env.world.store.with_mut(ent, task, |x| x.linked_node = new_node);
+    env.world
+        .store
+        .with_mut(ent, task, |x| x.linked_node = new_node);
 }
 
 /// Insert (`insert = true`) or remove an entity from one node's object
@@ -520,8 +707,7 @@ fn link_into(
     } else {
         let t0 = ctx.now();
         ctx.charge(env.cost.lock_op);
-        let waited = ctx.lock(env.locks.node_lock(node));
-        env.world.links.note_locked(node, task);
+        let waited = env.locks.acquire_parent(ctx, &env.world.links, task, node);
         stats.lock.parent_ns += waited;
         stats.lock.parent_ops += 1;
         if insert {
@@ -530,8 +716,7 @@ fn link_into(
             env.world.links.remove(node, task, ent as u32);
         }
         ctx.charge(env.cost.unlock_op);
-        env.world.links.note_unlocked(node, task);
-        ctx.unlock(env.locks.node_lock(node));
+        env.locks.release_parent(ctx, &env.world.links, task, node);
         *lock_ns += ctx.now() - t0;
     }
 }

@@ -72,6 +72,21 @@ impl Ctrl {
         // SAFETY: see type-level invariant.
         unsafe { &mut *self.state.get() }
     }
+
+    /// Enter the frame-control critical section. The ctrl lock sits
+    /// above every region lock in the witness's layer order: it must
+    /// never be requested while holding leaf/parent/global/client
+    /// locks.
+    // lockcheck: acquire-site
+    fn enter(&self, ctx: &TaskCtx) {
+        ctx.lock(self.lock);
+    }
+
+    /// Leave the frame-control critical section.
+    // lockcheck: acquire-site
+    fn exit(&self, ctx: &TaskCtx) {
+        ctx.unlock(self.lock);
+    }
 }
 
 /// Per-thread tallies that feed the shared FrameStats at exit.
@@ -99,8 +114,12 @@ pub fn spawn_parallel(
         threads,
         Some(locking),
     ));
+    let ctrl_lock = fabric.alloc_lock();
+    if let Some(w) = fabric.witness() {
+        w.classify(ctrl_lock, parquake_metrics::LockClass::Ctrl);
+    }
     let ctrl = Arc::new(Ctrl {
-        lock: fabric.alloc_lock(),
+        lock: ctrl_lock,
         world_cv: fabric.alloc_cond(),
         intra_cv: fabric.alloc_cond(),
         frame_end_cv: fabric.alloc_cond(),
@@ -170,7 +189,7 @@ fn worker(
         ctx.charge(shared.cost.select_op);
 
         // ---- Join the frame ---------------------------------------------
-        ctx.lock(ctrl.lock);
+        ctrl.enter(ctx);
         let frame_no;
         {
             let st = ctrl.state();
@@ -186,7 +205,7 @@ fn worker(
                 st.frame_no += 1;
                 st.frame_start = ctx.now();
                 frame_no = st.frame_no;
-                ctx.unlock(ctrl.lock);
+                ctrl.exit(ctx);
 
                 // Optional request batching (paper §5.2): give other
                 // threads' requests time to arrive and join the frame.
@@ -202,10 +221,10 @@ fn worker(
                 stats.breakdown.add(Bucket::World, ctx.now() - t0);
                 stats.mastered += 1;
 
-                ctx.lock(ctrl.lock);
+                ctrl.enter(ctx);
                 ctrl.state().world_done = true;
                 ctx.cond_broadcast(ctrl.world_cv);
-                ctx.unlock(ctrl.lock);
+                ctrl.exit(ctx);
             } else if !st.world_done {
                 // Join before the world gate opens.
                 st.participants += 1;
@@ -221,7 +240,7 @@ fn worker(
                 if w > 0 {
                     waits.frames_waited_on_world += 1;
                 }
-                ctx.unlock(ctrl.lock);
+                ctrl.exit(ctx);
             } else {
                 // Missed this frame: wait for it to end, then retry.
                 let missed = st.frame_no;
@@ -232,7 +251,7 @@ fn worker(
                 let w = ctx.now() - t0;
                 stats.breakdown.add(Bucket::InterWait, w);
                 waits.interwait_frame_ns += w;
-                ctx.unlock(ctrl.lock);
+                ctrl.exit(ctx);
                 continue 'frames;
             }
         }
@@ -249,7 +268,7 @@ fn worker(
         }
 
         // ---- Intra-frame barrier ------------------------------------------
-        ctx.lock(ctrl.lock);
+        ctrl.enter(ctx);
         {
             let st = ctrl.state();
             st.req_done += 1;
@@ -265,7 +284,7 @@ fn worker(
         }
         let is_master = ctrl.state().master == t;
         let participant_mask = ctrl.state().participant_mask;
-        ctx.unlock(ctrl.lock);
+        ctrl.exit(ctx);
 
         // ---- T/Tx: reply phase ---------------------------------------------
         let t0 = ctx.now();
@@ -278,16 +297,15 @@ fn worker(
             for other in 0..shared.threads {
                 if participant_mask & (1 << other) == 0 {
                     let theirs = shared.owned_slots(other);
-                    shared.reply_for_slots(
-                        ctx, port, &theirs, &global, frame_no, &mut stats, false,
-                    );
+                    shared
+                        .reply_for_slots(ctx, port, &theirs, &global, frame_no, &mut stats, false);
                 }
             }
         }
         stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
 
         // ---- Frame end -------------------------------------------------------
-        ctx.lock(ctrl.lock);
+        ctrl.enter(ctx);
         {
             let st = ctrl.state();
             st.finished += 1;
@@ -331,17 +349,17 @@ fn worker(
             shared.clear_global_events(ctx, &mut stats);
             ctrl.state().in_frame = false;
             ctx.cond_broadcast(ctrl.frame_end_cv);
-            ctx.unlock(ctrl.lock);
+            ctrl.exit(ctx);
         } else {
             if ctrl.state().finished == ctrl.state().participants {
                 ctx.cond_signal(ctrl.master_cv);
             }
-            ctx.unlock(ctrl.lock);
+            ctrl.exit(ctx);
         }
     }
 
     // ---- Run over: publish results -----------------------------------------
-    ctx.lock(ctrl.lock);
+    ctrl.enter(ctx);
     let st = ctrl.state();
     st.frame_stats.interwait_world_ns += waits.interwait_world_ns;
     st.frame_stats.interwait_frame_ns += waits.interwait_frame_ns;
@@ -354,9 +372,9 @@ fn worker(
         None
     };
     let frame_count = st.frame_no as u64;
-    ctx.unlock(ctrl.lock);
+    ctrl.exit(ctx);
 
-    let mut r = results.lock().unwrap();
+    let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
     r.threads[t as usize] = stats;
     if let Some((fs, tl)) = frame_stats {
         r.frames = fs;

@@ -124,6 +124,7 @@ impl ServerShared {
             locks: &self.locks,
             cost: &self.cost,
             policy: self.policy,
+            commit_log: None,
         }
     }
 
@@ -132,30 +133,30 @@ impl ServerShared {
         if events.is_empty() {
             return;
         }
-        let waited = ctx.lock(self.locks.global_lock);
+        let waited = self.locks.acquire_global(ctx);
         stats.lock.global_buffer_ns += waited;
         // SAFETY: global_lock held.
         unsafe { (*self.global_events.get()).extend_from_slice(events) };
-        ctx.unlock(self.locks.global_lock);
+        self.locks.release_global(ctx);
     }
 
     /// Snapshot the global buffer (reply phase).
     pub fn read_global_events(&self, ctx: &TaskCtx, stats: &mut ThreadStats) -> Vec<GameEvent> {
-        let waited = ctx.lock(self.locks.global_lock);
+        let waited = self.locks.acquire_global(ctx);
         stats.lock.global_buffer_ns += waited;
         // SAFETY: global_lock held.
         let copy = unsafe { (*self.global_events.get()).clone() };
-        ctx.unlock(self.locks.global_lock);
+        self.locks.release_global(ctx);
         copy
     }
 
     /// Clear the global buffer (frame end, master only, under lock).
     pub fn clear_global_events(&self, ctx: &TaskCtx, stats: &mut ThreadStats) {
-        let waited = ctx.lock(self.locks.global_lock);
+        let waited = self.locks.acquire_global(ctx);
         stats.lock.global_buffer_ns += waited;
         // SAFETY: global_lock held.
         unsafe { (*self.global_events.get()).clear() };
-        ctx.unlock(self.locks.global_lock);
+        self.locks.release_global(ctx);
     }
 
     /// Toggle the dynamic protocol checkers (request phase on, world
@@ -202,7 +203,14 @@ impl ServerShared {
 
         let mut events = Vec::new();
         let mut work = WorkCounters::new();
-        run_world_phase(&self.world, now, dt.min(250_000_000), rng, &mut events, &mut work);
+        run_world_phase(
+            &self.world,
+            now,
+            dt.min(250_000_000),
+            rng,
+            &mut events,
+            &mut work,
+        );
 
         // Region-affine reassignment (paper §5.1 future work): cluster
         // players by the areanode leaf they occupy and steer each client
@@ -271,9 +279,9 @@ impl ServerShared {
                     }
                 }
                 if target.is_none() {
-                    target = range.clone().find(|&idx| {
-                        self.clients.slot(idx).state == SlotState::Empty
-                    });
+                    target = range
+                        .clone()
+                        .find(|&idx| self.clients.slot(idx).state == SlotState::Empty);
                 }
                 if let Some(idx) = target {
                     let slot = self.clients.slot(idx);
@@ -329,7 +337,7 @@ impl ServerShared {
                         // so serialize on the slot's buffer lock.
                         let dynamic = self.dynamic_assignment();
                         if dynamic {
-                            let waited = ctx.lock(self.locks.client_lock(idx));
+                            let waited = self.locks.acquire_client(ctx, idx);
                             stats.lock.reply_buffer_ns += waited;
                         }
                         let slot = self.clients.slot(idx);
@@ -338,7 +346,7 @@ impl ServerShared {
                         slot.last_sent_at = cmd.sent_at;
                         slot.owner = thread;
                         if dynamic {
-                            ctx.unlock(self.locks.client_lock(idx));
+                            self.locks.release_client(ctx, idx);
                         }
                         return true;
                     }
@@ -366,7 +374,9 @@ impl ServerShared {
             };
             ctx.charge(self.cost.recv);
             let decoded = ClientMessage::from_bytes(&raw.payload);
-            stats.breakdown.add(parquake_metrics::Bucket::Receive, ctx.now() - t0);
+            stats
+                .breakdown
+                .add(parquake_metrics::Bucket::Receive, ctx.now() - t0);
             if let Ok(msg) = decoded {
                 if self.handle_message(ctx, thread, raw.from, msg, stats, frame_leaf_mask) {
                     moves += 1;
@@ -399,14 +409,14 @@ impl ServerShared {
             }
             // Update the slot's message buffer from the global buffer.
             if !global.is_empty() {
-                let waited = ctx.lock(self.locks.client_lock(idx));
+                let waited = self.locks.acquire_client(ctx, idx);
                 stats.lock.reply_buffer_ns += waited;
                 let slot = self.clients.slot(idx);
                 for ev in global {
                     slot.push_event(*ev);
                 }
                 ctx.charge(self.cost.event_append * global.len() as u64);
-                ctx.unlock(self.locks.client_lock(idx));
+                self.locks.release_client(ctx, idx);
             }
             if !send_replies {
                 continue;
@@ -428,12 +438,12 @@ impl ServerShared {
             // Build and send the reply.
             let mut work = WorkCounters::new();
             let reply = {
-                let waited = ctx.lock(self.locks.client_lock(idx));
+                let waited = self.locks.acquire_client(ctx, idx);
                 stats.lock.reply_buffer_ns += waited;
                 let slot = self.clients.slot(idx);
                 let take = slot.events.len().min(MAX_EVENTS_PER_REPLY);
                 let events: Vec<GameEvent> = slot.events.drain(..take).collect();
-                ctx.unlock(self.locks.client_lock(idx));
+                self.locks.release_client(ctx, idx);
                 let steer = slot.desired_thread.min(u8::MAX as u32) as u8;
                 build_reply(
                     &self.world,

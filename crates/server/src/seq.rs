@@ -96,7 +96,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
         });
     }
 
-    let mut r = results.lock().unwrap();
+    let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
     r.threads = vec![stats];
     r.frames = frames;
     r.timeline = timeline;

@@ -48,8 +48,7 @@ pub fn build_reply(
             }
         }
         // Entities that left the visible set.
-        let visible_ids: std::collections::HashSet<u16> =
-            visible.iter().map(|u| u.id).collect();
+        let visible_ids: std::collections::HashSet<u16> = visible.iter().map(|u| u.id).collect();
         let mut removed: Vec<u16> = slot
             .baseline
             .keys()
@@ -62,8 +61,7 @@ pub fn build_reply(
             slot.baseline.remove(id);
         }
         // Only the actually-encoded updates cost reply time.
-        work.encoded_entities = work.encoded_entities
-            - visible.len() as u64
+        work.encoded_entities = work.encoded_entities - visible.len() as u64
             + out.len() as u64
             + removed.len() as u64 / 4;
         (out, removed)
@@ -108,7 +106,13 @@ mod tests {
         let msg = build_reply(&world, 0, slot, 9, 2, false, Vec::new(), &mut work);
         match msg {
             ServerMessage::Reply {
-                client_id, seq, sent_at_echo, frame, assigned_thread, origin, ..
+                client_id,
+                seq,
+                sent_at_echo,
+                frame,
+                assigned_thread,
+                origin,
+                ..
             } => {
                 assert_eq!(client_id, 7);
                 assert_eq!(seq, 42);

@@ -70,6 +70,7 @@ fn drive(policy: Option<LockPolicy>, players: u16, rounds: u32) -> (u64, GameAud
                 locks: &locks,
                 cost: &cost,
                 policy,
+                commit_log: None,
             };
             let mut stats = ThreadStats::new();
             let mut mask = 0u64;

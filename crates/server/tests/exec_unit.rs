@@ -42,6 +42,7 @@ fn one_move(policy: LockPolicy, cmd: MoveCmd) -> ThreadStats {
                 locks: &locks,
                 cost: &cost,
                 policy: Some(policy),
+                commit_log: None,
             };
             let mut stats = ThreadStats::new();
             let mut mask = 0u64;
@@ -109,7 +110,11 @@ fn diagonal_beams_degrade_toward_whole_map_locking() {
 
 #[test]
 fn short_range_moves_lock_few_leaves_under_any_policy() {
-    for policy in [LockPolicy::Baseline, LockPolicy::Optimized, LockPolicy::OnePass] {
+    for policy in [
+        LockPolicy::Baseline,
+        LockPolicy::Optimized,
+        LockPolicy::OnePass,
+    ] {
         let cmd = MoveCmd {
             forward: 200.0,
             ..MoveCmd::idle(1, 30)
@@ -161,7 +166,8 @@ fn lock_coverage_margin_fully_covers_every_reachable_entity() {
                 continue;
             }
             // …must have all of its own leaves inside the plan.
-            w.tree.leaves_overlapping(&other.abs_box(), &mut entity_leaves);
+            w.tree
+                .leaves_overlapping(&other.abs_box(), &mut entity_leaves);
             for &leaf in entity_leaves.ids() {
                 assert!(
                     plan.contains(leaf),

@@ -32,7 +32,13 @@ fn make_shared(
             10_000_000_000,
         )
     };
-    let shared = Arc::new(ServerShared::new(&fabric, &cfg, world, threads, Some(LockPolicy::Optimized)));
+    let shared = Arc::new(ServerShared::new(
+        &fabric,
+        &cfg,
+        world,
+        threads,
+        Some(LockPolicy::Optimized),
+    ));
     (fabric, shared)
 }
 
@@ -135,8 +141,9 @@ fn move_is_processed_and_replied_with_echo() {
         // First message is the ack; second the reply.
         let mut echo = None;
         while let Some(m) = ctx.try_recv(client_port) {
-            if let Ok(ServerMessage::Reply { seq, sent_at_echo, .. }) =
-                ServerMessage::from_bytes(&m.payload)
+            if let Ok(ServerMessage::Reply {
+                seq, sent_at_echo, ..
+            }) = ServerMessage::from_bytes(&m.payload)
             {
                 echo = Some((seq, sent_at_echo));
             }
@@ -184,7 +191,9 @@ fn connects_fill_home_block_then_stop() {
                 ctx,
                 0,
                 client_port,
-                ClientMessage::Connect { client_id: 100 + cid },
+                ClientMessage::Connect {
+                    client_id: 100 + cid,
+                },
                 &mut stats,
                 &mut mask,
             );
@@ -193,7 +202,12 @@ fn connects_fill_home_block_then_stop() {
     });
     assert_eq!(
         states[..4],
-        [SlotState::Pending, SlotState::Pending, SlotState::Pending, SlotState::Pending]
+        [
+            SlotState::Pending,
+            SlotState::Pending,
+            SlotState::Pending,
+            SlotState::Pending
+        ]
     );
     assert_eq!(states[4..], [SlotState::Empty; 4]);
 }

@@ -160,10 +160,7 @@ impl Entity {
 
     /// Is this a live player?
     pub fn is_live_player(&self) -> bool {
-        matches!(
-            self.class,
-            EntityClass::Player { dead: false, .. }
-        ) && self.active
+        matches!(self.class, EntityClass::Player { dead: false, .. }) && self.active
     }
 }
 

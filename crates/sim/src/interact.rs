@@ -68,9 +68,11 @@ pub fn run_hitscan(
     let dir = angles.forward();
 
     // Clip the beam to world geometry first.
-    let tr = world
-        .map
-        .trace(parquake_bsp::Hull::Point, eye, eye.mul_add(dir, HITSCAN_RANGE));
+    let tr = world.map.trace(
+        parquake_bsp::Hull::Point,
+        eye,
+        eye.mul_add(dir, HITSCAN_RANGE),
+    );
     work.trace_steps += tr.steps as u64;
     let wall_frac = tr.fraction;
     let delta = dir * HITSCAN_RANGE;
@@ -248,8 +250,10 @@ mod tests {
         let c = w.spawn_player(2, 2, &mut rng);
         let center = w.map.spawn_points[0];
         w.store.with_mut(a, 0, |e| e.pos = center);
-        w.store.with_mut(b, 0, |e| e.pos = center + vec3(200.0, 0.0, 0.0));
-        w.store.with_mut(c, 0, |e| e.pos = center + vec3(400.0, 0.0, 0.0));
+        w.store
+            .with_mut(b, 0, |e| e.pos = center + vec3(200.0, 0.0, 0.0));
+        w.store
+            .with_mut(c, 0, |e| e.pos = center + vec3(400.0, 0.0, 0.0));
         face(&w, a, c);
         let mut work = WorkCounters::new();
         let hit = run_hitscan(&w, 0, a, &[c, b], &mut work).unwrap();
@@ -285,7 +289,11 @@ mod tests {
         assert!(p.active);
         assert!(p.vel.length() > PROJECTILE_SPEED * 0.9);
         match p.class {
-            EntityClass::Projectile { live, owner, expire_at } => {
+            EntityClass::Projectile {
+                live,
+                owner,
+                expire_at,
+            } => {
                 assert!(live);
                 assert_eq!(owner, a);
                 assert_eq!(expire_at, 1000 + PROJECTILE_LIFETIME_NS);

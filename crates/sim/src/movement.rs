@@ -129,7 +129,9 @@ pub fn run_move(
             vel = vel * scale;
         }
         let current = vel.dot(wish_dir);
-        let add = (wish_speed - current).max(0.0).min(ACCELERATION * wish_speed * dt);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * wish_speed * dt);
         vel = vel.mul_add(wish_dir, add);
         if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
             vel.z = WATER_JUMP_VELOCITY;
@@ -149,7 +151,9 @@ pub fn run_move(
         }
         // Ground acceleration towards the wish direction.
         let current = vel.dot(wish_dir);
-        let add = (wish_speed - current).max(0.0).min(ACCELERATION * wish_speed * dt);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * wish_speed * dt);
         vel = vel.mul_add(wish_dir, add);
         // Jump.
         if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
@@ -159,7 +163,9 @@ pub fn run_move(
     } else {
         // Weak air control, full gravity.
         let current = vel.dot(wish_dir);
-        let add = (wish_speed - current).max(0.0).min(ACCELERATION * 0.1 * wish_speed * dt);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * 0.1 * wish_speed * dt);
         vel = vel.mul_add(wish_dir, add);
     }
     if !on_ground && !submerged {
@@ -174,7 +180,8 @@ pub fn run_move(
         }
         work.substeps += 1;
         let delta = vel * time_left;
-        let (frac, normal) = nearest_hit(world, mover, pos, me.mins, me.maxs, delta, candidates, work);
+        let (frac, normal) =
+            nearest_hit(world, mover, pos, me.mins, me.maxs, delta, candidates, work);
         pos = pos.mul_add(delta, frac);
         if frac >= 1.0 {
             break;
@@ -232,10 +239,17 @@ pub fn run_move(
             continue;
         }
         match other.class {
-            EntityClass::Item { class, taken: false, .. } => {
+            EntityClass::Item {
+                class,
+                taken: false,
+                ..
+            } => {
                 work.interactions += 1;
                 world.store.with_mut(cand, task, |e| {
-                    if let EntityClass::Item { taken, respawn_at, .. } = &mut e.class {
+                    if let EntityClass::Item {
+                        taken, respawn_at, ..
+                    } = &mut e.class
+                    {
                         *taken = true;
                         *respawn_at = now + class.respawn_ns();
                     }
@@ -253,7 +267,10 @@ pub fn run_move(
             EntityClass::Teleporter { dest } => {
                 work.interactions += 1;
                 world.store.with_mut(mover, task, |e| {
-                    if let EntityClass::Player { pending_relocation, .. } = &mut e.class {
+                    if let EntityClass::Player {
+                        pending_relocation, ..
+                    } = &mut e.class
+                    {
                         *pending_relocation = Some(dest);
                     }
                 });
@@ -418,11 +435,20 @@ mod tests {
         let w = world();
         let id = spawn(&w, 0);
         walk(&w, id, 0.0, 30); // get moving
-        // Now coast with no input.
+                               // Now coast with no input.
         let mut touched = Vec::new();
         let mut work = WorkCounters::new();
         for i in 0..60 {
-            run_move(&w, 0, id, &MoveCmd::idle(i, 30), &[], 0, &mut touched, &mut work);
+            run_move(
+                &w,
+                0,
+                id,
+                &MoveCmd::idle(i, 30),
+                &[],
+                0,
+                &mut touched,
+                &mut work,
+            );
         }
         let e = w.store.snapshot(id);
         assert!(e.vel.length_xy() < 5.0, "still moving at {:?}", e.vel);
@@ -472,14 +498,26 @@ mod tests {
         let item = w.item_ids().next().unwrap();
         let me = w.store.snapshot(id);
         // Drop the item onto the player.
-        w.store.with_mut(item, 0, |e| e.pos = me.pos + vec3(0.0, 0.0, -20.0));
+        w.store
+            .with_mut(item, 0, |e| e.pos = me.pos + vec3(0.0, 0.0, -20.0));
         let mut touched = Vec::new();
         let mut work = WorkCounters::new();
-        run_move(&w, 0, id, &MoveCmd::idle(0, 30), &[item], 1000, &mut touched, &mut work);
+        run_move(
+            &w,
+            0,
+            id,
+            &MoveCmd::idle(0, 30),
+            &[item],
+            1000,
+            &mut touched,
+            &mut work,
+        );
         assert!(touched.contains(&TouchEvent::Pickup { item }));
         let it = w.store.snapshot(item);
         match it.class {
-            EntityClass::Item { taken, respawn_at, .. } => {
+            EntityClass::Item {
+                taken, respawn_at, ..
+            } => {
                 assert!(taken);
                 assert!(respawn_at > 1000);
             }
@@ -490,7 +528,16 @@ mod tests {
         }
         // A second pass must not pick it up again.
         touched.clear();
-        run_move(&w, 0, id, &MoveCmd::idle(1, 30), &[item], 2000, &mut touched, &mut work);
+        run_move(
+            &w,
+            0,
+            id,
+            &MoveCmd::idle(1, 30),
+            &[item],
+            2000,
+            &mut touched,
+            &mut work,
+        );
         assert!(!touched.contains(&TouchEvent::Pickup { item }));
     }
 
@@ -508,13 +555,27 @@ mod tests {
         // Stop the player dead on the pad so the idle move stays put.
         w.store.with_mut(id, 0, |e| e.vel = Vec3::ZERO);
         let me = w.store.snapshot(id);
-        w.store.with_mut(tele, 0, |e| e.pos = me.pos + vec3(0.0, 0.0, -24.0));
+        w.store
+            .with_mut(tele, 0, |e| e.pos = me.pos + vec3(0.0, 0.0, -24.0));
         let mut touched = Vec::new();
         let mut work = WorkCounters::new();
-        run_move(&w, 0, id, &MoveCmd::idle(0, 30), &[tele], 0, &mut touched, &mut work);
-        assert!(touched.iter().any(|t| matches!(t, TouchEvent::Teleport { .. })));
+        run_move(
+            &w,
+            0,
+            id,
+            &MoveCmd::idle(0, 30),
+            &[tele],
+            0,
+            &mut touched,
+            &mut work,
+        );
+        assert!(touched
+            .iter()
+            .any(|t| matches!(t, TouchEvent::Teleport { .. })));
         match w.store.snapshot(id).class {
-            EntityClass::Player { pending_relocation, .. } => {
+            EntityClass::Player {
+                pending_relocation, ..
+            } => {
                 assert!(pending_relocation.is_some())
             }
             _ => unreachable!(),

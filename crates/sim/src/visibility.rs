@@ -44,7 +44,11 @@ pub fn build_reply_entities(
         if d2 > max_d2 {
             continue;
         }
-        if !world.map.rooms.rooms_visible(my_room, world.map.rooms.room_of(e.pos)) {
+        if !world
+            .map
+            .rooms
+            .rooms_visible(my_room, world.map.rooms.room_of(e.pos))
+        {
             continue;
         }
         dist_scratch.push((
@@ -60,8 +64,7 @@ pub fn build_reply_entities(
     }
 
     if dist_scratch.len() > MAX_ENTITIES_PER_REPLY {
-        dist_scratch
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dist_scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         dist_scratch.truncate(MAX_ENTITIES_PER_REPLY);
     }
     out.extend(dist_scratch.iter().map(|&(_, u)| u));
@@ -93,7 +96,8 @@ mod tests {
         w.spawn_player(0, 0, &mut rng);
         w.spawn_player(1, 1, &mut rng);
         let p0 = w.store.snapshot(0).pos;
-        w.store.with_mut(1, 0, |e| e.pos = p0 + vec3(200.0, 0.0, 0.0));
+        w.store
+            .with_mut(1, 0, |e| e.pos = p0 + vec3(200.0, 0.0, 0.0));
         let vis = build(&w, 0);
         assert!(vis.iter().any(|u| u.id == 1), "player 1 invisible");
         // Viewer never sees itself.
@@ -109,7 +113,8 @@ mod tests {
         w.spawn_player(0, 0, &mut rng);
         w.spawn_player(1, 1, &mut rng);
         let p0 = w.store.snapshot(0).pos;
-        w.store.with_mut(1, 0, |e| e.pos = p0 + vec3(500.0, 0.0, 0.0));
+        w.store
+            .with_mut(1, 0, |e| e.pos = p0 + vec3(500.0, 0.0, 0.0));
         let vis = build(&w, 0);
         assert!(!vis.iter().any(|u| u.id == 1));
     }

@@ -287,7 +287,9 @@ impl GameWorld {
         for (node, ent) in &links {
             let e = self.store.snapshot(*ent as EntityId);
             if !e.linked {
-                return Err(format!("entity {ent} in node {node} list but not flagged linked"));
+                return Err(format!(
+                    "entity {ent} in node {node} list but not flagged linked"
+                ));
             }
             if e.linked_node != *node {
                 return Err(format!(
@@ -331,7 +333,12 @@ impl GameWorld {
             mix(quant(e.pos.z));
             mix(e.linked_node as u64);
             match e.class {
-                EntityClass::Player { health, score, dead, .. } => {
+                EntityClass::Player {
+                    health,
+                    score,
+                    dead,
+                    ..
+                } => {
                     mix(health as u64);
                     mix(score as u64);
                     mix(dead as u64);
@@ -381,7 +388,11 @@ mod tests {
         let id = w.spawn_player(0, 100, &mut rng);
         let e = w.store.snapshot(id);
         assert!(e.is_live_player());
-        assert!(w.map.player_fits(e.pos), "spawned inside wall at {:?}", e.pos);
+        assert!(
+            w.map.player_fits(e.pos),
+            "spawned inside wall at {:?}",
+            e.pos
+        );
         // The linked node's bounds must contain the player's box.
         assert!(w.tree.node(e.linked_node).bounds.contains(&e.abs_box()));
     }
@@ -419,7 +430,11 @@ mod tests {
             .with_mut(id, 0, |e| e.pos = vec3(far.x, far.y, before.pos.z));
         w.relink_unlocked(id);
         let after = w.store.snapshot(id);
-        assert!(w.tree.node(after.linked_node).bounds.contains(&after.abs_box()));
+        assert!(w
+            .tree
+            .node(after.linked_node)
+            .bounds
+            .contains(&after.abs_box()));
     }
 
     #[test]
@@ -455,7 +470,11 @@ mod tests {
         assert!(!p.active);
         assert!(matches!(
             p.class,
-            EntityClass::Projectile { owner: 3, live: false, .. }
+            EntityClass::Projectile {
+                owner: 3,
+                live: false,
+                ..
+            }
         ));
     }
 }

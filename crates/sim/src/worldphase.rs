@@ -37,7 +37,12 @@ pub fn run_world_phase(
     // Projectiles in flight.
     for id in 0..capacity {
         let e = world.store.snapshot(id);
-        let EntityClass::Projectile { owner, expire_at, live: true } = e.class else {
+        let EntityClass::Projectile {
+            owner,
+            expire_at,
+            live: true,
+        } = e.class
+        else {
             continue;
         };
         if !e.active {
@@ -130,7 +135,12 @@ pub fn run_world_phase(
     // Item respawns.
     for id in world.item_ids() {
         let e = world.store.snapshot(id);
-        if let EntityClass::Item { respawn_at, taken: true, .. } = e.class {
+        if let EntityClass::Item {
+            respawn_at,
+            taken: true,
+            ..
+        } = e.class
+        {
             if now >= respawn_at {
                 work.interactions += 1;
                 world.store.with_mut(id, 0, |it| {
@@ -155,7 +165,13 @@ pub fn run_world_phase(
         if !e.active {
             continue;
         }
-        let EntityClass::Player { dead, pending_relocation, client_id, .. } = e.class else {
+        let EntityClass::Player {
+            dead,
+            pending_relocation,
+            client_id,
+            ..
+        } = e.class
+        else {
             continue;
         };
         if let Some(dest) = pending_relocation {
@@ -164,7 +180,10 @@ pub fn run_world_phase(
                 p.pos = dest;
                 p.vel = Vec3::ZERO;
                 p.on_ground = false;
-                if let EntityClass::Player { pending_relocation, .. } = &mut p.class {
+                if let EntityClass::Player {
+                    pending_relocation, ..
+                } = &mut p.class
+                {
                     *pending_relocation = None;
                 }
             });
@@ -245,7 +264,14 @@ mod tests {
 
         // Jump past the lifetime: the projectile retires.
         let mut events = Vec::new();
-        run_world_phase(&w, 10_000_000_000, 50_000_000, &mut rng, &mut events, &mut work);
+        run_world_phase(
+            &w,
+            10_000_000_000,
+            50_000_000,
+            &mut rng,
+            &mut events,
+            &mut work,
+        );
         assert!(!w.store.snapshot(slot).active);
     }
 
@@ -263,7 +289,14 @@ mod tests {
         let mut events = Vec::new();
         // Enough frames to cross the hall.
         for f in 1..200u64 {
-            run_world_phase(&w, f * 30_000_000, 30_000_000, &mut rng, &mut events, &mut work);
+            run_world_phase(
+                &w,
+                f * 30_000_000,
+                30_000_000,
+                &mut rng,
+                &mut events,
+                &mut work,
+            );
             if !w.store.snapshot(slot).active {
                 break;
             }
@@ -294,7 +327,14 @@ mod tests {
         w.relink_unlocked(slot);
         let mut events = Vec::new();
         for f in 1..40u64 {
-            run_world_phase(&w, f * 30_000_000, 30_000_000, &mut rng, &mut events, &mut work);
+            run_world_phase(
+                &w,
+                f * 30_000_000,
+                30_000_000,
+                &mut rng,
+                &mut events,
+                &mut work,
+            );
             if !w.store.snapshot(slot).active {
                 break;
             }
@@ -315,19 +355,36 @@ mod tests {
         let mut rng = Pcg32::seeded(4);
         let item = w.item_ids().next().unwrap();
         w.store.with_mut(item, 0, |e| {
-            if let EntityClass::Item { taken, respawn_at, .. } = &mut e.class {
+            if let EntityClass::Item {
+                taken, respawn_at, ..
+            } = &mut e.class
+            {
                 *taken = true;
                 *respawn_at = 5_000_000_000;
             }
         });
         let mut events = Vec::new();
         let mut work = WorkCounters::new();
-        run_world_phase(&w, 1_000_000_000, 30_000_000, &mut rng, &mut events, &mut work);
+        run_world_phase(
+            &w,
+            1_000_000_000,
+            30_000_000,
+            &mut rng,
+            &mut events,
+            &mut work,
+        );
         assert!(matches!(
             w.store.snapshot(item).class,
             EntityClass::Item { taken: true, .. }
         ));
-        run_world_phase(&w, 6_000_000_000, 30_000_000, &mut rng, &mut events, &mut work);
+        run_world_phase(
+            &w,
+            6_000_000_000,
+            30_000_000,
+            &mut rng,
+            &mut events,
+            &mut work,
+        );
         assert!(matches!(
             w.store.snapshot(item).class,
             EntityClass::Item { taken: false, .. }
@@ -343,7 +400,10 @@ mod tests {
         settle(&w, 0);
         let dest = w.map.spawn_points[0] + vec3(400.0, 400.0, 0.0);
         w.store.with_mut(0, 0, |e| {
-            if let EntityClass::Player { pending_relocation, .. } = &mut e.class {
+            if let EntityClass::Player {
+                pending_relocation, ..
+            } = &mut e.class
+            {
                 *pending_relocation = Some(dest);
             }
         });
@@ -372,7 +432,12 @@ mod tests {
         run_world_phase(&w, 0, 30_000_000, &mut rng, &mut events, &mut work);
         let e = w.store.snapshot(0);
         match e.class {
-            EntityClass::Player { dead, health, client_id, .. } => {
+            EntityClass::Player {
+                dead,
+                health,
+                client_id,
+                ..
+            } => {
                 assert!(!dead);
                 assert_eq!(health, 100);
                 assert_eq!(client_id, 77);

@@ -33,11 +33,20 @@ fn flooded_world() -> (GameWorld, parquake_math::Vec3) {
 #[test]
 fn water_contents_are_reported() {
     let (w, spawn) = flooded_world();
-    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, 20.0)), Contents::Water);
+    assert_eq!(
+        w.map.contents(vec3(spawn.x, spawn.y, 20.0)),
+        Contents::Water
+    );
     // Above the 40-unit pool surface: air.
-    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, 80.0)), Contents::Empty);
+    assert_eq!(
+        w.map.contents(vec3(spawn.x, spawn.y, 80.0)),
+        Contents::Empty
+    );
     // Inside the floor: solid wins over water.
-    assert_eq!(w.map.contents(vec3(spawn.x, spawn.y, -10.0)), Contents::Solid);
+    assert_eq!(
+        w.map.contents(vec3(spawn.x, spawn.y, -10.0)),
+        Contents::Solid
+    );
 }
 
 #[test]
@@ -66,7 +75,16 @@ fn swimmers_sink_slowly_and_can_swim_up() {
 
     // Idle: slow sink, never free-fall.
     for i in 0..10 {
-        run_move(&w, 0, 0, &MoveCmd::idle(i, 30), &[], 0, &mut touched, &mut work);
+        run_move(
+            &w,
+            0,
+            0,
+            &MoveCmd::idle(i, 30),
+            &[],
+            0,
+            &mut touched,
+            &mut work,
+        );
     }
     let e = w.store.snapshot(0);
     assert!(e.vel.z < 0.0, "no sinking: {:?}", e.vel);

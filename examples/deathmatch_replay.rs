@@ -31,7 +31,10 @@ fn main() {
     });
     let out = exp.run();
 
-    println!("== match report ({} players, 8 virtual seconds) ==\n", out.connected);
+    println!(
+        "== match report ({} players, 8 virtual seconds) ==\n",
+        out.connected
+    );
     println!("moves answered : {}", out.response.received);
     println!("server frames  : {}", out.server.frame_count);
     println!(
@@ -45,8 +48,12 @@ fn main() {
     // Scoreboard straight out of the final world state.
     let mut scores: Vec<(u32, i32, i32)> = Vec::new();
     for i in 0..players as u16 {
-        if let EntityClass::Player { client_id, health, score, .. } =
-            out.world.store.snapshot(i).class
+        if let EntityClass::Player {
+            client_id,
+            health,
+            score,
+            ..
+        } = out.world.store.snapshot(i).class
         {
             scores.push((client_id, score, health));
         }
@@ -69,5 +76,8 @@ fn main() {
         })
         .count();
     println!("\nitems awaiting respawn at match end: {taken}");
-    println!("world hash: {:#018x} (same seed => same match, bit for bit)", out.world_hash);
+    println!(
+        "world hash: {:#018x} (same seed => same match, bit for bit)",
+        out.world_hash
+    );
 }

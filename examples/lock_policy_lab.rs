@@ -32,7 +32,10 @@ fn main() {
         "{:<12} {:>10} {:>9} {:>7} {:>7} {:>7}",
         "policy", "replies/s", "resp-ms", "lock%", "wait%", "idle%"
     );
-    for (name, policy) in [("baseline", Policy::Baseline), ("optimized", Policy::Optimized)] {
+    for (name, policy) in [
+        ("baseline", Policy::Baseline),
+        ("optimized", Policy::Optimized),
+    ] {
         let out = run(policy, players);
         let bd = out.breakdown();
         println!(

@@ -10,7 +10,10 @@ use parquake::prelude::*;
 fn main() {
     // A deterministic maze arena (the paper's evaluation-map stand-in).
     let map = MapGenConfig::eval_arena(0xC0FFEE);
-    println!("map: {}x{} rooms (compiles to a few hundred brushes)", map.grid_w, map.grid_h);
+    println!(
+        "map: {}x{} rooms (compiles to a few hundred brushes)",
+        map.grid_w, map.grid_h
+    );
 
     // 64 deathmatch bots against a 4-thread parallel server with the
     // paper's optimized (expanded/directional) locking.
@@ -38,8 +41,10 @@ fn main() {
     }
 
     let merged = out.server.merged();
-    println!("\nlocking: {} leaf acquisitions, {} parent list locks",
-        merged.lock.leaf_ops, merged.lock.parent_ops);
+    println!(
+        "\nlocking: {} leaf acquisitions, {} parent list locks",
+        merged.lock.leaf_ops, merged.lock.parent_ops
+    );
     println!(
         "         {:.1}% of the world locked per request on average",
         merged.lock.avg_distinct_leaf_percent()

@@ -18,7 +18,9 @@ fn main() {
     println!(
         "real-thread fabric: {threads} server threads, {players} bots, 2 wall seconds \
          (host has {} CPUs)\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     let exp = Experiment::new(ExperimentConfig {
         players,

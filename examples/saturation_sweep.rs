@@ -53,7 +53,11 @@ fn main() {
         for &p in &players {
             let (rate, resp) = run(p, kind);
             let offered = p as f64 * 33.33;
-            let marker = if rate < offered * 0.97 { "  <- saturated" } else { "" };
+            let marker = if rate < offered * 0.97 {
+                "  <- saturated"
+            } else {
+                ""
+            };
             println!(
                 "{p:>4}p |{:<40}| {rate:>5.0}/{offered:>5.0}  {resp:>6.1} ms{marker}",
                 bar(rate, max_rate, 40),

@@ -56,10 +56,17 @@ fn main() {
     // A short move and a long-range directional beam.
     let move_box = player_box.inflated(Vec3::splat(45.0));
     tree.leaves_overlapping(&move_box, &mut plan);
-    println!("  short move near a spawn locks {} leaves: {:?}", plan.len(), plan.ids());
+    println!(
+        "  short move near a spawn locks {} leaves: {:?}",
+        plan.len(),
+        plan.ids()
+    );
     let beam = Aabb::from_corners(start, start + vec3(4096.0, 120.0, 0.0));
     tree.leaves_overlapping(&beam, &mut plan);
-    println!("  an eastward hitscan beam locks {} leaves (directional policy)", plan.len());
+    println!(
+        "  an eastward hitscan beam locks {} leaves (directional policy)",
+        plan.len()
+    );
     println!(
         "  conservative long-range policy locks all {} leaves",
         tree.leaf_count()

@@ -21,7 +21,11 @@ fn base(players: u32, server: ServerKind) -> ExperimentConfig {
 fn sequential_session_completes_with_protocol_checks() {
     let out = Experiment::new(base(16, ServerKind::Sequential)).run();
     assert_eq!(out.connected, 16);
-    assert!(out.response.received > 500, "{} replies", out.response.received);
+    assert!(
+        out.response.received > 500,
+        "{} replies",
+        out.response.received
+    );
     // Every reply echoes a real request.
     assert!(out.response.received <= out.response.sent);
 }

@@ -14,7 +14,11 @@ use parquake::sim::GameWorld;
 fn setup(
     players: u16,
     threads: u32,
-) -> (Arc<dyn Fabric>, parquake::server::ServerHandle, Arc<GameWorld>) {
+) -> (
+    Arc<dyn Fabric>,
+    parquake::server::ServerHandle,
+    Arc<GameWorld>,
+) {
     let fabric = FabricKind::VirtualSmp(Default::default()).build();
     let map = Arc::new(MapGenConfig::small_arena(5).generate());
     let world = Arc::new(GameWorld::new(map, 4, players));
@@ -54,7 +58,11 @@ fn garbage_datagrams_are_dropped_not_fatal() {
                 ctx.sleep_until(i * 4_000_000);
                 let n = rng.below(64) as usize;
                 let junk: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
-                ctx.send(attacker_port, ports[(i % ports.len() as u64) as usize], junk);
+                ctx.send(
+                    attacker_port,
+                    ports[(i % ports.len() as u64) as usize],
+                    junk,
+                );
             }
         }),
     );
@@ -115,8 +123,7 @@ fn disconnects_free_slots_for_new_players() {
                     while ctx.wait_readable(client, Some(deadline)) {
                         let m = ctx.try_recv(client).unwrap();
                         if let Ok(parquake::protocol::ServerMessage::ConnectAck {
-                            client_id,
-                            ..
+                            client_id, ..
                         }) = parquake::protocol::Decode::from_bytes(&m.payload)
                         {
                             let _: u32 = client_id;

@@ -1,0 +1,97 @@
+//! Offline stand-in for the `bytes` crate: just the `Buf`/`BufMut`
+//! little-endian primitive accessors the protocol codec uses,
+//! implemented for `&[u8]` and `Vec<u8>`.
+
+/// Read cursor over a byte source. Implemented for `&[u8]`, which
+/// advances the slice in place (the codec's `&mut &[u8]` idiom).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Buf::copy_to_slice out of bounds");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write sink for bytes. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEADBEEF);
+        out.put_u64_le(u64::MAX - 1);
+        out.put_f32_le(-2.25);
+        let mut buf = &out[..];
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 4);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.get_f32_le(), -2.25);
+        assert_eq!(buf.remaining(), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the `parking_lot` API subset `parquake` uses.
+//!
+//! The build container has no registry access, so this crate re-creates
+//! the handful of `parking_lot` types the fabric needs on top of
+//! `std::sync`. Semantics match where it matters for the fabric:
+//! guards are not poisoned (a panic while holding simply releases), and
+//! `RawMutex` may be unlocked from a context other than the acquiring
+//! scope, which `std::sync::Mutex` guards cannot express.
+//!
+//! Only the surface actually exercised by this workspace is provided.
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Instant;
+
+pub mod lock_api {
+    /// The slice of `lock_api::RawMutex` the fabric imports (the `INIT`
+    /// associated constant used to build lock tables).
+    pub trait RawMutex {
+        const INIT: Self;
+        fn lock(&self);
+        fn try_lock(&self) -> bool;
+        /// # Safety
+        /// The caller must own the lock (acquired via `lock`/`try_lock`
+        /// and not yet released).
+        unsafe fn unlock(&self);
+    }
+}
+
+/// A mutex whose lock/unlock need not be scoped to one stack frame:
+/// `unlock` may be called by the logical owner from any point. Built on
+/// a flag + condvar so release from "elsewhere" is expressible.
+pub struct RawMutex {
+    locked: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl RawMutex {
+    #[allow(clippy::declare_interior_mutable_const)]
+    pub const INIT: RawMutex = RawMutex {
+        locked: StdMutex::new(false),
+        cv: StdCondvar::new(),
+    };
+
+    pub fn lock(&self) {
+        let mut held = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        while *held {
+            held = self.cv.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        *held = true;
+    }
+
+    pub fn try_lock(&self) -> bool {
+        let mut held = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
+    /// # Safety
+    /// Caller must hold the lock (protocol-enforced by the fabric).
+    pub unsafe fn unlock(&self) {
+        let mut held = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(*held, "RawMutex::unlock of an unheld lock");
+        *held = false;
+        self.cv.notify_one();
+    }
+}
+
+impl lock_api::RawMutex for RawMutex {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const INIT: RawMutex = RawMutex::INIT;
+    fn lock(&self) {
+        RawMutex::lock(self)
+    }
+    fn try_lock(&self) -> bool {
+        RawMutex::try_lock(self)
+    }
+    unsafe fn unlock(&self) {
+        RawMutex::unlock(self)
+    }
+}
+
+/// `parking_lot::Mutex`: like `std::sync::Mutex` but `lock()` returns
+/// the guard directly (no poisoning).
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed condvar wait.
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// `parking_lot::Condvar`: waits take `&mut MutexGuard` instead of
+/// consuming and returning the guard.
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let now = Instant::now();
+            let dur = deadline.saturating_duration_since(now);
+            if dur.is_zero() {
+                timed_out = true;
+                return g;
+            }
+            let (g, r) = self.inner.wait_timeout(g, dur).unwrap_or_else(|e| {
+                let (g, r) = e.into_inner();
+                (g, r)
+            });
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Run `f` on the std guard inside `guard`, replacing it with the guard
+/// `f` returns (std condvar waits consume and return the guard; the
+/// parking_lot API mutates in place).
+fn replace_guard<T>(
+    guard: &mut MutexGuard<'_, T>,
+    f: impl FnOnce(StdMutexGuard<'_, T>) -> StdMutexGuard<'_, T>,
+) {
+    // An unwind between the read and the write would leave `guard`
+    // holding a moved-out value (double drop); abort instead.
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    // SAFETY: `inner` is re-initialized with a guard of the same mutex
+    // and lifetime before anyone can observe the moved-out state; the
+    // bomb turns any panic inside `f` into an abort.
+    unsafe {
+        let bomb = Bomb;
+        let g = std::ptr::read(&guard.inner);
+        let g = f(g);
+        std::ptr::write(&mut guard.inner, g);
+        std::mem::forget(bomb);
+    }
+}
+
+/// `parking_lot::RwLock` (no poisoning).
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn raw_mutex_cross_scope_unlock() {
+        let m = Arc::new(RawMutex::INIT);
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+}

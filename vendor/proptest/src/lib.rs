@@ -1,0 +1,198 @@
+//! Offline deterministic stand-in for the `proptest` API subset this
+//! workspace uses.
+//!
+//! The build container has no registry access, so this crate
+//! re-implements the parts of proptest the test suites rely on:
+//! `Strategy` with `prop_map`/`boxed`, range and tuple strategies,
+//! `any::<T>()`, `prop::collection::vec`, `prop_oneof!`, the
+//! `proptest!` macro and the `prop_assert*` family. Differences from
+//! real proptest:
+//!
+//! * Cases are generated from a PCG32 seeded by the test's module path
+//!   and name — fully deterministic across runs and hosts, no
+//!   persistence files (`*.proptest-regressions` are ignored).
+//! * There is **no shrinking**: a failing case reports its index and
+//!   message; re-running reproduces it exactly.
+//! * Default case count is 64 (`ProptestConfig::with_cases` overrides).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` lookalike.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` path used for `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Choose uniformly between heterogeneous strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l
+        );
+    }};
+}
+
+/// The `proptest! { ... }` block: zero or more `#[test] fn name(pat in
+/// strategy, ...) { body }` items, optionally preceded by
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut __rng = $crate::rng::TestRng::for_case(test_path, case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("{test_path} failed at case {case}/{}: {e}", config.cases);
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        1u32..10
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in small(), y in -5i64..5) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map(v in (0u8..4, 0u8..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 6);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 100, "x = {x}");
+            }
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(x in prop_oneof![0u32..1, 10u32..11, 20u32..21]) {
+            prop_assert!(x == 0 || x == 10 || x == 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honored(_x in any::<u64>()) {
+            // Runs exactly 7 cases; nothing to assert beyond arriving here.
+        }
+    }
+
+    #[test]
+    fn determinism_across_rng_instances() {
+        let mut a = crate::rng::TestRng::for_case("t", 3);
+        let mut b = crate::rng::TestRng::for_case("t", 3);
+        let s = 0u64..1_000_000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

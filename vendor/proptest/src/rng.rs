@@ -1,0 +1,53 @@
+//! Deterministic PCG32 generator seeding each test case from the test
+//! path and case index, so failures reproduce without persisted seeds.
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// Per-case random source handed to strategies.
+pub struct TestRng {
+    state: u64,
+    inc: u64,
+}
+
+impl TestRng {
+    /// Build the generator for case `case` of the test named `path`.
+    pub fn for_case(path: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+            inc: (h.rotate_left(17) | 1),
+        };
+        // Scramble away from the seed structure.
+        rng.next_u32();
+        rng.next_u32();
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at property-test scale.
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
