@@ -114,12 +114,27 @@ fn drive(
     stats_out: &Mutex<ResponseStats>,
     connected_out: &Mutex<u32>,
 ) {
+    /// First Connect-retry interval; doubles per unanswered retry.
+    const RETRY_MIN: Nanos = 100_000_000;
+    /// Backoff ceiling for Connect retries.
+    const RETRY_MAX: Nanos = 1_600_000_000;
+    /// An acked bot that hears nothing for this long assumes its
+    /// session died (server timeout, heavy loss) and reconnects.
+    const STARVATION: Nanos = 1_000_000_000;
+
     let n = (hi - lo) as usize;
     let frame_ns = cfg.client_frame_ms as Nanos * 1_000_000;
     let mut bots: Vec<BotMind> = (lo..hi)
         .map(|c| BotMind::new(c, cfg.seed, cfg.behavior.clone()))
         .collect();
     let mut acked = vec![false; n];
+    // Connection-count each bot only once, however often it reconnects.
+    let mut ever_acked = vec![false; n];
+    let mut backoff = vec![RETRY_MIN; n];
+    let mut last_heard: Vec<Nanos> = vec![0; n];
+    // Highest reply seq seen per bot: the fault fabric can duplicate
+    // datagrams, and a stale copy must not count twice (-1 = none yet).
+    let mut last_rx_seq = vec![-1i64; n];
     // Stagger bots across the client frame so requests arrive
     // asynchronously (the paper's fine-grain imbalance source).
     let mut next_at: Vec<Nanos> = (0..n)
@@ -138,13 +153,23 @@ fn drive(
             if next_at[i] > now {
                 continue;
             }
+            // Starvation watchdog: a session that stops producing
+            // replies (lost ack'd state, server-side timeout) falls
+            // back to the Connect handshake instead of wedging.
+            if acked[i] && now.saturating_sub(last_heard[i]) > STARVATION {
+                acked[i] = false;
+                backoff[i] = RETRY_MIN;
+            }
             if !acked[i] {
                 ctx.charge(cfg.think_cost_ns);
                 let msg = ClientMessage::Connect {
                     client_id: lo + i as u32,
                 };
                 ctx.send(port, server_ports[cur_thread[i]], msg.to_bytes());
-                next_at[i] = now + 100_000_000; // retry ack in 100 ms
+                // Exponential backoff on the ack retry: lost acks are
+                // re-requested quickly without flooding a dead link.
+                next_at[i] = now + backoff[i];
+                backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
             } else {
                 ctx.charge(cfg.think_cost_ns);
                 let cmd = bots[i].think(now, cfg.client_frame_ms.min(250) as u8);
@@ -184,16 +209,22 @@ fn drive(
                 };
                 match msg {
                     ServerMessage::ConnectAck { client_id, .. } => {
-                        let i = (client_id - lo) as usize;
+                        let i = client_id.wrapping_sub(lo) as usize;
                         if i < n && !acked[i] {
                             acked[i] = true;
-                            connected += 1;
+                            backoff[i] = RETRY_MIN;
+                            last_heard[i] = ctx.now();
+                            if !ever_acked[i] {
+                                ever_acked[i] = true;
+                                connected += 1;
+                            }
                             // Start moving on the next tick.
                             next_at[i] = ctx.now();
                         }
                     }
                     ServerMessage::Reply {
                         client_id,
+                        seq,
                         sent_at_echo,
                         assigned_thread,
                         origin,
@@ -202,12 +233,18 @@ fn drive(
                         removed,
                         ..
                     } => {
-                        let i = (client_id - lo) as usize;
+                        let i = client_id.wrapping_sub(lo) as usize;
                         if i < n {
                             let now = ctx.now();
-                            if sent_at_echo > 0 && now >= sent_at_echo {
+                            last_heard[i] = now;
+                            // Count each reply once: the fault fabric
+                            // can duplicate datagrams, and seq echoes
+                            // are strictly increasing per client.
+                            let fresh = seq as i64 > last_rx_seq[i];
+                            if fresh && sent_at_echo > 0 && now >= sent_at_echo {
                                 stats.note_reply(now - sent_at_echo);
                             }
+                            last_rx_seq[i] = last_rx_seq[i].max(seq as i64);
                             // Follow server steering (dynamic
                             // region-affine assignment).
                             let t = assigned_thread as usize;
@@ -217,7 +254,15 @@ fn drive(
                             bots[i].observe_update(origin, delta, &entities, &removed);
                         }
                     }
-                    ServerMessage::Bye { .. } => {}
+                    ServerMessage::Bye { client_id } => {
+                        // Server reclaimed the slot: rejoin from scratch.
+                        let i = client_id.wrapping_sub(lo) as usize;
+                        if i < n && acked[i] {
+                            acked[i] = false;
+                            backoff[i] = RETRY_MIN;
+                            next_at[i] = ctx.now();
+                        }
+                    }
                 }
             }
         }

@@ -1,0 +1,259 @@
+//! Deterministic datagram fault injection.
+//!
+//! Real game UDP traffic is lossy — QuakeWorld's netchan exists because
+//! of it — but the paper's evaluation assumed a lossless LAN. This
+//! module provides a seeded lottery that decides, per datagram, whether
+//! it is dropped, duplicated, delayed (and therefore possibly
+//! reordered), or passed through untouched. The same lottery drives
+//! both fabrics:
+//!
+//! * the virtual-SMP simulator applies it inside [`Fabric::send`], so
+//!   whole lossy-network experiments replay bit-identically from a
+//!   seed ([`crate::VirtualSmpConfig::fault`]);
+//! * the real UDP gateway wraps it in a [`FaultInjector`] and applies
+//!   it at the socket pumps.
+//!
+//! [`Fabric::send`]: crate::Fabric::send
+
+use parquake_math::Pcg32;
+
+use crate::Nanos;
+
+/// Fault probabilities and the seed that makes them reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a datagram is dropped outright.
+    pub drop: f32,
+    /// Probability a delivered datagram is duplicated (one extra copy).
+    pub duplicate: f32,
+    /// Probability a delivered copy is delayed by a uniform extra
+    /// latency in `(0, max_delay_ns]` — delayed copies overtake or are
+    /// overtaken by later traffic, so this is also the reorder knob.
+    pub delay: f32,
+    /// Upper bound of the injected extra delay.
+    pub max_delay_ns: Nanos,
+    /// Lottery seed; equal seeds draw identical fates.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all (every datagram passes untouched).
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_ns: 0,
+            seed: 0,
+        }
+    }
+
+    /// Pure seeded loss at probability `p`, no duplication or delay.
+    pub fn loss(p: f32, seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop: p,
+            seed,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Does this config never alter a datagram?
+    pub fn is_noop(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && (self.delay <= 0.0 || self.max_delay_ns == 0)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// What the lottery did, cumulatively.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams delivered (at least one copy).
+    pub passed: u64,
+    /// Datagrams dropped (no copy delivered).
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Copies delivered late.
+    pub delayed: u64,
+}
+
+/// The seeded per-datagram lottery. Single-owner; wrap in a
+/// [`FaultInjector`] when several threads share one (the real gateway's
+/// socket pumps).
+#[derive(Clone, Debug)]
+pub struct FaultLottery {
+    cfg: FaultConfig,
+    rng: Pcg32,
+    stats: FaultStats,
+}
+
+impl FaultLottery {
+    pub fn new(cfg: FaultConfig) -> FaultLottery {
+        FaultLottery {
+            rng: Pcg32::seeded(cfg.seed),
+            cfg,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Decide the fate of one datagram. Each element of the returned
+    /// vector is one copy to deliver, valued with its extra delay in
+    /// nanoseconds (0 = on time); an empty vector means the datagram is
+    /// dropped. A duplicated datagram yields two entries.
+    pub fn draw(&mut self) -> Vec<Nanos> {
+        if self.cfg.is_noop() {
+            self.stats.passed += 1;
+            return vec![0];
+        }
+        if self.rng.chance(self.cfg.drop) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        self.stats.passed += 1;
+        let copies = if self.rng.chance(self.cfg.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut fates = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let extra = if self.cfg.max_delay_ns > 0 && self.rng.chance(self.cfg.delay) {
+                self.stats.delayed += 1;
+                1 + self.rng.next_u64() % self.cfg.max_delay_ns
+            } else {
+                0
+            };
+            fates.push(extra);
+        }
+        fates
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+/// Thread-safe wrapper around a [`FaultLottery`] for use outside the
+/// virtual fabric (several OS-thread socket pumps sharing one lottery).
+/// Draw order then depends on pump interleaving, so cross-run
+/// determinism is only guaranteed on the virtual fabric.
+pub struct FaultInjector {
+    inner: parking_lot::Mutex<FaultLottery>,
+}
+
+impl FaultInjector {
+    pub fn new(cfg: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            inner: parking_lot::Mutex::new(FaultLottery::new(cfg)),
+        }
+    }
+
+    /// See [`FaultLottery::draw`].
+    pub fn draw(&self) -> Vec<Nanos> {
+        self.inner.lock().draw()
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.inner.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fates(cfg: FaultConfig, n: usize) -> Vec<Vec<Nanos>> {
+        let mut l = FaultLottery::new(cfg);
+        (0..n).map(|_| l.draw()).collect()
+    }
+
+    #[test]
+    fn noop_config_passes_everything() {
+        let all = fates(FaultConfig::none(), 1000);
+        assert!(all.iter().all(|f| f == &vec![0]));
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let all = fates(FaultConfig::loss(0.25, 42), 10_000);
+        let dropped = all.iter().filter(|f| f.is_empty()).count();
+        // Binomial(10000, 0.25): ±5σ ≈ ±217.
+        assert!(
+            (2_250..=2_750).contains(&dropped),
+            "dropped = {dropped} of 10000 at p=0.25"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_delays_appear() {
+        let cfg = FaultConfig {
+            drop: 0.1,
+            duplicate: 0.2,
+            delay: 0.3,
+            max_delay_ns: 5_000_000,
+            seed: 7,
+        };
+        let all = fates(cfg.clone(), 5_000);
+        let dup = all.iter().filter(|f| f.len() == 2).count();
+        let delayed = all.iter().flatten().filter(|&&d| d > 0).count();
+        assert!(dup > 500, "dup = {dup}");
+        assert!(delayed > 500, "delayed = {delayed}");
+        assert!(all.iter().flatten().all(|&d| d <= cfg.max_delay_ns));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = FaultConfig {
+            drop: 0.15,
+            duplicate: 0.05,
+            delay: 0.1,
+            max_delay_ns: 1_000_000,
+            seed: 99,
+        };
+        assert_eq!(fates(cfg.clone(), 2_000), fates(cfg, 2_000));
+    }
+
+    #[test]
+    fn stats_account_for_every_draw() {
+        let cfg = FaultConfig {
+            drop: 0.2,
+            duplicate: 0.1,
+            delay: 0.2,
+            max_delay_ns: 1_000,
+            seed: 3,
+        };
+        let mut l = FaultLottery::new(cfg);
+        let n = 3_000u64;
+        for _ in 0..n {
+            l.draw();
+        }
+        let s = l.stats();
+        assert_eq!(s.passed + s.dropped, n);
+        assert!(s.duplicated > 0 && s.delayed > 0);
+    }
+
+    #[test]
+    fn injector_is_shareable() {
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultConfig::loss(0.5, 1)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = inj.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    inj.draw();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = inj.stats();
+        assert_eq!(s.passed + s.dropped, 1000);
+    }
+}

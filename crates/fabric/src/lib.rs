@@ -27,6 +27,7 @@
 //! inside a task) is invisible to the virtual clock and can deadlock
 //! the cooperative scheduler.
 
+pub mod fault;
 pub mod real;
 pub mod virt;
 pub mod witness;
@@ -71,6 +72,16 @@ pub trait Fabric: Send + Sync {
     fn alloc_cond(&self) -> CondId;
     /// Allocate a message port. Must be called before `run`.
     fn alloc_port(&self) -> PortId;
+    /// Allocate a message port whose queue holds at most `capacity`
+    /// messages. When a send would overflow it, the *oldest* queued
+    /// message is discarded (newest-data-wins, the natural policy for
+    /// game traffic) and the port's drop counter is incremented. Must
+    /// be called before `run`; `capacity` must be nonzero.
+    fn alloc_bounded_port(&self, capacity: usize) -> PortId;
+    /// Messages discarded from `port` by the bounded-queue drop policy.
+    fn port_dropped(&self, port: PortId) -> u64;
+    /// Messages currently queued on `port` (delivered or in flight).
+    fn port_pending(&self, port: PortId) -> usize;
 
     /// Register a task. `server_cpu` pins the task onto the modelled
     /// server's CPU topology (used by the virtual HT model); `None`
@@ -237,6 +248,10 @@ pub struct VirtualSmpConfig {
     /// fully reproducible — legal interleaving per seed. Used by the
     /// lock-discipline verification suite to explore many schedules.
     pub schedule_seed: u64,
+    /// Datagram fault injection on every port send (`None` = the
+    /// paper's lossless LAN). Faults are drawn in virtual-time order
+    /// from the config's own seed, so lossy runs replay exactly.
+    pub fault: Option<fault::FaultConfig>,
 }
 
 impl Default for VirtualSmpConfig {
@@ -248,6 +263,7 @@ impl Default for VirtualSmpConfig {
             link_latency_ns: 150_000, // 0.15 ms switched 100 Mbit LAN
             mem_penalty: 0.17,
             schedule_seed: 0,
+            fault: None,
         }
     }
 }

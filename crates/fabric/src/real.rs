@@ -21,8 +21,27 @@ struct CondImpl {
     cv: Condvar,
 }
 
+struct PortQueue {
+    q: VecDeque<Message>,
+    /// Maximum queued messages (`usize::MAX` = unbounded).
+    cap: usize,
+    /// Messages discarded by the bounded-queue drop policy.
+    dropped: u64,
+}
+
+impl PortQueue {
+    /// Enqueue with the drop-oldest overflow policy.
+    fn push(&mut self, msg: Message) {
+        if self.q.len() >= self.cap {
+            self.q.pop_front();
+            self.dropped += 1;
+        }
+        self.q.push_back(msg);
+    }
+}
+
 struct PortImpl {
-    q: Mutex<VecDeque<Message>>,
+    q: Mutex<PortQueue>,
     cv: Condvar,
 }
 
@@ -75,7 +94,7 @@ impl RealFabric {
     pub fn send_external(&self, from: PortId, to: PortId, payload: Vec<u8>) {
         let p = self.port_ref(to);
         let mut q = p.q.lock();
-        q.push_back(Message {
+        q.push(Message {
             from,
             sent_at: self.epoch.elapsed().as_nanos() as Nanos,
             payload,
@@ -127,12 +146,29 @@ impl Fabric for RealFabric {
     }
 
     fn alloc_port(&self) -> PortId {
+        self.alloc_bounded_port(usize::MAX)
+    }
+
+    fn alloc_bounded_port(&self, capacity: usize) -> PortId {
+        assert!(capacity > 0, "bounded port needs capacity >= 1");
         let mut v = self.ports.write();
         v.push(Arc::new(PortImpl {
-            q: Mutex::new(VecDeque::new()),
+            q: Mutex::new(PortQueue {
+                q: VecDeque::new(),
+                cap: capacity,
+                dropped: 0,
+            }),
             cv: Condvar::new(),
         }));
         (v.len() - 1) as PortId
+    }
+
+    fn port_dropped(&self, port: PortId) -> u64 {
+        self.port_ref(port).q.lock().dropped
+    }
+
+    fn port_pending(&self, port: PortId) -> usize {
+        self.port_ref(port).q.lock().q.len()
     }
 
     fn spawn(&self, name: &str, _server_cpu: Option<u32>, body: TaskBody) -> TaskId {
@@ -285,7 +321,7 @@ impl Fabric for RealFabric {
     fn send(&self, task: TaskId, from: PortId, to: PortId, payload: Vec<u8>) {
         let p = self.port_ref(to);
         let mut q = p.q.lock();
-        q.push_back(Message {
+        q.push(Message {
             from,
             sent_at: self.now(task),
             payload,
@@ -294,20 +330,20 @@ impl Fabric for RealFabric {
     }
 
     fn try_recv(&self, _task: TaskId, port: PortId) -> Option<Message> {
-        self.port_ref(port).q.lock().pop_front()
+        self.port_ref(port).q.lock().q.pop_front()
     }
 
     fn wait_readable(&self, _task: TaskId, port: PortId, deadline: Option<Nanos>) -> bool {
         let p = self.port_ref(port);
         let mut q = p.q.lock();
         loop {
-            if !q.is_empty() {
+            if !q.q.is_empty() {
                 return true;
             }
             match deadline {
                 Some(d) => {
                     if p.cv.wait_until(&mut q, self.abs_instant(d)).timed_out() {
-                        return !q.is_empty();
+                        return !q.q.is_empty();
                     }
                 }
                 None => p.cv.wait(&mut q),
@@ -386,6 +422,31 @@ mod tests {
             }),
         );
         fabric.run();
+    }
+
+    #[test]
+    fn bounded_port_drops_oldest() {
+        let fabric = FabricKind::Real.build();
+        let src = fabric.alloc_port();
+        let p = fabric.alloc_bounded_port(2);
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s = seen.clone();
+        fabric.spawn(
+            "pump",
+            None,
+            Box::new(move |ctx| {
+                for i in 0u8..6 {
+                    ctx.send(src, p, vec![i]);
+                }
+                while let Some(m) = ctx.try_recv(p) {
+                    s.lock().unwrap().push(m.payload[0]);
+                }
+            }),
+        );
+        fabric.run();
+        assert_eq!(*seen.lock().unwrap(), vec![4, 5]);
+        assert_eq!(fabric.port_dropped(p), 4);
+        assert_eq!(fabric.port_pending(p), 0);
     }
 
     #[test]

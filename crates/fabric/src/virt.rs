@@ -89,9 +89,24 @@ struct Delivery {
     msg: Message,
 }
 
-#[derive(Default)]
 struct PortState {
+    /// Pending deliveries, sorted by `deliver_at` (ties keep send
+    /// order) — `wake_key` and `try_recv` only inspect the front.
     queue: VecDeque<Delivery>,
+    /// Maximum queued messages (`usize::MAX` = unbounded).
+    cap: usize,
+    /// Messages discarded by the bounded-queue drop policy.
+    dropped: u64,
+}
+
+impl PortState {
+    fn with_cap(cap: usize) -> PortState {
+        PortState {
+            queue: VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
 }
 
 struct Shared {
@@ -107,6 +122,9 @@ struct Shared {
     /// Deterministic decision counter for seeded schedule exploration
     /// (advances once per perturbable scheduling decision).
     nonce: u64,
+    /// Datagram fault lottery; sends are serialized in virtual-time
+    /// order by `sync_point`, so draws replay deterministically.
+    fault: Option<crate::fault::FaultLottery>,
 }
 
 /// Deterministic virtual-time SMP implementation of [`Fabric`].
@@ -121,6 +139,7 @@ pub struct VirtualSmp {
 
 impl VirtualSmp {
     pub fn new(cfg: VirtualSmpConfig) -> VirtualSmp {
+        let fault = cfg.fault.clone().map(crate::fault::FaultLottery::new);
         VirtualSmp {
             cfg,
             state: Mutex::new(Shared {
@@ -132,6 +151,7 @@ impl VirtualSmp {
                 started: false,
                 deadlock: None,
                 nonce: 0,
+                fault,
             }),
             done_cv: Condvar::new(),
             pending: Mutex::new(Vec::new()),
@@ -146,6 +166,11 @@ impl VirtualSmp {
         let weak: Weak<dyn Fabric> = Arc::downgrade(&arc) as Weak<dyn Fabric>;
         *arc.me.lock() = Some(weak);
         arc
+    }
+
+    /// What the fault lottery did so far (`None` if no fault config).
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.state.lock().fault.as_ref().map(|l| l.stats())
     }
 
     /// The virtual time at which a blocked-with-deadline task would act
@@ -408,8 +433,23 @@ impl Fabric for VirtualSmp {
 
     fn alloc_port(&self) -> PortId {
         let mut g = self.state.lock();
-        g.ports.push(PortState::default());
+        g.ports.push(PortState::with_cap(usize::MAX));
         (g.ports.len() - 1) as PortId
+    }
+
+    fn alloc_bounded_port(&self, capacity: usize) -> PortId {
+        assert!(capacity > 0, "bounded port needs capacity >= 1");
+        let mut g = self.state.lock();
+        g.ports.push(PortState::with_cap(capacity));
+        (g.ports.len() - 1) as PortId
+    }
+
+    fn port_dropped(&self, port: PortId) -> u64 {
+        self.state.lock().ports[port as usize].dropped
+    }
+
+    fn port_pending(&self, port: PortId) -> usize {
+        self.state.lock().ports[port as usize].queue.len()
     }
 
     fn spawn(&self, name: &str, server_cpu: Option<u32>, body: TaskBody) -> TaskId {
@@ -616,22 +656,50 @@ impl Fabric for VirtualSmp {
         }
     }
 
-    fn send(&self, task: TaskId, from: PortId, to: PortId, payload: Vec<u8>) {
+    fn send(&self, task: TaskId, from: PortId, to: PortId, mut payload: Vec<u8>) {
         let mut g = self.sync_point(task);
         let sent_at = g.tasks[task as usize].clock;
-        let deliver_at = sent_at + self.cfg.link_latency_ns;
-        let q = &mut g.ports[to as usize].queue;
-        // Sends are executed in virtual-time order (sync_point), so
-        // constant latency keeps the queue sorted by delivery time.
-        debug_assert!(q.back().map(|d| d.deliver_at <= deliver_at).unwrap_or(true));
-        q.push_back(Delivery {
-            deliver_at,
-            msg: Message {
-                from,
-                sent_at,
-                payload,
-            },
-        });
+        // Fault lottery: each fate is one copy to deliver with its
+        // extra delay; an empty draw drops the datagram. Drawn under
+        // the state lock in virtual-time order, hence replayable.
+        let fates = match g.fault.as_mut() {
+            Some(l) => l.draw(),
+            None => vec![0],
+        };
+        let copies = fates.len();
+        for (i, extra) in fates.into_iter().enumerate() {
+            let deliver_at = sent_at + self.cfg.link_latency_ns + extra;
+            let bytes = if i + 1 == copies {
+                std::mem::take(&mut payload)
+            } else {
+                payload.clone()
+            };
+            let port = &mut g.ports[to as usize];
+            if port.queue.len() >= port.cap {
+                port.queue.pop_front();
+                port.dropped += 1;
+            }
+            // Keep the queue sorted by delivery time: injected delays
+            // can land a copy anywhere, including *behind* messages
+            // sent later (that is the reordering). Ties keep send
+            // order (stable insert after the last <= entry).
+            let pos = port
+                .queue
+                .iter()
+                .rposition(|d| d.deliver_at <= deliver_at)
+                .map_or(0, |p| p + 1);
+            port.queue.insert(
+                pos,
+                Delivery {
+                    deliver_at,
+                    msg: Message {
+                        from,
+                        sent_at,
+                        payload: bytes,
+                    },
+                },
+            );
+        }
         // A task blocked on this port will be picked up by the wake-key
         // computation; no explicit wakeup needed.
     }
@@ -1055,6 +1123,7 @@ mod tests {
                 link_latency_ns: 0,
                 mem_penalty: 0.0,
                 schedule_seed: 0,
+                fault: None,
             })
             .build();
             let out = Arc::new(StdMutex::new(Vec::new()));
@@ -1085,6 +1154,172 @@ mod tests {
     }
 
     #[test]
+    fn bounded_port_drops_oldest() {
+        let f = fabric();
+        let src = f.alloc_port();
+        let p = f.alloc_bounded_port(4);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let s = seen.clone();
+        f.spawn(
+            "sender",
+            None,
+            Box::new(move |ctx| {
+                for i in 0u8..10 {
+                    ctx.send(src, p, vec![i]);
+                }
+            }),
+        );
+        f.spawn(
+            "receiver",
+            None,
+            Box::new(move |ctx| {
+                ctx.sleep_until(1_000_000); // after all sends delivered
+                while let Some(m) = ctx.try_recv(p) {
+                    s.lock().unwrap().push(m.payload[0]);
+                }
+            }),
+        );
+        f.run();
+        // Capacity 4, drop-oldest: only the last four survive.
+        assert_eq!(*seen.lock().unwrap(), vec![6, 7, 8, 9]);
+        assert_eq!(f.port_dropped(p), 6);
+        assert_eq!(f.port_pending(p), 0);
+    }
+
+    fn lossy_fabric(fault: crate::fault::FaultConfig) -> Arc<dyn Fabric> {
+        FabricKind::VirtualSmp(VirtualSmpConfig {
+            hyperthreading: false,
+            link_latency_ns: 1000,
+            fault: Some(fault),
+            ..VirtualSmpConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn fault_loss_is_deterministic() {
+        let run = || {
+            let f = lossy_fabric(crate::fault::FaultConfig::loss(0.5, 0xD06));
+            let src = f.alloc_port();
+            let dst = f.alloc_port();
+            f.spawn(
+                "sender",
+                None,
+                Box::new(move |ctx| {
+                    for i in 0u8..100 {
+                        ctx.send(src, dst, vec![i]);
+                        ctx.charge(100);
+                    }
+                }),
+            );
+            let got = Arc::new(StdMutex::new(Vec::new()));
+            let g = got.clone();
+            f.spawn(
+                "receiver",
+                None,
+                Box::new(move |ctx| {
+                    ctx.sleep_until(10_000_000);
+                    while let Some(m) = ctx.try_recv(dst) {
+                        g.lock().unwrap().push(m.payload[0]);
+                    }
+                }),
+            );
+            f.run();
+            let v = got.lock().unwrap().clone();
+            v
+        };
+        let a = run();
+        assert_eq!(a, run(), "lossy run must replay from its seed");
+        assert!(!a.is_empty() && a.len() < 100, "loss ~50%: got {}", a.len());
+    }
+
+    #[test]
+    fn fault_delay_reorders_but_delivery_stays_sorted() {
+        let cfg = crate::fault::FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.7,
+            max_delay_ns: 500_000,
+            seed: 21,
+        };
+        let f = lossy_fabric(cfg);
+        let src = f.alloc_port();
+        let dst = f.alloc_port();
+        f.spawn(
+            "sender",
+            None,
+            Box::new(move |ctx| {
+                for i in 0u8..30 {
+                    ctx.send(src, dst, vec![i]);
+                    ctx.charge(1_000);
+                }
+            }),
+        );
+        let got = Arc::new(StdMutex::new(Vec::new()));
+        let g = got.clone();
+        f.spawn(
+            "receiver",
+            None,
+            Box::new(move |ctx| {
+                let mut at = Vec::new();
+                for _ in 0..30 {
+                    assert!(ctx.wait_readable(dst, Some(10_000_000)));
+                    let m = ctx.try_recv(dst).unwrap();
+                    at.push((ctx.now(), m.payload[0]));
+                }
+                *g.lock().unwrap() = at;
+            }),
+        );
+        f.run();
+        let at = got.lock().unwrap().clone();
+        assert_eq!(at.len(), 30, "no message may be lost by delay");
+        // Arrival times never regress (the queue stays sorted) ...
+        assert!(at.windows(2).all(|w| w[0].0 <= w[1].0), "{at:?}");
+        // ... while payload order differs from send order (reordering).
+        let ids: Vec<u8> = at.iter().map(|&(_, i)| i).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<u8>>());
+        assert_ne!(ids, sorted, "delay injection never reordered anything");
+    }
+
+    #[test]
+    fn fault_duplicates_are_delivered_twice() {
+        let cfg = crate::fault::FaultConfig {
+            drop: 0.0,
+            duplicate: 1.0,
+            delay: 0.0,
+            max_delay_ns: 0,
+            seed: 5,
+        };
+        let f = lossy_fabric(cfg);
+        let src = f.alloc_port();
+        let dst = f.alloc_port();
+        f.spawn(
+            "sender",
+            None,
+            Box::new(move |ctx| {
+                ctx.send(src, dst, vec![42]);
+            }),
+        );
+        let n = Arc::new(AtomicU64::new(0));
+        let nn = n.clone();
+        f.spawn(
+            "receiver",
+            None,
+            Box::new(move |ctx| {
+                ctx.sleep_until(1_000_000);
+                while let Some(m) = ctx.try_recv(dst) {
+                    assert_eq!(m.payload, vec![42]);
+                    nn.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        );
+        f.run();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn off_server_tasks_do_not_interfere() {
         let f = FabricKind::VirtualSmp(VirtualSmpConfig {
             cores: 1,
@@ -1093,6 +1328,7 @@ mod tests {
             link_latency_ns: 0,
             mem_penalty: 0.0,
             schedule_seed: 0,
+            fault: None,
         })
         .build();
         let out = Arc::new(AtomicU64::new(0));

@@ -14,6 +14,7 @@
 //!   onepass           one-pass locking study (paper future work)
 //!   dynassign         dynamic region-affine assignment (paper future work)
 //!   delta             QuakeWorld-style delta-compressed replies (extension)
+//!   losssweep         response rate vs injected datagram loss (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -25,15 +26,15 @@
 //! ```
 
 use parquake_harness::figures::{
-    batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, onepass, table1,
-    waitstats,
+    batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, losssweep, onepass,
+    table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -87,6 +88,7 @@ fn main() {
         "onepass" => println!("{}", onepass::run(&opts)),
         "dynassign" => println!("{}", dynassign::run(&opts)),
         "delta" => println!("{}", delta::run(&opts)),
+        "losssweep" => println!("{}", losssweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -122,6 +124,7 @@ fn main() {
             println!("{}", onepass::run(&opts));
             println!("{}", dynassign::run(&opts));
             println!("{}", delta::run(&opts));
+            println!("{}", losssweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

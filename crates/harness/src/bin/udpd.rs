@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
+//!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
+//!      [--fault-seed N] [--timeout-secs S]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
 //! scheme). Pair with the `udp_client` binary or any protocol-speaking
-//! client.
+//! client. The `--loss/--dup/--delay` probabilities (0.0–1.0) enable
+//! seeded fault injection on the inbound path; `--timeout-secs` sets
+//! the server-side inactivity reclaim (0 disables it).
 
 use std::time::Duration;
 
-use parquake_harness::udp::{run_udp_server, UdpServerOpts};
+use parquake_harness::udp::{run_udp_server, thread_port, UdpServerOpts};
 
 fn main() {
     let mut opts = UdpServerOpts::default();
@@ -34,6 +38,31 @@ fn main() {
                 i += 1;
                 opts.duration = Duration::from_secs(args[i].parse().expect("--secs"));
             }
+            "--loss" => {
+                i += 1;
+                opts.fault.drop = args[i].parse().expect("--loss needs 0.0-1.0");
+            }
+            "--dup" => {
+                i += 1;
+                opts.fault.duplicate = args[i].parse().expect("--dup needs 0.0-1.0");
+            }
+            "--delay" => {
+                i += 1;
+                opts.fault.delay = args[i].parse().expect("--delay needs 0.0-1.0");
+            }
+            "--delay-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--delay-ms needs a number");
+                opts.fault.max_delay_ns = ms * 1_000_000;
+            }
+            "--fault-seed" => {
+                i += 1;
+                opts.fault.seed = args[i].parse().expect("--fault-seed needs a number");
+            }
+            "--timeout-secs" => {
+                i += 1;
+                opts.client_timeout = Duration::from_secs(args[i].parse().expect("--timeout-secs"));
+            }
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
@@ -41,19 +70,61 @@ fn main() {
         }
         i += 1;
     }
+    let last_port = match thread_port(opts.base_port, opts.threads.saturating_sub(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("udpd: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "udpd: {} threads on 127.0.0.1:{}..{}, {} player slots, {}s",
         opts.threads,
         opts.base_port,
-        opts.base_port + opts.threads as u16 - 1,
+        last_port,
         opts.max_players,
         opts.duration.as_secs()
     );
+    if !opts.fault.is_noop() {
+        println!(
+            "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
+            opts.fault.drop * 100.0,
+            opts.fault.duplicate * 100.0,
+            opts.fault.delay * 100.0,
+            opts.fault.max_delay_ns / 1_000_000,
+            opts.fault.seed
+        );
+    }
     match run_udp_server(&opts) {
-        Ok(report) => println!(
-            "udpd: done — {} datagrams in, {} out, {} replies over {} frames",
-            report.datagrams_in, report.datagrams_out, report.replies, report.frames
-        ),
+        Ok(report) => {
+            println!(
+                "udpd: done — {} datagrams in, {} out, {} replies over {} frames",
+                report.datagrams_in, report.datagrams_out, report.replies, report.frames
+            );
+            println!(
+                "udpd: inbound fates — {} forwarded ({} dup copies), {} fault-dropped, \
+                 {} decode-rejected, {} spoof-rejected",
+                report.forwarded,
+                report.fault_duplicated,
+                report.fault_dropped,
+                report.decode_rejected,
+                report.spoof_rejected
+            );
+            println!(
+                "udpd: server fates — {} processed, {} queue-dropped, {} pending at shutdown, \
+                 {} slots timed out, {} replies unroutable — accounting {}",
+                report.server_processed,
+                report.queue_dropped,
+                report.pending_at_shutdown,
+                report.timeouts,
+                report.replies_unroutable,
+                if report.inbound_accounted() {
+                    "closes"
+                } else {
+                    "DOES NOT CLOSE"
+                }
+            );
+        }
         Err(e) => {
             eprintln!("udpd: {e}");
             std::process::exit(1);

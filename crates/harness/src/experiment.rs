@@ -45,6 +45,8 @@ pub struct ExperimentConfig {
     pub assignment: Assignment,
     /// QuakeWorld-style delta-compressed replies (extension).
     pub delta_compression: bool,
+    /// Server-side inactivity timeout (0 = never reclaim slots).
+    pub client_timeout_ns: Nanos,
 }
 
 impl Default for ExperimentConfig {
@@ -65,6 +67,7 @@ impl Default for ExperimentConfig {
             frame_batch_ns: 0,
             assignment: Assignment::Static,
             delta_compression: false,
+            client_timeout_ns: 0,
         }
     }
 }
@@ -145,6 +148,7 @@ impl Experiment {
             frame_batch_ns: cfg.frame_batch_ns,
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
+            client_timeout_ns: cfg.client_timeout_ns,
         };
         let server = spawn_server(&fabric, server_cfg, world.clone());
 

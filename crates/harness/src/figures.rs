@@ -8,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod losssweep;
 pub mod onepass;
 pub mod table1;
 pub mod waitstats;

@@ -14,20 +14,59 @@
 //! [`parquake_fabric::real::RealFabric::send_external`]; outbound pumps
 //! are fabric tasks owning one gateway port per server thread, so the
 //! server's ordinary `ctx.send(reply_port, …)` path works unchanged.
+//!
 //! Client addresses are learned from inbound traffic (client id →
-//! `SocketAddr`).
+//! `SocketAddr`) under a strict admission policy: only a validated
+//! `Connect` may bind or rebind an address, mid-session address changes
+//! are rejected until the old endpoint has been silent for a grace
+//! period, and `Move`/`Disconnect` datagrams must come from the bound
+//! address. This closes the obvious loopback spoof where any datagram
+//! carrying a client id could redirect that player's reply stream.
+//!
+//! The inbound pumps can additionally run a seeded
+//! [`parquake_fabric::fault::FaultInjector`] stage — drop, duplicate,
+//! delay — so loss-resilience behaviour can be exercised over real
+//! sockets with the same lottery the virtual fabric uses. Faults are
+//! injected on the client→server path only; replies travel untouched
+//! (the virtual fabric, which faults inside `send`, covers both
+//! directions).
+//!
+//! Every inbound datagram is accounted for:
+//! `datagrams_in = decode_rejected + spoof_rejected + fault_dropped +
+//! (forwarded - fault_duplicated)`, and every forwarded datagram is
+//! either processed by the server, dropped by the bounded-queue policy,
+//! or still pending at shutdown — see
+//! [`UdpServerReport::inbound_accounted`].
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::fault::{FaultConfig, FaultInjector};
 use parquake_fabric::real::RealFabric;
 use parquake_fabric::{Nanos, PortId};
-use parquake_protocol::{ClientMessage, Decode, ServerMessage};
+use parquake_protocol::{ClientMessage, Decode, ServerMessage, MAX_DATAGRAM};
 use parquake_server::{spawn_server, LockPolicy, ServerConfig, ServerKind};
 use parquake_sim::GameWorld;
+
+/// The UDP port thread `t` uses relative to `base`, with checked
+/// arithmetic: `base + t` can overflow `u16` for high base ports, which
+/// the old unchecked version turned into a debug-build panic (and a
+/// silent wrap in release). Shared by the gateway's bind loop and the
+/// client's target computation so both fail the same way.
+pub fn thread_port(base: u16, t: u32) -> std::io::Result<u16> {
+    u16::try_from(t)
+        .ok()
+        .and_then(|t| base.checked_add(t))
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("UDP port overflow: base {base} + thread {t} exceeds 65535"),
+            )
+        })
+}
 
 /// Gateway options.
 #[derive(Clone, Debug)]
@@ -40,6 +79,12 @@ pub struct UdpServerOpts {
     /// Wall-clock run time.
     pub duration: Duration,
     pub locking: LockPolicy,
+    /// Inbound fault injection (drop/duplicate/delay); default none.
+    pub fault: FaultConfig,
+    /// Server-side inactivity timeout: slots silent this long are
+    /// reclaimed (a `Bye` is sent). Zero disables reclaim; the
+    /// gateway's address-rebind grace then falls back to one second.
+    pub client_timeout: Duration,
 }
 
 impl Default for UdpServerOpts {
@@ -51,6 +96,8 @@ impl Default for UdpServerOpts {
             map: MapGenConfig::small_arena(1),
             duration: Duration::from_secs(5),
             locking: LockPolicy::Optimized,
+            fault: FaultConfig::none(),
+            client_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -58,16 +105,130 @@ impl Default for UdpServerOpts {
 /// Summary returned when the gateway shuts down.
 #[derive(Debug, Default, Clone)]
 pub struct UdpServerReport {
+    /// Datagrams read off the sockets.
     pub datagrams_in: u64,
+    /// Inbound datagrams that failed protocol decode.
+    pub decode_rejected: u64,
+    /// Inbound datagrams refused by the address admission policy.
+    pub spoof_rejected: u64,
+    /// Inbound datagrams eaten by the fault-injection stage.
+    pub fault_dropped: u64,
+    /// Extra copies created by the fault-injection stage.
+    pub fault_duplicated: u64,
+    /// Datagram copies handed to the server's fabric ports.
+    pub forwarded: u64,
+    /// Datagrams the server drained from its request queues.
+    pub server_processed: u64,
+    /// Datagrams discarded by the bounded-queue drop policy.
+    pub queue_dropped: u64,
+    /// Datagrams still queued when the run ended.
+    pub pending_at_shutdown: u64,
+    /// Datagrams written to the sockets.
     pub datagrams_out: u64,
+    /// Server replies that never matched a learned client address
+    /// (counted, not silently discarded).
+    pub replies_unroutable: u64,
+    /// Replies the server generated.
     pub replies: u64,
+    /// Slots reclaimed by the server's inactivity timeout.
+    pub timeouts: u64,
+    /// Server frames executed.
     pub frames: u64,
+}
+
+impl UdpServerReport {
+    /// Does every inbound datagram have exactly one fate? The first
+    /// identity covers the gateway stage (decode → admission → fault
+    /// lottery), the second the server stage (processed, dropped by the
+    /// bounded queue, or still pending at shutdown).
+    pub fn inbound_accounted(&self) -> bool {
+        let delivered = self.forwarded - self.fault_duplicated;
+        self.datagrams_in
+            == self.decode_rejected + self.spoof_rejected + self.fault_dropped + delivered
+            && self.forwarded
+                == self.server_processed + self.queue_dropped + self.pending_at_shutdown
+    }
+}
+
+/// A learned client endpoint.
+#[derive(Clone, Copy, Debug)]
+struct AddrEntry {
+    addr: SocketAddr,
+    last_seen: Instant,
+}
+
+/// Gateway-side counters merged from the pump threads/tasks.
+#[derive(Default)]
+struct PumpCounters {
+    datagrams_in: u64,
+    decode_rejected: u64,
+    spoof_rejected: u64,
+    fault_dropped: u64,
+    fault_duplicated: u64,
+    forwarded: u64,
+    datagrams_out: u64,
+    replies_unroutable: u64,
+}
+
+/// The admission policy: may a decoded datagram from `from` reach the
+/// server, and how does it affect the address book?
+///
+/// * `Connect` from an unknown id binds the address; from the bound
+///   address it refreshes it (handshake retry); from a *different*
+///   address it rebinds only once the bound endpoint has been silent
+///   for `rebind_grace` (NAT rebinding), else it is rejected — a live
+///   session cannot be hijacked by guessing its client id.
+/// * `Move`/`Disconnect` must come from the bound address.
+fn admit(
+    book: &mut HashMap<u32, AddrEntry>,
+    msg: &ClientMessage,
+    from: SocketAddr,
+    now: Instant,
+    rebind_grace: Duration,
+) -> bool {
+    match msg {
+        ClientMessage::Connect { client_id } => match book.get_mut(client_id) {
+            None => {
+                book.insert(
+                    *client_id,
+                    AddrEntry {
+                        addr: from,
+                        last_seen: now,
+                    },
+                );
+                true
+            }
+            Some(e) if e.addr == from => {
+                e.last_seen = now;
+                true
+            }
+            Some(e) if now.duration_since(e.last_seen) >= rebind_grace => {
+                e.addr = from;
+                e.last_seen = now;
+                true
+            }
+            Some(_) => false,
+        },
+        ClientMessage::Move { client_id, .. } | ClientMessage::Disconnect { client_id } => {
+            match book.get_mut(client_id) {
+                Some(e) if e.addr == from => {
+                    e.last_seen = now;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
 }
 
 /// Run the server with real UDP sockets until `opts.duration` elapses.
 /// Binds `threads` sockets on `127.0.0.1:base_port..`; returns a traffic
 /// report. Fails with `std::io::Error` if binding is not permitted.
 pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> {
+    /// How long an unroutable reply is retried before being counted as
+    /// lost; covers the window where a reply races address learning.
+    const REPLY_RETAIN: Duration = Duration::from_millis(250);
+
     let (real, fabric) = RealFabric::new_arc_pair();
     let world = Arc::new(GameWorld::new(
         Arc::new(opts.map.generate()),
@@ -76,10 +237,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
     ));
     let end_time: Nanos = opts.duration.as_nanos() as Nanos;
     let server_cfg = ServerConfig {
-        kind: ServerKind::Parallel {
-            threads: opts.threads,
-            locking: opts.locking,
-        },
+        client_timeout_ns: opts.client_timeout.as_nanos() as Nanos,
         ..ServerConfig::new(
             ServerKind::Parallel {
                 threads: opts.threads,
@@ -95,52 +253,87 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
     let mut sockets = Vec::new();
     let mut gateways: Vec<PortId> = Vec::new();
     for t in 0..opts.threads {
-        let sock = UdpSocket::bind(("127.0.0.1", opts.base_port + t as u16))?;
-        sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let sock = UdpSocket::bind(("127.0.0.1", thread_port(opts.base_port, t)?))?;
+        sock.set_read_timeout(Some(Duration::from_millis(10)))?;
         sockets.push(sock);
         gateways.push(fabric.alloc_port());
     }
 
-    // Client address book, shared between pumps.
-    let addrs: Arc<Mutex<HashMap<u32, SocketAddr>>> = Arc::new(Mutex::new(HashMap::new()));
-    let stats_in = Arc::new(Mutex::new(0u64));
-    let stats_out = Arc::new(Mutex::new(0u64));
+    // Client address book and counters, shared between pumps.
+    let addrs: Arc<Mutex<HashMap<u32, AddrEntry>>> = Arc::new(Mutex::new(HashMap::new()));
+    let counters = Arc::new(Mutex::new(PumpCounters::default()));
+    let injector = Arc::new(FaultInjector::new(opts.fault.clone()));
+    let rebind_grace = if opts.client_timeout.is_zero() {
+        Duration::from_secs(1)
+    } else {
+        opts.client_timeout / 2
+    };
 
-    // Outbound pumps: fabric tasks draining each gateway port.
+    // Outbound pumps: fabric tasks draining each gateway port. Replies
+    // whose client address is not learned yet (the reply raced the
+    // inbound pump's book update) are retained briefly and retried;
+    // only after REPLY_RETAIN are they counted as unroutable.
     for t in 0..opts.threads as usize {
         let sock = sockets[t].try_clone()?;
         let gw = gateways[t];
         let addrs = addrs.clone();
-        let stats_out = stats_out.clone();
+        let counters = counters.clone();
         fabric.spawn(
             &format!("udp-out-{t}"),
             None,
             Box::new(move |ctx| {
                 let mut sent = 0u64;
-                while ctx.wait_readable(gw, Some(end_time)) {
+                let mut unroutable = 0u64;
+                let mut held: Vec<(Instant, u32, Vec<u8>)> = Vec::new();
+                loop {
+                    let readable = ctx.wait_readable(gw, Some(end_time));
+                    let now = Instant::now();
+                    held.retain(|(since, cid, payload)| {
+                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        if let Some(addr) = addr {
+                            if sock.send_to(payload, addr).is_ok() {
+                                sent += 1;
+                            }
+                            false
+                        } else if now.duration_since(*since) >= REPLY_RETAIN {
+                            unroutable += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if !readable {
+                        break;
+                    }
                     while let Some(msg) = ctx.try_recv(gw) {
                         let client = match ServerMessage::from_bytes(&msg.payload) {
-                            Ok(ServerMessage::ConnectAck { client_id, .. }) => Some(client_id),
-                            Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
-                            Ok(ServerMessage::Bye { client_id }) => Some(client_id),
+                            Ok(ServerMessage::ConnectAck { client_id, .. })
+                            | Ok(ServerMessage::Reply { client_id, .. })
+                            | Ok(ServerMessage::Bye { client_id }) => Some(client_id),
                             Err(_) => None,
                         };
-                        if let Some(cid) = client {
-                            // lockcheck: allow(raw-sync)
-                            if let Some(addr) = addrs.lock().unwrap().get(&cid).copied() {
+                        let Some(cid) = client else { continue };
+                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        match addr {
+                            Some(addr) => {
                                 if sock.send_to(&msg.payload, addr).is_ok() {
                                     sent += 1;
                                 }
                             }
+                            None => held.push((Instant::now(), cid, msg.payload)),
                         }
                     }
                 }
-                *stats_out.lock().unwrap() += sent; // lockcheck: allow(raw-sync)
+                unroutable += held.len() as u64;
+                let mut c = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+                c.datagrams_out += sent;
+                c.replies_unroutable += unroutable;
             }),
         );
     }
 
-    // Inbound pumps: plain OS threads feeding the server's ports.
+    // Inbound pumps: plain OS threads feeding the server's ports
+    // through decode → admission → fault lottery.
     let mut pump_handles = Vec::new();
     for t in 0..opts.threads as usize {
         let sock = sockets[t].try_clone()?;
@@ -148,26 +341,57 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
         let server_port = handle.ports[t];
         let gw = gateways[t];
         let addrs = addrs.clone();
-        let stats_in = stats_in.clone();
-        let deadline = std::time::Instant::now() + opts.duration;
+        let counters = counters.clone();
+        let injector = injector.clone();
+        let deadline = Instant::now() + opts.duration;
         pump_handles.push(std::thread::spawn(move || {
-            let mut buf = [0u8; 2048];
-            let mut received = 0u64;
-            while std::time::Instant::now() < deadline {
+            let mut buf = [0u8; MAX_DATAGRAM];
+            let mut c = PumpCounters::default();
+            // Copies the fault stage delayed, waiting to come due.
+            let mut held: Vec<(Instant, Vec<u8>)> = Vec::new();
+            loop {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < held.len() {
+                    if held[i].0 <= now {
+                        let (_, payload) = held.swap_remove(i);
+                        real.send_external(gw, server_port, payload);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if now >= deadline {
+                    break;
+                }
                 match sock.recv_from(&mut buf) {
                     Ok((n, from)) => {
-                        received += 1;
-                        // Learn/refresh the sender's address.
-                        if let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) {
-                            let cid = match msg {
-                                ClientMessage::Connect { client_id }
-                                | ClientMessage::Move { client_id, .. }
-                                | ClientMessage::Disconnect { client_id } => client_id,
-                            };
-                            addrs.lock().unwrap().insert(cid, from); // lockcheck: allow(raw-sync)
+                        c.datagrams_in += 1;
+                        let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) else {
+                            c.decode_rejected += 1;
+                            continue;
+                        };
+                        let admitted = {
+                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync)
+                            admit(&mut book, &msg, from, now, rebind_grace)
+                        };
+                        if !admitted {
+                            c.spoof_rejected += 1;
+                            continue;
                         }
-                        // Forward verbatim; the server validates again.
-                        real.send_external(gw, server_port, buf[..n].to_vec());
+                        let fates = injector.draw();
+                        if fates.is_empty() {
+                            c.fault_dropped += 1;
+                            continue;
+                        }
+                        c.fault_duplicated += fates.len() as u64 - 1;
+                        for extra in fates {
+                            c.forwarded += 1;
+                            if extra == 0 {
+                                real.send_external(gw, server_port, buf[..n].to_vec());
+                            } else {
+                                held.push((now + Duration::from_nanos(extra), buf[..n].to_vec()));
+                            }
+                        }
                     }
                     Err(ref e)
                         if e.kind() == std::io::ErrorKind::WouldBlock
@@ -178,7 +402,18 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                     Err(_) => break,
                 }
             }
-            *stats_in.lock().unwrap() += received; // lockcheck: allow(raw-sync)
+            // Late delivery is legal UDP: flush everything still held
+            // so the accounting identity closes exactly.
+            for (_, payload) in held.drain(..) {
+                real.send_external(gw, server_port, payload);
+            }
+            let mut shared = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+            shared.datagrams_in += c.datagrams_in;
+            shared.decode_rejected += c.decode_rejected;
+            shared.spoof_rejected += c.spoof_rejected;
+            shared.fault_dropped += c.fault_dropped;
+            shared.fault_duplicated += c.fault_duplicated;
+            shared.forwarded += c.forwarded;
         }));
     }
 
@@ -188,18 +423,41 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
     }
 
     let results = handle.results.lock().unwrap(); // lockcheck: allow(raw-sync)
-    let datagrams_in = *stats_in.lock().unwrap(); // lockcheck: allow(raw-sync)
-    let datagrams_out = *stats_out.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let merged = results.merged();
+    let c = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+                                      // Query the ports directly (not the per-thread stats snapshots):
+                                      // the pumps may drop or enqueue after the server tasks exit.
+    let queue_dropped: u64 = handle.ports.iter().map(|&p| fabric.port_dropped(p)).sum();
+    let pending_at_shutdown: u64 = handle
+        .ports
+        .iter()
+        .map(|&p| fabric.port_pending(p) as u64)
+        .sum();
     Ok(UdpServerReport {
-        datagrams_in,
-        datagrams_out,
-        replies: results.merged().replies,
+        datagrams_in: c.datagrams_in,
+        decode_rejected: c.decode_rejected,
+        spoof_rejected: c.spoof_rejected,
+        fault_dropped: c.fault_dropped,
+        fault_duplicated: c.fault_duplicated,
+        forwarded: c.forwarded,
+        server_processed: merged.datagrams,
+        queue_dropped,
+        pending_at_shutdown,
+        datagrams_out: c.datagrams_out,
+        replies_unroutable: c.replies_unroutable,
+        replies: merged.replies,
+        timeouts: merged.timeouts,
         frames: results.frame_count,
     })
 }
 
 /// A minimal real-UDP client: drives `players` bots against a gateway
 /// for `duration`, returns (sent, received, avg latency ms).
+///
+/// Resilient to loss: unanswered `Connect`s are retried with
+/// exponential backoff, an acked session that stops hearing replies
+/// falls back to the handshake instead of wedging, and duplicated
+/// replies are deduplicated by sequence number before being counted.
 pub fn run_udp_clients(
     server: SocketAddr,
     threads: u32,
@@ -208,38 +466,54 @@ pub fn run_udp_clients(
 ) -> std::io::Result<(u64, u64, f64)> {
     use parquake_protocol::Encode;
 
+    const RETRY_MIN: Duration = Duration::from_millis(100);
+    const RETRY_MAX: Duration = Duration::from_millis(1600);
+    const STARVATION: Duration = Duration::from_secs(1);
+
     let sock = UdpSocket::bind("127.0.0.1:0")?;
     sock.set_read_timeout(Some(Duration::from_millis(5)))?;
-    let start = std::time::Instant::now();
-    let mut acked = vec![false; players as usize];
-    let mut seq = vec![0u32; players as usize];
-    let mut cur_thread = vec![0u32; players as usize];
-    let mut next_at = vec![Duration::ZERO; players as usize];
+    // Precompute each thread's target with checked port arithmetic.
+    let targets: Vec<SocketAddr> = (0..threads.max(1))
+        .map(|t| thread_port(server.port(), t).map(|p| SocketAddr::new(server.ip(), p)))
+        .collect::<std::io::Result<_>>()?;
+    let start = Instant::now();
+    let n = players as usize;
+    let mut acked = vec![false; n];
+    let mut seq = vec![0u32; n];
+    // Highest reply seq seen per player (duplicate suppression).
+    let mut last_rx_seq = vec![-1i64; n];
+    // Spread initial connects across the server threads.
+    let mut cur_thread: Vec<usize> = (0..n).map(|i| i % targets.len()).collect();
+    let mut next_at = vec![Duration::ZERO; n];
+    let mut backoff = vec![RETRY_MIN; n];
+    let mut last_heard = vec![Duration::ZERO; n];
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut latency_sum = 0f64;
-    let mut buf = [0u8; 4096];
-
-    let port_of = |t: u32, base: SocketAddr| {
-        let mut a = base;
-        a.set_port(base.port() + (t as u16 % threads as u16));
-        a
-    };
+    let mut buf = [0u8; MAX_DATAGRAM];
 
     while start.elapsed() < duration {
-        let now_ns = start.elapsed().as_nanos() as u64;
-        for i in 0..players as usize {
-            if start.elapsed() < next_at[i] {
+        let now = start.elapsed();
+        let now_ns = now.as_nanos() as u64;
+        for i in 0..n {
+            if now < next_at[i] {
                 continue;
             }
+            // A session that has gone quiet (lost replies, server-side
+            // slot reclaim) re-runs the handshake instead of wedging.
+            if acked[i] && now.saturating_sub(last_heard[i]) > STARVATION {
+                acked[i] = false;
+                backoff[i] = RETRY_MIN;
+            }
             let msg = if !acked[i] {
-                next_at[i] = start.elapsed() + Duration::from_millis(100);
+                next_at[i] = now + backoff[i];
+                backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
                 ClientMessage::Connect {
                     client_id: i as u32,
                 }
             } else {
                 seq[i] += 1;
-                next_at[i] = start.elapsed() + Duration::from_millis(30);
+                next_at[i] = now + Duration::from_millis(30);
                 ClientMessage::Move {
                     client_id: i as u32,
                     cmd: parquake_protocol::MoveCmd {
@@ -255,35 +529,60 @@ pub fn run_udp_clients(
                     },
                 }
             };
-            let target = port_of(cur_thread[i], server);
-            if sock.send_to(&msg.to_bytes(), target).is_ok() {
+            if sock
+                .send_to(&msg.to_bytes(), targets[cur_thread[i]])
+                .is_ok()
+            {
                 sent += 1;
             }
         }
         // Drain replies briefly.
-        while let Ok((n, _)) = sock.recv_from(&mut buf) {
-            match ServerMessage::from_bytes(&buf[..n]) {
+        while let Ok((len, _)) = sock.recv_from(&mut buf) {
+            match ServerMessage::from_bytes(&buf[..len]) {
                 Ok(ServerMessage::ConnectAck { client_id, .. }) => {
-                    if let Some(a) = acked.get_mut(client_id as usize) {
-                        *a = true;
+                    let i = client_id as usize;
+                    if i < n {
+                        if !acked[i] {
+                            acked[i] = true;
+                            next_at[i] = start.elapsed();
+                        }
+                        backoff[i] = RETRY_MIN;
+                        last_heard[i] = start.elapsed();
                     }
                 }
                 Ok(ServerMessage::Reply {
                     client_id,
+                    seq: rx_seq,
                     sent_at_echo,
                     assigned_thread,
                     ..
                 }) => {
-                    received += 1;
-                    let now = start.elapsed().as_nanos() as u64;
-                    if sent_at_echo > 0 && now > sent_at_echo {
-                        latency_sum += (now - sent_at_echo) as f64 / 1e6;
-                    }
-                    if let Some(t) = cur_thread.get_mut(client_id as usize) {
-                        *t = assigned_thread as u32;
+                    let i = client_id as usize;
+                    if i < n {
+                        last_heard[i] = start.elapsed();
+                        if rx_seq as i64 > last_rx_seq[i] {
+                            last_rx_seq[i] = rx_seq as i64;
+                            received += 1;
+                            let rx_ns = start.elapsed().as_nanos() as u64;
+                            if sent_at_echo > 0 && rx_ns > sent_at_echo {
+                                latency_sum += (rx_ns - sent_at_echo) as f64 / 1e6;
+                            }
+                        }
+                        let t = assigned_thread as usize;
+                        if t < targets.len() {
+                            cur_thread[i] = t;
+                        }
                     }
                 }
-                _ => {}
+                Ok(ServerMessage::Bye { client_id }) => {
+                    let i = client_id as usize;
+                    if i < n {
+                        acked[i] = false;
+                        backoff[i] = RETRY_MIN;
+                        next_at[i] = start.elapsed();
+                    }
+                }
+                Err(_) => {}
             }
         }
         std::thread::sleep(Duration::from_millis(2));
@@ -294,4 +593,90 @@ pub fn run_udp_clients(
         0.0
     };
     Ok((sent, received, avg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_port_uses_checked_math() {
+        assert_eq!(thread_port(27500, 0).unwrap(), 27500);
+        assert_eq!(thread_port(27500, 3).unwrap(), 27503);
+        assert!(thread_port(65535, 1).is_err());
+        assert!(thread_port(65000, 1000).is_err());
+        assert!(thread_port(0, 70_000).is_err());
+    }
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    const GRACE: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn connect_learns_and_refreshes_address() {
+        let mut book = HashMap::new();
+        let t0 = Instant::now();
+        let connect = ClientMessage::Connect { client_id: 7 };
+        assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
+        assert_eq!(book[&7].addr, addr(4000));
+        // Handshake retry from the same endpoint refreshes.
+        assert!(admit(
+            &mut book,
+            &connect,
+            addr(4000),
+            t0 + GRACE / 4,
+            GRACE
+        ));
+        assert_eq!(book[&7].last_seen, t0 + GRACE / 4);
+    }
+
+    #[test]
+    fn connect_from_new_addr_is_rejected_within_grace() {
+        let mut book = HashMap::new();
+        let t0 = Instant::now();
+        let connect = ClientMessage::Connect { client_id: 7 };
+        assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
+        // Hijack attempt while the session is live: rejected, address
+        // book untouched.
+        assert!(!admit(
+            &mut book,
+            &connect,
+            addr(5000),
+            t0 + GRACE / 2,
+            GRACE
+        ));
+        assert_eq!(book[&7].addr, addr(4000));
+    }
+
+    #[test]
+    fn connect_rebinds_after_silence_grace() {
+        let mut book = HashMap::new();
+        let t0 = Instant::now();
+        let connect = ClientMessage::Connect { client_id: 7 };
+        assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
+        assert!(admit(&mut book, &connect, addr(5000), t0 + GRACE, GRACE));
+        assert_eq!(book[&7].addr, addr(5000));
+    }
+
+    #[test]
+    fn moves_require_the_bound_address() {
+        let mut book = HashMap::new();
+        let t0 = Instant::now();
+        let connect = ClientMessage::Connect { client_id: 7 };
+        let mv = ClientMessage::Move {
+            client_id: 7,
+            cmd: parquake_protocol::MoveCmd::idle(1, 30),
+        };
+        // Unknown client: no Move may pass (no implicit binding).
+        assert!(!admit(&mut book, &mv, addr(4000), t0, GRACE));
+        assert!(book.is_empty());
+        assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
+        assert!(admit(&mut book, &mv, addr(4000), t0, GRACE));
+        // From anywhere else: rejected, even past the grace period
+        // (only a validated Connect may rebind).
+        assert!(!admit(&mut book, &mv, addr(5000), t0 + GRACE * 2, GRACE));
+        assert_eq!(book[&7].addr, addr(4000));
+    }
 }

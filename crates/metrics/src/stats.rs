@@ -15,6 +15,18 @@ pub struct ThreadStats {
     pub frames: u64,
     /// Frames this thread mastered (ran the world update).
     pub mastered: u64,
+    /// Datagrams drained from this thread's request port.
+    pub datagrams: u64,
+    /// Datagrams that failed protocol decoding and were dropped.
+    pub decode_rejected: u64,
+    /// Connects refused by handshake validation (client-id already
+    /// bound to a different reply port that is still fresh).
+    pub connect_rejected: u64,
+    /// Datagrams the bounded request queue discarded before this
+    /// thread could drain them (read back from the fabric at exit).
+    pub queue_dropped: u64,
+    /// Client slots reclaimed by the inactivity timeout.
+    pub timeouts: u64,
     pub lock: LockStats,
 }
 
@@ -29,6 +41,11 @@ impl ThreadStats {
         self.replies += other.replies;
         self.frames += other.frames;
         self.mastered += other.mastered;
+        self.datagrams += other.datagrams;
+        self.decode_rejected += other.decode_rejected;
+        self.connect_rejected += other.connect_rejected;
+        self.queue_dropped += other.queue_dropped;
+        self.timeouts += other.timeouts;
         self.lock.merge(&other.lock);
     }
 }
@@ -357,10 +374,20 @@ mod tests {
         b.requests = 5;
         b.replies = 3;
         b.breakdown.add(Bucket::Exec, 50);
+        b.datagrams = 20;
+        b.decode_rejected = 2;
+        b.connect_rejected = 1;
+        b.queue_dropped = 4;
+        b.timeouts = 1;
         a.merge(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.replies, 3);
         assert_eq!(a.breakdown.get(Bucket::Exec), 150);
+        assert_eq!(a.datagrams, 20);
+        assert_eq!(a.decode_rejected, 2);
+        assert_eq!(a.connect_rejected, 1);
+        assert_eq!(a.queue_dropped, 4);
+        assert_eq!(a.timeouts, 1);
     }
 
     #[test]

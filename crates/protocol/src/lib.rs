@@ -38,7 +38,31 @@ pub const MAX_EVENTS_PER_REPLY: usize = 32;
 /// Maximum removal notices in one delta-compressed reply.
 pub const MAX_REMOVALS_PER_REPLY: usize = 64;
 
+/// Upper bound on any encoded protocol datagram, in bytes. Every recv
+/// buffer on the real-UDP path must be at least this large, and the
+/// reply limits above are sized so that even a worst-case crowded-leaf
+/// `Reply` fits (checked at compile time below).
+pub const MAX_DATAGRAM: usize = 2048;
+
+/// Encoded size of one [`EntityUpdate`]: id + kind + state + pos + yaw.
+pub const ENTITY_UPDATE_WIRE_BYTES: usize = 2 + 1 + 1 + 12 + 4;
+/// Encoded size of one [`GameEvent`]: kind + a + b + pos.
+pub const GAME_EVENT_WIRE_BYTES: usize = 1 + 2 + 2 + 12;
+/// Fixed part of a `Reply`: tag + client_id + seq + sent_at_echo +
+/// frame + assigned_thread + origin + delta flag.
+const REPLY_HEADER_WIRE_BYTES: usize = 1 + 4 + 4 + 8 + 4 + 1 + 12 + 1;
+
+/// Worst-case encoded `Reply`: header plus the three length-prefixed
+/// lists at their caps.
+pub const MAX_REPLY_WIRE_BYTES: usize = REPLY_HEADER_WIRE_BYTES
+    + (1 + MAX_ENTITIES_PER_REPLY * ENTITY_UPDATE_WIRE_BYTES)
+    + (1 + MAX_REMOVALS_PER_REPLY * 2)
+    + (1 + MAX_EVENTS_PER_REPLY * GAME_EVENT_WIRE_BYTES);
+
 // Compile-time sanity on protocol limits.
 const _: () = assert!(MAX_MOVE_MSEC >= 100);
 const _: () = assert!(MAX_ENTITIES_PER_REPLY >= 32);
 const _: () = assert!(MAX_EVENTS_PER_REPLY >= 16);
+// The reply caps must keep every datagram within MAX_DATAGRAM, or the
+// fixed-size recv buffers on the UDP path would truncate replies.
+const _: () = assert!(MAX_REPLY_WIRE_BYTES <= MAX_DATAGRAM);

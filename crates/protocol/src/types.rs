@@ -349,6 +349,7 @@ impl Encode for ServerMessage {
                 removed,
                 events,
             } => {
+                let start = out.len();
                 put_u8(out, TAG_REPLY);
                 put_u32(out, *client_id);
                 put_u32(out, *seq);
@@ -374,6 +375,11 @@ impl Encode for ServerMessage {
                 for e in events.iter().take(MAX_EVENTS_PER_REPLY) {
                     e.encode(out);
                 }
+                debug_assert!(
+                    out.len() - start <= crate::MAX_DATAGRAM,
+                    "encoded Reply exceeds MAX_DATAGRAM ({} bytes)",
+                    out.len() - start
+                );
             }
             ServerMessage::Bye { client_id } => {
                 put_u8(out, TAG_BYE);
@@ -577,6 +583,44 @@ mod tests {
             ServerMessage::from_bytes(&bytes),
             Err(CodecError::BadLength("entities", 200))
         );
+    }
+
+    #[test]
+    fn worst_case_reply_fits_max_datagram() {
+        // A crowded-leaf reply with every list at its cap must stay
+        // within MAX_DATAGRAM — the recv buffers on the UDP path are
+        // sized from it.
+        let reply = ServerMessage::Reply {
+            client_id: u32::MAX,
+            seq: u32::MAX,
+            sent_at_echo: u64::MAX,
+            frame: u32::MAX,
+            assigned_thread: u8::MAX,
+            origin: vec3(1.0e9, -1.0e9, 1.0e9),
+            delta: true,
+            entities: (0..MAX_ENTITIES_PER_REPLY)
+                .map(|i| EntityUpdate {
+                    id: i as u16,
+                    kind: EntityKind::Projectile,
+                    state: 255,
+                    pos: vec3(1.0, 2.0, 3.0),
+                    yaw: 180.0,
+                })
+                .collect(),
+            removed: (0..MAX_REMOVALS_PER_REPLY).map(|i| i as u16).collect(),
+            events: (0..MAX_EVENTS_PER_REPLY)
+                .map(|i| GameEvent {
+                    kind: GameEventKind::Hit,
+                    a: i as u16,
+                    b: i as u16,
+                    pos: vec3(4.0, 5.0, 6.0),
+                })
+                .collect(),
+        };
+        let bytes = reply.to_bytes();
+        assert_eq!(bytes.len(), crate::MAX_REPLY_WIRE_BYTES);
+        assert!(bytes.len() <= crate::MAX_DATAGRAM);
+        assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), reply);
     }
 
     #[test]

@@ -163,4 +163,52 @@ proptest! {
         let cut = ((bytes.len() as f64) * frac) as usize;
         let _ = ServerMessage::from_bytes(&bytes[..cut]);
     }
+
+    #[test]
+    fn client_truncations_never_panic(msg in arb_client_msg(), frac in 0.0f64..1.0) {
+        let bytes = msg.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let decoded = ClientMessage::from_bytes(&bytes[..cut]);
+        // A strict prefix can never decode as the whole message.
+        if cut < bytes.len() {
+            prop_assert!(decoded != Ok(msg));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        msg in arb_client_msg(),
+        trailer in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // The wire format is length-exact: any trailing garbage after a
+        // valid message must fail decode, never be silently ignored.
+        let mut bytes = msg.to_bytes();
+        bytes.extend_from_slice(&trailer);
+        prop_assert!(ClientMessage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn server_trailing_bytes_are_rejected(
+        msg in arb_server_msg(),
+        trailer in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = msg.to_bytes();
+        bytes.extend_from_slice(&trailer);
+        prop_assert!(ServerMessage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decoded_garbage_reencodes_identically(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Anything that *does* decode — even from random bytes — must
+        // re-encode to a decodable equal message (codec is a bijection
+        // on its valid range).
+        if let Ok(msg) = ClientMessage::from_bytes(&bytes) {
+            let re = msg.to_bytes();
+            prop_assert_eq!(ClientMessage::from_bytes(&re).unwrap(), msg);
+        }
+        if let Ok(msg) = ServerMessage::from_bytes(&bytes) {
+            let re = msg.to_bytes();
+            prop_assert_eq!(ServerMessage::from_bytes(&re).unwrap(), msg);
+        }
+    }
 }

@@ -19,7 +19,7 @@ use std::cell::UnsafeCell;
 
 use std::collections::HashMap;
 
-use parquake_fabric::PortId;
+use parquake_fabric::{Nanos, PortId};
 use parquake_protocol::{EntityUpdate, GameEvent};
 
 /// Cap on queued broadcast events per client (oldest dropped first),
@@ -60,6 +60,9 @@ pub struct Slot {
     pub last_seq: u32,
     /// `sent_at` echo of the most recent processed move.
     pub last_sent_at: u64,
+    /// Fabric time of the last datagram accepted from this client
+    /// (Connect or Move); drives the inactivity timeout.
+    pub last_active: Nanos,
     /// Queued broadcast events (guarded by the slot's fabric lock).
     pub events: Vec<GameEvent>,
     /// Last entity state acked to this client (delta compression
@@ -80,6 +83,7 @@ impl Slot {
             requests_this_frame: 0,
             last_seq: 0,
             last_sent_at: 0,
+            last_active: 0,
             events: Vec::new(),
             baseline: HashMap::new(),
         }

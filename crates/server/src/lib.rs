@@ -113,6 +113,9 @@ pub struct ServerConfig {
     /// QuakeWorld-style delta compression of reply entity state
     /// (extension; off reproduces the paper's full-state replies).
     pub delta_compression: bool,
+    /// Reclaim a slot whose client has been silent this long
+    /// (a `Bye` is sent and the player despawned). 0 = never.
+    pub client_timeout_ns: Nanos,
 }
 
 impl ServerConfig {
@@ -125,6 +128,7 @@ impl ServerConfig {
             frame_batch_ns: 0,
             assignment: Assignment::Static,
             delta_compression: false,
+            client_timeout_ns: 0,
         }
     }
 }

@@ -217,7 +217,7 @@ fn worker(
 
                 // P: world physics (master only).
                 let t0 = ctx.now();
-                shared.run_world_update(ctx, &mut stats, frame_no);
+                shared.run_world_update(ctx, port, &mut stats, frame_no);
                 stats.breakdown.add(Bucket::World, ctx.now() - t0);
                 stats.mastered += 1;
 
@@ -374,6 +374,7 @@ fn worker(
     let frame_count = st.frame_no as u64;
     ctrl.exit(ctx);
 
+    stats.queue_dropped = ctx.fabric().port_dropped(port);
     let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
     r.threads[t as usize] = stats;
     if let Some((fs, tl)) = frame_stats {

@@ -20,6 +20,12 @@ use crate::exec::{execute_move, ExecEnv, RegionLocks};
 use crate::visibility_reply::build_reply;
 use crate::{Assignment, LockPolicy, ServerConfig};
 
+/// Bound on each thread's inbound request queue. On overflow the
+/// fabric drops the *oldest* queued datagram (freshest input wins,
+/// like a full OS socket buffer under load); drops are counted and
+/// surfaced as `ThreadStats::queue_dropped`.
+pub const REQUEST_QUEUE_CAP: usize = 1024;
+
 /// State shared by every server thread of one server instance.
 pub struct ServerShared {
     pub world: Arc<GameWorld>,
@@ -35,6 +41,8 @@ pub struct ServerShared {
     pub assignment: Assignment,
     /// QuakeWorld-style delta compression of replies (extension).
     pub delta_compression: bool,
+    /// Reclaim slots silent for this long (0 = never).
+    pub client_timeout_ns: Nanos,
     pub threads: u32,
     pub slots_per_thread: u32,
     pub ports: Vec<PortId>,
@@ -64,7 +72,9 @@ impl ServerShared {
     ) -> ServerShared {
         let slots = world.max_players() as usize;
         let locks = RegionLocks::new(fabric, &world.tree, slots);
-        let ports: Vec<PortId> = (0..threads).map(|_| fabric.alloc_port()).collect();
+        let ports: Vec<PortId> = (0..threads)
+            .map(|_| fabric.alloc_bounded_port(REQUEST_QUEUE_CAP))
+            .collect();
         ServerShared {
             clients: ClientTable::new(slots),
             locks,
@@ -75,6 +85,7 @@ impl ServerShared {
             frame_batch_ns: cfg.frame_batch_ns,
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
+            client_timeout_ns: cfg.client_timeout_ns,
             threads,
             slots_per_thread: (slots as u32).div_ceil(threads),
             ports,
@@ -169,10 +180,17 @@ impl ServerShared {
     }
 
     /// The world-update phase (master/sequential thread). Spawns
-    /// pending connections, despawns leavers, advances world physics,
+    /// pending connections, despawns leavers, reclaims timed-out
+    /// slots (sending `Bye` from `port`), advances world physics,
     /// and appends the resulting events to the global buffer. Returns
     /// charged time via the fabric; the caller buckets it as `World`.
-    pub fn run_world_update(&self, ctx: &TaskCtx, stats: &mut ThreadStats, frame_no: u32) {
+    pub fn run_world_update(
+        &self,
+        ctx: &TaskCtx,
+        port: PortId,
+        stats: &mut ThreadStats,
+        frame_no: u32,
+    ) {
         self.set_checking(false);
         let now = ctx.now();
         // SAFETY: master-only by the phase protocol.
@@ -190,12 +208,30 @@ impl ServerShared {
                     slot.state = SlotState::Active;
                     slot.needs_ack = true;
                     slot.leaving = false;
+                    slot.last_active = now;
                 }
                 SlotState::Active if slot.leaving => {
                     self.world.despawn_player(idx as u16);
                     slot.state = SlotState::Empty;
                     slot.leaving = false;
                     slot.events.clear();
+                }
+                SlotState::Active
+                    if self.client_timeout_ns > 0
+                        && now.saturating_sub(slot.last_active) >= self.client_timeout_ns =>
+                {
+                    // Inactivity reclaim: tell the client it is gone
+                    // (best effort — it may be, too) and free the slot.
+                    let bye = ServerMessage::Bye {
+                        client_id: slot.client_id,
+                    };
+                    ctx.charge(self.cost.reply_base / 2);
+                    ctx.send(port, slot.reply_port, bye.to_bytes());
+                    self.world.despawn_player(idx as u16);
+                    slot.state = SlotState::Empty;
+                    slot.leaving = false;
+                    slot.events.clear();
+                    stats.timeouts += 1;
                 }
                 _ => {}
             }
@@ -267,35 +303,60 @@ impl ServerShared {
     ) -> bool {
         match msg {
             ClientMessage::Connect { client_id } => {
-                let range = self.own_slots(thread);
+                let now = ctx.now();
                 // Re-ack an existing slot (anywhere, in case the client
                 // was steered) or claim a fresh one in the home block.
-                let mut target = None;
+                let mut existing = None;
                 for idx in 0..self.clients.capacity() {
                     let slot = self.clients.slot(idx);
                     if slot.state != SlotState::Empty && slot.client_id == client_id {
-                        target = Some(idx);
+                        existing = Some(idx);
                         break;
                     }
                 }
-                if target.is_none() {
-                    target = range
-                        .clone()
-                        .find(|&idx| self.clients.slot(idx).state == SlotState::Empty);
+                if let Some(idx) = existing {
+                    let slot = self.clients.slot(idx);
+                    if slot.reply_port == from_port {
+                        // Retry from the same endpoint: refresh and
+                        // re-ack (the original ack may have been lost).
+                        slot.last_active = now;
+                        if slot.state == SlotState::Active {
+                            slot.needs_ack = true;
+                        }
+                    } else if self.client_timeout_ns > 0
+                        && now.saturating_sub(slot.last_active) >= self.client_timeout_ns / 2
+                    {
+                        // The old endpoint has gone quiet for half the
+                        // inactivity window: accept the rebind (client
+                        // genuinely moved — e.g. NAT rebinding).
+                        slot.reply_port = from_port;
+                        slot.last_active = now;
+                        if slot.state == SlotState::Active {
+                            slot.needs_ack = true;
+                        }
+                    } else {
+                        // A different endpoint claiming a live session:
+                        // reject instead of hijacking the slot.
+                        stats.connect_rejected += 1;
+                    }
+                    return false;
                 }
-                if let Some(idx) = target {
+                let fresh = self
+                    .own_slots(thread)
+                    .find(|&idx| self.clients.slot(idx).state == SlotState::Empty);
+                if let Some(idx) = fresh {
                     let slot = self.clients.slot(idx);
                     slot.client_id = client_id;
                     slot.reply_port = from_port;
-                    match slot.state {
-                        SlotState::Empty => {
-                            slot.state = SlotState::Pending;
-                            slot.owner = thread;
-                            slot.desired_thread = thread;
-                        }
-                        SlotState::Active => slot.needs_ack = true,
-                        SlotState::Pending => {}
-                    }
+                    slot.state = SlotState::Pending;
+                    slot.owner = thread;
+                    slot.desired_thread = thread;
+                    slot.last_active = now;
+                } else {
+                    // Home block full: the connect is dropped (the
+                    // client will retry and may land elsewhere under
+                    // dynamic steering).
+                    stats.connect_rejected += 1;
                 }
                 false
             }
@@ -345,6 +406,7 @@ impl ServerShared {
                         slot.last_seq = cmd.seq;
                         slot.last_sent_at = cmd.sent_at;
                         slot.owner = thread;
+                        slot.last_active = ctx.now();
                         if dynamic {
                             self.locks.release_client(ctx, idx);
                         }
@@ -373,16 +435,22 @@ impl ServerShared {
                 break;
             };
             ctx.charge(self.cost.recv);
+            stats.datagrams += 1;
             let decoded = ClientMessage::from_bytes(&raw.payload);
             stats
                 .breakdown
                 .add(parquake_metrics::Bucket::Receive, ctx.now() - t0);
-            if let Ok(msg) = decoded {
-                if self.handle_message(ctx, thread, raw.from, msg, stats, frame_leaf_mask) {
-                    moves += 1;
+            match decoded {
+                Ok(msg) => {
+                    if self.handle_message(ctx, thread, raw.from, msg, stats, frame_leaf_mask) {
+                        moves += 1;
+                    }
                 }
+                // Malformed datagrams are dropped, like the original
+                // server — but counted, so the gateway's accounting
+                // identity can close.
+                Err(_) => stats.decode_rejected += 1,
             }
-            // Malformed datagrams are dropped, like the original server.
         }
         moves
     }

@@ -64,7 +64,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
 
         // P: world physics.
         let t0 = ctx.now();
-        shared.run_world_update(ctx, &mut stats, frame_no);
+        shared.run_world_update(ctx, port, &mut stats, frame_no);
         stats.breakdown.add(Bucket::World, ctx.now() - t0);
         stats.mastered += 1;
 
@@ -96,6 +96,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
         });
     }
 
+    stats.queue_dropped = ctx.fabric().port_dropped(port);
     let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
     r.threads = vec![stats];
     r.frames = frames;

@@ -18,12 +18,22 @@ fn make_shared(
     players: u16,
     assignment: Assignment,
 ) -> (Arc<dyn Fabric>, Arc<ServerShared>) {
+    make_shared_with_timeout(threads, players, assignment, 0)
+}
+
+fn make_shared_with_timeout(
+    threads: u32,
+    players: u16,
+    assignment: Assignment,
+    client_timeout_ns: u64,
+) -> (Arc<dyn Fabric>, Arc<ServerShared>) {
     let fabric = FabricKind::VirtualSmp(Default::default()).build();
     let map = Arc::new(MapGenConfig::small_arena(9).generate());
     let world = Arc::new(GameWorld::new(map, 4, players));
     let cfg = ServerConfig {
         assignment,
         checking: false,
+        client_timeout_ns,
         ..ServerConfig::new(
             ServerKind::Parallel {
                 threads,
@@ -81,7 +91,7 @@ fn connect_then_world_update_spawns_and_acks() {
         assert!(!is_move);
         let pending = sh.clients.slot(0).state;
         // World update transitions Pending -> Active and spawns.
-        sh.run_world_update(ctx, &mut stats, 1);
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
         let active = sh.clients.slot(0).state == SlotState::Active
             && sh.clients.slot(0).needs_ack
             && sh.world.store.snapshot(0).active;
@@ -118,7 +128,7 @@ fn move_is_processed_and_replied_with_echo() {
             &mut stats,
             &mut mask,
         );
-        sh.run_world_update(ctx, &mut stats, 1);
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
         let cmd = MoveCmd {
             sent_at: 123456,
             forward: 320.0,
@@ -232,8 +242,8 @@ fn region_affine_reclustering_steers_clients() {
             );
         }
         // Spawn them, then recluster on the next world update.
-        sh.run_world_update(ctx, &mut stats, 1);
-        sh.run_world_update(ctx, &mut stats, 2);
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 2);
         (0..16).map(|i| sh.clients.slot(i).desired_thread).collect()
     });
     // Every active slot got a desired thread in range, and the spread
@@ -242,6 +252,164 @@ fn region_affine_reclustering_steers_clients() {
     assert!(active.iter().all(|&t| t < 4));
     let distinct: std::collections::HashSet<u32> = active.iter().copied().collect();
     assert!(distinct.len() >= 2, "no spread: {active:?}");
+}
+
+#[test]
+fn connect_from_new_port_does_not_hijack_live_slot() {
+    // A Connect with a known client_id but a different source port must
+    // not rebind the reply port of a live session (address hijack).
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let port_a = fabric.alloc_port();
+    let port_b = fabric.alloc_port();
+    let sh = shared.clone();
+    let (bound_port, rejected) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            port_a,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+        // Attacker (or stale duplicate) claims the session from port_b.
+        sh.handle_message(
+            ctx,
+            0,
+            port_b,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        (sh.clients.slot(0).reply_port, stats.connect_rejected)
+    });
+    assert_eq!(bound_port, port_a);
+    assert_eq!(rejected, 1);
+}
+
+#[test]
+fn connect_rebinds_after_silence_grace() {
+    // With a timeout configured, a rebind from a new port is accepted
+    // once the old endpoint has been silent for half the window.
+    const TIMEOUT: u64 = 2_000_000_000;
+    let (fabric, shared) = make_shared_with_timeout(2, 8, Assignment::Static, TIMEOUT);
+    let port_a = fabric.alloc_port();
+    let port_b = fabric.alloc_port();
+    let sh = shared.clone();
+    let (early, late) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            port_a,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+        // Too soon: rejected.
+        sh.handle_message(
+            ctx,
+            0,
+            port_b,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        let early = sh.clients.slot(0).reply_port;
+        // After the grace period: accepted.
+        ctx.sleep_until(ctx.now() + TIMEOUT / 2);
+        sh.handle_message(
+            ctx,
+            0,
+            port_b,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        (early, sh.clients.slot(0).reply_port)
+    });
+    assert_eq!(early, port_a);
+    assert_eq!(late, port_b);
+}
+
+#[test]
+fn silent_client_is_reclaimed_with_bye() {
+    const TIMEOUT: u64 = 1_000_000_000;
+    let (fabric, shared) = make_shared_with_timeout(2, 8, Assignment::Static, TIMEOUT);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let (state, timeouts, got_bye) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+        assert_eq!(sh.clients.slot(0).state, SlotState::Active);
+        // Stay silent past the timeout; the next world update reclaims.
+        ctx.sleep_until(ctx.now() + TIMEOUT + 1);
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 2);
+        ctx.sleep_until(ctx.now() + 2_000_000);
+        let mut got_bye = false;
+        while let Some(m) = ctx.try_recv(client_port) {
+            if let Ok(ServerMessage::Bye { client_id: 7 }) = ServerMessage::from_bytes(&m.payload) {
+                got_bye = true;
+            }
+        }
+        (sh.clients.slot(0).state, stats.timeouts, got_bye)
+    });
+    assert_eq!(state, SlotState::Empty);
+    assert_eq!(timeouts, 1);
+    assert!(got_bye, "no Bye datagram reached the client");
+}
+
+#[test]
+fn active_client_is_not_reclaimed_while_sending() {
+    const TIMEOUT: u64 = 1_000_000_000;
+    let (fabric, shared) = make_shared_with_timeout(2, 8, Assignment::Static, TIMEOUT);
+    let client_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let state = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        sh.handle_message(
+            ctx,
+            0,
+            client_port,
+            ClientMessage::Connect { client_id: 7 },
+            &mut stats,
+            &mut mask,
+        );
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+        // Keep moving at a rate well inside the timeout window.
+        for frame in 0..10u32 {
+            ctx.sleep_until(ctx.now() + TIMEOUT / 2);
+            sh.handle_message(
+                ctx,
+                0,
+                client_port,
+                ClientMessage::Move {
+                    client_id: 7,
+                    cmd: MoveCmd::idle(frame, 30),
+                },
+                &mut stats,
+                &mut mask,
+            );
+            sh.run_world_update(ctx, sh.ports[0], &mut stats, 2 + frame);
+        }
+        assert_eq!(stats.timeouts, 0);
+        sh.clients.slot(0).state
+    });
+    assert_eq!(state, SlotState::Active);
 }
 
 #[test]

@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::fault::FaultConfig;
 use parquake_harness::udp::{run_udp_clients, run_udp_server, UdpServerOpts};
 use parquake_server::LockPolicy;
 
@@ -21,6 +22,7 @@ fn udp_gateway_serves_real_sockets() {
         map: MapGenConfig::small_arena(3),
         duration: Duration::from_secs(4),
         locking: LockPolicy::Optimized,
+        ..UdpServerOpts::default()
     };
     let server = std::thread::spawn(move || run_udp_server(&opts));
     std::thread::sleep(Duration::from_millis(300));
@@ -42,4 +44,56 @@ fn udp_gateway_serves_real_sockets() {
     assert!(report.replies > 0);
     assert!(report.frames > 0);
     assert_eq!(report.datagrams_in, sent);
+    assert!(
+        report.inbound_accounted(),
+        "datagram accounting does not close: {report:?}"
+    );
+}
+
+#[test]
+fn udp_gateway_accounts_for_faulted_datagrams() {
+    if std::net::UdpSocket::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping: loopback UDP not permitted in this environment");
+        return;
+    }
+    let opts = UdpServerOpts {
+        base_port: 28640,
+        threads: 2,
+        max_players: 16,
+        map: MapGenConfig::small_arena(3),
+        duration: Duration::from_secs(4),
+        locking: LockPolicy::Optimized,
+        fault: FaultConfig {
+            drop: 0.10,
+            duplicate: 0.05,
+            delay: 0.05,
+            max_delay_ns: 20_000_000,
+            seed: 0xFA_17,
+        },
+        ..UdpServerOpts::default()
+    };
+    let server = std::thread::spawn(move || run_udp_server(&opts));
+    std::thread::sleep(Duration::from_millis(300));
+    let (sent, received, _avg_ms) = run_udp_clients(
+        "127.0.0.1:28640".parse().unwrap(),
+        2,
+        6,
+        Duration::from_secs(3),
+    )
+    .expect("client run");
+    let report = server.join().unwrap().expect("server run");
+
+    // The fault stage visibly dropped and duplicated traffic…
+    assert!(report.fault_dropped > 0, "no drops injected: {report:?}");
+    assert!(report.fault_duplicated > 0, "no dups injected: {report:?}");
+    // …the clients still played through it…
+    assert!(sent > 100, "sent only {sent}");
+    assert!(received > 0, "no replies under fault injection");
+    assert!(report.replies > 0);
+    // …and every inbound datagram has exactly one fate.
+    assert_eq!(report.datagrams_in, sent);
+    assert!(
+        report.inbound_accounted(),
+        "datagram accounting does not close: {report:?}"
+    );
 }
