@@ -1,0 +1,131 @@
+//! Admission control: which arena does a connecting client join?
+//!
+//! The directory's front door decodes each `Connect`, consults the
+//! policy with the client's requested arena (0 when the wire carried no
+//! extension) and the current occupancy estimate, and forwards the
+//! connect to the chosen arena's runtime. Placement is *sticky*: a
+//! retried `Connect` from a client the directory has already placed
+//! goes back to the same arena, so lost acks never split a session
+//! across worlds.
+
+/// How the directory places new clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Pack arenas in index order: the first arena with a free slot
+    /// wins. Produces full arenas and empty tails (good for reaping
+    /// idle worlds).
+    FillFirst,
+    /// Balance: the least-occupied arena wins (lowest index on ties).
+    /// Produces even load (good for latency under the shared pool).
+    LeastLoaded,
+    /// Honour the client's explicitly requested arena when it is in
+    /// range and has room; otherwise fall back to fill-first. Clients
+    /// without the arena extension request arena 0.
+    Explicit,
+}
+
+impl AdmissionPolicy {
+    /// Choose an arena for a client requesting `requested`, given the
+    /// per-arena occupancy estimates and the common per-arena capacity.
+    /// `None` means every arena is full and the connect is refused.
+    pub fn place(&self, requested: u16, occupancy: &[u32], capacity: u32) -> Option<usize> {
+        let fill_first = || occupancy.iter().position(|&o| o < capacity);
+        match self {
+            AdmissionPolicy::FillFirst => fill_first(),
+            AdmissionPolicy::LeastLoaded => occupancy
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o < capacity)
+                .min_by_key(|&(_, &o)| o)
+                .map(|(k, _)| k),
+            AdmissionPolicy::Explicit => match occupancy.get(requested as usize) {
+                Some(&o) if o < capacity => Some(requested as usize),
+                _ => fill_first(),
+            },
+        }
+    }
+}
+
+/// Routing counters published by the directory's front door when the
+/// run ends.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionStats {
+    /// Connects forwarded to an arena (fresh placements + sticky
+    /// repeats).
+    pub routed: u64,
+    /// Of `routed`, connects forwarded per arena.
+    pub per_arena: Vec<u64>,
+    /// Every datagram the director handed to arena `k`'s port —
+    /// connect routes plus stray forwards. This is the director's leg
+    /// of each arena's accounting identity (what landed on arena `k`'s
+    /// queue that did not come straight from a client).
+    pub forwarded_per_arena: Vec<u64>,
+    /// Of `routed`, repeats sent back to an existing placement.
+    pub sticky: u64,
+    /// Connects that carried a non-zero explicit arena request.
+    pub explicit_requests: u64,
+    /// Connects refused because every arena was full.
+    pub rejected_full: u64,
+    /// Non-connect messages at the front door forwarded to the
+    /// sender's placed arena (strays from clients that ignore the
+    /// ack's arena id).
+    pub forwarded_other: u64,
+    /// Non-connect messages from clients the directory never placed —
+    /// dropped.
+    pub dropped_unknown: u64,
+    /// Datagrams that failed to decode — dropped, counted, exactly like
+    /// a server thread's `decode_rejected`.
+    pub decode_rejected: u64,
+}
+
+impl AdmissionStats {
+    /// Datagrams the director drained from the front door. Every
+    /// drained datagram lands in exactly one of these counters, so a
+    /// gateway can close its front-door accounting identity against
+    /// this sum.
+    pub fn drained(&self) -> u64 {
+        self.decode_rejected
+            + self.routed
+            + self.rejected_full
+            + self.forwarded_other
+            + self.dropped_unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_first_packs_in_index_order() {
+        let p = AdmissionPolicy::FillFirst;
+        assert_eq!(p.place(0, &[3, 0, 0], 4), Some(0));
+        assert_eq!(p.place(0, &[4, 0, 0], 4), Some(1));
+        // An explicit request is ignored by this policy.
+        assert_eq!(p.place(2, &[0, 0, 0], 4), Some(0));
+        assert_eq!(p.place(0, &[4, 4, 4], 4), None);
+    }
+
+    #[test]
+    fn least_loaded_balances_with_low_index_ties() {
+        let p = AdmissionPolicy::LeastLoaded;
+        assert_eq!(p.place(0, &[2, 1, 3], 4), Some(1));
+        assert_eq!(p.place(0, &[2, 2, 2], 4), Some(0));
+        // Full arenas are never chosen even if least loaded overall.
+        assert_eq!(p.place(0, &[4, 4, 3], 4), Some(2));
+        assert_eq!(p.place(0, &[4, 4, 4], 4), None);
+    }
+
+    #[test]
+    fn explicit_honours_in_range_requests_with_room() {
+        let p = AdmissionPolicy::Explicit;
+        assert_eq!(p.place(2, &[0, 0, 1], 4), Some(2));
+        // No extension on the wire ⇒ requested 0 ⇒ arena 0: old
+        // clients land where the pre-arena server would put them.
+        assert_eq!(p.place(0, &[1, 0, 0], 4), Some(0));
+        // Full or out-of-range requests fall back to fill-first.
+        assert_eq!(p.place(2, &[1, 0, 4], 4), Some(0));
+        assert_eq!(p.place(9, &[4, 1, 0], 4), Some(1));
+        assert_eq!(p.place(1, &[4, 4, 4], 4), None);
+    }
+}

@@ -1,0 +1,682 @@
+//! The arena directory: N worlds, one front door, one worker pool.
+//!
+//! ```text
+//!                       ┌────────────── directory ──────────────┐
+//!  Connect ──► front ──►│ admission ──► arena k runtime (1..N)  │──► ConnectAck{arena:k}
+//!  Move ─────────────────────────────► arena k request port     │──► Reply
+//!                       │     shared pool: workers 0..W         │
+//!                       └───────────────────────────────────────┘
+//! ```
+//!
+//! Two scheduling shapes:
+//!
+//! * **Pooled** — every arena is a single-threaded sequential runtime
+//!   (the paper's §2.1 frame body, verbatim); W pinned workers pull
+//!   *whole frames* from whichever arena has work. The pool lock only
+//!   guards the claim table — no worker ever holds it during a frame,
+//!   and no worker ever touches two arenas at once, so the per-world
+//!   locking discipline (and its witness) is untouched.
+//! * **Dedicated** — every arena is a full `spawn_server` runtime with
+//!   its own threads; assignment schemes and region locking run
+//!   unchanged inside each arena. The directory only adds admission.
+//!
+//! The **director** task owns the front door. It never touches world
+//! state: it decodes, places (stickily), and forwards the raw datagram
+//! to the chosen arena *preserving the client's source port*, so the
+//! arena replies straight to the client and the directory is off the
+//! data path after admission.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{CondId, Fabric, LockId, Nanos, PortId, TaskCtx};
+use parquake_metrics::{Bucket, FrameSample, FrameStats, LockClass, ThreadStats, Timeline};
+use parquake_protocol::{ClientMessage, Decode};
+use parquake_server::runtime::{ServerShared, REQUEST_QUEUE_CAP};
+use parquake_server::{spawn_server, LockPolicy, ServerConfig, ServerHandle, ServerResults};
+use parquake_sim::GameWorld;
+
+use crate::admission::{AdmissionPolicy, AdmissionStats};
+
+/// How arena frames get processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArenaScheduling {
+    /// One shared pool of `workers` pinned tasks executes whole frames
+    /// of whichever arena has pending input.
+    Pooled { workers: u32 },
+    /// Each arena gets its own full server runtime per the config
+    /// template's `kind` (sequential or parallel with region locking).
+    Dedicated,
+}
+
+/// Configuration for [`spawn_directory`].
+#[derive(Clone, Debug)]
+pub struct ArenaDirectoryConfig {
+    /// Number of independent worlds.
+    pub arenas: u32,
+    /// Player capacity of each world.
+    pub slots_per_arena: u16,
+    /// Connect routing policy.
+    pub policy: AdmissionPolicy,
+    /// Processor scheduling shape.
+    pub scheduling: ArenaScheduling,
+    /// Map generator settings (one compiled map, shared by every
+    /// arena — separate entity state per arena).
+    pub map: MapGenConfig,
+    /// Areanode tree depth per arena.
+    pub areanode_depth: u32,
+    /// Server template: `end_time`, cost model, checking, timeouts are
+    /// common to all arenas; `kind` is honoured by `Dedicated` only;
+    /// `arena_id` is overwritten per arena.
+    pub server: ServerConfig,
+    /// Pooled workers re-scan for runnable arenas at least this often
+    /// while idle (bounds added latency when a datagram lands while
+    /// every worker sleeps).
+    pub poll_ns: Nanos,
+    /// Minimum gap between two frames of the same arena (0 = purely
+    /// event-driven, the sequential server's behaviour).
+    pub frame_interval_ns: Nanos,
+    /// Run the pooled frame body under a region-locking policy
+    /// (uncontended inside one frame, but the lock/unlock pattern and
+    /// the witness stay exercised). `None` = the sequential server's
+    /// lock-free frames.
+    pub pooled_locking: Option<LockPolicy>,
+}
+
+impl ArenaDirectoryConfig {
+    pub fn new(arenas: u32, slots_per_arena: u16, server: ServerConfig) -> ArenaDirectoryConfig {
+        ArenaDirectoryConfig {
+            arenas,
+            slots_per_arena,
+            policy: AdmissionPolicy::Explicit,
+            scheduling: ArenaScheduling::Pooled { workers: 4 },
+            map: MapGenConfig::large_arena(0x6D_6D_31),
+            areanode_depth: 4,
+            server,
+            poll_ns: 1_000_000,
+            frame_interval_ns: 0,
+            pooled_locking: None,
+        }
+    }
+}
+
+/// Per-pool accounting published when the last worker exits.
+#[derive(Clone, Debug, Default)]
+pub struct PoolReport {
+    /// Frames executed by each worker.
+    pub frames_by_worker: Vec<u64>,
+    /// Frames executed of each arena.
+    pub frames_by_arena: Vec<u64>,
+    /// Time each worker spent waiting for a runnable arena.
+    pub idle_ns_by_worker: Vec<Nanos>,
+}
+
+/// A spawned (not yet running) directory.
+pub struct ArenaHandle {
+    /// The front door: clients send `Connect` here.
+    pub front_port: PortId,
+    /// Request ports of each arena's runtime (`arena_ports[k][t]` =
+    /// arena `k`, thread `t`); move traffic goes straight here.
+    pub arena_ports: Vec<Vec<PortId>>,
+    /// Per-arena server results, filled when the run ends.
+    pub results: Vec<Arc<Mutex<ServerResults>>>,
+    /// The arenas' worlds (final-state inspection, world hashes).
+    pub worlds: Vec<Arc<GameWorld>>,
+    /// Front-door routing counters, filled when the run ends.
+    pub admission: Arc<Mutex<AdmissionStats>>,
+    /// Pool accounting (`Pooled` scheduling only), filled when the run
+    /// ends.
+    pub pool: Option<Arc<Mutex<PoolReport>>>,
+}
+
+/// Spawn the directory onto `fabric`: all arena runtimes, the worker
+/// pool (if pooled), and the front-door director task.
+pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> ArenaHandle {
+    assert!(cfg.arenas >= 1, "directory needs at least one arena");
+    let map = Arc::new(cfg.map.generate());
+    let worlds: Vec<Arc<GameWorld>> = (0..cfg.arenas)
+        .map(|_| {
+            Arc::new(GameWorld::new(
+                map.clone(),
+                cfg.areanode_depth,
+                cfg.slots_per_arena.max(1),
+            ))
+        })
+        .collect();
+
+    let (arena_ports, results, pool) = match cfg.scheduling {
+        ArenaScheduling::Pooled { workers } => spawn_pool(fabric, &cfg, &worlds, workers),
+        ArenaScheduling::Dedicated => {
+            let mut ports = Vec::new();
+            let mut results = Vec::new();
+            for (k, world) in worlds.iter().enumerate() {
+                let mut scfg = cfg.server.clone();
+                scfg.arena_id = k as u16;
+                let ServerHandle {
+                    ports: p,
+                    results: r,
+                    ..
+                } = spawn_server(fabric, scfg, world.clone());
+                ports.push(p);
+                results.push(r);
+            }
+            (ports, results, None)
+        }
+    };
+
+    let admission = Arc::new(Mutex::new(AdmissionStats::default()));
+    let front_port = fabric.alloc_bounded_port(REQUEST_QUEUE_CAP);
+    {
+        let ports = arena_ports.clone();
+        let adm = admission.clone();
+        let policy = cfg.policy;
+        let capacity = cfg.slots_per_arena as u32;
+        let cost = cfg.server.cost.clone();
+        let end_time = cfg.server.end_time;
+        fabric.spawn(
+            "arena-director",
+            None,
+            Box::new(move |ctx| {
+                director(
+                    ctx, front_port, &ports, policy, capacity, &cost, end_time, &adm,
+                )
+            }),
+        );
+    }
+
+    ArenaHandle {
+        front_port,
+        arena_ports,
+        results,
+        worlds,
+        admission,
+        pool,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Front door
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn director(
+    ctx: &TaskCtx,
+    front: PortId,
+    arena_ports: &[Vec<PortId>],
+    policy: AdmissionPolicy,
+    capacity: u32,
+    cost: &parquake_server::CostModel,
+    end_time: Nanos,
+    out: &Mutex<AdmissionStats>,
+) {
+    let n = arena_ports.len();
+    let mut stats = AdmissionStats {
+        per_arena: vec![0; n],
+        forwarded_per_arena: vec![0; n],
+        ..AdmissionStats::default()
+    };
+    // Occupancy is an *estimate*: incremented on fresh placement,
+    // decremented when a Disconnect passes the front door. Clients
+    // disconnecting directly at their arena (the normal path) are not
+    // seen, which only makes the estimate conservative.
+    let mut occupancy = vec![0u32; n];
+    // client id → placed arena (sticky routing for connect retries).
+    let mut book: HashMap<u32, u16> = HashMap::new();
+    // Round-robin home-block spreading inside each arena: connects are
+    // dealt to the arena's threads in turn so no single thread's block
+    // fills while others sit empty.
+    let mut next_thread = vec![0usize; n];
+
+    while ctx.wait_readable(front, Some(end_time)) {
+        while let Some(raw) = ctx.try_recv(front) {
+            ctx.charge(cost.recv);
+            let Ok(msg) = ClientMessage::from_bytes(&raw.payload) else {
+                stats.decode_rejected += 1;
+                continue;
+            };
+            match msg {
+                ClientMessage::Connect { client_id, arena } => {
+                    if arena != 0 {
+                        stats.explicit_requests += 1;
+                    }
+                    let placed = match book.get(&client_id) {
+                        Some(&k) => {
+                            stats.sticky += 1;
+                            Some(k as usize)
+                        }
+                        None => {
+                            let k = policy.place(arena, &occupancy, capacity);
+                            if let Some(k) = k {
+                                book.insert(client_id, k as u16);
+                                occupancy[k] += 1;
+                            }
+                            k
+                        }
+                    };
+                    match placed {
+                        Some(k) => {
+                            // Forward the raw datagram, preserving the
+                            // client's source port: the arena acks (and
+                            // replies) straight to the client. The
+                            // arena id in the payload has served its
+                            // purpose — the runtime ignores it and acks
+                            // with its own id.
+                            let t = next_thread[k] % arena_ports[k].len();
+                            next_thread[k] = next_thread[k].wrapping_add(1);
+                            ctx.send(raw.from, arena_ports[k][t], raw.payload);
+                            stats.routed += 1;
+                            stats.per_arena[k] += 1;
+                            stats.forwarded_per_arena[k] += 1;
+                        }
+                        None => stats.rejected_full += 1,
+                    }
+                }
+                ClientMessage::Disconnect { client_id } => match book.remove(&client_id) {
+                    Some(k) => {
+                        occupancy[k as usize] = occupancy[k as usize].saturating_sub(1);
+                        ctx.send(raw.from, arena_ports[k as usize][0], raw.payload);
+                        stats.forwarded_other += 1;
+                        stats.forwarded_per_arena[k as usize] += 1;
+                    }
+                    None => stats.dropped_unknown += 1,
+                },
+                ClientMessage::Move { client_id, .. } => match book.get(&client_id) {
+                    // A stray move from a client ignoring its ack's
+                    // arena id: forward to its placement so the session
+                    // still works, if degraded.
+                    Some(&k) => {
+                        ctx.send(raw.from, arena_ports[k as usize][0], raw.payload);
+                        stats.forwarded_other += 1;
+                        stats.forwarded_per_arena[k as usize] += 1;
+                    }
+                    None => stats.dropped_unknown += 1,
+                },
+            }
+        }
+    }
+    *out.lock().unwrap() = stats; // lockcheck: allow(raw-sync)
+}
+
+// ---------------------------------------------------------------------------
+// Shared worker pool
+// ---------------------------------------------------------------------------
+
+/// One arena's runtime state inside the pool. `frame` is mutated only
+/// by the worker that currently holds the arena's claim flag.
+struct ArenaCell {
+    shared: Arc<ServerShared>,
+    port: PortId,
+    frame: UnsafeCell<ArenaFrame>,
+}
+
+struct ArenaFrame {
+    stats: ThreadStats,
+    frames: FrameStats,
+    timeline: Timeline,
+    frame_no: u32,
+}
+
+// SAFETY: `frame` is accessed only between claim (set under the pool
+// lock) and release by the claiming worker, or by the last exiting
+// worker after every claim flag is clear.
+unsafe impl Sync for ArenaCell {}
+unsafe impl Send for ArenaCell {}
+
+impl ArenaCell {
+    #[allow(clippy::mut_from_ref)]
+    fn frame(&self) -> &mut ArenaFrame {
+        // SAFETY: see type-level invariant.
+        unsafe { &mut *self.frame.get() }
+    }
+}
+
+struct PoolState {
+    /// Arena k is currently being run by some worker.
+    claimed: Vec<bool>,
+    /// Earliest time arena k may start its next frame
+    /// (`frame_interval_ns` pacing).
+    next_due: Vec<Nanos>,
+    /// Round-robin scan start, for fairness across arenas.
+    rotor: usize,
+    /// Workers that have left the loop.
+    exited: u32,
+    frames_by_worker: Vec<u64>,
+    frames_by_arena: Vec<u64>,
+    idle_ns_by_worker: Vec<Nanos>,
+}
+
+/// Pool scheduling state, guarded by the fabric lock `lock`. The lock
+/// sits in the control layer (like the parallel server's frame-control
+/// lock): it is never held while running a frame, so it can never rank
+/// under a region lock.
+struct Pool {
+    lock: LockId,
+    cond: CondId,
+    state: UnsafeCell<PoolState>,
+}
+
+// SAFETY: `state` is only accessed while holding the fabric `lock`.
+unsafe impl Sync for Pool {}
+unsafe impl Send for Pool {}
+
+impl Pool {
+    #[allow(clippy::mut_from_ref)]
+    fn state(&self) -> &mut PoolState {
+        // SAFETY: see type-level invariant.
+        unsafe { &mut *self.state.get() }
+    }
+
+    /// Enter the pool-scheduling critical section.
+    // lockcheck: acquire-site
+    fn enter(&self, ctx: &TaskCtx) {
+        ctx.lock(self.lock);
+    }
+
+    /// Leave the pool-scheduling critical section.
+    // lockcheck: acquire-site
+    fn exit(&self, ctx: &TaskCtx) {
+        ctx.unlock(self.lock);
+    }
+}
+
+type PoolSpawn = (
+    Vec<Vec<PortId>>,
+    Vec<Arc<Mutex<ServerResults>>>,
+    Option<Arc<Mutex<PoolReport>>>,
+);
+
+fn spawn_pool(
+    fabric: &Arc<dyn Fabric>,
+    cfg: &ArenaDirectoryConfig,
+    worlds: &[Arc<GameWorld>],
+    workers: u32,
+) -> PoolSpawn {
+    assert!(workers >= 1, "pool needs at least one worker");
+    let n = worlds.len();
+    let mut cells = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
+    let mut results = Vec::with_capacity(n);
+    for (k, world) in worlds.iter().enumerate() {
+        let mut scfg = cfg.server.clone();
+        scfg.arena_id = k as u16;
+        let shared = Arc::new(ServerShared::new(
+            fabric,
+            &scfg,
+            world.clone(),
+            1,
+            cfg.pooled_locking,
+        ));
+        if cfg.pooled_locking.is_some() {
+            shared.set_checking(true);
+        } else {
+            // The sequential frame body takes no region locks, so the
+            // parallel protocol checkers have nothing to check.
+            shared.world.links.set_checking(false);
+            shared.world.store.set_checking(false);
+        }
+        ports.push(shared.ports.clone());
+        results.push(Arc::new(Mutex::new(ServerResults::default())));
+        cells.push(Arc::new(ArenaCell {
+            port: shared.ports[0],
+            shared,
+            frame: UnsafeCell::new(ArenaFrame {
+                stats: ThreadStats::new(),
+                frames: FrameStats::new(),
+                timeline: Timeline::default(),
+                frame_no: 0,
+            }),
+        }));
+    }
+
+    let pool_lock = fabric.alloc_lock();
+    if let Some(w) = fabric.witness() {
+        w.classify(pool_lock, LockClass::Ctrl);
+    }
+    let pool = Arc::new(Pool {
+        lock: pool_lock,
+        cond: fabric.alloc_cond(),
+        state: UnsafeCell::new(PoolState {
+            claimed: vec![false; n],
+            next_due: vec![0; n],
+            rotor: 0,
+            exited: 0,
+            frames_by_worker: vec![0; workers as usize],
+            frames_by_arena: vec![0; n],
+            idle_ns_by_worker: vec![0; workers as usize],
+        }),
+    });
+    let report = Arc::new(Mutex::new(PoolReport::default()));
+
+    let cells = Arc::new(cells);
+    for w in 0..workers {
+        let cells = cells.clone();
+        let pool = pool.clone();
+        let report = report.clone();
+        let results = results.clone();
+        let end_time = cfg.server.end_time;
+        let poll_ns = cfg.poll_ns.max(1);
+        let frame_interval_ns = cfg.frame_interval_ns;
+        fabric.spawn(
+            &format!("arena-pool-{w}"),
+            Some(w),
+            Box::new(move |ctx| {
+                pool_worker(
+                    ctx,
+                    w,
+                    workers,
+                    &cells,
+                    &pool,
+                    end_time,
+                    poll_ns,
+                    frame_interval_ns,
+                    &results,
+                    &report,
+                )
+            }),
+        );
+    }
+    (ports, results, Some(report))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pool_worker(
+    ctx: &TaskCtx,
+    w: u32,
+    workers: u32,
+    cells: &[Arc<ArenaCell>],
+    pool: &Pool,
+    end_time: Nanos,
+    poll_ns: Nanos,
+    frame_interval_ns: Nanos,
+    results: &[Arc<Mutex<ServerResults>>],
+    report: &Mutex<PoolReport>,
+) {
+    let n = cells.len();
+    // A 1×1 pool degenerates to the sequential server's select loop:
+    // no scheduling lock, no polling — byte-identical behaviour to
+    // `ServerKind::Sequential`, so a default single-arena directory
+    // adds zero overhead over today's server.
+    let mut degenerate_frames = 0u64;
+    if n == 1 && workers == 1 {
+        let cell = &cells[0];
+        loop {
+            let t0 = ctx.now();
+            if !ctx.wait_readable(cell.port, Some(end_time)) {
+                break;
+            }
+            cell.frame()
+                .stats
+                .breakdown
+                .add(Bucket::Idle, ctx.now() - t0);
+            run_arena_frame(ctx, cell);
+            if frame_interval_ns > 0 {
+                ctx.sleep_until(ctx.now() + frame_interval_ns);
+            }
+            degenerate_frames += 1;
+        }
+    } else {
+        pool_worker_scan(ctx, w, cells, pool, end_time, poll_ns, frame_interval_ns);
+    }
+
+    // Exit protocol: the last worker out publishes per-arena results
+    // and the pool report. Claim flags are all clear by then, so the
+    // frame cells are safe to read.
+    pool.enter(ctx);
+    let st = pool.state();
+    if degenerate_frames > 0 {
+        st.frames_by_worker[0] += degenerate_frames;
+        st.frames_by_arena[0] += degenerate_frames;
+    }
+    st.exited += 1;
+    let last = st.exited == workers;
+    if last {
+        for (k, cell) in cells.iter().enumerate() {
+            let f = cell.frame();
+            f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
+            let mut r = results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+            r.threads = vec![f.stats.clone()];
+            r.frames = f.frames.clone();
+            r.timeline = f.timeline.clone();
+            r.frame_count = f.frame_no as u64;
+            r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
+        }
+        let mut rep = report.lock().unwrap(); // lockcheck: allow(raw-sync)
+        rep.frames_by_worker = st.frames_by_worker.clone();
+        rep.frames_by_arena = st.frames_by_arena.clone();
+        rep.idle_ns_by_worker = st.idle_ns_by_worker.clone();
+    }
+    pool.exit(ctx);
+}
+
+/// The general pool scheduling loop: claim a due arena under the pool
+/// lock, run its frame unlocked, release, repeat.
+fn pool_worker_scan(
+    ctx: &TaskCtx,
+    w: u32,
+    cells: &[Arc<ArenaCell>],
+    pool: &Pool,
+    end_time: Nanos,
+    poll_ns: Nanos,
+    frame_interval_ns: Nanos,
+) {
+    let n = cells.len();
+    loop {
+        let now = ctx.now();
+        if now >= end_time {
+            break;
+        }
+        pool.enter(ctx);
+        // Scan from the rotor for an unclaimed arena that is due and
+        // has input waiting. `port_next_delivery` peeks without
+        // claiming the port, so the scan is safe for ports the frame
+        // body will drain later.
+        let mut pick = None;
+        {
+            let st = pool.state();
+            for i in 0..n {
+                let k = (st.rotor + i) % n;
+                if st.claimed[k] || st.next_due[k] > now {
+                    continue;
+                }
+                if matches!(ctx.fabric().port_next_delivery(cells[k].port), Some(t) if t <= now) {
+                    pick = Some(k);
+                    break;
+                }
+            }
+            if let Some(k) = pick {
+                st.claimed[k] = true;
+                st.rotor = (k + 1) % n;
+            }
+        }
+        match pick {
+            Some(k) => {
+                pool.exit(ctx);
+                run_arena_frame(ctx, &cells[k]);
+                pool.enter(ctx);
+                let st = pool.state();
+                st.claimed[k] = false;
+                st.next_due[k] = ctx.now() + frame_interval_ns;
+                st.frames_by_worker[w as usize] += 1;
+                st.frames_by_arena[k] += 1;
+                // The arena is consumable again (it may already have
+                // fresh input): wake idle workers to rescan.
+                ctx.cond_broadcast(pool.cond);
+                pool.exit(ctx);
+            }
+            None => {
+                // Nothing runnable: sleep until the earliest moment an
+                // arena could become runnable, or the poll bound —
+                // whichever is sooner — then rescan.
+                let st = pool.state();
+                let mut deadline = now + poll_ns;
+                for (k, cell) in cells.iter().enumerate() {
+                    if st.claimed[k] {
+                        continue;
+                    }
+                    if let Some(t) = ctx.fabric().port_next_delivery(cell.port) {
+                        deadline = deadline.min(st.next_due[k].max(t));
+                    }
+                }
+                let deadline = deadline.min(end_time).max(now + 1);
+                let (waited, _) = ctx.cond_wait_until(pool.cond, pool.lock, deadline);
+                pool.state().idle_ns_by_worker[w as usize] += waited;
+                pool.exit(ctx);
+            }
+        }
+    }
+}
+
+/// One complete frame of one arena — the sequential server's frame
+/// body (§2.1: world update, drain requests, reply), run by whichever
+/// pool worker claimed the arena.
+fn run_arena_frame(ctx: &TaskCtx, cell: &ArenaCell) {
+    let shared = &cell.shared;
+    let port = cell.port;
+    let f = cell.frame();
+    ctx.charge(shared.cost.select_op);
+    f.frame_no += 1;
+    let frame_start = ctx.now();
+
+    // P: world physics.
+    let t0 = ctx.now();
+    shared.run_world_update(ctx, port, &mut f.stats, f.frame_no);
+    f.stats.breakdown.add(Bucket::World, ctx.now() - t0);
+    f.stats.mastered += 1;
+
+    // Rx/E: drain the request queue.
+    let mut unused_mask = 0u64;
+    let moves = shared.drain_requests(ctx, 0, port, &mut f.stats, &mut unused_mask);
+
+    // T/Tx: replies for everyone who sent a request.
+    let t0 = ctx.now();
+    let global = shared.read_global_events(ctx, &mut f.stats);
+    let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
+    shared.reply_for_slots(
+        ctx,
+        port,
+        &all_slots,
+        &global,
+        f.frame_no,
+        &mut f.stats,
+        true,
+    );
+    shared.clear_global_events(ctx, &mut f.stats);
+    f.stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
+
+    f.stats.frames += 1;
+    f.frames.frames += 1;
+    f.frames.frame_ns_sum += ctx.now() - frame_start;
+    f.frames.note_frame_requests(&[moves]);
+    f.frames.leaf_count = shared.world.tree.leaf_count() as u64;
+    f.timeline.push(FrameSample {
+        start_ns: frame_start,
+        duration_ns: ctx.now() - frame_start,
+        participants: 1,
+        requests: moves,
+        requests_max: moves,
+        requests_min: moves,
+        master: 0,
+    });
+}

@@ -1,0 +1,39 @@
+//! Multi-arena layer: many small worlds multiplexed on one machine.
+//!
+//! The paper parallelizes *one* world across the machine's processors.
+//! Production deployments of the original server ran the dual: many
+//! independent game worlds ("arenas") packed onto one machine, each
+//! world small enough that its frame is cheap, with the machine's
+//! parallelism spent *across* worlds instead of *within* one. This
+//! crate adds that deployment shape on top of the existing runtime
+//! without touching the per-world frame protocol:
+//!
+//! * [`directory::spawn_directory`] builds an **arena directory**: N
+//!   independent [`parquake_sim::GameWorld`]s plus server runtimes, and
+//!   either
+//!   * schedules their frames as tasks on one **shared worker pool**
+//!     ([`ArenaScheduling::Pooled`]) — 4 workers serve 4×64 players in
+//!     4 arenas where the paper's parallel server serves 1×256 — or
+//!   * gives each arena its own full parallel runtime
+//!     ([`ArenaScheduling::Dedicated`]), assignment schemes and region
+//!     locking intact inside each arena.
+//! * [`admission::AdmissionPolicy`] routes `Connect`s arriving at the
+//!   directory's **front door** to an arena: fill-first, least-loaded,
+//!   or honouring an explicit arena request carried by the protocol's
+//!   backward-compatible arena-id extension (absent ⇒ arena 0).
+//! * Per-arena observability: every arena publishes its own
+//!   [`parquake_server::ServerResults`]; the pool publishes frame and
+//!   idle accounting per worker and per arena; admission publishes
+//!   routing counters. `parquake_metrics::arena` rolls these up.
+//!
+//! The layer is strictly additive: a 1-arena pooled directory runs the
+//! exact sequential frame body, and arena 0 traffic is byte-identical
+//! to the pre-arena wire format.
+
+pub mod admission;
+pub mod directory;
+
+pub use admission::{AdmissionPolicy, AdmissionStats};
+pub use directory::{
+    spawn_directory, ArenaDirectoryConfig, ArenaHandle, ArenaScheduling, PoolReport,
+};

@@ -58,6 +58,37 @@ pub struct BotSwarm {
     pub stats: Arc<Mutex<ResponseStats>>,
     /// Connection counter: bots that got a ConnectAck.
     pub connected: Arc<Mutex<u32>>,
+    /// Response statistics split by the arena each reply came from
+    /// (index = arena id). Single-arena swarms have one entry.
+    pub per_arena: Arc<Mutex<Vec<ResponseStats>>>,
+}
+
+/// Where a swarm's traffic goes.
+///
+/// Single-arena experiments list one arena whose entry is the server's
+/// per-thread ports, with no front door: Connects go straight to the
+/// bot's home thread, exactly the pre-arena behaviour. Multi-arena
+/// experiments list one entry per arena plus the directory's admission
+/// port; Connects then carry a requested arena id through the front
+/// door and the `ConnectAck`'s echoed arena id tells the bot which
+/// arena's ports to address from then on.
+#[derive(Clone, Debug)]
+pub struct SwarmTopology {
+    /// Per-arena server ports (arena id → that arena's thread ports).
+    pub arena_ports: Vec<Vec<PortId>>,
+    /// Admission front door for Connects; `None` sends Connects to the
+    /// bot's current arena/thread port directly.
+    pub connect_port: Option<PortId>,
+}
+
+impl SwarmTopology {
+    /// A single arena addressed directly (the classic setup).
+    pub fn single(server_ports: &[PortId]) -> SwarmTopology {
+        SwarmTopology {
+            arena_ports: vec![server_ports.to_vec()],
+            connect_port: None,
+        }
+    }
 }
 
 /// Spawn driver tasks for `cfg.players` bots. `server_ports` lists every
@@ -71,8 +102,34 @@ pub fn spawn_swarm(
     server_ports: &[PortId],
     initial_thread: impl Fn(u32) -> usize,
 ) -> BotSwarm {
+    spawn_swarm_multi(
+        fabric,
+        cfg,
+        &SwarmTopology::single(server_ports),
+        move |c| (0, initial_thread(c)),
+    )
+}
+
+/// Spawn driver tasks routing across arenas. `initial(client)` returns
+/// `(requested_arena, initial_thread)`: the arena id the bot asks for
+/// in its Connect (0 lets a fill-first/least-loaded admission policy
+/// choose) and its starting thread within whatever arena admits it.
+pub fn spawn_swarm_multi(
+    fabric: &Arc<dyn Fabric>,
+    cfg: &BotSwarmConfig,
+    topology: &SwarmTopology,
+    initial: impl Fn(u32) -> (u16, usize),
+) -> BotSwarm {
+    assert!(
+        !topology.arena_ports.is_empty() && topology.arena_ports.iter().all(|p| !p.is_empty()),
+        "swarm topology needs at least one arena with at least one port"
+    );
     let stats = Arc::new(Mutex::new(ResponseStats::new()));
     let connected = Arc::new(Mutex::new(0u32));
+    let per_arena = Arc::new(Mutex::new(vec![
+        ResponseStats::new();
+        topology.arena_ports.len()
+    ]));
     let drivers = cfg.drivers.clamp(1, cfg.players.max(1));
     let per = cfg.players.div_ceil(drivers);
     for d in 0..drivers {
@@ -82,24 +139,36 @@ pub fn spawn_swarm(
             break;
         }
         let port = fabric.alloc_port();
-        let all_ports = server_ports.to_vec();
-        let threads: Vec<usize> = (lo..hi)
-            .map(|c| initial_thread(c).min(all_ports.len() - 1))
+        let topology = topology.clone();
+        let init: Vec<(u16, usize)> = (lo..hi)
+            .map(|c| {
+                let (arena, thread) = initial(c);
+                let arena = (arena as usize).min(topology.arena_ports.len() - 1) as u16;
+                (
+                    arena,
+                    thread.min(topology.arena_ports[arena as usize].len() - 1),
+                )
+            })
             .collect();
         let cfg = cfg.clone();
         let stats = stats.clone();
         let connected = connected.clone();
+        let per_arena = per_arena.clone();
         fabric.spawn(
             &format!("bots-{d}"),
             None, // client machines: off the modelled server CPUs
             Box::new(move |ctx| {
                 drive(
-                    ctx, port, lo, hi, &all_ports, threads, &cfg, &stats, &connected,
+                    ctx, port, lo, hi, &topology, init, &cfg, &stats, &connected, &per_arena,
                 );
             }),
         );
     }
-    BotSwarm { stats, connected }
+    BotSwarm {
+        stats,
+        connected,
+        per_arena,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -108,11 +177,12 @@ fn drive(
     port: PortId,
     lo: u32,
     hi: u32,
-    server_ports: &[PortId],
-    mut cur_thread: Vec<usize>,
+    topology: &SwarmTopology,
+    init: Vec<(u16, usize)>,
     cfg: &BotSwarmConfig,
     stats_out: &Mutex<ResponseStats>,
     connected_out: &Mutex<u32>,
+    per_arena_out: &Mutex<Vec<ResponseStats>>,
 ) {
     /// First Connect-retry interval; doubles per unanswered retry.
     const RETRY_MIN: Nanos = 100_000_000;
@@ -127,6 +197,11 @@ fn drive(
     let mut bots: Vec<BotMind> = (lo..hi)
         .map(|c| BotMind::new(c, cfg.seed, cfg.behavior.clone()))
         .collect();
+    // The arena each bot asks for at Connect time (fixed) and the
+    // arena/thread it currently addresses (updated from acks/replies).
+    let requested: Vec<u16> = init.iter().map(|&(a, _)| a).collect();
+    let mut cur_arena: Vec<usize> = init.iter().map(|&(a, _)| a as usize).collect();
+    let mut cur_thread: Vec<usize> = init.iter().map(|&(_, t)| t).collect();
     let mut acked = vec![false; n];
     // Connection-count each bot only once, however often it reconnects.
     let mut ever_acked = vec![false; n];
@@ -141,6 +216,7 @@ fn drive(
         .map(|i| (i as Nanos * frame_ns) / n as Nanos)
         .collect();
     let mut stats = ResponseStats::new();
+    let mut arena_stats = vec![ResponseStats::new(); topology.arena_ports.len()];
     let mut connected = 0u32;
 
     loop {
@@ -164,8 +240,14 @@ fn drive(
                 ctx.charge(cfg.think_cost_ns);
                 let msg = ClientMessage::Connect {
                     client_id: lo + i as u32,
+                    arena: requested[i],
                 };
-                ctx.send(port, server_ports[cur_thread[i]], msg.to_bytes());
+                // Connects go through the admission front door when the
+                // topology has one; otherwise straight to the home port.
+                let to = topology
+                    .connect_port
+                    .unwrap_or(topology.arena_ports[cur_arena[i]][cur_thread[i]]);
+                ctx.send(port, to, msg.to_bytes());
                 // Exponential backoff on the ack retry: lost acks are
                 // re-requested quickly without flooding a dead link.
                 next_at[i] = now + backoff[i];
@@ -174,11 +256,16 @@ fn drive(
                 ctx.charge(cfg.think_cost_ns);
                 let cmd = bots[i].think(now, cfg.client_frame_ms.min(250) as u8);
                 stats.note_sent();
+                arena_stats[cur_arena[i]].note_sent();
                 let msg = ClientMessage::Move {
                     client_id: lo + i as u32,
                     cmd,
                 };
-                ctx.send(port, server_ports[cur_thread[i]], msg.to_bytes());
+                ctx.send(
+                    port,
+                    topology.arena_ports[cur_arena[i]][cur_thread[i]],
+                    msg.to_bytes(),
+                );
                 // Always-active cadence with asynchronous jitter.
                 let jitter = if cfg.jitter_ns > 0 {
                     let j = bots[i].rng.next_u32() as Nanos % (2 * cfg.jitter_ns);
@@ -208,12 +295,32 @@ fn drive(
                     continue;
                 };
                 match msg {
-                    ServerMessage::ConnectAck { client_id, .. } => {
+                    ServerMessage::ConnectAck {
+                        client_id, arena, ..
+                    } => {
                         let i = client_id.wrapping_sub(lo) as usize;
                         if i < n && !acked[i] {
                             acked[i] = true;
                             backoff[i] = RETRY_MIN;
                             last_heard[i] = ctx.now();
+                            // The ack's arena id is the admission
+                            // policy's placement: address that arena's
+                            // ports from now on. The ack's source port
+                            // further identifies the serving thread —
+                            // a directory may have claimed our slot in
+                            // any thread's home block.
+                            let a = arena as usize;
+                            if a < topology.arena_ports.len() {
+                                cur_arena[i] = a;
+                                if let Some(t) =
+                                    topology.arena_ports[a].iter().position(|&p| p == raw.from)
+                                {
+                                    cur_thread[i] = t;
+                                } else {
+                                    cur_thread[i] =
+                                        cur_thread[i].min(topology.arena_ports[a].len() - 1);
+                                }
+                            }
                             if !ever_acked[i] {
                                 ever_acked[i] = true;
                                 connected += 1;
@@ -243,12 +350,14 @@ fn drive(
                             let fresh = seq as i64 > last_rx_seq[i];
                             if fresh && sent_at_echo > 0 && now >= sent_at_echo {
                                 stats.note_reply(now - sent_at_echo);
+                                arena_stats[cur_arena[i]].note_reply(now - sent_at_echo);
                             }
                             last_rx_seq[i] = last_rx_seq[i].max(seq as i64);
                             // Follow server steering (dynamic
-                            // region-affine assignment).
+                            // region-affine assignment) within the
+                            // bot's current arena.
                             let t = assigned_thread as usize;
-                            if t < server_ports.len() {
+                            if t < topology.arena_ports[cur_arena[i]].len() {
                                 cur_thread[i] = t;
                             }
                             bots[i].observe_update(origin, delta, &entities, &removed);
@@ -270,6 +379,10 @@ fn drive(
 
     stats_out.lock().unwrap().merge(&stats); // lockcheck: allow(raw-sync)
     *connected_out.lock().unwrap() += connected; // lockcheck: allow(raw-sync)
+    let mut per = per_arena_out.lock().unwrap(); // lockcheck: allow(raw-sync)
+    for (agg, mine) in per.iter_mut().zip(&arena_stats) {
+        agg.merge(mine);
+    }
 }
 
 #[cfg(test)]
@@ -286,10 +399,11 @@ mod tests {
                 while ctx.wait_readable(port, Some(until)) {
                     while let Some(raw) = ctx.try_recv(port) {
                         match ClientMessage::from_bytes(&raw.payload) {
-                            Ok(ClientMessage::Connect { client_id }) => {
+                            Ok(ClientMessage::Connect { client_id, .. }) => {
                                 let ack = ServerMessage::ConnectAck {
                                     client_id,
                                     spawn: parquake_math::Vec3::ZERO,
+                                    arena: 0,
                                 };
                                 ctx.send(port, raw.from, ack.to_bytes());
                             }
@@ -357,10 +471,11 @@ mod tests {
                 while ctx.wait_readable(port_a, Some(until)) {
                     while let Some(raw) = ctx.try_recv(port_a) {
                         match ClientMessage::from_bytes(&raw.payload) {
-                            Ok(ClientMessage::Connect { client_id }) => {
+                            Ok(ClientMessage::Connect { client_id, .. }) => {
                                 let ack = ServerMessage::ConnectAck {
                                     client_id,
                                     spawn: parquake_math::Vec3::ZERO,
+                                    arena: 0,
                                 };
                                 ctx.send(port_a, raw.from, ack.to_bytes());
                             }

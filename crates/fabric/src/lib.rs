@@ -82,6 +82,15 @@ pub trait Fabric: Send + Sync {
     fn port_dropped(&self, port: PortId) -> u64;
     /// Messages currently queued on `port` (delivered or in flight).
     fn port_pending(&self, port: PortId) -> usize;
+    /// Earliest delivery time of any message queued on `port`, or
+    /// `None` when the queue is empty. A value at or before the
+    /// caller's clock means a `try_recv` would succeed now; a future
+    /// value means the message is still in flight (virtual link
+    /// latency or fault delay). Real fabrics deliver immediately, so
+    /// any queued message reports time 0. Pool schedulers use this to
+    /// tell "work is ready" apart from "work is on the wire" without
+    /// claiming the port.
+    fn port_next_delivery(&self, port: PortId) -> Option<Nanos>;
 
     /// Register a task. `server_cpu` pins the task onto the modelled
     /// server's CPU topology (used by the virtual HT model); `None`

@@ -171,6 +171,16 @@ impl Fabric for RealFabric {
         self.port_ref(port).q.lock().q.len()
     }
 
+    fn port_next_delivery(&self, port: PortId) -> Option<Nanos> {
+        // Real-fabric sends deliver immediately: anything queued is
+        // already receivable.
+        if self.port_ref(port).q.lock().q.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
     fn spawn(&self, name: &str, _server_cpu: Option<u32>, body: TaskBody) -> TaskId {
         let mut pending = self.pending.lock();
         assert!(!*self.started.lock(), "spawn after run()");

@@ -452,6 +452,15 @@ impl Fabric for VirtualSmp {
         self.state.lock().ports[port as usize].queue.len()
     }
 
+    fn port_next_delivery(&self, port: PortId) -> Option<Nanos> {
+        // The queue is sorted by `deliver_at`, so the front is the
+        // earliest in-flight or deliverable message.
+        self.state.lock().ports[port as usize]
+            .queue
+            .front()
+            .map(|d| d.deliver_at)
+    }
+
     fn spawn(&self, name: &str, server_cpu: Option<u32>, body: TaskBody) -> TaskId {
         let mut g = self.state.lock();
         assert!(!g.started, "spawn after run()");

@@ -1,0 +1,264 @@
+//! Run one measured multi-arena configuration.
+//!
+//! The single-world [`crate::experiment::Experiment`] answers "how fast
+//! is one world at N players?"; this module answers the deployment
+//! question "how should one machine carve its processors across many
+//! worlds?" — same fabric, same bots, same cost model, with the arena
+//! directory between them.
+
+use std::sync::Arc;
+
+use parquake_arena::{
+    spawn_directory, AdmissionPolicy, AdmissionStats, ArenaDirectoryConfig, ArenaScheduling,
+    PoolReport,
+};
+use parquake_bots::{spawn_swarm_multi, BotBehavior, BotSwarmConfig, SwarmTopology};
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::{FabricKind, LockWitness, Nanos};
+use parquake_metrics::{rollup, ArenaLoad, WitnessReport};
+use parquake_server::{CostModel, LockPolicy, ServerConfig, ServerKind};
+
+/// One multi-arena configuration (a row of the arenasweep figure).
+#[derive(Clone, Debug)]
+pub struct ArenaExperimentConfig {
+    /// Total bots across all arenas.
+    pub players: u32,
+    /// Number of independent worlds.
+    pub arenas: u32,
+    /// Shared-pool worker count (the machine's processors).
+    pub workers: u32,
+    /// Connect routing policy.
+    pub policy: AdmissionPolicy,
+    /// Use dedicated per-arena runtimes of this kind instead of the
+    /// shared pool (`None` = pooled).
+    pub dedicated: Option<ServerKind>,
+    /// Run pooled frames under a region-locking policy (`None` = the
+    /// sequential lock-free frame body).
+    pub pooled_locking: Option<LockPolicy>,
+    /// Map generator settings (shared map, per-arena entity state).
+    pub map: MapGenConfig,
+    /// Areanode tree depth per arena.
+    pub areanode_depth: u32,
+    /// Measured run length in fabric time.
+    pub duration_ns: Nanos,
+    /// Execution platform.
+    pub fabric: FabricKind,
+    /// Modelled CPU costs.
+    pub cost: CostModel,
+    /// Bot behaviour mix.
+    pub behavior: BotBehavior,
+    /// Workload seed.
+    pub seed: u64,
+    /// Client frame length in ms.
+    pub client_frame_ms: u32,
+    /// Bot driver tasks.
+    pub bot_drivers: u32,
+    /// Run the locking-protocol checkers and the lock witness.
+    pub checking: bool,
+}
+
+impl Default for ArenaExperimentConfig {
+    fn default() -> ArenaExperimentConfig {
+        ArenaExperimentConfig {
+            players: 256,
+            arenas: 4,
+            workers: 4,
+            policy: AdmissionPolicy::Explicit,
+            dedicated: None,
+            pooled_locking: None,
+            map: MapGenConfig::large_arena(0x6D_6D_31),
+            areanode_depth: 4,
+            duration_ns: 10_000_000_000,
+            fabric: FabricKind::VirtualSmp(Default::default()),
+            cost: CostModel::default(),
+            behavior: BotBehavior::deathmatch(),
+            seed: 0xB07_5EED,
+            client_frame_ms: 30,
+            bot_drivers: 8,
+            checking: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Result of one multi-arena run.
+pub struct ArenaOutcome {
+    /// One load summary per arena (server + client side).
+    pub per_arena: Vec<ArenaLoad>,
+    /// The machine-level rollup of `per_arena`.
+    pub aggregate: ArenaLoad,
+    /// Front-door routing counters.
+    pub admission: AdmissionStats,
+    /// Pool accounting (pooled scheduling only).
+    pub pool: Option<PoolReport>,
+    /// Bots that completed the connection handshake.
+    pub connected: u32,
+    /// The measured window (bots' send window).
+    pub duration_ns: Nanos,
+    /// Final world hash per arena (determinism checks).
+    pub world_hashes: Vec<u64>,
+    /// Lock-discipline witness report (present when `checking` was on).
+    pub witness: Option<WitnessReport>,
+}
+
+impl ArenaOutcome {
+    /// Aggregate response rate across every arena, replies/second.
+    pub fn response_rate(&self) -> f64 {
+        self.aggregate.response_rate(self.duration_ns)
+    }
+
+    /// Aggregate average response time in ms.
+    pub fn avg_response_ms(&self) -> f64 {
+        self.aggregate.avg_response_ms()
+    }
+}
+
+/// A configured, runnable multi-arena experiment.
+pub struct ArenaExperiment {
+    pub cfg: ArenaExperimentConfig,
+}
+
+impl ArenaExperiment {
+    pub fn new(cfg: ArenaExperimentConfig) -> ArenaExperiment {
+        ArenaExperiment { cfg }
+    }
+
+    /// Spawn directory + swarm, run the fabric to completion and
+    /// collect per-arena and aggregate metrics.
+    pub fn run(&self) -> ArenaOutcome {
+        let cfg = &self.cfg;
+        assert!(cfg.arenas >= 1);
+        let slots_per_arena = cfg.players.div_ceil(cfg.arenas).max(1) as u16;
+        let fabric = cfg.fabric.build();
+
+        let witness = if cfg.checking {
+            let w = Arc::new(LockWitness::new());
+            fabric.attach_witness(w.clone());
+            Some(w)
+        } else {
+            None
+        };
+
+        let mut server = ServerConfig::new(ServerKind::Sequential, cfg.duration_ns + 500_000_000);
+        server.cost = cfg.cost.clone();
+        server.checking = cfg.checking;
+        if let Some(kind) = cfg.dedicated {
+            server.kind = kind;
+        }
+        let dir_cfg = ArenaDirectoryConfig {
+            policy: cfg.policy,
+            scheduling: match cfg.dedicated {
+                Some(_) => ArenaScheduling::Dedicated,
+                None => ArenaScheduling::Pooled {
+                    workers: cfg.workers,
+                },
+            },
+            map: cfg.map.clone(),
+            areanode_depth: cfg.areanode_depth,
+            pooled_locking: cfg.pooled_locking,
+            ..ArenaDirectoryConfig::new(cfg.arenas, slots_per_arena, server)
+        };
+        let handle = spawn_directory(&fabric, dir_cfg);
+
+        // Bots spread across arenas by requesting arena `c % arenas`
+        // through the front door; the Explicit default honours the
+        // spread, other policies use it as a hint only.
+        let swarm_cfg = BotSwarmConfig {
+            players: cfg.players,
+            drivers: cfg.bot_drivers,
+            client_frame_ms: cfg.client_frame_ms,
+            seed: cfg.seed,
+            send_until: cfg.duration_ns,
+            behavior: cfg.behavior.clone(),
+            think_cost_ns: 15_000,
+            jitter_ns: 8_000_000,
+        };
+        let topology = SwarmTopology {
+            arena_ports: handle.arena_ports.clone(),
+            connect_port: Some(handle.front_port),
+        };
+        let arenas = cfg.arenas;
+        let swarm = spawn_swarm_multi(&fabric, &swarm_cfg, &topology, move |c| {
+            ((c % arenas) as u16, 0)
+        });
+
+        fabric.run();
+
+        let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let response = swarm.per_arena.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let connected = *swarm.connected.lock().unwrap(); // lockcheck: allow(raw-sync)
+        let per_arena: Vec<ArenaLoad> = (0..cfg.arenas as usize)
+            .map(|k| {
+                let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+                let m = r.merged();
+                ArenaLoad {
+                    arena: k as u16,
+                    frames: r.frame_count,
+                    replies: m.replies,
+                    requests: m.requests,
+                    datagrams: m.datagrams,
+                    admitted: admission.per_arena.get(k).copied().unwrap_or(0),
+                    response: response.get(k).cloned().unwrap_or_default(),
+                }
+            })
+            .collect();
+        let aggregate = rollup(&per_arena);
+
+        ArenaOutcome {
+            aggregate,
+            per_arena,
+            pool: handle.pool.as_ref().map(|p| p.lock().unwrap().clone()), // lockcheck: allow(raw-sync)
+            admission,
+            connected,
+            duration_ns: cfg.duration_ns,
+            world_hashes: handle.worlds.iter().map(|w| w.world_hash()).collect(),
+            witness: witness.map(|w| w.report()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(players: u32, arenas: u32, workers: u32) -> ArenaExperimentConfig {
+        ArenaExperimentConfig {
+            players,
+            arenas,
+            workers,
+            map: MapGenConfig::small_arena(7),
+            duration_ns: 2_000_000_000,
+            bot_drivers: 4,
+            checking: true,
+            ..ArenaExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn multi_arena_run_accounts_cleanly() {
+        let out = ArenaExperiment::new(quick(24, 3, 2)).run();
+        assert_eq!(out.connected, 24);
+        assert_eq!(out.per_arena.len(), 3);
+        // Every arena served its share.
+        for a in &out.per_arena {
+            assert!(a.frames > 0, "arena {} idle", a.arena);
+            assert!(a.response.received > 0, "arena {} unheard", a.arena);
+        }
+        // The rollup is the sum of the parts.
+        let replies: u64 = out.per_arena.iter().map(|a| a.replies).sum();
+        assert_eq!(out.aggregate.replies, replies);
+        assert_eq!(out.admission.routed, out.admission.per_arena.iter().sum());
+        assert_eq!(out.admission.rejected_full, 0);
+        // The witness watched the pool lock and stayed happy.
+        let report = out.witness.expect("checking was on");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = ArenaExperiment::new(quick(12, 2, 2)).run();
+        let b = ArenaExperiment::new(quick(12, 2, 2)).run();
+        assert_eq!(a.world_hashes, b.world_hashes);
+        assert_eq!(a.aggregate.replies, b.aggregate.replies);
+        assert_eq!(a.aggregate.frames, b.aggregate.frames);
+    }
+}

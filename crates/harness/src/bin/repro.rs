@@ -15,6 +15,7 @@
 //!   dynassign         dynamic region-affine assignment (paper future work)
 //!   delta             QuakeWorld-style delta-compressed replies (extension)
 //!   losssweep         response rate vs injected datagram loss (extension)
+//!   arenasweep        multi-arena shared-pool multiplexing (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -26,15 +27,15 @@
 //! ```
 
 use parquake_harness::figures::{
-    batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, losssweep, onepass,
-    table1, waitstats,
+    arenasweep, batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, losssweep,
+    onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -89,6 +90,7 @@ fn main() {
         "dynassign" => println!("{}", dynassign::run(&opts)),
         "delta" => println!("{}", delta::run(&opts)),
         "losssweep" => println!("{}", losssweep::run(&opts)),
+        "arenasweep" => println!("{}", arenasweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -125,6 +127,7 @@ fn main() {
             println!("{}", dynassign::run(&opts));
             println!("{}", delta::run(&opts));
             println!("{}", losssweep::run(&opts));
+            println!("{}", arenasweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

@@ -2,17 +2,25 @@
 //!
 //! ```text
 //! udp_client [--server 127.0.0.1:27500] [--threads 2] [--players 8] [--secs 5]
+//!            [--arenas N]
 //! ```
+//!
+//! `--arenas N` targets a multi-arena gateway (one socket): client `i`
+//! requests arena `i % N` on connect and reply traffic is tallied per
+//! arena. Without it the client spreads across `--threads` thread ports
+//! as before.
 
 use std::time::Duration;
 
 use parquake_harness::udp::run_udp_clients;
+use parquake_harness::udp_arena::run_udp_arena_clients;
 
 fn main() {
     let mut server: std::net::SocketAddr = "127.0.0.1:27500".parse().unwrap();
     let mut threads = 2u32;
     let mut players = 8u32;
     let mut secs = 5u64;
+    let mut arenas: Option<u32> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -33,12 +41,33 @@ fn main() {
                 i += 1;
                 secs = args[i].parse().expect("--secs");
             }
+            "--arenas" => {
+                i += 1;
+                arenas = Some(args[i].parse().expect("--arenas"));
+            }
             other => {
                 eprintln!("udp_client: unknown option {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if let Some(arenas) = arenas {
+        match run_udp_arena_clients(server, arenas, players, Duration::from_secs(secs)) {
+            Ok((sent, received, avg_ms, per_arena)) => {
+                println!(
+                    "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
+                );
+                for (k, n) in per_arena.iter().enumerate() {
+                    println!("udp_client: arena{k} — {n} replies");
+                }
+            }
+            Err(e) => {
+                eprintln!("udp_client: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     match run_udp_clients(server, threads, players, Duration::from_secs(secs)) {
         Ok((sent, received, avg_ms)) => {

@@ -4,6 +4,7 @@
 //! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
 //!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
 //!      [--fault-seed N] [--timeout-secs S]
+//!      [--arenas N] [--workers W]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
@@ -11,13 +12,21 @@
 //! client. The `--loss/--dup/--delay` probabilities (0.0–1.0) enable
 //! seeded fault injection on the inbound path; `--timeout-secs` sets
 //! the server-side inactivity reclaim (0 disables it).
+//!
+//! `--arenas N` (N ≥ 1) switches to the multi-arena gateway: N worlds
+//! behind ONE socket on `--port`, frames scheduled on a `--workers`
+//! shared pool, with `--players` slots per arena. `--threads` does not
+//! apply in this mode; every other flag keeps its meaning.
 
 use std::time::Duration;
 
 use parquake_harness::udp::{run_udp_server, thread_port, UdpServerOpts};
+use parquake_harness::udp_arena::{run_udp_arena_server, UdpArenaOpts};
 
 fn main() {
     let mut opts = UdpServerOpts::default();
+    let mut arenas: Option<u32> = None;
+    let mut workers = 2u32;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -63,12 +72,24 @@ fn main() {
                 i += 1;
                 opts.client_timeout = Duration::from_secs(args[i].parse().expect("--timeout-secs"));
             }
+            "--arenas" => {
+                i += 1;
+                arenas = Some(args[i].parse().expect("--arenas needs a number"));
+            }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().expect("--workers needs a number");
+            }
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if let Some(arenas) = arenas {
+        run_arena_mode(&opts, arenas.max(1), workers.max(1));
+        return;
     }
     let last_port = match thread_port(opts.base_port, opts.threads.saturating_sub(1)) {
         Ok(p) => p,
@@ -124,6 +145,100 @@ fn main() {
                     "DOES NOT CLOSE"
                 }
             );
+        }
+        Err(e) => {
+            eprintln!("udpd: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--arenas` mode: N worlds behind one socket on a shared worker pool.
+fn run_arena_mode(base: &UdpServerOpts, arenas: u32, workers: u32) {
+    let opts = UdpArenaOpts {
+        port: base.base_port,
+        arenas,
+        workers,
+        slots_per_arena: base.max_players,
+        map: base.map.clone(),
+        duration: base.duration,
+        fault: base.fault.clone(),
+        client_timeout: base.client_timeout,
+        ..UdpArenaOpts::default()
+    };
+    println!(
+        "udpd: {} arenas x {} slots on 127.0.0.1:{} (one socket), {}-worker pool, {}s",
+        opts.arenas,
+        opts.slots_per_arena,
+        opts.port,
+        opts.workers,
+        opts.duration.as_secs()
+    );
+    if !opts.fault.is_noop() {
+        println!(
+            "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
+            opts.fault.drop * 100.0,
+            opts.fault.duplicate * 100.0,
+            opts.fault.delay * 100.0,
+            opts.fault.max_delay_ns / 1_000_000,
+            opts.fault.seed
+        );
+    }
+    match run_udp_arena_server(&opts) {
+        Ok(report) => {
+            println!(
+                "udpd: done — {} datagrams in, {} out, {} routed connects \
+                 ({} sticky, {} rejected-full)",
+                report.datagrams_in,
+                report.datagrams_out,
+                report.admission.routed,
+                report.admission.sticky,
+                report.admission.rejected_full
+            );
+            println!(
+                "udpd: gateway fates — {} to front door, {} straight to arenas, \
+                 {} fault-dropped ({} dup copies), {} decode-rejected, \
+                 {} spoof-rejected, {} arena-unknown",
+                report.to_front,
+                report.forwarded - report.to_front,
+                report.fault_dropped,
+                report.fault_duplicated,
+                report.decode_rejected,
+                report.spoof_rejected,
+                report.arena_unknown
+            );
+            for (k, lane) in report.lanes.iter().enumerate() {
+                println!(
+                    "udpd: arena{} — {} admitted, {} replies over {} frames; \
+                     {} pump + {} director forwarded = {} processed + {} dropped \
+                     + {} pending — accounting {}",
+                    k,
+                    lane.admitted,
+                    lane.replies,
+                    lane.frames,
+                    lane.pump_forwarded,
+                    lane.director_forwarded,
+                    lane.processed,
+                    lane.queue_dropped,
+                    lane.pending_at_shutdown,
+                    if lane.accounted() {
+                        "closes"
+                    } else {
+                        "DOES NOT CLOSE"
+                    }
+                );
+            }
+            println!(
+                "udpd: overall accounting {}",
+                if report.accounted() {
+                    "closes"
+                } else {
+                    "DOES NOT CLOSE"
+                }
+            );
+            if !report.accounted() {
+                std::process::exit(1);
+            }
         }
         Err(e) => {
             eprintln!("udpd: {e}");

@@ -148,6 +148,7 @@ impl Experiment {
             frame_batch_ns: cfg.frame_batch_ns,
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
+            arena_id: 0,
             client_timeout_ns: cfg.client_timeout_ns,
         };
         let server = spawn_server(&fabric, server_cfg, world.clone());

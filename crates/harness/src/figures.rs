@@ -1,5 +1,6 @@
 //! One module per table/figure of the paper's evaluation.
 
+pub mod arenasweep;
 pub mod batching;
 pub mod common;
 pub mod delta;

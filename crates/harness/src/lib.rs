@@ -6,8 +6,11 @@
 //! configurations and prints the tables corresponding to each figure;
 //! the `repro` binary exposes one subcommand per figure.
 
+pub mod arena_experiment;
 pub mod experiment;
 pub mod figures;
 pub mod udp;
+pub mod udp_arena;
 
+pub use arena_experiment::{ArenaExperiment, ArenaExperimentConfig, ArenaOutcome};
 pub use experiment::{Experiment, ExperimentConfig, Outcome};

@@ -152,9 +152,9 @@ impl UdpServerReport {
 
 /// A learned client endpoint.
 #[derive(Clone, Copy, Debug)]
-struct AddrEntry {
-    addr: SocketAddr,
-    last_seen: Instant,
+pub(crate) struct AddrEntry {
+    pub(crate) addr: SocketAddr,
+    pub(crate) last_seen: Instant,
 }
 
 /// Gateway-side counters merged from the pump threads/tasks.
@@ -179,7 +179,7 @@ struct PumpCounters {
 ///   for `rebind_grace` (NAT rebinding), else it is rejected — a live
 ///   session cannot be hijacked by guessing its client id.
 /// * `Move`/`Disconnect` must come from the bound address.
-fn admit(
+pub(crate) fn admit(
     book: &mut HashMap<u32, AddrEntry>,
     msg: &ClientMessage,
     from: SocketAddr,
@@ -187,7 +187,7 @@ fn admit(
     rebind_grace: Duration,
 ) -> bool {
     match msg {
-        ClientMessage::Connect { client_id } => match book.get_mut(client_id) {
+        ClientMessage::Connect { client_id, .. } => match book.get_mut(client_id) {
             None => {
                 book.insert(
                     *client_id,
@@ -510,6 +510,7 @@ pub fn run_udp_clients(
                 backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
                 ClientMessage::Connect {
                     client_id: i as u32,
+                    arena: 0,
                 }
             } else {
                 seq[i] += 1;
@@ -618,7 +619,10 @@ mod tests {
     fn connect_learns_and_refreshes_address() {
         let mut book = HashMap::new();
         let t0 = Instant::now();
-        let connect = ClientMessage::Connect { client_id: 7 };
+        let connect = ClientMessage::Connect {
+            client_id: 7,
+            arena: 0,
+        };
         assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
         assert_eq!(book[&7].addr, addr(4000));
         // Handshake retry from the same endpoint refreshes.
@@ -636,7 +640,10 @@ mod tests {
     fn connect_from_new_addr_is_rejected_within_grace() {
         let mut book = HashMap::new();
         let t0 = Instant::now();
-        let connect = ClientMessage::Connect { client_id: 7 };
+        let connect = ClientMessage::Connect {
+            client_id: 7,
+            arena: 0,
+        };
         assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
         // Hijack attempt while the session is live: rejected, address
         // book untouched.
@@ -654,7 +661,10 @@ mod tests {
     fn connect_rebinds_after_silence_grace() {
         let mut book = HashMap::new();
         let t0 = Instant::now();
-        let connect = ClientMessage::Connect { client_id: 7 };
+        let connect = ClientMessage::Connect {
+            client_id: 7,
+            arena: 0,
+        };
         assert!(admit(&mut book, &connect, addr(4000), t0, GRACE));
         assert!(admit(&mut book, &connect, addr(5000), t0 + GRACE, GRACE));
         assert_eq!(book[&7].addr, addr(5000));
@@ -664,7 +674,10 @@ mod tests {
     fn moves_require_the_bound_address() {
         let mut book = HashMap::new();
         let t0 = Instant::now();
-        let connect = ClientMessage::Connect { client_id: 7 };
+        let connect = ClientMessage::Connect {
+            client_id: 7,
+            arena: 0,
+        };
         let mv = ClientMessage::Move {
             client_id: 7,
             cmd: parquake_protocol::MoveCmd::idle(1, 30),

@@ -1,0 +1,565 @@
+//! Real-network UDP gateway for the multi-arena directory: ONE socket
+//! serves every arena.
+//!
+//! ```text
+//!   UDP 0.0.0.0:port ──(pump-in)──► Connect ──► directory front port
+//!                                   Move/Disc ─► arena[book(cid)] port
+//!   shared gateway fabric port ◄── every arena's replies ──(pump-out)──► UdpSocket
+//! ```
+//!
+//! Where the single-world gateway (`crate::udp`) binds one socket per
+//! server thread, the arena gateway demuxes all arenas over one socket:
+//! `Connect`s go through the directory's admission stage (which picks
+//! the arena and forwards in-fabric), while `Move`/`Disconnect`
+//! datagrams are routed by the gateway straight to the client's placed
+//! arena — learned from the `ConnectAck{arena}` stream on the way out,
+//! so the data path skips the director entirely after admission.
+//!
+//! The same address-admission policy and seeded fault-injection stage
+//! as the single-world gateway run in front of everything, and the
+//! accounting is per arena: every inbound datagram has exactly one
+//! fate at the gateway stage, every front-door datagram is drained or
+//! queued, and per arena `pump_forwarded[k] + director_forwarded[k] ==
+//! processed[k] + queue_dropped[k] + pending[k]` —
+//! [`UdpArenaReport::accounted`] checks all three layers.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parquake_arena::{spawn_directory, AdmissionPolicy, AdmissionStats, ArenaDirectoryConfig};
+use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::fault::{FaultConfig, FaultInjector};
+use parquake_fabric::real::RealFabric;
+use parquake_fabric::Nanos;
+use parquake_protocol::{ClientMessage, Decode, ServerMessage, MAX_DATAGRAM};
+use parquake_server::{ServerConfig, ServerKind};
+
+use crate::udp::{admit, AddrEntry};
+
+/// Arena-gateway options.
+#[derive(Clone, Debug)]
+pub struct UdpArenaOpts {
+    /// The single UDP port every arena is served on.
+    pub port: u16,
+    /// Number of arenas.
+    pub arenas: u32,
+    /// Shared-pool worker tasks.
+    pub workers: u32,
+    /// Player capacity per arena.
+    pub slots_per_arena: u16,
+    pub map: MapGenConfig,
+    /// Wall-clock run time.
+    pub duration: Duration,
+    /// Connect routing policy.
+    pub policy: AdmissionPolicy,
+    /// Inbound fault injection (drop/duplicate/delay); default none.
+    pub fault: FaultConfig,
+    /// Server-side inactivity timeout (0 = never reclaim).
+    pub client_timeout: Duration,
+}
+
+impl Default for UdpArenaOpts {
+    fn default() -> Self {
+        UdpArenaOpts {
+            port: 27500,
+            arenas: 2,
+            workers: 2,
+            slots_per_arena: 32,
+            map: MapGenConfig::small_arena(1),
+            duration: Duration::from_secs(5),
+            policy: AdmissionPolicy::Explicit,
+            fault: FaultConfig::none(),
+            client_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One arena's traffic lane through the gateway.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaLane {
+    /// Datagrams the pump routed straight to this arena's port.
+    pub pump_forwarded: u64,
+    /// Datagrams the director forwarded to this arena's port.
+    pub director_forwarded: u64,
+    /// Datagrams the arena drained from its port.
+    pub processed: u64,
+    /// Datagrams discarded by the arena port's bounded-queue policy.
+    pub queue_dropped: u64,
+    /// Datagrams still queued on the arena port at shutdown.
+    pub pending_at_shutdown: u64,
+    /// Replies the arena generated.
+    pub replies: u64,
+    /// Frames the arena executed.
+    pub frames: u64,
+    /// Clients the admission policy placed here.
+    pub admitted: u64,
+}
+
+impl ArenaLane {
+    /// Does every datagram that reached this arena's queue have exactly
+    /// one fate?
+    pub fn accounted(&self) -> bool {
+        self.pump_forwarded + self.director_forwarded
+            == self.processed + self.queue_dropped + self.pending_at_shutdown
+    }
+}
+
+/// Summary returned when the arena gateway shuts down.
+#[derive(Clone, Debug, Default)]
+pub struct UdpArenaReport {
+    /// Datagrams read off the socket.
+    pub datagrams_in: u64,
+    /// Inbound datagrams that failed protocol decode.
+    pub decode_rejected: u64,
+    /// Inbound datagrams refused by the address admission policy.
+    pub spoof_rejected: u64,
+    /// `Move`/`Disconnect` datagrams whose sender has no placed arena
+    /// yet (ack in flight) — dropped, counted.
+    pub arena_unknown: u64,
+    /// Inbound datagrams eaten by the fault-injection stage.
+    pub fault_dropped: u64,
+    /// Extra copies created by the fault-injection stage.
+    pub fault_duplicated: u64,
+    /// Datagram copies handed to fabric ports (front door + arenas).
+    pub forwarded: u64,
+    /// Of `forwarded`, copies sent to the directory's front door.
+    pub to_front: u64,
+    /// Front-door datagrams the director drained.
+    pub front_drained: u64,
+    /// Front-door datagrams discarded by its bounded queue.
+    pub front_queue_dropped: u64,
+    /// Front-door datagrams still queued at shutdown.
+    pub front_pending: u64,
+    /// Datagrams written to the socket.
+    pub datagrams_out: u64,
+    /// Replies that never matched a learned client address.
+    pub replies_unroutable: u64,
+    /// Per-arena traffic lanes.
+    pub lanes: Vec<ArenaLane>,
+    /// The director's routing counters.
+    pub admission: AdmissionStats,
+}
+
+impl UdpArenaReport {
+    /// Close the books at every layer: the gateway stage (decode →
+    /// admission → arena lookup → fault lottery), the front door, and
+    /// each arena's lane.
+    pub fn accounted(&self) -> bool {
+        let delivered = self.forwarded - self.fault_duplicated;
+        let gateway = self.datagrams_in
+            == self.decode_rejected
+                + self.spoof_rejected
+                + self.arena_unknown
+                + self.fault_dropped
+                + delivered;
+        let front =
+            self.to_front == self.front_drained + self.front_queue_dropped + self.front_pending;
+        gateway && front && self.lanes.iter().all(|l| l.accounted())
+    }
+}
+
+/// Run the arena directory behind one real UDP socket until
+/// `opts.duration` elapses. Returns the layered traffic report.
+pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaReport> {
+    const REPLY_RETAIN: Duration = Duration::from_millis(250);
+
+    let (real, fabric) = RealFabric::new_arc_pair();
+    let end_time: Nanos = opts.duration.as_nanos() as Nanos;
+    let mut server = ServerConfig::new(ServerKind::Sequential, end_time);
+    server.client_timeout_ns = opts.client_timeout.as_nanos() as Nanos;
+    let dir_cfg = ArenaDirectoryConfig {
+        policy: opts.policy,
+        scheduling: parquake_arena::ArenaScheduling::Pooled {
+            workers: opts.workers,
+        },
+        map: opts.map.clone(),
+        ..ArenaDirectoryConfig::new(opts.arenas, opts.slots_per_arena, server)
+    };
+    let handle = spawn_directory(&fabric, dir_cfg);
+    let arenas = opts.arenas as usize;
+
+    let sock = UdpSocket::bind(("127.0.0.1", opts.port))?;
+    sock.set_read_timeout(Some(Duration::from_millis(10)))?;
+    // One gateway fabric port carries every arena's replies out.
+    let gw = fabric.alloc_port();
+
+    let addrs: Arc<Mutex<HashMap<u32, AddrEntry>>> = Arc::new(Mutex::new(HashMap::new()));
+    // client id → placed arena, learned from outbound ConnectAcks.
+    let placements: Arc<Mutex<HashMap<u32, u16>>> = Arc::new(Mutex::new(HashMap::new()));
+    let injector = Arc::new(FaultInjector::new(opts.fault.clone()));
+    let rebind_grace = if opts.client_timeout.is_zero() {
+        Duration::from_secs(1)
+    } else {
+        opts.client_timeout / 2
+    };
+
+    // Outbound pump: a fabric task draining the shared gateway port.
+    let out_counters = Arc::new(Mutex::new((0u64, 0u64))); // (sent, unroutable)
+    {
+        let sock = sock.try_clone()?;
+        let addrs = addrs.clone();
+        let placements = placements.clone();
+        let out_counters = out_counters.clone();
+        fabric.spawn(
+            "udp-arena-out",
+            None,
+            Box::new(move |ctx| {
+                let mut sent = 0u64;
+                let mut unroutable = 0u64;
+                let mut held: Vec<(Instant, u32, Vec<u8>)> = Vec::new();
+                loop {
+                    let readable = ctx.wait_readable(gw, Some(end_time));
+                    let now = Instant::now();
+                    held.retain(|(since, cid, payload)| {
+                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        if let Some(addr) = addr {
+                            if sock.send_to(payload, addr).is_ok() {
+                                sent += 1;
+                            }
+                            false
+                        } else if now.duration_since(*since) >= REPLY_RETAIN {
+                            unroutable += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if !readable {
+                        break;
+                    }
+                    while let Some(msg) = ctx.try_recv(gw) {
+                        let client = match ServerMessage::from_bytes(&msg.payload) {
+                            Ok(ServerMessage::ConnectAck {
+                                client_id, arena, ..
+                            }) => {
+                                // The ack names the serving arena: from
+                                // now on the inbound pump can route this
+                                // client's moves without the director.
+                                placements.lock().unwrap().insert(client_id, arena); // lockcheck: allow(raw-sync)
+                                Some(client_id)
+                            }
+                            Ok(ServerMessage::Reply { client_id, .. })
+                            | Ok(ServerMessage::Bye { client_id }) => Some(client_id),
+                            Err(_) => None,
+                        };
+                        let Some(cid) = client else { continue };
+                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        match addr {
+                            Some(addr) => {
+                                if sock.send_to(&msg.payload, addr).is_ok() {
+                                    sent += 1;
+                                }
+                            }
+                            None => held.push((Instant::now(), cid, msg.payload)),
+                        }
+                    }
+                }
+                unroutable += held.len() as u64;
+                let mut c = out_counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+                c.0 += sent;
+                c.1 += unroutable;
+            }),
+        );
+    }
+
+    // Inbound pump: one OS thread demuxing the socket to all arenas.
+    struct InCounters {
+        datagrams_in: u64,
+        decode_rejected: u64,
+        spoof_rejected: u64,
+        arena_unknown: u64,
+        fault_dropped: u64,
+        fault_duplicated: u64,
+        to_front: u64,
+        to_arena: Vec<u64>,
+    }
+    let pump = {
+        let sock = sock.try_clone()?;
+        let real = real.clone();
+        let front = handle.front_port;
+        let arena_port0: Vec<_> = handle.arena_ports.iter().map(|p| p[0]).collect();
+        let addrs = addrs.clone();
+        let placements = placements.clone();
+        let injector = injector.clone();
+        let deadline = Instant::now() + opts.duration;
+        std::thread::spawn(move || {
+            let mut buf = [0u8; MAX_DATAGRAM];
+            let mut c = InCounters {
+                datagrams_in: 0,
+                decode_rejected: 0,
+                spoof_rejected: 0,
+                arena_unknown: 0,
+                fault_dropped: 0,
+                fault_duplicated: 0,
+                to_front: 0,
+                to_arena: vec![0; arena_port0.len()],
+            };
+            // Delayed copies waiting to come due: (due, dest, payload).
+            let mut held: Vec<(Instant, usize, Vec<u8>)> = Vec::new();
+            // dest: usize::MAX = front door, else arena index.
+            let deliver = |c: &mut InCounters, dest: usize, payload: Vec<u8>| {
+                if dest == usize::MAX {
+                    c.to_front += 1;
+                    real.send_external(gw, front, payload);
+                } else {
+                    c.to_arena[dest] += 1;
+                    real.send_external(gw, arena_port0[dest], payload);
+                }
+            };
+            loop {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < held.len() {
+                    if held[i].0 <= now {
+                        let (_, dest, payload) = held.swap_remove(i);
+                        deliver(&mut c, dest, payload);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if now >= deadline {
+                    break;
+                }
+                match sock.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        c.datagrams_in += 1;
+                        let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) else {
+                            c.decode_rejected += 1;
+                            continue;
+                        };
+                        let admitted = {
+                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync)
+                            admit(&mut book, &msg, from, now, rebind_grace)
+                        };
+                        if !admitted {
+                            c.spoof_rejected += 1;
+                            continue;
+                        }
+                        // Route: Connects go through admission (the
+                        // director picks the arena); moves/disconnects
+                        // go straight to the placed arena.
+                        let dest = match &msg {
+                            ClientMessage::Connect { .. } => usize::MAX,
+                            ClientMessage::Move { client_id, .. }
+                            | ClientMessage::Disconnect { client_id } => {
+                                let placed = placements.lock().unwrap().get(client_id).copied(); // lockcheck: allow(raw-sync)
+                                match placed {
+                                    Some(k) if (k as usize) < arena_port0.len() => k as usize,
+                                    _ => {
+                                        c.arena_unknown += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                        };
+                        let fates = injector.draw();
+                        if fates.is_empty() {
+                            c.fault_dropped += 1;
+                            continue;
+                        }
+                        c.fault_duplicated += fates.len() as u64 - 1;
+                        for extra in fates {
+                            if extra == 0 {
+                                deliver(&mut c, dest, buf[..n].to_vec());
+                            } else {
+                                held.push((
+                                    now + Duration::from_nanos(extra),
+                                    dest,
+                                    buf[..n].to_vec(),
+                                ));
+                            }
+                        }
+                    }
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Late delivery is legal UDP: flush held copies so the
+            // accounting identity closes exactly.
+            for (_, dest, payload) in std::mem::take(&mut held) {
+                deliver(&mut c, dest, payload);
+            }
+            c
+        })
+    };
+
+    fabric.run();
+    let c = pump.join().expect("inbound pump panicked");
+
+    let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+    let mut lanes = Vec::with_capacity(arenas);
+    for k in 0..arenas {
+        let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+        let m = r.merged();
+        let port = handle.arena_ports[k][0];
+        lanes.push(ArenaLane {
+            pump_forwarded: c.to_arena[k],
+            director_forwarded: admission.forwarded_per_arena.get(k).copied().unwrap_or(0),
+            processed: m.datagrams,
+            queue_dropped: fabric.port_dropped(port),
+            pending_at_shutdown: fabric.port_pending(port) as u64,
+            replies: m.replies,
+            frames: r.frame_count,
+            admitted: admission.per_arena.get(k).copied().unwrap_or(0),
+        });
+    }
+    let (datagrams_out, replies_unroutable) = *out_counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let forwarded = c.to_front + c.to_arena.iter().sum::<u64>();
+    Ok(UdpArenaReport {
+        datagrams_in: c.datagrams_in,
+        decode_rejected: c.decode_rejected,
+        spoof_rejected: c.spoof_rejected,
+        arena_unknown: c.arena_unknown,
+        fault_dropped: c.fault_dropped,
+        fault_duplicated: c.fault_duplicated,
+        forwarded,
+        to_front: c.to_front,
+        front_drained: admission.drained(),
+        front_queue_dropped: fabric.port_dropped(handle.front_port),
+        front_pending: fabric.port_pending(handle.front_port) as u64,
+        datagrams_out,
+        replies_unroutable,
+        lanes,
+        admission,
+    })
+}
+
+/// A minimal real-UDP multi-arena client: drives `players` bots, each
+/// requesting arena `i % arenas`, against one gateway socket. Returns
+/// (sent, received, avg latency ms, per-arena received).
+pub fn run_udp_arena_clients(
+    server: SocketAddr,
+    arenas: u32,
+    players: u32,
+    duration: Duration,
+) -> std::io::Result<(u64, u64, f64, Vec<u64>)> {
+    use parquake_protocol::Encode;
+
+    const RETRY_MIN: Duration = Duration::from_millis(100);
+    const RETRY_MAX: Duration = Duration::from_millis(1600);
+    const STARVATION: Duration = Duration::from_secs(1);
+
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.set_read_timeout(Some(Duration::from_millis(5)))?;
+    let start = Instant::now();
+    let n = players as usize;
+    let arenas = arenas.max(1);
+    let mut acked = vec![false; n];
+    let mut seq = vec![0u32; n];
+    let mut last_rx_seq = vec![-1i64; n];
+    // The arena each client was actually placed in (from its ack).
+    let mut placed: Vec<u16> = (0..n).map(|i| (i as u32 % arenas) as u16).collect();
+    let mut next_at = vec![Duration::ZERO; n];
+    let mut backoff = vec![RETRY_MIN; n];
+    let mut last_heard = vec![Duration::ZERO; n];
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut per_arena = vec![0u64; arenas as usize];
+    let mut latency_sum = 0f64;
+    let mut buf = [0u8; MAX_DATAGRAM];
+
+    while start.elapsed() < duration {
+        let now = start.elapsed();
+        let now_ns = now.as_nanos() as u64;
+        for i in 0..n {
+            if now < next_at[i] {
+                continue;
+            }
+            if acked[i] && now.saturating_sub(last_heard[i]) > STARVATION {
+                acked[i] = false;
+                backoff[i] = RETRY_MIN;
+            }
+            let msg = if !acked[i] {
+                next_at[i] = now + backoff[i];
+                backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
+                ClientMessage::Connect {
+                    client_id: i as u32,
+                    arena: (i as u32 % arenas) as u16,
+                }
+            } else {
+                seq[i] += 1;
+                next_at[i] = now + Duration::from_millis(30);
+                ClientMessage::Move {
+                    client_id: i as u32,
+                    cmd: parquake_protocol::MoveCmd {
+                        seq: seq[i],
+                        sent_at: now_ns,
+                        pitch: 0.0,
+                        yaw: (i as f32 * 37.0) % 360.0 - 180.0,
+                        forward: 320.0,
+                        side: 0.0,
+                        up: 0.0,
+                        buttons: parquake_protocol::Buttons::NONE,
+                        msec: 30,
+                    },
+                }
+            };
+            if sock.send_to(&msg.to_bytes(), server).is_ok() {
+                sent += 1;
+            }
+        }
+        while let Ok((len, _)) = sock.recv_from(&mut buf) {
+            match ServerMessage::from_bytes(&buf[..len]) {
+                Ok(ServerMessage::ConnectAck {
+                    client_id, arena, ..
+                }) => {
+                    let i = client_id as usize;
+                    if i < n {
+                        if !acked[i] {
+                            acked[i] = true;
+                            next_at[i] = start.elapsed();
+                        }
+                        placed[i] = arena;
+                        backoff[i] = RETRY_MIN;
+                        last_heard[i] = start.elapsed();
+                    }
+                }
+                Ok(ServerMessage::Reply {
+                    client_id,
+                    seq: rx_seq,
+                    sent_at_echo,
+                    ..
+                }) => {
+                    let i = client_id as usize;
+                    if i < n {
+                        last_heard[i] = start.elapsed();
+                        if rx_seq as i64 > last_rx_seq[i] {
+                            last_rx_seq[i] = rx_seq as i64;
+                            received += 1;
+                            if (placed[i] as usize) < per_arena.len() {
+                                per_arena[placed[i] as usize] += 1;
+                            }
+                            let rx_ns = start.elapsed().as_nanos() as u64;
+                            if sent_at_echo > 0 && rx_ns > sent_at_echo {
+                                latency_sum += (rx_ns - sent_at_echo) as f64 / 1e6;
+                            }
+                        }
+                    }
+                }
+                Ok(ServerMessage::Bye { client_id }) => {
+                    let i = client_id as usize;
+                    if i < n {
+                        acked[i] = false;
+                        backoff[i] = RETRY_MIN;
+                        next_at[i] = start.elapsed();
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let avg = if received > 0 {
+        latency_sum / received as f64
+    } else {
+        0.0
+    };
+    Ok((sent, received, avg, per_arena))
+}

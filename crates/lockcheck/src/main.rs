@@ -333,7 +333,7 @@ fn check_source(path: &str, text: &str) -> Vec<Violation> {
         }
 
         // ---- ordered-acquire ----------------------------------------
-        if krate == "server"
+        if (krate == "server" || krate == "arena")
             && (line.contains("ctx.lock(") || line.contains("ctx.unlock("))
             && !in_site
         {
@@ -342,7 +342,8 @@ fn check_source(path: &str, text: &str) -> Vec<Violation> {
                 line: idx + 1,
                 rule: RULE_ORDERED,
                 msg: "fabric lock call outside an `// lockcheck: acquire-site` \
-                      function (go through RegionLocks / Ctrl::enter/exit)"
+                      function (go through RegionLocks / Ctrl::enter/exit, or \
+                      the arena Pool::enter/exit)"
                     .into(),
             });
         }

@@ -1,0 +1,113 @@
+//! Per-arena load summaries and their aggregate rollup.
+//!
+//! A multi-arena directory runs N independent worlds; observability has
+//! to answer both "how is arena k doing?" and "how is the machine
+//! doing?". [`ArenaLoad`] is one arena's server- and client-side view
+//! for a run; [`rollup`] folds a set of them into the aggregate the
+//! `arenasweep` figure reports.
+
+use crate::{ns_to_secs, Nanos, ResponseStats};
+
+/// One arena's load summary over a measured window.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaLoad {
+    /// Arena id (the aggregate from [`rollup`] uses `u16::MAX`).
+    pub arena: u16,
+    /// Server frames this arena executed.
+    pub frames: u64,
+    /// Replies the arena's runtime sent.
+    pub replies: u64,
+    /// Move commands the arena executed.
+    pub requests: u64,
+    /// Datagrams drained from the arena's request ports.
+    pub datagrams: u64,
+    /// Clients the admission policy routed here.
+    pub admitted: u64,
+    /// Client-side response statistics attributed to this arena.
+    pub response: ResponseStats,
+}
+
+impl ArenaLoad {
+    /// Replies per second observed by this arena's clients.
+    pub fn response_rate(&self, duration_ns: Nanos) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.response.received as f64 / ns_to_secs(duration_ns)
+    }
+
+    /// Average client-observed response time in milliseconds.
+    pub fn avg_response_ms(&self) -> f64 {
+        self.response.avg_latency_ms()
+    }
+
+    /// Server frames per second.
+    pub fn frame_rate(&self, duration_ns: Nanos) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.frames as f64 / ns_to_secs(duration_ns)
+    }
+}
+
+/// Fold per-arena loads into the machine-level aggregate. Counters sum;
+/// response statistics merge (so latency averages weight by replies).
+pub fn rollup(per: &[ArenaLoad]) -> ArenaLoad {
+    let mut agg = ArenaLoad {
+        arena: u16::MAX,
+        ..ArenaLoad::default()
+    };
+    for a in per {
+        agg.frames += a.frames;
+        agg.replies += a.replies;
+        agg.requests += a.requests;
+        agg.datagrams += a.datagrams;
+        agg.admitted += a.admitted;
+        agg.response.merge(&a.response);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(arena: u16, replies: u64, latency_ms: u64) -> ArenaLoad {
+        let mut response = ResponseStats::new();
+        for _ in 0..replies {
+            response.note_sent();
+            response.note_reply(latency_ms * 1_000_000);
+        }
+        ArenaLoad {
+            arena,
+            frames: 100,
+            replies,
+            requests: replies,
+            datagrams: replies + 5,
+            admitted: 4,
+            response,
+        }
+    }
+
+    #[test]
+    fn rollup_sums_counters_and_merges_latency() {
+        let per = [load(0, 100, 2), load(1, 300, 4)];
+        let agg = rollup(&per);
+        assert_eq!(agg.arena, u16::MAX);
+        assert_eq!(agg.frames, 200);
+        assert_eq!(agg.replies, 400);
+        assert_eq!(agg.datagrams, 410);
+        assert_eq!(agg.admitted, 8);
+        assert_eq!(agg.response.received, 400);
+        // Weighted mean: (100·2 + 300·4) / 400 = 3.5 ms.
+        assert!((agg.avg_response_ms() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_divide_by_the_window() {
+        let a = load(0, 500, 1);
+        assert!((a.response_rate(10_000_000_000) - 50.0).abs() < 1e-9);
+        assert!((a.frame_rate(10_000_000_000) - 10.0).abs() < 1e-9);
+        assert_eq!(a.response_rate(0), 0.0);
+    }
+}

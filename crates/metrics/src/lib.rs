@@ -18,12 +18,14 @@
 //! virtual-time) the experiment runs on. Everything is mergeable so
 //! per-thread collectors can be combined into run-level results.
 
+pub mod arena;
 pub mod breakdown;
 pub mod report;
 pub mod stats;
 pub mod timeline;
 pub mod witness;
 
+pub use arena::{rollup, ArenaLoad};
 pub use breakdown::{Breakdown, Bucket};
 pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
 pub use timeline::{FrameSample, Timeline};

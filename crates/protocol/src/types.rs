@@ -90,8 +90,11 @@ impl MoveCmd {
 /// Client → server messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ClientMessage {
-    /// Join the session.
-    Connect { client_id: u32 },
+    /// Join the session. `arena` selects a world instance on multi-arena
+    /// servers; it rides in an optional trailing extension (see
+    /// [`crate::ARENA_EXT_TAG`]) so arena-0 traffic is byte-identical to
+    /// the pre-extension wire format.
+    Connect { client_id: u32, arena: u16 },
     /// A move command from `client_id`.
     Move { client_id: u32, cmd: MoveCmd },
     /// Leave the session.
@@ -102,12 +105,38 @@ const TAG_CONNECT: u8 = 1;
 const TAG_MOVE: u8 = 2;
 const TAG_DISCONNECT: u8 = 3;
 
+/// Append the optional arena extension. Canonical form: arena 0 encodes
+/// as *nothing*, so default traffic matches the pre-extension format
+/// byte for byte and old decoders keep accepting it.
+fn put_arena_ext(out: &mut Vec<u8>, arena: u16) {
+    if arena != 0 {
+        put_u8(out, crate::ARENA_EXT_TAG);
+        put_u16(out, arena);
+    }
+}
+
+/// Consume the optional arena extension if — and only if — the next
+/// byte is [`crate::ARENA_EXT_TAG`]. An absent extension means arena 0
+/// (backward compatibility); a present-but-truncated one is a
+/// [`CodecError::Truncated`]; any other leftover is not consumed, so
+/// `from_bytes` reports it as [`CodecError::TrailingBytes`] exactly as
+/// before the extension existed.
+fn get_arena_ext(buf: &mut &[u8]) -> Result<u16, CodecError> {
+    if buf.first() == Some(&crate::ARENA_EXT_TAG) {
+        let _ = get_u8(buf)?;
+        get_u16(buf)
+    } else {
+        Ok(0)
+    }
+}
+
 impl Encode for ClientMessage {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            ClientMessage::Connect { client_id } => {
+            ClientMessage::Connect { client_id, arena } => {
                 put_u8(out, TAG_CONNECT);
                 put_u32(out, *client_id);
+                put_arena_ext(out, *arena);
             }
             ClientMessage::Move { client_id, cmd } => {
                 put_u8(out, TAG_MOVE);
@@ -135,6 +164,7 @@ impl Decode for ClientMessage {
         match get_u8(buf)? {
             TAG_CONNECT => Ok(ClientMessage::Connect {
                 client_id: get_u32(buf)?,
+                arena: get_arena_ext(buf)?,
             }),
             TAG_MOVE => Ok(ClientMessage::Move {
                 client_id: get_u32(buf)?,
@@ -292,8 +322,14 @@ impl Decode for GameEvent {
 /// Server → client messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServerMessage {
-    /// Connection accepted; here is your spawn position.
-    ConnectAck { client_id: u32, spawn: Vec3 },
+    /// Connection accepted; here is your spawn position. `arena` names
+    /// the world instance the admission policy placed the client in
+    /// (same optional-extension encoding as `Connect`; 0 when absent).
+    ConnectAck {
+        client_id: u32,
+        spawn: Vec3,
+        arena: u16,
+    },
     /// Reply to the client's latest move (one per server frame).
     Reply {
         client_id: u32,
@@ -330,12 +366,17 @@ const TAG_BYE: u8 = 102;
 impl Encode for ServerMessage {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            ServerMessage::ConnectAck { client_id, spawn } => {
+            ServerMessage::ConnectAck {
+                client_id,
+                spawn,
+                arena,
+            } => {
                 put_u8(out, TAG_ACK);
                 put_u32(out, *client_id);
                 put_f32(out, spawn.x);
                 put_f32(out, spawn.y);
                 put_f32(out, spawn.z);
+                put_arena_ext(out, *arena);
             }
             ServerMessage::Reply {
                 client_id,
@@ -395,6 +436,7 @@ impl Decode for ServerMessage {
             TAG_ACK => Ok(ServerMessage::ConnectAck {
                 client_id: get_u32(buf)?,
                 spawn: vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?),
+                arena: get_arena_ext(buf)?,
             }),
             TAG_REPLY => {
                 let client_id = get_u32(buf)?;
@@ -473,7 +515,14 @@ mod tests {
     #[test]
     fn client_message_roundtrips() {
         for msg in [
-            ClientMessage::Connect { client_id: 1 },
+            ClientMessage::Connect {
+                client_id: 1,
+                arena: 0,
+            },
+            ClientMessage::Connect {
+                client_id: 1,
+                arena: 3,
+            },
             sample_move(),
             ClientMessage::Disconnect { client_id: 2 },
         ] {
@@ -523,6 +572,12 @@ mod tests {
             ServerMessage::ConnectAck {
                 client_id: 3,
                 spawn: vec3(5.0, 6.0, 7.0),
+                arena: 0,
+            },
+            ServerMessage::ConnectAck {
+                client_id: 3,
+                spawn: vec3(5.0, 6.0, 7.0),
+                arena: 2,
             },
             ServerMessage::Bye { client_id: 4 },
         ] {
@@ -556,10 +611,55 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = ClientMessage::Connect { client_id: 1 }.to_bytes();
+        let mut bytes = ClientMessage::Connect {
+            client_id: 1,
+            arena: 0,
+        }
+        .to_bytes();
         bytes.push(0);
         assert_eq!(
             ClientMessage::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn arena_extension_is_canonical_and_backward_compatible() {
+        // Arena 0 encodes to exactly the pre-extension bytes.
+        let old_wire = vec![1u8, 9, 0, 0, 0]; // TAG_CONNECT, client 9 LE
+        assert_eq!(
+            ClientMessage::Connect {
+                client_id: 9,
+                arena: 0
+            }
+            .to_bytes(),
+            old_wire
+        );
+        // The pre-extension format decodes to arena 0.
+        assert_eq!(
+            ClientMessage::from_bytes(&old_wire).unwrap(),
+            ClientMessage::Connect {
+                client_id: 9,
+                arena: 0
+            }
+        );
+        // A non-zero arena adds exactly tag + u16.
+        let mut ext_wire = old_wire.clone();
+        ext_wire.extend_from_slice(&[crate::ARENA_EXT_TAG, 5, 0]);
+        assert_eq!(
+            ClientMessage::from_bytes(&ext_wire).unwrap(),
+            ClientMessage::Connect {
+                client_id: 9,
+                arena: 5
+            }
+        );
+        // Truncated extension: rejected, not silently arena 0.
+        assert!(ClientMessage::from_bytes(&ext_wire[..ext_wire.len() - 1]).is_err());
+        // Bytes after a complete extension are still trailing garbage.
+        let mut over = ext_wire.clone();
+        over.push(7);
+        assert_eq!(
+            ClientMessage::from_bytes(&over),
             Err(CodecError::TrailingBytes(1))
         );
     }

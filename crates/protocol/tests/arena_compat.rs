@@ -1,0 +1,107 @@
+//! Backward-compatibility properties of the arena-id extension.
+//!
+//! The extension must be invisible to arena-0 traffic: old-format
+//! datagrams (no extension) decode to arena 0, arena-0 messages encode
+//! to exactly the old bytes, and anything that is *not* a well-formed
+//! extension keeps being rejected the way the pre-extension codec
+//! rejected it.
+
+use parquake_math::vec3::vec3;
+use parquake_protocol::{
+    ClientMessage, Decode, Encode, ServerMessage, ARENA_EXT_TAG, ARENA_EXT_WIRE_BYTES,
+};
+use proptest::prelude::*;
+
+/// Hand-encode a pre-extension `Connect` (tag 1 + u32 LE client id).
+fn old_connect_wire(client_id: u32) -> Vec<u8> {
+    let mut b = vec![1u8];
+    b.extend_from_slice(&client_id.to_le_bytes());
+    b
+}
+
+/// Hand-encode a pre-extension `ConnectAck` (tag 100 + u32 + 3×f32).
+fn old_ack_wire(client_id: u32, spawn: [f32; 3]) -> Vec<u8> {
+    let mut b = vec![100u8];
+    b.extend_from_slice(&client_id.to_le_bytes());
+    for v in spawn {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+proptest! {
+    #[test]
+    fn old_format_connect_decodes_to_arena_zero(client_id in any::<u32>()) {
+        let wire = old_connect_wire(client_id);
+        prop_assert_eq!(
+            ClientMessage::from_bytes(&wire).unwrap(),
+            ClientMessage::Connect { client_id, arena: 0 }
+        );
+        // And arena 0 encodes back to exactly the old bytes: the
+        // extension is absent, not a zero-valued trailer.
+        prop_assert_eq!(
+            ClientMessage::Connect { client_id, arena: 0 }.to_bytes(),
+            wire
+        );
+    }
+
+    #[test]
+    fn old_format_ack_decodes_to_arena_zero(
+        client_id in any::<u32>(),
+        x in -4096.0f32..4096.0,
+        y in -4096.0f32..4096.0,
+        z in -4096.0f32..4096.0,
+    ) {
+        let wire = old_ack_wire(client_id, [x, y, z]);
+        let msg = ServerMessage::ConnectAck { client_id, spawn: vec3(x, y, z), arena: 0 };
+        prop_assert_eq!(ServerMessage::from_bytes(&wire).unwrap(), msg.clone());
+        prop_assert_eq!(msg.to_bytes(), wire);
+    }
+
+    #[test]
+    fn extended_connect_roundtrips(client_id in any::<u32>(), arena in any::<u16>()) {
+        let msg = ClientMessage::Connect { client_id, arena };
+        let wire = msg.to_bytes();
+        prop_assert_eq!(ClientMessage::from_bytes(&wire).unwrap(), msg);
+        // The extension costs exactly ARENA_EXT_WIRE_BYTES, and only
+        // for a non-zero arena.
+        let expected = old_connect_wire(client_id).len()
+            + if arena == 0 { 0 } else { ARENA_EXT_WIRE_BYTES };
+        prop_assert_eq!(wire.len(), expected);
+    }
+
+    #[test]
+    fn non_extension_trailers_stay_rejected(
+        client_id in any::<u32>(),
+        trailer in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // Unknown trailing bytes must fail decode exactly as the
+        // pre-extension codec failed them — the only trailer the codec
+        // accepts is one complete, well-formed arena extension.
+        if !(trailer.len() == ARENA_EXT_WIRE_BYTES && trailer[0] == ARENA_EXT_TAG) {
+            let mut wire = old_connect_wire(client_id);
+            wire.extend_from_slice(&trailer);
+            prop_assert!(ClientMessage::from_bytes(&wire).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_extension_is_rejected(client_id in any::<u32>(), arena in 1u16..u16::MAX) {
+        let wire = ClientMessage::Connect { client_id, arena }.to_bytes();
+        for cut in old_connect_wire(client_id).len() + 1..wire.len() {
+            prop_assert!(ClientMessage::from_bytes(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn extension_never_touches_other_messages(client_id in any::<u32>()) {
+        // Move/Disconnect/Reply/Bye have no extension: an
+        // extension-shaped trailer on them is plain garbage.
+        let mut wire = ClientMessage::Disconnect { client_id }.to_bytes();
+        wire.extend_from_slice(&[ARENA_EXT_TAG, 1, 0]);
+        prop_assert!(ClientMessage::from_bytes(&wire).is_err());
+        let mut wire = ServerMessage::Bye { client_id }.to_bytes();
+        wire.extend_from_slice(&[ARENA_EXT_TAG, 1, 0]);
+        prop_assert!(ServerMessage::from_bytes(&wire).is_err());
+    }
+}

@@ -3,9 +3,16 @@
 use parquake_math::vec3::vec3;
 use parquake_protocol::{
     Buttons, ClientMessage, Decode, Encode, EntityKind, EntityUpdate, GameEvent, GameEventKind,
-    MoveCmd, ServerMessage,
+    MoveCmd, ServerMessage, ARENA_EXT_TAG, ARENA_EXT_WIRE_BYTES,
 };
 use proptest::prelude::*;
+
+/// Is this trailer exactly one well-formed arena extension? Appended to
+/// an extension-less `Connect`/`ConnectAck` it forms a valid new-format
+/// message rather than trailing garbage.
+fn is_arena_ext(trailer: &[u8]) -> bool {
+    trailer.len() == ARENA_EXT_WIRE_BYTES && trailer[0] == ARENA_EXT_TAG
+}
 
 fn arb_move() -> impl Strategy<Value = MoveCmd> {
     (
@@ -34,9 +41,16 @@ fn arb_move() -> impl Strategy<Value = MoveCmd> {
         )
 }
 
+/// Arena ids, with 0 (the canonical no-extension encoding) always in
+/// the mix.
+fn arb_arena() -> impl Strategy<Value = u16> {
+    prop_oneof![Just(0u16), any::<u16>()]
+}
+
 fn arb_client_msg() -> impl Strategy<Value = ClientMessage> {
     prop_oneof![
-        any::<u32>().prop_map(|client_id| ClientMessage::Connect { client_id }),
+        (any::<u32>(), arb_arena())
+            .prop_map(|(client_id, arena)| ClientMessage::Connect { client_id, arena }),
         (any::<u32>(), arb_move())
             .prop_map(|(client_id, cmd)| ClientMessage::Move { client_id, cmd }),
         any::<u32>().prop_map(|client_id| ClientMessage::Disconnect { client_id }),
@@ -91,9 +105,12 @@ fn arb_event() -> impl Strategy<Value = GameEvent> {
 
 fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
     prop_oneof![
-        (any::<u32>(), -100.0f32..100.0).prop_map(|(client_id, x)| ServerMessage::ConnectAck {
-            client_id,
-            spawn: vec3(x, x, x)
+        (any::<u32>(), -100.0f32..100.0, arb_arena()).prop_map(|(client_id, x, arena)| {
+            ServerMessage::ConnectAck {
+                client_id,
+                spawn: vec3(x, x, x),
+                arena,
+            }
         }),
         (
             any::<u32>(),
@@ -182,9 +199,16 @@ proptest! {
     ) {
         // The wire format is length-exact: any trailing garbage after a
         // valid message must fail decode, never be silently ignored.
+        // The one exception is the arena extension itself: a trailer
+        // that *is* a well-formed extension on an extension-less
+        // Connect is by definition a valid new-format message.
         let mut bytes = msg.to_bytes();
         bytes.extend_from_slice(&trailer);
-        prop_assert!(ClientMessage::from_bytes(&bytes).is_err());
+        if matches!(msg, ClientMessage::Connect { arena: 0, .. }) && is_arena_ext(&trailer) {
+            prop_assert!(ClientMessage::from_bytes(&bytes).is_ok());
+        } else {
+            prop_assert!(ClientMessage::from_bytes(&bytes).is_err());
+        }
     }
 
     #[test]
@@ -194,7 +218,11 @@ proptest! {
     ) {
         let mut bytes = msg.to_bytes();
         bytes.extend_from_slice(&trailer);
-        prop_assert!(ServerMessage::from_bytes(&bytes).is_err());
+        if matches!(msg, ServerMessage::ConnectAck { arena: 0, .. }) && is_arena_ext(&trailer) {
+            prop_assert!(ServerMessage::from_bytes(&bytes).is_ok());
+        } else {
+            prop_assert!(ServerMessage::from_bytes(&bytes).is_err());
+        }
     }
 
     #[test]

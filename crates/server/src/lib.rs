@@ -116,6 +116,12 @@ pub struct ServerConfig {
     /// Reclaim a slot whose client has been silent this long
     /// (a `Bye` is sent and the player despawned). 0 = never.
     pub client_timeout_ns: Nanos,
+    /// Which arena this runtime is (multi-arena directories give each
+    /// world instance its own id; standalone servers are arena 0). The
+    /// id is echoed in every `ConnectAck` so clients learn their
+    /// placement; arena 0 keeps the ack byte-identical to the
+    /// pre-arena wire format.
+    pub arena_id: u16,
 }
 
 impl ServerConfig {
@@ -129,6 +135,7 @@ impl ServerConfig {
             assignment: Assignment::Static,
             delta_compression: false,
             client_timeout_ns: 0,
+            arena_id: 0,
         }
     }
 }

@@ -43,6 +43,8 @@ pub struct ServerShared {
     pub delta_compression: bool,
     /// Reclaim slots silent for this long (0 = never).
     pub client_timeout_ns: Nanos,
+    /// Arena id echoed in every ConnectAck (0 for standalone servers).
+    pub arena_id: u16,
     pub threads: u32,
     pub slots_per_thread: u32,
     pub ports: Vec<PortId>,
@@ -86,6 +88,7 @@ impl ServerShared {
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
             client_timeout_ns: cfg.client_timeout_ns,
+            arena_id: cfg.arena_id,
             threads,
             slots_per_thread: (slots as u32).div_ceil(threads),
             ports,
@@ -302,7 +305,11 @@ impl ServerShared {
         frame_leaf_mask: &mut u64,
     ) -> bool {
         match msg {
-            ClientMessage::Connect { client_id } => {
+            // The arena id was consumed by whatever routed this
+            // Connect here (the arena directory's admission stage, or
+            // nothing for a standalone server); the runtime itself IS
+            // one arena and acks with its own id.
+            ClientMessage::Connect { client_id, .. } => {
                 let now = ctx.now();
                 // Re-ack an existing slot (anywhere, in case the client
                 // was steered) or claim a fresh one in the home block.
@@ -495,6 +502,7 @@ impl ServerShared {
                 let ack = ServerMessage::ConnectAck {
                     client_id: slot.client_id,
                     spawn: self.world.store.snapshot(idx as u16).pos,
+                    arena: self.arena_id,
                 };
                 ctx.charge(self.cost.reply_base / 2);
                 ctx.send(port, slot.reply_port, ack.to_bytes());

@@ -89,6 +89,7 @@ mod tests {
     use crate::clients::ClientTable;
     use parquake_bsp::mapgen::MapGenConfig;
     use parquake_math::Pcg32;
+    use parquake_protocol::EntityKind;
     use std::sync::Arc;
 
     #[test]
@@ -124,5 +125,141 @@ mod tests {
             _ => unreachable!(),
         }
         assert!(work.visibility_checks > 0);
+    }
+
+    fn delta_world() -> (GameWorld, ClientTable) {
+        let map = Arc::new(MapGenConfig::small_arena(2).generate());
+        let world = GameWorld::new(map, 4, 4);
+        let mut rng = Pcg32::seeded(1);
+        world.spawn_player(0, 7, &mut rng);
+        let table = ClientTable::new(4);
+        table.slot(0).client_id = 7;
+        (world, table)
+    }
+
+    fn reply_parts(msg: ServerMessage) -> (Vec<EntityUpdate>, Vec<u16>) {
+        match msg {
+            ServerMessage::Reply {
+                entities, removed, ..
+            } => (entities, removed),
+            _ => unreachable!(),
+        }
+    }
+
+    /// A ghost baseline entry: an entity the client once saw that no
+    /// longer exists in the world, so every delta reply wants to remove
+    /// it. Ids start high enough never to collide with real entities.
+    fn ghost(id: u16) -> EntityUpdate {
+        EntityUpdate {
+            id,
+            kind: EntityKind::Item,
+            state: 1,
+            pos: parquake_math::Vec3::new(0.0, 0.0, 0.0),
+            yaw: 0.0,
+        }
+    }
+
+    /// The removal list is capped at [`MAX_REMOVALS_PER_REPLY`]; the
+    /// overflow must stay in the baseline and go out in the *next*
+    /// reply, never be dropped. Two consecutive replies must partition
+    /// the ghost set: disjoint, and their union is everything.
+    #[test]
+    fn removal_truncation_carries_leftovers_to_the_next_reply() {
+        use std::collections::HashSet;
+        let (world, table) = delta_world();
+        let slot = table.slot(0);
+        let ghosts: HashSet<u16> = (1000..1000 + MAX_REMOVALS_PER_REPLY as u16 + 40).collect();
+        for &id in &ghosts {
+            slot.baseline.insert(id, ghost(id));
+        }
+        let mut work = WorkCounters::new();
+
+        let (_, removed1) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            1,
+            0,
+            true,
+            Vec::new(),
+            &mut work,
+        ));
+        assert_eq!(removed1.len(), MAX_REMOVALS_PER_REPLY);
+        // The leftovers are still tracked, so the client will hear
+        // about them: nothing silently vanished from the baseline.
+        let (_, removed2) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            2,
+            0,
+            true,
+            Vec::new(),
+            &mut work,
+        ));
+        assert_eq!(removed2.len(), 40);
+
+        let first: HashSet<u16> = removed1.iter().copied().collect();
+        let second: HashSet<u16> = removed2.iter().copied().collect();
+        assert!(first.is_disjoint(&second), "a ghost was removed twice");
+        let union: HashSet<u16> = first.union(&second).copied().collect();
+        assert_eq!(union, ghosts, "removals must cover every ghost exactly");
+        // And the ghosts are gone from the baseline for good: a third
+        // reply removes nothing.
+        let (_, removed3) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            3,
+            0,
+            true,
+            Vec::new(),
+            &mut work,
+        ));
+        assert!(removed3.is_empty());
+    }
+
+    /// An unchanged entity is sent once and then suppressed: the first
+    /// delta reply installs the baseline, repeats ride on it.
+    #[test]
+    fn baseline_is_updated_exactly_once_per_entity() {
+        let (world, table) = delta_world();
+        let slot = table.slot(0);
+        let mut work = WorkCounters::new();
+
+        let (sent1, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            1,
+            0,
+            true,
+            Vec::new(),
+            &mut work,
+        ));
+        assert!(!sent1.is_empty(), "first delta reply seeds the baseline");
+        for u in &sent1 {
+            assert_eq!(
+                slot.baseline.get(&u.id),
+                Some(u),
+                "baseline == what was sent"
+            );
+        }
+        let baseline_after_first = slot.baseline.clone();
+
+        // Nothing moved: the second reply must resend nothing and the
+        // baseline must be byte-identical (no redundant re-insertions).
+        let (sent2, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            2,
+            0,
+            true,
+            Vec::new(),
+            &mut work,
+        ));
+        assert!(sent2.is_empty(), "unchanged entities must be suppressed");
+        assert_eq!(slot.baseline, baseline_after_first);
     }
 }

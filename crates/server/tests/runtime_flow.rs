@@ -84,7 +84,10 @@ fn connect_then_world_update_spawns_and_acks() {
             ctx,
             0,
             client_port,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -124,7 +127,10 @@ fn move_is_processed_and_replied_with_echo() {
             ctx,
             0,
             client_port,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -203,6 +209,7 @@ fn connects_fill_home_block_then_stop() {
                 client_port,
                 ClientMessage::Connect {
                     client_id: 100 + cid,
+                    arena: 0,
                 },
                 &mut stats,
                 &mut mask,
@@ -236,7 +243,10 @@ fn region_affine_reclustering_steers_clients() {
                 ctx,
                 cid / 2,
                 client_port,
-                ClientMessage::Connect { client_id: cid },
+                ClientMessage::Connect {
+                    client_id: cid,
+                    arena: 0,
+                },
                 &mut stats,
                 &mut mask,
             );
@@ -269,7 +279,10 @@ fn connect_from_new_port_does_not_hijack_live_slot() {
             ctx,
             0,
             port_a,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -279,7 +292,10 @@ fn connect_from_new_port_does_not_hijack_live_slot() {
             ctx,
             0,
             port_b,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -305,7 +321,10 @@ fn connect_rebinds_after_silence_grace() {
             ctx,
             0,
             port_a,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -315,7 +334,10 @@ fn connect_rebinds_after_silence_grace() {
             ctx,
             0,
             port_b,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -326,7 +348,10 @@ fn connect_rebinds_after_silence_grace() {
             ctx,
             0,
             port_b,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -349,7 +374,10 @@ fn silent_client_is_reclaimed_with_bye() {
             ctx,
             0,
             client_port,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );
@@ -385,7 +413,10 @@ fn active_client_is_not_reclaimed_while_sending() {
             ctx,
             0,
             client_port,
-            ClientMessage::Connect { client_id: 7 },
+            ClientMessage::Connect {
+                client_id: 7,
+                arena: 0,
+            },
             &mut stats,
             &mut mask,
         );

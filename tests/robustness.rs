@@ -117,7 +117,11 @@ fn disconnects_free_slots_for_new_players() {
                     ctx.send(
                         client,
                         port,
-                        ClientMessage::Connect { client_id: cid }.to_bytes(),
+                        ClientMessage::Connect {
+                            client_id: cid,
+                            arena: 0,
+                        }
+                        .to_bytes(),
                     );
                     let deadline = ctx.now() + 50_000_000;
                     while ctx.wait_readable(client, Some(deadline)) {
