@@ -26,22 +26,36 @@ pub enum AdmissionPolicy {
 
 impl AdmissionPolicy {
     /// Choose an arena for a client requesting `requested`, given the
-    /// per-arena occupancy estimates and the common per-arena capacity.
-    /// `None` means every arena is full and the connect is refused.
-    pub fn place(&self, requested: u16, occupancy: &[u32], capacity: u32) -> Option<usize> {
-        let fill_first = || occupancy.iter().position(|&o| o < capacity);
+    /// per-arena occupancy estimates, the common per-arena capacity,
+    /// and the live mask (an elastic directory keeps cold/reaped cells
+    /// in its tables; only `live[k]` arenas accept placements). `None`
+    /// means every live arena is full and the connect is refused — an
+    /// elastic director treats that as spawn pressure.
+    pub fn place(
+        &self,
+        requested: u16,
+        occupancy: &[u32],
+        capacity: u32,
+        live: &[bool],
+    ) -> Option<usize> {
+        let open = |k: usize| live.get(k).copied().unwrap_or(false) && occupancy[k] < capacity;
+        let fill_first = || (0..occupancy.len()).find(|&k| open(k));
         match self {
             AdmissionPolicy::FillFirst => fill_first(),
             AdmissionPolicy::LeastLoaded => occupancy
                 .iter()
                 .enumerate()
-                .filter(|&(_, &o)| o < capacity)
+                .filter(|&(k, _)| open(k))
                 .min_by_key(|&(_, &o)| o)
                 .map(|(k, _)| k),
-            AdmissionPolicy::Explicit => match occupancy.get(requested as usize) {
-                Some(&o) if o < capacity => Some(requested as usize),
-                _ => fill_first(),
-            },
+            AdmissionPolicy::Explicit => {
+                let req = requested as usize;
+                if req < occupancy.len() && open(req) {
+                    Some(req)
+                } else {
+                    fill_first()
+                }
+            }
         }
     }
 }
@@ -76,6 +90,32 @@ pub struct AdmissionStats {
     /// Datagrams that failed to decode — dropped, counted, exactly like
     /// a server thread's `decode_rejected`.
     pub decode_rejected: u64,
+    /// Clients ever placed into an arena (fresh placements plus
+    /// `Connected` notices for clients that joined at an arena
+    /// directly, bypassing the front door).
+    pub placed: u64,
+    /// Clients whose placement ended, however it ended: front-door
+    /// `Disconnect`, a `Disconnected`/`Reclaimed`/`Rejected` lifecycle
+    /// notice, or an LRU book eviction. The population identity
+    /// `placed == departed + resident` holds by construction.
+    pub departed: u64,
+    /// Clients still booked when the run ended (`book.len()`).
+    pub resident: u64,
+    /// `Connected` lifecycle notices drained.
+    pub notice_connected: u64,
+    /// `Disconnected` lifecycle notices drained.
+    pub notice_disconnected: u64,
+    /// `Reclaimed` lifecycle notices drained.
+    pub notice_reclaimed: u64,
+    /// `Rejected` lifecycle notices drained.
+    pub notice_rejected: u64,
+    /// Notices about clients the book no longer holds (e.g. a
+    /// front-door Disconnect already evicted the entry before the
+    /// arena's own `Disconnected` notice arrived) — no-ops.
+    pub notice_stale: u64,
+    /// Book entries evicted by the LRU capacity bound (memory-pressure
+    /// safety valve; counts toward `departed`).
+    pub book_evicted: u64,
 }
 
 impl AdmissionStats {
@@ -90,42 +130,95 @@ impl AdmissionStats {
             + self.forwarded_other
             + self.dropped_unknown
     }
+
+    /// The population accounting identity: every client ever placed
+    /// either departed (disconnect, reclaim, reject notice, eviction)
+    /// or is still resident. A directory whose ledger drifts (the
+    /// pre-lifecycle bug) cannot close this.
+    pub fn population_closed(&self) -> bool {
+        self.placed == self.departed + self.resident
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const LIVE3: &[bool] = &[true, true, true];
+
     #[test]
     fn fill_first_packs_in_index_order() {
         let p = AdmissionPolicy::FillFirst;
-        assert_eq!(p.place(0, &[3, 0, 0], 4), Some(0));
-        assert_eq!(p.place(0, &[4, 0, 0], 4), Some(1));
+        assert_eq!(p.place(0, &[3, 0, 0], 4, LIVE3), Some(0));
+        assert_eq!(p.place(0, &[4, 0, 0], 4, LIVE3), Some(1));
         // An explicit request is ignored by this policy.
-        assert_eq!(p.place(2, &[0, 0, 0], 4), Some(0));
-        assert_eq!(p.place(0, &[4, 4, 4], 4), None);
+        assert_eq!(p.place(2, &[0, 0, 0], 4, LIVE3), Some(0));
+        assert_eq!(p.place(0, &[4, 4, 4], 4, LIVE3), None);
     }
 
     #[test]
     fn least_loaded_balances_with_low_index_ties() {
         let p = AdmissionPolicy::LeastLoaded;
-        assert_eq!(p.place(0, &[2, 1, 3], 4), Some(1));
-        assert_eq!(p.place(0, &[2, 2, 2], 4), Some(0));
+        assert_eq!(p.place(0, &[2, 1, 3], 4, LIVE3), Some(1));
+        assert_eq!(p.place(0, &[2, 2, 2], 4, LIVE3), Some(0));
         // Full arenas are never chosen even if least loaded overall.
-        assert_eq!(p.place(0, &[4, 4, 3], 4), Some(2));
-        assert_eq!(p.place(0, &[4, 4, 4], 4), None);
+        assert_eq!(p.place(0, &[4, 4, 3], 4, LIVE3), Some(2));
+        assert_eq!(p.place(0, &[4, 4, 4], 4, LIVE3), None);
     }
 
     #[test]
     fn explicit_honours_in_range_requests_with_room() {
         let p = AdmissionPolicy::Explicit;
-        assert_eq!(p.place(2, &[0, 0, 1], 4), Some(2));
+        assert_eq!(p.place(2, &[0, 0, 1], 4, LIVE3), Some(2));
         // No extension on the wire ⇒ requested 0 ⇒ arena 0: old
         // clients land where the pre-arena server would put them.
-        assert_eq!(p.place(0, &[1, 0, 0], 4), Some(0));
+        assert_eq!(p.place(0, &[1, 0, 0], 4, LIVE3), Some(0));
         // Full or out-of-range requests fall back to fill-first.
-        assert_eq!(p.place(2, &[1, 0, 4], 4), Some(0));
-        assert_eq!(p.place(9, &[4, 1, 0], 4), Some(1));
-        assert_eq!(p.place(1, &[4, 4, 4], 4), None);
+        assert_eq!(p.place(2, &[1, 0, 4], 4, LIVE3), Some(0));
+        assert_eq!(p.place(9, &[4, 1, 0], 4, LIVE3), Some(1));
+        assert_eq!(p.place(1, &[4, 4, 4], 4, LIVE3), None);
+    }
+
+    #[test]
+    fn dead_arenas_are_never_placed_into() {
+        // An elastic directory's cold and reaped cells are present in
+        // the occupancy table but masked out of placement.
+        let live = &[true, false, true];
+        assert_eq!(
+            AdmissionPolicy::FillFirst.place(0, &[4, 0, 1], 4, live),
+            Some(2)
+        );
+        assert_eq!(
+            AdmissionPolicy::LeastLoaded.place(0, &[2, 0, 3], 4, live),
+            Some(0)
+        );
+        // An explicit request for a dead arena falls back to fill-first.
+        assert_eq!(
+            AdmissionPolicy::Explicit.place(1, &[1, 0, 0], 4, live),
+            Some(0)
+        );
+        // Every live arena full ⇒ refusal, even with empty dead cells.
+        assert_eq!(
+            AdmissionPolicy::FillFirst.place(0, &[4, 0, 4], 4, live),
+            None
+        );
+    }
+
+    #[test]
+    fn population_identity_closes_by_construction() {
+        let stats = AdmissionStats {
+            placed: 10,
+            departed: 7,
+            resident: 3,
+            ..AdmissionStats::default()
+        };
+        assert!(stats.population_closed());
+        let drifted = AdmissionStats {
+            placed: 10,
+            departed: 5,
+            resident: 3,
+            ..AdmissionStats::default()
+        };
+        assert!(!drifted.population_closed());
     }
 }

@@ -5,6 +5,7 @@
 //!  Connect ──► front ──►│ admission ──► arena k runtime (1..N)  │──► ConnectAck{arena:k}
 //!  Move ─────────────────────────────► arena k request port     │──► Reply
 //!                       │     shared pool: workers 0..W         │
+//!                       │ lifecycle notices ──► control port ───│──► ledger
 //!                       └───────────────────────────────────────┘
 //! ```
 //!
@@ -25,20 +26,39 @@
 //! to the chosen arena *preserving the client's source port*, so the
 //! arena replies straight to the client and the directory is off the
 //! data path after admission.
+//!
+//! The director's population [`Ledger`] is kept truthful by
+//! **lifecycle notices**: each arena runtime reports connect
+//! accepts, disconnects, inactivity reclaims and rejects on a control
+//! port the director drains between front-door batches. On that
+//! corrected bookkeeping sits **elasticity** (pooled scheduling only):
+//! `max_arenas` cells are pre-provisioned cold (the fabric requires all
+//! allocation before `run()`), admission pressure brings one live
+//! (spawning = flipping its claim-table liveness bit), and a live
+//! non-boot arena whose occupancy stays zero past `linger_ns` is
+//! reaped — its claim slot masked, its `ServerResults` published.
+//! The elastic state machine per cell is thus
+//! `cold → live → lingering → reaped (→ live again under pressure)`.
 
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::{CondId, Fabric, LockId, Nanos, PortId, TaskCtx};
-use parquake_metrics::{Bucket, FrameSample, FrameStats, LockClass, ThreadStats, Timeline};
+use parquake_metrics::{
+    Bucket, ElasticEvent, ElasticEventKind, ElasticStats, FrameSample, FrameStats, LockClass,
+    ThreadStats, Timeline,
+};
 use parquake_protocol::{ClientMessage, Decode};
+use parquake_server::clients::SlotState;
 use parquake_server::runtime::{ServerShared, REQUEST_QUEUE_CAP};
-use parquake_server::{spawn_server, LockPolicy, ServerConfig, ServerHandle, ServerResults};
+use parquake_server::{
+    spawn_server, LifecycleEvent, LockPolicy, ServerConfig, ServerHandle, ServerResults,
+};
 use parquake_sim::GameWorld;
 
 use crate::admission::{AdmissionPolicy, AdmissionStats};
+use crate::ledger::{Departure, Ledger};
 
 /// How arena frames get processors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,7 +74,7 @@ pub enum ArenaScheduling {
 /// Configuration for [`spawn_directory`].
 #[derive(Clone, Debug)]
 pub struct ArenaDirectoryConfig {
-    /// Number of independent worlds.
+    /// Number of worlds live at boot.
     pub arenas: u32,
     /// Player capacity of each world.
     pub slots_per_arena: u16,
@@ -69,7 +89,7 @@ pub struct ArenaDirectoryConfig {
     pub areanode_depth: u32,
     /// Server template: `end_time`, cost model, checking, timeouts are
     /// common to all arenas; `kind` is honoured by `Dedicated` only;
-    /// `arena_id` is overwritten per arena.
+    /// `arena_id` and `lifecycle_port` are overwritten per arena.
     pub server: ServerConfig,
     /// Pooled workers re-scan for runnable arenas at least this often
     /// while idle (bounds added latency when a datagram lands while
@@ -83,6 +103,34 @@ pub struct ArenaDirectoryConfig {
     /// the witness stay exercised). `None` = the sequential server's
     /// lock-free frames.
     pub pooled_locking: Option<LockPolicy>,
+    /// Elasticity ceiling (pooled scheduling only): up to this many
+    /// arenas may be live at once; cells beyond `arenas` start cold
+    /// and are spawned under admission pressure. `0` (the default) and
+    /// anything `<= arenas` mean a fixed fleet — exactly the old
+    /// behaviour. Dedicated scheduling ignores this (its runtimes
+    /// spawn real tasks at boot and cannot be grown).
+    pub max_arenas: u32,
+    /// How long a non-boot arena's occupancy must sit at zero before
+    /// it is reaped.
+    pub linger_ns: Nanos,
+    /// Arena runtimes report lifecycle events to the director (on by
+    /// default). Off reproduces PR 3's drifting occupancy estimate.
+    pub lifecycle: bool,
+    /// Pooled arenas with resident sessions run a frame at least this
+    /// often even with no input queued, so leave/timeout maintenance
+    /// (despawns, `Bye`s, lifecycle notices) cannot stall waiting for
+    /// traffic that will never come. `0` = automatic: maintenance runs
+    /// at 50 ms when the directory is elastic or reclaims are on,
+    /// and stays off otherwise (keeping the 1×1 degenerate path
+    /// byte-identical to the sequential server).
+    pub maintenance_ns: Nanos,
+    /// LRU bound on the director's book (entries). `0` = automatic:
+    /// 4× the directory's total player capacity.
+    pub book_cap: usize,
+    /// The director wakes at least this often to drain lifecycle
+    /// notices and run elastic bookkeeping while the front door is
+    /// quiet.
+    pub notice_poll_ns: Nanos,
 }
 
 impl ArenaDirectoryConfig {
@@ -98,6 +146,12 @@ impl ArenaDirectoryConfig {
             poll_ns: 1_000_000,
             frame_interval_ns: 0,
             pooled_locking: None,
+            max_arenas: 0,
+            linger_ns: 500_000_000,
+            lifecycle: true,
+            maintenance_ns: 0,
+            book_cap: 0,
+            notice_poll_ns: 2_000_000,
         }
     }
 }
@@ -118,9 +172,13 @@ pub struct ArenaHandle {
     /// The front door: clients send `Connect` here.
     pub front_port: PortId,
     /// Request ports of each arena's runtime (`arena_ports[k][t]` =
-    /// arena `k`, thread `t`); move traffic goes straight here.
+    /// arena `k`, thread `t`); move traffic goes straight here. Sized
+    /// `max_arenas` — cold cells have allocated ports from birth, so
+    /// routing tables built over this vector tolerate arena birth and
+    /// death mid-run.
     pub arena_ports: Vec<Vec<PortId>>,
-    /// Per-arena server results, filled when the run ends.
+    /// Per-arena server results, filled when the run ends (or at reap
+    /// time for reaped arenas).
     pub results: Vec<Arc<Mutex<ServerResults>>>,
     /// The arenas' worlds (final-state inspection, world hashes).
     pub worlds: Vec<Arc<GameWorld>>,
@@ -129,14 +187,30 @@ pub struct ArenaHandle {
     /// Pool accounting (`Pooled` scheduling only), filled when the run
     /// ends.
     pub pool: Option<Arc<Mutex<PoolReport>>>,
+    /// Spawn/reap accounting, filled when the run ends.
+    pub elastic: Arc<Mutex<ElasticStats>>,
+    /// The director's lifecycle control port (tests inject synthetic
+    /// notices here). `None` when lifecycle reporting is disabled.
+    pub lifecycle_port: Option<PortId>,
 }
 
-/// Spawn the directory onto `fabric`: all arena runtimes, the worker
-/// pool (if pooled), and the front-door director task.
+/// Spawn the directory onto `fabric`: all arena runtimes (live and
+/// cold), the worker pool (if pooled), and the front-door director
+/// task.
 pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> ArenaHandle {
     assert!(cfg.arenas >= 1, "directory needs at least one arena");
+    let boot = cfg.arenas as usize;
+    let max_arenas = match cfg.scheduling {
+        ArenaScheduling::Pooled { .. } => (cfg.max_arenas as usize).max(boot),
+        ArenaScheduling::Dedicated => boot,
+    };
+    let lifecycle_port = if cfg.lifecycle {
+        Some(fabric.alloc_bounded_port(REQUEST_QUEUE_CAP))
+    } else {
+        None
+    };
     let map = Arc::new(cfg.map.generate());
-    let worlds: Vec<Arc<GameWorld>> = (0..cfg.arenas)
+    let worlds: Vec<Arc<GameWorld>> = (0..max_arenas)
         .map(|_| {
             Arc::new(GameWorld::new(
                 map.clone(),
@@ -146,14 +220,19 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         })
         .collect();
 
-    let (arena_ports, results, pool) = match cfg.scheduling {
-        ArenaScheduling::Pooled { workers } => spawn_pool(fabric, &cfg, &worlds, workers),
+    let (arena_ports, results, pool_parts, pool_report) = match cfg.scheduling {
+        ArenaScheduling::Pooled { workers } => {
+            let (ports, results, parts, report) =
+                spawn_pool(fabric, &cfg, &worlds, workers, lifecycle_port);
+            (ports, results, Some(parts), Some(report))
+        }
         ArenaScheduling::Dedicated => {
             let mut ports = Vec::new();
             let mut results = Vec::new();
             for (k, world) in worlds.iter().enumerate() {
                 let mut scfg = cfg.server.clone();
                 scfg.arena_id = k as u16;
+                scfg.lifecycle_port = lifecycle_port;
                 let ServerHandle {
                     ports: p,
                     results: r,
@@ -162,29 +241,42 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
                 ports.push(p);
                 results.push(r);
             }
-            (ports, results, None)
+            (ports, results, None, None)
         }
     };
 
     let admission = Arc::new(Mutex::new(AdmissionStats::default()));
+    let elastic = Arc::new(Mutex::new(ElasticStats::default()));
     let front_port = fabric.alloc_bounded_port(REQUEST_QUEUE_CAP);
-    {
-        let ports = arena_ports.clone();
-        let adm = admission.clone();
-        let policy = cfg.policy;
-        let capacity = cfg.slots_per_arena as u32;
-        let cost = cfg.server.cost.clone();
-        let end_time = cfg.server.end_time;
-        fabric.spawn(
-            "arena-director",
-            None,
-            Box::new(move |ctx| {
-                director(
-                    ctx, front_port, &ports, policy, capacity, &cost, end_time, &adm,
-                )
-            }),
-        );
-    }
+    let book_cap = if cfg.book_cap > 0 {
+        cfg.book_cap
+    } else {
+        (max_arenas * cfg.slots_per_arena as usize)
+            .saturating_mul(4)
+            .max(64)
+    };
+    let env = DirectorEnv {
+        front: front_port,
+        lifecycle: lifecycle_port,
+        arena_ports: arena_ports.clone(),
+        policy: cfg.policy,
+        capacity: cfg.slots_per_arena as u32,
+        cost: cfg.server.cost.clone(),
+        end_time: cfg.server.end_time,
+        boot,
+        linger_ns: cfg.linger_ns,
+        notice_poll_ns: cfg.notice_poll_ns.max(1),
+        book_cap,
+        pool: pool_parts,
+        results: results.clone(),
+        out: admission.clone(),
+        elastic_out: elastic.clone(),
+    };
+    fabric.spawn(
+        "arena-director",
+        None,
+        Box::new(move |ctx| director(ctx, &env)),
+    );
 
     ArenaHandle {
         front_port,
@@ -192,7 +284,9 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         results,
         worlds,
         admission,
-        pool,
+        pool: pool_report,
+        elastic,
+        lifecycle_port,
     }
 }
 
@@ -200,103 +294,332 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
 // Front door
 // ---------------------------------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-fn director(
-    ctx: &TaskCtx,
+/// Everything the director task needs, bundled so the closure stays
+/// one move.
+struct DirectorEnv {
     front: PortId,
-    arena_ports: &[Vec<PortId>],
+    lifecycle: Option<PortId>,
+    arena_ports: Vec<Vec<PortId>>,
     policy: AdmissionPolicy,
     capacity: u32,
-    cost: &parquake_server::CostModel,
+    cost: parquake_server::CostModel,
     end_time: Nanos,
-    out: &Mutex<AdmissionStats>,
-) {
-    let n = arena_ports.len();
-    let mut stats = AdmissionStats {
-        per_arena: vec![0; n],
-        forwarded_per_arena: vec![0; n],
-        ..AdmissionStats::default()
-    };
-    // Occupancy is an *estimate*: incremented on fresh placement,
-    // decremented when a Disconnect passes the front door. Clients
-    // disconnecting directly at their arena (the normal path) are not
-    // seen, which only makes the estimate conservative.
-    let mut occupancy = vec![0u32; n];
-    // client id → placed arena (sticky routing for connect retries).
-    let mut book: HashMap<u32, u16> = HashMap::new();
-    // Round-robin home-block spreading inside each arena: connects are
-    // dealt to the arena's threads in turn so no single thread's block
-    // fills while others sit empty.
-    let mut next_thread = vec![0usize; n];
+    /// Arenas live at boot (never reaped).
+    boot: usize,
+    linger_ns: Nanos,
+    notice_poll_ns: Nanos,
+    book_cap: usize,
+    /// Pool internals for spawn/reap (pooled scheduling only).
+    pool: Option<PoolParts>,
+    results: Vec<Arc<Mutex<ServerResults>>>,
+    out: Arc<Mutex<AdmissionStats>>,
+    elastic_out: Arc<Mutex<ElasticStats>>,
+}
 
-    while ctx.wait_readable(front, Some(end_time)) {
-        while let Some(raw) = ctx.try_recv(front) {
-            ctx.charge(cost.recv);
-            let Ok(msg) = ClientMessage::from_bytes(&raw.payload) else {
-                stats.decode_rejected += 1;
-                continue;
-            };
-            match msg {
-                ClientMessage::Connect { client_id, arena } => {
-                    if arena != 0 {
-                        stats.explicit_requests += 1;
-                    }
-                    let placed = match book.get(&client_id) {
-                        Some(&k) => {
-                            stats.sticky += 1;
-                            Some(k as usize)
-                        }
-                        None => {
-                            let k = policy.place(arena, &occupancy, capacity);
-                            if let Some(k) = k {
-                                book.insert(client_id, k as u16);
-                                occupancy[k] += 1;
-                            }
-                            k
-                        }
-                    };
-                    match placed {
-                        Some(k) => {
-                            // Forward the raw datagram, preserving the
-                            // client's source port: the arena acks (and
-                            // replies) straight to the client. The
-                            // arena id in the payload has served its
-                            // purpose — the runtime ignores it and acks
-                            // with its own id.
-                            let t = next_thread[k] % arena_ports[k].len();
-                            next_thread[k] = next_thread[k].wrapping_add(1);
-                            ctx.send(raw.from, arena_ports[k][t], raw.payload);
-                            stats.routed += 1;
-                            stats.per_arena[k] += 1;
-                            stats.forwarded_per_arena[k] += 1;
-                        }
-                        None => stats.rejected_full += 1,
-                    }
+/// The director's mutable state.
+struct Director {
+    stats: AdmissionStats,
+    ledger: Ledger,
+    /// Round-robin home-block spreading inside each arena: connects are
+    /// dealt to the arena's threads in turn so no single thread's block
+    /// fills while others sit empty.
+    next_thread: Vec<usize>,
+    /// The director's mirror of pool liveness (it is the only mutator,
+    /// so the mirror never goes stale).
+    live: Vec<bool>,
+    /// When arena k's occupancy last hit zero (linger clock).
+    empty_since: Vec<Option<Nanos>>,
+    elastic: ElasticStats,
+}
+
+fn director(ctx: &TaskCtx, env: &DirectorEnv) {
+    let n = env.arena_ports.len();
+    let mut d = Director {
+        stats: AdmissionStats {
+            per_arena: vec![0; n],
+            forwarded_per_arena: vec![0; n],
+            ..AdmissionStats::default()
+        },
+        ledger: Ledger::new(n, env.book_cap),
+        next_thread: vec![0usize; n],
+        live: (0..n).map(|k| k < env.boot).collect(),
+        empty_since: vec![None; n],
+        elastic: ElasticStats {
+            boot: env.boot as u32,
+            max_arenas: n as u32,
+            peak_live: env.boot as u32,
+            ..ElasticStats::default()
+        },
+    };
+
+    loop {
+        let now = ctx.now();
+        if now >= env.end_time {
+            break;
+        }
+        // The front door is the main wait; lifecycle notices and linger
+        // expiries bound the sleep so they are drained/acted on even
+        // when no client traffic arrives.
+        let mut deadline = now + env.notice_poll_ns;
+        if let Some(lp) = env.lifecycle {
+            if let Some(t) = ctx.fabric().port_next_delivery(lp) {
+                deadline = deadline.min(t.max(now + 1));
+            }
+        }
+        for k in env.boot..n {
+            if let Some(t0) = d.empty_since[k] {
+                deadline = deadline.min((t0 + env.linger_ns).max(now + 1));
+            }
+        }
+        let deadline = deadline.min(env.end_time).max(now + 1);
+        ctx.wait_readable(env.front, Some(deadline));
+        while let Some(raw) = ctx.try_recv(env.front) {
+            ctx.charge(env.cost.recv);
+            handle_front(ctx, env, &mut d, raw.from, &raw.payload);
+        }
+        if let Some(lp) = env.lifecycle {
+            // Notices are drained uncharged: they model an in-process
+            // queue, not client traffic.
+            while let Some(raw) = ctx.try_recv(lp) {
+                handle_notice(&mut d, &raw.payload);
+            }
+        }
+        elastic_reap(ctx, env, &mut d);
+    }
+
+    d.stats.placed = d.ledger.placed;
+    d.stats.departed = d.ledger.departed;
+    d.stats.resident = d.ledger.resident();
+    d.stats.book_evicted = d.ledger.evicted;
+    d.elastic.live_at_end = d.live.iter().filter(|&&l| l).count() as u32;
+    *env.out.lock().unwrap() = d.stats; // lockcheck: allow(raw-sync)
+    *env.elastic_out.lock().unwrap() = d.elastic; // lockcheck: allow(raw-sync)
+}
+
+fn handle_front(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director, from: PortId, payload: &[u8]) {
+    let Ok(msg) = ClientMessage::from_bytes(payload) else {
+        d.stats.decode_rejected += 1;
+        return;
+    };
+    match msg {
+        ClientMessage::Connect { client_id, arena } => {
+            if arena != 0 {
+                d.stats.explicit_requests += 1;
+            }
+            let placed = match d.ledger.touch(client_id) {
+                Some(p) => {
+                    d.stats.sticky += 1;
+                    Some((p.arena as usize, p.thread as usize))
                 }
-                ClientMessage::Disconnect { client_id } => match book.remove(&client_id) {
-                    Some(k) => {
-                        occupancy[k as usize] = occupancy[k as usize].saturating_sub(1);
-                        ctx.send(raw.from, arena_ports[k as usize][0], raw.payload);
-                        stats.forwarded_other += 1;
-                        stats.forwarded_per_arena[k as usize] += 1;
-                    }
-                    None => stats.dropped_unknown += 1,
-                },
-                ClientMessage::Move { client_id, .. } => match book.get(&client_id) {
-                    // A stray move from a client ignoring its ack's
-                    // arena id: forward to its placement so the session
-                    // still works, if degraded.
-                    Some(&k) => {
-                        ctx.send(raw.from, arena_ports[k as usize][0], raw.payload);
-                        stats.forwarded_other += 1;
-                        stats.forwarded_per_arena[k as usize] += 1;
-                    }
-                    None => stats.dropped_unknown += 1,
-                },
+                None => place_fresh(ctx, env, d, client_id, arena),
+            };
+            match placed {
+                Some((k, t)) if k < env.arena_ports.len() => {
+                    // Forward the raw datagram, preserving the client's
+                    // source port: the arena acks (and replies)
+                    // straight to the client. The arena id in the
+                    // payload has served its purpose — the runtime
+                    // ignores it and acks with its own id.
+                    let t = t.min(env.arena_ports[k].len() - 1);
+                    ctx.send(from, env.arena_ports[k][t], payload.to_vec());
+                    d.stats.routed += 1;
+                    d.stats.per_arena[k] += 1;
+                    d.stats.forwarded_per_arena[k] += 1;
+                }
+                _ => d.stats.rejected_full += 1,
+            }
+        }
+        ClientMessage::Disconnect { client_id } => {
+            match d.ledger.remove(client_id, Departure::FrontDoor) {
+                // Forward to the *home thread's* port: under static
+                // assignment the client's slot lives in the
+                // connect-time thread's block, and other threads never
+                // scan it.
+                Some(p) if (p.arena as usize) < env.arena_ports.len() => {
+                    let k = p.arena as usize;
+                    let t = (p.thread as usize).min(env.arena_ports[k].len() - 1);
+                    ctx.send(from, env.arena_ports[k][t], payload.to_vec());
+                    d.stats.forwarded_other += 1;
+                    d.stats.forwarded_per_arena[k] += 1;
+                }
+                Some(_) => {}
+                None => d.stats.dropped_unknown += 1,
+            }
+        }
+        ClientMessage::Move { client_id, .. } => match d.ledger.touch(client_id) {
+            // A stray move from a client ignoring its ack's arena id:
+            // forward to its placement's home thread so the session
+            // still works, if degraded.
+            Some(p) if (p.arena as usize) < env.arena_ports.len() => {
+                let k = p.arena as usize;
+                let t = (p.thread as usize).min(env.arena_ports[k].len() - 1);
+                ctx.send(from, env.arena_ports[k][t], payload.to_vec());
+                d.stats.forwarded_other += 1;
+                d.stats.forwarded_per_arena[k] += 1;
+            }
+            _ => d.stats.dropped_unknown += 1,
+        },
+    }
+}
+
+/// Place a never-before-seen client: policy first, then — if every
+/// live arena is full — spawn pressure.
+fn place_fresh(
+    ctx: &TaskCtx,
+    env: &DirectorEnv,
+    d: &mut Director,
+    client_id: u32,
+    requested: u16,
+) -> Option<(usize, usize)> {
+    let k = d
+        .policy_place(env, requested)
+        .or_else(|| elastic_spawn(ctx, env, d))?;
+    let t = d.next_thread[k] % env.arena_ports[k].len();
+    d.next_thread[k] = d.next_thread[k].wrapping_add(1);
+    d.ledger.place(client_id, k as u16, t as u16);
+    d.empty_since[k] = None;
+    Some((k, t))
+}
+
+impl Director {
+    fn policy_place(&self, env: &DirectorEnv, requested: u16) -> Option<usize> {
+        env.policy
+            .place(requested, self.ledger.occupancy(), env.capacity, &self.live)
+    }
+}
+
+/// Reconcile the ledger with one arena lifecycle notice.
+fn handle_notice(d: &mut Director, payload: &[u8]) {
+    let Ok(ev) = LifecycleEvent::from_bytes(payload) else {
+        // Not a lifecycle datagram — a confused sender; count with the
+        // front door's decode failures.
+        d.stats.decode_rejected += 1;
+        return;
+    };
+    match ev {
+        LifecycleEvent::Connected {
+            arena,
+            client_id,
+            thread,
+        } => {
+            d.stats.notice_connected += 1;
+            match d.ledger.touch(client_id) {
+                // The notice confirms what the book already says.
+                Some(p) if p.arena == arena && p.thread == thread => {}
+                // A client the director never placed (it connected at
+                // the arena directly) or a stale booking: the arena is
+                // the authority — (re)book it there.
+                _ => {
+                    d.ledger.place(client_id, arena, thread);
+                }
+            }
+        }
+        LifecycleEvent::Disconnected { arena, client_id }
+        | LifecycleEvent::Reclaimed {
+            arena, client_id, ..
+        }
+        | LifecycleEvent::Rejected { arena, client_id } => {
+            match ev {
+                LifecycleEvent::Disconnected { .. } => d.stats.notice_disconnected += 1,
+                LifecycleEvent::Reclaimed { .. } => d.stats.notice_reclaimed += 1,
+                LifecycleEvent::Rejected { .. } => d.stats.notice_rejected += 1,
+                LifecycleEvent::Connected { .. } => unreachable!(),
+            }
+            // Evict only a booking *at that arena*: a late notice from
+            // an old placement must not kill a newer one elsewhere.
+            match d.ledger.touch(client_id) {
+                Some(p) if p.arena == arena => {
+                    d.ledger.remove(client_id, Departure::Notice);
+                }
+                _ => d.stats.notice_stale += 1,
             }
         }
     }
-    *out.lock().unwrap() = stats; // lockcheck: allow(raw-sync)
+}
+
+/// Bring a cold cell live under admission pressure (pooled only).
+fn elastic_spawn(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) -> Option<usize> {
+    let parts = env.pool.as_ref()?;
+    let k = d.live.iter().position(|&l| !l)?;
+    parts.pool.enter(ctx);
+    {
+        let st = parts.pool.state();
+        st.live[k] = true;
+        st.next_due[k] = 0;
+        st.sessions[k] = false;
+        st.last_frame[k] = ctx.now();
+        ctx.cond_broadcast(parts.pool.cond);
+    }
+    parts.pool.exit(ctx);
+    d.live[k] = true;
+    d.empty_since[k] = None;
+    d.elastic.spawned += 1;
+    let live_now = d.live.iter().filter(|&&l| l).count() as u32;
+    d.elastic.peak_live = d.elastic.peak_live.max(live_now);
+    d.elastic.events.push(ElasticEvent {
+        at: ctx.now(),
+        arena: k as u16,
+        kind: ElasticEventKind::Spawned,
+        live: live_now,
+    });
+    Some(k)
+}
+
+/// Reap live non-boot arenas whose occupancy has sat at zero past the
+/// linger window (pooled only). A reaped cell's claim slot is masked
+/// so workers skip it, and its results are published immediately; the
+/// cell can be reborn by [`elastic_spawn`] (its world state is
+/// retained — players were already despawned for occupancy to reach
+/// zero, and a fresh population simply spawns into the aged world).
+fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
+    let Some(parts) = env.pool.as_ref() else {
+        return;
+    };
+    let now = ctx.now();
+    for k in env.boot..d.live.len() {
+        if !d.live[k] || d.ledger.occupancy()[k] > 0 {
+            d.empty_since[k] = None;
+            continue;
+        }
+        let since = *d.empty_since[k].get_or_insert(now);
+        if now.saturating_sub(since) < env.linger_ns {
+            continue;
+        }
+        parts.pool.enter(ctx);
+        let st = parts.pool.state();
+        if st.claimed[k] {
+            // Mid-frame (a last maintenance frame, most likely): leave
+            // the linger clock running and retry next tick.
+            parts.pool.exit(ctx);
+            continue;
+        }
+        st.live[k] = false;
+        st.sessions[k] = false;
+        // Claim flag clear + liveness masked: no worker will touch the
+        // cell again, so its frame state is safe to snapshot here.
+        let cell = &parts.cells[k];
+        let f = cell.frame();
+        f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
+        {
+            let mut r = env.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+            r.threads = vec![f.stats.clone()];
+            r.frames = f.frames.clone();
+            r.timeline = f.timeline.clone();
+            r.frame_count = f.frame_no as u64;
+            r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
+        }
+        parts.pool.exit(ctx);
+        d.live[k] = false;
+        d.empty_since[k] = None;
+        d.elastic.reaped += 1;
+        let live_now = d.live.iter().filter(|&&l| l).count() as u32;
+        d.elastic.events.push(ElasticEvent {
+            at: now,
+            arena: k as u16,
+            kind: ElasticEventKind::Reaped,
+            live: live_now,
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -319,8 +642,9 @@ struct ArenaFrame {
 }
 
 // SAFETY: `frame` is accessed only between claim (set under the pool
-// lock) and release by the claiming worker, or by the last exiting
-// worker after every claim flag is clear.
+// lock) and release by the claiming worker, by the director after
+// masking liveness with the claim flag clear (reap), or by the last
+// exiting worker after every claim flag is clear.
 unsafe impl Sync for ArenaCell {}
 unsafe impl Send for ArenaCell {}
 
@@ -335,6 +659,15 @@ impl ArenaCell {
 struct PoolState {
     /// Arena k is currently being run by some worker.
     claimed: Vec<bool>,
+    /// Arena k accepts frames (cold and reaped cells are masked; only
+    /// the director flips these).
+    live: Vec<bool>,
+    /// Arena k had non-empty player slots after its last frame
+    /// (written by the frame's worker while still owning the claim,
+    /// read by the maintenance-due scan).
+    sessions: Vec<bool>,
+    /// When arena k's last frame finished (maintenance pacing).
+    last_frame: Vec<Nanos>,
     /// Earliest time arena k may start its next frame
     /// (`frame_interval_ns` pacing).
     next_due: Vec<Nanos>,
@@ -381,10 +714,17 @@ impl Pool {
     }
 }
 
+/// The pool internals the director needs for spawn/reap.
+struct PoolParts {
+    pool: Arc<Pool>,
+    cells: Arc<Vec<Arc<ArenaCell>>>,
+}
+
 type PoolSpawn = (
     Vec<Vec<PortId>>,
     Vec<Arc<Mutex<ServerResults>>>,
-    Option<Arc<Mutex<PoolReport>>>,
+    PoolParts,
+    Arc<Mutex<PoolReport>>,
 );
 
 fn spawn_pool(
@@ -392,15 +732,29 @@ fn spawn_pool(
     cfg: &ArenaDirectoryConfig,
     worlds: &[Arc<GameWorld>],
     workers: u32,
+    lifecycle_port: Option<PortId>,
 ) -> PoolSpawn {
     assert!(workers >= 1, "pool needs at least one worker");
     let n = worlds.len();
+    let boot = cfg.arenas as usize;
+    // Maintenance frames keep session-holding arenas ticking without
+    // input so despawns, reclaims and their notices cannot stall; on
+    // automatically whenever the truth of "occupancy is zero" matters
+    // (elastic fleet or inactivity reclaims configured).
+    let maintenance_ns = if cfg.maintenance_ns > 0 {
+        cfg.maintenance_ns
+    } else if n > boot || cfg.server.client_timeout_ns > 0 {
+        50_000_000
+    } else {
+        0
+    };
     let mut cells = Vec::with_capacity(n);
     let mut ports = Vec::with_capacity(n);
     let mut results = Vec::with_capacity(n);
     for (k, world) in worlds.iter().enumerate() {
         let mut scfg = cfg.server.clone();
         scfg.arena_id = k as u16;
+        scfg.lifecycle_port = lifecycle_port;
         let shared = Arc::new(ServerShared::new(
             fabric,
             &scfg,
@@ -439,6 +793,9 @@ fn spawn_pool(
         cond: fabric.alloc_cond(),
         state: UnsafeCell::new(PoolState {
             claimed: vec![false; n],
+            live: (0..n).map(|k| k < boot).collect(),
+            sessions: vec![false; n],
+            last_frame: vec![0; n],
             next_due: vec![0; n],
             rotor: 0,
             exited: 0,
@@ -471,13 +828,14 @@ fn spawn_pool(
                     end_time,
                     poll_ns,
                     frame_interval_ns,
+                    maintenance_ns,
                     &results,
                     &report,
                 )
             }),
         );
     }
-    (ports, results, Some(report))
+    (ports, results, PoolParts { pool, cells }, report)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -490,17 +848,24 @@ fn pool_worker(
     end_time: Nanos,
     poll_ns: Nanos,
     frame_interval_ns: Nanos,
+    maintenance_ns: Nanos,
     results: &[Arc<Mutex<ServerResults>>],
     report: &Mutex<PoolReport>,
 ) {
     let n = cells.len();
-    // A 1×1 pool degenerates to the sequential server's select loop:
-    // no scheduling lock, no polling — byte-identical behaviour to
-    // `ServerKind::Sequential`, so a default single-arena directory
-    // adds zero overhead over today's server.
+    // A 1×1 pool with no maintenance ticking degenerates to the
+    // sequential server's select loop: no scheduling lock, no polling —
+    // byte-identical behaviour to `ServerKind::Sequential`, so a
+    // default single-arena directory adds zero overhead over today's
+    // server.
     let mut degenerate_frames = 0u64;
-    if n == 1 && workers == 1 {
+    if n == 1 && workers == 1 && maintenance_ns == 0 {
         let cell = &cells[0];
+        // `next_due` pacing, exactly like `pool_worker_scan`: input
+        // arriving mid-interval is processed *at* `next_due`, not an
+        // extra interval later. With `frame_interval_ns == 0` the
+        // sleep never fires and the loop is the sequential server's.
+        let mut next_due: Nanos = 0;
         loop {
             let t0 = ctx.now();
             if !ctx.wait_readable(cell.port, Some(end_time)) {
@@ -510,14 +875,24 @@ fn pool_worker(
                 .stats
                 .breakdown
                 .add(Bucket::Idle, ctx.now() - t0);
-            run_arena_frame(ctx, cell);
-            if frame_interval_ns > 0 {
-                ctx.sleep_until(ctx.now() + frame_interval_ns);
+            if frame_interval_ns > 0 && ctx.now() < next_due {
+                ctx.sleep_until(next_due);
             }
+            run_arena_frame(ctx, cell);
+            next_due = ctx.now() + frame_interval_ns;
             degenerate_frames += 1;
         }
     } else {
-        pool_worker_scan(ctx, w, cells, pool, end_time, poll_ns, frame_interval_ns);
+        pool_worker_scan(
+            ctx,
+            w,
+            cells,
+            pool,
+            end_time,
+            poll_ns,
+            frame_interval_ns,
+            maintenance_ns,
+        );
     }
 
     // Exit protocol: the last worker out publishes per-arena results
@@ -552,6 +927,7 @@ fn pool_worker(
 
 /// The general pool scheduling loop: claim a due arena under the pool
 /// lock, run its frame unlocked, release, repeat.
+#[allow(clippy::too_many_arguments)]
 fn pool_worker_scan(
     ctx: &TaskCtx,
     w: u32,
@@ -560,6 +936,7 @@ fn pool_worker_scan(
     end_time: Nanos,
     poll_ns: Nanos,
     frame_interval_ns: Nanos,
+    maintenance_ns: Nanos,
 ) {
     let n = cells.len();
     loop {
@@ -568,19 +945,24 @@ fn pool_worker_scan(
             break;
         }
         pool.enter(ctx);
-        // Scan from the rotor for an unclaimed arena that is due and
-        // has input waiting. `port_next_delivery` peeks without
-        // claiming the port, so the scan is safe for ports the frame
-        // body will drain later.
+        // Scan from the rotor for an unclaimed live arena that is due
+        // and has either input waiting or a maintenance frame owed.
+        // `port_next_delivery` peeks without claiming the port, so the
+        // scan is safe for ports the frame body will drain later.
         let mut pick = None;
         {
             let st = pool.state();
             for i in 0..n {
                 let k = (st.rotor + i) % n;
-                if st.claimed[k] || st.next_due[k] > now {
+                if st.claimed[k] || !st.live[k] || st.next_due[k] > now {
                     continue;
                 }
-                if matches!(ctx.fabric().port_next_delivery(cells[k].port), Some(t) if t <= now) {
+                let input =
+                    matches!(ctx.fabric().port_next_delivery(cells[k].port), Some(t) if t <= now);
+                let maint = maintenance_ns > 0
+                    && st.sessions[k]
+                    && now >= st.last_frame[k] + maintenance_ns;
+                if input || maint {
                     pick = Some(k);
                     break;
                 }
@@ -594,10 +976,19 @@ fn pool_worker_scan(
             Some(k) => {
                 pool.exit(ctx);
                 run_arena_frame(ctx, &cells[k]);
+                // Still owning the claim: record whether the arena has
+                // resident sessions, for the maintenance-due scan.
+                let has_sessions = {
+                    let shared = &cells[k].shared;
+                    (0..shared.clients.capacity())
+                        .any(|i| shared.clients.slot(i).state != SlotState::Empty)
+                };
                 pool.enter(ctx);
                 let st = pool.state();
                 st.claimed[k] = false;
                 st.next_due[k] = ctx.now() + frame_interval_ns;
+                st.last_frame[k] = ctx.now();
+                st.sessions[k] = has_sessions;
                 st.frames_by_worker[w as usize] += 1;
                 st.frames_by_arena[k] += 1;
                 // The arena is consumable again (it may already have
@@ -607,16 +998,21 @@ fn pool_worker_scan(
             }
             None => {
                 // Nothing runnable: sleep until the earliest moment an
-                // arena could become runnable, or the poll bound —
+                // arena could become runnable — queued input, a
+                // maintenance frame coming due — or the poll bound,
                 // whichever is sooner — then rescan.
                 let st = pool.state();
                 let mut deadline = now + poll_ns;
                 for (k, cell) in cells.iter().enumerate() {
-                    if st.claimed[k] {
+                    if st.claimed[k] || !st.live[k] {
                         continue;
                     }
                     if let Some(t) = ctx.fabric().port_next_delivery(cell.port) {
                         deadline = deadline.min(st.next_due[k].max(t));
+                    }
+                    if maintenance_ns > 0 && st.sessions[k] {
+                        deadline =
+                            deadline.min(st.next_due[k].max(st.last_frame[k] + maintenance_ns));
                     }
                 }
                 let deadline = deadline.min(end_time).max(now + 1);

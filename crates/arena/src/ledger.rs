@@ -1,0 +1,239 @@
+//! The director's population ledger: who is placed where, truthfully.
+//!
+//! PR 3's director kept two loosely-coupled structures — an
+//! `occupancy` estimate and a sticky `book: HashMap<u32, u16>` — and
+//! only ever decremented them on front-door `Disconnect`s. Server-side
+//! inactivity reclaims and at-arena disconnects were invisible, so a
+//! long-running directory drifted toward "everything is full" and
+//! could never prove an arena empty enough to reap.
+//!
+//! [`Ledger`] replaces both: the book is the single source of truth
+//! (client → [`Placement`]), occupancy is *derived* (maintained
+//! incrementally, with the invariant `occupancy.iter().sum() ==
+//! book.len()`), and every mutation updates the placed/departed
+//! counters so the population identity `placed == departed + resident`
+//! holds by construction. Lifecycle notices from the arena runtimes
+//! ([`parquake_server::LifecycleEvent`]) feed the removal paths the old
+//! design was missing.
+//!
+//! The map is bounded: at `cap` entries the least-recently-touched
+//! placement is evicted (deterministically — touches are stamped with a
+//! monotonic counter, not wall time). Eviction is a memory-pressure
+//! safety valve, not a routing decision: an evicted client that is
+//! still alive server-side simply loses stickiness and re-places on its
+//! next connect.
+
+use std::collections::HashMap;
+
+/// Where one client was placed, and when we last heard about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// The arena the client was placed into.
+    pub arena: u16,
+    /// The server thread whose home block holds the client's slot
+    /// (static assignment deals at connect time) — out-of-band
+    /// `Move`/`Disconnect` forwards must target this thread's port,
+    /// not thread 0.
+    pub thread: u16,
+    /// Monotonic LRU stamp (largest = most recently touched).
+    touched: u64,
+}
+
+/// Why a placement was removed (drives the departure counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Departure {
+    /// A front-door `Disconnect` passed the director.
+    FrontDoor,
+    /// The arena reported the client disconnected or was reclaimed.
+    Notice,
+    /// The LRU capacity bound evicted the entry.
+    Evicted,
+}
+
+/// Book + derived occupancy + closing population counters.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    book: HashMap<u32, Placement>,
+    occupancy: Vec<u32>,
+    /// LRU bound on `book` (entries, not bytes). Always >= 1.
+    cap: usize,
+    clock: u64,
+    /// Placements ever made (including re-places after departure).
+    pub placed: u64,
+    /// Placements ended, for any reason.
+    pub departed: u64,
+    /// Of `departed`, LRU evictions.
+    pub evicted: u64,
+}
+
+impl Ledger {
+    /// A ledger over `arenas` occupancy cells, bounded at `cap` booked
+    /// clients.
+    pub fn new(arenas: usize, cap: usize) -> Ledger {
+        Ledger {
+            book: HashMap::new(),
+            occupancy: vec![0; arenas],
+            cap: cap.max(1),
+            clock: 0,
+            placed: 0,
+            departed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The derived per-arena occupancy.
+    pub fn occupancy(&self) -> &[u32] {
+        &self.occupancy
+    }
+
+    /// Booked clients right now (the `resident` leg of the identity).
+    pub fn resident(&self) -> u64 {
+        self.book.len() as u64
+    }
+
+    /// The population identity. True by construction; asserted in
+    /// tests and exported so reports can prove it held.
+    pub fn closed(&self) -> bool {
+        self.placed == self.departed + self.resident()
+    }
+
+    /// Look up a client's placement, refreshing its LRU stamp.
+    pub fn touch(&mut self, client_id: u32) -> Option<Placement> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.book.get_mut(&client_id).map(|p| {
+            p.touched = clock;
+            *p
+        })
+    }
+
+    /// Record a placement. Returns the LRU-evicted entry, if the bound
+    /// was hit. A client already booked is *re*-placed (its old entry
+    /// departs first — the arena may differ, e.g. a `Connected` notice
+    /// correcting a stale book).
+    pub fn place(&mut self, client_id: u32, arena: u16, thread: u16) -> Option<(u32, Placement)> {
+        self.remove(client_id, Departure::Notice);
+        let evicted = if self.book.len() >= self.cap {
+            self.evict_lru()
+        } else {
+            None
+        };
+        self.clock += 1;
+        self.book.insert(
+            client_id,
+            Placement {
+                arena,
+                thread,
+                touched: self.clock,
+            },
+        );
+        if (arena as usize) < self.occupancy.len() {
+            self.occupancy[arena as usize] += 1;
+        }
+        self.placed += 1;
+        evicted
+    }
+
+    /// End a client's placement. Returns the removed entry; `None`
+    /// (a stale notice, or an unknown client) is a counted no-op for
+    /// the caller.
+    pub fn remove(&mut self, client_id: u32, why: Departure) -> Option<Placement> {
+        let p = self.book.remove(&client_id)?;
+        if (p.arena as usize) < self.occupancy.len() {
+            self.occupancy[p.arena as usize] = self.occupancy[p.arena as usize].saturating_sub(1);
+        }
+        self.departed += 1;
+        if why == Departure::Evicted {
+            self.evicted += 1;
+        }
+        Some(p)
+    }
+
+    fn evict_lru(&mut self) -> Option<(u32, Placement)> {
+        // Deterministic: min by (touched, client_id) — the stamp is
+        // unique per mutation but tie-break anyway for robustness.
+        let victim = self
+            .book
+            .iter()
+            .min_by_key(|(id, p)| (p.touched, **id))
+            .map(|(id, _)| *id)?;
+        let p = self.remove(victim, Departure::Evicted)?;
+        Some((victim, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_is_derived_from_the_book() {
+        let mut l = Ledger::new(3, 64);
+        l.place(1, 0, 0);
+        l.place(2, 0, 1);
+        l.place(3, 2, 0);
+        assert_eq!(l.occupancy(), &[2, 0, 1]);
+        assert_eq!(l.resident(), 3);
+        l.remove(2, Departure::FrontDoor);
+        assert_eq!(l.occupancy(), &[1, 0, 1]);
+        assert!(l.closed());
+        // Sum invariant.
+        assert_eq!(l.occupancy().iter().sum::<u32>() as u64, l.resident());
+    }
+
+    #[test]
+    fn stale_removals_are_noops() {
+        let mut l = Ledger::new(2, 64);
+        l.place(7, 1, 0);
+        assert!(l.remove(7, Departure::Notice).is_some());
+        // The arena's own Disconnected notice arriving after a
+        // front-door removal must not double-depart.
+        assert!(l.remove(7, Departure::Notice).is_none());
+        assert_eq!(l.departed, 1);
+        assert!(l.closed());
+    }
+
+    #[test]
+    fn replacement_departs_the_old_entry_first() {
+        let mut l = Ledger::new(2, 64);
+        l.place(7, 0, 0);
+        // A Connected notice from arena 1 corrects the stale book.
+        l.place(7, 1, 1);
+        assert_eq!(l.occupancy(), &[0, 1]);
+        assert_eq!(l.placed, 2);
+        assert_eq!(l.departed, 1);
+        assert!(l.closed());
+        assert_eq!(l.touch(7).unwrap().arena, 1);
+        assert_eq!(l.touch(7).unwrap().thread, 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recently_touched() {
+        let mut l = Ledger::new(1, 3);
+        l.place(1, 0, 0);
+        l.place(2, 0, 0);
+        l.place(3, 0, 0);
+        // Refresh 1 so 2 becomes the LRU victim.
+        l.touch(1);
+        let evicted = l.place(4, 0, 0).expect("bound hit");
+        assert_eq!(evicted.0, 2);
+        assert_eq!(l.resident(), 3);
+        assert_eq!(l.evicted, 1);
+        assert!(l.closed());
+        assert!(l.touch(2).is_none());
+        assert!(l.touch(1).is_some());
+    }
+
+    #[test]
+    fn out_of_range_arena_ids_do_not_corrupt_occupancy() {
+        // A hostile or buggy notice naming a nonexistent arena books
+        // the client (stickiness still works) without touching the
+        // occupancy table.
+        let mut l = Ledger::new(2, 64);
+        l.place(9, 40_000, 0);
+        assert_eq!(l.occupancy(), &[0, 0]);
+        l.remove(9, Departure::Notice);
+        assert_eq!(l.occupancy(), &[0, 0]);
+        assert!(l.closed());
+    }
+}

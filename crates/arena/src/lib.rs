@@ -25,6 +25,17 @@
 //!   [`parquake_server::ServerResults`]; the pool publishes frame and
 //!   idle accounting per worker and per arena; admission publishes
 //!   routing counters. `parquake_metrics::arena` rolls these up.
+//! * **Truthful occupancy** ([`ledger::Ledger`]): arena runtimes report
+//!   lifecycle events (connect accepted / disconnect / inactivity
+//!   reclaim / reject) to the director over a control port, so the
+//!   director's population ledger tracks server-side slot churn and
+//!   closes the identity `placed == departed + resident`.
+//! * **Elasticity**: with `max_arenas > arenas` the pooled directory
+//!   pre-provisions cold arena cells and brings one live when every
+//!   live arena is full (spawn under admission pressure); an arena
+//!   whose occupancy stays zero past a linger window is drained and
+//!   reaped (its `ServerResults` published, its claim slot masked).
+//!   Spawn/reap transitions land in `parquake_metrics::ElasticStats`.
 //!
 //! The layer is strictly additive: a 1-arena pooled directory runs the
 //! exact sequential frame body, and arena 0 traffic is byte-identical
@@ -32,8 +43,10 @@
 
 pub mod admission;
 pub mod directory;
+pub mod ledger;
 
 pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use directory::{
     spawn_directory, ArenaDirectoryConfig, ArenaHandle, ArenaScheduling, PoolReport,
 };
+pub use ledger::{Departure, Ledger, Placement};

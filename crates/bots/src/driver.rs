@@ -35,6 +35,42 @@ pub struct BotSwarmConfig {
     /// asynchronous, which is what creates the paper's fine-grain
     /// per-frame imbalance (§4.2).
     pub jitter_ns: Nanos,
+    /// Population ramp: when each bot joins and leaves the run.
+    /// `None` = everyone plays from 0 to `send_until` (the paper's
+    /// constant worst-case load).
+    pub ramp: Option<SwarmRamp>,
+}
+
+/// A time-varying population profile for the swarm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwarmRamp {
+    /// Bots join staggered over `[0, ramp_up_ns]`, everyone plays
+    /// through a hold window, then bots leave staggered over the
+    /// down-ramp — the load shape that drives an elastic directory
+    /// through spawn-under-pressure and reap-after-drain.
+    UpDown {
+        ramp_up_ns: Nanos,
+        hold_ns: Nanos,
+        ramp_down_ns: Nanos,
+    },
+}
+
+impl SwarmRamp {
+    /// When global client `c` of `players` joins and leaves.
+    pub fn window(&self, c: u32, players: u32) -> (Nanos, Nanos) {
+        let players = players.max(1) as Nanos;
+        match *self {
+            SwarmRamp::UpDown {
+                ramp_up_ns,
+                hold_ns,
+                ramp_down_ns,
+            } => {
+                let join = ramp_up_ns * c as Nanos / players;
+                let leave = ramp_up_ns + hold_ns + ramp_down_ns * (c as Nanos + 1) / players;
+                (join, leave)
+            }
+        }
+    }
 }
 
 impl BotSwarmConfig {
@@ -48,6 +84,7 @@ impl BotSwarmConfig {
             behavior: BotBehavior::deathmatch(),
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
+            ramp: None,
         }
     }
 }
@@ -210,10 +247,19 @@ fn drive(
     // Highest reply seq seen per bot: the fault fabric can duplicate
     // datagrams, and a stale copy must not count twice (-1 = none yet).
     let mut last_rx_seq = vec![-1i64; n];
+    // Per-bot play window (the population ramp; no ramp = everyone
+    // plays start to finish).
+    let (join_at, leave_at): (Vec<Nanos>, Vec<Nanos>) = (lo..hi)
+        .map(|c| match &cfg.ramp {
+            None => (0, Nanos::MAX),
+            Some(r) => r.window(c, cfg.players),
+        })
+        .unzip();
+    let mut left = vec![false; n];
     // Stagger bots across the client frame so requests arrive
     // asynchronously (the paper's fine-grain imbalance source).
     let mut next_at: Vec<Nanos> = (0..n)
-        .map(|i| (i as Nanos * frame_ns) / n as Nanos)
+        .map(|i| join_at[i] + (i as Nanos * frame_ns) / n as Nanos)
         .collect();
     let mut stats = ResponseStats::new();
     let mut arena_stats = vec![ResponseStats::new(); topology.arena_ports.len()];
@@ -226,6 +272,31 @@ fn drive(
         }
         // Act on every bot whose schedule has come.
         for i in 0..n {
+            if left[i] {
+                continue;
+            }
+            if now >= leave_at[i] {
+                // The bot's window closed: say goodbye and go quiet.
+                left[i] = true;
+                next_at[i] = cfg.send_until;
+                if ever_acked[i] {
+                    ctx.charge(cfg.think_cost_ns);
+                    let msg = ClientMessage::Disconnect {
+                        client_id: lo + i as u32,
+                    };
+                    // Alternate the leave path: even bots disconnect
+                    // through the front door (the director's book
+                    // removal), odd bots at their arena directly (the
+                    // lifecycle-notice reconciliation path).
+                    let at_arena = topology.arena_ports[cur_arena[i]][cur_thread[i]];
+                    let to = match topology.connect_port {
+                        Some(front) if (lo + i as u32) % 2 == 0 => front,
+                        _ => at_arena,
+                    };
+                    ctx.send(port, to, msg.to_bytes());
+                }
+                continue;
+            }
             if next_at[i] > now {
                 continue;
             }
@@ -279,8 +350,13 @@ fn drive(
                 }
             }
         }
-        // Sleep until the next bot action, draining replies meanwhile.
-        let wake = *next_at.iter().min().unwrap();
+        // Sleep until the next bot action (or leave), draining replies
+        // meanwhile.
+        let wake = (0..n)
+            .filter(|&i| !left[i])
+            .map(|i| next_at[i].min(leave_at[i]))
+            .min()
+            .unwrap_or(cfg.send_until);
         let deadline = wake.min(cfg.send_until);
         loop {
             let now = ctx.now();
@@ -299,7 +375,7 @@ fn drive(
                         client_id, arena, ..
                     } => {
                         let i = client_id.wrapping_sub(lo) as usize;
-                        if i < n && !acked[i] {
+                        if i < n && !acked[i] && !left[i] {
                             acked[i] = true;
                             backoff[i] = RETRY_MIN;
                             last_heard[i] = ctx.now();
@@ -366,7 +442,7 @@ fn drive(
                     ServerMessage::Bye { client_id } => {
                         // Server reclaimed the slot: rejoin from scratch.
                         let i = client_id.wrapping_sub(lo) as usize;
-                        if i < n && acked[i] {
+                        if i < n && acked[i] && !left[i] {
                             acked[i] = false;
                             backoff[i] = RETRY_MIN;
                             next_at[i] = ctx.now();

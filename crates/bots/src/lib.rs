@@ -19,4 +19,6 @@ pub mod behavior;
 pub mod driver;
 
 pub use behavior::{BotBehavior, BotMind};
-pub use driver::{spawn_swarm, spawn_swarm_multi, BotSwarm, BotSwarmConfig, SwarmTopology};
+pub use driver::{
+    spawn_swarm, spawn_swarm_multi, BotSwarm, BotSwarmConfig, SwarmRamp, SwarmTopology,
+};

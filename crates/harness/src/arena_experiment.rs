@@ -12,10 +12,10 @@ use parquake_arena::{
     spawn_directory, AdmissionPolicy, AdmissionStats, ArenaDirectoryConfig, ArenaScheduling,
     PoolReport,
 };
-use parquake_bots::{spawn_swarm_multi, BotBehavior, BotSwarmConfig, SwarmTopology};
+use parquake_bots::{spawn_swarm_multi, BotBehavior, BotSwarmConfig, SwarmRamp, SwarmTopology};
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::{FabricKind, LockWitness, Nanos};
-use parquake_metrics::{rollup, ArenaLoad, WitnessReport};
+use parquake_metrics::{rollup, ArenaLoad, ElasticStats, WitnessReport};
 use parquake_server::{CostModel, LockPolicy, ServerConfig, ServerKind};
 
 /// One multi-arena configuration (a row of the arenasweep figure).
@@ -55,6 +55,20 @@ pub struct ArenaExperimentConfig {
     pub bot_drivers: u32,
     /// Run the locking-protocol checkers and the lock witness.
     pub checking: bool,
+    /// Elastic ceiling: pooled directories may grow to this many live
+    /// arenas under admission pressure (0 = fixed fleet).
+    pub max_arenas: u32,
+    /// How long an arena's occupancy must stay zero before it is
+    /// reaped (elastic directories only).
+    pub linger_ns: Nanos,
+    /// Server-side inactivity reclaim window (0 = never reclaim).
+    pub client_timeout_ns: Nanos,
+    /// Slots per arena override (`None` = players spread evenly over
+    /// the boot arenas — elasticity runs want a smaller fixed size so
+    /// the ramp actually overflows).
+    pub slots_per_arena: Option<u16>,
+    /// Bot population ramp (`None` = everyone plays the whole run).
+    pub ramp: Option<SwarmRamp>,
 }
 
 impl Default for ArenaExperimentConfig {
@@ -76,6 +90,11 @@ impl Default for ArenaExperimentConfig {
             client_frame_ms: 30,
             bot_drivers: 8,
             checking: cfg!(debug_assertions),
+            max_arenas: 0,
+            linger_ns: 500_000_000,
+            client_timeout_ns: 0,
+            slots_per_arena: None,
+            ramp: None,
         }
     }
 }
@@ -98,6 +117,8 @@ pub struct ArenaOutcome {
     pub world_hashes: Vec<u64>,
     /// Lock-discipline witness report (present when `checking` was on).
     pub witness: Option<WitnessReport>,
+    /// Elastic spawn/reap accounting (boot fleet only ⇒ no events).
+    pub elastic: ElasticStats,
 }
 
 impl ArenaOutcome {
@@ -127,7 +148,9 @@ impl ArenaExperiment {
     pub fn run(&self) -> ArenaOutcome {
         let cfg = &self.cfg;
         assert!(cfg.arenas >= 1);
-        let slots_per_arena = cfg.players.div_ceil(cfg.arenas).max(1) as u16;
+        let slots_per_arena = cfg
+            .slots_per_arena
+            .unwrap_or(cfg.players.div_ceil(cfg.arenas).max(1) as u16);
         let fabric = cfg.fabric.build();
 
         let witness = if cfg.checking {
@@ -141,6 +164,7 @@ impl ArenaExperiment {
         let mut server = ServerConfig::new(ServerKind::Sequential, cfg.duration_ns + 500_000_000);
         server.cost = cfg.cost.clone();
         server.checking = cfg.checking;
+        server.client_timeout_ns = cfg.client_timeout_ns;
         if let Some(kind) = cfg.dedicated {
             server.kind = kind;
         }
@@ -155,6 +179,8 @@ impl ArenaExperiment {
             map: cfg.map.clone(),
             areanode_depth: cfg.areanode_depth,
             pooled_locking: cfg.pooled_locking,
+            max_arenas: cfg.max_arenas,
+            linger_ns: cfg.linger_ns,
             ..ArenaDirectoryConfig::new(cfg.arenas, slots_per_arena, server)
         };
         let handle = spawn_directory(&fabric, dir_cfg);
@@ -171,6 +197,7 @@ impl ArenaExperiment {
             behavior: cfg.behavior.clone(),
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
+            ramp: cfg.ramp,
         };
         let topology = SwarmTopology {
             arena_ports: handle.arena_ports.clone(),
@@ -186,7 +213,9 @@ impl ArenaExperiment {
         let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
         let response = swarm.per_arena.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
         let connected = *swarm.connected.lock().unwrap(); // lockcheck: allow(raw-sync)
-        let per_arena: Vec<ArenaLoad> = (0..cfg.arenas as usize)
+                                                          // Cover every arena cell the directory provisioned — an
+                                                          // elastic run has result rows past the boot fleet.
+        let per_arena: Vec<ArenaLoad> = (0..handle.results.len())
             .map(|k| {
                 let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
                 let m = r.merged();
@@ -202,6 +231,7 @@ impl ArenaExperiment {
             })
             .collect();
         let aggregate = rollup(&per_arena);
+        let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
 
         ArenaOutcome {
             aggregate,
@@ -212,6 +242,7 @@ impl ArenaExperiment {
             duration_ns: cfg.duration_ns,
             world_hashes: handle.worlds.iter().map(|w| w.world_hash()).collect(),
             witness: witness.map(|w| w.report()),
+            elastic,
         }
     }
 }

@@ -16,6 +16,7 @@
 //!   delta             QuakeWorld-style delta-compressed replies (extension)
 //!   losssweep         response rate vs injected datagram loss (extension)
 //!   arenasweep        multi-arena shared-pool multiplexing (extension)
+//!   elasticity        elastic arena spawn/reap under a population ramp (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -27,15 +28,15 @@
 //! ```
 
 use parquake_harness::figures::{
-    arenasweep, batching, common::SweepOpts, delta, dynassign, fig4, fig5, fig6, fig7, losssweep,
-    onepass, table1, waitstats,
+    arenasweep, batching, common::SweepOpts, delta, dynassign, elasticity, fig4, fig5, fig6, fig7,
+    losssweep, onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|all> [options]"
         );
         std::process::exit(2);
     };
@@ -91,6 +92,7 @@ fn main() {
         "delta" => println!("{}", delta::run(&opts)),
         "losssweep" => println!("{}", losssweep::run(&opts)),
         "arenasweep" => println!("{}", arenasweep::run(&opts)),
+        "elasticity" => println!("{}", elasticity::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -128,6 +130,7 @@ fn main() {
             println!("{}", delta::run(&opts));
             println!("{}", losssweep::run(&opts));
             println!("{}", arenasweep::run(&opts));
+            println!("{}", elasticity::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! udp_client [--server 127.0.0.1:27500] [--threads 2] [--players 8] [--secs 5]
-//!            [--arenas N]
+//!            [--arenas N] [--ramp]
 //! ```
 //!
 //! `--arenas N` targets a multi-arena gateway (one socket): client `i`
 //! requests arena `i % N` on connect and reply traffic is tallied per
 //! arena. Without it the client spreads across `--threads` thread ports
-//! as before.
+//! as before. `--ramp` (arena mode only) staggers joins over the first
+//! 30% of the run, holds, then drains everyone (with `Disconnect`s)
+//! over the next 20% — leaving a quiet tail that lets an elastic
+//! gateway reap its spawned arenas.
 
 use std::time::Duration;
 
@@ -21,6 +24,7 @@ fn main() {
     let mut players = 8u32;
     let mut secs = 5u64;
     let mut arenas: Option<u32> = None;
+    let mut ramp = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +49,7 @@ fn main() {
                 i += 1;
                 arenas = Some(args[i].parse().expect("--arenas"));
             }
+            "--ramp" => ramp = true,
             other => {
                 eprintln!("udp_client: unknown option {other}");
                 std::process::exit(2);
@@ -53,7 +58,16 @@ fn main() {
         i += 1;
     }
     if let Some(arenas) = arenas {
-        match run_udp_arena_clients(server, arenas, players, Duration::from_secs(secs)) {
+        let duration = Duration::from_secs(secs);
+        // 30% up, 30% hold, 20% down, 20% quiet tail for reaps.
+        let windows = ramp.then(|| {
+            (
+                duration.mul_f64(0.3),
+                duration.mul_f64(0.3),
+                duration.mul_f64(0.2),
+            )
+        });
+        match run_udp_arena_clients(server, arenas, players, duration, windows) {
             Ok((sent, received, avg_ms, per_arena)) => {
                 println!(
                     "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"

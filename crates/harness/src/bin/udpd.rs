@@ -4,7 +4,7 @@
 //! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
 //!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
 //!      [--fault-seed N] [--timeout-secs S]
-//!      [--arenas N] [--workers W]
+//!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
@@ -17,6 +17,9 @@
 //! behind ONE socket on `--port`, frames scheduled on a `--workers`
 //! shared pool, with `--players` slots per arena. `--threads` does not
 //! apply in this mode; every other flag keeps its meaning.
+//! `--max-arenas M` (M > N) makes the directory elastic: it spawns
+//! arenas under admission pressure up to M and reaps arenas whose
+//! occupancy stays zero past `--linger-ms` (default 500).
 
 use std::time::Duration;
 
@@ -27,6 +30,8 @@ fn main() {
     let mut opts = UdpServerOpts::default();
     let mut arenas: Option<u32> = None;
     let mut workers = 2u32;
+    let mut max_arenas = 0u32;
+    let mut linger = Duration::from_millis(500);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -80,6 +85,15 @@ fn main() {
                 i += 1;
                 workers = args[i].parse().expect("--workers needs a number");
             }
+            "--max-arenas" => {
+                i += 1;
+                max_arenas = args[i].parse().expect("--max-arenas needs a number");
+            }
+            "--linger-ms" => {
+                i += 1;
+                linger =
+                    Duration::from_millis(args[i].parse().expect("--linger-ms needs a number"));
+            }
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
@@ -88,7 +102,7 @@ fn main() {
         i += 1;
     }
     if let Some(arenas) = arenas {
-        run_arena_mode(&opts, arenas.max(1), workers.max(1));
+        run_arena_mode(&opts, arenas.max(1), workers.max(1), max_arenas, linger);
         return;
     }
     let last_port = match thread_port(opts.base_port, opts.threads.saturating_sub(1)) {
@@ -154,7 +168,13 @@ fn main() {
 }
 
 /// `--arenas` mode: N worlds behind one socket on a shared worker pool.
-fn run_arena_mode(base: &UdpServerOpts, arenas: u32, workers: u32) {
+fn run_arena_mode(
+    base: &UdpServerOpts,
+    arenas: u32,
+    workers: u32,
+    max_arenas: u32,
+    linger: Duration,
+) {
     let opts = UdpArenaOpts {
         port: base.base_port,
         arenas,
@@ -164,6 +184,8 @@ fn run_arena_mode(base: &UdpServerOpts, arenas: u32, workers: u32) {
         duration: base.duration,
         fault: base.fault.clone(),
         client_timeout: base.client_timeout,
+        max_arenas,
+        linger,
         ..UdpArenaOpts::default()
     };
     println!(
@@ -174,6 +196,13 @@ fn run_arena_mode(base: &UdpServerOpts, arenas: u32, workers: u32) {
         opts.workers,
         opts.duration.as_secs()
     );
+    if opts.max_arenas > opts.arenas {
+        println!(
+            "udpd: elastic — up to {} arenas, {} ms linger before reap",
+            opts.max_arenas,
+            opts.linger.as_millis()
+        );
+    }
     if !opts.fault.is_noop() {
         println!(
             "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
@@ -228,15 +257,46 @@ fn run_arena_mode(base: &UdpServerOpts, arenas: u32, workers: u32) {
                     }
                 );
             }
+            let e = &report.elastic;
+            println!(
+                "udpd: elastic — {} spawned, {} reaped (peak {} live, {} at end)",
+                e.spawned, e.reaped, e.peak_live, e.live_at_end
+            );
+            for ev in &e.events {
+                println!(
+                    "udpd: elastic t={:.2}s arena{} {:?} -> {} live",
+                    ev.at as f64 / 1e9,
+                    ev.arena,
+                    ev.kind,
+                    ev.live
+                );
+            }
+            let adm = &report.admission;
+            let identity_closes = adm.placed == adm.departed + adm.resident;
+            println!(
+                "udpd: population identity — placed {} == departed {} + resident {} — \
+                 accounting {} ({} connected, {} disconnected, {} reclaimed notices)",
+                adm.placed,
+                adm.departed,
+                adm.resident,
+                if identity_closes {
+                    "closes"
+                } else {
+                    "DOES NOT CLOSE"
+                },
+                adm.notice_connected,
+                adm.notice_disconnected,
+                adm.notice_reclaimed
+            );
             println!(
                 "udpd: overall accounting {}",
-                if report.accounted() {
+                if report.accounted() && identity_closes {
                     "closes"
                 } else {
                     "DOES NOT CLOSE"
                 }
             );
-            if !report.accounted() {
+            if !report.accounted() || !identity_closes {
                 std::process::exit(1);
             }
         }

@@ -150,6 +150,7 @@ impl Experiment {
             delta_compression: cfg.delta_compression,
             arena_id: 0,
             client_timeout_ns: cfg.client_timeout_ns,
+            lifecycle_port: None,
         };
         let server = spawn_server(&fabric, server_cfg, world.clone());
 
@@ -162,6 +163,7 @@ impl Experiment {
             behavior: cfg.behavior.clone(),
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
+            ramp: None,
         };
         let spt = server.slots_per_thread;
         let swarm = spawn_swarm(&fabric, &swarm_cfg, &server.ports, move |client| {

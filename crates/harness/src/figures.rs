@@ -5,6 +5,7 @@ pub mod batching;
 pub mod common;
 pub mod delta;
 pub mod dynassign;
+pub mod elasticity;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

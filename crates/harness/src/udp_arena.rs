@@ -58,6 +58,13 @@ pub struct UdpArenaOpts {
     pub fault: FaultConfig,
     /// Server-side inactivity timeout (0 = never reclaim).
     pub client_timeout: Duration,
+    /// Elastic ceiling: the directory may grow past `arenas` up to
+    /// this many live arenas under admission pressure (0 = fixed
+    /// fleet).
+    pub max_arenas: u32,
+    /// How long an elastic arena's occupancy must stay zero before it
+    /// is reaped.
+    pub linger: Duration,
 }
 
 impl Default for UdpArenaOpts {
@@ -72,6 +79,8 @@ impl Default for UdpArenaOpts {
             policy: AdmissionPolicy::Explicit,
             fault: FaultConfig::none(),
             client_timeout: Duration::from_secs(2),
+            max_arenas: 0,
+            linger: Duration::from_millis(500),
         }
     }
 }
@@ -136,10 +145,13 @@ pub struct UdpArenaReport {
     pub datagrams_out: u64,
     /// Replies that never matched a learned client address.
     pub replies_unroutable: u64,
-    /// Per-arena traffic lanes.
+    /// Per-arena traffic lanes (one per provisioned cell — an elastic
+    /// gateway has lanes past the boot fleet).
     pub lanes: Vec<ArenaLane>,
     /// The director's routing counters.
     pub admission: AdmissionStats,
+    /// Elastic spawn/reap accounting (fixed fleet ⇒ no events).
+    pub elastic: parquake_metrics::ElasticStats,
 }
 
 impl UdpArenaReport {
@@ -175,10 +187,14 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
             workers: opts.workers,
         },
         map: opts.map.clone(),
+        max_arenas: opts.max_arenas,
+        linger_ns: opts.linger.as_nanos() as Nanos,
         ..ArenaDirectoryConfig::new(opts.arenas, opts.slots_per_arena, server)
     };
     let handle = spawn_directory(&fabric, dir_cfg);
-    let arenas = opts.arenas as usize;
+    // Every provisioned cell, including elastic headroom past the boot
+    // fleet — the pump routes to (and the report covers) all of them.
+    let cells = handle.arena_ports.len();
 
     let sock = UdpSocket::bind(("127.0.0.1", opts.port))?;
     sock.set_read_timeout(Some(Duration::from_millis(10)))?;
@@ -240,8 +256,15 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                                 placements.lock().unwrap().insert(client_id, arena); // lockcheck: allow(raw-sync)
                                 Some(client_id)
                             }
-                            Ok(ServerMessage::Reply { client_id, .. })
-                            | Ok(ServerMessage::Bye { client_id }) => Some(client_id),
+                            Ok(ServerMessage::Bye { client_id }) => {
+                                // The session is over server-side:
+                                // forget the placement so a reconnect
+                                // re-admits instead of routing moves to
+                                // a freed (possibly reaped) arena.
+                                placements.lock().unwrap().remove(&client_id); // lockcheck: allow(raw-sync)
+                                Some(client_id)
+                            }
+                            Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
                             Err(_) => None,
                         };
                         let Some(cid) = client else { continue };
@@ -394,8 +417,9 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
     let c = pump.join().expect("inbound pump panicked");
 
     let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-    let mut lanes = Vec::with_capacity(arenas);
-    for k in 0..arenas {
+    let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+    let mut lanes = Vec::with_capacity(cells);
+    for k in 0..cells {
         let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
         let m = r.merged();
         let port = handle.arena_ports[k][0];
@@ -428,17 +452,22 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
         replies_unroutable,
         lanes,
         admission,
+        elastic,
     })
 }
 
 /// A minimal real-UDP multi-arena client: drives `players` bots, each
-/// requesting arena `i % arenas`, against one gateway socket. Returns
+/// requesting arena `i % arenas`, against one gateway socket. With
+/// `ramp = Some((up, hold, down))` bot `i` joins staggered over the
+/// up window and leaves (with a `Disconnect`) staggered over the down
+/// window — the load shape that exercises an elastic gateway. Returns
 /// (sent, received, avg latency ms, per-arena received).
 pub fn run_udp_arena_clients(
     server: SocketAddr,
     arenas: u32,
     players: u32,
     duration: Duration,
+    ramp: Option<(Duration, Duration, Duration)>,
 ) -> std::io::Result<(u64, u64, f64, Vec<u64>)> {
     use parquake_protocol::Encode;
 
@@ -459,6 +488,18 @@ pub fn run_udp_arena_clients(
     let mut next_at = vec![Duration::ZERO; n];
     let mut backoff = vec![RETRY_MIN; n];
     let mut last_heard = vec![Duration::ZERO; n];
+    let (join_at, leave_at): (Vec<Duration>, Vec<Duration>) = match ramp {
+        Some((up, hold, down)) => (0..n)
+            .map(|i| {
+                (
+                    up * i as u32 / players.max(1),
+                    up + hold + down * (i as u32 + 1) / players.max(1),
+                )
+            })
+            .unzip(),
+        None => (vec![Duration::ZERO; n], vec![duration; n]),
+    };
+    let mut left = vec![false; n];
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut per_arena = vec![0u64; arenas as usize];
@@ -469,6 +510,21 @@ pub fn run_udp_arena_clients(
         let now = start.elapsed();
         let now_ns = now.as_nanos() as u64;
         for i in 0..n {
+            if left[i] || now < join_at[i] {
+                continue;
+            }
+            if now >= leave_at[i] {
+                left[i] = true;
+                if acked[i] {
+                    let bye = ClientMessage::Disconnect {
+                        client_id: i as u32,
+                    };
+                    if sock.send_to(&bye.to_bytes(), server).is_ok() {
+                        sent += 1;
+                    }
+                }
+                continue;
+            }
             if now < next_at[i] {
                 continue;
             }

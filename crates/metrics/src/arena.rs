@@ -50,6 +50,61 @@ impl ArenaLoad {
     }
 }
 
+/// What an elastic-directory event did to the live-arena set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElasticEventKind {
+    /// An arena was brought live under admission pressure.
+    Spawned,
+    /// An idle arena was drained and reaped after its linger window.
+    Reaped,
+}
+
+/// One spawn/reap transition of an elastic directory.
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticEvent {
+    /// Fabric time of the transition.
+    pub at: Nanos,
+    /// The arena that changed state.
+    pub arena: u16,
+    pub kind: ElasticEventKind,
+    /// Live arenas immediately after the transition.
+    pub live: u32,
+}
+
+/// Spawn/reap counters published by an elastic arena directory when
+/// the run ends (the `repro elasticity` figure plots `events`).
+#[derive(Clone, Debug, Default)]
+pub struct ElasticStats {
+    /// Arenas live at boot (never reaped).
+    pub boot: u32,
+    /// Upper bound on live arenas (the elasticity ceiling).
+    pub max_arenas: u32,
+    /// Arenas brought live under admission pressure.
+    pub spawned: u64,
+    /// Arenas drained and reaped after their linger window.
+    pub reaped: u64,
+    /// Peak live-arena count over the run.
+    pub peak_live: u32,
+    /// Live arenas when the run ended.
+    pub live_at_end: u32,
+    /// Every spawn/reap transition in order.
+    pub events: Vec<ElasticEvent>,
+}
+
+impl ElasticStats {
+    /// Live-arena count at fabric time `at` (from the event timeline).
+    pub fn live_at(&self, at: Nanos) -> u32 {
+        let mut live = self.boot;
+        for ev in &self.events {
+            if ev.at > at {
+                break;
+            }
+            live = ev.live;
+        }
+        live
+    }
+}
+
 /// Fold per-arena loads into the machine-level aggregate. Counters sum;
 /// response statistics merge (so latency averages weight by replies).
 pub fn rollup(per: &[ArenaLoad]) -> ArenaLoad {
@@ -101,6 +156,42 @@ mod tests {
         assert_eq!(agg.response.received, 400);
         // Weighted mean: (100·2 + 300·4) / 400 = 3.5 ms.
         assert!((agg.avg_response_ms() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elastic_live_count_follows_the_event_timeline() {
+        let stats = ElasticStats {
+            boot: 1,
+            max_arenas: 4,
+            spawned: 2,
+            reaped: 1,
+            peak_live: 3,
+            live_at_end: 2,
+            events: vec![
+                ElasticEvent {
+                    at: 100,
+                    arena: 1,
+                    kind: ElasticEventKind::Spawned,
+                    live: 2,
+                },
+                ElasticEvent {
+                    at: 200,
+                    arena: 2,
+                    kind: ElasticEventKind::Spawned,
+                    live: 3,
+                },
+                ElasticEvent {
+                    at: 300,
+                    arena: 2,
+                    kind: ElasticEventKind::Reaped,
+                    live: 2,
+                },
+            ],
+        };
+        assert_eq!(stats.live_at(0), 1);
+        assert_eq!(stats.live_at(150), 2);
+        assert_eq!(stats.live_at(250), 3);
+        assert_eq!(stats.live_at(1000), 2);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod stats;
 pub mod timeline;
 pub mod witness;
 
-pub use arena::{rollup, ArenaLoad};
+pub use arena::{rollup, ArenaLoad, ElasticEvent, ElasticEventKind, ElasticStats};
 pub use breakdown::{Breakdown, Bucket};
 pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
 pub use timeline::{FrameSample, Timeline};

@@ -27,6 +27,9 @@ pub struct ThreadStats {
     pub queue_dropped: u64,
     /// Client slots reclaimed by the inactivity timeout.
     pub timeouts: u64,
+    /// Lifecycle notifications (connect accepted / disconnect /
+    /// reclaim / reject) sent to a directory control port.
+    pub lifecycle_sent: u64,
     pub lock: LockStats,
 }
 
@@ -46,6 +49,7 @@ impl ThreadStats {
         self.connect_rejected += other.connect_rejected;
         self.queue_dropped += other.queue_dropped;
         self.timeouts += other.timeouts;
+        self.lifecycle_sent += other.lifecycle_sent;
         self.lock.merge(&other.lock);
     }
 }
@@ -379,6 +383,7 @@ mod tests {
         b.connect_rejected = 1;
         b.queue_dropped = 4;
         b.timeouts = 1;
+        b.lifecycle_sent = 6;
         a.merge(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.replies, 3);
@@ -388,6 +393,7 @@ mod tests {
         assert_eq!(a.connect_rejected, 1);
         assert_eq!(a.queue_dropped, 4);
         assert_eq!(a.timeouts, 1);
+        assert_eq!(a.lifecycle_sent, 6);
     }
 
     #[test]

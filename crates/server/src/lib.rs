@@ -29,6 +29,7 @@
 pub mod clients;
 pub mod cost;
 pub mod exec;
+pub mod lifecycle;
 pub mod par;
 pub mod runtime;
 pub mod seq;
@@ -41,6 +42,7 @@ use parquake_metrics::{FrameStats, ThreadStats, Timeline};
 use parquake_sim::GameWorld;
 
 pub use cost::CostModel;
+pub use lifecycle::LifecycleEvent;
 
 /// Which object-lock policy the parallel server uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +124,12 @@ pub struct ServerConfig {
     /// placement; arena 0 keeps the ack byte-identical to the
     /// pre-arena wire format.
     pub arena_id: u16,
+    /// Control port for [`LifecycleEvent`] notifications (connect
+    /// accepted / disconnect / inactivity reclaim / reject). `None`
+    /// (the default) disables them; a multi-arena directory sets this
+    /// so its occupancy ledger tracks server-side slot churn. Notices
+    /// are sent uncharged, so game-path timing is unaffected.
+    pub lifecycle_port: Option<PortId>,
 }
 
 impl ServerConfig {
@@ -136,6 +144,7 @@ impl ServerConfig {
             delta_compression: false,
             client_timeout_ns: 0,
             arena_id: 0,
+            lifecycle_port: None,
         }
     }
 }

@@ -17,6 +17,7 @@ use parquake_sim::{GameWorld, WorkCounters};
 use crate::clients::{ClientTable, SlotState};
 use crate::cost::CostModel;
 use crate::exec::{execute_move, ExecEnv, RegionLocks};
+use crate::lifecycle::LifecycleEvent;
 use crate::visibility_reply::build_reply;
 use crate::{Assignment, LockPolicy, ServerConfig};
 
@@ -45,6 +46,8 @@ pub struct ServerShared {
     pub client_timeout_ns: Nanos,
     /// Arena id echoed in every ConnectAck (0 for standalone servers).
     pub arena_id: u16,
+    /// Directory control port for lifecycle notices (`None` = off).
+    pub lifecycle: Option<PortId>,
     pub threads: u32,
     pub slots_per_thread: u32,
     pub ports: Vec<PortId>,
@@ -89,6 +92,7 @@ impl ServerShared {
             delta_compression: cfg.delta_compression,
             client_timeout_ns: cfg.client_timeout_ns,
             arena_id: cfg.arena_id,
+            lifecycle: cfg.lifecycle_port,
             threads,
             slots_per_thread: (slots as u32).div_ceil(threads),
             ports,
@@ -173,6 +177,23 @@ impl ServerShared {
         self.locks.release_global(ctx);
     }
 
+    /// Fire-and-forget a lifecycle notice at the directory control
+    /// port, if one is configured. Sent uncharged — the notice models
+    /// an in-process queue append, not network traffic — so enabling
+    /// lifecycle reporting never perturbs game-path timing.
+    pub fn notify(
+        &self,
+        ctx: &TaskCtx,
+        from: PortId,
+        stats: &mut ThreadStats,
+        event: LifecycleEvent,
+    ) {
+        if let Some(dir) = self.lifecycle {
+            ctx.send(from, dir, event.to_bytes());
+            stats.lifecycle_sent += 1;
+        }
+    }
+
     /// Toggle the dynamic protocol checkers (request phase on, world
     /// phase off — the master mutates freely by phase exclusivity).
     pub fn set_checking(&self, on: bool) {
@@ -214,10 +235,20 @@ impl ServerShared {
                     slot.last_active = now;
                 }
                 SlotState::Active if slot.leaving => {
+                    let client_id = slot.client_id;
                     self.world.despawn_player(idx as u16);
                     slot.state = SlotState::Empty;
                     slot.leaving = false;
                     slot.events.clear();
+                    self.notify(
+                        ctx,
+                        port,
+                        stats,
+                        LifecycleEvent::Disconnected {
+                            arena: self.arena_id,
+                            client_id,
+                        },
+                    );
                 }
                 SlotState::Active
                     if self.client_timeout_ns > 0
@@ -225,9 +256,8 @@ impl ServerShared {
                 {
                     // Inactivity reclaim: tell the client it is gone
                     // (best effort — it may be, too) and free the slot.
-                    let bye = ServerMessage::Bye {
-                        client_id: slot.client_id,
-                    };
+                    let client_id = slot.client_id;
+                    let bye = ServerMessage::Bye { client_id };
                     ctx.charge(self.cost.reply_base / 2);
                     ctx.send(port, slot.reply_port, bye.to_bytes());
                     self.world.despawn_player(idx as u16);
@@ -235,6 +265,16 @@ impl ServerShared {
                     slot.leaving = false;
                     slot.events.clear();
                     stats.timeouts += 1;
+                    self.notify(
+                        ctx,
+                        port,
+                        stats,
+                        LifecycleEvent::Reclaimed {
+                            arena: self.arena_id,
+                            client_id,
+                            at: now,
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -359,11 +399,32 @@ impl ServerShared {
                     slot.owner = thread;
                     slot.desired_thread = thread;
                     slot.last_active = now;
+                    let from = self.ports[thread as usize];
+                    self.notify(
+                        ctx,
+                        from,
+                        stats,
+                        LifecycleEvent::Connected {
+                            arena: self.arena_id,
+                            client_id,
+                            thread: thread as u16,
+                        },
+                    );
                 } else {
                     // Home block full: the connect is dropped (the
                     // client will retry and may land elsewhere under
                     // dynamic steering).
                     stats.connect_rejected += 1;
+                    let from = self.ports[thread as usize];
+                    self.notify(
+                        ctx,
+                        from,
+                        stats,
+                        LifecycleEvent::Rejected {
+                            arena: self.arena_id,
+                            client_id,
+                        },
+                    );
                 }
                 false
             }
