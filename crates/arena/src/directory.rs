@@ -39,15 +39,28 @@
 //! reaped — its claim slot masked, its `ServerResults` published.
 //! The elastic state machine per cell is thus
 //! `cold → live → lingering → reaped (→ live again under pressure)`.
+//!
+//! **Supervision** (off by default) hardens the pooled shape: every
+//! claimed frame runs behind `catch_unwind` so a panic fates only its
+//! arena (`healthy → crashed`), workers checkpoint each arena's world
+//! and slot table into a per-arena ring, a director-side watchdog
+//! condemns arenas whose claimed frame overruns (`healthy → stuck`),
+//! and [`crate::supervisor`] restores fated arenas from their last
+//! checkpoint and replays the ledger (`→ restoring → live`). Sustained
+//! frame overruns degrade gracefully: the arena's effective frame
+//! interval stretches and queued moves are coalesced per client
+//! instead of dropped.
 
 use std::cell::UnsafeCell;
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Once, PoisonError};
 
 use parquake_bsp::mapgen::MapGenConfig;
+use parquake_fabric::fault::{FaultConfig, FrameFault, FrameLottery};
 use parquake_fabric::{CondId, Fabric, LockId, Nanos, PortId, TaskCtx};
 use parquake_metrics::{
     Bucket, ElasticEvent, ElasticEventKind, ElasticStats, FrameSample, FrameStats, LockClass,
-    ThreadStats, Timeline,
+    SupervisorStats, ThreadStats, Timeline,
 };
 use parquake_protocol::{ClientMessage, Decode};
 use parquake_server::clients::SlotState;
@@ -58,6 +71,7 @@ use parquake_server::{
 use parquake_sim::GameWorld;
 
 use crate::admission::{AdmissionPolicy, AdmissionStats};
+use crate::checkpoint::{Checkpoint, CheckpointRing};
 use crate::ledger::{Departure, Ledger};
 
 /// How arena frames get processors.
@@ -131,6 +145,33 @@ pub struct ArenaDirectoryConfig {
     /// notices and run elastic bookkeeping while the front door is
     /// quiet.
     pub notice_poll_ns: Nanos,
+    /// Supervise arena frames (pooled scheduling): run each claimed
+    /// frame behind `catch_unwind` so a panic fates only that arena,
+    /// checkpoint periodically, watchdog stuck frames, and restore
+    /// fated arenas from their last checkpoint with a ledger replay.
+    /// Dedicated scheduling gets panic isolation only (sequential
+    /// runtimes stop serving cleanly on a caught panic). Off by
+    /// default — the unsupervised 1×1 pooled path stays byte-identical
+    /// to the sequential server.
+    pub supervision: bool,
+    /// Checkpoint every this-many frames per arena (supervised pooled
+    /// only). `0` disables periodic checkpoints (the spawn-time
+    /// checkpoint is still taken, so restore always has a target).
+    pub checkpoint_interval: u32,
+    /// Checkpoints retained per arena ring.
+    pub checkpoint_depth: usize,
+    /// The watchdog condemns an arena whose claimed frame has been
+    /// running longer than this. A stuck frame cannot be preempted —
+    /// the watchdog fences the arena (liveness masked, fate condemned)
+    /// and the restore happens once the frame returns its claim.
+    pub watchdog_ns: Nanos,
+    /// Deterministic frame-fault injection for supervised arenas: a
+    /// seeded per-arena lottery fires panics and/or stuck stalls
+    /// inside claimed frames (see
+    /// [`parquake_fabric::fault::FrameLottery`]). `None` = no
+    /// injection. Ignored when `supervision` is off — uncaught
+    /// injected panics would take down the whole fabric.
+    pub frame_faults: Option<FaultConfig>,
 }
 
 impl ArenaDirectoryConfig {
@@ -152,6 +193,11 @@ impl ArenaDirectoryConfig {
             maintenance_ns: 0,
             book_cap: 0,
             notice_poll_ns: 2_000_000,
+            supervision: false,
+            checkpoint_interval: 64,
+            checkpoint_depth: 4,
+            watchdog_ns: 250_000_000,
+            frame_faults: None,
         }
     }
 }
@@ -189,6 +235,10 @@ pub struct ArenaHandle {
     pub pool: Option<Arc<Mutex<PoolReport>>>,
     /// Spawn/reap accounting, filled when the run ends.
     pub elastic: Arc<Mutex<ElasticStats>>,
+    /// Supervision accounting (panics caught, restores, checkpoints,
+    /// shedding), filled when the run ends. All-zero when
+    /// `supervision` is off.
+    pub supervisor: Arc<Mutex<SupervisorStats>>,
     /// The director's lifecycle control port (tests inject synthetic
     /// notices here). `None` when lifecycle reporting is disabled.
     pub lifecycle_port: Option<PortId>,
@@ -220,10 +270,11 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         })
         .collect();
 
+    let supervisor = Arc::new(Mutex::new(SupervisorStats::default()));
     let (arena_ports, results, pool_parts, pool_report) = match cfg.scheduling {
         ArenaScheduling::Pooled { workers } => {
             let (ports, results, parts, report) =
-                spawn_pool(fabric, &cfg, &worlds, workers, lifecycle_port);
+                spawn_pool(fabric, &cfg, &worlds, workers, lifecycle_port, &supervisor);
             (ports, results, Some(parts), Some(report))
         }
         ArenaScheduling::Dedicated => {
@@ -233,6 +284,11 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
                 let mut scfg = cfg.server.clone();
                 scfg.arena_id = k as u16;
                 scfg.lifecycle_port = lifecycle_port;
+                // Dedicated supervision is panic isolation only: a
+                // caught panic stops that runtime cleanly (results
+                // still published); there is no pooled claim table to
+                // drive checkpoint/restore through.
+                scfg.catch_panics = cfg.supervision;
                 let ServerHandle {
                     ports: p,
                     results: r,
@@ -271,6 +327,9 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         results: results.clone(),
         out: admission.clone(),
         elastic_out: elastic.clone(),
+        supervised: cfg.supervision,
+        watchdog_ns: cfg.watchdog_ns.max(1),
+        supervisor_out: supervisor.clone(),
     };
     fabric.spawn(
         "arena-director",
@@ -286,6 +345,7 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         admission,
         pool: pool_report,
         elastic,
+        supervisor,
         lifecycle_port,
     }
 }
@@ -296,7 +356,7 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
 
 /// Everything the director task needs, bundled so the closure stays
 /// one move.
-struct DirectorEnv {
+pub(crate) struct DirectorEnv {
     front: PortId,
     lifecycle: Option<PortId>,
     arena_ports: Vec<Vec<PortId>>,
@@ -309,27 +369,38 @@ struct DirectorEnv {
     linger_ns: Nanos,
     notice_poll_ns: Nanos,
     book_cap: usize,
-    /// Pool internals for spawn/reap (pooled scheduling only).
-    pool: Option<PoolParts>,
+    /// Pool internals for spawn/reap and supervised restore (pooled
+    /// scheduling only).
+    pub(crate) pool: Option<PoolParts>,
     results: Vec<Arc<Mutex<ServerResults>>>,
     out: Arc<Mutex<AdmissionStats>>,
     elastic_out: Arc<Mutex<ElasticStats>>,
+    pub(crate) supervised: bool,
+    pub(crate) watchdog_ns: Nanos,
+    supervisor_out: Arc<Mutex<SupervisorStats>>,
 }
 
 /// The director's mutable state.
-struct Director {
+pub(crate) struct Director {
     stats: AdmissionStats,
-    ledger: Ledger,
+    pub(crate) ledger: Ledger,
     /// Round-robin home-block spreading inside each arena: connects are
     /// dealt to the arena's threads in turn so no single thread's block
     /// fills while others sit empty.
     next_thread: Vec<usize>,
     /// The director's mirror of pool liveness (it is the only mutator,
-    /// so the mirror never goes stale).
+    /// so the mirror never goes stale). Deliberately *not* cleared
+    /// while an arena is crashed or restoring: sticky traffic keeps
+    /// queueing on the arena's bounded port and drains after restore,
+    /// and elastic spawn must not recycle the fated cell meanwhile.
     live: Vec<bool>,
     /// When arena k's occupancy last hit zero (linger clock).
     empty_since: Vec<Option<Nanos>>,
     elastic: ElasticStats,
+    /// Director-side supervision accounting (watchdog condemnations,
+    /// restores, ledger replays); worker-side counters merge in at
+    /// pool exit.
+    pub(crate) sup: SupervisorStats,
 }
 
 fn director(ctx: &TaskCtx, env: &DirectorEnv) {
@@ -350,6 +421,7 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
             peak_live: env.boot as u32,
             ..ElasticStats::default()
         },
+        sup: SupervisorStats::default(),
     };
 
     loop {
@@ -385,6 +457,7 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
             }
         }
         elastic_reap(ctx, env, &mut d);
+        crate::supervisor::supervise(ctx, env, &mut d);
     }
 
     d.stats.placed = d.ledger.placed;
@@ -392,8 +465,18 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
     d.stats.resident = d.ledger.resident();
     d.stats.book_evicted = d.ledger.evicted;
     d.elastic.live_at_end = d.live.iter().filter(|&&l| l).count() as u32;
-    *env.out.lock().unwrap() = d.stats; // lockcheck: allow(raw-sync)
-    *env.elastic_out.lock().unwrap() = d.elastic; // lockcheck: allow(raw-sync)
+    // End-of-run publishes tolerate poisoning: these mutexes guard
+    // plain result snapshots (no invariants to corrupt), and a
+    // panicking reader elsewhere must not take the directory's report
+    // down with it — supervision's whole point.
+    *env.out.lock().unwrap_or_else(PoisonError::into_inner) = d.stats; // lockcheck: allow(raw-sync)
+    *env.elastic_out
+        .lock() // lockcheck: allow(raw-sync)
+        .unwrap_or_else(PoisonError::into_inner) = d.elastic;
+    env.supervisor_out
+        .lock() // lockcheck: allow(raw-sync)
+        .unwrap_or_else(PoisonError::into_inner)
+        .merge(&d.sup);
 }
 
 fn handle_front(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director, from: PortId, payload: &[u8]) {
@@ -593,6 +676,13 @@ fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
             parts.pool.exit(ctx);
             continue;
         }
+        if st.fate[k] != ArenaFate::Healthy {
+            // Crashed or condemned: the supervisor owns this cell's
+            // next transition (restore). Reaping it would fork the
+            // liveness mirror.
+            parts.pool.exit(ctx);
+            continue;
+        }
         st.live[k] = false;
         st.sessions[k] = false;
         // Claim flag clear + liveness masked: no worker will touch the
@@ -601,7 +691,9 @@ fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
         let f = cell.frame();
         f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
         {
-            let mut r = env.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+            let mut r = env.results[k]
+                .lock() // lockcheck: allow(raw-sync)
+                .unwrap_or_else(PoisonError::into_inner);
             r.threads = vec![f.stats.clone()];
             r.frames = f.frames.clone();
             r.timeline = f.timeline.clone();
@@ -626,51 +718,99 @@ fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
 // Shared worker pool
 // ---------------------------------------------------------------------------
 
-/// One arena's runtime state inside the pool. `frame` is mutated only
-/// by the worker that currently holds the arena's claim flag.
-struct ArenaCell {
-    shared: Arc<ServerShared>,
+/// One arena's runtime state inside the pool. `frame` and `guard` are
+/// mutated only by the worker that currently holds the arena's claim
+/// flag (the director takes the claim as a fence while restoring).
+pub(crate) struct ArenaCell {
+    pub(crate) shared: Arc<ServerShared>,
     port: PortId,
     frame: UnsafeCell<ArenaFrame>,
+    /// Supervision state: checkpoint ring, fault lottery, overload
+    /// stretch. Claim-protected exactly like `frame`.
+    guard: UnsafeCell<ArenaGuard>,
 }
 
-struct ArenaFrame {
+pub(crate) struct ArenaFrame {
     stats: ThreadStats,
     frames: FrameStats,
     timeline: Timeline,
-    frame_no: u32,
+    pub(crate) frame_no: u32,
 }
 
-// SAFETY: `frame` is accessed only between claim (set under the pool
-// lock) and release by the claiming worker, by the director after
-// masking liveness with the claim flag clear (reap), or by the last
+/// Claim-protected supervision state of one arena.
+pub(crate) struct ArenaGuard {
+    /// Restore points, newest last.
+    pub(crate) ring: CheckpointRing,
+    /// Deterministic per-arena fault lottery (`None` = no injection).
+    lottery: Option<FrameLottery>,
+    /// Effective frame-interval multiplier (1 = real time, up to 8
+    /// under sustained overrun).
+    stretch: u32,
+    /// Consecutive frames that overran the deadline.
+    overruns: u32,
+    /// Worker-side counters, merged into the directory's
+    /// `SupervisorStats` by the last exiting worker.
+    pub(crate) panics_caught: u64,
+    shed_frames: u64,
+    coalesced_moves: u64,
+}
+
+/// What the supervisor believes about one arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ArenaFate {
+    /// Running normally (or cold/reaped — fate only matters live).
+    Healthy,
+    /// A claimed frame panicked; the arena is fenced off (liveness
+    /// masked, claim clear) awaiting restore.
+    Crashed { at: Nanos },
+    /// The watchdog caught a claimed frame overrunning; the claim is
+    /// still held by the stuck worker, restore happens at release.
+    Condemned { at: Nanos },
+}
+
+// SAFETY: `frame` and `guard` are accessed only between claim (set
+// under the pool lock) and release by the claiming worker, by the
+// director after masking liveness with the claim flag clear (reap) or
+// after taking the claim itself as a restore fence, or by the last
 // exiting worker after every claim flag is clear.
 unsafe impl Sync for ArenaCell {}
 unsafe impl Send for ArenaCell {}
 
 impl ArenaCell {
     #[allow(clippy::mut_from_ref)]
-    fn frame(&self) -> &mut ArenaFrame {
+    pub(crate) fn frame(&self) -> &mut ArenaFrame {
         // SAFETY: see type-level invariant.
         unsafe { &mut *self.frame.get() }
     }
+
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) fn guard(&self) -> &mut ArenaGuard {
+        // SAFETY: see type-level invariant.
+        unsafe { &mut *self.guard.get() }
+    }
 }
 
-struct PoolState {
-    /// Arena k is currently being run by some worker.
-    claimed: Vec<bool>,
-    /// Arena k accepts frames (cold and reaped cells are masked; only
-    /// the director flips these).
-    live: Vec<bool>,
+pub(crate) struct PoolState {
+    /// Arena k is currently being run by some worker (or fenced by the
+    /// director during a restore).
+    pub(crate) claimed: Vec<bool>,
+    /// Arena k accepts frames (cold, reaped and fated cells are
+    /// masked; only the director flips these, except a crashing worker
+    /// masking its own arena).
+    pub(crate) live: Vec<bool>,
     /// Arena k had non-empty player slots after its last frame
     /// (written by the frame's worker while still owning the claim,
     /// read by the maintenance-due scan).
-    sessions: Vec<bool>,
+    pub(crate) sessions: Vec<bool>,
     /// When arena k's last frame finished (maintenance pacing).
-    last_frame: Vec<Nanos>,
+    pub(crate) last_frame: Vec<Nanos>,
     /// Earliest time arena k may start its next frame
     /// (`frame_interval_ns` pacing).
-    next_due: Vec<Nanos>,
+    pub(crate) next_due: Vec<Nanos>,
+    /// When arena k's current claim was taken (watchdog clock).
+    pub(crate) claim_started: Vec<Nanos>,
+    /// Supervision fate per arena.
+    pub(crate) fate: Vec<ArenaFate>,
     /// Round-robin scan start, for fairness across arenas.
     rotor: usize,
     /// Workers that have left the loop.
@@ -684,9 +824,9 @@ struct PoolState {
 /// sits in the control layer (like the parallel server's frame-control
 /// lock): it is never held while running a frame, so it can never rank
 /// under a region lock.
-struct Pool {
+pub(crate) struct Pool {
     lock: LockId,
-    cond: CondId,
+    pub(crate) cond: CondId,
     state: UnsafeCell<PoolState>,
 }
 
@@ -696,28 +836,28 @@ unsafe impl Send for Pool {}
 
 impl Pool {
     #[allow(clippy::mut_from_ref)]
-    fn state(&self) -> &mut PoolState {
+    pub(crate) fn state(&self) -> &mut PoolState {
         // SAFETY: see type-level invariant.
         unsafe { &mut *self.state.get() }
     }
 
     /// Enter the pool-scheduling critical section.
     // lockcheck: acquire-site
-    fn enter(&self, ctx: &TaskCtx) {
+    pub(crate) fn enter(&self, ctx: &TaskCtx) {
         ctx.lock(self.lock);
     }
 
     /// Leave the pool-scheduling critical section.
     // lockcheck: acquire-site
-    fn exit(&self, ctx: &TaskCtx) {
+    pub(crate) fn exit(&self, ctx: &TaskCtx) {
         ctx.unlock(self.lock);
     }
 }
 
-/// The pool internals the director needs for spawn/reap.
-struct PoolParts {
-    pool: Arc<Pool>,
-    cells: Arc<Vec<Arc<ArenaCell>>>,
+/// The pool internals the director needs for spawn/reap and restore.
+pub(crate) struct PoolParts {
+    pub(crate) pool: Arc<Pool>,
+    pub(crate) cells: Arc<Vec<Arc<ArenaCell>>>,
 }
 
 type PoolSpawn = (
@@ -727,12 +867,28 @@ type PoolSpawn = (
     Arc<Mutex<PoolReport>>,
 );
 
+/// Per-run knobs every pool worker shares (one allocation, cloned
+/// `Arc` per worker).
+struct PoolRunCfg {
+    end_time: Nanos,
+    poll_ns: Nanos,
+    frame_interval_ns: Nanos,
+    maintenance_ns: Nanos,
+    supervised: bool,
+    /// A frame running longer than this counts as an overrun for the
+    /// graceful-degradation stretch (`frame_interval_ns`, or 30 ms
+    /// when frames are purely event-driven).
+    frame_deadline_ns: Nanos,
+    checkpoint_interval: u32,
+}
+
 fn spawn_pool(
     fabric: &Arc<dyn Fabric>,
     cfg: &ArenaDirectoryConfig,
     worlds: &[Arc<GameWorld>],
     workers: u32,
     lifecycle_port: Option<PortId>,
+    supervisor: &Arc<Mutex<SupervisorStats>>,
 ) -> PoolSpawn {
     assert!(workers >= 1, "pool needs at least one worker");
     let n = worlds.len();
@@ -772,6 +928,20 @@ fn spawn_pool(
         }
         ports.push(shared.ports.clone());
         results.push(Arc::new(Mutex::new(ServerResults::default())));
+        // The per-arena fault lottery is salted with the arena id so
+        // each arena's fate stream is independent of worker
+        // interleaving — crash sweeps replay bit-for-bit.
+        let lottery = if cfg.supervision {
+            cfg.frame_faults
+                .as_ref()
+                .filter(|fc| fc.frame_faults_enabled())
+                .map(|fc| FrameLottery::new(fc, k as u64))
+        } else {
+            None
+        };
+        if lottery.is_some() {
+            install_quiet_panic_hook();
+        }
         cells.push(Arc::new(ArenaCell {
             port: shared.ports[0],
             shared,
@@ -780,6 +950,15 @@ fn spawn_pool(
                 frames: FrameStats::new(),
                 timeline: Timeline::default(),
                 frame_no: 0,
+            }),
+            guard: UnsafeCell::new(ArenaGuard {
+                ring: CheckpointRing::new(cfg.checkpoint_depth),
+                lottery,
+                stretch: 1,
+                overruns: 0,
+                panics_caught: 0,
+                shed_frames: 0,
+                coalesced_moves: 0,
             }),
         }));
     }
@@ -797,6 +976,8 @@ fn spawn_pool(
             sessions: vec![false; n],
             last_frame: vec![0; n],
             next_due: vec![0; n],
+            claim_started: vec![0; n],
+            fate: vec![ArenaFate::Healthy; n],
             rotor: 0,
             exited: 0,
             frames_by_worker: vec![0; workers as usize],
@@ -806,15 +987,27 @@ fn spawn_pool(
     });
     let report = Arc::new(Mutex::new(PoolReport::default()));
 
+    let rcfg = Arc::new(PoolRunCfg {
+        end_time: cfg.server.end_time,
+        poll_ns: cfg.poll_ns.max(1),
+        frame_interval_ns: cfg.frame_interval_ns,
+        maintenance_ns,
+        supervised: cfg.supervision,
+        frame_deadline_ns: if cfg.frame_interval_ns > 0 {
+            cfg.frame_interval_ns
+        } else {
+            30_000_000
+        },
+        checkpoint_interval: cfg.checkpoint_interval,
+    });
     let cells = Arc::new(cells);
     for w in 0..workers {
         let cells = cells.clone();
         let pool = pool.clone();
         let report = report.clone();
         let results = results.clone();
-        let end_time = cfg.server.end_time;
-        let poll_ns = cfg.poll_ns.max(1);
-        let frame_interval_ns = cfg.frame_interval_ns;
+        let rcfg = rcfg.clone();
+        let supervisor = supervisor.clone();
         fabric.spawn(
             &format!("arena-pool-{w}"),
             Some(w),
@@ -825,12 +1018,10 @@ fn spawn_pool(
                     workers,
                     &cells,
                     &pool,
-                    end_time,
-                    poll_ns,
-                    frame_interval_ns,
-                    maintenance_ns,
+                    &rcfg,
                     &results,
                     &report,
+                    &supervisor,
                 )
             }),
         );
@@ -845,21 +1036,21 @@ fn pool_worker(
     workers: u32,
     cells: &[Arc<ArenaCell>],
     pool: &Pool,
-    end_time: Nanos,
-    poll_ns: Nanos,
-    frame_interval_ns: Nanos,
-    maintenance_ns: Nanos,
+    rcfg: &PoolRunCfg,
     results: &[Arc<Mutex<ServerResults>>],
     report: &Mutex<PoolReport>,
+    supervisor: &Mutex<SupervisorStats>,
 ) {
     let n = cells.len();
-    // A 1×1 pool with no maintenance ticking degenerates to the
-    // sequential server's select loop: no scheduling lock, no polling —
-    // byte-identical behaviour to `ServerKind::Sequential`, so a
-    // default single-arena directory adds zero overhead over today's
-    // server.
+    // A 1×1 pool with no maintenance ticking and no supervision
+    // degenerates to the sequential server's select loop: no
+    // scheduling lock, no polling — byte-identical behaviour to
+    // `ServerKind::Sequential`, so a default single-arena directory
+    // adds zero overhead over today's server. Supervision opts out:
+    // its catch_unwind wrapper, checkpoints and watchdog claim
+    // accounting all live in the scan path.
     let mut degenerate_frames = 0u64;
-    if n == 1 && workers == 1 && maintenance_ns == 0 {
+    if n == 1 && workers == 1 && rcfg.maintenance_ns == 0 && !rcfg.supervised {
         let cell = &cells[0];
         // `next_due` pacing, exactly like `pool_worker_scan`: input
         // arriving mid-interval is processed *at* `next_due`, not an
@@ -868,31 +1059,22 @@ fn pool_worker(
         let mut next_due: Nanos = 0;
         loop {
             let t0 = ctx.now();
-            if !ctx.wait_readable(cell.port, Some(end_time)) {
+            if !ctx.wait_readable(cell.port, Some(rcfg.end_time)) {
                 break;
             }
             cell.frame()
                 .stats
                 .breakdown
                 .add(Bucket::Idle, ctx.now() - t0);
-            if frame_interval_ns > 0 && ctx.now() < next_due {
+            if rcfg.frame_interval_ns > 0 && ctx.now() < next_due {
                 ctx.sleep_until(next_due);
             }
             run_arena_frame(ctx, cell);
-            next_due = ctx.now() + frame_interval_ns;
+            next_due = ctx.now() + rcfg.frame_interval_ns;
             degenerate_frames += 1;
         }
     } else {
-        pool_worker_scan(
-            ctx,
-            w,
-            cells,
-            pool,
-            end_time,
-            poll_ns,
-            frame_interval_ns,
-            maintenance_ns,
-        );
+        pool_worker_scan(ctx, w, cells, pool, rcfg);
     }
 
     // Exit protocol: the last worker out publishes per-arena results
@@ -910,38 +1092,55 @@ fn pool_worker(
         for (k, cell) in cells.iter().enumerate() {
             let f = cell.frame();
             f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
-            let mut r = results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+            let mut r = results[k].lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync)
             r.threads = vec![f.stats.clone()];
             r.frames = f.frames.clone();
             r.timeline = f.timeline.clone();
             r.frame_count = f.frame_no as u64;
             r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
         }
-        let mut rep = report.lock().unwrap(); // lockcheck: allow(raw-sync)
+        let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync)
         rep.frames_by_worker = st.frames_by_worker.clone();
         rep.frames_by_arena = st.frames_by_arena.clone();
         rep.idle_ns_by_worker = st.idle_ns_by_worker.clone();
+        if rcfg.supervised {
+            // Fold worker-side guard counters into the directory's
+            // supervision report; the director contributes the
+            // restore/watchdog side separately via `merge`.
+            let mut sup = SupervisorStats::default();
+            for cell in cells.iter() {
+                let g = cell.guard();
+                sup.panics_caught += g.panics_caught;
+                sup.checkpoints_taken += g.ring.taken;
+                sup.checkpoint_bytes += g.ring.bytes;
+                sup.shed_frames += g.shed_frames;
+                sup.coalesced_moves += g.coalesced_moves;
+            }
+            supervisor
+                .lock() // lockcheck: allow(raw-sync)
+                .unwrap_or_else(PoisonError::into_inner)
+                .merge(&sup);
+        }
     }
     pool.exit(ctx);
 }
 
 /// The general pool scheduling loop: claim a due arena under the pool
-/// lock, run its frame unlocked, release, repeat.
-#[allow(clippy::too_many_arguments)]
+/// lock, run its frame unlocked, release, repeat. Supervised frames
+/// run behind `catch_unwind`: a panic fates only the panicking arena
+/// (claim cleared, liveness masked, fate `Crashed`) and the worker
+/// moves on to other arenas.
 fn pool_worker_scan(
     ctx: &TaskCtx,
     w: u32,
     cells: &[Arc<ArenaCell>],
     pool: &Pool,
-    end_time: Nanos,
-    poll_ns: Nanos,
-    frame_interval_ns: Nanos,
-    maintenance_ns: Nanos,
+    rcfg: &PoolRunCfg,
 ) {
     let n = cells.len();
     loop {
         let now = ctx.now();
-        if now >= end_time {
+        if now >= rcfg.end_time {
             break;
         }
         pool.enter(ctx);
@@ -959,9 +1158,9 @@ fn pool_worker_scan(
                 }
                 let input =
                     matches!(ctx.fabric().port_next_delivery(cells[k].port), Some(t) if t <= now);
-                let maint = maintenance_ns > 0
+                let maint = rcfg.maintenance_ns > 0
                     && st.sessions[k]
-                    && now >= st.last_frame[k] + maintenance_ns;
+                    && now >= st.last_frame[k] + rcfg.maintenance_ns;
                 if input || maint {
                     pick = Some(k);
                     break;
@@ -969,26 +1168,74 @@ fn pool_worker_scan(
             }
             if let Some(k) = pick {
                 st.claimed[k] = true;
+                st.claim_started[k] = now;
                 st.rotor = (k + 1) % n;
             }
         }
         match pick {
             Some(k) => {
                 pool.exit(ctx);
-                run_arena_frame(ctx, &cells[k]);
+                let cell = &cells[k];
+                let panicked = if rcfg.supervised {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_arena_frame_supervised(ctx, cell, rcfg)
+                    }))
+                    .is_err()
+                } else {
+                    run_arena_frame(ctx, cell);
+                    false
+                };
+                if panicked {
+                    // Still owning the claim: count on the cell, then
+                    // fate the arena. The world may be mid-mutation —
+                    // nothing touches it again until the director
+                    // restores from the last checkpoint.
+                    let g = cell.guard();
+                    g.panics_caught += 1;
+                    cell.frame().stats.panics_caught += 1;
+                    pool.enter(ctx);
+                    let st = pool.state();
+                    st.claimed[k] = false;
+                    st.live[k] = false;
+                    st.fate[k] = ArenaFate::Crashed { at: ctx.now() };
+                    ctx.cond_broadcast(pool.cond);
+                    pool.exit(ctx);
+                    continue;
+                }
                 // Still owning the claim: record whether the arena has
-                // resident sessions, for the maintenance-due scan.
+                // resident sessions, for the maintenance-due scan, and
+                // read the overload stretch for pacing.
                 let has_sessions = {
-                    let shared = &cells[k].shared;
+                    let shared = &cell.shared;
                     (0..shared.clients.capacity())
                         .any(|i| shared.clients.slot(i).state != SlotState::Empty)
+                };
+                let stretch = if rcfg.supervised {
+                    cell.guard().stretch
+                } else {
+                    1
                 };
                 pool.enter(ctx);
                 let st = pool.state();
                 st.claimed[k] = false;
-                st.next_due[k] = ctx.now() + frame_interval_ns;
-                st.last_frame[k] = ctx.now();
-                st.sessions[k] = has_sessions;
+                if matches!(st.fate[k], ArenaFate::Condemned { .. }) {
+                    // The watchdog condemned this frame while it ran:
+                    // leave the arena dead (liveness was masked at
+                    // condemn time); the director restores it from
+                    // checkpoint now that the claim is clear.
+                } else {
+                    // Graceful degradation: a stretched arena paces
+                    // its frames at `stretch ×` the frame interval
+                    // (or the deadline, when purely event-driven).
+                    let base = if stretch > 1 {
+                        rcfg.frame_interval_ns.max(rcfg.frame_deadline_ns)
+                    } else {
+                        rcfg.frame_interval_ns
+                    };
+                    st.next_due[k] = ctx.now() + base * stretch as u64;
+                    st.last_frame[k] = ctx.now();
+                    st.sessions[k] = has_sessions;
+                }
                 st.frames_by_worker[w as usize] += 1;
                 st.frames_by_arena[k] += 1;
                 // The arena is consumable again (it may already have
@@ -1002,7 +1249,7 @@ fn pool_worker_scan(
                 // maintenance frame coming due — or the poll bound,
                 // whichever is sooner — then rescan.
                 let st = pool.state();
-                let mut deadline = now + poll_ns;
+                let mut deadline = now + rcfg.poll_ns;
                 for (k, cell) in cells.iter().enumerate() {
                     if st.claimed[k] || !st.live[k] {
                         continue;
@@ -1010,12 +1257,12 @@ fn pool_worker_scan(
                     if let Some(t) = ctx.fabric().port_next_delivery(cell.port) {
                         deadline = deadline.min(st.next_due[k].max(t));
                     }
-                    if maintenance_ns > 0 && st.sessions[k] {
-                        deadline =
-                            deadline.min(st.next_due[k].max(st.last_frame[k] + maintenance_ns));
+                    if rcfg.maintenance_ns > 0 && st.sessions[k] {
+                        deadline = deadline
+                            .min(st.next_due[k].max(st.last_frame[k] + rcfg.maintenance_ns));
                     }
                 }
-                let deadline = deadline.min(end_time).max(now + 1);
+                let deadline = deadline.min(rcfg.end_time).max(now + 1);
                 let (waited, _) = ctx.cond_wait_until(pool.cond, pool.lock, deadline);
                 pool.state().idle_ns_by_worker[w as usize] += waited;
                 pool.exit(ctx);
@@ -1028,6 +1275,13 @@ fn pool_worker_scan(
 /// body (§2.1: world update, drain requests, reply), run by whichever
 /// pool worker claimed the arena.
 fn run_arena_frame(ctx: &TaskCtx, cell: &ArenaCell) {
+    run_arena_frame_body(ctx, cell, None);
+}
+
+/// The frame body proper. `shed`-mode frames (`Some`) coalesce queued
+/// moves per client instead of processing every one; the count of
+/// superseded moves is accumulated into the given counter.
+fn run_arena_frame_body(ctx: &TaskCtx, cell: &ArenaCell, shed: Option<&mut u64>) {
     let shared = &cell.shared;
     let port = cell.port;
     let f = cell.frame();
@@ -1043,7 +1297,12 @@ fn run_arena_frame(ctx: &TaskCtx, cell: &ArenaCell) {
 
     // Rx/E: drain the request queue.
     let mut unused_mask = 0u64;
-    let moves = shared.drain_requests(ctx, 0, port, &mut f.stats, &mut unused_mask);
+    let moves = match shed {
+        Some(coalesced) => {
+            drain_requests_coalesced(ctx, cell, &mut f.stats, &mut unused_mask, coalesced)
+        }
+        None => shared.drain_requests(ctx, 0, port, &mut f.stats, &mut unused_mask),
+    };
 
     // T/Tx: replies for everyone who sent a request.
     let t0 = ctx.now();
@@ -1075,4 +1334,148 @@ fn run_arena_frame(ctx: &TaskCtx, cell: &ArenaCell) {
         requests_min: moves,
         master: 0,
     });
+}
+
+/// Payload of a lottery-injected panic. The quiet panic hook
+/// recognises this type and stays silent for it (crash sweeps inject
+/// thousands); organic panics keep the default hook's report.
+pub struct InjectedPanic;
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Chain a panic hook that suppresses output for [`InjectedPanic`]
+/// payloads only. Installed once, process-wide, and only when a
+/// panic lottery is actually configured.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A supervised frame: fault lottery, shed-mode selection, overload
+/// bookkeeping, checkpoint cadence. Runs under the claiming worker's
+/// `catch_unwind`.
+fn run_arena_frame_supervised(ctx: &TaskCtx, cell: &ArenaCell, rcfg: &PoolRunCfg) {
+    let g = cell.guard();
+    // First claim of this arena's life (or first after a restore that
+    // found an empty ring): checkpoint the current state so a crash on
+    // the very next line already has a restore point.
+    if g.ring.is_empty() {
+        take_checkpoint(ctx, cell, g);
+    }
+    let t0 = ctx.now();
+    // The lottery fires before any frame work — and before any fabric
+    // lock could possibly be taken — so an injected panic can never
+    // wedge a lock. (An organic mid-frame panic under `pooled_locking`
+    // can; see DESIGN.md §10's documented limitations.) An injected
+    // stall counts toward the overrun clock below: a slow frame is an
+    // overrun, wherever the time went.
+    if let Some(lot) = g.lottery.as_mut() {
+        match lot.draw() {
+            FrameFault::Panic => std::panic::panic_any(InjectedPanic),
+            // A stall: the frame "hangs" for the configured time —
+            // past the watchdog bound it gets the arena condemned
+            // mid-claim; short of it, it drives graceful degradation.
+            FrameFault::Stuck(ns) => ctx.charge(ns),
+            FrameFault::None => {}
+        }
+    }
+    if g.stretch > 1 {
+        let mut coalesced = 0u64;
+        run_arena_frame_body(ctx, cell, Some(&mut coalesced));
+        g.shed_frames += 1;
+        g.coalesced_moves += coalesced;
+    } else {
+        run_arena_frame_body(ctx, cell, None);
+    }
+    // Graceful degradation: two consecutive deadline overruns double
+    // the arena's effective frame interval (cap 8×); a frame back
+    // under the deadline halves it toward real time.
+    let dur = ctx.now() - t0;
+    if dur > rcfg.frame_deadline_ns {
+        g.overruns += 1;
+        if g.overruns >= 2 && g.stretch < 8 {
+            g.stretch *= 2;
+            g.overruns = 0;
+        }
+    } else {
+        g.overruns = 0;
+        if g.stretch > 1 {
+            g.stretch /= 2;
+        }
+    }
+    if rcfg.checkpoint_interval > 0 && cell.frame().frame_no % rcfg.checkpoint_interval == 0 {
+        take_checkpoint(ctx, cell, g);
+    }
+}
+
+/// Snapshot the arena's world + slot table into its checkpoint ring.
+/// Caller owns the claim, so both are frame-boundary consistent.
+fn take_checkpoint(ctx: &TaskCtx, cell: &ArenaCell, g: &mut ArenaGuard) {
+    let world = cell.shared.world.snapshot_bytes();
+    let slots = cell.shared.snapshot_slots();
+    // Modelled cost: a serializing memcpy of the world image.
+    ctx.charge((world.len() as u64 >> 6).max(1_000));
+    g.ring.push(Checkpoint {
+        frame_no: cell.frame().frame_no,
+        taken_at: ctx.now(),
+        world,
+        slots,
+    });
+}
+
+/// Shed-mode Rx/E: drain the whole queue first, then process it with
+/// per-client move coalescing — only the *newest* queued `Move` per
+/// client executes; older ones are superseded (their effect is
+/// subsumed, not dropped: the client's next reply reflects its latest
+/// command). `Connect`/`Disconnect` always pass through in arrival
+/// order. Superseded-move count lands in `coalesced_out`.
+fn drain_requests_coalesced(
+    ctx: &TaskCtx,
+    cell: &ArenaCell,
+    stats: &mut ThreadStats,
+    frame_leaf_mask: &mut u64,
+    coalesced_out: &mut u64,
+) -> u32 {
+    let shared = &cell.shared;
+    let port = cell.port;
+    let mut batch: Vec<(PortId, ClientMessage)> = Vec::new();
+    loop {
+        let t0 = ctx.now();
+        let Some(raw) = ctx.try_recv(port) else {
+            break;
+        };
+        ctx.charge(shared.cost.recv);
+        stats.datagrams += 1;
+        let decoded = ClientMessage::from_bytes(&raw.payload);
+        stats.breakdown.add(Bucket::Receive, ctx.now() - t0);
+        match decoded {
+            Ok(msg) => batch.push((raw.from, msg)),
+            Err(_) => stats.decode_rejected += 1,
+        }
+    }
+    let mut newest: HashMap<u32, usize> = HashMap::new();
+    for (i, (_, msg)) in batch.iter().enumerate() {
+        if let ClientMessage::Move { client_id, .. } = msg {
+            newest.insert(*client_id, i);
+        }
+    }
+    let mut moves = 0u32;
+    for (i, (from, msg)) in batch.into_iter().enumerate() {
+        if let ClientMessage::Move { client_id, .. } = &msg {
+            if newest.get(client_id) != Some(&i) {
+                *coalesced_out += 1;
+                continue;
+            }
+        }
+        if shared.handle_message(ctx, 0, from, msg, stats, frame_leaf_mask) {
+            moves += 1;
+        }
+    }
+    moves
 }

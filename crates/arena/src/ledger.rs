@@ -149,6 +149,21 @@ impl Ledger {
         Some(p)
     }
 
+    /// Every client currently booked into `arena`, as `(client_id,
+    /// thread)`, sorted by client id so callers iterate
+    /// deterministically. Supervision's restore path diffs this
+    /// against a checkpoint's slot table to replay the book.
+    pub fn booked_in(&self, arena: u16) -> Vec<(u32, u16)> {
+        let mut v: Vec<(u32, u16)> = self
+            .book
+            .iter()
+            .filter(|(_, p)| p.arena == arena)
+            .map(|(id, p)| (*id, p.thread))
+            .collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        v
+    }
+
     fn evict_lru(&mut self) -> Option<(u32, Placement)> {
         // Deterministic: min by (touched, client_id) — the stamp is
         // unique per mutation but tie-break anyway for robustness.
@@ -222,6 +237,80 @@ mod tests {
         assert!(l.closed());
         assert!(l.touch(2).is_none());
         assert!(l.touch(1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order_follows_touch_stamps_exactly() {
+        // Deterministic eviction order: victims leave in ascending
+        // touch-stamp order, regardless of insertion order.
+        let mut l = Ledger::new(1, 4);
+        for id in [10, 20, 30, 40] {
+            l.place(id, 0, 0);
+        }
+        // Touch in an order unrelated to insertion: 30, 10, 40, 20.
+        for id in [30, 10, 40, 20] {
+            l.touch(id);
+        }
+        // Each new placement evicts the stalest remaining stamp.
+        let mut evicted = Vec::new();
+        for id in [100, 101, 102, 103] {
+            evicted.push(l.place(id, 0, 0).expect("bound hit").0);
+        }
+        assert_eq!(evicted, vec![30, 10, 40, 20]);
+        assert_eq!(l.evicted, 4);
+        assert!(l.closed());
+    }
+
+    #[test]
+    fn evicted_client_rebooks_cleanly_on_reconnect() {
+        let mut l = Ledger::new(2, 2);
+        l.place(1, 0, 0);
+        l.place(2, 1, 0);
+        // Booking 3 evicts 1 (the LRU).
+        let evicted = l.place(3, 0, 0).expect("bound hit");
+        assert_eq!(evicted.0, 1);
+        assert!(l.touch(1).is_none(), "stickiness lost, as documented");
+        // The evicted client reconnects: a fresh placement books it
+        // again without disturbing the others or the identity.
+        l.touch(3); // keep 3 warm so 2 is the next victim
+        let evicted = l.place(1, 1, 1).expect("bound hit");
+        assert_eq!(evicted.0, 2);
+        let p = l.touch(1).expect("re-booked");
+        assert_eq!((p.arena, p.thread), (1, 1));
+        assert_eq!(l.resident(), 2);
+        assert!(l.closed());
+    }
+
+    #[test]
+    fn population_identity_closes_across_heavy_eviction_churn() {
+        // placed == departed + resident must hold at every step of an
+        // eviction-heavy workload, not just at the end.
+        let mut l = Ledger::new(4, 8);
+        for i in 0..200u32 {
+            l.place(i, (i % 4) as u16, 0);
+            assert!(l.closed(), "identity open after placing {i}");
+            if i % 3 == 0 {
+                l.remove(i / 2, Departure::FrontDoor);
+                assert!(l.closed(), "identity open after removing {}", i / 2);
+            }
+        }
+        assert_eq!(l.resident() as usize, 8);
+        assert!(l.evicted > 0, "churn should have hit the bound");
+        assert_eq!(l.placed, l.departed + l.resident());
+        // Occupancy stays derived through it all.
+        assert_eq!(l.occupancy().iter().sum::<u32>() as u64, l.resident());
+    }
+
+    #[test]
+    fn booked_in_lists_an_arena_sorted_by_client_id() {
+        let mut l = Ledger::new(3, 64);
+        l.place(9, 1, 0);
+        l.place(3, 1, 1);
+        l.place(5, 0, 0);
+        l.place(7, 1, 0);
+        assert_eq!(l.booked_in(1), vec![(3, 1), (7, 0), (9, 0)]);
+        assert_eq!(l.booked_in(0), vec![(5, 0)]);
+        assert!(l.booked_in(2).is_empty());
     }
 
     #[test]

@@ -36,17 +36,30 @@
 //!   whose occupancy stays zero past a linger window is drained and
 //!   reaped (its `ServerResults` published, its claim slot masked).
 //!   Spawn/reap transitions land in `parquake_metrics::ElasticStats`.
+//! * **Supervision** (opt-in): pooled frames run behind `catch_unwind`
+//!   so a panic fates only its arena; workers checkpoint each arena's
+//!   world + slot table ([`checkpoint::CheckpointRing`]); the
+//!   director's watchdog condemns stuck frames; and
+//!   [`supervisor`] restores fated arenas from their last checkpoint,
+//!   replaying the [`ledger::Ledger`] so the population identity
+//!   survives restarts. Sustained overload degrades gracefully
+//!   (stretched frame intervals + per-client move coalescing) instead
+//!   of dropping input. Accounting lands in
+//!   `parquake_metrics::SupervisorStats`.
 //!
 //! The layer is strictly additive: a 1-arena pooled directory runs the
 //! exact sequential frame body, and arena 0 traffic is byte-identical
 //! to the pre-arena wire format.
 
 pub mod admission;
+pub mod checkpoint;
 pub mod directory;
 pub mod ledger;
+pub mod supervisor;
 
 pub use admission::{AdmissionPolicy, AdmissionStats};
+pub use checkpoint::{Checkpoint, CheckpointRing};
 pub use directory::{
-    spawn_directory, ArenaDirectoryConfig, ArenaHandle, ArenaScheduling, PoolReport,
+    spawn_directory, ArenaDirectoryConfig, ArenaHandle, ArenaScheduling, InjectedPanic, PoolReport,
 };
 pub use ledger::{Departure, Ledger, Placement};

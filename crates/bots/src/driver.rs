@@ -98,6 +98,10 @@ pub struct BotSwarm {
     /// Response statistics split by the arena each reply came from
     /// (index = arena id). Single-arena swarms have one entry.
     pub per_arena: Arc<Mutex<Vec<ResponseStats>>>,
+    /// Unsolicited `ConnectAck`s heard while already connected — the
+    /// signature of a supervised arena restored from checkpoint
+    /// re-announcing its slots after recovery.
+    pub restarts_observed: Arc<Mutex<u64>>,
 }
 
 /// Where a swarm's traffic goes.
@@ -167,6 +171,7 @@ pub fn spawn_swarm_multi(
         ResponseStats::new();
         topology.arena_ports.len()
     ]));
+    let restarts_observed = Arc::new(Mutex::new(0u64));
     let drivers = cfg.drivers.clamp(1, cfg.players.max(1));
     let per = cfg.players.div_ceil(drivers);
     for d in 0..drivers {
@@ -191,12 +196,14 @@ pub fn spawn_swarm_multi(
         let stats = stats.clone();
         let connected = connected.clone();
         let per_arena = per_arena.clone();
+        let restarts = restarts_observed.clone();
         fabric.spawn(
             &format!("bots-{d}"),
             None, // client machines: off the modelled server CPUs
             Box::new(move |ctx| {
                 drive(
                     ctx, port, lo, hi, &topology, init, &cfg, &stats, &connected, &per_arena,
+                    &restarts,
                 );
             }),
         );
@@ -205,6 +212,7 @@ pub fn spawn_swarm_multi(
         stats,
         connected,
         per_arena,
+        restarts_observed,
     }
 }
 
@@ -220,6 +228,7 @@ fn drive(
     stats_out: &Mutex<ResponseStats>,
     connected_out: &Mutex<u32>,
     per_arena_out: &Mutex<Vec<ResponseStats>>,
+    restarts_out: &Mutex<u64>,
 ) {
     /// First Connect-retry interval; doubles per unanswered retry.
     const RETRY_MIN: Nanos = 100_000_000;
@@ -264,6 +273,7 @@ fn drive(
     let mut stats = ResponseStats::new();
     let mut arena_stats = vec![ResponseStats::new(); topology.arena_ports.len()];
     let mut connected = 0u32;
+    let mut restarts = 0u64;
 
     loop {
         let now = ctx.now();
@@ -403,6 +413,13 @@ fn drive(
                             }
                             // Start moving on the next tick.
                             next_at[i] = ctx.now();
+                        } else if i < n && acked[i] && !left[i] {
+                            // Unsolicited ack while already connected:
+                            // a supervised arena restored from its
+                            // checkpoint is re-announcing the slot.
+                            // Note the restart and keep playing.
+                            restarts += 1;
+                            last_heard[i] = ctx.now();
                         }
                     }
                     ServerMessage::Reply {
@@ -455,6 +472,7 @@ fn drive(
 
     stats_out.lock().unwrap().merge(&stats); // lockcheck: allow(raw-sync)
     *connected_out.lock().unwrap() += connected; // lockcheck: allow(raw-sync)
+    *restarts_out.lock().unwrap() += restarts; // lockcheck: allow(raw-sync)
     let mut per = per_arena_out.lock().unwrap(); // lockcheck: allow(raw-sync)
     for (agg, mine) in per.iter_mut().zip(&arena_stats) {
         agg.merge(mine);

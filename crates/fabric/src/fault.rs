@@ -32,6 +32,16 @@ pub struct FaultConfig {
     pub delay: f32,
     /// Upper bound of the injected extra delay.
     pub max_delay_ns: Nanos,
+    /// Probability an *arena frame* panics mid-execution (drawn by the
+    /// per-arena [`FrameLottery`], not the datagram path). Exercises
+    /// the supervisor's catch/restore machinery.
+    pub panic_per_frame: f32,
+    /// Probability an arena frame wedges for [`Self::stuck_ns`] of
+    /// modelled time instead of finishing promptly — exercises the
+    /// watchdog's deadline-overrun detection.
+    pub stuck_per_frame: f32,
+    /// How long a stuck frame stalls.
+    pub stuck_ns: Nanos,
     /// Lottery seed; equal seeds draw identical fates.
     pub seed: u64,
 }
@@ -44,6 +54,9 @@ impl FaultConfig {
             duplicate: 0.0,
             delay: 0.0,
             max_delay_ns: 0,
+            panic_per_frame: 0.0,
+            stuck_per_frame: 0.0,
+            stuck_ns: 0,
             seed: 0,
         }
     }
@@ -57,9 +70,16 @@ impl FaultConfig {
         }
     }
 
-    /// Does this config never alter a datagram?
+    /// Does this config never alter a datagram? (Deliberately ignores
+    /// the frame faults: those fire inside arena frames, not on the
+    /// datagram path, and are gated by [`Self::frame_faults_enabled`].)
     pub fn is_noop(&self) -> bool {
         self.drop <= 0.0 && self.duplicate <= 0.0 && (self.delay <= 0.0 || self.max_delay_ns == 0)
+    }
+
+    /// Can the frame lottery ever injure a frame?
+    pub fn frame_faults_enabled(&self) -> bool {
+        self.panic_per_frame > 0.0 || (self.stuck_per_frame > 0.0 && self.stuck_ns > 0)
     }
 }
 
@@ -139,6 +159,54 @@ impl FaultLottery {
     }
 }
 
+/// The fate the frame lottery deals one arena frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Frame runs normally.
+    None,
+    /// Frame panics (the supervisor must catch and recover).
+    Panic,
+    /// Frame stalls for the given extra modelled time before running
+    /// (long stalls trip the directory watchdog).
+    Stuck(Nanos),
+}
+
+/// Seeded per-arena-frame fault lottery. One per arena, salted with the
+/// arena id, so an arena's fate sequence is independent of how pool
+/// workers interleave frames across arenas — crash runs replay
+/// bit-identically on the virtual fabric.
+#[derive(Clone, Debug)]
+pub struct FrameLottery {
+    panic_per_frame: f32,
+    stuck_per_frame: f32,
+    stuck_ns: Nanos,
+    rng: Pcg32,
+}
+
+impl FrameLottery {
+    /// Build from a config, salted (usually with the arena id).
+    pub fn new(cfg: &FaultConfig, salt: u64) -> FrameLottery {
+        FrameLottery {
+            panic_per_frame: cfg.panic_per_frame,
+            stuck_per_frame: cfg.stuck_per_frame,
+            stuck_ns: cfg.stuck_ns,
+            rng: Pcg32::seeded(cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Decide the fate of one frame.
+    pub fn draw(&mut self) -> FrameFault {
+        if self.panic_per_frame > 0.0 && self.rng.chance(self.panic_per_frame) {
+            return FrameFault::Panic;
+        }
+        if self.stuck_per_frame > 0.0 && self.stuck_ns > 0 && self.rng.chance(self.stuck_per_frame)
+        {
+            return FrameFault::Stuck(self.stuck_ns);
+        }
+        FrameFault::None
+    }
+}
+
 /// Thread-safe wrapper around a [`FaultLottery`] for use outside the
 /// virtual fabric (several OS-thread socket pumps sharing one lottery).
 /// Draw order then depends on pump interleaving, so cross-run
@@ -198,6 +266,7 @@ mod tests {
             delay: 0.3,
             max_delay_ns: 5_000_000,
             seed: 7,
+            ..FaultConfig::none()
         };
         let all = fates(cfg.clone(), 5_000);
         let dup = all.iter().filter(|f| f.len() == 2).count();
@@ -215,6 +284,7 @@ mod tests {
             delay: 0.1,
             max_delay_ns: 1_000_000,
             seed: 99,
+            ..FaultConfig::none()
         };
         assert_eq!(fates(cfg.clone(), 2_000), fates(cfg, 2_000));
     }
@@ -227,6 +297,7 @@ mod tests {
             delay: 0.2,
             max_delay_ns: 1_000,
             seed: 3,
+            ..FaultConfig::none()
         };
         let mut l = FaultLottery::new(cfg);
         let n = 3_000u64;
@@ -255,5 +326,62 @@ mod tests {
         }
         let s = inj.stats();
         assert_eq!(s.passed + s.dropped, 1000);
+    }
+
+    #[test]
+    fn frame_lottery_is_quiet_when_disabled() {
+        assert!(!FaultConfig::none().frame_faults_enabled());
+        let mut l = FrameLottery::new(&FaultConfig::none(), 3);
+        assert!((0..1000).all(|_| l.draw() == FrameFault::None));
+        // stuck_per_frame without a stall length is inert too.
+        let cfg = FaultConfig {
+            stuck_per_frame: 1.0,
+            ..FaultConfig::none()
+        };
+        assert!(!cfg.frame_faults_enabled());
+        let mut l = FrameLottery::new(&cfg, 3);
+        assert_eq!(l.draw(), FrameFault::None);
+    }
+
+    #[test]
+    fn frame_lottery_rates_are_roughly_honoured() {
+        let cfg = FaultConfig {
+            panic_per_frame: 0.1,
+            stuck_per_frame: 0.2,
+            stuck_ns: 5_000_000,
+            seed: 17,
+            ..FaultConfig::none()
+        };
+        assert!(cfg.frame_faults_enabled());
+        let mut l = FrameLottery::new(&cfg, 0);
+        let fates: Vec<FrameFault> = (0..10_000).map(|_| l.draw()).collect();
+        let panics = fates.iter().filter(|f| **f == FrameFault::Panic).count();
+        let stuck = fates
+            .iter()
+            .filter(|f| matches!(f, FrameFault::Stuck(_)))
+            .count();
+        assert!((700..=1_300).contains(&panics), "panics = {panics}");
+        // Stuck draws only on non-panicking frames: ≈ 0.9 * 0.2.
+        assert!((1_400..=2_200).contains(&stuck), "stuck = {stuck}");
+        assert!(fates
+            .iter()
+            .all(|f| !matches!(f, FrameFault::Stuck(ns) if *ns != cfg.stuck_ns)));
+    }
+
+    #[test]
+    fn frame_lottery_salt_decorrelates_arenas_but_replays() {
+        let cfg = FaultConfig {
+            panic_per_frame: 0.3,
+            seed: 9,
+            ..FaultConfig::none()
+        };
+        let draw = |salt: u64| {
+            let mut l = FrameLottery::new(&cfg, salt);
+            (0..256).map(|_| l.draw()).collect::<Vec<_>>()
+        };
+        // Same salt replays identically; different salts disagree.
+        assert_eq!(draw(0), draw(0));
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(0), draw(1));
     }
 }

@@ -1250,6 +1250,7 @@ mod tests {
             delay: 0.7,
             max_delay_ns: 500_000,
             seed: 21,
+            ..crate::fault::FaultConfig::none()
         };
         let f = lossy_fabric(cfg);
         let src = f.alloc_port();
@@ -1300,6 +1301,7 @@ mod tests {
             delay: 0.0,
             max_delay_ns: 0,
             seed: 5,
+            ..crate::fault::FaultConfig::none()
         };
         let f = lossy_fabric(cfg);
         let src = f.alloc_port();

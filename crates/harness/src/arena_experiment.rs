@@ -15,7 +15,7 @@ use parquake_arena::{
 use parquake_bots::{spawn_swarm_multi, BotBehavior, BotSwarmConfig, SwarmRamp, SwarmTopology};
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::{FabricKind, LockWitness, Nanos};
-use parquake_metrics::{rollup, ArenaLoad, ElasticStats, WitnessReport};
+use parquake_metrics::{rollup, ArenaLoad, ElasticStats, SupervisorStats, WitnessReport};
 use parquake_server::{CostModel, LockPolicy, ServerConfig, ServerKind};
 
 /// One multi-arena configuration (a row of the arenasweep figure).
@@ -69,6 +69,16 @@ pub struct ArenaExperimentConfig {
     pub slots_per_arena: Option<u16>,
     /// Bot population ramp (`None` = everyone plays the whole run).
     pub ramp: Option<SwarmRamp>,
+    /// Supervise pooled frames (catch_unwind + checkpoint/restore +
+    /// watchdog + graceful degradation).
+    pub supervision: bool,
+    /// Frame-fault injection (panic lottery / stalls) for supervised
+    /// runs.
+    pub frame_faults: Option<parquake_fabric::fault::FaultConfig>,
+    /// Checkpoint cadence in frames (supervised pooled only).
+    pub checkpoint_interval: u32,
+    /// Watchdog bound on one claimed frame.
+    pub watchdog_ns: Nanos,
 }
 
 impl Default for ArenaExperimentConfig {
@@ -95,6 +105,10 @@ impl Default for ArenaExperimentConfig {
             client_timeout_ns: 0,
             slots_per_arena: None,
             ramp: None,
+            supervision: false,
+            frame_faults: None,
+            checkpoint_interval: 64,
+            watchdog_ns: 250_000_000,
         }
     }
 }
@@ -119,6 +133,8 @@ pub struct ArenaOutcome {
     pub witness: Option<WitnessReport>,
     /// Elastic spawn/reap accounting (boot fleet only ⇒ no events).
     pub elastic: ElasticStats,
+    /// Supervision accounting (all-zero when supervision is off).
+    pub supervisor: SupervisorStats,
 }
 
 impl ArenaOutcome {
@@ -181,6 +197,10 @@ impl ArenaExperiment {
             pooled_locking: cfg.pooled_locking,
             max_arenas: cfg.max_arenas,
             linger_ns: cfg.linger_ns,
+            supervision: cfg.supervision,
+            frame_faults: cfg.frame_faults.clone(),
+            checkpoint_interval: cfg.checkpoint_interval,
+            watchdog_ns: cfg.watchdog_ns,
             ..ArenaDirectoryConfig::new(cfg.arenas, slots_per_arena, server)
         };
         let handle = spawn_directory(&fabric, dir_cfg);
@@ -232,6 +252,7 @@ impl ArenaExperiment {
             .collect();
         let aggregate = rollup(&per_arena);
         let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
 
         ArenaOutcome {
             aggregate,
@@ -243,6 +264,7 @@ impl ArenaExperiment {
             world_hashes: handle.worlds.iter().map(|w| w.world_hash()).collect(),
             witness: witness.map(|w| w.report()),
             elastic,
+            supervisor,
         }
     }
 }

@@ -17,6 +17,7 @@
 //!   losssweep         response rate vs injected datagram loss (extension)
 //!   arenasweep        multi-arena shared-pool multiplexing (extension)
 //!   elasticity        elastic arena spawn/reap under a population ramp (extension)
+//!   crashsweep        response-rate retention vs injected crash rate (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -28,15 +29,15 @@
 //! ```
 
 use parquake_harness::figures::{
-    arenasweep, batching, common::SweepOpts, delta, dynassign, elasticity, fig4, fig5, fig6, fig7,
-    losssweep, onepass, table1, waitstats,
+    arenasweep, batching, common::SweepOpts, crashsweep, delta, dynassign, elasticity, fig4, fig5,
+    fig6, fig7, losssweep, onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -93,6 +94,7 @@ fn main() {
         "losssweep" => println!("{}", losssweep::run(&opts)),
         "arenasweep" => println!("{}", arenasweep::run(&opts)),
         "elasticity" => println!("{}", elasticity::run(&opts)),
+        "crashsweep" => println!("{}", crashsweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -131,6 +133,7 @@ fn main() {
             println!("{}", losssweep::run(&opts));
             println!("{}", arenasweep::run(&opts));
             println!("{}", elasticity::run(&opts));
+            println!("{}", crashsweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

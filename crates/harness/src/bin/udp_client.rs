@@ -68,13 +68,14 @@ fn main() {
             )
         });
         match run_udp_arena_clients(server, arenas, players, duration, windows) {
-            Ok((sent, received, avg_ms, per_arena)) => {
+            Ok((sent, received, avg_ms, per_arena, restarts)) => {
                 println!(
                     "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
                 );
                 for (k, n) in per_arena.iter().enumerate() {
                     println!("udp_client: arena{k} — {n} replies");
                 }
+                println!("udp_client: restarts observed — {restarts}");
             }
             Err(e) => {
                 eprintln!("udp_client: {e}");

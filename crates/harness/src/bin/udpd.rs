@@ -5,6 +5,7 @@
 //!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
 //!      [--fault-seed N] [--timeout-secs S]
 //!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
+//!      [--crash-rate P] [--crash-seed N]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
@@ -20,6 +21,10 @@
 //! `--max-arenas M` (M > N) makes the directory elastic: it spawns
 //! arenas under admission pressure up to M and reaps arenas whose
 //! occupancy stays zero past `--linger-ms` (default 500).
+//! `--crash-rate P` (arena mode only) turns supervision on and injects
+//! a seeded per-frame panic lottery with probability P per arena
+//! frame; every crash is caught, the arena restored from its last
+//! checkpoint, and the supervisor's accounting printed at shutdown.
 
 use std::time::Duration;
 
@@ -32,6 +37,8 @@ fn main() {
     let mut workers = 2u32;
     let mut max_arenas = 0u32;
     let mut linger = Duration::from_millis(500);
+    let mut crash_rate = 0f32;
+    let mut crash_seed = 0xC4A5_5EEDu64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -94,6 +101,14 @@ fn main() {
                 linger =
                     Duration::from_millis(args[i].parse().expect("--linger-ms needs a number"));
             }
+            "--crash-rate" => {
+                i += 1;
+                crash_rate = args[i].parse().expect("--crash-rate needs 0.0-1.0");
+            }
+            "--crash-seed" => {
+                i += 1;
+                crash_seed = args[i].parse().expect("--crash-seed needs a number");
+            }
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
@@ -102,7 +117,15 @@ fn main() {
         i += 1;
     }
     if let Some(arenas) = arenas {
-        run_arena_mode(&opts, arenas.max(1), workers.max(1), max_arenas, linger);
+        run_arena_mode(
+            &opts,
+            arenas.max(1),
+            workers.max(1),
+            max_arenas,
+            linger,
+            crash_rate,
+            crash_seed,
+        );
         return;
     }
     let last_port = match thread_port(opts.base_port, opts.threads.saturating_sub(1)) {
@@ -168,12 +191,15 @@ fn main() {
 }
 
 /// `--arenas` mode: N worlds behind one socket on a shared worker pool.
+#[allow(clippy::too_many_arguments)]
 fn run_arena_mode(
     base: &UdpServerOpts,
     arenas: u32,
     workers: u32,
     max_arenas: u32,
     linger: Duration,
+    crash_rate: f32,
+    crash_seed: u64,
 ) {
     let opts = UdpArenaOpts {
         port: base.base_port,
@@ -186,6 +212,8 @@ fn run_arena_mode(
         client_timeout: base.client_timeout,
         max_arenas,
         linger,
+        crash_rate,
+        crash_seed,
         ..UdpArenaOpts::default()
     };
     println!(
@@ -201,6 +229,13 @@ fn run_arena_mode(
             "udpd: elastic — up to {} arenas, {} ms linger before reap",
             opts.max_arenas,
             opts.linger.as_millis()
+        );
+    }
+    if opts.crash_rate > 0.0 {
+        println!(
+            "udpd: supervision on — crash lottery {:.2}%/frame, seed {:#x}",
+            opts.crash_rate * 100.0,
+            opts.crash_seed
         );
     }
     if !opts.fault.is_noop() {
@@ -270,6 +305,34 @@ fn run_arena_mode(
                     ev.kind,
                     ev.live
                 );
+            }
+            if opts.crash_rate > 0.0 {
+                let s = &report.supervisor;
+                println!(
+                    "udpd: supervisor — caught {} panics, condemned {} stuck, \
+                     restored {} arenas (avg recovery {:.2} ms, {} placements replayed)",
+                    s.panics_caught,
+                    s.stuck_detected,
+                    s.restarts,
+                    s.avg_recovery_ms(),
+                    s.replayed_placements
+                );
+                println!(
+                    "udpd: supervisor — {} checkpoints ({} KiB), {} shed frames, \
+                     {} moves coalesced",
+                    s.checkpoints_taken,
+                    s.checkpoint_bytes / 1024,
+                    s.shed_frames,
+                    s.coalesced_moves
+                );
+                for ev in &s.events {
+                    println!(
+                        "udpd: supervisor t={:.2}s arena{} {:?}",
+                        ev.at as f64 / 1e9,
+                        ev.arena,
+                        ev.kind
+                    );
+                }
             }
             let adm = &report.admission;
             let identity_closes = adm.placed == adm.departed + adm.resident;

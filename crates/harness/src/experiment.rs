@@ -151,6 +151,7 @@ impl Experiment {
             arena_id: 0,
             client_timeout_ns: cfg.client_timeout_ns,
             lifecycle_port: None,
+            catch_panics: false,
         };
         let server = spawn_server(&fabric, server_cfg, world.clone());
 

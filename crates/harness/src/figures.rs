@@ -3,6 +3,7 @@
 pub mod arenasweep;
 pub mod batching;
 pub mod common;
+pub mod crashsweep;
 pub mod delta;
 pub mod dynassign;
 pub mod elasticity;

@@ -65,6 +65,11 @@ pub struct UdpArenaOpts {
     /// How long an elastic arena's occupancy must stay zero before it
     /// is reaped.
     pub linger: Duration,
+    /// Per-frame panic lottery probability; > 0 turns supervision on
+    /// (checkpoint/restore + watchdog) and injects crashes.
+    pub crash_rate: f32,
+    /// Seed for the per-arena frame-fault lottery.
+    pub crash_seed: u64,
 }
 
 impl Default for UdpArenaOpts {
@@ -81,6 +86,8 @@ impl Default for UdpArenaOpts {
             client_timeout: Duration::from_secs(2),
             max_arenas: 0,
             linger: Duration::from_millis(500),
+            crash_rate: 0.0,
+            crash_seed: 0xC4A5_5EED,
         }
     }
 }
@@ -152,6 +159,8 @@ pub struct UdpArenaReport {
     pub admission: AdmissionStats,
     /// Elastic spawn/reap accounting (fixed fleet ⇒ no events).
     pub elastic: parquake_metrics::ElasticStats,
+    /// Supervision accounting (all-zero when `crash_rate` was 0).
+    pub supervisor: parquake_metrics::SupervisorStats,
 }
 
 impl UdpArenaReport {
@@ -189,6 +198,12 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
         map: opts.map.clone(),
         max_arenas: opts.max_arenas,
         linger_ns: opts.linger.as_nanos() as Nanos,
+        supervision: opts.crash_rate > 0.0,
+        frame_faults: (opts.crash_rate > 0.0).then(|| FaultConfig {
+            panic_per_frame: opts.crash_rate,
+            seed: opts.crash_seed,
+            ..FaultConfig::none()
+        }),
         ..ArenaDirectoryConfig::new(opts.arenas, opts.slots_per_arena, server)
     };
     let handle = spawn_directory(&fabric, dir_cfg);
@@ -418,6 +433,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 
     let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
     let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+    let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
     let mut lanes = Vec::with_capacity(cells);
     for k in 0..cells {
         let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
@@ -453,6 +469,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
         lanes,
         admission,
         elastic,
+        supervisor,
     })
 }
 
@@ -461,14 +478,17 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 /// `ramp = Some((up, hold, down))` bot `i` joins staggered over the
 /// up window and leaves (with a `Disconnect`) staggered over the down
 /// window — the load shape that exercises an elastic gateway. Returns
-/// (sent, received, avg latency ms, per-arena received).
+/// (sent, received, avg latency ms, per-arena received,
+/// restarts observed) — an unsolicited `ConnectAck` arriving while a
+/// client is already acked is the signature of a supervised arena
+/// restored from checkpoint re-announcing its slots.
 pub fn run_udp_arena_clients(
     server: SocketAddr,
     arenas: u32,
     players: u32,
     duration: Duration,
     ramp: Option<(Duration, Duration, Duration)>,
-) -> std::io::Result<(u64, u64, f64, Vec<u64>)> {
+) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64)> {
     use parquake_protocol::Encode;
 
     const RETRY_MIN: Duration = Duration::from_millis(100);
@@ -502,6 +522,7 @@ pub fn run_udp_arena_clients(
     let mut left = vec![false; n];
     let mut sent = 0u64;
     let mut received = 0u64;
+    let mut restarts_observed = 0u64;
     let mut per_arena = vec![0u64; arenas as usize];
     let mut latency_sum = 0f64;
     let mut buf = [0u8; MAX_DATAGRAM];
@@ -571,6 +592,11 @@ pub fn run_udp_arena_clients(
                         if !acked[i] {
                             acked[i] = true;
                             next_at[i] = start.elapsed();
+                        } else if !left[i] {
+                            // Already connected and not retrying: this
+                            // ack is unsolicited — a restored arena
+                            // re-announcing the slot after recovery.
+                            restarts_observed += 1;
                         }
                         placed[i] = arena;
                         backoff[i] = RETRY_MIN;
@@ -617,5 +643,5 @@ pub fn run_udp_arena_clients(
     } else {
         0.0
     };
-    Ok((sent, received, avg, per_arena))
+    Ok((sent, received, avg, per_arena, restarts_observed))
 }

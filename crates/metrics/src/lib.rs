@@ -22,12 +22,14 @@ pub mod arena;
 pub mod breakdown;
 pub mod report;
 pub mod stats;
+pub mod supervisor;
 pub mod timeline;
 pub mod witness;
 
 pub use arena::{rollup, ArenaLoad, ElasticEvent, ElasticEventKind, ElasticStats};
 pub use breakdown::{Breakdown, Bucket};
 pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
+pub use supervisor::{SupervisorEvent, SupervisorEventKind, SupervisorStats};
 pub use timeline::{FrameSample, Timeline};
 pub use witness::{LockClass, LockLayer, LockViolation, LockViolationKind, WitnessReport};
 

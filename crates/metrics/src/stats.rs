@@ -30,6 +30,9 @@ pub struct ThreadStats {
     /// Lifecycle notifications (connect accepted / disconnect /
     /// reclaim / reject) sent to a directory control port.
     pub lifecycle_sent: u64,
+    /// Frame panics caught by the supervision wrapper (the frame's
+    /// effects are abandoned; the arena is fenced or restored).
+    pub panics_caught: u64,
     pub lock: LockStats,
 }
 
@@ -50,6 +53,7 @@ impl ThreadStats {
         self.queue_dropped += other.queue_dropped;
         self.timeouts += other.timeouts;
         self.lifecycle_sent += other.lifecycle_sent;
+        self.panics_caught += other.panics_caught;
         self.lock.merge(&other.lock);
     }
 }
@@ -384,6 +388,7 @@ mod tests {
         b.queue_dropped = 4;
         b.timeouts = 1;
         b.lifecycle_sent = 6;
+        b.panics_caught = 2;
         a.merge(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.replies, 3);
@@ -394,6 +399,7 @@ mod tests {
         assert_eq!(a.queue_dropped, 4);
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.lifecycle_sent, 6);
+        assert_eq!(a.panics_caught, 2);
     }
 
     #[test]

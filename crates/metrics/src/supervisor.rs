@@ -1,0 +1,151 @@
+//! Arena supervision accounting: panics caught, restores performed,
+//! checkpoint volume, shed frames, recovery latency.
+//!
+//! The directory's supervisor (crates/arena) is the writer; experiments
+//! and the UDP gateway read a merged copy at the end of a run. As with
+//! [`crate::ElasticStats`], events carry fabric timestamps so reports
+//! can replay the fault/recovery history of a run.
+
+use crate::Nanos;
+
+/// What happened to one arena at one moment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupervisorEventKind {
+    /// A frame panicked and was caught; the arena is fenced off.
+    Panicked,
+    /// The watchdog condemned the arena for overrunning its deadline.
+    Stuck,
+    /// The arena was restored from a checkpoint and is live again.
+    Restored,
+}
+
+/// One entry of the supervision history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorEvent {
+    /// Fabric time of the event.
+    pub at: Nanos,
+    /// Which arena.
+    pub arena: u16,
+    pub kind: SupervisorEventKind,
+}
+
+/// Cumulative supervision counters for one directory.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorStats {
+    /// Frames whose panic was caught (injected or organic).
+    pub panics_caught: u64,
+    /// Arenas condemned by the watchdog for a deadline overrun.
+    pub stuck_detected: u64,
+    /// Checkpoint restores performed (each brings an arena back live).
+    pub restarts: u64,
+    /// Checkpoints written into the per-arena rings.
+    pub checkpoints_taken: u64,
+    /// Total serialized checkpoint volume.
+    pub checkpoint_bytes: u64,
+    /// Frames run in shed (degraded) mode with a stretched interval.
+    pub shed_frames: u64,
+    /// Queued move commands merged away by per-client coalescing
+    /// during shed frames (newest kept, older superseded).
+    pub coalesced_moves: u64,
+    /// Σ crash-to-live recovery latency over all restores.
+    pub recovery_latency_ns_sum: Nanos,
+    /// Worst single recovery latency.
+    pub recovery_latency_ns_max: Nanos,
+    /// Clients the ledger replay re-booked after a restore.
+    pub replayed_placements: u64,
+    /// Chronological fault/recovery history.
+    pub events: Vec<SupervisorEvent>,
+}
+
+impl SupervisorStats {
+    pub fn new() -> SupervisorStats {
+        SupervisorStats::default()
+    }
+
+    /// Record one completed restore.
+    pub fn note_restore(&mut self, at: Nanos, arena: u16, latency_ns: Nanos) {
+        self.restarts += 1;
+        self.recovery_latency_ns_sum += latency_ns;
+        self.recovery_latency_ns_max = self.recovery_latency_ns_max.max(latency_ns);
+        self.events.push(SupervisorEvent {
+            at,
+            arena,
+            kind: SupervisorEventKind::Restored,
+        });
+    }
+
+    /// Average crash-to-live recovery latency in milliseconds.
+    pub fn avg_recovery_ms(&self) -> f64 {
+        if self.restarts == 0 {
+            0.0
+        } else {
+            crate::ns_to_ms(self.recovery_latency_ns_sum) / self.restarts as f64
+        }
+    }
+
+    /// Fold a worker-local accumulator into a directory-level total
+    /// (events are concatenated then re-sorted by time, stably).
+    pub fn merge(&mut self, o: &SupervisorStats) {
+        self.panics_caught += o.panics_caught;
+        self.stuck_detected += o.stuck_detected;
+        self.restarts += o.restarts;
+        self.checkpoints_taken += o.checkpoints_taken;
+        self.checkpoint_bytes += o.checkpoint_bytes;
+        self.shed_frames += o.shed_frames;
+        self.coalesced_moves += o.coalesced_moves;
+        self.recovery_latency_ns_sum += o.recovery_latency_ns_sum;
+        self.recovery_latency_ns_max = self.recovery_latency_ns_max.max(o.recovery_latency_ns_max);
+        self.replayed_placements += o.replayed_placements;
+        self.events.extend(o.events.iter().copied());
+        self.events.sort_by_key(|e| e.at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restores_accumulate_latency() {
+        let mut s = SupervisorStats::new();
+        s.note_restore(1_000, 0, 2_000_000);
+        s.note_restore(9_000, 1, 6_000_000);
+        assert_eq!(s.restarts, 2);
+        assert_eq!(s.avg_recovery_ms(), 4.0);
+        assert_eq!(s.recovery_latency_ns_max, 6_000_000);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(SupervisorStats::new().avg_recovery_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_and_resorts_events() {
+        let mut a = SupervisorStats {
+            panics_caught: 2,
+            checkpoints_taken: 5,
+            checkpoint_bytes: 100,
+            ..SupervisorStats::new()
+        };
+        a.note_restore(50, 0, 10);
+        let mut b = SupervisorStats {
+            panics_caught: 1,
+            stuck_detected: 1,
+            shed_frames: 7,
+            coalesced_moves: 12,
+            replayed_placements: 3,
+            ..SupervisorStats::new()
+        };
+        b.events.push(SupervisorEvent {
+            at: 10,
+            arena: 1,
+            kind: SupervisorEventKind::Panicked,
+        });
+        a.merge(&b);
+        assert_eq!(a.panics_caught, 3);
+        assert_eq!(a.stuck_detected, 1);
+        assert_eq!(a.shed_frames, 7);
+        assert_eq!(a.coalesced_moves, 12);
+        assert_eq!(a.replayed_placements, 3);
+        assert_eq!(a.events[0].at, 10, "events re-sorted by time");
+        assert_eq!(a.events[1].kind, SupervisorEventKind::Restored);
+    }
+}

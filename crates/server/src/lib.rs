@@ -130,6 +130,13 @@ pub struct ServerConfig {
     /// so its occupancy ledger tracks server-side slot churn. Notices
     /// are sent uncharged, so game-path timing is unaffected.
     pub lifecycle_port: Option<PortId>,
+    /// Run each frame behind `catch_unwind` so a panicking frame fates
+    /// only this runtime instead of the whole fabric (supervised
+    /// dedicated-arena directories set this). A caught panic ends the
+    /// serving loop cleanly — results are still published — because a
+    /// mid-frame panic may leave world state inconsistent. Off by
+    /// default: the standalone servers keep the fail-fast behaviour.
+    pub catch_panics: bool,
 }
 
 impl ServerConfig {
@@ -145,6 +152,7 @@ impl ServerConfig {
             client_timeout_ns: 0,
             arena_id: 0,
             lifecycle_port: None,
+            catch_panics: false,
         }
     }
 }

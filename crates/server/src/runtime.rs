@@ -46,6 +46,8 @@ pub struct ServerShared {
     pub client_timeout_ns: Nanos,
     /// Arena id echoed in every ConnectAck (0 for standalone servers).
     pub arena_id: u16,
+    /// Catch frame panics instead of letting them kill the fabric.
+    pub catch_panics: bool,
     /// Directory control port for lifecycle notices (`None` = off).
     pub lifecycle: Option<PortId>,
     pub threads: u32,
@@ -92,6 +94,7 @@ impl ServerShared {
             delta_compression: cfg.delta_compression,
             client_timeout_ns: cfg.client_timeout_ns,
             arena_id: cfg.arena_id,
+            catch_panics: cfg.catch_panics,
             lifecycle: cfg.lifecycle_port,
             threads,
             slots_per_thread: (slots as u32).div_ceil(threads),
@@ -605,6 +608,81 @@ impl ServerShared {
             stats.replies += 1;
         }
     }
+
+    /// Capture the connection identity of every occupied slot for a
+    /// supervisor checkpoint. Quiescent contexts only (between frames,
+    /// under the pool claim) — same contract as the world snapshot.
+    pub fn snapshot_slots(&self) -> Vec<SlotSnapshot> {
+        (0..self.clients.capacity())
+            .filter_map(|idx| {
+                let s = self.clients.slot(idx);
+                (s.state != SlotState::Empty).then_some(SlotSnapshot {
+                    idx: idx as u32,
+                    state: s.state,
+                    client_id: s.client_id,
+                    reply_port: s.reply_port,
+                    owner: s.owner,
+                    desired_thread: s.desired_thread,
+                    last_seq: s.last_seq,
+                })
+            })
+            .collect()
+    }
+
+    /// Rebuild the slot table from a checkpoint. Every slot is cleared
+    /// first, then the snapshot entries are reinstated with:
+    ///
+    /// * `last_active = now` — restored clients get a fresh inactivity
+    ///   window instead of inheriting pre-crash silence,
+    /// * `needs_ack = true` for Active slots — the unsolicited
+    ///   ConnectAck both re-synchronizes the client and serves as the
+    ///   client-observable "your arena restarted" signal,
+    /// * an empty delta baseline — the next reply carries full state,
+    ///   since the client's acked view may postdate the checkpoint.
+    ///
+    /// Quiescent contexts only.
+    pub fn restore_slots(&self, snaps: &[SlotSnapshot], now: Nanos) {
+        for idx in 0..self.clients.capacity() {
+            let s = self.clients.slot(idx);
+            s.state = SlotState::Empty;
+            s.leaving = false;
+            s.needs_ack = false;
+            s.requests_this_frame = 0;
+            s.events.clear();
+            s.baseline.clear();
+        }
+        for snap in snaps {
+            let idx = snap.idx as usize;
+            if idx >= self.clients.capacity() {
+                continue;
+            }
+            let s = self.clients.slot(idx);
+            s.state = snap.state;
+            s.client_id = snap.client_id;
+            s.reply_port = snap.reply_port;
+            s.owner = snap.owner;
+            s.desired_thread = snap.desired_thread;
+            s.last_seq = snap.last_seq;
+            s.last_sent_at = 0;
+            s.last_active = now;
+            s.needs_ack = snap.state == SlotState::Active;
+        }
+    }
+}
+
+/// One occupied slot's connection identity, as stored in a supervisor
+/// checkpoint. Gameplay fields (event queue, delta baseline, per-frame
+/// counters) are deliberately absent: they are rebuilt on restore.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slot index in the client table.
+    pub idx: u32,
+    pub state: SlotState,
+    pub client_id: u32,
+    pub reply_port: PortId,
+    pub owner: u32,
+    pub desired_thread: u32,
+    pub last_seq: u32,
 }
 
 #[cfg(test)]
@@ -632,6 +710,58 @@ mod tests {
         // Ranges cover everything exactly once.
         let total: usize = (0..4).map(|t| s.own_slots(t).len()).sum();
         assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn slot_snapshot_restore_reinstates_identity() {
+        let (_f, s) = shared(2);
+        {
+            let slot = s.clients.slot(3);
+            slot.state = SlotState::Active;
+            slot.client_id = 77;
+            slot.reply_port = 9;
+            slot.owner = 0;
+            slot.desired_thread = 1;
+            slot.last_seq = 41;
+            slot.last_active = 5;
+            slot.events.push(parquake_protocol::GameEvent {
+                kind: parquake_protocol::GameEventKind::Sound,
+                a: 1,
+                b: 2,
+                pos: parquake_math::Vec3::ZERO,
+            });
+        }
+        {
+            let slot = s.clients.slot(20);
+            slot.state = SlotState::Pending;
+            slot.client_id = 88;
+            slot.reply_port = 11;
+            slot.owner = 1;
+        }
+        let snaps = s.snapshot_slots();
+        assert_eq!(snaps.len(), 2);
+
+        // Diverge: drop one client, admit an impostor, then restore.
+        s.clients.slot(3).state = SlotState::Empty;
+        s.clients.slot(6).state = SlotState::Active;
+        s.restore_slots(&snaps, 1_000);
+
+        let slot = s.clients.slot(3);
+        assert_eq!(slot.state, SlotState::Active);
+        assert_eq!(slot.client_id, 77);
+        assert_eq!(slot.reply_port, 9);
+        assert_eq!(slot.desired_thread, 1);
+        assert_eq!(slot.last_seq, 41);
+        assert_eq!(slot.last_active, 1_000, "fresh inactivity window");
+        assert!(slot.needs_ack, "restored Active slots re-ack");
+        assert!(slot.events.is_empty(), "queued events are rebuilt");
+        assert!(slot.baseline.is_empty(), "delta baseline reset");
+
+        let pending = s.clients.slot(20);
+        assert_eq!(pending.state, SlotState::Pending);
+        assert!(!pending.needs_ack, "Pending acks on spawn, not restore");
+
+        assert_eq!(s.clients.slot(6).state, SlotState::Empty, "impostor gone");
     }
 
     #[test]

@@ -62,23 +62,43 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
         frame_no += 1;
         let frame_start = ctx.now();
 
-        // P: world physics.
-        let t0 = ctx.now();
-        shared.run_world_update(ctx, port, &mut stats, frame_no);
-        stats.breakdown.add(Bucket::World, ctx.now() - t0);
-        stats.mastered += 1;
+        let frame_body = |stats: &mut ThreadStats| {
+            // P: world physics.
+            let t0 = ctx.now();
+            shared.run_world_update(ctx, port, stats, frame_no);
+            stats.breakdown.add(Bucket::World, ctx.now() - t0);
+            stats.mastered += 1;
 
-        // Rx/E: drain the request queue.
-        let mut unused_mask = 0u64;
-        let moves = shared.drain_requests(ctx, 0, port, &mut stats, &mut unused_mask);
+            // Rx/E: drain the request queue.
+            let mut unused_mask = 0u64;
+            let moves = shared.drain_requests(ctx, 0, port, stats, &mut unused_mask);
 
-        // T/Tx: replies for everyone who sent a request.
-        let t0 = ctx.now();
-        let global = shared.read_global_events(ctx, &mut stats);
-        let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
-        shared.reply_for_slots(ctx, port, &all_slots, &global, frame_no, &mut stats, true);
-        shared.clear_global_events(ctx, &mut stats);
-        stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
+            // T/Tx: replies for everyone who sent a request.
+            let t0 = ctx.now();
+            let global = shared.read_global_events(ctx, stats);
+            let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
+            shared.reply_for_slots(ctx, port, &all_slots, &global, frame_no, stats, true);
+            shared.clear_global_events(ctx, stats);
+            stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
+            moves
+        };
+        let moves = if shared.catch_panics {
+            // Supervised dedicated arena: a panicking frame must fate
+            // only this runtime, not the whole fabric. World state may
+            // be mid-mutation, so stop serving cleanly rather than
+            // continue on a possibly-inconsistent world; results are
+            // still published below.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| frame_body(&mut stats)))
+            {
+                Ok(moves) => moves,
+                Err(_) => {
+                    stats.panics_caught += 1;
+                    break;
+                }
+            }
+        } else {
+            frame_body(&mut stats)
+        };
 
         stats.frames += 1;
         frames.frames += 1;

@@ -15,7 +15,9 @@
 //! * [`worldphase`] — the world-physics phase run by the master thread
 //!   at the start of each frame (projectile flight, item respawn,
 //!   deferred relocations),
-//! * [`visibility`] — reply scoping: which entities a client can see.
+//! * [`visibility`] — reply scoping: which entities a client can see,
+//! * [`snapshot`] — checkpoint codec: serialize/restore the full
+//!   entity state for the arena supervisor's crash recovery.
 //!
 //! Simulation functions are *pure with respect to scheduling*: they
 //! receive the candidate entity lists the caller collected (under
@@ -25,6 +27,7 @@
 pub mod entity;
 pub mod interact;
 pub mod movement;
+pub mod snapshot;
 pub mod visibility;
 pub mod world;
 pub mod worldphase;

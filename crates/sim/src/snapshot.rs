@@ -1,0 +1,409 @@
+//! World checkpointing: serialize and restore the full mutable entity
+//! state of a [`GameWorld`].
+//!
+//! The arena supervisor (crates/arena) periodically snapshots each
+//! world so a panicked or wedged arena can be respawned from its last
+//! good frame. The codec is deliberately dumb: a fixed header and then
+//! every entity slot in index order, little-endian, no compression.
+//! Static state (the compiled map, the areanode tree geometry) is NOT
+//! serialized — a restore target must be a world built over the same
+//! map with the same capacity, which the header verifies.
+//!
+//! The contract that matters is **world-hash identity**: for any world
+//! `w`, `w.restore_bytes(&w.snapshot_bytes())` leaves `world_hash()`
+//! unchanged, and restoring an older snapshot onto a diverged world
+//! yields exactly the snapshot-time hash. Links are rebuilt from the
+//! serialized `linked`/`linked_node` flags, so `audit_links()` holds
+//! after a restore whenever it held at snapshot time.
+
+use parquake_math::vec3::vec3;
+use parquake_math::Vec3;
+
+use crate::entity::{Entity, EntityClass, EntityId, ItemClass};
+use crate::world::GameWorld;
+
+/// Codec magic ("PQW" + version). Bump the last byte on layout change.
+const MAGIC: u32 = 0x50_51_57_01;
+
+/// Append-only little-endian writer.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec3(&mut self, v: Vec3) {
+        self.f32(v.x);
+        self.f32(v.y);
+        self.f32(v.z);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+}
+
+/// Checked little-endian reader over a snapshot buffer.
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("snapshot truncated at byte {}", self.at))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, String> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn vec3(&mut self) -> Result<Vec3, String> {
+        Ok(vec3(self.f32()?, self.f32()?, self.f32()?))
+    }
+    fn bool(&mut self) -> Result<bool, String> {
+        Ok(self.u8()? != 0)
+    }
+}
+
+fn item_class_byte(c: ItemClass) -> u8 {
+    // Inverse of ItemClass::from_class_byte's `b % 5` mapping.
+    match c {
+        ItemClass::Health => 0,
+        ItemClass::Armor => 1,
+        ItemClass::Ammo => 2,
+        ItemClass::Weapon => 3,
+        ItemClass::Powerup => 4,
+    }
+}
+
+fn encode_entity(e: &Entity, enc: &mut Enc) {
+    enc.u16(e.id);
+    match e.class {
+        EntityClass::Player {
+            client_id,
+            health,
+            score,
+            dead,
+            pending_relocation,
+        } => {
+            enc.u8(0);
+            enc.u32(client_id);
+            enc.i32(health);
+            enc.i32(score);
+            enc.bool(dead);
+            match pending_relocation {
+                Some(p) => {
+                    enc.u8(1);
+                    enc.vec3(p);
+                }
+                None => enc.u8(0),
+            }
+        }
+        EntityClass::Item {
+            class,
+            respawn_at,
+            taken,
+        } => {
+            enc.u8(1);
+            enc.u8(item_class_byte(class));
+            enc.u64(respawn_at);
+            enc.bool(taken);
+        }
+        EntityClass::Projectile {
+            owner,
+            expire_at,
+            live,
+        } => {
+            enc.u8(2);
+            enc.u16(owner);
+            enc.u64(expire_at);
+            enc.bool(live);
+        }
+        EntityClass::Teleporter { dest } => {
+            enc.u8(3);
+            enc.vec3(dest);
+        }
+    }
+    enc.vec3(e.pos);
+    enc.vec3(e.vel);
+    enc.f32(e.yaw);
+    enc.f32(e.pitch);
+    enc.bool(e.on_ground);
+    enc.vec3(e.mins);
+    enc.vec3(e.maxs);
+    enc.u32(e.linked_node);
+    enc.bool(e.linked);
+    enc.bool(e.active);
+}
+
+fn decode_entity(dec: &mut Dec) -> Result<Entity, String> {
+    let id = dec.u16()?;
+    let class = match dec.u8()? {
+        0 => EntityClass::Player {
+            client_id: dec.u32()?,
+            health: dec.i32()?,
+            score: dec.i32()?,
+            dead: dec.bool()?,
+            pending_relocation: if dec.u8()? != 0 {
+                Some(dec.vec3()?)
+            } else {
+                None
+            },
+        },
+        1 => EntityClass::Item {
+            class: ItemClass::from_class_byte(dec.u8()?),
+            respawn_at: dec.u64()?,
+            taken: dec.bool()?,
+        },
+        2 => EntityClass::Projectile {
+            owner: dec.u16()?,
+            expire_at: dec.u64()?,
+            live: dec.bool()?,
+        },
+        3 => EntityClass::Teleporter { dest: dec.vec3()? },
+        t => return Err(format!("unknown entity class tag {t}")),
+    };
+    Ok(Entity {
+        id,
+        class,
+        pos: dec.vec3()?,
+        vel: dec.vec3()?,
+        yaw: dec.f32()?,
+        pitch: dec.f32()?,
+        on_ground: dec.bool()?,
+        mins: dec.vec3()?,
+        maxs: dec.vec3()?,
+        linked_node: dec.u32()?,
+        linked: dec.bool()?,
+        active: dec.bool()?,
+    })
+}
+
+impl GameWorld {
+    /// Serialize every entity slot (active or not) into a checkpoint
+    /// buffer. Single-threaded contexts only — the caller must hold the
+    /// world quiescent (the arena supervisor snapshots between frames,
+    /// under the pool claim).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let cap = self.store.capacity();
+        let mut enc = Enc {
+            // Header + a generous per-entity estimate; avoids regrowth.
+            buf: Vec::with_capacity(8 + cap * 96),
+        };
+        enc.u32(MAGIC);
+        enc.u32(cap as u32);
+        for id in 0..cap as EntityId {
+            encode_entity(&self.store.snapshot(id), &mut enc);
+        }
+        enc.buf
+    }
+
+    /// Overwrite this world's entity state from a snapshot taken on a
+    /// world of identical capacity, rebuilding the link table to match.
+    /// Single-threaded contexts only. On error the world is left
+    /// unchanged (all validation happens before any mutation).
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Dec { buf: bytes, at: 0 };
+        let magic = dec.u32()?;
+        if magic != MAGIC {
+            return Err(format!("bad snapshot magic {magic:#010x}"));
+        }
+        let cap = dec.u32()? as usize;
+        if cap != self.store.capacity() {
+            return Err(format!(
+                "snapshot capacity {cap} != world capacity {}",
+                self.store.capacity()
+            ));
+        }
+        // Decode everything first so a truncated buffer cannot leave
+        // the world half-restored.
+        let mut ents = Vec::with_capacity(cap);
+        for id in 0..cap as EntityId {
+            let e = decode_entity(&mut dec)?;
+            if e.id != id {
+                return Err(format!("snapshot slot {id} holds entity {}", e.id));
+            }
+            ents.push(e);
+        }
+        // Unlink the present, install the snapshot, relink its links.
+        for id in 0..cap as EntityId {
+            let cur = self.store.snapshot(id);
+            if cur.linked {
+                self.links.remove(cur.linked_node, 0, id as u32);
+            }
+        }
+        for e in ents {
+            let id = e.id;
+            let linked = e.linked;
+            let node = e.linked_node;
+            self.store.init(id, e);
+            if linked {
+                self.links.push(node, 0, id as u32);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::Pcg32;
+
+    use super::*;
+
+    fn world(players: u16) -> GameWorld {
+        let map = Arc::new(MapGenConfig::small_arena(11).generate());
+        GameWorld::new(map, 4, players)
+    }
+
+    /// Drive the world through `steps` cheap deterministic mutations so
+    /// snapshots cover moved, despawned and respawned entities. Moves
+    /// draw from `rng`, so two churn segments over the same ops still
+    /// diverge (the stream position differs).
+    fn churn(w: &GameWorld, steps: u32, rng: &mut Pcg32) {
+        let n = w.max_players() as u32;
+        for s in 0..steps {
+            // Multiplier coprime to any power-of-two player count, so
+            // every op kind reaches every slot as `s` advances.
+            let idx = (s.wrapping_mul(7).wrapping_add(s / 4) % n) as u16;
+            match s % 4 {
+                0 => {
+                    w.spawn_player(idx, 100 + idx as u32, rng);
+                }
+                1 => {
+                    for p in 0..n as u16 {
+                        if w.store.snapshot(p).active {
+                            w.store.with_mut(p, 0, |e| {
+                                e.pos.x += rng.range_f32(-40.0, 40.0);
+                                e.pos.y += rng.range_f32(-40.0, 40.0);
+                            });
+                            w.relink_unlocked(p);
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(item) = w.item_ids().next() {
+                        w.store.with_mut(item, 0, |e| {
+                            if let EntityClass::Item { taken, .. } = &mut e.class {
+                                *taken = !*taken;
+                            }
+                        });
+                    }
+                }
+                _ => w.despawn_player(idx),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_world_hash_identical() {
+        let w = world(8);
+        let mut rng = Pcg32::seeded(42);
+        churn(&w, 37, &mut rng);
+        let hash = w.world_hash();
+        let bytes = w.snapshot_bytes();
+        w.restore_bytes(&bytes).unwrap();
+        assert_eq!(w.world_hash(), hash);
+        w.audit_links().unwrap();
+    }
+
+    #[test]
+    fn restore_rolls_back_a_diverged_world() {
+        let w = world(8);
+        let mut rng = Pcg32::seeded(43);
+        churn(&w, 20, &mut rng);
+        let hash_at_f = w.world_hash();
+        let bytes = w.snapshot_bytes();
+        // Diverge well past the checkpoint.
+        churn(&w, 55, &mut rng);
+        assert_ne!(w.world_hash(), hash_at_f);
+        w.restore_bytes(&bytes).unwrap();
+        assert_eq!(w.world_hash(), hash_at_f);
+        w.audit_links().unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_garbage_without_mutating() {
+        let w = world(4);
+        let mut rng = Pcg32::seeded(44);
+        churn(&w, 9, &mut rng);
+        let hash = w.world_hash();
+
+        assert!(w.restore_bytes(&[1, 2, 3]).is_err());
+        let mut bad_magic = w.snapshot_bytes();
+        bad_magic[0] ^= 0xFF;
+        assert!(w.restore_bytes(&bad_magic).is_err());
+        let mut truncated = w.snapshot_bytes();
+        truncated.truncate(truncated.len() - 5);
+        assert!(w.restore_bytes(&truncated).is_err());
+        let other = world(6); // different capacity
+        assert!(w.restore_bytes(&other.snapshot_bytes()).is_err());
+
+        assert_eq!(w.world_hash(), hash, "failed restore mutated the world");
+        w.audit_links().unwrap();
+    }
+
+    #[test]
+    fn restore_crosses_worlds_of_equal_shape() {
+        let a = world(8);
+        let b = world(8);
+        let mut rng = Pcg32::seeded(45);
+        churn(&a, 31, &mut rng);
+        b.restore_bytes(&a.snapshot_bytes()).unwrap();
+        assert_eq!(b.world_hash(), a.world_hash());
+        b.audit_links().unwrap();
+    }
+
+    #[test]
+    fn item_class_byte_roundtrips() {
+        for c in [
+            ItemClass::Health,
+            ItemClass::Armor,
+            ItemClass::Ammo,
+            ItemClass::Weapon,
+            ItemClass::Powerup,
+        ] {
+            assert_eq!(ItemClass::from_class_byte(item_class_byte(c)), c);
+        }
+    }
+}

@@ -151,3 +151,53 @@ proptest! {
         prop_assert_eq!(w.world_hash(), h0);
     }
 }
+
+// The ISSUE 5 acceptance bar: checkpoint/restore is world-hash
+// identical after any random number of simulated frames, and restoring
+// that checkpoint onto the further-evolved world rolls the hash back.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshot_restore_is_hash_identical_after_random_frames(
+        frames_before in 0u32..48,
+        frames_after in 1u32..48,
+        cmds in prop::collection::vec(arb_cmd(), 4..12),
+        seed in any::<u64>(),
+    ) {
+        let w = world(4);
+        let mut rng = Pcg32::seeded(seed);
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let mut events = Vec::new();
+        let mut now = 0u64;
+        let mut step = |w: &GameWorld, now: &mut u64| {
+            for (p, cmd) in (0..4u16).zip(cmds.iter().cycle()) {
+                run_move(w, 0, p, cmd, &[], *now, &mut touched, &mut work);
+                w.relink_unlocked(p);
+            }
+            parquake_sim::worldphase::run_world_phase(
+                w, *now, 30_000_000, &mut rng, &mut events, &mut work,
+            );
+            *now += 30_000_000;
+        };
+        for _ in 0..frames_before {
+            step(&w, &mut now);
+        }
+        let hash_at_checkpoint = w.world_hash();
+        let bytes = w.snapshot_bytes();
+
+        // Round trip in place.
+        w.restore_bytes(&bytes).unwrap();
+        prop_assert_eq!(w.world_hash(), hash_at_checkpoint);
+        prop_assert!(w.audit_links().is_ok(), "{:?}", w.audit_links());
+
+        // Diverge, then roll back to the checkpoint.
+        for _ in 0..frames_after {
+            step(&w, &mut now);
+        }
+        w.restore_bytes(&bytes).unwrap();
+        prop_assert_eq!(w.world_hash(), hash_at_checkpoint);
+        prop_assert!(w.audit_links().is_ok(), "{:?}", w.audit_links());
+    }
+}

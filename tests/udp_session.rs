@@ -69,6 +69,7 @@ fn udp_gateway_accounts_for_faulted_datagrams() {
             delay: 0.05,
             max_delay_ns: 20_000_000,
             seed: 0xFA_17,
+            ..FaultConfig::none()
         },
         ..UdpServerOpts::default()
     };
