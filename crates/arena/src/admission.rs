@@ -62,6 +62,7 @@ impl AdmissionPolicy {
 
 /// Routing counters published by the directory's front door when the
 /// run ends.
+// lockcheck: identity(placed == departed + resident)
 #[derive(Clone, Debug, Default)]
 pub struct AdmissionStats {
     /// Connects forwarded to an arena (fresh placements + sticky

@@ -469,12 +469,12 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
     // plain result snapshots (no invariants to corrupt), and a
     // panicking reader elsewhere must not take the directory's report
     // down with it — supervision's whole point.
-    *env.out.lock().unwrap_or_else(PoisonError::into_inner) = d.stats; // lockcheck: allow(raw-sync)
+    *env.out.lock().unwrap_or_else(PoisonError::into_inner) = d.stats; // lockcheck: allow(raw-sync: host-side result snapshot, written once at run end)
     *env.elastic_out
-        .lock() // lockcheck: allow(raw-sync)
+        .lock() // lockcheck: allow(raw-sync: host-side result snapshot, written once at run end)
         .unwrap_or_else(PoisonError::into_inner) = d.elastic;
     env.supervisor_out
-        .lock() // lockcheck: allow(raw-sync)
+        .lock() // lockcheck: allow(raw-sync: host-side supervision counters, merged at run end)
         .unwrap_or_else(PoisonError::into_inner)
         .merge(&d.sup);
 }
@@ -692,7 +692,7 @@ fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
         f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
         {
             let mut r = env.results[k]
-                .lock() // lockcheck: allow(raw-sync)
+                .lock() // lockcheck: allow(raw-sync: host-side result sink, arena already fenced from workers)
                 .unwrap_or_else(PoisonError::into_inner);
             r.threads = vec![f.stats.clone()];
             r.frames = f.frames.clone();
@@ -1092,14 +1092,14 @@ fn pool_worker(
         for (k, cell) in cells.iter().enumerate() {
             let f = cell.frame();
             f.stats.queue_dropped = ctx.fabric().port_dropped(cell.port);
-            let mut r = results[k].lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync)
+            let mut r = results[k].lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync: host-side result sink, last worker publishes alone)
             r.threads = vec![f.stats.clone()];
             r.frames = f.frames.clone();
             r.timeline = f.timeline.clone();
             r.frame_count = f.frame_no as u64;
             r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
         }
-        let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync)
+        let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync: host-side pool report, last worker publishes alone)
         rep.frames_by_worker = st.frames_by_worker.clone();
         rep.frames_by_arena = st.frames_by_arena.clone();
         rep.idle_ns_by_worker = st.idle_ns_by_worker.clone();
@@ -1117,7 +1117,7 @@ fn pool_worker(
                 sup.coalesced_moves += g.coalesced_moves;
             }
             supervisor
-                .lock() // lockcheck: allow(raw-sync)
+                .lock() // lockcheck: allow(raw-sync: host-side supervision counters, merged at run end)
                 .unwrap_or_else(PoisonError::into_inner)
                 .merge(&sup);
         }
@@ -1189,7 +1189,12 @@ fn pool_worker_scan(
                     // Still owning the claim: count on the cell, then
                     // fate the arena. The world may be mid-mutation —
                     // nothing touches it again until the director
-                    // restores from the last checkpoint.
+                    // restores from the last checkpoint. Any fabric
+                    // lock the frame still held is leaked for good —
+                    // report it to the witness so the run fails on it.
+                    if let Some(wit) = ctx.fabric().witness() {
+                        wit.on_unwind(ctx.id(), ctx.now());
+                    }
                     let g = cell.guard();
                     g.panics_caught += 1;
                     cell.frame().stats.panics_caught += 1;

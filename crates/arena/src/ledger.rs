@@ -51,6 +51,7 @@ pub enum Departure {
 }
 
 /// Book + derived occupancy + closing population counters.
+// lockcheck: identity(placed == departed + resident)
 #[derive(Clone, Debug)]
 pub struct Ledger {
     book: HashMap<u32, Placement>,
@@ -93,7 +94,7 @@ impl Ledger {
 
     /// The population identity. True by construction; asserted in
     /// tests and exported so reports can prove it held.
-    pub fn closed(&self) -> bool {
+    pub fn population_closed(&self) -> bool {
         self.placed == self.departed + self.resident()
     }
 
@@ -191,7 +192,7 @@ mod tests {
         assert_eq!(l.resident(), 3);
         l.remove(2, Departure::FrontDoor);
         assert_eq!(l.occupancy(), &[1, 0, 1]);
-        assert!(l.closed());
+        assert!(l.population_closed());
         // Sum invariant.
         assert_eq!(l.occupancy().iter().sum::<u32>() as u64, l.resident());
     }
@@ -205,7 +206,7 @@ mod tests {
         // front-door removal must not double-depart.
         assert!(l.remove(7, Departure::Notice).is_none());
         assert_eq!(l.departed, 1);
-        assert!(l.closed());
+        assert!(l.population_closed());
     }
 
     #[test]
@@ -217,7 +218,7 @@ mod tests {
         assert_eq!(l.occupancy(), &[0, 1]);
         assert_eq!(l.placed, 2);
         assert_eq!(l.departed, 1);
-        assert!(l.closed());
+        assert!(l.population_closed());
         assert_eq!(l.touch(7).unwrap().arena, 1);
         assert_eq!(l.touch(7).unwrap().thread, 1);
     }
@@ -234,7 +235,7 @@ mod tests {
         assert_eq!(evicted.0, 2);
         assert_eq!(l.resident(), 3);
         assert_eq!(l.evicted, 1);
-        assert!(l.closed());
+        assert!(l.population_closed());
         assert!(l.touch(2).is_none());
         assert!(l.touch(1).is_some());
     }
@@ -258,7 +259,7 @@ mod tests {
         }
         assert_eq!(evicted, vec![30, 10, 40, 20]);
         assert_eq!(l.evicted, 4);
-        assert!(l.closed());
+        assert!(l.population_closed());
     }
 
     #[test]
@@ -278,7 +279,7 @@ mod tests {
         let p = l.touch(1).expect("re-booked");
         assert_eq!((p.arena, p.thread), (1, 1));
         assert_eq!(l.resident(), 2);
-        assert!(l.closed());
+        assert!(l.population_closed());
     }
 
     #[test]
@@ -288,10 +289,14 @@ mod tests {
         let mut l = Ledger::new(4, 8);
         for i in 0..200u32 {
             l.place(i, (i % 4) as u16, 0);
-            assert!(l.closed(), "identity open after placing {i}");
+            assert!(l.population_closed(), "identity open after placing {i}");
             if i % 3 == 0 {
                 l.remove(i / 2, Departure::FrontDoor);
-                assert!(l.closed(), "identity open after removing {}", i / 2);
+                assert!(
+                    l.population_closed(),
+                    "identity open after removing {}",
+                    i / 2
+                );
             }
         }
         assert_eq!(l.resident() as usize, 8);
@@ -323,6 +328,6 @@ mod tests {
         assert_eq!(l.occupancy(), &[0, 0]);
         l.remove(9, Departure::Notice);
         assert_eq!(l.occupancy(), &[0, 0]);
-        assert!(l.closed());
+        assert!(l.population_closed());
     }
 }

@@ -2,6 +2,7 @@
 //! through the front door, the admission policy spreads them, the pool
 //! multiplexes arena frames, and every arena's books balance.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parquake_arena::{spawn_directory, AdmissionPolicy, ArenaDirectoryConfig, ArenaScheduling};
@@ -57,7 +58,7 @@ fn run(
         report.violations
     );
     let per_arena = swarm.per_arena.lock().unwrap().clone();
-    let connected = *swarm.connected.lock().unwrap();
+    let connected = swarm.connected.load(Ordering::Relaxed);
     (handle, per_arena, connected)
 }
 

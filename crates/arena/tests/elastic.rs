@@ -3,6 +3,7 @@
 //! pressure) and back down to zero (empty arenas linger, then reap),
 //! with the population identity closing across the whole run.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parquake_arena::{spawn_directory, AdmissionPolicy, ArenaDirectoryConfig, ArenaScheduling};
@@ -52,7 +53,7 @@ fn directory_spawns_under_pressure_and_reaps_after_drain() {
         report.violations
     );
     assert_eq!(
-        *swarm.connected.lock().unwrap(),
+        swarm.connected.load(Ordering::Relaxed),
         20,
         "every bot should complete its handshake"
     );

@@ -182,7 +182,7 @@ proptest! {
                 _ => unreachable!(),
             }
             prop_assert!(
-                l.closed(),
+                l.population_closed(),
                 "placed {} != departed {} + resident {}",
                 l.placed, l.departed, l.resident()
             );

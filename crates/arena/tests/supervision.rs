@@ -9,6 +9,7 @@ use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::fault::FaultConfig;
 use parquake_fabric::FabricKind;
 use parquake_metrics::SupervisorStats;
+use std::sync::atomic::Ordering;
 
 const SEND_NS: u64 = 4_000_000_000;
 
@@ -55,8 +56,8 @@ fn run(cfg: ArenaDirectoryConfig, players: u32) -> Outcome {
         sup: handle.supervisor.lock().unwrap().clone(),
         adm: handle.admission.lock().unwrap().clone(),
         received: swarm.stats.lock().unwrap().received,
-        connected: *swarm.connected.lock().unwrap(),
-        restarts_observed: *swarm.restarts_observed.lock().unwrap(),
+        connected: swarm.connected.load(Ordering::Relaxed),
+        restarts_observed: swarm.restarts_observed.load(Ordering::Relaxed),
         world_hashes: handle.worlds.iter().map(|w| w.world_hash()).collect(),
     };
     out

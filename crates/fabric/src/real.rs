@@ -219,6 +219,15 @@ impl Fabric for RealFabric {
                             .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                             .unwrap_or_else(|| "<non-string panic>".to_string());
                         eprintln!("fatal: real-fabric task panicked: {msg}");
+                        // Name any locks the unwind leaked before dying:
+                        // the wedge they would cause is the bug to debug.
+                        if let Some(w) = ctx.fabric().witness() {
+                            let task = i as TaskId;
+                            w.on_unwind(task, ctx.fabric().now(task));
+                            for v in &w.report().violations {
+                                eprintln!("fatal: {v}");
+                            }
+                        }
                         std::process::abort();
                     }
                 })

@@ -513,6 +513,15 @@ impl Fabric for VirtualSmp {
                     // task, and let run() re-raise it.
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                    if result.is_err() {
+                        // The unwind discarded any locks the task held;
+                        // tell the witness so the leak is a reported
+                        // violation, not a silent wedge. (Before taking
+                        // the scheduler lock: the witness has its own.)
+                        if let Some(w) = sched.witness() {
+                            w.on_unwind(id, sched.now(id));
+                        }
+                    }
                     let mut g = sched.state.lock();
                     if let Err(payload) = result {
                         let msg = payload

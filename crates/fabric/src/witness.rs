@@ -210,6 +210,37 @@ impl LockWitness {
         }
     }
 
+    /// Hook: a panic unwound out of `task` (the fabric's task-boundary
+    /// `catch_unwind`, or a supervised fate boundary) at fabric time
+    /// `at`. Anything the task still holds will never be released —
+    /// record one violation per leaked lock, then clear the task's
+    /// stack so a restarted/recycled task id starts clean.
+    ///
+    /// Violations are recorded directly rather than routed through the
+    /// strict-mode panic path: this hook runs *inside* panic handling
+    /// (a catch arm or an unwind boundary), where a second panic would
+    /// escalate to an abort and destroy the report we are trying to
+    /// produce.
+    pub fn on_unwind(&self, task: TaskId, at: Nanos) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let leaked = s.held.remove(&task).unwrap_or_default();
+        if leaked.is_empty() {
+            return;
+        }
+        let new_violations: Vec<LockViolation> = leaked
+            .iter()
+            .map(|&(lock, class)| LockViolation {
+                kind: LockViolationKind::HeldAtUnwind,
+                task,
+                lock,
+                class,
+                held: leaked.clone(),
+                at,
+            })
+            .collect();
+        s.violations.extend(new_violations);
+    }
+
     /// Snapshot everything observed so far.
     pub fn report(&self) -> WitnessReport {
         let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -330,6 +361,42 @@ mod tests {
         w.classify(0, LockClass::Ctrl);
         w.on_acquire(0, 0, 1);
         w.on_wait(0, 0, 2);
+        assert!(w.report().clean());
+    }
+
+    #[test]
+    fn unwind_with_held_lock_is_flagged() {
+        let w = LockWitness::new();
+        w.classify(4, LockClass::Leaf { rank: 1 });
+        w.on_acquire(0, 4, 0);
+        w.on_unwind(0, 7);
+        let r = w.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, LockViolationKind::HeldAtUnwind);
+        assert_eq!(r.violations[0].lock, 4);
+        assert_eq!(r.violations[0].at, 7);
+        // The leaked stack is cleared: a recycled task id starts clean.
+        w.on_acquire(0, 4, 10);
+        w.on_release(0, 4);
+        assert_eq!(w.report().violations.len(), 1);
+    }
+
+    #[test]
+    fn unwind_even_in_strict_mode_records_instead_of_panicking() {
+        // on_unwind runs inside panic handling; a strict-mode panic
+        // there would double-panic and abort.
+        let w = LockWitness::strict();
+        w.on_acquire(0, 4, 0);
+        w.on_unwind(0, 5);
+        assert_eq!(w.report().violations.len(), 1);
+    }
+
+    #[test]
+    fn unwind_holding_nothing_is_clean() {
+        let w = LockWitness::new();
+        w.on_acquire(0, 4, 0);
+        w.on_release(0, 4);
+        w.on_unwind(0, 5);
         assert!(w.report().clean());
     }
 

@@ -147,6 +147,57 @@ fn guard_held_across_cond_wait_is_detected() {
 }
 
 #[test]
+fn panic_with_lock_held_is_detected_at_unwind() {
+    let (fabric, witness) = fabric_with_witness();
+    let leaf = fabric.alloc_lock();
+    witness.classify(leaf, LockClass::Leaf { rank: 3 });
+    fabric.spawn(
+        "crasher",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(leaf);
+            panic!("frame blew up mid-section");
+        }),
+    );
+    // run() re-raises the task panic after unwinding it; the witness
+    // must still have been told about the leaked lock.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fabric.run()));
+    assert!(run.is_err(), "run() must re-raise the task panic");
+    let r = witness.report();
+    let leaks: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.kind == LockViolationKind::HeldAtUnwind)
+        .collect();
+    assert_eq!(leaks.len(), 1, "{:?}", r.violations);
+    assert_eq!(leaks[0].lock, leaf);
+    assert_eq!(leaks[0].class, LockClass::Leaf { rank: 3 });
+}
+
+#[test]
+fn panic_after_clean_release_reports_no_leak() {
+    let (fabric, witness) = fabric_with_witness();
+    let leaf = fabric.alloc_lock();
+    witness.classify(leaf, LockClass::Leaf { rank: 3 });
+    fabric.spawn(
+        "tidy-crasher",
+        Some(0),
+        Box::new(move |ctx: &TaskCtx| {
+            ctx.lock(leaf);
+            ctx.unlock(leaf);
+            panic!("crash with nothing held");
+        }),
+    );
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fabric.run()));
+    assert!(run.is_err());
+    assert!(
+        witness.report().clean(),
+        "{:?}",
+        witness.report().violations
+    );
+}
+
+#[test]
 fn wait_holding_only_the_barrier_mutex_is_clean() {
     let (fabric, witness) = fabric_with_witness();
     let barrier_lock = fabric.alloc_lock();

@@ -6,6 +6,7 @@
 //! worlds?" — same fabric, same bots, same cost model, with the arena
 //! directory between them.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parquake_arena::{
@@ -230,14 +231,14 @@ impl ArenaExperiment {
 
         fabric.run();
 
-        let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-        let response = swarm.per_arena.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-        let connected = *swarm.connected.lock().unwrap(); // lockcheck: allow(raw-sync)
-                                                          // Cover every arena cell the directory provisioned — an
-                                                          // elastic run has result rows past the boot fleet.
+        let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
+        let response = swarm.per_arena.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
+        let connected = swarm.connected.load(Ordering::Relaxed);
+        // Cover every arena cell the directory provisioned — an
+        // elastic run has result rows past the boot fleet.
         let per_arena: Vec<ArenaLoad> = (0..handle.results.len())
             .map(|k| {
-                let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+                let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
                 let m = r.merged();
                 ArenaLoad {
                     arena: k as u16,
@@ -251,13 +252,13 @@ impl ArenaExperiment {
             })
             .collect();
         let aggregate = rollup(&per_arena);
-        let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-        let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+        let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
+        let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
 
         ArenaOutcome {
             aggregate,
             per_arena,
-            pool: handle.pool.as_ref().map(|p| p.lock().unwrap().clone()), // lockcheck: allow(raw-sync)
+            pool: handle.pool.as_ref().map(|p| p.lock().unwrap().clone()), // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
             admission,
             connected,
             duration_ns: cfg.duration_ns,

@@ -176,7 +176,7 @@ fn main() {
                 report.pending_at_shutdown,
                 report.timeouts,
                 report.replies_unroutable,
-                if report.inbound_accounted() {
+                if report.accounting_closed() {
                     "closes"
                 } else {
                     "DOES NOT CLOSE"
@@ -285,7 +285,7 @@ fn run_arena_mode(
                     lane.processed,
                     lane.queue_dropped,
                     lane.pending_at_shutdown,
-                    if lane.accounted() {
+                    if lane.accounting_closed() {
                         "closes"
                     } else {
                         "DOES NOT CLOSE"
@@ -353,13 +353,13 @@ fn run_arena_mode(
             );
             println!(
                 "udpd: overall accounting {}",
-                if report.accounted() && identity_closes {
+                if report.accounting_closed() && identity_closes {
                     "closes"
                 } else {
                     "DOES NOT CLOSE"
                 }
             );
-            if !report.accounted() || !identity_closes {
+            if !report.accounting_closed() || !identity_closes {
                 std::process::exit(1);
             }
         }

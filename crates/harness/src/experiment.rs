@@ -1,5 +1,6 @@
 //! Run one measured server configuration.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parquake_bots::{spawn_swarm, BotBehavior, BotSwarmConfig};
@@ -173,9 +174,9 @@ impl Experiment {
 
         fabric.run();
 
-        let results = server.results.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-        let response = swarm.stats.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-        let connected = *swarm.connected.lock().unwrap(); // lockcheck: allow(raw-sync)
+        let results = server.results.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
+        let response = swarm.stats.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
+        let connected = swarm.connected.load(Ordering::Relaxed);
         Outcome {
             server: results,
             response,

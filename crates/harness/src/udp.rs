@@ -36,7 +36,7 @@
 //! (forwarded - fault_duplicated)`, and every forwarded datagram is
 //! either processed by the server, dropped by the bounded-queue policy,
 //! or still pending at shutdown — see
-//! [`UdpServerReport::inbound_accounted`].
+//! [`UdpServerReport::accounting_closed`].
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -103,6 +103,7 @@ impl Default for UdpServerOpts {
 }
 
 /// Summary returned when the gateway shuts down.
+// lockcheck: identity(datagrams_in == decode_rejected + spoof_rejected + fault_dropped + delivered, forwarded == processed + queue_dropped + pending)
 #[derive(Debug, Default, Clone)]
 pub struct UdpServerReport {
     /// Datagrams read off the sockets.
@@ -141,7 +142,7 @@ impl UdpServerReport {
     /// identity covers the gateway stage (decode → admission → fault
     /// lottery), the second the server stage (processed, dropped by the
     /// bounded queue, or still pending at shutdown).
-    pub fn inbound_accounted(&self) -> bool {
+    pub fn accounting_closed(&self) -> bool {
         let delivered = self.forwarded - self.fault_duplicated;
         self.datagrams_in
             == self.decode_rejected + self.spoof_rejected + self.fault_dropped + delivered
@@ -289,7 +290,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                     let readable = ctx.wait_readable(gw, Some(end_time));
                     let now = Instant::now();
                     held.retain(|(since, cid, payload)| {
-                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                         if let Some(addr) = addr {
                             if sock.send_to(payload, addr).is_ok() {
                                 sent += 1;
@@ -313,7 +314,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                             Err(_) => None,
                         };
                         let Some(cid) = client else { continue };
-                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                         match addr {
                             Some(addr) => {
                                 if sock.send_to(&msg.payload, addr).is_ok() {
@@ -325,7 +326,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                     }
                 }
                 unroutable += held.len() as u64;
-                let mut c = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+                let mut c = counters.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge counters, aggregated after join)
                 c.datagrams_out += sent;
                 c.replies_unroutable += unroutable;
             }),
@@ -371,7 +372,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                             continue;
                         };
                         let admitted = {
-                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync)
+                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                             admit(&mut book, &msg, from, now, rebind_grace)
                         };
                         if !admitted {
@@ -407,7 +408,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
             for (_, payload) in held.drain(..) {
                 real.send_external(gw, server_port, payload);
             }
-            let mut shared = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+            let mut shared = counters.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge counters, aggregated after join)
             shared.datagrams_in += c.datagrams_in;
             shared.decode_rejected += c.decode_rejected;
             shared.spoof_rejected += c.spoof_rejected;
@@ -422,9 +423,9 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
         let _ = h.join();
     }
 
-    let results = handle.results.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let results = handle.results.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let merged = results.merged();
-    let c = counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let c = counters.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
                                       // Query the ports directly (not the per-thread stats snapshots):
                                       // the pumps may drop or enqueue after the server tasks exit.
     let queue_dropped: u64 = handle.ports.iter().map(|&p| fabric.port_dropped(p)).sum();
@@ -691,5 +692,25 @@ mod tests {
         // (only a validated Connect may rebind).
         assert!(!admit(&mut book, &mv, addr(5000), t0 + GRACE * 2, GRACE));
         assert_eq!(book[&7].addr, addr(4000));
+    }
+
+    #[test]
+    fn report_accounting_closes_on_balanced_books() {
+        let mut r = UdpServerReport {
+            datagrams_in: 100,
+            decode_rejected: 3,
+            spoof_rejected: 2,
+            fault_dropped: 5,
+            fault_duplicated: 4,
+            forwarded: 94, // 90 delivered + 4 duplicates
+            server_processed: 80,
+            queue_dropped: 10,
+            pending_at_shutdown: 4,
+            ..UdpServerReport::default()
+        };
+        assert!(r.accounting_closed(), "{r:?}");
+        // Lose one forwarded datagram without a counted fate: open.
+        r.forwarded -= 1;
+        assert!(!r.accounting_closed(), "{r:?}");
     }
 }

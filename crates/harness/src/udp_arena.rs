@@ -93,6 +93,7 @@ impl Default for UdpArenaOpts {
 }
 
 /// One arena's traffic lane through the gateway.
+// lockcheck: identity(pump_forwarded + director_forwarded == processed + queue_dropped + pending_at_shutdown)
 #[derive(Clone, Debug, Default)]
 pub struct ArenaLane {
     /// Datagrams the pump routed straight to this arena's port.
@@ -116,13 +117,14 @@ pub struct ArenaLane {
 impl ArenaLane {
     /// Does every datagram that reached this arena's queue have exactly
     /// one fate?
-    pub fn accounted(&self) -> bool {
+    pub fn accounting_closed(&self) -> bool {
         self.pump_forwarded + self.director_forwarded
             == self.processed + self.queue_dropped + self.pending_at_shutdown
     }
 }
 
 /// Summary returned when the arena gateway shuts down.
+// lockcheck: identity(datagrams_in == decode_rejected + spoof_rejected + arena_unknown + fault_dropped + delivered, and per-lane closure)
 #[derive(Clone, Debug, Default)]
 pub struct UdpArenaReport {
     /// Datagrams read off the socket.
@@ -167,7 +169,7 @@ impl UdpArenaReport {
     /// Close the books at every layer: the gateway stage (decode →
     /// admission → arena lookup → fault lottery), the front door, and
     /// each arena's lane.
-    pub fn accounted(&self) -> bool {
+    pub fn accounting_closed(&self) -> bool {
         let delivered = self.forwarded - self.fault_duplicated;
         let gateway = self.datagrams_in
             == self.decode_rejected
@@ -177,7 +179,7 @@ impl UdpArenaReport {
                 + delivered;
         let front =
             self.to_front == self.front_drained + self.front_queue_dropped + self.front_pending;
-        gateway && front && self.lanes.iter().all(|l| l.accounted())
+        gateway && front && self.lanes.iter().all(|l| l.accounting_closed())
     }
 }
 
@@ -244,7 +246,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                     let readable = ctx.wait_readable(gw, Some(end_time));
                     let now = Instant::now();
                     held.retain(|(since, cid, payload)| {
-                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                         if let Some(addr) = addr {
                             if sock.send_to(payload, addr).is_ok() {
                                 sent += 1;
@@ -268,7 +270,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                                 // The ack names the serving arena: from
                                 // now on the inbound pump can route this
                                 // client's moves without the director.
-                                placements.lock().unwrap().insert(client_id, arena); // lockcheck: allow(raw-sync)
+                                placements.lock().unwrap().insert(client_id, arena); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
                                 Some(client_id)
                             }
                             Ok(ServerMessage::Bye { client_id }) => {
@@ -276,14 +278,14 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                                 // forget the placement so a reconnect
                                 // re-admits instead of routing moves to
                                 // a freed (possibly reaped) arena.
-                                placements.lock().unwrap().remove(&client_id); // lockcheck: allow(raw-sync)
+                                placements.lock().unwrap().remove(&client_id); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
                                 Some(client_id)
                             }
                             Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
                             Err(_) => None,
                         };
                         let Some(cid) = client else { continue };
-                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync)
+                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                         match addr {
                             Some(addr) => {
                                 if sock.send_to(&msg.payload, addr).is_ok() {
@@ -295,7 +297,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                     }
                 }
                 unroutable += held.len() as u64;
-                let mut c = out_counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+                let mut c = out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge counters, aggregated after join)
                 c.0 += sent;
                 c.1 += unroutable;
             }),
@@ -368,7 +370,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                             continue;
                         };
                         let admitted = {
-                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync)
+                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
                             admit(&mut book, &msg, from, now, rebind_grace)
                         };
                         if !admitted {
@@ -382,7 +384,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                             ClientMessage::Connect { .. } => usize::MAX,
                             ClientMessage::Move { client_id, .. }
                             | ClientMessage::Disconnect { client_id } => {
-                                let placed = placements.lock().unwrap().get(client_id).copied(); // lockcheck: allow(raw-sync)
+                                let placed = placements.lock().unwrap().get(client_id).copied(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
                                 match placed {
                                     Some(k) if (k as usize) < arena_port0.len() => k as usize,
                                     _ => {
@@ -431,12 +433,12 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
     fabric.run();
     let c = pump.join().expect("inbound pump panicked");
 
-    let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-    let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
-    let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync)
+    let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
+    let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
+    let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let mut lanes = Vec::with_capacity(cells);
     for k in 0..cells {
-        let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync)
+        let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
         let m = r.merged();
         let port = handle.arena_ports[k][0];
         lanes.push(ArenaLane {
@@ -450,7 +452,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
             admitted: admission.per_arena.get(k).copied().unwrap_or(0),
         });
     }
-    let (datagrams_out, replies_unroutable) = *out_counters.lock().unwrap(); // lockcheck: allow(raw-sync)
+    let (datagrams_out, replies_unroutable) = *out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let forwarded = c.to_front + c.to_arena.iter().sum::<u64>();
     Ok(UdpArenaReport {
         datagrams_in: c.datagrams_in,
@@ -644,4 +646,52 @@ pub fn run_udp_arena_clients(
         0.0
     };
     Ok((sent, received, avg, per_arena, restarts_observed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_lane() -> ArenaLane {
+        ArenaLane {
+            pump_forwarded: 40,
+            director_forwarded: 10,
+            processed: 44,
+            queue_dropped: 4,
+            pending_at_shutdown: 2,
+            ..ArenaLane::default()
+        }
+    }
+
+    #[test]
+    fn lane_accounting_closes_on_balanced_books() {
+        let mut lane = balanced_lane();
+        assert!(lane.accounting_closed(), "{lane:?}");
+        // One datagram reaches the queue but never gets a fate: open.
+        lane.director_forwarded += 1;
+        assert!(!lane.accounting_closed(), "{lane:?}");
+    }
+
+    #[test]
+    fn report_accounting_closes_every_layer() {
+        let mut r = UdpArenaReport {
+            datagrams_in: 100,
+            decode_rejected: 2,
+            spoof_rejected: 1,
+            arena_unknown: 3,
+            fault_dropped: 4,
+            fault_duplicated: 5,
+            forwarded: 95, // 90 delivered + 5 duplicates
+            to_front: 45,
+            front_drained: 40,
+            front_queue_dropped: 3,
+            front_pending: 2,
+            lanes: vec![balanced_lane(), balanced_lane()],
+            ..UdpArenaReport::default()
+        };
+        assert!(r.accounting_closed(), "{r:?}");
+        // A single open lane opens the whole report.
+        r.lanes[1].processed -= 1;
+        assert!(!r.accounting_closed(), "{r:?}");
+    }
 }

@@ -104,6 +104,11 @@ pub enum LockViolationKind {
     /// (barrier/phase transition) — the guard outlives the phase it
     /// belongs to and stalls every task that needs it.
     HeldAcrossWait,
+    /// A panic unwound out of a task (or into a supervised fate
+    /// boundary) while locks were still held — nothing will ever
+    /// release them, so every task queued on them wedges even though
+    /// the panic itself was "caught".
+    HeldAtUnwind,
 }
 
 impl fmt::Display for LockViolationKind {
@@ -122,6 +127,7 @@ impl fmt::Display for LockViolationKind {
                  {acquiring} -> {holding} order was also observed"
             ),
             LockViolationKind::HeldAcrossWait => write!(f, "lock held across condition wait"),
+            LockViolationKind::HeldAtUnwind => write!(f, "lock still held at panic unwind"),
         }
     }
 }

@@ -13,9 +13,11 @@
 //! never panics — the server drops bad packets like the original does.
 
 pub mod codec;
+pub mod tags;
 pub mod types;
 
 pub use codec::{CodecError, Decode, Encode};
+pub use tags::ARENA_EXT_TAG;
 pub use types::{
     Buttons, ClientMessage, EntityKind, EntityUpdate, GameEvent, GameEventKind, MoveCmd,
     ServerMessage,
@@ -24,16 +26,8 @@ pub use types::{
 /// Protocol version byte; bumped on incompatible changes.
 pub const PROTOCOL_VERSION: u8 = 1;
 
-/// Tag byte opening the optional arena-id extension that may trail a
-/// `Connect` or `ConnectAck`. The extension is `[ARENA_EXT_TAG, arena:
-/// u16 LE]` and is emitted only for a non-zero arena, so default
-/// (arena-0) traffic stays byte-identical to the pre-extension format
-/// and an absent extension decodes as arena 0. Deliberately distinct
-/// from every message tag so a stray extension can never be mistaken
-/// for a message.
-pub const ARENA_EXT_TAG: u8 = 0xA7;
-
-/// Wire size of the arena extension when present.
+/// Wire size of the arena extension when present (see
+/// [`tags::ARENA_EXT_TAG`] for the format).
 pub const ARENA_EXT_WIRE_BYTES: usize = 1 + 2;
 
 /// Maximum duration a single move command may apply, in milliseconds

@@ -101,9 +101,7 @@ pub enum ClientMessage {
     Disconnect { client_id: u32 },
 }
 
-const TAG_CONNECT: u8 = 1;
-const TAG_MOVE: u8 = 2;
-const TAG_DISCONNECT: u8 = 3;
+use crate::tags::{TAG_CONNECT, TAG_DISCONNECT, TAG_MOVE};
 
 /// Append the optional arena extension. Canonical form: arena 0 encodes
 /// as *nothing*, so default traffic matches the pre-extension format
@@ -359,9 +357,7 @@ pub enum ServerMessage {
     Bye { client_id: u32 },
 }
 
-const TAG_ACK: u8 = 100;
-const TAG_REPLY: u8 = 101;
-const TAG_BYE: u8 = 102;
+use crate::tags::{TAG_ACK, TAG_BYE, TAG_REPLY};
 
 impl Encode for ServerMessage {
     fn encode(&self, out: &mut Vec<u8>) {

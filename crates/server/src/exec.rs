@@ -213,7 +213,7 @@ pub struct ExecEnv<'a> {
 pub struct CommitLog {
     // Host-level observation buffer, not part of the simulated locking
     // protocol (tasks are serialized on the virtual fabric anyway).
-    // lockcheck: allow(raw-sync)
+    // The waivers sit on the acquisition sites in `note`/`take` below.
     entries: std::sync::Mutex<Vec<CommitEntry>>,
 }
 
@@ -234,14 +234,14 @@ impl CommitLog {
     }
 
     fn note(&self, task: u32, slot: u16, seq: u32) {
-        // lockcheck: allow(raw-sync)
+        // lockcheck: allow(raw-sync: host-level observation buffer for schedule exploration)
         let mut e = self.entries.lock().unwrap_or_else(|p| p.into_inner());
         e.push(CommitEntry { task, slot, seq });
     }
 
     /// Drain the recorded order.
     pub fn take(&self) -> Vec<CommitEntry> {
-        // lockcheck: allow(raw-sync)
+        // lockcheck: allow(raw-sync: host-level observation buffer for schedule exploration)
         let mut e = self.entries.lock().unwrap_or_else(|p| p.into_inner());
         std::mem::take(&mut *e)
     }

@@ -26,18 +26,15 @@ use parquake_fabric::Nanos;
 use parquake_protocol::codec::{
     get_u16, get_u32, get_u64, get_u8, put_u16, put_u32, put_u64, put_u8,
 };
+use parquake_protocol::tags::{TAG_CONNECTED, TAG_DISCONNECTED, TAG_RECLAIMED, TAG_REJECTED};
 use parquake_protocol::{CodecError, Decode, Encode};
-
-const TAG_CONNECTED: u8 = 200;
-const TAG_DISCONNECTED: u8 = 201;
-const TAG_RECLAIMED: u8 = 202;
-const TAG_REJECTED: u8 = 203;
 
 /// One population-changing event inside an arena runtime.
 ///
-/// Tags 200–203 live far from the client (1–3) and server (100–102)
-/// message tags, so a misdelivered datagram decodes to a clean
-/// `BadTag` instead of a plausible message.
+/// Tags 200–203 (declared in the central wire-tag registry,
+/// [`parquake_protocol::tags`]) live far from the client (1–3) and
+/// server (100–102) message tags, so a misdelivered datagram decodes
+/// to a clean `BadTag` instead of a plausible message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LifecycleEvent {
     /// A `Connect` claimed a fresh slot on `thread`'s home block.

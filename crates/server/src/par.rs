@@ -20,7 +20,7 @@
 //!    the global state buffer, and signals frame end.
 
 use std::cell::UnsafeCell;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use parquake_fabric::{CondId, Fabric, LockId, Nanos, TaskCtx};
 use parquake_metrics::{Bucket, FrameSample, FrameStats, ThreadStats, Timeline};
@@ -375,7 +375,10 @@ fn worker(
     ctrl.exit(ctx);
 
     stats.queue_dropped = ctx.fabric().port_dropped(port);
-    let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
+    // Host-side result sink, written once per thread at task end;
+    // poison-tolerant so one supervised panic cannot eat peer results.
+    // lockcheck: allow(raw-sync: host-side result sink, no fabric task blocks on it)
+    let mut r = results.lock().unwrap_or_else(PoisonError::into_inner);
     r.threads[t as usize] = stats;
     if let Some((fs, tl)) = frame_stats {
         r.frames = fs;

@@ -5,7 +5,7 @@
 //! the queue is empty, then form and send replies to every client that
 //! sent a request this frame.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use parquake_fabric::{Fabric, TaskCtx};
 use parquake_metrics::{Bucket, FrameSample, FrameStats, ThreadStats, Timeline};
@@ -93,6 +93,11 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
                 Ok(moves) => moves,
                 Err(_) => {
                     stats.panics_caught += 1;
+                    // A fabric lock leaked by the unwound frame would
+                    // wedge its peers; make the witness report it.
+                    if let Some(w) = ctx.fabric().witness() {
+                        w.on_unwind(ctx.id(), ctx.now());
+                    }
                     break;
                 }
             }
@@ -117,7 +122,10 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
     }
 
     stats.queue_dropped = ctx.fabric().port_dropped(port);
-    let mut r = results.lock().unwrap(); // lockcheck: allow(raw-sync)
+    // Host-side result sink, written once at task end; poison-tolerant
+    // so a supervised panic elsewhere still lets results publish.
+    // lockcheck: allow(raw-sync: host-side result sink, no fabric task blocks on it)
+    let mut r = results.lock().unwrap_or_else(PoisonError::into_inner);
     r.threads = vec![stats];
     r.frames = frames;
     r.timeline = timeline;

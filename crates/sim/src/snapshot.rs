@@ -80,18 +80,23 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, String> {
+        // lockcheck: panic-site(take(N) returned exactly N bytes, so the array conversion cannot fail)
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
     fn u32(&mut self) -> Result<u32, String> {
+        // lockcheck: panic-site(take(N) returned exactly N bytes, so the array conversion cannot fail)
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64, String> {
+        // lockcheck: panic-site(take(N) returned exactly N bytes, so the array conversion cannot fail)
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn i32(&mut self) -> Result<i32, String> {
+        // lockcheck: panic-site(take(N) returned exactly N bytes, so the array conversion cannot fail)
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn f32(&mut self) -> Result<f32, String> {
+        // lockcheck: panic-site(take(N) returned exactly N bytes, so the array conversion cannot fail)
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn vec3(&mut self) -> Result<Vec3, String> {

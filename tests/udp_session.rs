@@ -45,7 +45,7 @@ fn udp_gateway_serves_real_sockets() {
     assert!(report.frames > 0);
     assert_eq!(report.datagrams_in, sent);
     assert!(
-        report.inbound_accounted(),
+        report.accounting_closed(),
         "datagram accounting does not close: {report:?}"
     );
 }
@@ -94,7 +94,7 @@ fn udp_gateway_accounts_for_faulted_datagrams() {
     // …and every inbound datagram has exactly one fate.
     assert_eq!(report.datagrams_in, sent);
     assert!(
-        report.inbound_accounted(),
+        report.accounting_closed(),
         "datagram accounting does not close: {report:?}"
     );
 }
