@@ -58,6 +58,28 @@ impl AdmissionPolicy {
             }
         }
     }
+
+    /// Choose a landing arena for a *live* slot being migrated off
+    /// `src`: the least-occupied live arena with room, excluding the
+    /// source. This is `LeastLoaded`'s rule applied to rebalancing —
+    /// whatever variant admitted the population, moving a resident
+    /// only helps if it lands on the coldest open world. `None` means
+    /// nowhere to go (every other live arena is full or dead) and the
+    /// handoff is abandoned.
+    pub fn rebalance_target(
+        &self,
+        src: usize,
+        occupancy: &[u32],
+        capacity: u32,
+        live: &[bool],
+    ) -> Option<usize> {
+        occupancy
+            .iter()
+            .enumerate()
+            .filter(|&(k, &o)| k != src && live.get(k).copied().unwrap_or(false) && o < capacity)
+            .min_by_key(|&(_, &o)| o)
+            .map(|(k, _)| k)
+    }
 }
 
 /// Routing counters published by the directory's front door when the
@@ -110,6 +132,10 @@ pub struct AdmissionStats {
     pub notice_reclaimed: u64,
     /// `Rejected` lifecycle notices drained.
     pub notice_rejected: u64,
+    /// `Migrated` lifecycle notices drained from the control port
+    /// (the director's own handoffs rebook the ledger directly and do
+    /// not pass through here).
+    pub notice_migrated: u64,
     /// Notices about clients the book no longer holds (e.g. a
     /// front-door Disconnect already evicted the entry before the
     /// arena's own `Disconnected` notice arrived) — no-ops.
@@ -202,6 +228,24 @@ mod tests {
         assert_eq!(
             AdmissionPolicy::FillFirst.place(0, &[4, 0, 4], 4, live),
             None
+        );
+    }
+
+    #[test]
+    fn rebalance_target_lands_on_the_coldest_open_world() {
+        let p = AdmissionPolicy::LeastLoaded;
+        // Hottest arena 0 sheds to the emptiest other live arena.
+        assert_eq!(p.rebalance_target(0, &[6, 2, 4], 8, LIVE3), Some(1));
+        // The source itself is never a target, even when coldest.
+        assert_eq!(p.rebalance_target(1, &[6, 0, 4], 8, LIVE3), Some(2));
+        // Dead and full arenas are skipped.
+        let live = &[true, false, true];
+        assert_eq!(p.rebalance_target(0, &[6, 0, 4], 8, live), Some(2));
+        assert_eq!(p.rebalance_target(0, &[6, 0, 8], 8, live), None);
+        // The rule is the same under every admission variant.
+        assert_eq!(
+            AdmissionPolicy::Explicit.rebalance_target(0, &[6, 2, 4], 8, LIVE3),
+            Some(1)
         );
     }
 

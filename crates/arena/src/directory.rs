@@ -172,6 +172,28 @@ pub struct ArenaDirectoryConfig {
     /// injection. Ignored when `supervision` is off — uncaught
     /// injected panics would take down the whole fabric.
     pub frame_faults: Option<FaultConfig>,
+    /// Live rebalance (pooled scheduling only): when the occupancy
+    /// spread between the hottest and coldest live arena reaches this
+    /// many clients, the director migrates one slot off the hottest
+    /// arena per rebalance tick (see [`crate::migrate`]). `0` (the
+    /// default) disables spread rebalance. Values below 2 are clamped
+    /// to 2 — moving a client across a spread of 1 just swaps which
+    /// arena is hotter.
+    pub migrate_spread: u32,
+    /// Minimum gap between two migration handoffs (spread or drain).
+    pub migrate_interval_ns: Nanos,
+    /// Drain-before-reap (pooled + elastic only): a non-boot live
+    /// arena whose whole population fits in the other live arenas'
+    /// free capacity is emptied by migration, one slot per tick, so
+    /// the linger reclaim reaps it instead of waiting for its clients
+    /// to leave on their own.
+    pub migrate_drain: bool,
+    /// Mirror port for lifecycle notices: every notice the director
+    /// drains — and every `Migrated` notice it emits — is also sent
+    /// here, uncharged. The UDP gateway points this at its outbound
+    /// pump so its placement book follows reclaims and migrations.
+    /// `None` (the default) = no mirror.
+    pub lifecycle_tap: Option<PortId>,
 }
 
 impl ArenaDirectoryConfig {
@@ -198,6 +220,10 @@ impl ArenaDirectoryConfig {
             checkpoint_depth: 4,
             watchdog_ns: 250_000_000,
             frame_faults: None,
+            migrate_spread: 0,
+            migrate_interval_ns: 25_000_000,
+            migrate_drain: false,
+            lifecycle_tap: None,
         }
     }
 }
@@ -330,6 +356,14 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
         supervised: cfg.supervision,
         watchdog_ns: cfg.watchdog_ns.max(1),
         supervisor_out: supervisor.clone(),
+        migrate_spread: if cfg.migrate_spread > 0 {
+            cfg.migrate_spread.max(2)
+        } else {
+            0
+        },
+        migrate_interval_ns: cfg.migrate_interval_ns.max(1),
+        migrate_drain: cfg.migrate_drain,
+        tap: cfg.lifecycle_tap,
     };
     fabric.spawn(
         "arena-director",
@@ -357,15 +391,15 @@ pub fn spawn_directory(fabric: &Arc<dyn Fabric>, cfg: ArenaDirectoryConfig) -> A
 /// Everything the director task needs, bundled so the closure stays
 /// one move.
 pub(crate) struct DirectorEnv {
-    front: PortId,
+    pub(crate) front: PortId,
     lifecycle: Option<PortId>,
     arena_ports: Vec<Vec<PortId>>,
-    policy: AdmissionPolicy,
-    capacity: u32,
+    pub(crate) policy: AdmissionPolicy,
+    pub(crate) capacity: u32,
     cost: parquake_server::CostModel,
     end_time: Nanos,
     /// Arenas live at boot (never reaped).
-    boot: usize,
+    pub(crate) boot: usize,
     linger_ns: Nanos,
     notice_poll_ns: Nanos,
     book_cap: usize,
@@ -378,11 +412,15 @@ pub(crate) struct DirectorEnv {
     pub(crate) supervised: bool,
     pub(crate) watchdog_ns: Nanos,
     supervisor_out: Arc<Mutex<SupervisorStats>>,
+    pub(crate) migrate_spread: u32,
+    pub(crate) migrate_interval_ns: Nanos,
+    pub(crate) migrate_drain: bool,
+    pub(crate) tap: Option<PortId>,
 }
 
 /// The director's mutable state.
 pub(crate) struct Director {
-    stats: AdmissionStats,
+    pub(crate) stats: AdmissionStats,
     pub(crate) ledger: Ledger,
     /// Round-robin home-block spreading inside each arena: connects are
     /// dealt to the arena's threads in turn so no single thread's block
@@ -393,14 +431,17 @@ pub(crate) struct Director {
     /// while an arena is crashed or restoring: sticky traffic keeps
     /// queueing on the arena's bounded port and drains after restore,
     /// and elastic spawn must not recycle the fated cell meanwhile.
-    live: Vec<bool>,
+    pub(crate) live: Vec<bool>,
     /// When arena k's occupancy last hit zero (linger clock).
-    empty_since: Vec<Option<Nanos>>,
+    pub(crate) empty_since: Vec<Option<Nanos>>,
     elastic: ElasticStats,
     /// Director-side supervision accounting (watchdog condemnations,
     /// restores, ledger replays); worker-side counters merge in at
     /// pool exit.
     pub(crate) sup: SupervisorStats,
+    /// Earliest time the next migration handoff may run (rebalance
+    /// throttle — see [`crate::migrate`]).
+    pub(crate) next_migrate_at: Nanos,
 }
 
 fn director(ctx: &TaskCtx, env: &DirectorEnv) {
@@ -422,6 +463,7 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
             ..ElasticStats::default()
         },
         sup: SupervisorStats::default(),
+        next_migrate_at: 0,
     };
 
     loop {
@@ -443,6 +485,9 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
                 deadline = deadline.min((t0 + env.linger_ns).max(now + 1));
             }
         }
+        if env.migrate_spread > 0 || env.migrate_drain {
+            deadline = deadline.min(d.next_migrate_at.max(now + 1));
+        }
         let deadline = deadline.min(env.end_time).max(now + 1);
         ctx.wait_readable(env.front, Some(deadline));
         while let Some(raw) = ctx.try_recv(env.front) {
@@ -451,12 +496,18 @@ fn director(ctx: &TaskCtx, env: &DirectorEnv) {
         }
         if let Some(lp) = env.lifecycle {
             // Notices are drained uncharged: they model an in-process
-            // queue, not client traffic.
+            // queue, not client traffic. Each one is mirrored to the
+            // tap (when configured) so downstream placement books see
+            // the same stream the ledger does.
             while let Some(raw) = ctx.try_recv(lp) {
                 handle_notice(&mut d, &raw.payload);
+                if let Some(tap) = env.tap {
+                    ctx.send(env.front, tap, raw.payload.clone());
+                }
             }
         }
         elastic_reap(ctx, env, &mut d);
+        crate::migrate::rebalance(ctx, env, &mut d);
         crate::supervisor::supervise(ctx, env, &mut d);
     }
 
@@ -606,7 +657,9 @@ fn handle_notice(d: &mut Director, payload: &[u8]) {
                 LifecycleEvent::Disconnected { .. } => d.stats.notice_disconnected += 1,
                 LifecycleEvent::Reclaimed { .. } => d.stats.notice_reclaimed += 1,
                 LifecycleEvent::Rejected { .. } => d.stats.notice_rejected += 1,
-                LifecycleEvent::Connected { .. } => unreachable!(),
+                LifecycleEvent::Connected { .. } | LifecycleEvent::Migrated { .. } => {
+                    unreachable!()
+                }
             }
             // Evict only a booking *at that arena*: a late notice from
             // an old placement must not kill a newer one elsewhere.
@@ -615,6 +668,28 @@ fn handle_notice(d: &mut Director, payload: &[u8]) {
                     d.ledger.remove(client_id, Departure::Notice);
                 }
                 _ => d.stats.notice_stale += 1,
+            }
+        }
+        LifecycleEvent::Migrated {
+            from_arena,
+            to_arena,
+            client_id,
+            thread,
+        } => {
+            // The director's own handoffs rebook the ledger directly
+            // (crate::migrate); this arm serves notices injected on
+            // the control port (tests, external supervisors).
+            d.stats.notice_migrated += 1;
+            match d.ledger.touch(client_id) {
+                Some(p) if p.arena == to_arena && p.thread == thread => {}
+                Some(p) if p.arena == from_arena => {
+                    d.ledger.migrate(client_id, to_arena, thread);
+                }
+                // Unknown client or booked somewhere neither end of
+                // the handoff claims: the notice is the authority.
+                _ => {
+                    d.ledger.place(client_id, to_arena, thread);
+                }
             }
         }
     }
@@ -731,7 +806,7 @@ pub(crate) struct ArenaCell {
 }
 
 pub(crate) struct ArenaFrame {
-    stats: ThreadStats,
+    pub(crate) stats: ThreadStats,
     frames: FrameStats,
     timeline: Timeline,
     pub(crate) frame_no: u32,
@@ -752,7 +827,7 @@ pub(crate) struct ArenaGuard {
     /// `SupervisorStats` by the last exiting worker.
     pub(crate) panics_caught: u64,
     shed_frames: u64,
-    coalesced_moves: u64,
+    pub(crate) coalesced_moves: u64,
 }
 
 /// What the supervisor believes about one arena.
@@ -794,6 +869,11 @@ pub(crate) struct PoolState {
     /// Arena k is currently being run by some worker (or fenced by the
     /// director during a restore).
     pub(crate) claimed: Vec<bool>,
+    /// Arena k has a migration fence pending: workers must not take
+    /// new claims on it, so the director can capture it at the current
+    /// frame's boundary instead of racing a saturated arena that is
+    /// claimed essentially all the time (see [`crate::migrate`]).
+    pub(crate) fenced: Vec<bool>,
     /// Arena k accepts frames (cold, reaped and fated cells are
     /// masked; only the director flips these, except a crashing worker
     /// masking its own arena).
@@ -825,7 +905,7 @@ pub(crate) struct PoolState {
 /// lock): it is never held while running a frame, so it can never rank
 /// under a region lock.
 pub(crate) struct Pool {
-    lock: LockId,
+    pub(crate) lock: LockId,
     pub(crate) cond: CondId,
     state: UnsafeCell<PoolState>,
 }
@@ -972,6 +1052,7 @@ fn spawn_pool(
         cond: fabric.alloc_cond(),
         state: UnsafeCell::new(PoolState {
             claimed: vec![false; n],
+            fenced: vec![false; n],
             live: (0..n).map(|k| k < boot).collect(),
             sessions: vec![false; n],
             last_frame: vec![0; n],
@@ -1153,7 +1234,7 @@ fn pool_worker_scan(
             let st = pool.state();
             for i in 0..n {
                 let k = (st.rotor + i) % n;
-                if st.claimed[k] || !st.live[k] || st.next_due[k] > now {
+                if st.claimed[k] || st.fenced[k] || !st.live[k] || st.next_due[k] > now {
                     continue;
                 }
                 let input =
@@ -1256,7 +1337,7 @@ fn pool_worker_scan(
                 let st = pool.state();
                 let mut deadline = now + rcfg.poll_ns;
                 for (k, cell) in cells.iter().enumerate() {
-                    if st.claimed[k] || !st.live[k] {
+                    if st.claimed[k] || st.fenced[k] || !st.live[k] {
                         continue;
                     }
                     if let Some(t) = ctx.fabric().port_next_delivery(cell.port) {
@@ -1440,7 +1521,7 @@ fn take_checkpoint(ctx: &TaskCtx, cell: &ArenaCell, g: &mut ArenaGuard) {
 /// subsumed, not dropped: the client's next reply reflects its latest
 /// command). `Connect`/`Disconnect` always pass through in arrival
 /// order. Superseded-move count lands in `coalesced_out`.
-fn drain_requests_coalesced(
+pub(crate) fn drain_requests_coalesced(
     ctx: &TaskCtx,
     cell: &ArenaCell,
     stats: &mut ThreadStats,

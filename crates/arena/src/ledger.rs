@@ -98,6 +98,13 @@ impl Ledger {
         self.placed == self.departed + self.resident()
     }
 
+    /// Read-only placement lookup — no LRU refresh. The restore path
+    /// uses this to ask "is this checkpointed client booked somewhere
+    /// else now?" without promoting a stale session.
+    pub fn lookup(&self, client_id: u32) -> Option<Placement> {
+        self.book.get(&client_id).copied()
+    }
+
     /// Look up a client's placement, refreshing its LRU stamp.
     pub fn touch(&mut self, client_id: u32) -> Option<Placement> {
         self.clock += 1;
@@ -148,6 +155,31 @@ impl Ledger {
             self.evicted += 1;
         }
         Some(p)
+    }
+
+    /// Rebook a client in place: same placement entry, new arena and
+    /// thread. This is the migration path — the client never departs,
+    /// so neither `placed` nor `departed` moves and the population
+    /// identity stays closed by construction; only the derived
+    /// occupancy shifts one head from the old arena to the new.
+    /// Returns the *old* placement, or `None` (unknown client — a
+    /// counted no-op for the caller, like a stale notice).
+    pub fn migrate(&mut self, client_id: u32, arena: u16, thread: u16) -> Option<Placement> {
+        self.clock += 1;
+        let clock = self.clock;
+        let p = self.book.get_mut(&client_id)?;
+        let old = *p;
+        p.arena = arena;
+        p.thread = thread;
+        p.touched = clock;
+        if (old.arena as usize) < self.occupancy.len() {
+            self.occupancy[old.arena as usize] =
+                self.occupancy[old.arena as usize].saturating_sub(1);
+        }
+        if (arena as usize) < self.occupancy.len() {
+            self.occupancy[arena as usize] += 1;
+        }
+        Some(old)
     }
 
     /// Every client currently booked into `arena`, as `(client_id,
@@ -304,6 +336,58 @@ mod tests {
         assert_eq!(l.placed, l.departed + l.resident());
         // Occupancy stays derived through it all.
         assert_eq!(l.occupancy().iter().sum::<u32>() as u64, l.resident());
+    }
+
+    #[test]
+    fn migrate_rebooks_without_touching_the_identity_legs() {
+        let mut l = Ledger::new(3, 64);
+        l.place(1, 0, 0);
+        l.place(2, 0, 1);
+        let (placed, departed) = (l.placed, l.departed);
+        let old = l.migrate(2, 2, 0).expect("booked");
+        assert_eq!((old.arena, old.thread), (0, 1));
+        assert_eq!(l.occupancy(), &[1, 0, 1]);
+        assert_eq!(l.placed, placed, "migration is not a placement");
+        assert_eq!(l.departed, departed, "migration is not a departure");
+        assert!(l.population_closed());
+        let p = l.touch(2).expect("still booked");
+        assert_eq!((p.arena, p.thread), (2, 0));
+        // Occupancy stays derived.
+        assert_eq!(l.occupancy().iter().sum::<u32>() as u64, l.resident());
+    }
+
+    #[test]
+    fn migrate_of_an_unknown_client_is_a_noop() {
+        let mut l = Ledger::new(2, 64);
+        l.place(1, 0, 0);
+        assert!(l.migrate(99, 1, 0).is_none());
+        assert_eq!(l.occupancy(), &[1, 0]);
+        assert!(l.population_closed());
+    }
+
+    #[test]
+    fn migrate_refreshes_the_lru_stamp() {
+        let mut l = Ledger::new(2, 3);
+        l.place(1, 0, 0);
+        l.place(2, 0, 0);
+        l.place(3, 0, 0);
+        // Migrating 1 makes it the most recently touched, so 2 is the
+        // next LRU victim.
+        l.migrate(1, 1, 0);
+        let evicted = l.place(4, 0, 0).expect("bound hit");
+        assert_eq!(evicted.0, 2);
+        assert!(l.population_closed());
+    }
+
+    #[test]
+    fn migrate_to_an_out_of_range_arena_does_not_corrupt_occupancy() {
+        let mut l = Ledger::new(2, 64);
+        l.place(9, 0, 0);
+        l.migrate(9, 40_000, 0);
+        assert_eq!(l.occupancy(), &[0, 0]);
+        l.migrate(9, 1, 0);
+        assert_eq!(l.occupancy(), &[0, 1]);
+        assert!(l.population_closed());
     }
 
     #[test]

@@ -46,6 +46,15 @@
 //!   (stretched frame intervals + per-client move coalescing) instead
 //!   of dropping input. Accounting lands in
 //!   `parquake_metrics::SupervisorStats`.
+//! * **Live migration** ([`migrate`], opt-in): the director fences a
+//!   hot arena's slot with the same claim flag the supervisor uses,
+//!   carries the player across in a validated `sim::snapshot` capsule,
+//!   rebooks the [`ledger::Ledger`] in place (the population identity
+//!   never opens), emits a `Migrated` lifecycle notice, and lets the
+//!   destination re-ack unprompted so the client rides rebind grace
+//!   exactly as crash recovery does. Spread rebalance keeps live
+//!   populations level; drain-before-reap empties lingering elastic
+//!   arenas instead of waiting their clients out.
 //!
 //! The layer is strictly additive: a 1-arena pooled directory runs the
 //! exact sequential frame body, and arena 0 traffic is byte-identical
@@ -55,6 +64,7 @@ pub mod admission;
 pub mod checkpoint;
 pub mod directory;
 pub mod ledger;
+pub mod migrate;
 pub mod supervisor;
 
 pub use admission::{AdmissionPolicy, AdmissionStats};

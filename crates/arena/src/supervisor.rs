@@ -30,6 +30,7 @@ use std::collections::HashSet;
 
 use parquake_fabric::{Nanos, TaskCtx};
 use parquake_metrics::{SupervisorEvent, SupervisorEventKind};
+use parquake_server::clients::SlotState;
 
 use crate::directory::{ArenaFate, Director, DirectorEnv, PoolParts};
 use crate::ledger::Departure;
@@ -145,13 +146,29 @@ fn restore_arena(ctx: &TaskCtx, d: &mut Director, parts: &PoolParts, k: usize, f
         .iter()
         .map(|&(id, _)| id)
         .collect();
+    let mut wiped = 0usize;
     for &(cid, thread) in &resident {
-        if !booked.contains(&cid) {
+        if booked.contains(&cid) {
+            continue;
+        }
+        match d.ledger.lookup(cid) {
+            // Booked at ANOTHER arena: the client migrated away after
+            // this checkpoint was taken. The checkpoint is older than
+            // the handoff, so the book wins — wipe the resurrected
+            // slot instead of re-booking it, or the session would
+            // exist in two worlds at once.
+            Some(p) if p.arena != arena => {
+                wipe_resurrected_slot(cell, cid);
+                d.sup.stale_restored_slots += 1;
+                wiped += 1;
+            }
             // Checkpointed but lost from the book (LRU eviction, or an
             // interleaved departure notice): the restored slot is the
             // authority — re-book it.
-            d.ledger.place(cid, arena, thread);
-            d.sup.replayed_placements += 1;
+            _ => {
+                d.ledger.place(cid, arena, thread);
+                d.sup.replayed_placements += 1;
+            }
         }
     }
 
@@ -166,7 +183,7 @@ fn restore_arena(ctx: &TaskCtx, d: &mut Director, parts: &PoolParts, k: usize, f
         st.live[k] = true;
         st.next_due[k] = 0;
         st.last_frame[k] = ctx.now();
-        st.sessions[k] = !resident.is_empty();
+        st.sessions[k] = resident.len() > wiped;
         ctx.cond_broadcast(parts.pool.cond);
     }
     parts.pool.exit(ctx);
@@ -174,4 +191,24 @@ fn restore_arena(ctx: &TaskCtx, d: &mut Director, parts: &PoolParts, k: usize, f
     let now = ctx.now();
     d.sup
         .note_restore(now, arena, now.saturating_sub(failed_at));
+}
+
+/// A restored slot whose client the ledger shows booked at another
+/// arena is stale — despawn its entity and clear the slot so the
+/// session lives only where the book says it does.
+fn wipe_resurrected_slot(cell: &crate::directory::ArenaCell, cid: u32) {
+    let clients = &cell.shared.clients;
+    for idx in 0..clients.capacity() {
+        let slot = clients.slot(idx);
+        if slot.state != SlotState::Empty && slot.client_id == cid {
+            cell.shared.world.despawn_player(idx as u16);
+            slot.state = SlotState::Empty;
+            slot.leaving = false;
+            slot.needs_ack = false;
+            slot.requests_this_frame = 0;
+            slot.events.clear();
+            slot.baseline.clear();
+            return;
+        }
+    }
 }

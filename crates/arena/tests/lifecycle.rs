@@ -147,12 +147,12 @@ fn reclaim_notice_evicts_the_book_entry() {
 
 proptest! {
     /// Any interleaving of front-door connects/disconnects with
-    /// arena-side connect/reclaim notices keeps the ledger's identity
-    /// closed and its occupancy equal to its book — including under
-    /// LRU eviction pressure (cap 8 over 24 client ids).
+    /// arena-side connect/reclaim/migrate notices keeps the ledger's
+    /// identity closed and its occupancy equal to its book — including
+    /// under LRU eviction pressure (cap 8 over 24 client ids).
     #[test]
     fn interleaved_streams_keep_the_population_identity(
-        ops in prop::collection::vec((0u8..4, 0u32..24, 0u16..4), 0..200)
+        ops in prop::collection::vec((0u8..5, 0u32..24, 0u16..4), 0..200)
     ) {
         let mut l = Ledger::new(4, 8);
         for (op, id, arena) in ops {
@@ -178,6 +178,11 @@ proptest! {
                 // Connected notice: the arena is authoritative.
                 3 => {
                     l.place(id, arena, 0);
+                }
+                // Migrated handoff: rebook in place — neither placed
+                // nor departed may move; unknown clients are a no-op.
+                4 => {
+                    l.migrate(id, arena, 0);
                 }
                 _ => unreachable!(),
             }

@@ -105,6 +105,10 @@ pub struct BotSwarm {
     /// re-announcing its slots after recovery. Atomic, like
     /// `connected`.
     pub restarts_observed: Arc<AtomicU64>,
+    /// Unsolicited `ConnectAck`s that moved a connected bot to a
+    /// *different* arena — the destination world of a live migration
+    /// re-acking the handed-off slot. Atomic, like `connected`.
+    pub rehomed: Arc<AtomicU64>,
 }
 
 /// Where a swarm's traffic goes.
@@ -175,6 +179,7 @@ pub fn spawn_swarm_multi(
         topology.arena_ports.len()
     ]));
     let restarts_observed = Arc::new(AtomicU64::new(0));
+    let rehomed_observed = Arc::new(AtomicU64::new(0));
     let drivers = cfg.drivers.clamp(1, cfg.players.max(1));
     let per = cfg.players.div_ceil(drivers);
     for d in 0..drivers {
@@ -200,13 +205,14 @@ pub fn spawn_swarm_multi(
         let connected = connected.clone();
         let per_arena = per_arena.clone();
         let restarts = restarts_observed.clone();
+        let rehomed = rehomed_observed.clone();
         fabric.spawn(
             &format!("bots-{d}"),
             None, // client machines: off the modelled server CPUs
             Box::new(move |ctx| {
                 drive(
                     ctx, port, lo, hi, &topology, init, &cfg, &stats, &connected, &per_arena,
-                    &restarts,
+                    &restarts, &rehomed,
                 );
             }),
         );
@@ -216,6 +222,7 @@ pub fn spawn_swarm_multi(
         connected,
         per_arena,
         restarts_observed,
+        rehomed: rehomed_observed,
     }
 }
 
@@ -232,6 +239,7 @@ fn drive(
     connected_out: &AtomicU32,
     per_arena_out: &Mutex<Vec<ResponseStats>>,
     restarts_out: &AtomicU64,
+    rehomed_out: &AtomicU64,
 ) {
     /// First Connect-retry interval; doubles per unanswered retry.
     const RETRY_MIN: Nanos = 100_000_000;
@@ -277,6 +285,7 @@ fn drive(
     let mut arena_stats = vec![ResponseStats::new(); topology.arena_ports.len()];
     let mut connected = 0u32;
     let mut restarts = 0u64;
+    let mut rehomed = 0u64;
 
     loop {
         let now = ctx.now();
@@ -418,10 +427,33 @@ fn drive(
                             next_at[i] = ctx.now();
                         } else if i < n && acked[i] && !left[i] {
                             // Unsolicited ack while already connected:
-                            // a supervised arena restored from its
-                            // checkpoint is re-announcing the slot.
-                            // Note the restart and keep playing.
-                            restarts += 1;
+                            // either a supervised arena restored from
+                            // its checkpoint re-announcing the slot, or
+                            // a live migration's destination claiming
+                            // the session. Re-home to the announced
+                            // arena either way — after a handoff the
+                            // old address is a despawned slot and moves
+                            // sent there vanish until the starvation
+                            // watchdog gives up.
+                            let a = arena as usize;
+                            if a < topology.arena_ports.len() {
+                                if a != cur_arena[i] {
+                                    rehomed += 1;
+                                } else {
+                                    restarts += 1;
+                                }
+                                cur_arena[i] = a;
+                                if let Some(t) =
+                                    topology.arena_ports[a].iter().position(|&p| p == raw.from)
+                                {
+                                    cur_thread[i] = t;
+                                } else {
+                                    cur_thread[i] =
+                                        cur_thread[i].min(topology.arena_ports[a].len() - 1);
+                                }
+                            } else {
+                                restarts += 1;
+                            }
                             last_heard[i] = ctx.now();
                         }
                     }
@@ -481,6 +513,7 @@ fn drive(
         .merge(&stats);
     connected_out.fetch_add(connected, Ordering::Relaxed);
     restarts_out.fetch_add(restarts, Ordering::Relaxed);
+    rehomed_out.fetch_add(rehomed, Ordering::Relaxed);
     let mut per = per_arena_out
         .lock() // lockcheck: allow(raw-sync: host-side per-arena stats sink, merged once at task end)
         .unwrap_or_else(PoisonError::into_inner);
@@ -647,6 +680,119 @@ mod tests {
         assert!(
             at_b > 40,
             "bots never switched threads (moves at B: {at_b})"
+        );
+    }
+
+    #[test]
+    fn bots_rehome_on_unsolicited_cross_arena_acks() {
+        // Arena 0 acks the connect, echoes a few moves, then announces
+        // — unprompted — that the bot now lives in arena 1, exactly as
+        // a live-migration destination re-acks the handed-off slot.
+        // The bot must address arena 1 from then on.
+        let fabric = FabricKind::VirtualSmp(Default::default()).build();
+        let port_a = fabric.alloc_port();
+        let port_b = fabric.alloc_port();
+        let until: Nanos = 1_500_000_000;
+        let moves_at_b = Arc::new(Mutex::new(0u64));
+
+        fabric.spawn(
+            "arena-0",
+            Some(0),
+            Box::new(move |ctx| {
+                let mut moves = 0u64;
+                let mut migrated = false;
+                while ctx.wait_readable(port_a, Some(until)) {
+                    while let Some(raw) = ctx.try_recv(port_a) {
+                        match ClientMessage::from_bytes(&raw.payload) {
+                            Ok(ClientMessage::Connect { client_id, .. }) => {
+                                let ack = ServerMessage::ConnectAck {
+                                    client_id,
+                                    spawn: parquake_math::Vec3::ZERO,
+                                    arena: 0,
+                                };
+                                ctx.send(port_a, raw.from, ack.to_bytes());
+                            }
+                            Ok(ClientMessage::Move { client_id, cmd }) => {
+                                moves += 1;
+                                let reply = ServerMessage::Reply {
+                                    client_id,
+                                    seq: cmd.seq,
+                                    sent_at_echo: cmd.sent_at,
+                                    frame: 0,
+                                    assigned_thread: 0,
+                                    origin: parquake_math::Vec3::ZERO,
+                                    delta: false,
+                                    entities: vec![],
+                                    removed: vec![],
+                                    events: vec![],
+                                };
+                                ctx.send(port_a, raw.from, reply.to_bytes());
+                                if moves >= 5 && !migrated {
+                                    migrated = true;
+                                    let ack = ServerMessage::ConnectAck {
+                                        client_id,
+                                        spawn: parquake_math::Vec3::ZERO,
+                                        arena: 1,
+                                    };
+                                    ctx.send(port_a, raw.from, ack.to_bytes());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }),
+        );
+        let counter = moves_at_b.clone();
+        fabric.spawn(
+            "arena-1",
+            Some(1),
+            Box::new(move |ctx| {
+                while ctx.wait_readable(port_b, Some(until)) {
+                    while let Some(raw) = ctx.try_recv(port_b) {
+                        if let Ok(ClientMessage::Move { client_id, cmd }) =
+                            ClientMessage::from_bytes(&raw.payload)
+                        {
+                            *counter.lock().unwrap() += 1;
+                            let reply = ServerMessage::Reply {
+                                client_id,
+                                seq: cmd.seq,
+                                sent_at_echo: cmd.sent_at,
+                                frame: 0,
+                                assigned_thread: 0,
+                                origin: parquake_math::Vec3::ZERO,
+                                delta: false,
+                                entities: vec![],
+                                removed: vec![],
+                                events: vec![],
+                            };
+                            ctx.send(port_b, raw.from, reply.to_bytes());
+                        }
+                    }
+                }
+            }),
+        );
+
+        let topology = SwarmTopology {
+            arena_ports: vec![vec![port_a], vec![port_b]],
+            connect_port: None,
+        };
+        let cfg = BotSwarmConfig {
+            drivers: 1,
+            ..BotSwarmConfig::new(1, until)
+        };
+        let swarm = spawn_swarm_multi(&fabric, &cfg, &topology, |_c| (0, 0));
+        fabric.run();
+        assert_eq!(
+            swarm.rehomed.load(Ordering::Relaxed),
+            1,
+            "the cross-arena re-ack was not counted as a re-homing"
+        );
+        assert_eq!(swarm.restarts_observed.load(Ordering::Relaxed), 0);
+        let at_b = *moves_at_b.lock().unwrap();
+        assert!(
+            at_b > 10,
+            "bot never followed the migration to arena 1 (moves at B: {at_b})"
         );
     }
 

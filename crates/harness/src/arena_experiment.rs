@@ -80,6 +80,19 @@ pub struct ArenaExperimentConfig {
     pub checkpoint_interval: u32,
     /// Watchdog bound on one claimed frame.
     pub watchdog_ns: Nanos,
+    /// Arena every bot requests at connect time (`None` = spread
+    /// requests `c % arenas`). `Some(k)` with the `Explicit` policy
+    /// creates a deliberately skewed load — the shape migration
+    /// rebalances.
+    pub request_arena: Option<u16>,
+    /// Live-migration spread threshold: when the hottest live arena's
+    /// occupancy exceeds the coldest open arena's by at least this
+    /// many clients, the director hands one slot off per tick (0 =
+    /// migration off; pooled only).
+    pub migrate_spread: u32,
+    /// Drain-before-reap: live-migrate the last residents out of a
+    /// lingering elastic arena instead of waiting their sessions out.
+    pub migrate_drain: bool,
 }
 
 impl Default for ArenaExperimentConfig {
@@ -110,6 +123,9 @@ impl Default for ArenaExperimentConfig {
             frame_faults: None,
             checkpoint_interval: 64,
             watchdog_ns: 250_000_000,
+            request_arena: None,
+            migrate_spread: 0,
+            migrate_drain: false,
         }
     }
 }
@@ -136,6 +152,9 @@ pub struct ArenaOutcome {
     pub elastic: ElasticStats,
     /// Supervision accounting (all-zero when supervision is off).
     pub supervisor: SupervisorStats,
+    /// Bots that followed a cross-arena re-ack to a new world (client
+    /// side of `supervisor.migrations`).
+    pub rehomed: u64,
 }
 
 impl ArenaOutcome {
@@ -202,6 +221,8 @@ impl ArenaExperiment {
             frame_faults: cfg.frame_faults.clone(),
             checkpoint_interval: cfg.checkpoint_interval,
             watchdog_ns: cfg.watchdog_ns,
+            migrate_spread: cfg.migrate_spread,
+            migrate_drain: cfg.migrate_drain,
             ..ArenaDirectoryConfig::new(cfg.arenas, slots_per_arena, server)
         };
         let handle = spawn_directory(&fabric, dir_cfg);
@@ -225,8 +246,9 @@ impl ArenaExperiment {
             connect_port: Some(handle.front_port),
         };
         let arenas = cfg.arenas;
+        let req = cfg.request_arena;
         let swarm = spawn_swarm_multi(&fabric, &swarm_cfg, &topology, move |c| {
-            ((c % arenas) as u16, 0)
+            (req.unwrap_or((c % arenas) as u16), 0)
         });
 
         fabric.run();
@@ -266,6 +288,7 @@ impl ArenaExperiment {
             witness: witness.map(|w| w.report()),
             elastic,
             supervisor,
+            rehomed: swarm.rehomed.load(Ordering::Relaxed),
         }
     }
 }

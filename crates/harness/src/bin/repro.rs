@@ -18,6 +18,7 @@
 //!   arenasweep        multi-arena shared-pool multiplexing (extension)
 //!   elasticity        elastic arena spawn/reap under a population ramp (extension)
 //!   crashsweep        response-rate retention vs injected crash rate (extension)
+//!   migratesweep      live migration recovering a skewed fleet (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -30,14 +31,14 @@
 
 use parquake_harness::figures::{
     arenasweep, batching, common::SweepOpts, crashsweep, delta, dynassign, elasticity, fig4, fig5,
-    fig6, fig7, losssweep, onepass, table1, waitstats,
+    fig6, fig7, losssweep, migratesweep, onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -95,6 +96,7 @@ fn main() {
         "arenasweep" => println!("{}", arenasweep::run(&opts)),
         "elasticity" => println!("{}", elasticity::run(&opts)),
         "crashsweep" => println!("{}", crashsweep::run(&opts)),
+        "migratesweep" => println!("{}", migratesweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -134,6 +136,7 @@ fn main() {
             println!("{}", arenasweep::run(&opts));
             println!("{}", elasticity::run(&opts));
             println!("{}", crashsweep::run(&opts));
+            println!("{}", migratesweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

@@ -68,7 +68,7 @@ fn main() {
             )
         });
         match run_udp_arena_clients(server, arenas, players, duration, windows) {
-            Ok((sent, received, avg_ms, per_arena, restarts)) => {
+            Ok((sent, received, avg_ms, per_arena, restarts, rehomed)) => {
                 println!(
                     "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
                 );
@@ -76,6 +76,7 @@ fn main() {
                     println!("udp_client: arena{k} — {n} replies");
                 }
                 println!("udp_client: restarts observed — {restarts}");
+                println!("udp_client: rehomings observed — {rehomed}");
             }
             Err(e) => {
                 eprintln!("udp_client: {e}");

@@ -6,6 +6,7 @@
 //!      [--fault-seed N] [--timeout-secs S]
 //!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
 //!      [--crash-rate P] [--crash-seed N]
+//!      [--migrate-spread N] [--migrate-drain]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
@@ -25,6 +26,11 @@
 //! a seeded per-frame panic lottery with probability P per arena
 //! frame; every crash is caught, the arena restored from its last
 //! checkpoint, and the supervisor's accounting printed at shutdown.
+//! `--migrate-spread N` (arena mode only) turns on cross-arena live
+//! migration: whenever the hottest live arena holds at least N more
+//! clients than the coldest open one, the director hands one slot off
+//! per tick. `--migrate-drain` additionally empties lingering elastic
+//! arenas slot by slot so the reaper finds them empty.
 
 use std::time::Duration;
 
@@ -39,6 +45,8 @@ fn main() {
     let mut linger = Duration::from_millis(500);
     let mut crash_rate = 0f32;
     let mut crash_seed = 0xC4A5_5EEDu64;
+    let mut migrate_spread = 0u32;
+    let mut migrate_drain = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -109,6 +117,11 @@ fn main() {
                 i += 1;
                 crash_seed = args[i].parse().expect("--crash-seed needs a number");
             }
+            "--migrate-spread" => {
+                i += 1;
+                migrate_spread = args[i].parse().expect("--migrate-spread needs a number");
+            }
+            "--migrate-drain" => migrate_drain = true,
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
@@ -125,6 +138,8 @@ fn main() {
             linger,
             crash_rate,
             crash_seed,
+            migrate_spread,
+            migrate_drain,
         );
         return;
     }
@@ -200,6 +215,8 @@ fn run_arena_mode(
     linger: Duration,
     crash_rate: f32,
     crash_seed: u64,
+    migrate_spread: u32,
+    migrate_drain: bool,
 ) {
     let opts = UdpArenaOpts {
         port: base.base_port,
@@ -214,6 +231,8 @@ fn run_arena_mode(
         linger,
         crash_rate,
         crash_seed,
+        migrate_spread,
+        migrate_drain,
         ..UdpArenaOpts::default()
     };
     println!(
@@ -236,6 +255,13 @@ fn run_arena_mode(
             "udpd: supervision on — crash lottery {:.2}%/frame, seed {:#x}",
             opts.crash_rate * 100.0,
             opts.crash_seed
+        );
+    }
+    if opts.migrate_spread > 0 || opts.migrate_drain {
+        println!(
+            "udpd: live migration on — spread threshold {}, drain-before-reap {}",
+            opts.migrate_spread,
+            if opts.migrate_drain { "on" } else { "off" }
         );
     }
     if !opts.fault.is_noop() {
@@ -334,11 +360,26 @@ fn run_arena_mode(
                     );
                 }
             }
+            if opts.migrate_spread > 0 || opts.migrate_drain {
+                let s = &report.supervisor;
+                println!(
+                    "udpd: migration — migrated {} slots ({} by drain), {} aborted, \
+                     {} hash mismatches",
+                    s.migrations, s.drain_migrations, s.migrate_aborted, s.migrate_hash_mismatch
+                );
+            }
+            if !report.lanes_missing_counters.is_empty() {
+                println!(
+                    "udpd: WARNING — lanes with absent director counters: {:?}",
+                    report.lanes_missing_counters
+                );
+            }
             let adm = &report.admission;
             let identity_closes = adm.placed == adm.departed + adm.resident;
             println!(
                 "udpd: population identity — placed {} == departed {} + resident {} — \
-                 accounting {} ({} connected, {} disconnected, {} reclaimed notices)",
+                 accounting {} ({} connected, {} disconnected, {} reclaimed, \
+                 {} migrated notices)",
                 adm.placed,
                 adm.departed,
                 adm.resident,
@@ -349,7 +390,8 @@ fn run_arena_mode(
                 },
                 adm.notice_connected,
                 adm.notice_disconnected,
-                adm.notice_reclaimed
+                adm.notice_reclaimed,
+                adm.notice_migrated
             );
             println!(
                 "udpd: overall accounting {}",

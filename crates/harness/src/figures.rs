@@ -12,6 +12,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod losssweep;
+pub mod migratesweep;
 pub mod onepass;
 pub mod table1;
 pub mod waitstats;

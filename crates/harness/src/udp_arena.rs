@@ -70,6 +70,13 @@ pub struct UdpArenaOpts {
     pub crash_rate: f32,
     /// Seed for the per-arena frame-fault lottery.
     pub crash_seed: u64,
+    /// Live-migration spread threshold: when the hottest live arena
+    /// holds at least this many more clients than the coldest open
+    /// one, the director migrates one slot per tick (0 = off).
+    pub migrate_spread: u32,
+    /// Drain-before-reap: migrate the last residents out of a
+    /// lingering elastic arena instead of waiting their sessions out.
+    pub migrate_drain: bool,
 }
 
 impl Default for UdpArenaOpts {
@@ -88,6 +95,8 @@ impl Default for UdpArenaOpts {
             linger: Duration::from_millis(500),
             crash_rate: 0.0,
             crash_seed: 0xC4A5_5EED,
+            migrate_spread: 0,
+            migrate_drain: false,
         }
     }
 }
@@ -157,6 +166,11 @@ pub struct UdpArenaReport {
     /// Per-arena traffic lanes (one per provisioned cell — an elastic
     /// gateway has lanes past the boot fleet).
     pub lanes: Vec<ArenaLane>,
+    /// Arena indices whose director-side counters were absent when the
+    /// lanes were built — a provisioned cell the admission tables never
+    /// heard of means the fleet views drifted, so the report refuses to
+    /// close rather than silently zero-filling the lane.
+    pub lanes_missing_counters: Vec<u16>,
     /// The director's routing counters.
     pub admission: AdmissionStats,
     /// Elastic spawn/reap accounting (fixed fleet ⇒ no events).
@@ -179,7 +193,73 @@ impl UdpArenaReport {
                 + delivered;
         let front =
             self.to_front == self.front_drained + self.front_queue_dropped + self.front_pending;
-        gateway && front && self.lanes.iter().all(|l| l.accounting_closed())
+        gateway
+            && front
+            && self.lanes_missing_counters.is_empty()
+            && self.lanes.iter().all(|l| l.accounting_closed())
+    }
+}
+
+/// Apply one outbound fabric payload to the gateway's placement book
+/// (client id → placed arena). Returns `Some(client_id)` when the
+/// payload is a server message the client must receive — forward it —
+/// and `None` for lifecycle notices and undecodable payloads, which
+/// are gateway-internal and never go on the wire.
+///
+/// The directory's lifecycle tap mirrors every slot-churn notice here,
+/// so placements learned from `ConnectAck`s are also *unlearned* when
+/// the server drops the session without a `Bye` the gateway sees
+/// (inactivity reclaims, direct disconnects) and *rebound* when a live
+/// migration moves the slot. Before this, a stale entry misrouted
+/// every subsequent `Move` to a world that no longer held the session.
+pub fn apply_outbound(placements: &mut HashMap<u32, u16>, payload: &[u8]) -> Option<u32> {
+    use parquake_server::LifecycleEvent;
+    match ServerMessage::from_bytes(payload) {
+        Ok(ServerMessage::ConnectAck {
+            client_id, arena, ..
+        }) => {
+            // The ack names the serving arena: from now on the inbound
+            // pump can route this client's moves without the director.
+            placements.insert(client_id, arena);
+            Some(client_id)
+        }
+        Ok(ServerMessage::Bye { client_id }) => {
+            // The session is over server-side: forget the placement so
+            // a reconnect re-admits instead of routing moves to a
+            // freed (possibly reaped) arena.
+            placements.remove(&client_id);
+            Some(client_id)
+        }
+        Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
+        Err(_) => {
+            match LifecycleEvent::from_bytes(payload) {
+                Ok(LifecycleEvent::Connected {
+                    arena, client_id, ..
+                }) => {
+                    placements.insert(client_id, arena);
+                }
+                Ok(LifecycleEvent::Disconnected { arena, client_id })
+                | Ok(LifecycleEvent::Reclaimed {
+                    arena, client_id, ..
+                }) => {
+                    // Evict only a booking *at that arena*: a late
+                    // notice from an old placement must not kill a
+                    // newer one elsewhere.
+                    if placements.get(&client_id) == Some(&arena) {
+                        placements.remove(&client_id);
+                    }
+                }
+                Ok(LifecycleEvent::Migrated {
+                    to_arena,
+                    client_id,
+                    ..
+                }) => {
+                    placements.insert(client_id, to_arena);
+                }
+                Ok(LifecycleEvent::Rejected { .. }) | Err(_) => {}
+            }
+            None
+        }
     }
 }
 
@@ -190,6 +270,11 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 
     let (real, fabric) = RealFabric::new_arc_pair();
     let end_time: Nanos = opts.duration.as_nanos() as Nanos;
+    // One gateway fabric port carries every arena's replies out — and,
+    // via the directory's lifecycle tap, every slot-churn notice, so
+    // the placement book below tracks server-side evictions and
+    // migrations the client never hears about directly.
+    let gw = fabric.alloc_port();
     let mut server = ServerConfig::new(ServerKind::Sequential, end_time);
     server.client_timeout_ns = opts.client_timeout.as_nanos() as Nanos;
     let dir_cfg = ArenaDirectoryConfig {
@@ -206,6 +291,9 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
             seed: opts.crash_seed,
             ..FaultConfig::none()
         }),
+        migrate_spread: opts.migrate_spread,
+        migrate_drain: opts.migrate_drain,
+        lifecycle_tap: Some(gw),
         ..ArenaDirectoryConfig::new(opts.arenas, opts.slots_per_arena, server)
     };
     let handle = spawn_directory(&fabric, dir_cfg);
@@ -215,8 +303,6 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 
     let sock = UdpSocket::bind(("127.0.0.1", opts.port))?;
     sock.set_read_timeout(Some(Duration::from_millis(10)))?;
-    // One gateway fabric port carries every arena's replies out.
-    let gw = fabric.alloc_port();
 
     let addrs: Arc<Mutex<HashMap<u32, AddrEntry>>> = Arc::new(Mutex::new(HashMap::new()));
     // client id → placed arena, learned from outbound ConnectAcks.
@@ -263,26 +349,9 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                         break;
                     }
                     while let Some(msg) = ctx.try_recv(gw) {
-                        let client = match ServerMessage::from_bytes(&msg.payload) {
-                            Ok(ServerMessage::ConnectAck {
-                                client_id, arena, ..
-                            }) => {
-                                // The ack names the serving arena: from
-                                // now on the inbound pump can route this
-                                // client's moves without the director.
-                                placements.lock().unwrap().insert(client_id, arena); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
-                                Some(client_id)
-                            }
-                            Ok(ServerMessage::Bye { client_id }) => {
-                                // The session is over server-side:
-                                // forget the placement so a reconnect
-                                // re-admits instead of routing moves to
-                                // a freed (possibly reaped) arena.
-                                placements.lock().unwrap().remove(&client_id); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
-                                Some(client_id)
-                            }
-                            Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
-                            Err(_) => None,
+                        let client = {
+                            let mut book = placements.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
+                            apply_outbound(&mut book, &msg.payload)
                         };
                         let Some(cid) = client else { continue };
                         let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
@@ -437,19 +506,39 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
     let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let mut lanes = Vec::with_capacity(cells);
+    let mut lanes_missing_counters: Vec<u16> = Vec::new();
     for k in 0..cells {
         let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
         let m = r.merged();
         let port = handle.arena_ports[k][0];
+        // A provisioned cell absent from the director's tables is a
+        // drifted fleet view, not quiet traffic: record it so the
+        // report refuses to close, instead of zero-filling silently.
+        let director_forwarded = match admission.forwarded_per_arena.get(k) {
+            Some(&v) => v,
+            None => {
+                lanes_missing_counters.push(k as u16);
+                0
+            }
+        };
+        let admitted = match admission.per_arena.get(k) {
+            Some(&v) => v,
+            None => {
+                if lanes_missing_counters.last() != Some(&(k as u16)) {
+                    lanes_missing_counters.push(k as u16);
+                }
+                0
+            }
+        };
         lanes.push(ArenaLane {
             pump_forwarded: c.to_arena[k],
-            director_forwarded: admission.forwarded_per_arena.get(k).copied().unwrap_or(0),
+            director_forwarded,
             processed: m.datagrams,
             queue_dropped: fabric.port_dropped(port),
             pending_at_shutdown: fabric.port_pending(port) as u64,
             replies: m.replies,
             frames: r.frame_count,
-            admitted: admission.per_arena.get(k).copied().unwrap_or(0),
+            admitted,
         });
     }
     let (datagrams_out, replies_unroutable) = *out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
@@ -469,6 +558,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
         datagrams_out,
         replies_unroutable,
         lanes,
+        lanes_missing_counters,
         admission,
         elastic,
         supervisor,
@@ -481,16 +571,18 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 /// up window and leaves (with a `Disconnect`) staggered over the down
 /// window — the load shape that exercises an elastic gateway. Returns
 /// (sent, received, avg latency ms, per-arena received,
-/// restarts observed) — an unsolicited `ConnectAck` arriving while a
-/// client is already acked is the signature of a supervised arena
-/// restored from checkpoint re-announcing its slots.
+/// restarts observed, rehomings observed) — an unsolicited
+/// `ConnectAck` arriving while a client is already acked is either a
+/// supervised arena restored from checkpoint re-announcing its slots
+/// (same arena: a restart) or a live migration's destination claiming
+/// the session (different arena: a rehoming).
 pub fn run_udp_arena_clients(
     server: SocketAddr,
     arenas: u32,
     players: u32,
     duration: Duration,
     ramp: Option<(Duration, Duration, Duration)>,
-) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64)> {
+) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64, u64)> {
     use parquake_protocol::Encode;
 
     const RETRY_MIN: Duration = Duration::from_millis(100);
@@ -525,6 +617,7 @@ pub fn run_udp_arena_clients(
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut restarts_observed = 0u64;
+    let mut rehomed_observed = 0u64;
     let mut per_arena = vec![0u64; arenas as usize];
     let mut latency_sum = 0f64;
     let mut buf = [0u8; MAX_DATAGRAM];
@@ -558,9 +651,14 @@ pub fn run_udp_arena_clients(
             let msg = if !acked[i] {
                 next_at[i] = now + backoff[i];
                 backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
+                // Reconnect to the arena the last ack *placed* us in,
+                // not the `i % arenas` initial guess: after a crash
+                // restore or migration the session is sticky to the
+                // learned arena, and asking for the original spread
+                // would split it across worlds.
                 ClientMessage::Connect {
                     client_id: i as u32,
-                    arena: (i as u32 % arenas) as u16,
+                    arena: placed[i],
                 }
             } else {
                 seq[i] += 1;
@@ -597,8 +695,14 @@ pub fn run_udp_arena_clients(
                         } else if !left[i] {
                             // Already connected and not retrying: this
                             // ack is unsolicited — a restored arena
-                            // re-announcing the slot after recovery.
-                            restarts_observed += 1;
+                            // re-announcing the slot after recovery,
+                            // or a migration destination claiming the
+                            // session from its new world.
+                            if placed[i] != arena {
+                                rehomed_observed += 1;
+                            } else {
+                                restarts_observed += 1;
+                            }
                         }
                         placed[i] = arena;
                         backoff[i] = RETRY_MIN;
@@ -645,7 +749,14 @@ pub fn run_udp_arena_clients(
     } else {
         0.0
     };
-    Ok((sent, received, avg, per_arena, restarts_observed))
+    Ok((
+        sent,
+        received,
+        avg,
+        per_arena,
+        restarts_observed,
+        rehomed_observed,
+    ))
 }
 
 #[cfg(test)]
@@ -670,6 +781,93 @@ mod tests {
         // One datagram reaches the queue but never gets a fate: open.
         lane.director_forwarded += 1;
         assert!(!lane.accounting_closed(), "{lane:?}");
+    }
+
+    #[test]
+    fn outbound_notices_evict_and_rebind_placements() {
+        use parquake_protocol::Encode;
+        use parquake_server::LifecycleEvent;
+
+        let mut book: HashMap<u32, u16> = HashMap::new();
+        let ack = |cid: u32, arena: u16| {
+            ServerMessage::ConnectAck {
+                client_id: cid,
+                spawn: parquake_math::Vec3::ZERO,
+                arena,
+            }
+            .to_bytes()
+        };
+
+        // ConnectAck installs the placement and is forwarded.
+        assert_eq!(apply_outbound(&mut book, &ack(7, 1)), Some(7));
+        assert_eq!(book.get(&7), Some(&1));
+
+        // A Reclaimed notice from the placed arena evicts the entry
+        // (the pre-fix book kept it and misrouted every later Move to
+        // the world that had already dropped the session); notices are
+        // never forwarded to the client.
+        let reclaim = LifecycleEvent::Reclaimed {
+            arena: 1,
+            client_id: 7,
+            at: 123,
+        };
+        assert_eq!(apply_outbound(&mut book, &reclaim.to_bytes()), None);
+        assert!(!book.contains_key(&7));
+
+        // A *late* notice from an old placement must not kill a newer
+        // booking elsewhere.
+        assert_eq!(apply_outbound(&mut book, &ack(7, 2)), Some(7));
+        let stale = LifecycleEvent::Disconnected {
+            arena: 1,
+            client_id: 7,
+        };
+        assert_eq!(apply_outbound(&mut book, &stale.to_bytes()), None);
+        assert_eq!(
+            book.get(&7),
+            Some(&2),
+            "late notice evicted a fresh booking"
+        );
+
+        // A Migrated notice rebinds to the destination arena.
+        let mig = LifecycleEvent::Migrated {
+            from_arena: 2,
+            to_arena: 0,
+            client_id: 7,
+            thread: 0,
+        };
+        assert_eq!(apply_outbound(&mut book, &mig.to_bytes()), None);
+        assert_eq!(book.get(&7), Some(&0), "Migrated notice did not rebind");
+
+        // A Connected notice (direct-at-arena join the front door
+        // never saw) installs; Bye forwards and evicts.
+        let joined = LifecycleEvent::Connected {
+            arena: 3,
+            client_id: 8,
+            thread: 1,
+        };
+        assert_eq!(apply_outbound(&mut book, &joined.to_bytes()), None);
+        assert_eq!(book.get(&8), Some(&3));
+        let bye = ServerMessage::Bye { client_id: 8 }.to_bytes();
+        assert_eq!(apply_outbound(&mut book, &bye), Some(8));
+        assert!(!book.contains_key(&8));
+
+        // Garbage decodes to neither family: ignored, book untouched.
+        assert_eq!(apply_outbound(&mut book, &[0xFF, 1, 2, 3]), None);
+        assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    fn missing_lane_counters_keep_the_report_open() {
+        let mut r = UdpArenaReport {
+            lanes: vec![balanced_lane()],
+            ..UdpArenaReport::default()
+        };
+        assert!(r.accounting_closed(), "{r:?}");
+        // The same balanced books with a lane whose director-side
+        // counters were absent must refuse to close: zero-filling the
+        // row would fake a closed identity over a drifted fleet view.
+        r.lanes_missing_counters.push(0);
+        assert!(!r.accounting_closed(), "{r:?}");
     }
 
     #[test]

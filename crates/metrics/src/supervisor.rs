@@ -17,6 +17,8 @@ pub enum SupervisorEventKind {
     Stuck,
     /// The arena was restored from a checkpoint and is live again.
     Restored,
+    /// A live slot was handed off to another arena (rebalance/drain).
+    Migrated,
 }
 
 /// One entry of the supervision history.
@@ -53,6 +55,21 @@ pub struct SupervisorStats {
     pub recovery_latency_ns_max: Nanos,
     /// Clients the ledger replay re-booked after a restore.
     pub replayed_placements: u64,
+    /// Restored slots wiped because the ledger showed the client had
+    /// migrated away after the checkpoint was taken (the checkpoint is
+    /// older than the handoff; the book wins).
+    pub stale_restored_slots: u64,
+    /// Completed cross-arena slot handoffs.
+    pub migrations: u64,
+    /// Of `migrations`, handoffs triggered by the drain-before-reap
+    /// path (emptying a lingering arena) rather than spread rebalance.
+    pub drain_migrations: u64,
+    /// Handoffs abandoned before any mutation (fence contention, no
+    /// free target slot, capsule validation failure).
+    pub migrate_aborted: u64,
+    /// Handoffs whose landed capsule hashed differently from the
+    /// source pre-fence state. Always 0 unless the codec is broken.
+    pub migrate_hash_mismatch: u64,
     /// Chronological fault/recovery history.
     pub events: Vec<SupervisorEvent>,
 }
@@ -96,6 +113,11 @@ impl SupervisorStats {
         self.recovery_latency_ns_sum += o.recovery_latency_ns_sum;
         self.recovery_latency_ns_max = self.recovery_latency_ns_max.max(o.recovery_latency_ns_max);
         self.replayed_placements += o.replayed_placements;
+        self.stale_restored_slots += o.stale_restored_slots;
+        self.migrations += o.migrations;
+        self.drain_migrations += o.drain_migrations;
+        self.migrate_aborted += o.migrate_aborted;
+        self.migrate_hash_mismatch += o.migrate_hash_mismatch;
         self.events.extend(o.events.iter().copied());
         self.events.sort_by_key(|e| e.at);
     }
@@ -132,6 +154,11 @@ mod tests {
             shed_frames: 7,
             coalesced_moves: 12,
             replayed_placements: 3,
+            stale_restored_slots: 1,
+            migrations: 4,
+            drain_migrations: 2,
+            migrate_aborted: 1,
+            migrate_hash_mismatch: 0,
             ..SupervisorStats::new()
         };
         b.events.push(SupervisorEvent {
@@ -139,12 +166,22 @@ mod tests {
             arena: 1,
             kind: SupervisorEventKind::Panicked,
         });
+        b.events.push(SupervisorEvent {
+            at: 70,
+            arena: 0,
+            kind: SupervisorEventKind::Migrated,
+        });
         a.merge(&b);
         assert_eq!(a.panics_caught, 3);
         assert_eq!(a.stuck_detected, 1);
         assert_eq!(a.shed_frames, 7);
         assert_eq!(a.coalesced_moves, 12);
         assert_eq!(a.replayed_placements, 3);
+        assert_eq!(a.stale_restored_slots, 1);
+        assert_eq!(a.migrations, 4);
+        assert_eq!(a.drain_migrations, 2);
+        assert_eq!(a.migrate_aborted, 1);
+        assert_eq!(a.events.last().unwrap().kind, SupervisorEventKind::Migrated);
         assert_eq!(a.events[0].at, 10, "events re-sorted by time");
         assert_eq!(a.events[1].kind, SupervisorEventKind::Restored);
     }

@@ -16,7 +16,7 @@
 //!
 //! * **1–3** — client → server game messages.
 //! * **100–102** — server → client game messages.
-//! * **200–203** — arena → directory lifecycle notices
+//! * **200–204** — arena → directory lifecycle notices
 //!   ([`crate::types::ClientMessage`] tags live far from these so a
 //!   misdelivered datagram decodes to a clean `BadTag` instead of a
 //!   plausible message).
@@ -46,6 +46,8 @@ pub const TAG_DISCONNECTED: u8 = 201;
 pub const TAG_RECLAIMED: u8 = 202;
 /// Lifecycle: a `Connect` found the home block full.
 pub const TAG_REJECTED: u8 = 203;
+/// Lifecycle: the director moved a live slot to another arena.
+pub const TAG_MIGRATED: u8 = 204;
 
 /// Tag byte opening the optional arena-id extension that may trail a
 /// `Connect` or `ConnectAck`. The extension is `[ARENA_EXT_TAG, arena:
@@ -71,6 +73,7 @@ mod tests {
             ("TAG_DISCONNECTED", TAG_DISCONNECTED),
             ("TAG_RECLAIMED", TAG_RECLAIMED),
             ("TAG_REJECTED", TAG_REJECTED),
+            ("TAG_MIGRATED", TAG_MIGRATED),
             ("ARENA_EXT_TAG", ARENA_EXT_TAG),
         ];
         for (i, (na, a)) in tags.iter().enumerate() {
@@ -90,7 +93,13 @@ mod tests {
         for server in [TAG_ACK, TAG_REPLY, TAG_BYE] {
             assert!((100..200).contains(&server));
         }
-        for lifecycle in [TAG_CONNECTED, TAG_DISCONNECTED, TAG_RECLAIMED, TAG_REJECTED] {
+        for lifecycle in [
+            TAG_CONNECTED,
+            TAG_DISCONNECTED,
+            TAG_RECLAIMED,
+            TAG_REJECTED,
+            TAG_MIGRATED,
+        ] {
             assert!(lifecycle >= 200);
         }
     }

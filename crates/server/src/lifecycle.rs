@@ -16,6 +16,10 @@
 //!   silent client (a `Bye` was sent).
 //! * [`LifecycleEvent::Rejected`] — a `Connect` found the thread's home
 //!   block full and was turned away.
+//! * [`LifecycleEvent::Migrated`] — the director moved a live slot to
+//!   another arena (emitted by the directory itself, not a server
+//!   thread, so downstream listeners — the UDP gateway's placement
+//!   book, tests — learn about rehoming through the same channel).
 //!
 //! Notices are fire-and-forget and cost-free (they model an in-process
 //! queue, not network traffic), so enabling them cannot perturb the
@@ -26,12 +30,14 @@ use parquake_fabric::Nanos;
 use parquake_protocol::codec::{
     get_u16, get_u32, get_u64, get_u8, put_u16, put_u32, put_u64, put_u8,
 };
-use parquake_protocol::tags::{TAG_CONNECTED, TAG_DISCONNECTED, TAG_RECLAIMED, TAG_REJECTED};
+use parquake_protocol::tags::{
+    TAG_CONNECTED, TAG_DISCONNECTED, TAG_MIGRATED, TAG_RECLAIMED, TAG_REJECTED,
+};
 use parquake_protocol::{CodecError, Decode, Encode};
 
 /// One population-changing event inside an arena runtime.
 ///
-/// Tags 200–203 (declared in the central wire-tag registry,
+/// Tags 200–204 (declared in the central wire-tag registry,
 /// [`parquake_protocol::tags`]) live far from the client (1–3) and
 /// server (100–102) message tags, so a misdelivered datagram decodes
 /// to a clean `BadTag` instead of a plausible message.
@@ -56,16 +62,27 @@ pub enum LifecycleEvent {
     },
     /// A `Connect` was refused because the home block was full.
     Rejected { arena: u16, client_id: u32 },
+    /// The director rehomed a live slot from `from_arena` to
+    /// `to_arena` (cross-arena live migration).
+    Migrated {
+        from_arena: u16,
+        to_arena: u16,
+        client_id: u32,
+        /// Server thread owning the slot at the destination.
+        thread: u16,
+    },
 }
 
 impl LifecycleEvent {
-    /// The arena the event happened in.
+    /// The arena the event happened in — for a migration, the arena
+    /// the client now lives in (the destination).
     pub fn arena(&self) -> u16 {
         match self {
             LifecycleEvent::Connected { arena, .. }
             | LifecycleEvent::Disconnected { arena, .. }
             | LifecycleEvent::Reclaimed { arena, .. }
             | LifecycleEvent::Rejected { arena, .. } => *arena,
+            LifecycleEvent::Migrated { to_arena, .. } => *to_arena,
         }
     }
 
@@ -75,7 +92,8 @@ impl LifecycleEvent {
             LifecycleEvent::Connected { client_id, .. }
             | LifecycleEvent::Disconnected { client_id, .. }
             | LifecycleEvent::Reclaimed { client_id, .. }
-            | LifecycleEvent::Rejected { client_id, .. } => *client_id,
+            | LifecycleEvent::Rejected { client_id, .. }
+            | LifecycleEvent::Migrated { client_id, .. } => *client_id,
         }
     }
 }
@@ -113,6 +131,18 @@ impl Encode for LifecycleEvent {
                 put_u16(out, *arena);
                 put_u32(out, *client_id);
             }
+            LifecycleEvent::Migrated {
+                from_arena,
+                to_arena,
+                client_id,
+                thread,
+            } => {
+                put_u8(out, TAG_MIGRATED);
+                put_u16(out, *from_arena);
+                put_u16(out, *to_arena);
+                put_u32(out, *client_id);
+                put_u16(out, *thread);
+            }
         }
     }
 }
@@ -137,6 +167,12 @@ impl Decode for LifecycleEvent {
             TAG_REJECTED => Ok(LifecycleEvent::Rejected {
                 arena: get_u16(buf)?,
                 client_id: get_u32(buf)?,
+            }),
+            TAG_MIGRATED => Ok(LifecycleEvent::Migrated {
+                from_arena: get_u16(buf)?,
+                to_arena: get_u16(buf)?,
+                client_id: get_u32(buf)?,
+                thread: get_u16(buf)?,
             }),
             t => Err(CodecError::BadTag("lifecycle event", t)),
         }
@@ -167,6 +203,12 @@ mod tests {
             LifecycleEvent::Rejected {
                 arena: 1,
                 client_id: 42,
+            },
+            LifecycleEvent::Migrated {
+                from_arena: 2,
+                to_arena: 0,
+                client_id: 9_001,
+                thread: 1,
             },
         ];
         for ev in events {

@@ -25,6 +25,11 @@ use crate::world::GameWorld;
 /// Codec magic ("PQW" + version). Bump the last byte on layout change.
 const MAGIC: u32 = 0x50_51_57_01;
 
+/// Magic for a single-player transfer capsule ("PQP" + version) —
+/// deliberately distinct from [`MAGIC`] so a whole-world checkpoint can
+/// never be mistaken for one migrating player or vice versa.
+const PLAYER_MAGIC: u32 = 0x50_51_50_01;
+
 /// Append-only little-endian writer.
 struct Enc {
     buf: Vec<u8>,
@@ -285,6 +290,108 @@ impl GameWorld {
         }
         Ok(())
     }
+
+    /// Serialize the single player entity in slot `idx` into a transfer
+    /// capsule for cross-arena migration. Single-threaded contexts only
+    /// (the migration path holds both arenas' pool claims). The slot
+    /// must hold an active player.
+    pub fn snapshot_player_bytes(&self, idx: u16) -> Result<Vec<u8>, String> {
+        if idx >= self.max_players() {
+            return Err(format!("slot {idx} is not a player slot"));
+        }
+        let e = self.store.snapshot(self.player_slot(idx));
+        if !e.active {
+            return Err(format!("player slot {idx} is inactive"));
+        }
+        if !matches!(e.class, EntityClass::Player { .. }) {
+            return Err(format!("slot {idx} does not hold a player entity"));
+        }
+        let mut enc = Enc {
+            buf: Vec::with_capacity(4 + 96),
+        };
+        enc.u32(PLAYER_MAGIC);
+        encode_entity(&e, &mut enc);
+        Ok(enc.buf)
+    }
+
+    /// Install a migrated player capsule into slot `idx` of this world.
+    /// The capsule's entity id is rewritten to the target slot — a
+    /// migration may land in a different slot index than it left — and
+    /// the entity is linked at its serialized areanode (worlds in one
+    /// directory share map and tree shape, exactly the cross-world
+    /// restore contract of [`GameWorld::restore_bytes`]). On error the
+    /// world is left unchanged (all validation happens before any
+    /// mutation, including rejecting an occupied target slot).
+    pub fn restore_player_bytes(&self, idx: u16, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Dec { buf: bytes, at: 0 };
+        let magic = dec.u32()?;
+        if magic != PLAYER_MAGIC {
+            return Err(format!("bad player capsule magic {magic:#010x}"));
+        }
+        let e = decode_entity(&mut dec)?;
+        if dec.at != bytes.len() {
+            return Err(format!(
+                "player capsule has {} trailing bytes",
+                bytes.len() - dec.at
+            ));
+        }
+        if !matches!(e.class, EntityClass::Player { .. }) {
+            return Err("player capsule does not hold a player entity".into());
+        }
+        if !e.active {
+            return Err("player capsule holds an inactive entity".into());
+        }
+        if idx >= self.max_players() {
+            return Err(format!("slot {idx} is not a player slot"));
+        }
+        let id = self.player_slot(idx);
+        let cur = self.store.snapshot(id);
+        if cur.active {
+            return Err(format!("target player slot {idx} is occupied"));
+        }
+        if e.linked && e.linked_node >= self.tree.node_count() as u32 {
+            return Err(format!(
+                "player capsule links node {} beyond this world's tree",
+                e.linked_node
+            ));
+        }
+        // Validation done — mutate. The target slot is inactive, and
+        // despawn always unlinks, but unlink defensively anyway so a
+        // stale link can never be duplicated.
+        if cur.linked {
+            self.links.remove(cur.linked_node, 0, id as u32);
+        }
+        let linked = e.linked;
+        let node = e.linked_node;
+        self.store.init(id, Entity { id, ..e });
+        if linked {
+            self.links.push(node, 0, id as u32);
+        }
+        Ok(())
+    }
+
+    /// Slot-index-independent hash of one player entity: the FNV mix of
+    /// its encoded bytes with the id field zeroed, so a capsule that
+    /// lands in a different slot of the target world still proves
+    /// byte-identical transfer. Inactive slots hash to 0.
+    pub fn player_hash(&self, idx: u16) -> u64 {
+        let e = self.store.snapshot(self.player_slot(idx));
+        if !e.active {
+            return 0;
+        }
+        let mut enc = Enc {
+            buf: Vec::with_capacity(96),
+        };
+        encode_entity(&e, &mut enc);
+        enc.buf[0] = 0;
+        enc.buf[1] = 0;
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in enc.buf {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +504,88 @@ mod tests {
         b.restore_bytes(&a.snapshot_bytes()).unwrap();
         assert_eq!(b.world_hash(), a.world_hash());
         b.audit_links().unwrap();
+    }
+
+    #[test]
+    fn player_capsule_crosses_worlds_hash_identical() {
+        let a = world(8);
+        let b = world(8);
+        let mut rng = Pcg32::seeded(46);
+        churn(&a, 23, &mut rng);
+        // Find an active player to migrate.
+        let src = (0..8u16)
+            .find(|&i| a.store.snapshot(i).active)
+            .expect("churn left an active player");
+        let pre = a.player_hash(src);
+        let capsule = a.snapshot_player_bytes(src).unwrap();
+        // Land it in a *different* slot index of the target world.
+        let dst = if src == 5 { 6 } else { 5 };
+        b.restore_player_bytes(dst, &capsule).unwrap();
+        assert_eq!(b.player_hash(dst), pre, "capsule transfer not identical");
+        // The source is untouched; despawning it afterwards mirrors the
+        // migration handoff order (restore target, then clear source).
+        assert_eq!(a.player_hash(src), pre);
+        a.despawn_player(src);
+        assert_eq!(a.player_hash(src), 0);
+        a.audit_links().unwrap();
+        b.audit_links().unwrap();
+    }
+
+    #[test]
+    fn player_capsule_rejects_garbage_without_mutating() {
+        let w = world(4);
+        let mut rng = Pcg32::seeded(47);
+        churn(&w, 9, &mut rng);
+        let src = (0..4u16)
+            .find(|&i| w.store.snapshot(i).active)
+            .expect("active player");
+        let dst = (0..4u16)
+            .find(|&i| !w.store.snapshot(i).active)
+            .expect("empty slot");
+        let hash = w.world_hash();
+        let capsule = w.snapshot_player_bytes(src).unwrap();
+
+        assert!(w.restore_player_bytes(dst, &[9, 9, 9]).is_err());
+        let mut bad_magic = capsule.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(w.restore_player_bytes(dst, &bad_magic).is_err());
+        let mut truncated = capsule.clone();
+        truncated.truncate(truncated.len() - 3);
+        assert!(w.restore_player_bytes(dst, &truncated).is_err());
+        let mut trailing = capsule.clone();
+        trailing.push(0);
+        assert!(w.restore_player_bytes(dst, &trailing).is_err());
+        // A whole-world checkpoint is not a player capsule.
+        assert!(w.restore_player_bytes(dst, &w.snapshot_bytes()).is_err());
+        // An occupied target slot refuses the landing.
+        assert!(w.restore_player_bytes(src, &capsule).is_err());
+        // Snapshotting a non-player or empty slot refuses too.
+        assert!(w.snapshot_player_bytes(dst).is_err());
+        assert!(w.snapshot_player_bytes(4_000).is_err());
+
+        assert_eq!(w.world_hash(), hash, "failed restore mutated the world");
+        w.audit_links().unwrap();
+    }
+
+    #[test]
+    fn player_hash_ignores_the_slot_index() {
+        let w = world(8);
+        let mut rng = Pcg32::seeded(48);
+        // Two players spawned with the same client id and forced to the
+        // same state hash identically despite different slot indices.
+        w.spawn_player(1, 500, &mut rng);
+        w.spawn_player(6, 500, &mut rng);
+        for idx in [1u16, 6] {
+            w.store.with_mut(idx, 0, |e| {
+                e.pos = vec3(10.0, 20.0, 30.0);
+                e.yaw = 90.0;
+            });
+            w.relink_unlocked(idx);
+        }
+        assert_eq!(w.player_hash(1), w.player_hash(6));
+        assert_ne!(w.player_hash(1), 0);
+        // Inactive slots hash to the sentinel.
+        assert_eq!(w.player_hash(3), 0);
     }
 
     #[test]
