@@ -8,6 +8,25 @@
 //! goes back to the same arena, so lost acks never split a session
 //! across worlds.
 
+/// A migration the director has picked but not yet (fully) executed:
+/// up to `batch` residents of `src` will move to `dst` over the next
+/// fence ticks. Admission consults this so new placements aim at where
+/// the population is *heading*, not where it was — otherwise a
+/// least-loaded front door keeps refilling the arena the rebalancer is
+/// emptying and the two fight forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Arena being migrated off.
+    pub src: usize,
+    /// Landing arena.
+    pub dst: usize,
+    /// Slots the next fences intend to move.
+    pub batch: u32,
+    /// True when the source is being drained for reaping: it must not
+    /// receive new placements at all, whatever its predicted occupancy.
+    pub drain: bool,
+}
+
 /// How the directory places new clients.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdmissionPolicy {
@@ -57,6 +76,41 @@ impl AdmissionPolicy {
                 }
             }
         }
+    }
+
+    /// [`Self::place`] with the in-flight migration plan factored in.
+    /// Only `LeastLoaded` scores by occupancy, so only it predicts:
+    /// a spread plan shifts `batch` residents from `src` to `dst` in
+    /// the predicted occupancy vector, and a drain plan closes the
+    /// source outright (an arena being emptied for reaping must not be
+    /// refilled). `FillFirst` and `Explicit` place by index/request,
+    /// not load, and are unchanged — a drain source is still closed
+    /// for them, since placing into it directly undoes the drain.
+    pub fn place_predicted(
+        &self,
+        requested: u16,
+        occupancy: &[u32],
+        capacity: u32,
+        live: &[bool],
+        plan: Option<&MigrationPlan>,
+    ) -> Option<usize> {
+        let Some(plan) = plan else {
+            return self.place(requested, occupancy, capacity, live);
+        };
+        let mut predicted = occupancy.to_vec();
+        let mut live_adj = live.to_vec();
+        if matches!(self, AdmissionPolicy::LeastLoaded) {
+            let moved = plan
+                .batch
+                .min(predicted[plan.src])
+                .min(capacity.saturating_sub(predicted[plan.dst]));
+            predicted[plan.src] -= moved;
+            predicted[plan.dst] += moved;
+        }
+        if plan.drain && plan.src < live_adj.len() {
+            live_adj[plan.src] = false;
+        }
+        self.place(requested, &predicted, capacity, &live_adj)
     }
 
     /// Choose a landing arena for a *live* slot being migrated off
@@ -246,6 +300,68 @@ mod tests {
         assert_eq!(
             AdmissionPolicy::Explicit.rebalance_target(0, &[6, 2, 4], 8, LIVE3),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn predicted_placement_sees_through_a_spread_plan() {
+        let p = AdmissionPolicy::LeastLoaded;
+        // Skewed fleet, rebalancer mid-flight: 5 residents are about to
+        // leave arena 0 for arena 1. Raw occupancy [16, 6] would send
+        // the connect to arena 1 — straight into the migration's
+        // landing zone. Predicted occupancy [11, 11] breaks the tie at
+        // the lower index instead.
+        let plan = MigrationPlan {
+            src: 0,
+            dst: 1,
+            batch: 5,
+            drain: false,
+        };
+        let live = &[true, true];
+        assert_eq!(p.place(0, &[16, 6], 32, live), Some(1));
+        assert_eq!(
+            p.place_predicted(0, &[16, 6], 32, live, Some(&plan)),
+            Some(0)
+        );
+        // No plan ⇒ identical to plain placement.
+        assert_eq!(p.place_predicted(0, &[16, 6], 32, live, None), Some(1));
+        // The predicted shift is clamped by the destination's room and
+        // the source's population.
+        let big = MigrationPlan {
+            src: 0,
+            dst: 1,
+            batch: 99,
+            drain: false,
+        };
+        assert_eq!(
+            p.place_predicted(0, &[3, 30], 32, live, Some(&big)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn a_draining_arena_is_closed_to_admission() {
+        let plan = MigrationPlan {
+            src: 1,
+            dst: 2,
+            batch: 8,
+            drain: true,
+        };
+        // Arena 1 is the emptiest, but it is being drained for reaping:
+        // every policy must refuse to refill it.
+        for p in [
+            AdmissionPolicy::LeastLoaded,
+            AdmissionPolicy::FillFirst,
+            AdmissionPolicy::Explicit,
+        ] {
+            let k = p.place_predicted(1, &[4, 1, 6], 8, LIVE3, Some(&plan));
+            assert_ne!(k, Some(1), "{p:?} refilled the draining arena");
+        }
+        // Drain everywhere-full still refuses rather than reopening
+        // the source.
+        assert_eq!(
+            AdmissionPolicy::LeastLoaded.place_predicted(0, &[8, 1, 8], 8, LIVE3, Some(&plan)),
+            None
         );
     }
 

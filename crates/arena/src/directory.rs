@@ -58,6 +58,7 @@ use std::sync::{Arc, Mutex, Once, PoisonError};
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::fault::{FaultConfig, FrameFault, FrameLottery};
 use parquake_fabric::{CondId, Fabric, LockId, Nanos, PortId, TaskCtx};
+use parquake_interest::InterestStats;
 use parquake_metrics::{
     Bucket, ElasticEvent, ElasticEventKind, ElasticStats, FrameSample, FrameStats, LockClass,
     SupervisorStats, ThreadStats, Timeline,
@@ -617,8 +618,18 @@ fn place_fresh(
 
 impl Director {
     fn policy_place(&self, env: &DirectorEnv, requested: u16) -> Option<usize> {
-        env.policy
-            .place(requested, self.ledger.occupancy(), env.capacity, &self.live)
+        // Score against where the rebalancer is about to move the
+        // population, not where it was — otherwise admission refills
+        // the arena the next fence is emptying (see
+        // [`crate::admission::MigrationPlan`]).
+        let plan = crate::migrate::planned(env, self);
+        env.policy.place_predicted(
+            requested,
+            self.ledger.occupancy(),
+            env.capacity,
+            &self.live,
+            plan.as_ref(),
+        )
     }
 }
 
@@ -774,6 +785,7 @@ fn elastic_reap(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
             r.timeline = f.timeline.clone();
             r.frame_count = f.frame_no as u64;
             r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
+            r.interest = f.interest.clone();
         }
         parts.pool.exit(ctx);
         d.live[k] = false;
@@ -809,6 +821,7 @@ pub(crate) struct ArenaFrame {
     pub(crate) stats: ThreadStats,
     frames: FrameStats,
     timeline: Timeline,
+    interest: InterestStats,
     pub(crate) frame_no: u32,
 }
 
@@ -1029,6 +1042,7 @@ fn spawn_pool(
                 stats: ThreadStats::new(),
                 frames: FrameStats::new(),
                 timeline: Timeline::default(),
+                interest: InterestStats::default(),
                 frame_no: 0,
             }),
             guard: UnsafeCell::new(ArenaGuard {
@@ -1179,6 +1193,7 @@ fn pool_worker(
             r.timeline = f.timeline.clone();
             r.frame_count = f.frame_no as u64;
             r.leaf_count = cell.shared.world.tree.leaf_count() as u64;
+            r.interest = f.interest.clone();
         }
         let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner); // lockcheck: allow(raw-sync: host-side pool report, last worker publishes alone)
         rep.frames_by_worker = st.frames_by_worker.clone();
@@ -1394,6 +1409,10 @@ fn run_arena_frame_body(ctx: &TaskCtx, cell: &ArenaCell, shed: Option<&mut u64>)
     let t0 = ctx.now();
     let global = shared.read_global_events(ctx, &mut f.stats);
     let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
+    let index = shared.build_interest_index(ctx, &mut f.interest);
+    let iframe = index
+        .as_ref()
+        .map(|ix| shared.match_interest(ctx, &all_slots, ix, &mut f.interest));
     shared.reply_for_slots(
         ctx,
         port,
@@ -1402,6 +1421,8 @@ fn run_arena_frame_body(ctx: &TaskCtx, cell: &ArenaCell, shed: Option<&mut u64>)
         f.frame_no,
         &mut f.stats,
         true,
+        iframe.as_ref(),
+        &mut f.interest,
     );
     shared.clear_global_events(ctx, &mut f.stats);
     f.stats.breakdown.add(Bucket::Reply, ctx.now() - t0);

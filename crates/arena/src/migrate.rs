@@ -68,6 +68,7 @@ use parquake_protocol::Encode;
 use parquake_server::clients::SlotState;
 use parquake_server::LifecycleEvent;
 
+use crate::admission::MigrationPlan;
 use crate::directory::{drain_requests_coalesced, ArenaFate, Director, DirectorEnv, PoolParts};
 
 /// Most slots one captured fence may hand off. Small enough that a
@@ -102,6 +103,37 @@ pub(crate) fn rebalance(ctx: &TaskCtx, env: &DirectorEnv, d: &mut Director) {
     } else if let Some((src, dst)) = pick_spread(env, d) {
         handoff(ctx, env, d, parts, src, dst, false);
     }
+}
+
+/// What the next rebalance tick intends to do, as a [`MigrationPlan`]
+/// for admission scoring: the same drain-first pick as [`rebalance`]
+/// and the same batch sizing as [`handoff`], but without touching
+/// anything. `None` when migration is off, the directory is not
+/// pooled, or no trigger currently fires — admission then scores raw
+/// occupancy as before.
+pub(crate) fn planned(env: &DirectorEnv, d: &Director) -> Option<MigrationPlan> {
+    if env.migrate_spread == 0 && !env.migrate_drain {
+        return None;
+    }
+    env.pool.as_ref()?;
+    let occ = d.ledger.occupancy();
+    if let Some((src, dst)) = pick_drain(env, d) {
+        let batch = (occ[src] as usize).min(MIGRATE_BATCH) as u32;
+        return Some(MigrationPlan {
+            src,
+            dst,
+            batch,
+            drain: true,
+        });
+    }
+    let (src, dst) = pick_spread(env, d)?;
+    let batch = ((occ[src].saturating_sub(occ[dst]) as usize) / 2).min(MIGRATE_BATCH) as u32;
+    Some(MigrationPlan {
+        src,
+        dst,
+        batch,
+        drain: false,
+    })
 }
 
 /// The drain trigger: smallest-population non-boot live arena whose

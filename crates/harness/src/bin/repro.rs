@@ -19,6 +19,7 @@
 //!   elasticity        elastic arena spawn/reap under a population ramp (extension)
 //!   crashsweep        response-rate retention vs injected crash rate (extension)
 //!   migratesweep      live migration recovering a skewed fleet (extension)
+//!   interestsweep     batch DDM interest matching vs per-client scans (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -31,14 +32,14 @@
 
 use parquake_harness::figures::{
     arenasweep, batching, common::SweepOpts, crashsweep, delta, dynassign, elasticity, fig4, fig5,
-    fig6, fig7, losssweep, migratesweep, onepass, table1, waitstats,
+    fig6, fig7, interestsweep, losssweep, migratesweep, onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|interestsweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -97,6 +98,7 @@ fn main() {
         "elasticity" => println!("{}", elasticity::run(&opts)),
         "crashsweep" => println!("{}", crashsweep::run(&opts)),
         "migratesweep" => println!("{}", migratesweep::run(&opts)),
+        "interestsweep" => println!("{}", interestsweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -137,6 +139,7 @@ fn main() {
             println!("{}", elasticity::run(&opts));
             println!("{}", crashsweep::run(&opts));
             println!("{}", migratesweep::run(&opts));
+            println!("{}", interestsweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

@@ -4,6 +4,7 @@
 //! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
 //!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
 //!      [--fault-seed N] [--timeout-secs S]
+//!      [--interest scan|sweep|sweep-oracle]
 //!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
 //!      [--crash-rate P] [--crash-seed N]
 //!      [--migrate-spread N] [--migrate-drain]
@@ -14,6 +15,10 @@
 //! client. The `--loss/--dup/--delay` probabilities (0.0–1.0) enable
 //! seeded fault injection on the inbound path; `--timeout-secs` sets
 //! the server-side inactivity reclaim (0 disables it).
+//! `--interest sweep` computes visible-entity sets with the batch DDM
+//! sweep instead of per-client scans; `sweep-oracle` additionally runs
+//! the scan as a shadow oracle per reply and counts mismatches (the
+//! report prints the pair-accounting identity and the oracle verdict).
 //!
 //! `--arenas N` (N ≥ 1) switches to the multi-arena gateway: N worlds
 //! behind ONE socket on `--port`, frames scheduled on a `--workers`
@@ -36,6 +41,7 @@ use std::time::Duration;
 
 use parquake_harness::udp::{run_udp_server, thread_port, UdpServerOpts};
 use parquake_harness::udp_arena::{run_udp_arena_server, UdpArenaOpts};
+use parquake_server::InterestMode;
 
 fn main() {
     let mut opts = UdpServerOpts::default();
@@ -91,6 +97,11 @@ fn main() {
             "--timeout-secs" => {
                 i += 1;
                 opts.client_timeout = Duration::from_secs(args[i].parse().expect("--timeout-secs"));
+            }
+            "--interest" => {
+                i += 1;
+                opts.interest = InterestMode::from_flag(&args[i])
+                    .expect("--interest needs scan|sweep|sweep-oracle");
             }
             "--arenas" => {
                 i += 1;
@@ -158,6 +169,17 @@ fn main() {
         opts.max_players,
         opts.duration.as_secs()
     );
+    if opts.interest.uses_sweep() {
+        println!(
+            "udpd: interest matching — {}{}",
+            opts.interest.label(),
+            if opts.interest.oracle() {
+                " (per-reply scan shadow oracle)"
+            } else {
+                ""
+            }
+        );
+    }
     if !opts.fault.is_noop() {
         println!(
             "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
@@ -197,6 +219,34 @@ fn main() {
                     "DOES NOT CLOSE"
                 }
             );
+            if opts.interest.uses_sweep() {
+                let ist = &report.interest;
+                println!(
+                    "udpd: interest — {} frames indexed, {} viewer-entity pairs \
+                     ({} tested + {} skipped) — pair accounting {}",
+                    ist.frames,
+                    ist.pairs_total,
+                    ist.pairs_tested,
+                    ist.pairs_skipped,
+                    if ist.pairs_closed() {
+                        "closes"
+                    } else {
+                        "DOES NOT CLOSE"
+                    }
+                );
+                if opts.interest.oracle() {
+                    println!(
+                        "udpd: interest oracle — {} replies checked, {} mismatches{}",
+                        ist.oracle_checked,
+                        ist.oracle_mismatches,
+                        if ist.oracle_mismatches == 0 {
+                            " — sweep == scan"
+                        } else {
+                            " — SWEEP DIVERGED FROM SCAN"
+                        }
+                    );
+                }
+            }
         }
         Err(e) => {
             eprintln!("udpd: {e}");

@@ -8,7 +8,7 @@ use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::{FabricKind, LockWitness, Nanos};
 use parquake_metrics::{Breakdown, ResponseStats, WitnessReport};
 use parquake_server::{
-    spawn_server, Assignment, CostModel, ServerConfig, ServerKind, ServerResults,
+    spawn_server, Assignment, CostModel, InterestMode, ServerConfig, ServerKind, ServerResults,
 };
 use parquake_sim::GameWorld;
 
@@ -48,6 +48,13 @@ pub struct ExperimentConfig {
     pub delta_compression: bool,
     /// Server-side inactivity timeout (0 = never reclaim slots).
     pub client_timeout_ns: Nanos,
+    /// How visible-entity sets are computed (per-client scan vs the
+    /// batch DDM sweep, optionally oracle-checked).
+    pub interest: InterestMode,
+    /// Override the world's maximum view distance (`None` keeps the
+    /// world default) — interest figures shrink it so view extents
+    /// cover only part of a big map.
+    pub view_dist: Option<f32>,
 }
 
 impl Default for ExperimentConfig {
@@ -69,6 +76,8 @@ impl Default for ExperimentConfig {
             assignment: Assignment::Static,
             delta_compression: false,
             client_timeout_ns: 0,
+            interest: InterestMode::Scan,
+            view_dist: None,
         }
     }
 }
@@ -121,11 +130,11 @@ impl Experiment {
     pub fn run(&self) -> Outcome {
         let cfg = &self.cfg;
         let map = Arc::new(cfg.map.generate());
-        let world = Arc::new(GameWorld::new(
-            map,
-            cfg.areanode_depth,
-            cfg.players.max(1) as u16,
-        ));
+        let mut world = GameWorld::new(map, cfg.areanode_depth, cfg.players.max(1) as u16);
+        if let Some(d) = cfg.view_dist {
+            world.max_view_dist = d;
+        }
+        let world = Arc::new(world);
         let fabric = cfg.fabric.build();
 
         // Checking runs also carry the lock-order witness: every fabric
@@ -149,6 +158,7 @@ impl Experiment {
             frame_batch_ns: cfg.frame_batch_ns,
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
+            interest: cfg.interest,
             arena_id: 0,
             client_timeout_ns: cfg.client_timeout_ns,
             lifecycle_port: None,

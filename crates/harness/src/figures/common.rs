@@ -79,16 +79,21 @@ pub fn render_outcomes(title: &str, rows: &[(String, Outcome)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n\n"));
 
-    // (b)+(c): response rate and time.
+    // (b)+(c): response rate and time, plus the reply-size
+    // distribution (entities per reply: median, tail, cap pressure).
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(label, o)| {
+            let sizes = &o.server.merged().reply_sizes;
             vec![
                 label.clone(),
                 f(o.response_rate(), 0),
                 f(o.avg_response_ms(), 1),
                 o.connected.to_string(),
                 o.server.frame_count.to_string(),
+                sizes.percentile(0.50).to_string(),
+                sizes.percentile(0.95).to_string(),
+                sizes.max().to_string(),
             ]
         })
         .collect();
@@ -99,6 +104,9 @@ pub fn render_outcomes(title: &str, rows: &[(String, Outcome)]) -> String {
             "resp-ms",
             "connected",
             "frames",
+            "ents-p50",
+            "ents-p95",
+            "ents-max",
         ],
         &table,
     ));

@@ -47,8 +47,9 @@ use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::fault::{FaultConfig, FaultInjector};
 use parquake_fabric::real::RealFabric;
 use parquake_fabric::{Nanos, PortId};
+use parquake_interest::InterestStats;
 use parquake_protocol::{ClientMessage, Decode, ServerMessage, MAX_DATAGRAM};
-use parquake_server::{spawn_server, LockPolicy, ServerConfig, ServerKind};
+use parquake_server::{spawn_server, InterestMode, LockPolicy, ServerConfig, ServerKind};
 use parquake_sim::GameWorld;
 
 /// The UDP port thread `t` uses relative to `base`, with checked
@@ -85,6 +86,9 @@ pub struct UdpServerOpts {
     /// reclaimed (a `Bye` is sent). Zero disables reclaim; the
     /// gateway's address-rebind grace then falls back to one second.
     pub client_timeout: Duration,
+    /// How visible-entity sets are computed (per-client scan, the batch
+    /// DDM sweep, or the sweep with the scan as a shadow oracle).
+    pub interest: InterestMode,
 }
 
 impl Default for UdpServerOpts {
@@ -98,6 +102,7 @@ impl Default for UdpServerOpts {
             locking: LockPolicy::Optimized,
             fault: FaultConfig::none(),
             client_timeout: Duration::from_secs(2),
+            interest: InterestMode::Scan,
         }
     }
 }
@@ -135,6 +140,9 @@ pub struct UdpServerReport {
     pub timeouts: u64,
     /// Server frames executed.
     pub frames: u64,
+    /// Interest-matching accounting (all zero under
+    /// [`InterestMode::Scan`]).
+    pub interest: InterestStats,
 }
 
 impl UdpServerReport {
@@ -239,6 +247,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
     let end_time: Nanos = opts.duration.as_nanos() as Nanos;
     let server_cfg = ServerConfig {
         client_timeout_ns: opts.client_timeout.as_nanos() as Nanos,
+        interest: opts.interest,
         ..ServerConfig::new(
             ServerKind::Parallel {
                 threads: opts.threads,
@@ -449,6 +458,7 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
         replies: merged.replies,
         timeouts: merged.timeouts,
         frames: results.frame_count,
+        interest: results.interest.clone(),
     })
 }
 

@@ -1,0 +1,170 @@
+//! The shared per-frame entity index: every active entity snapshotted
+//! once, in id order, with its reply payload and room precomputed, plus
+//! one coordinate-sorted view per horizontal axis.
+//!
+//! Building the index costs one O(capacity) walk and two O(E log E)
+//! sorts — paid once per frame, shared by every viewer. The id-ordered
+//! `entities` array doubles as the narrow phase's iteration order:
+//! candidate indices sorted ascending recover exactly the order the
+//! per-client scan visits entities in, which is what makes the sweep's
+//! output (including truncation ties) byte-identical to the scan's.
+
+use parquake_bsp::rooms::RoomId;
+use parquake_math::Vec3;
+use parquake_protocol::EntityUpdate;
+use parquake_sim::{EntityId, GameWorld, WorkCounters};
+
+/// One active entity, snapshotted at index-build time.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexedEntity {
+    pub id: EntityId,
+    pub pos: Vec3,
+    /// Room the entity stands in (precomputed once; the scan recomputes
+    /// it per viewer).
+    pub room: RoomId,
+    /// The wire payload a reply would carry for this entity.
+    pub update: EntityUpdate,
+}
+
+/// One axis of the index: entity coordinates in ascending order with a
+/// parallel array of indices into [`EntityIndex::entities`].
+#[derive(Clone, Debug, Default)]
+pub struct AxisIndex {
+    pub coords: Vec<f32>,
+    pub slots: Vec<u32>,
+}
+
+impl AxisIndex {
+    fn build(entities: &[IndexedEntity], coord: impl Fn(&IndexedEntity) -> f32) -> AxisIndex {
+        let mut order: Vec<u32> = (0..entities.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            coord(&entities[a as usize]).total_cmp(&coord(&entities[b as usize]))
+        });
+        AxisIndex {
+            coords: order
+                .iter()
+                .map(|&i| coord(&entities[i as usize]))
+                .collect(),
+            slots: order,
+        }
+    }
+}
+
+/// The per-frame index all viewers match against.
+#[derive(Clone, Debug, Default)]
+pub struct EntityIndex {
+    /// Active entities in ascending id order (the scan's order).
+    pub entities: Vec<IndexedEntity>,
+    pub by_x: AxisIndex,
+    pub by_y: AxisIndex,
+}
+
+impl EntityIndex {
+    /// Snapshot every active entity and sort both axes. Charged to the
+    /// caller as `interest_steps` (one step per entity walked, `n log n`
+    /// per sort).
+    pub fn build(world: &GameWorld, work: &mut WorkCounters) -> EntityIndex {
+        let cap = world.store.capacity();
+        let mut entities = Vec::with_capacity(cap);
+        for id in 0..cap as EntityId {
+            let e = world.store.snapshot(id);
+            if !e.active {
+                continue;
+            }
+            entities.push(IndexedEntity {
+                id,
+                pos: e.pos,
+                room: world.map.rooms.room_of(e.pos),
+                update: EntityUpdate {
+                    id: e.id,
+                    kind: e.wire_kind(),
+                    state: e.wire_state(),
+                    pos: e.pos,
+                    yaw: e.yaw,
+                },
+            });
+        }
+        work.interest_steps += cap as u64 + 2 * sort_steps(entities.len());
+        let by_x = AxisIndex::build(&entities, |e| e.pos.x);
+        let by_y = AxisIndex::build(&entities, |e| e.pos.y);
+        EntityIndex {
+            entities,
+            by_x,
+            by_y,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+/// Comparison-step estimate for sorting `n` keys: `n · ⌈log₂ n⌉`.
+pub(crate) fn sort_steps(n: usize) -> u64 {
+    let n = n as u64;
+    if n < 2 {
+        return n;
+    }
+    n * (u64::BITS - (n - 1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::Pcg32;
+    use std::sync::Arc;
+
+    #[test]
+    fn index_holds_active_entities_in_id_order() {
+        let map = Arc::new(MapGenConfig::open_hall(1).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(1);
+        w.spawn_player(0, 0, &mut rng);
+        w.spawn_player(3, 3, &mut rng);
+        let mut work = WorkCounters::new();
+        let idx = EntityIndex::build(&w, &mut work);
+        // Players 0 and 3 plus all items and teleporters; idle
+        // projectile slots and unspawned players are absent.
+        let active: Vec<EntityId> = (0..w.store.capacity() as EntityId)
+            .filter(|&id| w.store.snapshot(id).active)
+            .collect();
+        let indexed: Vec<EntityId> = idx.entities.iter().map(|e| e.id).collect();
+        assert_eq!(indexed, active);
+        assert!(work.interest_steps > 0, "index build must charge steps");
+    }
+
+    #[test]
+    fn axis_views_are_sorted_and_complete() {
+        let map = Arc::new(MapGenConfig::open_hall(2).generate());
+        let w = GameWorld::new(map, 4, 16);
+        let mut rng = Pcg32::seeded(2);
+        for i in 0..16 {
+            w.spawn_player(i, i as u32, &mut rng);
+        }
+        let mut work = WorkCounters::new();
+        let idx = EntityIndex::build(&w, &mut work);
+        for axis in [&idx.by_x, &idx.by_y] {
+            assert_eq!(axis.coords.len(), idx.len());
+            assert_eq!(axis.slots.len(), idx.len());
+            assert!(axis.coords.windows(2).all(|p| p[0] <= p[1]), "unsorted");
+            let mut seen: Vec<u32> = axis.slots.clone();
+            seen.sort_unstable();
+            assert!(seen.iter().enumerate().all(|(i, &s)| i as u32 == s));
+        }
+    }
+
+    #[test]
+    fn sort_steps_grows_superlinearly() {
+        assert_eq!(sort_steps(0), 0);
+        assert_eq!(sort_steps(1), 1);
+        assert_eq!(sort_steps(2), 2);
+        assert_eq!(sort_steps(1024), 1024 * 10);
+    }
+}

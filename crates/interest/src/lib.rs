@@ -1,0 +1,188 @@
+//! Batch interest matching for `parquake`.
+//!
+//! The original server scopes each reply with a per-client scan over
+//! every entity (`parquake_sim::visibility`) — O(players × entities)
+//! per frame, the measured saturation driver. This crate replaces the
+//! scan with the sort-based DDM sweep of Marzolla et al.: once per
+//! frame the server builds one shared [`EntityIndex`] (active entities
+//! sorted by X and by Y), then matches *all* viewers against it with
+//! two linear merges per axis. Because entities are points, each
+//! viewer's per-axis candidates form a contiguous range of the sorted
+//! array, so the broad phase costs a shared O(E log E) sort plus
+//! O(V log V + V + E) merges instead of V separate O(E) scans. A
+//! narrow phase re-runs the scan's exact distance and room checks on
+//! the few survivors, so the output is byte-identical to the scan —
+//! provable on demand via [`InterestMode::SweepOracle`], which shadows
+//! every reply with an uncharged brute-force scan and counts
+//! mismatches (zero expected, asserted in tests and the
+//! `interestsweep` figure).
+//!
+//! The sweep parallelizes trivially: the index is built once (by the
+//! thread releasing the intra-frame barrier, in the parallel server)
+//! and each worker matches only the viewers it owns.
+
+pub mod index;
+pub mod oracle;
+pub mod sweep;
+
+pub use index::EntityIndex;
+pub use sweep::{match_viewers, InterestFrame};
+
+/// How reply scoping is computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InterestMode {
+    /// The original per-client O(entities) scan (`visibility.rs`).
+    #[default]
+    Scan,
+    /// Batch sort-based sweep: one shared index per frame, cheap
+    /// per-client lookups.
+    Sweep,
+    /// Sweep, plus an uncharged brute-force scan shadowing every reply
+    /// and counting mismatches (zero expected). Charges exactly what
+    /// `Sweep` charges, so runs are schedule-identical to `Sweep`.
+    SweepOracle,
+}
+
+impl InterestMode {
+    /// Does this mode build and consume the shared index?
+    #[inline]
+    pub fn uses_sweep(&self) -> bool {
+        !matches!(self, InterestMode::Scan)
+    }
+
+    /// Does this mode shadow replies with the brute-force oracle?
+    #[inline]
+    pub fn oracle(&self) -> bool {
+        matches!(self, InterestMode::SweepOracle)
+    }
+
+    /// Parse a command-line flag value.
+    pub fn from_flag(s: &str) -> Option<InterestMode> {
+        match s {
+            "scan" => Some(InterestMode::Scan),
+            "sweep" => Some(InterestMode::Sweep),
+            "sweep-oracle" => Some(InterestMode::SweepOracle),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (figure tables, udpd banner).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InterestMode::Scan => "scan",
+            InterestMode::Sweep => "sweep",
+            InterestMode::SweepOracle => "sweep-oracle",
+        }
+    }
+}
+
+/// Matching counters published when a run ends.
+///
+/// `pairs_skipped` is accumulated at two independent places — the axis
+/// prune (entities never reached because they fall outside the
+/// viewer's contiguous per-axis range) and the broad phase's
+/// other-axis rejects — while `pairs_tested` counts narrow-phase
+/// examinations. The identity below therefore cross-checks that the
+/// sweep accounted for every (viewer, entity) pair exactly once; a
+/// matcher that dropped or double-visited candidates cannot close it.
+// lockcheck: identity(pairs_tested + pairs_skipped == pairs_total)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InterestStats {
+    /// Frames for which an entity index was built.
+    pub frames: u64,
+    /// Viewers matched (Σ per match pass).
+    pub viewers: u64,
+    /// Active entities indexed (Σ per frame).
+    pub entities: u64,
+    /// Candidate pairs in play: Σ viewers × indexed entities.
+    pub pairs_total: u64,
+    /// Pairs that reached the narrow phase (exact distance + room
+    /// checks, including the viewer's own entity when it survives the
+    /// broad phase).
+    pub pairs_tested: u64,
+    /// Pairs disposed of by the broad phase: axis-pruned (outside the
+    /// per-axis range) plus other-axis rejects.
+    pub pairs_skipped: u64,
+    /// Replies shadowed by the brute-force oracle.
+    pub oracle_checked: u64,
+    /// Oracle comparisons where sweep and scan disagreed (zero
+    /// expected).
+    pub oracle_mismatches: u64,
+}
+
+impl InterestStats {
+    pub fn merge(&mut self, o: &InterestStats) {
+        self.frames += o.frames;
+        self.viewers += o.viewers;
+        self.entities += o.entities;
+        self.pairs_total += o.pairs_total;
+        self.pairs_tested += o.pairs_tested;
+        self.pairs_skipped += o.pairs_skipped;
+        self.oracle_checked += o.oracle_checked;
+        self.oracle_mismatches += o.oracle_mismatches;
+    }
+
+    /// The pair-accounting identity: every candidate pair was either
+    /// narrow-phase tested or broad-phase skipped.
+    pub fn pairs_closed(&self) -> bool {
+        self.pairs_tested + self.pairs_skipped == self.pairs_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags_round_trip() {
+        for mode in [
+            InterestMode::Scan,
+            InterestMode::Sweep,
+            InterestMode::SweepOracle,
+        ] {
+            assert_eq!(InterestMode::from_flag(mode.label()), Some(mode));
+        }
+        assert_eq!(InterestMode::from_flag("bogus"), None);
+        assert!(!InterestMode::Scan.uses_sweep());
+        assert!(InterestMode::Sweep.uses_sweep());
+        assert!(InterestMode::SweepOracle.oracle());
+        assert!(!InterestMode::Sweep.oracle());
+    }
+
+    #[test]
+    fn pair_identity_closes_only_when_books_balance() {
+        let closed = InterestStats {
+            pairs_total: 100,
+            pairs_tested: 30,
+            pairs_skipped: 70,
+            ..InterestStats::default()
+        };
+        assert!(closed.pairs_closed());
+        let drifted = InterestStats {
+            pairs_total: 100,
+            pairs_tested: 30,
+            pairs_skipped: 60,
+            ..InterestStats::default()
+        };
+        assert!(!drifted.pairs_closed());
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = InterestStats {
+            frames: 1,
+            viewers: 2,
+            entities: 3,
+            pairs_total: 6,
+            pairs_tested: 2,
+            pairs_skipped: 4,
+            oracle_checked: 1,
+            oracle_mismatches: 0,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.frames, 2);
+        assert_eq!(a.pairs_total, 12);
+        assert!(a.pairs_closed());
+    }
+}

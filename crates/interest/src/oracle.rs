@@ -1,0 +1,73 @@
+//! The brute-force oracle: re-derive one viewer's reply set with the
+//! original per-client scan and compare it to the sweep's output.
+//!
+//! [`InterestMode::SweepOracle`](crate::InterestMode::SweepOracle)
+//! calls this for every reply the sweep produces. The scan here is
+//! *uncharged* — its work counters are discarded — so an oracle run
+//! spends exactly the virtual time a plain sweep run spends and stays
+//! schedule-identical to it: zero mismatches then literally means the
+//! sweep run's reply stream is the scan's, byte for byte.
+
+use parquake_protocol::EntityUpdate;
+use parquake_sim::visibility::build_reply_entities;
+use parquake_sim::{EntityId, GameWorld, WorkCounters};
+
+/// Scratch buffers for repeated oracle checks (the scan allocates
+/// nothing when reused).
+#[derive(Default)]
+pub struct OracleScratch {
+    out: Vec<EntityUpdate>,
+    dist: Vec<(f32, EntityUpdate)>,
+}
+
+/// Does the per-client scan agree with `sweep_set` for `viewer`?
+pub fn oracle_agrees(
+    world: &GameWorld,
+    viewer: EntityId,
+    sweep_set: &[EntityUpdate],
+    scratch: &mut OracleScratch,
+) -> bool {
+    let mut discard = WorkCounters::new();
+    build_reply_entities(
+        world,
+        viewer,
+        &mut scratch.out,
+        &mut scratch.dist,
+        &mut discard,
+    );
+    scratch.out == sweep_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{index::EntityIndex, match_viewers, InterestStats};
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::Pcg32;
+    use std::sync::Arc;
+
+    #[test]
+    fn oracle_accepts_the_sweep_and_rejects_tampering() {
+        let map = Arc::new(MapGenConfig::open_hall(21).generate());
+        let w = GameWorld::new(map, 4, 8);
+        let mut rng = Pcg32::seeded(21);
+        for i in 0..8 {
+            w.spawn_player(i, i as u32, &mut rng);
+        }
+        let mut work = WorkCounters::new();
+        let mut stats = InterestStats::default();
+        let index = EntityIndex::build(&w, &mut work);
+        let viewers: Vec<EntityId> = (0..8).collect();
+        let frame = match_viewers(&w, &index, &viewers, &mut work, &mut stats);
+        let mut scratch = OracleScratch::default();
+        for &v in &viewers {
+            let set = frame.get(v).unwrap();
+            assert!(oracle_agrees(&w, v, set, &mut scratch));
+            // Dropping one entry must be caught.
+            if !set.is_empty() {
+                let tampered: Vec<EntityUpdate> = set[1..].to_vec();
+                assert!(!oracle_agrees(&w, v, &tampered, &mut scratch));
+            }
+        }
+    }
+}

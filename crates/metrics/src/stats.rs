@@ -33,6 +33,8 @@ pub struct ThreadStats {
     /// Frame panics caught by the supervision wrapper (the frame's
     /// effects are abandoned; the arena is fenced or restored).
     pub panics_caught: u64,
+    /// Distribution of entity-update counts per reply sent.
+    pub reply_sizes: SizeHist,
     pub lock: LockStats,
 }
 
@@ -54,7 +56,70 @@ impl ThreadStats {
         self.timeouts += other.timeouts;
         self.lifecycle_sent += other.lifecycle_sent;
         self.panics_caught += other.panics_caught;
+        self.reply_sizes.merge(&other.reply_sizes);
         self.lock.merge(&other.lock);
+    }
+}
+
+/// Exact histogram of small counts (0..=64): reply entity-list sizes
+/// are protocol-capped, so direct per-value buckets give exact
+/// percentiles where `ResponseStats`' log₂ octaves would blur them.
+#[derive(Clone, Debug)]
+pub struct SizeHist {
+    /// `counts[n]` = samples of value `n`; the last bucket absorbs
+    /// anything larger.
+    pub counts: [u64; 65],
+}
+
+impl Default for SizeHist {
+    fn default() -> Self {
+        SizeHist { counts: [0; 65] }
+    }
+}
+
+impl SizeHist {
+    pub fn new() -> SizeHist {
+        SizeHist::default()
+    }
+
+    pub fn note(&mut self, n: usize) {
+        self.counts[n.min(self.counts.len() - 1)] += 1;
+    }
+
+    pub fn merge(&mut self, o: &SizeHist) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += o.counts[i];
+        }
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact percentile (`p` in [0, 1]) of the recorded values.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.samples();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return value as u64;
+            }
+        }
+        (self.counts.len() - 1) as u64
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|v| v as u64)
+            .unwrap_or(0)
     }
 }
 

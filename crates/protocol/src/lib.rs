@@ -44,6 +44,13 @@ pub const MAX_EVENTS_PER_REPLY: usize = 32;
 /// Maximum removal notices in one delta-compressed reply.
 pub const MAX_REMOVALS_PER_REPLY: usize = 64;
 
+/// Maximum *newly appearing* entities in one delta-compressed reply.
+/// Entities already in the client's baseline that changed are always
+/// sent; a burst of fresh arrivals (connect, teleport, arena restore)
+/// is windowed across consecutive replies instead, with the leftovers
+/// carried over — the same smoothing removals get.
+pub const MAX_ADDITIONS_PER_REPLY: usize = 32;
+
 /// Upper bound on any encoded protocol datagram, in bytes. Every recv
 /// buffer on the real-UDP path must be at least this large, and the
 /// reply limits above are sized so that even a worst-case crowded-leaf
@@ -68,6 +75,9 @@ pub const MAX_REPLY_WIRE_BYTES: usize = REPLY_HEADER_WIRE_BYTES
 // Compile-time sanity on protocol limits.
 const _: () = assert!(MAX_MOVE_MSEC >= 100);
 const _: () = assert!(MAX_ENTITIES_PER_REPLY >= 32);
+// Addition windowing narrows the entity list, never widens it, so the
+// wire-size bound above is unaffected.
+const _: () = assert!(MAX_ADDITIONS_PER_REPLY <= MAX_ENTITIES_PER_REPLY);
 const _: () = assert!(MAX_EVENTS_PER_REPLY >= 16);
 // The reply caps must keep every datagram within MAX_DATAGRAM, or the
 // fixed-size recv buffers on the UDP path would truncate replies.

@@ -33,6 +33,11 @@ pub struct CostModel {
     pub encoded_entity: Nanos,
     /// Per entity examined for visibility.
     pub visibility_check: Nanos,
+    /// Per batch interest-matching step (endpoint sort comparison,
+    /// merge advance, broad-phase range visit). Cheap relative to a
+    /// full visibility check: the sweep touches sorted floats, not
+    /// entity snapshots.
+    pub interest_step: Nanos,
     /// Per interaction applied (pickup, hit, teleport…).
     pub interaction: Nanos,
     /// Fixed cost of executing one move command (parse, setup).
@@ -72,6 +77,7 @@ impl Default for CostModel {
             areanode_visit: 290,
             encoded_entity: 1_600,
             visibility_check: 200,
+            interest_step: 25,
             interaction: 1_500,
             move_base: 11_000,
             recv: 6_000,
@@ -97,6 +103,7 @@ impl CostModel {
             + w.areanode_visits * self.areanode_visit
             + w.encoded_entities * self.encoded_entity
             + w.visibility_checks * self.visibility_check
+            + w.interest_steps * self.interest_step
             + w.interactions * self.interaction
     }
 
@@ -111,6 +118,7 @@ impl CostModel {
             areanode_visit: s(self.areanode_visit),
             encoded_entity: s(self.encoded_entity),
             visibility_check: s(self.visibility_check),
+            interest_step: s(self.interest_step),
             interaction: s(self.interaction),
             move_base: s(self.move_base),
             recv: s(self.recv),

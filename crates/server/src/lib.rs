@@ -38,11 +38,13 @@ pub mod visibility_reply;
 use std::sync::{Arc, Mutex};
 
 use parquake_fabric::{Fabric, Nanos, PortId};
+use parquake_interest::InterestStats;
 use parquake_metrics::{FrameStats, ThreadStats, Timeline};
 use parquake_sim::GameWorld;
 
 pub use cost::CostModel;
 pub use lifecycle::LifecycleEvent;
+pub use parquake_interest::InterestMode;
 
 /// Which object-lock policy the parallel server uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +117,10 @@ pub struct ServerConfig {
     /// QuakeWorld-style delta compression of reply entity state
     /// (extension; off reproduces the paper's full-state replies).
     pub delta_compression: bool,
+    /// How reply interest sets are computed: the paper's per-client
+    /// scan, the batch DDM sweep, or the sweep shadowed by the
+    /// brute-force oracle (extension).
+    pub interest: InterestMode,
     /// Reclaim a slot whose client has been silent this long
     /// (a `Bye` is sent and the player despawned). 0 = never.
     pub client_timeout_ns: Nanos,
@@ -149,6 +155,7 @@ impl ServerConfig {
             frame_batch_ns: 0,
             assignment: Assignment::Static,
             delta_compression: false,
+            interest: InterestMode::Scan,
             client_timeout_ns: 0,
             arena_id: 0,
             lifecycle_port: None,
@@ -170,6 +177,9 @@ pub struct ServerResults {
     pub leaf_count: u64,
     /// Per-frame time series (first ~4096 frames).
     pub timeline: Timeline,
+    /// Batch interest-matching counters (all zero under
+    /// [`InterestMode::Scan`]).
+    pub interest: InterestStats,
 }
 
 impl ServerResults {

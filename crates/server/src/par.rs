@@ -23,6 +23,7 @@ use std::cell::UnsafeCell;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use parquake_fabric::{CondId, Fabric, LockId, Nanos, TaskCtx};
+use parquake_interest::{EntityIndex, InterestStats};
 use parquake_metrics::{Bucket, FrameSample, FrameStats, ThreadStats, Timeline};
 use parquake_sim::GameWorld;
 
@@ -47,6 +48,13 @@ struct CtrlState {
     /// writes only its own entry during the request phase).
     frame_reqs: Vec<u32>,
     frame_masks: Vec<u64>,
+    /// This frame's shared interest index, built once by the thread
+    /// that releases the intra-frame barrier (sweep modes only) and
+    /// cloned by every participant on its way into the reply phase.
+    entity_index: Option<Arc<EntityIndex>>,
+    /// Aggregate interest-matching accounting, merged from each
+    /// worker's private tallies at exit.
+    interest: InterestStats,
     exited: u32,
 }
 
@@ -138,6 +146,8 @@ pub fn spawn_parallel(
             timeline: Timeline::default(),
             frame_reqs: vec![0; threads as usize],
             frame_masks: vec![0; threads as usize],
+            entity_index: None,
+            interest: InterestStats::default(),
             exited: 0,
         }),
     });
@@ -176,6 +186,7 @@ fn worker(
     let port = shared.ports[t as usize];
     let mut stats = ThreadStats::new();
     let mut waits = WaitTallies::default();
+    let mut istats = InterestStats::default();
 
     'frames: loop {
         // ---- S: select -------------------------------------------------
@@ -273,6 +284,13 @@ fn worker(
             let st = ctrl.state();
             st.req_done += 1;
             if st.req_done == st.participants {
+                // Barrier releaser: every participant has drained its
+                // queue, so entity positions are quiescent until the
+                // frame ends. Build this frame's shared interest index
+                // now, before the broadcast, so peers only ever observe
+                // it fully formed under the ctrl lock (sweep modes
+                // only; `None` otherwise).
+                st.entity_index = shared.build_interest_index(ctx, &mut istats);
                 ctx.cond_broadcast(ctrl.intra_cv);
             } else {
                 let t0 = ctx.now();
@@ -284,21 +302,49 @@ fn worker(
         }
         let is_master = ctrl.state().master == t;
         let participant_mask = ctrl.state().participant_mask;
+        let entity_index = ctrl.state().entity_index.clone();
         ctrl.exit(ctx);
 
         // ---- T/Tx: reply phase ---------------------------------------------
         let t0 = ctx.now();
         let global = shared.read_global_events(ctx, &mut stats);
         let mine = shared.owned_slots(t);
-        shared.reply_for_slots(ctx, port, &mine, &global, frame_no, &mut stats, true);
+        // Each participant sweeps its own slot block against the shared
+        // index — the match work parallelizes with the rest of the
+        // reply phase.
+        let iframe = entity_index
+            .as_ref()
+            .map(|ix| shared.match_interest(ctx, &mine, ix, &mut istats));
+        shared.reply_for_slots(
+            ctx,
+            port,
+            &mine,
+            &global,
+            frame_no,
+            &mut stats,
+            true,
+            iframe.as_ref(),
+            &mut istats,
+        );
         if is_master {
             // The master updates the message buffers of clients whose
-            // threads are not part of this frame (paper §3.3).
+            // threads are not part of this frame (paper §3.3). Those
+            // clients sent no requests this frame, so no replies are
+            // built for them and the interest frame is irrelevant.
             for other in 0..shared.threads {
                 if participant_mask & (1 << other) == 0 {
                     let theirs = shared.owned_slots(other);
-                    shared
-                        .reply_for_slots(ctx, port, &theirs, &global, frame_no, &mut stats, false);
+                    shared.reply_for_slots(
+                        ctx,
+                        port,
+                        &theirs,
+                        &global,
+                        frame_no,
+                        &mut stats,
+                        false,
+                        None,
+                        &mut istats,
+                    );
                 }
             }
         }
@@ -347,6 +393,9 @@ fn worker(
             });
 
             shared.clear_global_events(ctx, &mut stats);
+            // Drop the frame's index so its memory is not pinned while
+            // the server idles between frames.
+            ctrl.state().entity_index = None;
             ctrl.state().in_frame = false;
             ctx.cond_broadcast(ctrl.frame_end_cv);
             ctrl.exit(ctx);
@@ -364,10 +413,15 @@ fn worker(
     st.frame_stats.interwait_world_ns += waits.interwait_world_ns;
     st.frame_stats.interwait_frame_ns += waits.interwait_frame_ns;
     st.frame_stats.frames_waited_on_world += waits.frames_waited_on_world;
+    st.interest.merge(&istats);
     st.exited += 1;
     let last = st.exited == shared.threads;
     let frame_stats = if last {
-        Some((st.frame_stats.clone(), st.timeline.clone()))
+        Some((
+            st.frame_stats.clone(),
+            st.timeline.clone(),
+            st.interest.clone(),
+        ))
     } else {
         None
     };
@@ -380,10 +434,11 @@ fn worker(
     // lockcheck: allow(raw-sync: host-side result sink, no fabric task blocks on it)
     let mut r = results.lock().unwrap_or_else(PoisonError::into_inner);
     r.threads[t as usize] = stats;
-    if let Some((fs, tl)) = frame_stats {
+    if let Some((fs, tl, ist)) = frame_stats {
         r.frames = fs;
         r.timeline = tl;
         r.frame_count = frame_count;
         r.leaf_count = shared.world.tree.leaf_count() as u64;
+        r.interest = ist;
     }
 }

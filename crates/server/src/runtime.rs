@@ -6,6 +6,8 @@ use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 use parquake_fabric::{Fabric, Nanos, PortId, TaskCtx};
+use parquake_interest::oracle::{oracle_agrees, OracleScratch};
+use parquake_interest::{match_viewers, EntityIndex, InterestFrame, InterestMode, InterestStats};
 use parquake_math::Pcg32;
 use parquake_metrics::ThreadStats;
 use parquake_protocol::{
@@ -42,6 +44,9 @@ pub struct ServerShared {
     pub assignment: Assignment,
     /// QuakeWorld-style delta compression of replies (extension).
     pub delta_compression: bool,
+    /// How reply interest sets are computed (scan / sweep / sweep
+    /// shadowed by the oracle).
+    pub interest: InterestMode,
     /// Reclaim slots silent for this long (0 = never).
     pub client_timeout_ns: Nanos,
     /// Arena id echoed in every ConnectAck (0 for standalone servers).
@@ -92,6 +97,7 @@ impl ServerShared {
             frame_batch_ns: cfg.frame_batch_ns,
             assignment: cfg.assignment,
             delta_compression: cfg.delta_compression,
+            interest: cfg.interest,
             client_timeout_ns: cfg.client_timeout_ns,
             arena_id: cfg.arena_id,
             catch_panics: cfg.catch_panics,
@@ -526,10 +532,55 @@ impl ServerShared {
         moves
     }
 
+    /// Build this frame's shared entity index for the batch interest
+    /// sweep, charging the build to the calling thread. Returns `None`
+    /// under [`InterestMode::Scan`]. Must run *after* the request
+    /// phase (positions quiescent) and before any reply is built.
+    pub fn build_interest_index(
+        &self,
+        ctx: &TaskCtx,
+        istats: &mut InterestStats,
+    ) -> Option<Arc<EntityIndex>> {
+        if !self.interest.uses_sweep() {
+            return None;
+        }
+        let mut work = WorkCounters::new();
+        let index = EntityIndex::build(&self.world, &mut work);
+        ctx.charge(self.cost.work_ns(&work));
+        istats.frames += 1;
+        Some(Arc::new(index))
+    }
+
+    /// Match the viewers among `slots` — Active slots with at least
+    /// one request this frame, the exact set `reply_for_slots` builds
+    /// replies for — against the shared index. Charges the match work
+    /// to the calling thread.
+    pub fn match_interest(
+        &self,
+        ctx: &TaskCtx,
+        slots: &[usize],
+        index: &EntityIndex,
+        istats: &mut InterestStats,
+    ) -> InterestFrame {
+        let viewers: Vec<u16> = slots
+            .iter()
+            .filter(|&&idx| {
+                let s = self.clients.slot(idx);
+                s.state == SlotState::Active && s.requests_this_frame > 0
+            })
+            .map(|&idx| idx as u16)
+            .collect();
+        let mut work = WorkCounters::new();
+        let frame = match_viewers(&self.world, index, &viewers, &mut work, istats);
+        ctx.charge(self.cost.work_ns(&work));
+        frame
+    }
+
     /// Distribute the global state buffer into the message buffers of
     /// the slots in `range` (under per-player buffer locks), then send
     /// replies/acks for slots that need them. `frame` is the server
-    /// frame number.
+    /// frame number. `interest` carries this frame's precomputed
+    /// interest sets (the sweep modes); `None` scans per client.
     #[allow(clippy::too_many_arguments)]
     pub fn reply_for_slots(
         &self,
@@ -540,7 +591,10 @@ impl ServerShared {
         frame: u32,
         stats: &mut ThreadStats,
         send_replies: bool,
+        interest: Option<&InterestFrame>,
+        istats: &mut InterestStats,
     ) {
+        let mut oracle_scratch = OracleScratch::default();
         for &idx in slots {
             let slot_state = self.clients.slot(idx).state;
             if slot_state != SlotState::Active {
@@ -576,6 +630,16 @@ impl ServerShared {
                 continue;
             }
             // Build and send the reply.
+            let pre = interest.and_then(|f| f.get(idx as u16));
+            if self.interest.oracle() {
+                if let Some(set) = pre {
+                    // Shadow the sweep with the uncharged brute scan.
+                    istats.oracle_checked += 1;
+                    if !oracle_agrees(&self.world, idx as u16, set, &mut oracle_scratch) {
+                        istats.oracle_mismatches += 1;
+                    }
+                }
+            }
             let mut work = WorkCounters::new();
             let reply = {
                 let waited = self.locks.acquire_client(ctx, idx);
@@ -593,9 +657,13 @@ impl ServerShared {
                     steer,
                     self.delta_compression,
                     events,
+                    pre,
                     &mut work,
                 )
             };
+            if let ServerMessage::Reply { ref entities, .. } = reply {
+                stats.reply_sizes.note(entities.len());
+            }
             let bytes = reply.to_bytes();
             ctx.charge(
                 self.cost.work_ns(&work)

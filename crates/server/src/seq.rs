@@ -8,6 +8,7 @@
 use std::sync::{Arc, Mutex, PoisonError};
 
 use parquake_fabric::{Fabric, TaskCtx};
+use parquake_interest::InterestStats;
 use parquake_metrics::{Bucket, FrameSample, FrameStats, ThreadStats, Timeline};
 use parquake_sim::GameWorld;
 
@@ -47,6 +48,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
     let mut stats = ThreadStats::new();
     let mut frames = FrameStats::new();
     let mut timeline = Timeline::default();
+    let mut istats = InterestStats::default();
     let mut frame_no: u32 = 0;
 
     loop {
@@ -62,7 +64,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
         frame_no += 1;
         let frame_start = ctx.now();
 
-        let frame_body = |stats: &mut ThreadStats| {
+        let frame_body = |stats: &mut ThreadStats, istats: &mut InterestStats| {
             // P: world physics.
             let t0 = ctx.now();
             shared.run_world_update(ctx, port, stats, frame_no);
@@ -77,7 +79,21 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
             let t0 = ctx.now();
             let global = shared.read_global_events(ctx, stats);
             let all_slots: Vec<usize> = (0..shared.clients.capacity()).collect();
-            shared.reply_for_slots(ctx, port, &all_slots, &global, frame_no, stats, true);
+            let index = shared.build_interest_index(ctx, istats);
+            let iframe = index
+                .as_ref()
+                .map(|ix| shared.match_interest(ctx, &all_slots, ix, istats));
+            shared.reply_for_slots(
+                ctx,
+                port,
+                &all_slots,
+                &global,
+                frame_no,
+                stats,
+                true,
+                iframe.as_ref(),
+                istats,
+            );
             shared.clear_global_events(ctx, stats);
             stats.breakdown.add(Bucket::Reply, ctx.now() - t0);
             moves
@@ -88,8 +104,9 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
             // be mid-mutation, so stop serving cleanly rather than
             // continue on a possibly-inconsistent world; results are
             // still published below.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| frame_body(&mut stats)))
-            {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                frame_body(&mut stats, &mut istats)
+            })) {
                 Ok(moves) => moves,
                 Err(_) => {
                     stats.panics_caught += 1;
@@ -102,7 +119,7 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
                 }
             }
         } else {
-            frame_body(&mut stats)
+            frame_body(&mut stats, &mut istats)
         };
 
         stats.frames += 1;
@@ -131,4 +148,5 @@ fn run(ctx: &TaskCtx, shared: &ServerShared, results: &Mutex<ServerResults>) {
     r.timeline = timeline;
     r.frame_count = frame_no as u64;
     r.leaf_count = shared.world.tree.leaf_count() as u64;
+    r.interest = istats;
 }

@@ -2,7 +2,9 @@
 //! broadcast events, one [`ServerMessage::Reply`] per requesting client
 //! per frame (paper §2.1).
 
-use parquake_protocol::{EntityUpdate, GameEvent, ServerMessage, MAX_REMOVALS_PER_REPLY};
+use parquake_protocol::{
+    EntityUpdate, GameEvent, ServerMessage, MAX_ADDITIONS_PER_REPLY, MAX_REMOVALS_PER_REPLY,
+};
 use parquake_sim::visibility::build_reply_entities;
 use parquake_sim::{GameWorld, WorkCounters};
 
@@ -20,7 +22,14 @@ fn changed(prev: &EntityUpdate, cur: &EntityUpdate) -> bool {
 /// client which server thread (port) to address next. When `delta` is
 /// set, only entities that changed since the client's baseline are
 /// included, plus removal notices — QuakeWorld-style delta compression
-/// (the slot's baseline is updated in place).
+/// (the slot's baseline is updated in place). Newly appearing entities
+/// are windowed at [`MAX_ADDITIONS_PER_REPLY`]; the overflow stays out
+/// of the baseline and is re-offered in the next reply, mirroring the
+/// removal window.
+///
+/// `precomputed` is the viewer's interest set from the batch DDM
+/// sweep, byte-identical to what the per-client scan would produce;
+/// `None` runs the scan here (the paper's behaviour).
 #[allow(clippy::too_many_arguments)]
 pub fn build_reply(
     world: &GameWorld,
@@ -30,20 +39,42 @@ pub fn build_reply(
     assigned_thread: u8,
     delta: bool,
     events: Vec<GameEvent>,
+    precomputed: Option<&[EntityUpdate]>,
     work: &mut WorkCounters,
 ) -> ServerMessage {
-    let mut visible = Vec::new();
-    let mut scratch = Vec::new();
-    build_reply_entities(world, slot_idx, &mut visible, &mut scratch, work);
+    let visible = match precomputed {
+        Some(set) => {
+            // The sweep already paid the matching cost in bulk; the
+            // per-reply encode charge stays identical to the scan's.
+            work.encoded_entities += set.len() as u64;
+            set.to_vec()
+        }
+        None => {
+            let mut visible = Vec::new();
+            let mut scratch = Vec::new();
+            build_reply_entities(world, slot_idx, &mut visible, &mut scratch, work);
+            visible
+        }
+    };
 
     let (entities, removed) = if delta {
         let mut out = Vec::new();
+        let mut additions = 0usize;
         for u in &visible {
             match slot.baseline.get(&u.id) {
                 Some(prev) if !changed(prev, u) => {}
-                _ => {
+                Some(_) => {
                     out.push(*u);
                     slot.baseline.insert(u.id, *u);
+                }
+                None => {
+                    // A fresh arrival: windowed. Overflow additions are
+                    // NOT baselined, so the next reply re-offers them.
+                    if additions < MAX_ADDITIONS_PER_REPLY {
+                        additions += 1;
+                        out.push(*u);
+                        slot.baseline.insert(u.id, *u);
+                    }
                 }
             }
         }
@@ -104,7 +135,7 @@ mod tests {
         slot.last_seq = 42;
         slot.last_sent_at = 1234;
         let mut work = WorkCounters::new();
-        let msg = build_reply(&world, 0, slot, 9, 2, false, Vec::new(), &mut work);
+        let msg = build_reply(&world, 0, slot, 9, 2, false, Vec::new(), None, &mut work);
         match msg {
             ServerMessage::Reply {
                 client_id,
@@ -182,6 +213,7 @@ mod tests {
             0,
             true,
             Vec::new(),
+            None,
             &mut work,
         ));
         assert_eq!(removed1.len(), MAX_REMOVALS_PER_REPLY);
@@ -195,6 +227,7 @@ mod tests {
             0,
             true,
             Vec::new(),
+            None,
             &mut work,
         ));
         assert_eq!(removed2.len(), 40);
@@ -214,9 +247,183 @@ mod tests {
             0,
             true,
             Vec::new(),
+            None,
             &mut work,
         ));
         assert!(removed3.is_empty());
+    }
+
+    /// A crowd world where far more entities are visible than the
+    /// addition window admits: player 0 sees a full reply's worth.
+    fn crowd_world() -> (GameWorld, ClientTable) {
+        let map = Arc::new(MapGenConfig::open_hall(5).generate());
+        let world = GameWorld::new(map, 4, 200);
+        let mut rng = Pcg32::seeded(5);
+        for i in 0..200 {
+            world.spawn_player(i, i as u32, &mut rng);
+        }
+        let p0 = world.store.snapshot(0).pos;
+        for i in 1..200u16 {
+            world.store.with_mut(i, 0, |e| {
+                e.pos = p0 + parquake_math::vec3::vec3((i as f32) * 3.0, 0.0, 0.0);
+            });
+        }
+        let table = ClientTable::new(200);
+        table.slot(0).client_id = 1;
+        (world, table)
+    }
+
+    /// The addition list is windowed at [`MAX_ADDITIONS_PER_REPLY`];
+    /// the overflow must stay *out* of the baseline and go out in the
+    /// next reply, never be dropped. Consecutive replies must
+    /// partition the arrivals: disjoint, and their union is the whole
+    /// visible set. Mirrors the removal-window test.
+    #[test]
+    fn addition_truncation_carries_leftovers_to_the_next_reply() {
+        use std::collections::HashSet;
+        let (world, table) = crowd_world();
+        let slot = table.slot(0);
+        let mut work = WorkCounters::new();
+
+        let full: HashSet<u16> = {
+            let mut v = Vec::new();
+            let mut s = Vec::new();
+            build_reply_entities(&world, 0, &mut v, &mut s, &mut WorkCounters::new());
+            v.iter().map(|u| u.id).collect()
+        };
+        assert!(full.len() > MAX_ADDITIONS_PER_REPLY, "crowd too small");
+
+        let (sent1, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            1,
+            0,
+            true,
+            Vec::new(),
+            None,
+            &mut work,
+        ));
+        assert_eq!(sent1.len(), MAX_ADDITIONS_PER_REPLY);
+        let (sent2, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            2,
+            0,
+            true,
+            Vec::new(),
+            None,
+            &mut work,
+        ));
+        let first: HashSet<u16> = sent1.iter().map(|u| u.id).collect();
+        let second: HashSet<u16> = sent2.iter().map(|u| u.id).collect();
+        assert!(first.is_disjoint(&second), "an arrival was sent twice");
+        let union: HashSet<u16> = first.union(&second).copied().collect();
+        assert_eq!(union, full, "additions must cover every arrival exactly");
+        // Once everything is baselined, a quiet world sends nothing.
+        let (sent3, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            3,
+            0,
+            true,
+            Vec::new(),
+            None,
+            &mut work,
+        ));
+        assert!(sent3.is_empty());
+    }
+
+    /// Entities already in the baseline that *changed* are never held
+    /// back by the addition window: a full window of arrivals plus one
+    /// moved entity yields window + 1 updates.
+    #[test]
+    fn changed_baseline_entities_bypass_the_addition_window() {
+        let (world, table) = crowd_world();
+        let slot = table.slot(0);
+        let mut work = WorkCounters::new();
+
+        let (sent1, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            1,
+            0,
+            true,
+            Vec::new(),
+            None,
+            &mut work,
+        ));
+        let moved = sent1[0].id;
+        world.store.with_mut(moved, 0, |e| e.pos.x += 2.0);
+
+        let (sent2, _) = reply_parts(build_reply(
+            &world,
+            0,
+            slot,
+            2,
+            0,
+            true,
+            Vec::new(),
+            None,
+            &mut work,
+        ));
+        assert!(
+            sent2.iter().any(|u| u.id == moved),
+            "moved entity suppressed by the addition window"
+        );
+        assert_eq!(sent2.len(), MAX_ADDITIONS_PER_REPLY + 1);
+    }
+
+    /// A precomputed interest set (the sweep's output) must produce a
+    /// byte-identical reply and identical encode accounting.
+    #[test]
+    fn precomputed_interest_sets_build_identical_replies() {
+        use parquake_protocol::Encode;
+        let (world, table) = delta_world();
+        for idx in [0usize, 1] {
+            let s = table.slot(idx);
+            s.client_id = 7;
+            s.last_seq = 42;
+            s.last_sent_at = 1234;
+        }
+        let set = {
+            let mut v = Vec::new();
+            let mut s = Vec::new();
+            build_reply_entities(&world, 0, &mut v, &mut s, &mut WorkCounters::new());
+            v
+        };
+        let mut w_scan = WorkCounters::new();
+        let mut w_pre = WorkCounters::new();
+        for delta in [false, true] {
+            let scan_msg = build_reply(
+                &world,
+                0,
+                table.slot(0),
+                1,
+                0,
+                delta,
+                Vec::new(),
+                None,
+                &mut w_scan,
+            );
+            let pre_msg = build_reply(
+                &world,
+                0,
+                table.slot(1),
+                1,
+                0,
+                delta,
+                Vec::new(),
+                Some(&set),
+                &mut w_pre,
+            );
+            assert_eq!(scan_msg.to_bytes(), pre_msg.to_bytes());
+        }
+        assert_eq!(w_scan.encoded_entities, w_pre.encoded_entities);
+        assert_eq!(table.slot(0).baseline, table.slot(1).baseline);
     }
 
     /// An unchanged entity is sent once and then suppressed: the first
@@ -235,6 +442,7 @@ mod tests {
             0,
             true,
             Vec::new(),
+            None,
             &mut work,
         ));
         assert!(!sent1.is_empty(), "first delta reply seeds the baseline");
@@ -257,6 +465,7 @@ mod tests {
             0,
             true,
             Vec::new(),
+            None,
             &mut work,
         ));
         assert!(sent2.is_empty(), "unchanged entities must be suppressed");

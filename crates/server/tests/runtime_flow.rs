@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::{Fabric, FabricKind};
+use parquake_interest::InterestStats;
 use parquake_metrics::ThreadStats;
 use parquake_protocol::{ClientMessage, Decode, MoveCmd, ServerMessage};
 use parquake_server::clients::SlotState;
@@ -100,7 +101,17 @@ fn connect_then_world_update_spawns_and_acks() {
             && sh.world.store.snapshot(0).active;
         // Reply phase sends the ack.
         let my_port = sh.ports[0];
-        sh.reply_for_slots(ctx, my_port, &[0], &[], 1, &mut stats, true);
+        sh.reply_for_slots(
+            ctx,
+            my_port,
+            &[0],
+            &[],
+            1,
+            &mut stats,
+            true,
+            None,
+            &mut InterestStats::default(),
+        );
         // Let the modelled link deliver the datagram.
         ctx.sleep_until(ctx.now() + 2_000_000);
         let got_ack = ctx.try_recv(client_port).map(|m| {
@@ -151,7 +162,17 @@ fn move_is_processed_and_replied_with_echo() {
         assert!(is_move);
         assert_eq!(stats.requests, 1);
         let my_port = sh.ports[0];
-        sh.reply_for_slots(ctx, my_port, &[0], &[], 1, &mut stats, true);
+        sh.reply_for_slots(
+            ctx,
+            my_port,
+            &[0],
+            &[],
+            1,
+            &mut stats,
+            true,
+            None,
+            &mut InterestStats::default(),
+        );
         // Let the modelled link deliver the datagrams.
         ctx.sleep_until(ctx.now() + 2_000_000);
         // First message is the ack; second the reply.

@@ -55,6 +55,9 @@ pub struct WorkCounters {
     pub visibility_checks: u64,
     /// Interaction events applied (pickups, hits, teleports…).
     pub interactions: u64,
+    /// Batch interest-matching steps (endpoint sorts, merge advances,
+    /// broad-phase range walks) performed by the DDM sweep.
+    pub interest_steps: u64,
 }
 
 impl WorkCounters {
@@ -71,6 +74,7 @@ impl WorkCounters {
         self.encoded_entities += o.encoded_entities;
         self.visibility_checks += o.visibility_checks;
         self.interactions += o.interactions;
+        self.interest_steps += o.interest_steps;
     }
 }
 
