@@ -20,6 +20,7 @@
 //!   crashsweep        response-rate retention vs injected crash rate (extension)
 //!   migratesweep      live migration recovering a skewed fleet (extension)
 //!   interestsweep     batch DDM interest matching vs per-client scans (extension)
+//!   gatewaysweep      sharded UDP gateway over loopback sockets (extension)
 //!   timeline          per-frame CSV dump for one configuration
 //!   all               everything above in sequence
 //!
@@ -32,14 +33,14 @@
 
 use parquake_harness::figures::{
     arenasweep, batching, common::SweepOpts, crashsweep, delta, dynassign, elasticity, fig4, fig5,
-    fig6, fig7, interestsweep, losssweep, migratesweep, onepass, table1, waitstats,
+    fig6, fig7, gatewaysweep, interestsweep, losssweep, migratesweep, onepass, table1, waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|interestsweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|interestsweep|gatewaysweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -99,6 +100,7 @@ fn main() {
         "crashsweep" => println!("{}", crashsweep::run(&opts)),
         "migratesweep" => println!("{}", migratesweep::run(&opts)),
         "interestsweep" => println!("{}", interestsweep::run(&opts)),
+        "gatewaysweep" => println!("{}", gatewaysweep::run(&opts)),
         "timeline" => {
             // Per-frame CSV for one configuration (8 threads, optimized,
             // last player count of the sweep).
@@ -140,6 +142,7 @@ fn main() {
             println!("{}", crashsweep::run(&opts));
             println!("{}", migratesweep::run(&opts));
             println!("{}", interestsweep::run(&opts));
+            println!("{}", gatewaysweep::run(&opts));
         }
         other => die(&format!("unknown subcommand {other}")),
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! udp_client [--server 127.0.0.1:27500] [--threads 2] [--players 8] [--secs 5]
-//!            [--arenas N] [--ramp]
+//!            [--arenas N] [--ramp] [--sockets M]
 //! ```
 //!
 //! `--arenas N` targets a multi-arena gateway (one socket): client `i`
@@ -11,12 +11,16 @@
 //! as before. `--ramp` (arena mode only) staggers joins over the first
 //! 30% of the run, holds, then drains everyone (with `Disconnect`s)
 //! over the next 20% — leaving a quiet tail that lets an elastic
-//! gateway reap its spawned arenas.
+//! gateway reap its spawned arenas. `--sockets M` (arena mode only)
+//! spreads the bots over M client sockets — a sharded `SO_REUSEPORT`
+//! gateway balances flows by 4-tuple hash, so driving S server shards
+//! needs at least S client sockets (one socket pins every bot to one
+//! shard).
 
 use std::time::Duration;
 
 use parquake_harness::udp::run_udp_clients;
-use parquake_harness::udp_arena::run_udp_arena_clients;
+use parquake_harness::udp_arena::run_udp_arena_clients_sharded;
 
 fn main() {
     let mut server: std::net::SocketAddr = "127.0.0.1:27500".parse().unwrap();
@@ -25,6 +29,7 @@ fn main() {
     let mut secs = 5u64;
     let mut arenas: Option<u32> = None;
     let mut ramp = false;
+    let mut sockets = 1u32;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +55,10 @@ fn main() {
                 arenas = Some(args[i].parse().expect("--arenas"));
             }
             "--ramp" => ramp = true,
+            "--sockets" => {
+                i += 1;
+                sockets = args[i].parse().expect("--sockets needs a number");
+            }
             other => {
                 eprintln!("udp_client: unknown option {other}");
                 std::process::exit(2);
@@ -67,7 +76,14 @@ fn main() {
                 duration.mul_f64(0.2),
             )
         });
-        match run_udp_arena_clients(server, arenas, players, duration, windows) {
+        match run_udp_arena_clients_sharded(
+            server,
+            arenas,
+            players,
+            duration,
+            windows,
+            sockets.max(1),
+        ) {
             Ok((sent, received, avg_ms, per_arena, restarts, rehomed)) => {
                 println!(
                     "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"

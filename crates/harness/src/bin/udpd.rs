@@ -8,6 +8,7 @@
 //!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
 //!      [--crash-rate P] [--crash-seed N]
 //!      [--migrate-spread N] [--migrate-drain]
+//!      [--gateway-shards S]
 //! ```
 //!
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
@@ -36,6 +37,11 @@
 //! clients than the coldest open one, the director hands one slot off
 //! per tick. `--migrate-drain` additionally empties lingering elastic
 //! arenas slot by slot so the reaper finds them empty.
+//! `--gateway-shards S` (arena mode only) runs S inbound/outbound pump
+//! pairs on the one UDP port via `SO_REUSEPORT` (kernel 4-tuple hash
+//! spreads client flows across the shard sockets; the report prints
+//! whether batched syscalls and reuseport are live). `S = 1` is the
+//! classic single-pump gateway, fault lottery included.
 
 use std::time::Duration;
 
@@ -53,6 +59,7 @@ fn main() {
     let mut crash_seed = 0xC4A5_5EEDu64;
     let mut migrate_spread = 0u32;
     let mut migrate_drain = false;
+    let mut gateway_shards = 1u32;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -133,6 +140,10 @@ fn main() {
                 migrate_spread = args[i].parse().expect("--migrate-spread needs a number");
             }
             "--migrate-drain" => migrate_drain = true,
+            "--gateway-shards" => {
+                i += 1;
+                gateway_shards = args[i].parse().expect("--gateway-shards needs a number");
+            }
             other => {
                 eprintln!("udpd: unknown option {other}");
                 std::process::exit(2);
@@ -151,6 +162,7 @@ fn main() {
             crash_seed,
             migrate_spread,
             migrate_drain,
+            gateway_shards.max(1),
         );
         return;
     }
@@ -267,9 +279,11 @@ fn run_arena_mode(
     crash_seed: u64,
     migrate_spread: u32,
     migrate_drain: bool,
+    gateway_shards: u32,
 ) {
     let opts = UdpArenaOpts {
         port: base.base_port,
+        gateway_shards,
         arenas,
         workers,
         slots_per_arena: base.max_players,
@@ -293,6 +307,23 @@ fn run_arena_mode(
         opts.workers,
         opts.duration.as_secs()
     );
+    if opts.gateway_shards > 1 {
+        let cap = parquake_harness::mmsg::capability();
+        println!(
+            "udpd: gateway sharding — {} pump pairs ({}, {})",
+            opts.gateway_shards,
+            if cap.reuseport {
+                "SO_REUSEPORT"
+            } else {
+                "shared-socket fallback"
+            },
+            if cap.mmsg {
+                "batched recvmmsg/sendmmsg"
+            } else {
+                "one-datagram syscalls"
+            }
+        );
+    }
     if opts.max_arenas > opts.arenas {
         println!(
             "udpd: elastic — up to {} arenas, {} ms linger before reap",
@@ -347,6 +378,32 @@ fn run_arena_mode(
                 report.spoof_rejected,
                 report.arena_unknown
             );
+            for lane in &report.shards {
+                println!(
+                    "udpd: shard{} — {} in, {} out ({} batched recvs, {} batched sends), \
+                     {} forwarded ({} to front), {} fault-dropped ({} dup copies), \
+                     {} decode-rejected, {} spoof-rejected, {} arena-unknown, \
+                     {} replies unroutable — identity {}",
+                    lane.shard,
+                    lane.datagrams_in,
+                    lane.datagrams_out,
+                    lane.batched_recvs,
+                    lane.batched_sends,
+                    lane.forwarded,
+                    lane.to_front,
+                    lane.fault_dropped,
+                    lane.fault_duplicated,
+                    lane.decode_rejected,
+                    lane.spoof_rejected,
+                    lane.arena_unknown,
+                    lane.replies_unroutable,
+                    if lane.accounting_closed() {
+                        "closes"
+                    } else {
+                        "DOES NOT CLOSE"
+                    }
+                );
+            }
             for (k, lane) in report.lanes.iter().enumerate() {
                 println!(
                     "udpd: arena{} — {} admitted, {} replies over {} frames; \

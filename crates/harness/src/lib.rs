@@ -9,6 +9,7 @@
 pub mod arena_experiment;
 pub mod experiment;
 pub mod figures;
+pub mod mmsg;
 pub mod udp;
 pub mod udp_arena;
 

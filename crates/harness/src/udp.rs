@@ -166,6 +166,60 @@ pub(crate) struct AddrEntry {
     pub(crate) last_seen: Instant,
 }
 
+/// How long an inbound pump sleeps in `recv_from` when nothing is
+/// pending — the poll cadence for the shutdown deadline.
+pub(crate) const PUMP_IDLE_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// How an inbound pump should wait for its next wakeup, given the
+/// earliest due time of its held (fault-delayed) datagrams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PumpWait {
+    /// Blocking `recv_from` with this read timeout.
+    Block(Duration),
+    /// Switch the socket nonblocking, try one `recv_from`, and sleep
+    /// this long if it comes up empty.
+    PollSleep(Duration),
+}
+
+/// Plan the pump's next wait so a held datagram is injected *at* its
+/// due time, not up to [`PUMP_IDLE_TIMEOUT`] after it.
+///
+/// `SO_RCVTIMEO` rounds up to scheduler ticks (observed ~5 ms worst
+/// case at HZ=250), so capping the read timeout alone still delivers
+/// milliseconds late. Instead: block only while the due time is
+/// comfortably far (stopping a tick-slack early), then close the final
+/// stretch with nonblocking reads paced by hrtimer sleeps, which hold
+/// sub-millisecond precision.
+pub(crate) fn pump_wait_plan(earliest_due: Option<Instant>, now: Instant) -> PumpWait {
+    /// Worst observed `SO_RCVTIMEO` overshoot plus margin.
+    const TICK_SLACK: Duration = Duration::from_millis(6);
+    /// Inside this window, poll: a blocking read could overshoot past
+    /// the due time.
+    const NEAR: Duration = Duration::from_millis(10);
+    /// Poll pace — short enough for ~ms delivery error, long enough
+    /// not to spin.
+    const STEP: Duration = Duration::from_micros(500);
+    /// `set_read_timeout(Some(ZERO))` is an error.
+    const FLOOR: Duration = Duration::from_millis(1);
+    match earliest_due {
+        None => PumpWait::Block(PUMP_IDLE_TIMEOUT),
+        Some(due) => {
+            let gap = due.saturating_duration_since(now);
+            if gap <= NEAR {
+                PumpWait::PollSleep(gap.min(STEP))
+            } else {
+                PumpWait::Block((gap - TICK_SLACK).clamp(FLOOR, PUMP_IDLE_TIMEOUT))
+            }
+        }
+    }
+}
+
+/// How often an outbound pump retries held (not-yet-routable) replies
+/// when no new gateway traffic wakes it — without this bound a reply
+/// whose address-book entry lands just after it would sit the whole
+/// retention window on a quiet port.
+pub(crate) const HELD_RETRY_TICK: Nanos = 25_000_000;
+
 /// Gateway-side counters merged from the pump threads/tasks.
 #[derive(Default)]
 struct PumpCounters {
@@ -296,7 +350,16 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                 let mut unroutable = 0u64;
                 let mut held: Vec<(Instant, u32, Vec<u8>)> = Vec::new();
                 loop {
-                    let readable = ctx.wait_readable(gw, Some(end_time));
+                    // While replies are held for address learning, bound
+                    // the wait with a retry tick: a book entry arriving
+                    // with no follow-on gateway traffic must still get
+                    // its reply within one tick, not after REPLY_RETAIN.
+                    let deadline = if held.is_empty() {
+                        end_time
+                    } else {
+                        (ctx.now() + HELD_RETRY_TICK).min(end_time)
+                    };
+                    let readable = ctx.wait_readable(gw, Some(deadline));
                     let now = Instant::now();
                     held.retain(|(since, cid, payload)| {
                         let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
@@ -313,7 +376,12 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                         }
                     });
                     if !readable {
-                        break;
+                        if ctx.now() >= end_time {
+                            break;
+                        }
+                        // Retry tick fired: held replies were retried
+                        // above; go back to waiting.
+                        continue;
                     }
                     while let Some(msg) = ctx.try_recv(gw) {
                         let client = match ServerMessage::from_bytes(&msg.payload) {
@@ -359,6 +427,8 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
             let mut c = PumpCounters::default();
             // Copies the fault stage delayed, waiting to come due.
             let mut held: Vec<(Instant, Vec<u8>)> = Vec::new();
+            let mut cur_timeout = PUMP_IDLE_TIMEOUT;
+            let mut nonblocking = false;
             loop {
                 let now = Instant::now();
                 let mut i = 0;
@@ -373,7 +443,34 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
                 if now >= deadline {
                     break;
                 }
-                match sock.recv_from(&mut buf) {
+                // Wait so the earliest held due time is hit on the dot
+                // (block far out, poll the final stretch) instead of up
+                // to the idle timeout late.
+                let res = match pump_wait_plan(held.iter().map(|h| h.0).min(), now) {
+                    PumpWait::Block(want) => {
+                        if nonblocking {
+                            let _ = sock.set_nonblocking(false);
+                            nonblocking = false;
+                        }
+                        if want != cur_timeout {
+                            let _ = sock.set_read_timeout(Some(want));
+                            cur_timeout = want;
+                        }
+                        sock.recv_from(&mut buf)
+                    }
+                    PumpWait::PollSleep(nap) => {
+                        if !nonblocking {
+                            let _ = sock.set_nonblocking(true);
+                            nonblocking = true;
+                        }
+                        let r = sock.recv_from(&mut buf);
+                        if r.is_err() && !nap.is_zero() {
+                            std::thread::sleep(nap);
+                        }
+                        r
+                    }
+                };
+                match res {
                     Ok((n, from)) => {
                         c.datagrams_in += 1;
                         let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) else {
@@ -702,6 +799,109 @@ mod tests {
         // (only a validated Connect may rebind).
         assert!(!admit(&mut book, &mv, addr(5000), t0 + GRACE * 2, GRACE));
         assert_eq!(book[&7].addr, addr(4000));
+    }
+
+    #[test]
+    fn wait_plan_tracks_the_earliest_due_time() {
+        let now = Instant::now();
+        // Nothing held: blocking read at the idle cadence.
+        assert_eq!(
+            pump_wait_plan(None, now),
+            PumpWait::Block(PUMP_IDLE_TIMEOUT)
+        );
+        // Due soon: poll, never risking a tick-rounded oversleep.
+        assert_eq!(
+            pump_wait_plan(Some(now + Duration::from_millis(3)), now),
+            PumpWait::PollSleep(Duration::from_micros(500))
+        );
+        // Due in under a poll step: nap only to the due time.
+        assert_eq!(
+            pump_wait_plan(Some(now + Duration::from_micros(80)), now),
+            PumpWait::PollSleep(Duration::from_micros(80))
+        );
+        // Already due: zero nap, the caller flushes immediately.
+        assert_eq!(
+            pump_wait_plan(Some(now), now),
+            PumpWait::PollSleep(Duration::ZERO)
+        );
+        // Due just past the poll window: block, but stop a tick-slack
+        // short of the due time.
+        assert_eq!(
+            pump_wait_plan(Some(now + Duration::from_millis(12)), now),
+            PumpWait::Block(Duration::from_millis(6))
+        );
+        // Far-off due time: never block longer than the idle cadence,
+        // and never ask for a zero timeout (that's an io error).
+        assert_eq!(
+            pump_wait_plan(Some(now + Duration::from_secs(1)), now),
+            PumpWait::Block(PUMP_IDLE_TIMEOUT)
+        );
+        match pump_wait_plan(
+            Some(now + Duration::from_millis(10) + Duration::from_micros(1)),
+            now,
+        ) {
+            PumpWait::Block(t) => assert!(t >= Duration::from_millis(1), "{t:?}"),
+            other => panic!("expected Block, got {other:?}"),
+        }
+    }
+
+    /// Satellite regression: a fault-delayed datagram must be delivered
+    /// within 2 ms of its due time. The pre-fix pump slept a fixed
+    /// 10 ms in `recv_from` regardless of due times (and `SO_RCVTIMEO`
+    /// rounds up to scheduler ticks on top), so a delayed copy could
+    /// arrive ~10 ms late — this loop, the pump's exact wait structure
+    /// sharing `pump_wait_plan`, would fail.
+    #[test]
+    fn delayed_fault_delivery_error_under_two_ms() {
+        let Ok(sock) = UdpSocket::bind("127.0.0.1:0") else {
+            eprintln!("skipping: loopback UDP not permitted");
+            return;
+        };
+        let mut worst = Duration::ZERO;
+        // Best-of-3: absorb scheduler hiccups on loaded machines.
+        for _ in 0..3 {
+            // 15 ms out exercises both phases: block, then poll.
+            let due = Instant::now() + Duration::from_millis(15);
+            let mut cur = PUMP_IDLE_TIMEOUT;
+            let mut nonblocking = false;
+            sock.set_read_timeout(Some(cur)).unwrap();
+            let mut buf = [0u8; 16];
+            let delivered = loop {
+                let now = Instant::now();
+                if due <= now {
+                    break now; // the pump would inject the copy here
+                }
+                match pump_wait_plan(Some(due), now) {
+                    PumpWait::Block(want) => {
+                        if nonblocking {
+                            sock.set_nonblocking(false).unwrap();
+                            nonblocking = false;
+                        }
+                        if want != cur {
+                            sock.set_read_timeout(Some(want)).unwrap();
+                            cur = want;
+                        }
+                        let _ = sock.recv_from(&mut buf); // quiet: timeout
+                    }
+                    PumpWait::PollSleep(nap) => {
+                        if !nonblocking {
+                            sock.set_nonblocking(true).unwrap();
+                            nonblocking = true;
+                        }
+                        if sock.recv_from(&mut buf).is_err() && !nap.is_zero() {
+                            std::thread::sleep(nap);
+                        }
+                    }
+                }
+            };
+            sock.set_nonblocking(false).unwrap();
+            let err = delivered.duration_since(due);
+            worst = worst.max(err);
+            if err < Duration::from_millis(2) {
+                return;
+            }
+        }
+        panic!("delayed delivery error {worst:?} ≥ 2ms on every attempt");
     }
 
     #[test]

@@ -1,30 +1,49 @@
-//! Real-network UDP gateway for the multi-arena directory: ONE socket
-//! serves every arena.
+//! Real-network sharded UDP gateway for the multi-arena directory.
 //!
 //! ```text
-//!   UDP 0.0.0.0:port ──(pump-in)──► Connect ──► directory front port
-//!                                   Move/Disc ─► arena[book(cid)] port
-//!   shared gateway fabric port ◄── every arena's replies ──(pump-out)──► UdpSocket
+//!   UDP 127.0.0.1:port ×N (SO_REUSEPORT) ─(pump-in s)─► Connect ──► front port
+//!                                                       Move/Disc ─► arena[k][thread]
+//!   gateway fabric port[s] ◄── replies of shard-s-forwarded traffic ─(pump-out s)─► socket s
 //! ```
 //!
-//! Where the single-world gateway (`crate::udp`) binds one socket per
-//! server thread, the arena gateway demuxes all arenas over one socket:
-//! `Connect`s go through the directory's admission stage (which picks
-//! the arena and forwards in-fabric), while `Move`/`Disconnect`
-//! datagrams are routed by the gateway straight to the client's placed
-//! arena — learned from the `ConnectAck{arena}` stream on the way out,
-//! so the data path skips the director entirely after admission.
+//! The gateway runs `gateway_shards` independent pump pairs. Each shard
+//! owns a socket bound to the *same* UDP port via `SO_REUSEPORT` (the
+//! kernel spreads client flows across shard sockets by 4-tuple hash), a
+//! seeded fault injector (shard 0 keeps the configured seed so a
+//! 1-shard gateway replays the exact pre-shard lottery; other shards
+//! salt it), and a [`parquake_metrics::GatewayLane`] so no counter is
+//! ever shared between pumps. Where batched syscalls are available
+//! (see [`crate::mmsg`]), a pump drains datagram bursts with one
+//! `recvmmsg`, forwards them into the fabric under one queue lock
+//! ([`parquake_fabric::real::RealFabric::send_external_batch`]), and
+//! writes reply bursts with one `sendmmsg`; everywhere else the same
+//! loops degrade to one-datagram std I/O.
 //!
-//! The same address-admission policy and seeded fault-injection stage
-//! as the single-world gateway run in front of everything, and the
-//! accounting is per arena: every inbound datagram has exactly one
-//! fate at the gateway stage, every front-door datagram is drained or
-//! queued, and per arena `pump_forwarded[k] + director_forwarded[k] ==
-//! processed[k] + queue_dropped[k] + pending[k]` —
-//! [`UdpArenaReport::accounted`] checks all three layers.
+//! The address and placement books are striped
+//! ([`StripedBook`]): clients hash to one of `max(4, shards)` stripes,
+//! so pumps on different shards almost never contend on one lock, and
+//! a book entry learned by one shard (Connect via shard 0, reply out
+//! via shard 1) is visible to all.
+//!
+//! Routing demuxes all arenas over every shard: `Connect`s go through
+//! the directory's admission stage, while `Move`/`Disconnect`
+//! datagrams are routed by the gateway straight to the client's placed
+//! arena **and thread** — the placement is learned from the outbound
+//! `ConnectAck{arena}` stream plus the ack's fabric source port (which
+//! names the dealt thread), and from the directory's lifecycle notices
+//! (which carry the thread explicitly). Routing to the *thread's* port
+//! matters on dedicated multi-thread arenas: the old gateway pinned
+//! every move to thread 0's port, recreating at the gateway the
+//! stray-forward hot spot PR 4 fixed in the director.
+//!
+//! Accounting closes at every layer and at every width: each shard's
+//! [`GatewayLane`] closes on its own, the aggregate of the shard lanes
+//! must equal the report's totals, the front door balances, and per
+//! arena `pump_forwarded + director_forwarded == processed +
+//! queue_dropped + pending_at_shutdown`.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -32,17 +51,26 @@ use parquake_arena::{spawn_directory, AdmissionPolicy, AdmissionStats, ArenaDire
 use parquake_bsp::mapgen::MapGenConfig;
 use parquake_fabric::fault::{FaultConfig, FaultInjector};
 use parquake_fabric::real::RealFabric;
-use parquake_fabric::Nanos;
+use parquake_fabric::{Fabric, Nanos, PortId};
+use parquake_metrics::GatewayLane;
 use parquake_protocol::{ClientMessage, Decode, ServerMessage, MAX_DATAGRAM};
 use parquake_server::{ServerConfig, ServerKind};
 
-use crate::udp::{admit, AddrEntry};
+use crate::mmsg;
+use crate::udp::{admit, pump_wait_plan, AddrEntry, PumpWait, HELD_RETRY_TICK, PUMP_IDLE_TIMEOUT};
+
+/// How long an unroutable reply is retried before being counted as
+/// lost; covers the window where a reply races address learning.
+const REPLY_RETAIN: Duration = Duration::from_millis(250);
 
 /// Arena-gateway options.
 #[derive(Clone, Debug)]
 pub struct UdpArenaOpts {
     /// The single UDP port every arena is served on.
     pub port: u16,
+    /// Inbound/outbound pump pairs sharing that port (1 = the classic
+    /// single-pump gateway, byte-identical fault lottery included).
+    pub gateway_shards: u32,
     /// Number of arenas.
     pub arenas: u32,
     /// Shared-pool worker tasks.
@@ -83,6 +111,7 @@ impl Default for UdpArenaOpts {
     fn default() -> Self {
         UdpArenaOpts {
             port: 27500,
+            gateway_shards: 1,
             arenas: 2,
             workers: 2,
             slots_per_arena: 32,
@@ -101,19 +130,31 @@ impl Default for UdpArenaOpts {
     }
 }
 
+/// The fault seed shard `shard` runs: shard 0 keeps the configured
+/// seed (a 1-shard gateway replays the exact pre-shard lottery);
+/// every other shard salts it so shards draw independent sequences.
+pub(crate) fn shard_fault_seed(base: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        base
+    } else {
+        base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
 /// One arena's traffic lane through the gateway.
 // lockcheck: identity(pump_forwarded + director_forwarded == processed + queue_dropped + pending_at_shutdown)
 #[derive(Clone, Debug, Default)]
 pub struct ArenaLane {
-    /// Datagrams the pump routed straight to this arena's port.
+    /// Datagrams the pumps (all shards) routed straight to this
+    /// arena's ports.
     pub pump_forwarded: u64,
-    /// Datagrams the director forwarded to this arena's port.
+    /// Datagrams the director forwarded to this arena's ports.
     pub director_forwarded: u64,
-    /// Datagrams the arena drained from its port.
+    /// Datagrams the arena drained from its ports.
     pub processed: u64,
-    /// Datagrams discarded by the arena port's bounded-queue policy.
+    /// Datagrams discarded by the arena ports' bounded-queue policy.
     pub queue_dropped: u64,
-    /// Datagrams still queued on the arena port at shutdown.
+    /// Datagrams still queued on the arena ports at shutdown.
     pub pending_at_shutdown: u64,
     /// Replies the arena generated.
     pub replies: u64,
@@ -133,10 +174,10 @@ impl ArenaLane {
 }
 
 /// Summary returned when the arena gateway shuts down.
-// lockcheck: identity(datagrams_in == decode_rejected + spoof_rejected + arena_unknown + fault_dropped + delivered, and per-lane closure)
+// lockcheck: identity(datagrams_in == decode_rejected + spoof_rejected + arena_unknown + fault_dropped + delivered, per-shard and per-lane closure)
 #[derive(Clone, Debug, Default)]
 pub struct UdpArenaReport {
-    /// Datagrams read off the socket.
+    /// Datagrams read off the shard sockets (all shards).
     pub datagrams_in: u64,
     /// Inbound datagrams that failed protocol decode.
     pub decode_rejected: u64,
@@ -159,10 +200,13 @@ pub struct UdpArenaReport {
     pub front_queue_dropped: u64,
     /// Front-door datagrams still queued at shutdown.
     pub front_pending: u64,
-    /// Datagrams written to the socket.
+    /// Datagrams written to the shard sockets.
     pub datagrams_out: u64,
     /// Replies that never matched a learned client address.
     pub replies_unroutable: u64,
+    /// Per-shard gateway lanes (one per pump pair); their aggregate
+    /// must reproduce the totals above.
+    pub shards: Vec<GatewayLane>,
     /// Per-arena traffic lanes (one per provisioned cell — an elastic
     /// gateway has lanes past the boot fleet).
     pub lanes: Vec<ArenaLane>,
@@ -180,9 +224,9 @@ pub struct UdpArenaReport {
 }
 
 impl UdpArenaReport {
-    /// Close the books at every layer: the gateway stage (decode →
-    /// admission → arena lookup → fault lottery), the front door, and
-    /// each arena's lane.
+    /// Close the books at every layer and width: each shard's gateway
+    /// lane, the aggregate of the shard lanes against the totals, the
+    /// front door, and each arena's lane.
     pub fn accounting_closed(&self) -> bool {
         let delivered = self.forwarded - self.fault_duplicated;
         let gateway = self.datagrams_in
@@ -193,88 +237,355 @@ impl UdpArenaReport {
                 + delivered;
         let front =
             self.to_front == self.front_drained + self.front_queue_dropped + self.front_pending;
+        // Per-shard closure, and the shard lanes must *sum* to the
+        // totals — a datagram counted on a shard but lost from the
+        // aggregate (or vice versa) opens the report. Reports built
+        // without shard lanes (unit-test fixtures) skip this layer.
+        let shards = self.shards.is_empty() || {
+            let agg = GatewayLane::aggregate(&self.shards);
+            self.shards.iter().all(|l| l.accounting_closed())
+                && agg.datagrams_in == self.datagrams_in
+                && agg.decode_rejected == self.decode_rejected
+                && agg.spoof_rejected == self.spoof_rejected
+                && agg.arena_unknown == self.arena_unknown
+                && agg.fault_dropped == self.fault_dropped
+                && agg.fault_duplicated == self.fault_duplicated
+                && agg.forwarded == self.forwarded
+                && agg.to_front == self.to_front
+                && agg.datagrams_out == self.datagrams_out
+                && agg.replies_unroutable == self.replies_unroutable
+        };
         gateway
             && front
+            && shards
             && self.lanes_missing_counters.is_empty()
             && self.lanes.iter().all(|l| l.accounting_closed())
     }
 }
 
-/// Apply one outbound fabric payload to the gateway's placement book
-/// (client id → placed arena). Returns `Some(client_id)` when the
-/// payload is a server message the client must receive — forward it —
-/// and `None` for lifecycle notices and undecodable payloads, which
-/// are gateway-internal and never go on the wire.
+/// Where the gateway believes a client's session lives: the serving
+/// arena and, within it, the dealt server thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GwPlacement {
+    pub arena: u16,
+    /// The dealt thread *index*; pooled (single-port) arenas clamp it
+    /// to 0 at routing time, dedicated multi-thread arenas route moves
+    /// to this thread's request port.
+    pub thread: u16,
+}
+
+/// A placement-book mutation derived from one outbound payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BookOp {
+    /// Bind (or rebind) the client's placement.
+    Insert(u32, GwPlacement),
+    /// The session is over server-side: forget the placement.
+    Remove(u32),
+    /// Evict only a booking *at that arena* — a late notice from an
+    /// old placement must not kill a newer one elsewhere.
+    RemoveIfArena(u32, u16),
+}
+
+impl BookOp {
+    /// The client the op concerns (the striping key).
+    pub fn client_id(&self) -> u32 {
+        match *self {
+            BookOp::Insert(cid, _) | BookOp::Remove(cid) | BookOp::RemoveIfArena(cid, _) => cid,
+        }
+    }
+
+    /// Apply to a plain placement map (one stripe).
+    pub fn apply(&self, book: &mut HashMap<u32, GwPlacement>) {
+        match *self {
+            BookOp::Insert(cid, p) => {
+                book.insert(cid, p);
+            }
+            BookOp::Remove(cid) => {
+                book.remove(&cid);
+            }
+            BookOp::RemoveIfArena(cid, arena) => {
+                if book.get(&cid).map(|p| p.arena) == Some(arena) {
+                    book.remove(&cid);
+                }
+            }
+        }
+    }
+}
+
+/// Classify one outbound fabric payload: does it go on the wire (and
+/// to which client), and how does it change the placement book?
 ///
-/// The directory's lifecycle tap mirrors every slot-churn notice here,
-/// so placements learned from `ConnectAck`s are also *unlearned* when
-/// the server drops the session without a `Bye` the gateway sees
-/// (inactivity reclaims, direct disconnects) and *rebound* when a live
-/// migration moves the slot. Before this, a stale entry misrouted
-/// every subsequent `Move` to a world that no longer held the session.
-pub fn apply_outbound(placements: &mut HashMap<u32, u16>, payload: &[u8]) -> Option<u32> {
+/// `from_pos` is the payload's fabric source resolved to an
+/// `(arena, thread)` position when it came from an arena thread's
+/// request port. A `ConnectAck` whose source thread belongs to the
+/// ack's own arena teaches the gateway the client's *dealt thread* —
+/// the pre-fix book kept only the arena and routed every later move to
+/// thread 0's port. Lifecycle notices carry the thread explicitly.
+pub fn classify_outbound(
+    payload: &[u8],
+    from_pos: Option<(u16, u16)>,
+) -> (Option<u32>, Option<BookOp>) {
     use parquake_server::LifecycleEvent;
     match ServerMessage::from_bytes(payload) {
         Ok(ServerMessage::ConnectAck {
             client_id, arena, ..
         }) => {
-            // The ack names the serving arena: from now on the inbound
-            // pump can route this client's moves without the director.
-            placements.insert(client_id, arena);
-            Some(client_id)
+            let thread = match from_pos {
+                Some((a, t)) if a == arena => t,
+                _ => 0,
+            };
+            (
+                Some(client_id),
+                Some(BookOp::Insert(client_id, GwPlacement { arena, thread })),
+            )
         }
-        Ok(ServerMessage::Bye { client_id }) => {
-            // The session is over server-side: forget the placement so
-            // a reconnect re-admits instead of routing moves to a
-            // freed (possibly reaped) arena.
-            placements.remove(&client_id);
-            Some(client_id)
-        }
-        Ok(ServerMessage::Reply { client_id, .. }) => Some(client_id),
+        Ok(ServerMessage::Bye { client_id }) => (Some(client_id), Some(BookOp::Remove(client_id))),
+        Ok(ServerMessage::Reply { client_id, .. }) => (Some(client_id), None),
         Err(_) => {
-            match LifecycleEvent::from_bytes(payload) {
+            let op = match LifecycleEvent::from_bytes(payload) {
                 Ok(LifecycleEvent::Connected {
-                    arena, client_id, ..
-                }) => {
-                    placements.insert(client_id, arena);
-                }
+                    arena,
+                    client_id,
+                    thread,
+                }) => Some(BookOp::Insert(client_id, GwPlacement { arena, thread })),
                 Ok(LifecycleEvent::Disconnected { arena, client_id })
                 | Ok(LifecycleEvent::Reclaimed {
                     arena, client_id, ..
-                }) => {
-                    // Evict only a booking *at that arena*: a late
-                    // notice from an old placement must not kill a
-                    // newer one elsewhere.
-                    if placements.get(&client_id) == Some(&arena) {
-                        placements.remove(&client_id);
-                    }
-                }
+                }) => Some(BookOp::RemoveIfArena(client_id, arena)),
                 Ok(LifecycleEvent::Migrated {
                     to_arena,
                     client_id,
+                    thread,
                     ..
-                }) => {
-                    placements.insert(client_id, to_arena);
-                }
-                Ok(LifecycleEvent::Rejected { .. }) | Err(_) => {}
-            }
-            None
+                }) => Some(BookOp::Insert(
+                    client_id,
+                    GwPlacement {
+                        arena: to_arena,
+                        thread,
+                    },
+                )),
+                Ok(LifecycleEvent::Rejected { .. }) | Err(_) => None,
+            };
+            (None, op)
         }
     }
 }
 
-/// Run the arena directory behind one real UDP socket until
-/// `opts.duration` elapses. Returns the layered traffic report.
-pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaReport> {
-    const REPLY_RETAIN: Duration = Duration::from_millis(250);
+/// Apply one outbound payload to a placement book. Returns
+/// `Some(client_id)` when the payload must be forwarded to the client,
+/// `None` for lifecycle notices and undecodable payloads.
+pub fn apply_outbound(
+    book: &mut HashMap<u32, GwPlacement>,
+    payload: &[u8],
+    from_pos: Option<(u16, u16)>,
+) -> Option<u32> {
+    let (fwd, op) = classify_outbound(payload, from_pos);
+    if let Some(op) = op {
+        op.apply(book);
+    }
+    fwd
+}
 
+/// Resolve a placed client's Move/Disconnect destination: the arena
+/// cell index and the dealt thread's request port (clamped for pooled
+/// single-port arenas). `None` means no routable placement.
+pub(crate) fn route_move(
+    placement: Option<GwPlacement>,
+    arena_ports: &[Vec<PortId>],
+) -> Option<(usize, PortId)> {
+    let p = placement?;
+    let ports = arena_ports.get(p.arena as usize)?;
+    let t = (p.thread as usize).min(ports.len().checked_sub(1)?);
+    Some((p.arena as usize, ports[t]))
+}
+
+/// A client-keyed map split over `max(4, shards)` stripes so gateway
+/// pumps on different shards almost never contend on one lock, while
+/// every shard still sees every entry (a Connect admitted on shard 0
+/// routes the reply leaving through shard 1).
+pub(crate) struct StripedBook<T> {
+    stripes: Vec<Mutex<HashMap<u32, T>>>,
+}
+
+impl<T: Clone> StripedBook<T> {
+    pub(crate) fn new(stripes: usize) -> StripedBook<T> {
+        let n = stripes.max(4).next_power_of_two();
+        StripedBook {
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Fibonacci-hash the client id onto a stripe (power-of-two count).
+    fn stripe(&self, cid: u32) -> &Mutex<HashMap<u32, T>> {
+        let h = (cid.wrapping_mul(0x9E37_79B9) >> 16) as usize;
+        &self.stripes[h & (self.stripes.len() - 1)]
+    }
+
+    pub(crate) fn get(&self, cid: u32) -> Option<T> {
+        self.stripe(cid).lock().unwrap().get(&cid).cloned() // lockcheck: allow(raw-sync: striped gateway book shared with OS-thread pumps outside the fabric)
+    }
+
+    /// Run `f` under the client's stripe lock.
+    pub(crate) fn with<R>(&self, cid: u32, f: impl FnOnce(&mut HashMap<u32, T>) -> R) -> R {
+        f(&mut self.stripe(cid).lock().unwrap()) // lockcheck: allow(raw-sync: striped gateway book shared with OS-thread pumps outside the fabric)
+    }
+}
+
+impl StripedBook<GwPlacement> {
+    /// Apply a book op under its client's stripe lock.
+    pub(crate) fn apply(&self, op: &BookOp) {
+        self.with(op.client_id(), |m| op.apply(m));
+    }
+}
+
+/// Outbound-pump counters, merged into the shard's [`GatewayLane`]
+/// after the run.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct OutCounters {
+    pub(crate) sent: u64,
+    pub(crate) unroutable: u64,
+    pub(crate) batched: u64,
+}
+
+/// Everything one outbound pump needs.
+pub(crate) struct OutboundShard {
+    pub(crate) shard: usize,
+    /// The gateway fabric port carrying this shard's replies.
+    pub(crate) gw: PortId,
+    /// This shard's UDP socket (replies leave from the server port).
+    pub(crate) sock: UdpSocket,
+    pub(crate) addrs: Arc<StripedBook<AddrEntry>>,
+    pub(crate) placements: Arc<StripedBook<GwPlacement>>,
+    /// Arena thread request port → `(arena, thread)`, for learning the
+    /// dealt thread from a `ConnectAck`'s fabric source.
+    pub(crate) port_pos: Arc<HashMap<PortId, (u16, u16)>>,
+    pub(crate) end_time: Nanos,
+    pub(crate) out: Arc<Mutex<Vec<OutCounters>>>,
+}
+
+/// Spawn one shard's outbound pump: a fabric task draining the shard's
+/// gateway port to its socket. Replies whose client address is not
+/// learned yet are retained up to [`REPLY_RETAIN`] and retried both on
+/// new gateway traffic and on a bounded retry tick
+/// ([`HELD_RETRY_TICK`]) — without the tick, a book entry arriving on
+/// a quiet port left the reply sitting the whole retention window.
+pub(crate) fn spawn_outbound_pump(fabric: &Arc<dyn Fabric>, p: OutboundShard) {
+    let OutboundShard {
+        shard,
+        gw,
+        sock,
+        addrs,
+        placements,
+        port_pos,
+        end_time,
+        out,
+    } = p;
+    fabric.spawn(
+        &format!("udp-arena-out{shard}"),
+        None,
+        Box::new(move |ctx| {
+            let mut sent = 0u64;
+            let mut unroutable = 0u64;
+            let mut batched = 0u64;
+            let mut held: Vec<(Instant, u32, Vec<u8>)> = Vec::new();
+            loop {
+                let deadline = if held.is_empty() {
+                    end_time
+                } else {
+                    (ctx.now() + HELD_RETRY_TICK).min(end_time)
+                };
+                let readable = ctx.wait_readable(gw, Some(deadline));
+                let now = Instant::now();
+                // Everything sendable this wakeup goes out in one
+                // batched write at the end.
+                let mut outbox: Vec<(Vec<u8>, SocketAddr)> = Vec::new();
+                held.retain(|(since, cid, payload)| {
+                    if let Some(e) = addrs.get(*cid) {
+                        outbox.push((payload.clone(), e.addr));
+                        false
+                    } else if now.duration_since(*since) >= REPLY_RETAIN {
+                        unroutable += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let expired = !readable && ctx.now() >= end_time;
+                if readable {
+                    while let Some(msg) = ctx.try_recv(gw) {
+                        let from_pos = port_pos.get(&msg.from).copied();
+                        let (fwd, op) = classify_outbound(&msg.payload, from_pos);
+                        if let Some(op) = op {
+                            placements.apply(&op);
+                        }
+                        let Some(cid) = fwd else { continue };
+                        match addrs.get(cid) {
+                            Some(e) => outbox.push((msg.payload, e.addr)),
+                            None => held.push((Instant::now(), cid, msg.payload)),
+                        }
+                    }
+                }
+                let (s, b) = mmsg::send_batch(&sock, &outbox);
+                sent += s;
+                batched += b;
+                if expired {
+                    break;
+                }
+            }
+            unroutable += held.len() as u64;
+            let mut c = out.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge counters, aggregated after join)
+            c[shard].sent += sent;
+            c[shard].unroutable += unroutable;
+            c[shard].batched += batched;
+        }),
+    );
+}
+
+/// Bind the shard sockets for one gateway port. Returns the sockets
+/// and whether `SO_REUSEPORT` carried them (`false` at one shard, and
+/// on the portable fallback where all pumps share one socket via
+/// `try_clone` and the kernel wakes one blocked reader per datagram).
+fn bind_shard_sockets(port: u16, shards: usize) -> std::io::Result<(Vec<UdpSocket>, bool)> {
+    if shards > 1 && mmsg::capability().reuseport {
+        // All sockets on the port must carry the flag (a plain bind
+        // blocks later reuseport binds), so the first one is bound
+        // through the raw path too.
+        let bound = (|| {
+            let first = mmsg::bind_reuseport(Ipv4Addr::LOCALHOST, port).ok()?;
+            let bound_port = first.local_addr().ok()?.port();
+            let mut socks = vec![first];
+            for _ in 1..shards {
+                socks.push(mmsg::bind_reuseport(Ipv4Addr::LOCALHOST, bound_port).ok()?);
+            }
+            Some(socks)
+        })();
+        if let Some(socks) = bound {
+            return Ok((socks, true));
+        }
+        // A partial failure dropped every socket above; fall through to
+        // the shared-socket fallback on a fresh plain bind.
+    }
+    let first = UdpSocket::bind(("127.0.0.1", port))?;
+    let mut socks = Vec::with_capacity(shards);
+    for _ in 1..shards {
+        socks.push(first.try_clone()?);
+    }
+    socks.insert(0, first);
+    Ok((socks, false))
+}
+
+/// Run the arena directory behind `gateway_shards` pump pairs on one
+/// real UDP port until `opts.duration` elapses. Returns the layered
+/// traffic report.
+pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaReport> {
+    let shards = opts.gateway_shards.max(1) as usize;
     let (real, fabric) = RealFabric::new_arc_pair();
     let end_time: Nanos = opts.duration.as_nanos() as Nanos;
-    // One gateway fabric port carries every arena's replies out — and,
-    // via the directory's lifecycle tap, every slot-churn notice, so
-    // the placement book below tracks server-side evictions and
-    // migrations the client never hears about directly.
-    let gw = fabric.alloc_port();
+    // One gateway fabric port per shard carries that shard's replies
+    // out; the directory's lifecycle tap (slot-churn notices) rides on
+    // shard 0, and the shared placement book makes what it learns
+    // visible to every shard.
+    let gw_ports: Vec<PortId> = (0..shards).map(|_| fabric.alloc_port()).collect();
     let mut server = ServerConfig::new(ServerKind::Sequential, end_time);
     server.client_timeout_ns = opts.client_timeout.as_nanos() as Nanos;
     let dir_cfg = ArenaDirectoryConfig {
@@ -293,224 +604,302 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
         }),
         migrate_spread: opts.migrate_spread,
         migrate_drain: opts.migrate_drain,
-        lifecycle_tap: Some(gw),
+        lifecycle_tap: Some(gw_ports[0]),
         ..ArenaDirectoryConfig::new(opts.arenas, opts.slots_per_arena, server)
     };
     let handle = spawn_directory(&fabric, dir_cfg);
     // Every provisioned cell, including elastic headroom past the boot
-    // fleet — the pump routes to (and the report covers) all of them.
+    // fleet — the pumps route to (and the report covers) all of them.
     let cells = handle.arena_ports.len();
+    let arena_ports: Arc<Vec<Vec<PortId>>> = Arc::new(handle.arena_ports.clone());
+    let port_pos: Arc<HashMap<PortId, (u16, u16)>> = Arc::new(
+        arena_ports
+            .iter()
+            .enumerate()
+            .flat_map(|(k, ports)| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .map(move |(t, &p)| (p, (k as u16, t as u16)))
+            })
+            .collect(),
+    );
 
-    let sock = UdpSocket::bind(("127.0.0.1", opts.port))?;
-    sock.set_read_timeout(Some(Duration::from_millis(10)))?;
+    let (socks, _reuseport) = bind_shard_sockets(opts.port, shards)?;
+    for sock in &socks {
+        sock.set_read_timeout(Some(PUMP_IDLE_TIMEOUT))?;
+    }
 
-    let addrs: Arc<Mutex<HashMap<u32, AddrEntry>>> = Arc::new(Mutex::new(HashMap::new()));
-    // client id → placed arena, learned from outbound ConnectAcks.
-    let placements: Arc<Mutex<HashMap<u32, u16>>> = Arc::new(Mutex::new(HashMap::new()));
-    let injector = Arc::new(FaultInjector::new(opts.fault.clone()));
+    let addrs: Arc<StripedBook<AddrEntry>> = Arc::new(StripedBook::new(shards));
+    let placements: Arc<StripedBook<GwPlacement>> = Arc::new(StripedBook::new(shards));
     let rebind_grace = if opts.client_timeout.is_zero() {
         Duration::from_secs(1)
     } else {
         opts.client_timeout / 2
     };
 
-    // Outbound pump: a fabric task draining the shared gateway port.
-    let out_counters = Arc::new(Mutex::new((0u64, 0u64))); // (sent, unroutable)
-    {
-        let sock = sock.try_clone()?;
-        let addrs = addrs.clone();
-        let placements = placements.clone();
-        let out_counters = out_counters.clone();
-        fabric.spawn(
-            "udp-arena-out",
-            None,
-            Box::new(move |ctx| {
-                let mut sent = 0u64;
-                let mut unroutable = 0u64;
-                let mut held: Vec<(Instant, u32, Vec<u8>)> = Vec::new();
-                loop {
-                    let readable = ctx.wait_readable(gw, Some(end_time));
-                    let now = Instant::now();
-                    held.retain(|(since, cid, payload)| {
-                        let addr = addrs.lock().unwrap().get(cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
-                        if let Some(addr) = addr {
-                            if sock.send_to(payload, addr).is_ok() {
-                                sent += 1;
-                            }
-                            false
-                        } else if now.duration_since(*since) >= REPLY_RETAIN {
-                            unroutable += 1;
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    if !readable {
-                        break;
-                    }
-                    while let Some(msg) = ctx.try_recv(gw) {
-                        let client = {
-                            let mut book = placements.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
-                            apply_outbound(&mut book, &msg.payload)
-                        };
-                        let Some(cid) = client else { continue };
-                        let addr = addrs.lock().unwrap().get(&cid).map(|e| e.addr); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
-                        match addr {
-                            Some(addr) => {
-                                if sock.send_to(&msg.payload, addr).is_ok() {
-                                    sent += 1;
-                                }
-                            }
-                            None => held.push((Instant::now(), cid, msg.payload)),
-                        }
-                    }
-                }
-                unroutable += held.len() as u64;
-                let mut c = out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge counters, aggregated after join)
-                c.0 += sent;
-                c.1 += unroutable;
-            }),
+    // Outbound pumps: one fabric task per shard.
+    let out_counters: Arc<Mutex<Vec<OutCounters>>> =
+        Arc::new(Mutex::new(vec![OutCounters::default(); shards]));
+    for (shard, gw) in gw_ports.iter().enumerate() {
+        spawn_outbound_pump(
+            &fabric,
+            OutboundShard {
+                shard,
+                gw: *gw,
+                sock: socks[shard].try_clone()?,
+                addrs: addrs.clone(),
+                placements: placements.clone(),
+                port_pos: port_pos.clone(),
+                end_time,
+                out: out_counters.clone(),
+            },
         );
     }
 
-    // Inbound pump: one OS thread demuxing the socket to all arenas.
-    struct InCounters {
-        datagrams_in: u64,
-        decode_rejected: u64,
-        spoof_rejected: u64,
-        arena_unknown: u64,
-        fault_dropped: u64,
-        fault_duplicated: u64,
-        to_front: u64,
-        to_arena: Vec<u64>,
-    }
-    let pump = {
-        let sock = sock.try_clone()?;
-        let real = real.clone();
-        let front = handle.front_port;
-        let arena_port0: Vec<_> = handle.arena_ports.iter().map(|p| p[0]).collect();
-        let addrs = addrs.clone();
-        let placements = placements.clone();
-        let injector = injector.clone();
-        let deadline = Instant::now() + opts.duration;
-        std::thread::spawn(move || {
-            let mut buf = [0u8; MAX_DATAGRAM];
-            let mut c = InCounters {
-                datagrams_in: 0,
-                decode_rejected: 0,
-                spoof_rejected: 0,
-                arena_unknown: 0,
-                fault_dropped: 0,
-                fault_duplicated: 0,
-                to_front: 0,
-                to_arena: vec![0; arena_port0.len()],
-            };
-            // Delayed copies waiting to come due: (due, dest, payload).
-            let mut held: Vec<(Instant, usize, Vec<u8>)> = Vec::new();
-            // dest: usize::MAX = front door, else arena index.
-            let deliver = |c: &mut InCounters, dest: usize, payload: Vec<u8>| {
-                if dest == usize::MAX {
-                    c.to_front += 1;
-                    real.send_external(gw, front, payload);
-                } else {
-                    c.to_arena[dest] += 1;
-                    real.send_external(gw, arena_port0[dest], payload);
-                }
-            };
-            loop {
-                let now = Instant::now();
-                let mut i = 0;
-                while i < held.len() {
-                    if held[i].0 <= now {
-                        let (_, dest, payload) = held.swap_remove(i);
-                        deliver(&mut c, dest, payload);
+    // Inbound pumps: one OS thread per shard demuxing its socket to
+    // all arenas. Each owns its lane and fault injector outright.
+    let deadline = Instant::now() + opts.duration;
+    let front = handle.front_port;
+    let pumps: Vec<std::thread::JoinHandle<(GatewayLane, Vec<u64>)>> = (0..shards)
+        .map(|shard| {
+            let sock = socks[shard]
+                .try_clone()
+                .expect("shard socket clone for inbound pump");
+            let real = real.clone();
+            let gw = gw_ports[shard];
+            let addrs = addrs.clone();
+            let placements = placements.clone();
+            let arena_ports = arena_ports.clone();
+            let injector = FaultInjector::new(FaultConfig {
+                seed: shard_fault_seed(opts.fault.seed, shard),
+                ..opts.fault.clone()
+            });
+            std::thread::spawn(move || {
+                let mut buf = [0u8; MAX_DATAGRAM];
+                let mut lane = GatewayLane::new(shard);
+                let mut to_arena = vec![0u64; cells];
+                // Delayed copies waiting to come due:
+                // (due, cell, port, payload); cell usize::MAX = front.
+                let mut held: Vec<(Instant, usize, PortId, Vec<u8>)> = Vec::new();
+                // Fabric deliveries staged this wakeup, flushed in
+                // per-port batches under one queue lock each.
+                let mut outbox: Vec<(PortId, Vec<u8>)> = Vec::new();
+                let mut cur_timeout = PUMP_IDLE_TIMEOUT;
+                let mut nonblocking = false;
+
+                fn stage(
+                    lane: &mut GatewayLane,
+                    to_arena: &mut [u64],
+                    outbox: &mut Vec<(PortId, Vec<u8>)>,
+                    cell: usize,
+                    port: PortId,
+                    payload: Vec<u8>,
+                ) {
+                    lane.forwarded += 1;
+                    if cell == usize::MAX {
+                        lane.to_front += 1;
                     } else {
-                        i += 1;
+                        to_arena[cell] += 1;
+                    }
+                    outbox.push((port, payload));
+                }
+
+                fn flush(real: &RealFabric, gw: PortId, outbox: &mut Vec<(PortId, Vec<u8>)>) {
+                    while !outbox.is_empty() {
+                        let port = outbox[0].0;
+                        let mut batch = Vec::new();
+                        let mut rest = Vec::new();
+                        for (p, payload) in outbox.drain(..) {
+                            if p == port {
+                                batch.push(payload);
+                            } else {
+                                rest.push((p, payload));
+                            }
+                        }
+                        *outbox = rest;
+                        real.send_external_batch(gw, port, batch);
                     }
                 }
-                if now >= deadline {
-                    break;
-                }
-                match sock.recv_from(&mut buf) {
-                    Ok((n, from)) => {
-                        c.datagrams_in += 1;
-                        let Ok(msg) = ClientMessage::from_bytes(&buf[..n]) else {
-                            c.decode_rejected += 1;
-                            continue;
-                        };
-                        let admitted = {
-                            let mut book = addrs.lock().unwrap(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the address book outside the fabric)
-                            admit(&mut book, &msg, from, now, rebind_grace)
-                        };
-                        if !admitted {
-                            c.spoof_rejected += 1;
-                            continue;
-                        }
-                        // Route: Connects go through admission (the
-                        // director picks the arena); moves/disconnects
-                        // go straight to the placed arena.
-                        let dest = match &msg {
-                            ClientMessage::Connect { .. } => usize::MAX,
-                            ClientMessage::Move { client_id, .. }
-                            | ClientMessage::Disconnect { client_id } => {
-                                let placed = placements.lock().unwrap().get(client_id).copied(); // lockcheck: allow(raw-sync: OS-thread UDP bridge shares the placement map outside the fabric)
-                                match placed {
-                                    Some(k) if (k as usize) < arena_port0.len() => k as usize,
-                                    _ => {
-                                        c.arena_unknown += 1;
-                                        continue;
-                                    }
+
+                let process = |lane: &mut GatewayLane,
+                               to_arena: &mut Vec<u64>,
+                               held: &mut Vec<(Instant, usize, PortId, Vec<u8>)>,
+                               outbox: &mut Vec<(PortId, Vec<u8>)>,
+                               payload: &[u8],
+                               from: SocketAddr,
+                               now: Instant| {
+                    lane.datagrams_in += 1;
+                    let Ok(msg) = ClientMessage::from_bytes(payload) else {
+                        lane.decode_rejected += 1;
+                        return;
+                    };
+                    let cid = match &msg {
+                        ClientMessage::Connect { client_id, .. }
+                        | ClientMessage::Move { client_id, .. }
+                        | ClientMessage::Disconnect { client_id } => *client_id,
+                    };
+                    let admitted =
+                        addrs.with(cid, |book| admit(book, &msg, from, now, rebind_grace));
+                    if !admitted {
+                        lane.spoof_rejected += 1;
+                        return;
+                    }
+                    // Route: Connects go through admission (the
+                    // director picks the arena); moves/disconnects go
+                    // straight to the placed arena's dealt thread.
+                    let (cell, port) = match &msg {
+                        ClientMessage::Connect { .. } => (usize::MAX, front),
+                        ClientMessage::Move { client_id, .. }
+                        | ClientMessage::Disconnect { client_id } => {
+                            match route_move(placements.get(*client_id), &arena_ports) {
+                                Some(dest) => dest,
+                                None => {
+                                    lane.arena_unknown += 1;
+                                    return;
                                 }
                             }
-                        };
-                        let fates = injector.draw();
-                        if fates.is_empty() {
-                            c.fault_dropped += 1;
-                            continue;
                         }
-                        c.fault_duplicated += fates.len() as u64 - 1;
-                        for extra in fates {
-                            if extra == 0 {
-                                deliver(&mut c, dest, buf[..n].to_vec());
-                            } else {
-                                held.push((
-                                    now + Duration::from_nanos(extra),
-                                    dest,
-                                    buf[..n].to_vec(),
-                                ));
+                    };
+                    let fates = injector.draw();
+                    if fates.is_empty() {
+                        lane.fault_dropped += 1;
+                        return;
+                    }
+                    lane.fault_duplicated += fates.len() as u64 - 1;
+                    for extra in fates {
+                        if extra == 0 {
+                            stage(lane, to_arena, outbox, cell, port, payload.to_vec());
+                        } else {
+                            held.push((
+                                now + Duration::from_nanos(extra),
+                                cell,
+                                port,
+                                payload.to_vec(),
+                            ));
+                        }
+                    }
+                };
+
+                loop {
+                    let now = Instant::now();
+                    let mut i = 0;
+                    while i < held.len() {
+                        if held[i].0 <= now {
+                            let (_, cell, port, payload) = held.swap_remove(i);
+                            stage(&mut lane, &mut to_arena, &mut outbox, cell, port, payload);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    flush(&real, gw, &mut outbox);
+                    if now >= deadline {
+                        break;
+                    }
+                    // Wait so the earliest held due time is hit on the
+                    // dot (block far out, poll the final stretch)
+                    // instead of up to the idle timeout late.
+                    let res = match pump_wait_plan(held.iter().map(|h| h.0).min(), now) {
+                        PumpWait::Block(want) => {
+                            if nonblocking {
+                                let _ = sock.set_nonblocking(false);
+                                nonblocking = false;
+                            }
+                            if want != cur_timeout {
+                                let _ = sock.set_read_timeout(Some(want));
+                                cur_timeout = want;
+                            }
+                            sock.recv_from(&mut buf)
+                        }
+                        PumpWait::PollSleep(nap) => {
+                            if !nonblocking {
+                                let _ = sock.set_nonblocking(true);
+                                nonblocking = true;
+                            }
+                            let r = sock.recv_from(&mut buf);
+                            if r.is_err() && !nap.is_zero() {
+                                std::thread::sleep(nap);
+                            }
+                            r
+                        }
+                    };
+                    match res {
+                        Ok((n, from)) => {
+                            let (payload, rest) = buf.split_at_mut(n);
+                            let _ = rest;
+                            process(
+                                &mut lane,
+                                &mut to_arena,
+                                &mut held,
+                                &mut outbox,
+                                payload,
+                                from,
+                                now,
+                            );
+                            // Drain the rest of a burst in one batched
+                            // syscall (no-op without mmsg capability).
+                            for (extra, from2) in mmsg::recv_more(&sock, mmsg::BATCH - 1) {
+                                lane.batched_recvs += 1;
+                                process(
+                                    &mut lane,
+                                    &mut to_arena,
+                                    &mut held,
+                                    &mut outbox,
+                                    &extra,
+                                    from2,
+                                    now,
+                                );
                             }
                         }
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
                     }
-                    Err(ref e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
-                    }
-                    Err(_) => break,
                 }
-            }
-            // Late delivery is legal UDP: flush held copies so the
-            // accounting identity closes exactly.
-            for (_, dest, payload) in std::mem::take(&mut held) {
-                deliver(&mut c, dest, payload);
-            }
-            c
+                // Late delivery is legal UDP: flush held copies so the
+                // accounting identity closes exactly.
+                for (_, cell, port, payload) in std::mem::take(&mut held) {
+                    stage(&mut lane, &mut to_arena, &mut outbox, cell, port, payload);
+                }
+                flush(&real, gw, &mut outbox);
+                (lane, to_arena)
+            })
         })
-    };
+        .collect();
 
     fabric.run();
-    let c = pump.join().expect("inbound pump panicked");
+    let mut shard_lanes: Vec<GatewayLane> = Vec::with_capacity(shards);
+    let mut pump_to_arena = vec![0u64; cells];
+    for pump in pumps {
+        let (lane, to_arena) = pump.join().expect("inbound pump panicked");
+        for (k, v) in to_arena.iter().enumerate() {
+            pump_to_arena[k] += v;
+        }
+        shard_lanes.push(lane);
+    }
+    {
+        let outs = out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
+        for lane in shard_lanes.iter_mut() {
+            let oc = outs[lane.shard];
+            lane.datagrams_out = oc.sent;
+            lane.replies_unroutable = oc.unroutable;
+            lane.batched_sends = oc.batched;
+        }
+    }
+    let agg = GatewayLane::aggregate(&shard_lanes);
 
     let admission = handle.admission.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
     let mut lanes = Vec::with_capacity(cells);
     let mut lanes_missing_counters: Vec<u16> = Vec::new();
-    for k in 0..cells {
+    for (k, &pump_forwarded) in pump_to_arena.iter().enumerate() {
         let r = handle.results[k].lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
         let m = r.merged();
-        let port = handle.arena_ports[k][0];
         // A provisioned cell absent from the director's tables is a
         // drifted fleet view, not quiet traffic: record it so the
         // report refuses to close, instead of zero-filling silently.
@@ -530,33 +919,41 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
                 0
             }
         };
+        let (queue_dropped, pending_at_shutdown) =
+            handle.arena_ports[k]
+                .iter()
+                .fold((0u64, 0u64), |(d, p), &port| {
+                    (
+                        d + fabric.port_dropped(port),
+                        p + fabric.port_pending(port) as u64,
+                    )
+                });
         lanes.push(ArenaLane {
-            pump_forwarded: c.to_arena[k],
+            pump_forwarded,
             director_forwarded,
             processed: m.datagrams,
-            queue_dropped: fabric.port_dropped(port),
-            pending_at_shutdown: fabric.port_pending(port) as u64,
+            queue_dropped,
+            pending_at_shutdown,
             replies: m.replies,
             frames: r.frame_count,
             admitted,
         });
     }
-    let (datagrams_out, replies_unroutable) = *out_counters.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
-    let forwarded = c.to_front + c.to_arena.iter().sum::<u64>();
     Ok(UdpArenaReport {
-        datagrams_in: c.datagrams_in,
-        decode_rejected: c.decode_rejected,
-        spoof_rejected: c.spoof_rejected,
-        arena_unknown: c.arena_unknown,
-        fault_dropped: c.fault_dropped,
-        fault_duplicated: c.fault_duplicated,
-        forwarded,
-        to_front: c.to_front,
+        datagrams_in: agg.datagrams_in,
+        decode_rejected: agg.decode_rejected,
+        spoof_rejected: agg.spoof_rejected,
+        arena_unknown: agg.arena_unknown,
+        fault_dropped: agg.fault_dropped,
+        fault_duplicated: agg.fault_duplicated,
+        forwarded: agg.forwarded,
+        to_front: agg.to_front,
         front_drained: admission.drained(),
         front_queue_dropped: fabric.port_dropped(handle.front_port),
         front_pending: fabric.port_pending(handle.front_port) as u64,
-        datagrams_out,
-        replies_unroutable,
+        datagrams_out: agg.datagrams_out,
+        replies_unroutable: agg.replies_unroutable,
+        shards: shard_lanes,
         lanes,
         lanes_missing_counters,
         admission,
@@ -566,7 +963,7 @@ pub fn run_udp_arena_server(opts: &UdpArenaOpts) -> std::io::Result<UdpArenaRepo
 }
 
 /// A minimal real-UDP multi-arena client: drives `players` bots, each
-/// requesting arena `i % arenas`, against one gateway socket. With
+/// requesting arena `i % arenas`, against one gateway port. With
 /// `ramp = Some((up, hold, down))` bot `i` joins staggered over the
 /// up window and leaves (with a `Disconnect`) staggered over the down
 /// window — the load shape that exercises an elastic gateway. Returns
@@ -583,14 +980,43 @@ pub fn run_udp_arena_clients(
     duration: Duration,
     ramp: Option<(Duration, Duration, Duration)>,
 ) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64, u64)> {
+    run_udp_arena_clients_sharded(server, arenas, players, duration, ramp, 1)
+}
+
+/// As [`run_udp_arena_clients`], but spread the bots over `sockets`
+/// client sockets (bot `i` lives on socket `i % sockets`). A sharded
+/// `SO_REUSEPORT` gateway balances *flows*, not datagrams: one client
+/// socket is one 4-tuple and lands entirely on one shard, so driving a
+/// multi-shard gateway needs at least as many client sockets as server
+/// shards.
+pub fn run_udp_arena_clients_sharded(
+    server: SocketAddr,
+    arenas: u32,
+    players: u32,
+    duration: Duration,
+    ramp: Option<(Duration, Duration, Duration)>,
+    sockets: u32,
+) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64, u64)> {
     use parquake_protocol::Encode;
 
     const RETRY_MIN: Duration = Duration::from_millis(100);
     const RETRY_MAX: Duration = Duration::from_millis(1600);
     const STARVATION: Duration = Duration::from_secs(1);
 
-    let sock = UdpSocket::bind("127.0.0.1:0")?;
-    sock.set_read_timeout(Some(Duration::from_millis(5)))?;
+    let m = sockets.max(1) as usize;
+    let socks: Vec<UdpSocket> = (0..m)
+        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    if m == 1 {
+        // Single socket: the blocking drain below doubles as pacing.
+        socks[0].set_read_timeout(Some(Duration::from_millis(5)))?;
+    } else {
+        // Multi-socket: poll all sockets nonblocking; the loop's sleep
+        // paces the scan.
+        for s in &socks {
+            s.set_nonblocking(true)?;
+        }
+    }
     let start = Instant::now();
     let n = players as usize;
     let arenas = arenas.max(1);
@@ -635,7 +1061,7 @@ pub fn run_udp_arena_clients(
                     let bye = ClientMessage::Disconnect {
                         client_id: i as u32,
                     };
-                    if sock.send_to(&bye.to_bytes(), server).is_ok() {
+                    if socks[i % m].send_to(&bye.to_bytes(), server).is_ok() {
                         sent += 1;
                     }
                 }
@@ -678,12 +1104,12 @@ pub fn run_udp_arena_clients(
                     },
                 }
             };
-            if sock.send_to(&msg.to_bytes(), server).is_ok() {
+            if socks[i % m].send_to(&msg.to_bytes(), server).is_ok() {
                 sent += 1;
             }
         }
-        while let Ok((len, _)) = sock.recv_from(&mut buf) {
-            match ServerMessage::from_bytes(&buf[..len]) {
+        let mut handle_reply = |buf: &[u8]| {
+            match ServerMessage::from_bytes(buf) {
                 Ok(ServerMessage::ConnectAck {
                     client_id, arena, ..
                 }) => {
@@ -741,6 +1167,11 @@ pub fn run_udp_arena_clients(
                 }
                 Err(_) => {}
             }
+        };
+        for s in &socks {
+            while let Ok((len, _)) = s.recv_from(&mut buf) {
+                handle_reply(&buf[..len]);
+            }
         }
         std::thread::sleep(Duration::from_millis(2));
     }
@@ -762,6 +1193,9 @@ pub fn run_udp_arena_clients(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parquake_protocol::Encode;
+    use parquake_server::LifecycleEvent;
+    use proptest::prelude::*;
 
     fn balanced_lane() -> ArenaLane {
         ArenaLane {
@@ -772,6 +1206,15 @@ mod tests {
             pending_at_shutdown: 2,
             ..ArenaLane::default()
         }
+    }
+
+    fn ack(cid: u32, arena: u16) -> Vec<u8> {
+        ServerMessage::ConnectAck {
+            client_id: cid,
+            spawn: parquake_math::Vec3::ZERO,
+            arena,
+        }
+        .to_bytes()
     }
 
     #[test]
@@ -785,22 +1228,11 @@ mod tests {
 
     #[test]
     fn outbound_notices_evict_and_rebind_placements() {
-        use parquake_protocol::Encode;
-        use parquake_server::LifecycleEvent;
-
-        let mut book: HashMap<u32, u16> = HashMap::new();
-        let ack = |cid: u32, arena: u16| {
-            ServerMessage::ConnectAck {
-                client_id: cid,
-                spawn: parquake_math::Vec3::ZERO,
-                arena,
-            }
-            .to_bytes()
-        };
+        let mut book: HashMap<u32, GwPlacement> = HashMap::new();
 
         // ConnectAck installs the placement and is forwarded.
-        assert_eq!(apply_outbound(&mut book, &ack(7, 1)), Some(7));
-        assert_eq!(book.get(&7), Some(&1));
+        assert_eq!(apply_outbound(&mut book, &ack(7, 1), None), Some(7));
+        assert_eq!(book[&7].arena, 1);
 
         // A Reclaimed notice from the placed arena evicts the entry
         // (the pre-fix book kept it and misrouted every later Move to
@@ -811,49 +1243,324 @@ mod tests {
             client_id: 7,
             at: 123,
         };
-        assert_eq!(apply_outbound(&mut book, &reclaim.to_bytes()), None);
+        assert_eq!(apply_outbound(&mut book, &reclaim.to_bytes(), None), None);
         assert!(!book.contains_key(&7));
 
         // A *late* notice from an old placement must not kill a newer
         // booking elsewhere.
-        assert_eq!(apply_outbound(&mut book, &ack(7, 2)), Some(7));
+        assert_eq!(apply_outbound(&mut book, &ack(7, 2), None), Some(7));
         let stale = LifecycleEvent::Disconnected {
             arena: 1,
             client_id: 7,
         };
-        assert_eq!(apply_outbound(&mut book, &stale.to_bytes()), None);
+        assert_eq!(apply_outbound(&mut book, &stale.to_bytes(), None), None);
         assert_eq!(
-            book.get(&7),
-            Some(&2),
+            book.get(&7).map(|p| p.arena),
+            Some(2),
             "late notice evicted a fresh booking"
         );
 
-        // A Migrated notice rebinds to the destination arena.
+        // A Migrated notice rebinds to the destination arena AND the
+        // thread the destination dealt.
         let mig = LifecycleEvent::Migrated {
             from_arena: 2,
             to_arena: 0,
             client_id: 7,
-            thread: 0,
+            thread: 1,
         };
-        assert_eq!(apply_outbound(&mut book, &mig.to_bytes()), None);
-        assert_eq!(book.get(&7), Some(&0), "Migrated notice did not rebind");
+        assert_eq!(apply_outbound(&mut book, &mig.to_bytes(), None), None);
+        assert_eq!(
+            book.get(&7),
+            Some(&GwPlacement {
+                arena: 0,
+                thread: 1
+            }),
+            "Migrated notice did not rebind"
+        );
 
         // A Connected notice (direct-at-arena join the front door
-        // never saw) installs; Bye forwards and evicts.
+        // never saw) installs arena and thread; Bye forwards and
+        // evicts.
         let joined = LifecycleEvent::Connected {
             arena: 3,
             client_id: 8,
             thread: 1,
         };
-        assert_eq!(apply_outbound(&mut book, &joined.to_bytes()), None);
-        assert_eq!(book.get(&8), Some(&3));
+        assert_eq!(apply_outbound(&mut book, &joined.to_bytes(), None), None);
+        assert_eq!(
+            book.get(&8),
+            Some(&GwPlacement {
+                arena: 3,
+                thread: 1
+            })
+        );
         let bye = ServerMessage::Bye { client_id: 8 }.to_bytes();
-        assert_eq!(apply_outbound(&mut book, &bye), Some(8));
+        assert_eq!(apply_outbound(&mut book, &bye, None), Some(8));
         assert!(!book.contains_key(&8));
 
         // Garbage decodes to neither family: ignored, book untouched.
-        assert_eq!(apply_outbound(&mut book, &[0xFF, 1, 2, 3]), None);
+        assert_eq!(apply_outbound(&mut book, &[0xFF, 1, 2, 3], None), None);
         assert_eq!(book.len(), 1);
+    }
+
+    /// Satellite regression (stale-thread routing): a dedicated
+    /// 2-thread arena must receive a placed client's moves on the
+    /// *dealt* thread's port. The pre-fix pump routed every move to
+    /// `arena_ports[k][0]`.
+    #[test]
+    fn moves_route_to_the_dealt_threads_port() {
+        // Synthetic 2-arena × 2-thread port table.
+        let ports: Vec<Vec<PortId>> = vec![vec![10, 11], vec![20, 21]];
+        let mut book: HashMap<u32, GwPlacement> = HashMap::new();
+
+        // The ack for client 7 leaves arena 1 from thread 1's request
+        // port: the gateway must learn (arena 1, thread 1)…
+        assert_eq!(apply_outbound(&mut book, &ack(7, 1), Some((1, 1))), Some(7));
+        assert_eq!(
+            book[&7],
+            GwPlacement {
+                arena: 1,
+                thread: 1
+            }
+        );
+        // …and route later moves to thread 1's port (pre-fix: 20).
+        assert_eq!(route_move(book.get(&7).copied(), &ports), Some((1, 21)));
+
+        // An ack whose fabric source is NOT one of the named arena's
+        // ports (a re-ack relayed oddly) falls back to thread 0 rather
+        // than trusting a foreign thread index.
+        assert_eq!(apply_outbound(&mut book, &ack(8, 1), Some((0, 1))), Some(8));
+        assert_eq!(route_move(book.get(&8).copied(), &ports), Some((1, 20)));
+
+        // Pooled arenas have one port: any learned thread clamps to it.
+        let pooled: Vec<Vec<PortId>> = vec![vec![10], vec![20]];
+        assert_eq!(route_move(book.get(&7).copied(), &pooled), Some((1, 20)));
+
+        // A placement naming a missing arena is unroutable, not a
+        // panic (elastic reap raced the move).
+        assert_eq!(
+            route_move(
+                Some(GwPlacement {
+                    arena: 9,
+                    thread: 0
+                }),
+                &ports
+            ),
+            None
+        );
+        assert_eq!(route_move(None, &ports), None);
+    }
+
+    /// Satellite regression, live half: spin a dedicated directory
+    /// whose single arena runs a 2-thread parallel runtime, connect
+    /// two clients through the front door, and check the gateway's
+    /// book learns two *different* dealt threads from the ack stream —
+    /// and that moves would route to each thread's own port.
+    #[test]
+    fn dedicated_two_thread_arena_deals_moves_across_thread_ports() {
+        use parquake_server::LockPolicy;
+
+        let (_real, fabric) = RealFabric::new_arc_pair();
+        let end_time: Nanos = 400_000_000; // 400ms
+        let gw = fabric.alloc_port();
+        let server = ServerConfig::new(
+            ServerKind::Parallel {
+                threads: 2,
+                locking: LockPolicy::Optimized,
+            },
+            end_time,
+        );
+        let dir_cfg = ArenaDirectoryConfig {
+            scheduling: parquake_arena::ArenaScheduling::Dedicated,
+            lifecycle_tap: Some(gw),
+            ..ArenaDirectoryConfig::new(1, 8, server)
+        };
+        let handle = spawn_directory(&fabric, dir_cfg);
+        assert_eq!(
+            handle.arena_ports[0].len(),
+            2,
+            "dedicated parallel arena should expose one port per thread"
+        );
+        let arena_ports = handle.arena_ports.clone();
+        let port_pos: HashMap<PortId, (u16, u16)> = arena_ports
+            .iter()
+            .enumerate()
+            .flat_map(|(k, ports)| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .map(move |(t, &p)| (p, (k as u16, t as u16)))
+            })
+            .collect();
+        let front = handle.front_port;
+
+        let learned: Arc<Mutex<HashMap<u32, GwPlacement>>> = Arc::new(Mutex::new(HashMap::new()));
+        let learned_task = learned.clone();
+        fabric.spawn(
+            "driver",
+            None,
+            Box::new(move |ctx| {
+                use parquake_protocol::Encode;
+                for cid in 0..2u32 {
+                    ctx.send(
+                        gw,
+                        front,
+                        ClientMessage::Connect {
+                            client_id: cid,
+                            arena: 0,
+                        }
+                        .to_bytes(),
+                    );
+                }
+                let mut book: HashMap<u32, GwPlacement> = HashMap::new();
+                // Collect acks (and lifecycle notices) until both
+                // clients' placements are learned or time runs out.
+                while book.len() < 2 && ctx.now() < end_time - 50_000_000 {
+                    if !ctx.wait_readable(gw, Some(ctx.now() + 20_000_000)) {
+                        continue;
+                    }
+                    while let Some(msg) = ctx.try_recv(gw) {
+                        apply_outbound(&mut book, &msg.payload, port_pos.get(&msg.from).copied());
+                    }
+                }
+                *learned_task.lock().unwrap() = book; // lockcheck: allow(raw-sync: test harness captures the driver's book for post-run asserts)
+            }),
+        );
+        fabric.run();
+
+        let book = learned.lock().unwrap(); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
+        assert_eq!(book.len(), 2, "both clients should be acked: {book:?}");
+        let threads: Vec<u16> = (0..2u32).map(|cid| book[&cid].thread).collect();
+        assert_eq!(
+            {
+                let mut t = threads.clone();
+                t.sort_unstable();
+                t
+            },
+            vec![0, 1],
+            "round-robin dealing should land the two clients on the two threads"
+        );
+        for cid in 0..2u32 {
+            let dest = route_move(book.get(&cid).copied(), &arena_ports).unwrap();
+            assert_eq!(
+                dest.1, arena_ports[0][threads[cid as usize] as usize],
+                "client {cid}'s moves must go to its dealt thread's port"
+            );
+        }
+        // The pre-fix gateway would have sent both to thread 0's port.
+        assert_ne!(
+            route_move(book.get(&0).copied(), &arena_ports),
+            route_move(book.get(&1).copied(), &arena_ports),
+            "the two clients should route to different thread ports"
+        );
+    }
+
+    /// Satellite regression (held-reply starvation): a reply retained
+    /// for address learning must leave within one retry tick of the
+    /// book entry appearing — even with zero further gateway traffic.
+    /// Pre-fix, the outbound pump only retried on `wait_readable`
+    /// wakeups, so this reply sat the full 250 ms retention window.
+    #[test]
+    fn held_reply_sends_within_one_tick_of_address_learning() {
+        let Ok(client_sock) = UdpSocket::bind("127.0.0.1:0") else {
+            eprintln!("skipping: loopback UDP not permitted");
+            return;
+        };
+        client_sock
+            .set_read_timeout(Some(Duration::from_millis(800)))
+            .unwrap();
+        let gw_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (real, fabric) = RealFabric::new_arc_pair();
+        let gw = fabric.alloc_port();
+        let addrs: Arc<StripedBook<AddrEntry>> = Arc::new(StripedBook::new(1));
+        let out = Arc::new(Mutex::new(vec![OutCounters::default()]));
+        spawn_outbound_pump(
+            &fabric,
+            OutboundShard {
+                shard: 0,
+                gw,
+                sock: gw_sock,
+                addrs: addrs.clone(),
+                placements: Arc::new(StripedBook::new(1)),
+                port_pos: Arc::new(HashMap::new()),
+                end_time: 600_000_000, // 600ms
+                out: out.clone(),
+            },
+        );
+        // A reply for client 42 reaches the gateway before any address
+        // is learned (e.g. a migration re-ack beating the handshake).
+        let reply = ServerMessage::Reply {
+            client_id: 42,
+            seq: 1,
+            sent_at_echo: 0,
+            frame: 1,
+            assigned_thread: 0,
+            origin: parquake_math::Vec3::ZERO,
+            delta: false,
+            entities: Vec::new(),
+            removed: Vec::new(),
+            events: Vec::new(),
+        }
+        .to_bytes();
+        real.send_external(gw, gw, reply);
+        let client_addr = client_sock.local_addr().unwrap();
+        let learner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let inserted_at = Instant::now();
+            addrs.with(42, |book| {
+                book.insert(
+                    42,
+                    AddrEntry {
+                        addr: client_addr,
+                        last_seen: Instant::now(),
+                    },
+                );
+            });
+            let mut buf = [0u8; MAX_DATAGRAM];
+            let got = client_sock.recv_from(&mut buf).is_ok();
+            (inserted_at, Instant::now(), got)
+        });
+        fabric.run();
+        let (inserted_at, received_at, got) = learner.join().unwrap();
+        assert!(got, "held reply never delivered");
+        let lag = received_at.duration_since(inserted_at);
+        // One 25 ms tick plus generous scheduling slack — far below
+        // the pre-fix floor of REPLY_RETAIN (250 ms).
+        assert!(
+            lag < Duration::from_millis(120),
+            "held reply took {lag:?} after the address was learned"
+        );
+        assert_eq!(out.lock().unwrap()[0].unroutable, 0); // lockcheck: allow(raw-sync: host-side read after the run joined, no tasks alive)
+    }
+
+    #[test]
+    fn shard_zero_keeps_the_configured_fault_seed() {
+        // Byte-identity anchor: at `--gateway-shards 1` the only pump
+        // draws the exact pre-shard lottery sequence.
+        assert_eq!(shard_fault_seed(0xDEAD_BEEF, 0), 0xDEAD_BEEF);
+        assert_ne!(shard_fault_seed(0xDEAD_BEEF, 1), 0xDEAD_BEEF);
+        assert_ne!(
+            shard_fault_seed(0xDEAD_BEEF, 1),
+            shard_fault_seed(0xDEAD_BEEF, 2)
+        );
+    }
+
+    #[test]
+    fn striped_book_is_coherent_across_stripes() {
+        let book: StripedBook<u64> = StripedBook::new(4);
+        for cid in 0..256u32 {
+            book.with(cid, |m| m.insert(cid, u64::from(cid) * 3));
+        }
+        for cid in 0..256u32 {
+            assert_eq!(book.get(cid), Some(u64::from(cid) * 3));
+        }
+        assert_eq!(book.get(9999), None);
+        // Spread sanity: 256 sequential ids should not all hash to one
+        // stripe.
+        let used = (0..book.stripes.len())
+            .filter(|&s| !book.stripes[s].lock().unwrap().is_empty()) // lockcheck: allow(raw-sync: single-threaded test inspection of the striped book)
+            .count();
+        assert!(used > 1, "all 256 clients landed on one stripe");
     }
 
     #[test]
@@ -891,5 +1598,100 @@ mod tests {
         // A single open lane opens the whole report.
         r.lanes[1].processed -= 1;
         assert!(!r.accounting_closed(), "{r:?}");
+    }
+
+    #[test]
+    fn report_requires_shard_lanes_to_sum_to_totals() {
+        let shard = |s: usize, datagrams: u64| GatewayLane {
+            shard: s,
+            datagrams_in: datagrams,
+            forwarded: datagrams,
+            ..GatewayLane::default()
+        };
+        let mut r = UdpArenaReport {
+            datagrams_in: 30,
+            forwarded: 30,
+            to_front: 0,
+            shards: vec![shard(0, 10), shard(1, 20)],
+            ..UdpArenaReport::default()
+        };
+        assert!(r.accounting_closed(), "{r:?}");
+        // A shard lane that doesn't close opens the report…
+        r.shards[0].fault_dropped += 1;
+        assert!(!r.accounting_closed(), "{r:?}");
+        r.shards[0].fault_dropped -= 1;
+        // …and closed shard lanes that don't SUM to the totals (a
+        // datagram counted on a shard but missing from the aggregate)
+        // open it too.
+        r.shards[1].datagrams_in -= 5;
+        r.shards[1].forwarded -= 5;
+        assert!(!r.accounting_closed(), "{r:?}");
+    }
+
+    /// Satellite: the per-shard counter model. Any partition of one
+    /// seeded fate stream across shards must (a) leave every shard
+    /// lane individually closed and (b) sum exactly to the lane a
+    /// single-socket gateway would have counted for the same stream —
+    /// sharding the gateway must never create or lose a datagram fate.
+    fn apply_fate(lane: &mut GatewayLane, fate: u8, dups: u8) {
+        match fate % 5 {
+            0 => {
+                lane.datagrams_in += 1;
+                lane.decode_rejected += 1;
+            }
+            1 => {
+                lane.datagrams_in += 1;
+                lane.spoof_rejected += 1;
+            }
+            2 => {
+                lane.datagrams_in += 1;
+                lane.arena_unknown += 1;
+            }
+            3 => {
+                lane.datagrams_in += 1;
+                lane.fault_dropped += 1;
+            }
+            _ => {
+                let copies = 1 + u64::from(dups % 3);
+                lane.datagrams_in += 1;
+                lane.fault_duplicated += copies - 1;
+                lane.forwarded += copies;
+                if fate % 2 == 0 {
+                    lane.to_front += 1;
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sharded_lanes_sum_to_the_single_socket_totals(
+            stream in prop::collection::vec((any::<u8>(), any::<u8>(), 0usize..4), 0..200),
+            shards in 1usize..4,
+        ) {
+            let mut single = GatewayLane::new(0);
+            let mut lanes: Vec<GatewayLane> =
+                (0..shards).map(GatewayLane::new).collect();
+            for &(fate, dups, pick) in &stream {
+                apply_fate(&mut single, fate, dups);
+                apply_fate(&mut lanes[pick % shards], fate, dups);
+            }
+            for lane in &lanes {
+                prop_assert!(lane.accounting_closed(), "shard lane open: {lane:?}");
+            }
+            prop_assert!(single.accounting_closed());
+            let agg = GatewayLane::aggregate(&lanes);
+            prop_assert_eq!(agg.datagrams_in, single.datagrams_in);
+            prop_assert_eq!(agg.decode_rejected, single.decode_rejected);
+            prop_assert_eq!(agg.spoof_rejected, single.spoof_rejected);
+            prop_assert_eq!(agg.arena_unknown, single.arena_unknown);
+            prop_assert_eq!(agg.fault_dropped, single.fault_dropped);
+            prop_assert_eq!(agg.fault_duplicated, single.fault_duplicated);
+            prop_assert_eq!(agg.forwarded, single.forwarded);
+            prop_assert_eq!(agg.to_front, single.to_front);
+            prop_assert!(agg.accounting_closed());
+        }
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod arena;
 pub mod breakdown;
+pub mod gateway;
 pub mod report;
 pub mod stats;
 pub mod supervisor;
@@ -28,6 +29,7 @@ pub mod witness;
 
 pub use arena::{rollup, ArenaLoad, ElasticEvent, ElasticEventKind, ElasticStats};
 pub use breakdown::{Breakdown, Bucket};
+pub use gateway::GatewayLane;
 pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
 pub use supervisor::{SupervisorEvent, SupervisorEventKind, SupervisorStats};
 pub use timeline::{FrameSample, Timeline};
