@@ -75,6 +75,7 @@ fn codec(c: &mut Criterion) {
             up: 0.0,
             buttons: parquake_protocol::Buttons(3),
             msec: 30,
+            predict_ack: None,
         },
     };
     let bytes = msg.to_bytes();

@@ -199,6 +199,7 @@ impl BotMind {
             up: 0.0,
             buttons,
             msec,
+            predict_ack: None,
         }
     }
 }

@@ -14,6 +14,18 @@ use parquake_metrics::ResponseStats;
 use parquake_protocol::{ClientMessage, Decode, Encode, ServerMessage};
 
 use crate::behavior::{BotBehavior, BotMind};
+use crate::predict::Predictor;
+
+/// The shared compiled map handed to predicting clients. Debug-opaque:
+/// a compiled BSP world is not meaningfully printable.
+#[derive(Clone)]
+pub struct PredictMap(pub Arc<parquake_bsp::BspWorld>);
+
+impl std::fmt::Debug for PredictMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PredictMap(..)")
+    }
+}
 
 /// Swarm configuration.
 #[derive(Clone, Debug)]
@@ -40,6 +52,11 @@ pub struct BotSwarmConfig {
     /// `None` = everyone plays from 0 to `send_until` (the paper's
     /// constant worst-case load).
     pub ramp: Option<SwarmRamp>,
+    /// Client-side prediction: `Some(map)` makes every bot run the
+    /// shared movement kernel on the given compiled map, send the
+    /// input-seq trailer, and reconcile against trailered replies.
+    /// `None` = legacy clients (no trailer on the wire).
+    pub predict: Option<PredictMap>,
 }
 
 /// A time-varying population profile for the swarm.
@@ -86,6 +103,7 @@ impl BotSwarmConfig {
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
             ramp: None,
+            predict: None,
         }
     }
 }
@@ -109,6 +127,12 @@ pub struct BotSwarm {
     /// *different* arena — the destination world of a live migration
     /// re-acking the handed-off slot. Atomic, like `connected`.
     pub rehomed: Arc<AtomicU64>,
+    /// Merged prediction/reconciliation statistics (all zeros when the
+    /// swarm runs without [`BotSwarmConfig::predict`]).
+    pub prediction: Arc<Mutex<parquake_metrics::PredictionStats>>,
+    /// Ring entries still unacked across all bots at shutdown — the
+    /// `in_flight` term that closes the prediction ledger.
+    pub predict_in_flight: Arc<AtomicU64>,
 }
 
 /// Where a swarm's traffic goes.
@@ -180,6 +204,8 @@ pub fn spawn_swarm_multi(
     ]));
     let restarts_observed = Arc::new(AtomicU64::new(0));
     let rehomed_observed = Arc::new(AtomicU64::new(0));
+    let prediction = Arc::new(Mutex::new(parquake_metrics::PredictionStats::new()));
+    let predict_in_flight = Arc::new(AtomicU64::new(0));
     let drivers = cfg.drivers.clamp(1, cfg.players.max(1));
     let per = cfg.players.div_ceil(drivers);
     for d in 0..drivers {
@@ -189,6 +215,10 @@ pub fn spawn_swarm_multi(
             break;
         }
         let port = fabric.alloc_port();
+        // Bot drivers are the WAN side of the link: fabrics running a
+        // WAN-scoped fault lottery perturb exactly the client↔server
+        // datagrams and leave intra-server traffic pristine.
+        fabric.mark_wan_port(port);
         let topology = topology.clone();
         let init: Vec<(u16, usize)> = (lo..hi)
             .map(|c| {
@@ -206,13 +236,27 @@ pub fn spawn_swarm_multi(
         let per_arena = per_arena.clone();
         let restarts = restarts_observed.clone();
         let rehomed = rehomed_observed.clone();
+        let pred = prediction.clone();
+        let pred_inflight = predict_in_flight.clone();
         fabric.spawn(
             &format!("bots-{d}"),
             None, // client machines: off the modelled server CPUs
             Box::new(move |ctx| {
                 drive(
-                    ctx, port, lo, hi, &topology, init, &cfg, &stats, &connected, &per_arena,
-                    &restarts, &rehomed,
+                    ctx,
+                    port,
+                    lo,
+                    hi,
+                    &topology,
+                    init,
+                    &cfg,
+                    &stats,
+                    &connected,
+                    &per_arena,
+                    &restarts,
+                    &rehomed,
+                    &pred,
+                    &pred_inflight,
                 );
             }),
         );
@@ -223,6 +267,8 @@ pub fn spawn_swarm_multi(
         per_arena,
         restarts_observed,
         rehomed: rehomed_observed,
+        prediction,
+        predict_in_flight,
     }
 }
 
@@ -240,6 +286,8 @@ fn drive(
     per_arena_out: &Mutex<Vec<ResponseStats>>,
     restarts_out: &AtomicU64,
     rehomed_out: &AtomicU64,
+    prediction_out: &Mutex<parquake_metrics::PredictionStats>,
+    predict_in_flight_out: &AtomicU64,
 ) {
     /// First Connect-retry interval; doubles per unanswered retry.
     const RETRY_MIN: Nanos = 100_000_000;
@@ -253,6 +301,14 @@ fn drive(
     let frame_ns = cfg.client_frame_ms as Nanos * 1_000_000;
     let mut bots: Vec<BotMind> = (lo..hi)
         .map(|c| BotMind::new(c, cfg.seed, cfg.behavior.clone()))
+        .collect();
+    // One prediction state machine per bot when the swarm predicts.
+    let mut predictors: Vec<Option<Predictor>> = (0..n)
+        .map(|_| {
+            cfg.predict
+                .as_ref()
+                .map(|m| Predictor::new(m.0.clone(), parquake_math::Vec3::ZERO))
+        })
         .collect();
     // The arena each bot asks for at Connect time (fixed) and the
     // arena/thread it currently addresses (updated from acks/replies).
@@ -347,7 +403,13 @@ fn drive(
                 backoff[i] = (backoff[i] * 2).min(RETRY_MAX);
             } else {
                 ctx.charge(cfg.think_cost_ns);
-                let cmd = bots[i].think(now, cfg.client_frame_ms.min(250) as u8);
+                let mut cmd = bots[i].think(now, cfg.client_frame_ms.min(250) as u8);
+                if let Some(p) = predictors[i].as_mut() {
+                    // Opt in on the wire and act on the input locally,
+                    // a full round trip before the server confirms it.
+                    cmd.predict_ack = Some(p.trailer_ack());
+                    p.predict(&cmd);
+                }
                 stats.note_sent();
                 arena_stats[cur_arena[i]].note_sent();
                 let msg = ClientMessage::Move {
@@ -394,13 +456,25 @@ fn drive(
                 };
                 match msg {
                     ServerMessage::ConnectAck {
-                        client_id, arena, ..
+                        client_id,
+                        arena,
+                        spawn,
                     } => {
                         let i = client_id.wrapping_sub(lo) as usize;
                         if i < n && !acked[i] && !left[i] {
                             acked[i] = true;
                             backoff[i] = RETRY_MIN;
                             last_heard[i] = ctx.now();
+                            // A (re-)Connect was acked: the session's
+                            // reply-seq space starts over, so the
+                            // duplicate-suppression window must too —
+                            // otherwise every reply of the new session
+                            // reads as a stale copy and the response
+                            // accounting starves after a reconnect.
+                            last_rx_seq[i] = -1;
+                            if let Some(p) = predictors[i].as_mut() {
+                                p.reset(spawn);
+                            }
                             // The ack's arena id is the admission
                             // policy's placement: address that arena's
                             // ports from now on. The ack's source port
@@ -466,6 +540,7 @@ fn drive(
                         delta,
                         entities,
                         removed,
+                        predict,
                         ..
                     } => {
                         let i = client_id.wrapping_sub(lo) as usize;
@@ -479,6 +554,13 @@ fn drive(
                             if fresh && sent_at_echo > 0 && now >= sent_at_echo {
                                 stats.note_reply(now - sent_at_echo);
                                 arena_stats[cur_arena[i]].note_reply(now - sent_at_echo);
+                            }
+                            if fresh {
+                                if let (Some(p), Some(rp)) =
+                                    (predictors[i].as_mut(), predict.as_ref())
+                                {
+                                    p.reconcile(origin, rp);
+                                }
                             }
                             last_rx_seq[i] = last_rx_seq[i].max(seq as i64);
                             // Follow server steering (dynamic
@@ -514,6 +596,17 @@ fn drive(
     connected_out.fetch_add(connected, Ordering::Relaxed);
     restarts_out.fetch_add(restarts, Ordering::Relaxed);
     rehomed_out.fetch_add(rehomed, Ordering::Relaxed);
+    let mut pred = parquake_metrics::PredictionStats::new();
+    let mut in_flight = 0u64;
+    for p in predictors.iter().flatten() {
+        pred.merge(&p.stats);
+        in_flight += p.in_flight();
+    }
+    prediction_out
+        .lock() // lockcheck: allow(raw-sync: host-side swarm stats sink, merged once at task end)
+        .unwrap_or_else(PoisonError::into_inner)
+        .merge(&pred);
+    predict_in_flight_out.fetch_add(in_flight, Ordering::Relaxed);
     let mut per = per_arena_out
         .lock() // lockcheck: allow(raw-sync: host-side per-arena stats sink, merged once at task end)
         .unwrap_or_else(PoisonError::into_inner);
@@ -556,6 +649,7 @@ mod tests {
                                     entities: vec![],
                                     removed: vec![],
                                     events: vec![],
+                                    predict: None,
                                 };
                                 ctx.send(port, raw.from, reply.to_bytes());
                             }
@@ -628,6 +722,7 @@ mod tests {
                                     entities: vec![],
                                     removed: vec![],
                                     events: vec![],
+                                    predict: None,
                                 };
                                 ctx.send(port_a, raw.from, reply.to_bytes());
                             }
@@ -660,6 +755,7 @@ mod tests {
                                 entities: vec![],
                                 removed: vec![],
                                 events: vec![],
+                                predict: None,
                             };
                             ctx.send(port_b, raw.from, reply.to_bytes());
                         }
@@ -725,6 +821,7 @@ mod tests {
                                     entities: vec![],
                                     removed: vec![],
                                     events: vec![],
+                                    predict: None,
                                 };
                                 ctx.send(port_a, raw.from, reply.to_bytes());
                                 if moves >= 5 && !migrated {
@@ -765,6 +862,7 @@ mod tests {
                                 entities: vec![],
                                 removed: vec![],
                                 events: vec![],
+                                predict: None,
                             };
                             ctx.send(port_b, raw.from, reply.to_bytes());
                         }

@@ -17,8 +17,10 @@
 
 pub mod behavior;
 pub mod driver;
+pub mod predict;
 
 pub use behavior::{BotBehavior, BotMind};
 pub use driver::{
-    spawn_swarm, spawn_swarm_multi, BotSwarm, BotSwarmConfig, SwarmRamp, SwarmTopology,
+    spawn_swarm, spawn_swarm_multi, BotSwarm, BotSwarmConfig, PredictMap, SwarmRamp, SwarmTopology,
 };
+pub use predict::{Predictor, PREDICT_RING_CAP};

@@ -1,0 +1,438 @@
+//! Client-side prediction with server reconciliation.
+//!
+//! A predicting bot runs the shared movement kernel
+//! ([`parquake_sim::step_world_only`]) on its own inputs the instant
+//! they are sent, instead of waiting a round trip for the server's
+//! reply — the standard QuakeWorld latency-hiding technique. Unacked
+//! inputs sit in a ring; every trailered reply carries the server's
+//! last-applied input seq and its perturbation epoch, and the client
+//!
+//! 1. retires ring entries up to the ack, judging the acked entry's
+//!    predicted state against the server's authoritative state,
+//! 2. adopts the authoritative state as the new base, and
+//! 3. replays the still-unacked inputs on top of it (rollback+replay).
+//!
+//! The **divergence oracle** is the correctness instrument: whenever a
+//! reply finds *no* inputs in flight and the slot's perturbation epoch
+//! unchanged since the acked input was predicted, the predicted state
+//! must equal the server's bit for bit — both sides ran the identical
+//! kernel on the identical inputs from the identical base. Any oracle
+//! mismatch is a prediction-kernel bug, never a tuning matter.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parquake_bsp::BspWorld;
+use parquake_math::Vec3;
+use parquake_metrics::PredictionStats;
+use parquake_protocol::{MoveCmd, ReplyPredict};
+use parquake_sim::{step_world_only, PredictState};
+
+/// Unacked-input ring capacity. At one input per 30 ms client frame
+/// this is ~7.7 s of server silence before inputs are dropped — far
+/// past the starvation watchdog, so overflow only happens under
+/// pathological loss.
+pub const PREDICT_RING_CAP: usize = 256;
+
+/// One unacked input awaiting its authoritative verdict.
+struct RingEntry {
+    seq: u32,
+    cmd: MoveCmd,
+    /// Predicted state *after* applying `cmd`.
+    predicted: PredictState,
+    /// Server perturbation epoch adopted when this input was predicted;
+    /// `None` before the first reconciliation (no epoch known yet, so
+    /// the oracle stands down for this entry).
+    perturb_base: Option<u32>,
+}
+
+/// Per-bot prediction state machine (DESIGN.md §14).
+pub struct Predictor {
+    map: Arc<BspWorld>,
+    /// Current predicted player state — what the bot acts on.
+    pub state: PredictState,
+    ring: VecDeque<RingEntry>,
+    /// Last server input-ack consumed (echoed in the Move trailer).
+    last_server_ack: u32,
+    /// Last perturbation epoch adopted from a reply.
+    perturb_seen: Option<u32>,
+    /// A ring overflow dropped entries unjudged; judgment and the
+    /// oracle stand down until the next authoritative adoption.
+    tainted: bool,
+    pub stats: PredictionStats,
+}
+
+impl Predictor {
+    /// `spawn_hint` seeds the predicted state before the first reply;
+    /// the first reconciliation replaces it with authoritative state.
+    pub fn new(map: Arc<BspWorld>, spawn_hint: Vec3) -> Predictor {
+        Predictor {
+            map,
+            state: PredictState {
+                pos: spawn_hint,
+                vel: Vec3::ZERO,
+                on_ground: false,
+            },
+            ring: VecDeque::new(),
+            last_server_ack: 0,
+            perturb_seen: None,
+            tainted: false,
+            stats: PredictionStats::new(),
+        }
+    }
+
+    /// Ring entries still awaiting an ack (closes the ledger:
+    /// `predicted == judged + dropped + in_flight`).
+    pub fn in_flight(&self) -> u64 {
+        self.ring.len() as u64
+    }
+
+    /// The ack to stamp into the outgoing move's prediction trailer:
+    /// the last server input-ack this client has consumed (0 = none
+    /// yet). Presence of the trailer is the opt-in signal.
+    pub fn trailer_ack(&self) -> u32 {
+        self.last_server_ack
+    }
+
+    /// Forget the session: a re-Connect was acked, so the server-side
+    /// slot (and its input-seq space) is new. In-flight inputs will
+    /// never be acked — they are counted dropped so the ledger still
+    /// closes — and the oracle stands down until the next adoption.
+    pub fn reset(&mut self, spawn: Vec3) {
+        self.stats.dropped += self.ring.len() as u64;
+        self.ring.clear();
+        self.state = PredictState {
+            pos: spawn,
+            vel: Vec3::ZERO,
+            on_ground: false,
+        };
+        self.last_server_ack = 0;
+        self.perturb_seen = None;
+        self.tainted = false;
+    }
+
+    /// Predict `cmd` locally: step the kernel, remember the input.
+    pub fn predict(&mut self, cmd: &MoveCmd) {
+        if self.ring.len() >= PREDICT_RING_CAP {
+            self.ring.pop_front();
+            self.stats.dropped += 1;
+            self.stats.ring_overflows += 1;
+            self.tainted = true;
+        }
+        self.state = step_world_only(&self.map, self.state, cmd);
+        self.ring.push_back(RingEntry {
+            seq: cmd.seq,
+            cmd: *cmd,
+            predicted: self.state,
+            perturb_base: self.perturb_seen,
+        });
+        self.stats.predicted += 1;
+    }
+
+    /// Consume a trailered reply: retire acked inputs, judge the acked
+    /// prediction, adopt authoritative state, replay the rest.
+    /// `origin` is the reply's authoritative position.
+    pub fn reconcile(&mut self, origin: Vec3, rp: &ReplyPredict) {
+        self.stats.reconciled += 1;
+        if rp.input_ack < self.last_server_ack {
+            // Reordered stale reply: adopting it would roll the base
+            // behind inputs the server has already applied. Drop it.
+            return;
+        }
+        self.last_server_ack = rp.input_ack;
+        let server = PredictState {
+            pos: origin,
+            vel: rp.vel,
+            on_ground: rp.on_ground,
+        };
+
+        // Retire everything the server has applied. Only the entry at
+        // the ack itself has an authoritative counterpart to compare
+        // against; earlier entries are judged implicitly with it (the
+        // kernel is deterministic, so a clean ack-entry means the whole
+        // retired prefix replayed cleanly on the server too).
+        let mut acked_entry: Option<(PredictState, Option<u32>)> = None;
+        while let Some(front) = self.ring.front() {
+            if rp.input_ack == 0 || front.seq > rp.input_ack {
+                break;
+            }
+            let e = self.ring.pop_front().expect("front checked");
+            self.stats.judged += 1;
+            if e.seq == rp.input_ack {
+                acked_entry = Some((e.predicted, e.perturb_base));
+            }
+        }
+
+        let mispredicted = match acked_entry {
+            Some((predicted, _)) => predicted != server,
+            // Ack without a matching entry (overflow dropped it, or a
+            // stale duplicate reply): nothing to compare.
+            None => false,
+        };
+        if mispredicted {
+            self.stats.mispredictions += 1;
+        }
+
+        // Divergence oracle: nothing in flight beyond the ack and no
+        // perturbation since the acked input was predicted ⇒ predicted
+        // state must equal the server's exactly.
+        if let Some((predicted, Some(base))) = acked_entry {
+            if self.ring.is_empty() && !self.tainted && base == rp.perturb {
+                self.stats.oracle_checks += 1;
+                if predicted != server {
+                    self.stats.oracle_mismatches += 1;
+                }
+            }
+        }
+
+        // Adopt authority and roll the unacked inputs forward on top of
+        // it. Replaying unconditionally (not only on mismatch) keeps
+        // the client glued to the server through perturbations it
+        // cannot see (knockback, player collisions).
+        self.state = server;
+        self.stats.depth.note(self.ring.len());
+        for e in self.ring.iter_mut() {
+            self.state = step_world_only(&self.map, self.state, &e.cmd);
+            e.predicted = self.state;
+            e.perturb_base = Some(rp.perturb);
+            self.stats.replayed += 1;
+        }
+        self.perturb_seen = Some(rp.perturb);
+        self.tainted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parquake_bsp::mapgen::MapGenConfig;
+    use parquake_math::Pcg32;
+    use parquake_protocol::Buttons;
+    use parquake_sim::{GameWorld, WorkCounters};
+
+    fn cmd(seq: u32, yaw: f32, forward: f32, msec: u8) -> MoveCmd {
+        MoveCmd {
+            seq,
+            sent_at: 0,
+            pitch: 0.0,
+            yaw,
+            forward,
+            side: 0.0,
+            up: 0.0,
+            buttons: Buttons(0),
+            msec,
+            predict_ack: Some(0),
+        }
+    }
+
+    /// A server-side stand-in: the same kernel applied on an
+    /// authoritative world with a real player entity.
+    struct MiniServer {
+        world: GameWorld,
+        input_ack: u32,
+        perturb: u32,
+    }
+
+    impl MiniServer {
+        fn new(map: Arc<BspWorld>) -> MiniServer {
+            let world = GameWorld::new(map, 4, 4);
+            let mut rng = Pcg32::seeded(7);
+            world.spawn_player(0, 1, &mut rng);
+            MiniServer {
+                world,
+                input_ack: 0,
+                perturb: 0,
+            }
+        }
+
+        fn apply(&mut self, c: &MoveCmd) {
+            let mut touched = Vec::new();
+            let mut work = WorkCounters::new();
+            parquake_sim::movement::run_move(&self.world, 0, 0, c, &[], 0, &mut touched, &mut work);
+            self.world.relink_unlocked(0);
+            self.input_ack = c.seq;
+        }
+
+        fn reply(&self) -> (Vec3, ReplyPredict) {
+            let e = self.world.store.snapshot(0);
+            (
+                e.pos,
+                ReplyPredict {
+                    input_ack: self.input_ack,
+                    perturb: self.perturb,
+                    vel: e.vel,
+                    on_ground: e.on_ground,
+                },
+            )
+        }
+    }
+
+    fn setup() -> (Arc<BspWorld>, MiniServer) {
+        let map = Arc::new(MapGenConfig::small_arena(3).generate());
+        let server = MiniServer::new(map.clone());
+        (map, server)
+    }
+
+    /// Lockstep (every input acked before the next): the oracle fires
+    /// on every reply and must never mismatch — client and server run
+    /// the same kernel from the same base.
+    #[test]
+    fn oracle_is_clean_in_lockstep() {
+        let (map, mut server) = setup();
+        let spawn = server.world.store.snapshot(0).pos;
+        let mut p = Predictor::new(map, spawn);
+        // Adopt the spawn state first (reply to no input).
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+        for seq in 1..=120u32 {
+            let c = cmd(seq, (seq as f32 * 31.0) % 360.0 - 180.0, 320.0, 30);
+            p.predict(&c);
+            server.apply(&c);
+            let (origin, rp) = server.reply();
+            p.reconcile(origin, &rp);
+            assert_eq!(p.state.pos, origin, "adopted state is authoritative");
+        }
+        assert_eq!(p.stats.oracle_checks, 120);
+        assert_eq!(p.stats.oracle_mismatches, 0);
+        assert_eq!(p.stats.mispredictions, 0);
+        assert!(p.stats.closed(p.in_flight()), "ledger must close");
+    }
+
+    /// Deep pipelining (many inputs in flight) with acks landing late:
+    /// replay keeps the client exact, so when the pipe finally drains
+    /// the oracle still proves bit-equality.
+    #[test]
+    fn pipelined_inputs_reconcile_exactly() {
+        let (map, mut server) = setup();
+        let spawn = server.world.store.snapshot(0).pos;
+        let mut p = Predictor::new(map, spawn);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        let cmds: Vec<MoveCmd> = (1..=60u32)
+            .map(|s| cmd(s, (s as f32 * 57.0) % 360.0 - 180.0, 320.0, 25))
+            .collect();
+        // Client predicts 6 inputs ahead before each server ack, and
+        // acks trail 3 inputs behind — the ring never fully drains
+        // mid-run, so every reconcile replays a tail.
+        let mut next_ack = 0usize;
+        for (k, c) in cmds.iter().enumerate() {
+            p.predict(c);
+            if k % 6 == 5 {
+                while next_ack + 3 <= k {
+                    server.apply(&cmds[next_ack]);
+                    next_ack += 1;
+                }
+                let (origin, rp) = server.reply();
+                p.reconcile(origin, &rp);
+            }
+        }
+        // Drain the tail.
+        while next_ack < cmds.len() {
+            server.apply(&cmds[next_ack]);
+            next_ack += 1;
+        }
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        assert_eq!(p.in_flight(), 0);
+        assert!(p.stats.oracle_checks >= 1, "drained pipe must be audited");
+        assert_eq!(p.stats.oracle_mismatches, 0);
+        assert_eq!(p.stats.mispredictions, 0, "pure replay predicts exactly");
+        assert!(p.stats.depth.max() >= 3, "depth histogram saw the lag");
+        assert!(p.stats.closed(0));
+    }
+
+    /// A server-side perturbation (external displacement the client
+    /// cannot replay) is flagged by the epoch bump: the misprediction
+    /// is counted, the oracle stands down, and the client re-converges.
+    #[test]
+    fn perturbation_counts_misprediction_but_not_oracle() {
+        let (map, mut server) = setup();
+        let spawn = server.world.store.snapshot(0).pos;
+        let mut p = Predictor::new(map, spawn);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        let c1 = cmd(1, 10.0, 320.0, 30);
+        p.predict(&c1);
+        server.apply(&c1);
+        // Knockback: the server shoves the player mid-flight and bumps
+        // the perturbation epoch, exactly like the slot shadow does.
+        server.world.store.with_mut(0, 0, |e| e.pos.z += 40.0);
+        server.world.relink_unlocked(0);
+        server.perturb += 1;
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        assert_eq!(p.stats.mispredictions, 1);
+        assert_eq!(
+            p.stats.oracle_checks, 0,
+            "epoch bump must disarm the oracle"
+        );
+        assert_eq!(p.state.pos, origin, "client adopted the shove");
+
+        // Epoch now stable again: the next lockstep round is clean and
+        // the oracle re-arms.
+        let c2 = cmd(2, 20.0, 320.0, 30);
+        p.predict(&c2);
+        server.apply(&c2);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+        assert_eq!(p.stats.oracle_checks, 1);
+        assert_eq!(p.stats.oracle_mismatches, 0);
+        assert!(p.stats.closed(p.in_flight()));
+    }
+
+    /// Ring overflow drops the oldest inputs as unjudged, poisons the
+    /// oracle until the next adoption, and still closes the ledger.
+    #[test]
+    fn ring_overflow_drops_oldest_and_closes_ledger() {
+        let (map, mut server) = setup();
+        let spawn = server.world.store.snapshot(0).pos;
+        let mut p = Predictor::new(map, spawn);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        let total = PREDICT_RING_CAP as u32 + 10;
+        for seq in 1..=total {
+            p.predict(&cmd(seq, 0.0, 320.0, 20));
+        }
+        assert_eq!(p.stats.ring_overflows, 10);
+        assert_eq!(p.stats.dropped, 10);
+        assert_eq!(p.in_flight(), PREDICT_RING_CAP as u64);
+        assert!(p.stats.closed(p.in_flight()));
+
+        // The server only ever saw input 5 (the rest were "lost"); its
+        // ack retires nothing the client still holds — no judgment
+        // against a dropped entry.
+        for seq in 1..=5u32 {
+            server.apply(&cmd(seq, 0.0, 320.0, 20));
+        }
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+        assert_eq!(p.stats.oracle_checks, 0, "tainted ring never oracles");
+        assert!(p.stats.closed(p.in_flight()));
+    }
+
+    /// Stale duplicate replies (same ack twice) must not double-judge.
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let (map, mut server) = setup();
+        let spawn = server.world.store.snapshot(0).pos;
+        let mut p = Predictor::new(map, spawn);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+
+        let c = cmd(1, 0.0, 320.0, 30);
+        p.predict(&c);
+        server.apply(&c);
+        let (origin, rp) = server.reply();
+        p.reconcile(origin, &rp);
+        let judged_once = p.stats.judged;
+        p.reconcile(origin, &rp); // duplicated datagram
+        assert_eq!(p.stats.judged, judged_once);
+        assert_eq!(p.stats.mispredictions, 0);
+        assert!(p.stats.closed(p.in_flight()));
+    }
+}

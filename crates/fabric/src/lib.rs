@@ -134,6 +134,17 @@ pub trait Fabric: Send + Sync {
     /// The witness attached to this fabric, if any.
     fn witness(&self) -> Option<Arc<LockWitness>>;
 
+    /// Mark `port` as a WAN endpoint (a client-side socket reached over
+    /// the modelled wide-area path). Only meaningful to fabrics that
+    /// scope fault injection ([`VirtualSmpConfig::fault_wan_only`]):
+    /// there, a send is faulted only when exactly one endpoint is
+    /// WAN-marked, and its direction is client→server when the *sender*
+    /// is the marked side. Default: no-op (the real fabric injects at
+    /// its socket pumps instead).
+    fn mark_wan_port(&self, port: PortId) {
+        let _ = port;
+    }
+
     /// Send a datagram from `from` to `to`.
     fn send(&self, task: TaskId, from: PortId, to: PortId, payload: Vec<u8>);
     /// Non-blocking receive.
@@ -261,6 +272,13 @@ pub struct VirtualSmpConfig {
     /// paper's lossless LAN). Faults are drawn in virtual-time order
     /// from the config's own seed, so lossy runs replay exactly.
     pub fault: Option<fault::FaultConfig>,
+    /// Restrict fault injection to the WAN edge: only sends where
+    /// exactly one endpoint was [`Fabric::mark_wan_port`]-marked (bot
+    /// client sockets) are faulted; server-internal traffic — arena
+    /// directory control, migration capsules, supervision — stays
+    /// lossless, mirroring where real-gateway injection happens. Off by
+    /// default, which is the historical fault-everything behaviour.
+    pub fault_wan_only: bool,
 }
 
 impl Default for VirtualSmpConfig {
@@ -273,6 +291,7 @@ impl Default for VirtualSmpConfig {
             mem_penalty: 0.17,
             schedule_seed: 0,
             fault: None,
+            fault_wan_only: false,
         }
     }
 }

@@ -97,6 +97,10 @@ struct PortState {
     cap: usize,
     /// Messages discarded by the bounded-queue drop policy.
     dropped: u64,
+    /// WAN-marked ([`Fabric::mark_wan_port`]) — a client-side endpoint
+    /// of the modelled wide-area path, used to scope fault injection
+    /// when [`VirtualSmpConfig::fault_wan_only`] is set.
+    wan: bool,
 }
 
 impl PortState {
@@ -105,6 +109,7 @@ impl PortState {
             queue: VecDeque::new(),
             cap,
             dropped: 0,
+            wan: false,
         }
     }
 }
@@ -444,6 +449,10 @@ impl Fabric for VirtualSmp {
         (g.ports.len() - 1) as PortId
     }
 
+    fn mark_wan_port(&self, port: PortId) {
+        self.state.lock().ports[port as usize].wan = true;
+    }
+
     fn port_dropped(&self, port: PortId) -> u64 {
         self.state.lock().ports[port as usize].dropped
     }
@@ -679,8 +688,23 @@ impl Fabric for VirtualSmp {
         let sent_at = g.tasks[task as usize].clock;
         // Fault lottery: each fate is one copy to deliver with its
         // extra delay; an empty draw drops the datagram. Drawn under
-        // the state lock in virtual-time order, hence replayable.
+        // the state lock in virtual-time order, hence replayable. With
+        // `fault_wan_only`, only sends crossing the WAN edge (exactly
+        // one marked endpoint) are faulted — and crucially they draw
+        // nothing otherwise, so the lottery's clock advances one draw
+        // per WAN datagram regardless of interleaved internal traffic.
+        let from_wan = g.ports[from as usize].wan;
+        let to_wan = g.ports[to as usize].wan;
         let fates = match g.fault.as_mut() {
+            Some(_) if self.cfg.fault_wan_only && from_wan == to_wan => vec![0],
+            Some(l) if self.cfg.fault_wan_only => {
+                // Marked sender ⇒ the client is talking to the server.
+                l.draw_dir(if from_wan {
+                    crate::fault::FaultDir::ClientToServer
+                } else {
+                    crate::fault::FaultDir::ServerToClient
+                })
+            }
             Some(l) => l.draw(),
             None => vec![0],
         };
@@ -1142,6 +1166,7 @@ mod tests {
                 mem_penalty: 0.0,
                 schedule_seed: 0,
                 fault: None,
+                fault_wan_only: false,
             })
             .build();
             let out = Arc::new(StdMutex::new(Vec::new()));
@@ -1349,6 +1374,7 @@ mod tests {
             mem_penalty: 0.0,
             schedule_seed: 0,
             fault: None,
+            fault_wan_only: false,
         })
         .build();
         let out = Arc::new(AtomicU64::new(0));

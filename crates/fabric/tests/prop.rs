@@ -1,8 +1,11 @@
 //! Property-based tests for the virtual-time scheduler: determinism,
-//! mutual exclusion and clock monotonicity under randomized programs.
+//! mutual exclusion and clock monotonicity under randomized programs —
+//! and for the WAN fault lottery: combined profiles replay exactly and
+//! delivery-order permutations conserve datagrams.
 
 use std::sync::{Arc, Mutex};
 
+use parquake_fabric::fault::{FaultConfig, FaultDir, FaultLottery};
 use parquake_fabric::{Fabric, FabricKind, VirtualSmpConfig};
 use proptest::prelude::*;
 
@@ -122,5 +125,144 @@ proptest! {
         );
         f.run();
         prop_assert_eq!(*out.lock().unwrap(), total);
+    }
+}
+
+/// An arbitrary *combined* WAN profile: independent drop, duplication,
+/// floored delay, Gilbert–Elliott bursty loss, per-copy jitter and
+/// one-way lag, all at once. Always satisfies
+/// [`FaultConfig::validate`] by construction.
+fn arb_wan_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        0.0f32..0.4,                                // drop
+        0.0f32..0.4,                                // duplicate
+        0.0f32..1.0,                                // delay probability
+        (0u64..20_000_000u64, 0u64..40_000_000u64), // delay floor + span
+        0.0f32..0.8,                                // burst_loss
+        1.0f32..8.0,                                // burst_len
+        0u64..30_000_000u64,                        // jitter_ns
+        0u64..30_000_000u64,                        // oneway_delay_ns
+        any::<bool>(),                              // oneway direction
+        any::<u64>(),                               // seed
+    )
+        .prop_map(
+            |(
+                drop,
+                duplicate,
+                delay,
+                (dmin, dspan),
+                burst_loss,
+                burst_len,
+                jitter_ns,
+                oneway_delay_ns,
+                sc,
+                seed,
+            )| {
+                FaultConfig {
+                    drop,
+                    duplicate,
+                    delay,
+                    min_delay_ns: dmin,
+                    max_delay_ns: dmin + dspan,
+                    burst_loss,
+                    burst_len,
+                    jitter_ns,
+                    oneway_delay_ns,
+                    oneway_dir: if sc {
+                        FaultDir::ServerToClient
+                    } else {
+                        FaultDir::ClientToServer
+                    },
+                    seed,
+                    ..FaultConfig::none()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: a combined drop+dup+delay+jitter+burst+one-way
+    /// lottery under one seed is replay-deterministic — the entire
+    /// fate stream *and* the accounting replay bit-for-bit, including
+    /// direction-dependent one-way lag.
+    #[test]
+    fn combined_wan_lotteries_replay_deterministically(
+        cfg in arb_wan_config(),
+        dirs in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let run = || {
+            let mut l = FaultLottery::new(cfg.clone());
+            let fates: Vec<Vec<u64>> = dirs
+                .iter()
+                .map(|&sc| {
+                    l.draw_dir(if sc {
+                        FaultDir::ServerToClient
+                    } else {
+                        FaultDir::ClientToServer
+                    })
+                })
+                .collect();
+            (fates, l.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Satellite: no delivery-order permutation loses or invents a
+    /// datagram. The lottery's accounting identity closes (every
+    /// datagram drawn has exactly one fate, every surviving copy is
+    /// accounted), and replaying the delivery schedule through a
+    /// due-time queue under an arbitrary tie-break permutation hands
+    /// the receiver exactly the same multiset of copies.
+    #[test]
+    fn delivery_permutations_conserve_datagrams(
+        cfg in arb_wan_config(),
+        n in 1usize..200,
+        perm_seed in any::<u64>(),
+    ) {
+        let mut l = FaultLottery::new(cfg.clone());
+        let fates: Vec<Vec<u64>> = (0..n).map(|_| l.draw()).collect();
+        let stats = l.stats();
+
+        // Accounting identity: one fate per datagram, every copy
+        // accounted.
+        prop_assert_eq!(
+            stats.passed + stats.dropped + stats.burst_dropped,
+            n as u64,
+            "fates: {:?}",
+            stats
+        );
+        let copies: u64 = fates.iter().map(|f| f.len() as u64).sum();
+        prop_assert_eq!(copies, stats.passed + stats.duplicated, "copies: {:?}", stats);
+
+        // The delivery schedule: copy of datagram `id`, sent at a
+        // 30 ms cadence, arrives at send time + drawn extra delay.
+        let sched: Vec<(u64, usize)> = fates
+            .iter()
+            .enumerate()
+            .flat_map(|(id, f)| f.iter().map(move |&extra| (id as u64 * 30_000_000 + extra, id)))
+            .collect();
+
+        // Jitter and delay reorder arrivals; equal due times are a
+        // scheduler tie. Deliver under an arbitrary permutation of
+        // the tie-break (seeded Fisher–Yates, then a stable sort by
+        // due time) and require the received multiset unchanged.
+        let mut permuted = sched.clone();
+        let mut s = perm_seed | 1;
+        for i in (1..permuted.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((s >> 33) as usize) % (i + 1);
+            permuted.swap(i, j);
+        }
+        permuted.sort_by_key(|&(at, _)| at);
+
+        let mut expect: Vec<usize> = sched.iter().map(|&(_, id)| id).collect();
+        let mut got: Vec<usize> = permuted.iter().map(|&(_, id)| id).collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got, "a delivery permutation lost or invented a copy");
     }
 }

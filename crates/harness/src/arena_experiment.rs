@@ -93,6 +93,10 @@ pub struct ArenaExperimentConfig {
     /// Drain-before-reap: live-migrate the last residents out of a
     /// lingering elastic arena instead of waiting their sessions out.
     pub migrate_drain: bool,
+    /// Client-side prediction: bots run the shared movement kernel on
+    /// the (identical) generated map, send the input-seq trailer, and
+    /// reconcile against the server's trailered replies.
+    pub predict: bool,
 }
 
 impl Default for ArenaExperimentConfig {
@@ -126,6 +130,7 @@ impl Default for ArenaExperimentConfig {
             request_arena: None,
             migrate_spread: 0,
             migrate_drain: false,
+            predict: false,
         }
     }
 }
@@ -155,6 +160,12 @@ pub struct ArenaOutcome {
     /// Bots that followed a cross-arena re-ack to a new world (client
     /// side of `supervisor.migrations`).
     pub rehomed: u64,
+    /// Merged client prediction/reconciliation statistics (all zeros
+    /// when `predict` was off).
+    pub prediction: parquake_metrics::PredictionStats,
+    /// Unacked inputs still in client rings at shutdown — the
+    /// `in_flight` term of the prediction ledger.
+    pub predict_in_flight: u64,
 }
 
 impl ArenaOutcome {
@@ -240,6 +251,12 @@ impl ArenaExperiment {
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
             ramp: cfg.ramp,
+            // The directory's arenas all share one compiled map, so
+            // predicting bots borrow arena 0's — bit-identical to what
+            // the server kernels run against.
+            predict: cfg
+                .predict
+                .then(|| parquake_bots::PredictMap(handle.worlds[0].map.clone())),
         };
         let topology = SwarmTopology {
             arena_ports: handle.arena_ports.clone(),
@@ -274,6 +291,7 @@ impl ArenaExperiment {
             })
             .collect();
         let aggregate = rollup(&per_arena);
+        let prediction = swarm.prediction.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
         let elastic = handle.elastic.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
         let supervisor = handle.supervisor.lock().unwrap().clone(); // lockcheck: allow(raw-sync: host-side read after fabric.run() returned, no tasks alive)
 
@@ -289,6 +307,8 @@ impl ArenaExperiment {
             elastic,
             supervisor,
             rehomed: swarm.rehomed.load(Ordering::Relaxed),
+            prediction,
+            predict_in_flight: swarm.predict_in_flight.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,5 +357,41 @@ mod tests {
         assert_eq!(a.world_hashes, b.world_hashes);
         assert_eq!(a.aggregate.replies, b.aggregate.replies);
         assert_eq!(a.aggregate.frames, b.aggregate.frames);
+    }
+
+    /// End-to-end prediction: a predicting swarm against a real
+    /// directory-run server. The divergence oracle must fire (clean
+    /// windows exist) and never mismatch — client kernel, server
+    /// kernel, and the wire trailer all agree bit-for-bit — and the
+    /// prediction ledger must close.
+    #[test]
+    fn predicting_swarm_agrees_with_server_bit_for_bit() {
+        let mut cfg = quick(12, 1, 2);
+        cfg.predict = true;
+        let out = ArenaExperiment::new(cfg).run();
+        assert_eq!(out.connected, 12);
+        let p = &out.prediction;
+        assert!(p.predicted > 200, "predicted only {}", p.predicted);
+        assert!(p.reconciled > 0);
+        assert!(p.oracle_checks > 0, "oracle never armed");
+        assert_eq!(p.oracle_mismatches, 0, "prediction kernel diverged");
+        assert!(
+            p.closed(out.predict_in_flight),
+            "ledger leak: predicted {} != judged {} + dropped {} + in flight {}",
+            p.predicted,
+            p.judged,
+            p.dropped,
+            out.predict_in_flight
+        );
+    }
+
+    /// Prediction under the legacy fabric stays wire-compatible: a
+    /// legacy (non-predicting) swarm on the same build produces
+    /// all-zero prediction stats and the same clean accounting.
+    #[test]
+    fn legacy_swarm_reports_zero_prediction_stats() {
+        let out = ArenaExperiment::new(quick(8, 1, 2)).run();
+        assert_eq!(out.prediction.predicted, 0);
+        assert_eq!(out.predict_in_flight, 0);
     }
 }

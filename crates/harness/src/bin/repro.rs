@@ -18,6 +18,7 @@
 //!   arenasweep        multi-arena shared-pool multiplexing (extension)
 //!   elasticity        elastic arena spawn/reap under a population ramp (extension)
 //!   crashsweep        response-rate retention vs injected crash rate (extension)
+//!   chaossweep        client prediction under combined WAN fault profiles (extension)
 //!   migratesweep      live migration recovering a skewed fleet (extension)
 //!   interestsweep     batch DDM interest matching vs per-client scans (extension)
 //!   gatewaysweep      sharded UDP gateway over loopback sockets (extension)
@@ -32,15 +33,16 @@
 //! ```
 
 use parquake_harness::figures::{
-    arenasweep, batching, common::SweepOpts, crashsweep, delta, dynassign, elasticity, fig4, fig5,
-    fig6, fig7, gatewaysweep, interestsweep, losssweep, migratesweep, onepass, table1, waitstats,
+    arenasweep, batching, chaossweep, common::SweepOpts, crashsweep, delta, dynassign, elasticity,
+    fig4, fig5, fig6, fig7, gatewaysweep, interestsweep, losssweep, migratesweep, onepass, table1,
+    waitstats,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|migratesweep|interestsweep|gatewaysweep|all> [options]"
+            "usage: repro <table1|fig4|fig5|fig6|fig7a|fig7b|fig7c|waitstats|batching|onepass|dynassign|delta|losssweep|arenasweep|elasticity|crashsweep|chaossweep|migratesweep|interestsweep|gatewaysweep|all> [options]"
         );
         std::process::exit(2);
     };
@@ -98,6 +100,7 @@ fn main() {
         "arenasweep" => println!("{}", arenasweep::run(&opts)),
         "elasticity" => println!("{}", elasticity::run(&opts)),
         "crashsweep" => println!("{}", crashsweep::run(&opts)),
+        "chaossweep" => println!("{}", chaossweep::run(&opts)),
         "migratesweep" => println!("{}", migratesweep::run(&opts)),
         "interestsweep" => println!("{}", interestsweep::run(&opts)),
         "gatewaysweep" => println!("{}", gatewaysweep::run(&opts)),
@@ -140,6 +143,7 @@ fn main() {
             println!("{}", arenasweep::run(&opts));
             println!("{}", elasticity::run(&opts));
             println!("{}", crashsweep::run(&opts));
+            println!("{}", chaossweep::run(&opts));
             println!("{}", migratesweep::run(&opts));
             println!("{}", interestsweep::run(&opts));
             println!("{}", gatewaysweep::run(&opts));

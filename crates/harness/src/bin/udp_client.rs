@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! udp_client [--server 127.0.0.1:27500] [--threads 2] [--players 8] [--secs 5]
-//!            [--arenas N] [--ramp] [--sockets M]
+//!            [--arenas N] [--ramp] [--sockets M] [--predict]
 //! ```
 //!
 //! `--arenas N` targets a multi-arena gateway (one socket): client `i`
@@ -15,12 +15,57 @@
 //! spreads the bots over M client sockets — a sharded `SO_REUSEPORT`
 //! gateway balances flows by 4-tuple hash, so driving S server shards
 //! needs at least S client sockets (one socket pins every bot to one
-//! shard).
+//! shard). `--predict` turns on client-side prediction: every bot runs
+//! the movement kernel locally against the default `udpd` map, opts
+//! into the Move/Reply prediction trailer, and reconciles against each
+//! authoritative reply; the run prints the full prediction ledger
+//! including the divergence oracle (only valid against a `udpd` run
+//! with the default map).
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use parquake_harness::udp::run_udp_clients;
-use parquake_harness::udp_arena::run_udp_arena_clients_sharded;
+use parquake_harness::udp::{run_udp_clients_predicting, UdpServerOpts};
+use parquake_harness::udp_arena::run_udp_arena_clients_predicting;
+use parquake_metrics::PredictionStats;
+
+fn print_prediction(p: &PredictionStats, in_flight: u64) {
+    println!(
+        "udp_client: prediction — {} predicted, {} reconciles, {} judged, {} replayed, \
+         {} mispredicted ({:.2}%), {} ring overflows",
+        p.predicted,
+        p.reconciled,
+        p.judged,
+        p.replayed,
+        p.mispredictions,
+        p.misprediction_rate() * 100.0,
+        p.ring_overflows
+    );
+    println!(
+        "udp_client: prediction depth — p50 {} p95 {} max {} over {} reconciles",
+        p.depth.percentile(0.50),
+        p.depth.percentile(0.95),
+        p.depth.max(),
+        p.depth.samples()
+    );
+    println!(
+        "udp_client: prediction oracle — {} checks, {} divergence",
+        p.oracle_checks, p.oracle_mismatches
+    );
+    println!(
+        "udp_client: prediction ledger — {} predicted == {} judged + {} dropped \
+         + {} in flight — accounting {}",
+        p.predicted,
+        p.judged,
+        p.dropped,
+        in_flight,
+        if p.closed(in_flight) {
+            "closes"
+        } else {
+            "DOES NOT CLOSE"
+        }
+    );
+}
 
 fn main() {
     let mut server: std::net::SocketAddr = "127.0.0.1:27500".parse().unwrap();
@@ -30,6 +75,7 @@ fn main() {
     let mut arenas: Option<u32> = None;
     let mut ramp = false;
     let mut sockets = 1u32;
+    let mut predict = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +105,7 @@ fn main() {
                 i += 1;
                 sockets = args[i].parse().expect("--sockets needs a number");
             }
+            "--predict" => predict = true,
             other => {
                 eprintln!("udp_client: unknown option {other}");
                 std::process::exit(2);
@@ -66,6 +113,10 @@ fn main() {
         }
         i += 1;
     }
+    // Prediction needs the *same compiled map* as the server; `udpd`
+    // has no map flag, so both sides share the `UdpServerOpts` default
+    // generator.
+    let map = predict.then(|| Arc::new(UdpServerOpts::default().map.generate()));
     if let Some(arenas) = arenas {
         let duration = Duration::from_secs(secs);
         // 30% up, 30% hold, 20% down, 20% quiet tail for reaps.
@@ -76,23 +127,28 @@ fn main() {
                 duration.mul_f64(0.2),
             )
         });
-        match run_udp_arena_clients_sharded(
+        match run_udp_arena_clients_predicting(
             server,
             arenas,
             players,
             duration,
             windows,
             sockets.max(1),
+            map,
         ) {
-            Ok((sent, received, avg_ms, per_arena, restarts, rehomed)) => {
+            Ok(out) => {
                 println!(
-                    "udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms"
+                    "udp_client: sent {}, received {}, avg response {:.2} ms",
+                    out.sent, out.received, out.avg_ms
                 );
-                for (k, n) in per_arena.iter().enumerate() {
+                for (k, n) in out.per_arena.iter().enumerate() {
                     println!("udp_client: arena{k} — {n} replies");
                 }
-                println!("udp_client: restarts observed — {restarts}");
-                println!("udp_client: rehomings observed — {rehomed}");
+                println!("udp_client: restarts observed — {}", out.restarts_observed);
+                println!("udp_client: rehomings observed — {}", out.rehomed_observed);
+                if predict {
+                    print_prediction(&out.prediction, out.predict_in_flight);
+                }
             }
             Err(e) => {
                 eprintln!("udp_client: {e}");
@@ -101,9 +157,15 @@ fn main() {
         }
         return;
     }
-    match run_udp_clients(server, threads, players, Duration::from_secs(secs)) {
-        Ok((sent, received, avg_ms)) => {
-            println!("udp_client: sent {sent}, received {received}, avg response {avg_ms:.2} ms")
+    match run_udp_clients_predicting(server, threads, players, Duration::from_secs(secs), map) {
+        Ok(out) => {
+            println!(
+                "udp_client: sent {}, received {}, avg response {:.2} ms",
+                out.sent, out.received, out.avg_ms
+            );
+            if predict {
+                print_prediction(&out.prediction, out.predict_in_flight);
+            }
         }
         Err(e) => {
             eprintln!("udp_client: {e}");

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! udpd [--port 27500] [--threads 2] [--players 32] [--secs 10]
-//!      [--loss P] [--dup P] [--delay P] [--delay-ms MS]
+//!      [--loss P] [--dup P] [--delay P] [--delay-ms MS] [--min-delay-ms MS]
+//!      [--burst-loss P] [--burst-len N] [--jitter-ms MS]
 //!      [--fault-seed N] [--timeout-secs S]
 //!      [--interest scan|sweep|sweep-oracle]
 //!      [--arenas N] [--workers W] [--max-arenas M] [--linger-ms MS]
@@ -14,8 +15,13 @@
 //! Thread `t` listens on `port + t` (the paper's one-UDP-port-per-thread
 //! scheme). Pair with the `udp_client` binary or any protocol-speaking
 //! client. The `--loss/--dup/--delay` probabilities (0.0–1.0) enable
-//! seeded fault injection on the inbound path; `--timeout-secs` sets
-//! the server-side inactivity reclaim (0 disables it).
+//! seeded fault injection on the inbound path; `--min-delay-ms` floors
+//! the delay draw, `--burst-loss`/`--burst-len` add Gilbert–Elliott
+//! bursty loss (loss probability inside a burst, mean burst length),
+//! and `--jitter-ms` adds a uniform per-copy jitter that reorders
+//! deliveries. The composed profile is validated at startup (exit 2 on
+//! an inconsistent one). `--timeout-secs` sets the server-side
+//! inactivity reclaim (0 disables it).
 //! `--interest sweep` computes visible-entity sets with the batch DDM
 //! sweep instead of per-client scans; `sweep-oracle` additionally runs
 //! the scan as a shadow oracle per reply and counts mismatches (the
@@ -97,6 +103,24 @@ fn main() {
                 let ms: u64 = args[i].parse().expect("--delay-ms needs a number");
                 opts.fault.max_delay_ns = ms * 1_000_000;
             }
+            "--min-delay-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--min-delay-ms needs a number");
+                opts.fault.min_delay_ns = ms * 1_000_000;
+            }
+            "--burst-loss" => {
+                i += 1;
+                opts.fault.burst_loss = args[i].parse().expect("--burst-loss needs 0.0-1.0");
+            }
+            "--burst-len" => {
+                i += 1;
+                opts.fault.burst_len = args[i].parse().expect("--burst-len needs >= 1.0");
+            }
+            "--jitter-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--jitter-ms needs a number");
+                opts.fault.jitter_ns = ms * 1_000_000;
+            }
             "--fault-seed" => {
                 i += 1;
                 opts.fault.seed = args[i].parse().expect("--fault-seed needs a number");
@@ -151,6 +175,12 @@ fn main() {
         }
         i += 1;
     }
+    // Reject impossible fault profiles (min > max, rates outside
+    // [0,1], burst length < 1) before any socket is bound.
+    if let Err(e) = opts.fault.validate() {
+        eprintln!("udpd: invalid fault profile — {e}");
+        std::process::exit(2);
+    }
     if let Some(arenas) = arenas {
         run_arena_mode(
             &opts,
@@ -194,11 +224,16 @@ fn main() {
     }
     if !opts.fault.is_noop() {
         println!(
-            "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
+            "udpd: fault injection — drop {:.1}%, burst {:.1}% (mean len {:.1}), dup {:.1}%, \
+             delay {:.1}% in {}..{} ms, jitter up to {} ms, seed {:#x}",
             opts.fault.drop * 100.0,
+            opts.fault.burst_loss * 100.0,
+            opts.fault.burst_len,
             opts.fault.duplicate * 100.0,
             opts.fault.delay * 100.0,
+            opts.fault.min_delay_ns / 1_000_000,
             opts.fault.max_delay_ns / 1_000_000,
+            opts.fault.jitter_ns / 1_000_000,
             opts.fault.seed
         );
     }
@@ -347,11 +382,16 @@ fn run_arena_mode(
     }
     if !opts.fault.is_noop() {
         println!(
-            "udpd: fault injection — drop {:.1}%, dup {:.1}%, delay {:.1}% up to {} ms, seed {:#x}",
+            "udpd: fault injection — drop {:.1}%, burst {:.1}% (mean len {:.1}), dup {:.1}%, \
+             delay {:.1}% in {}..{} ms, jitter up to {} ms, seed {:#x}",
             opts.fault.drop * 100.0,
+            opts.fault.burst_loss * 100.0,
+            opts.fault.burst_len,
             opts.fault.duplicate * 100.0,
             opts.fault.delay * 100.0,
+            opts.fault.min_delay_ns / 1_000_000,
             opts.fault.max_delay_ns / 1_000_000,
+            opts.fault.jitter_ns / 1_000_000,
             opts.fault.seed
         );
     }

@@ -176,6 +176,7 @@ impl Experiment {
             think_cost_ns: 15_000,
             jitter_ns: 8_000_000,
             ramp: None,
+            predict: None,
         };
         let spt = server.slots_per_thread;
         let swarm = spawn_swarm(&fabric, &swarm_cfg, &server.ports, move |client| {

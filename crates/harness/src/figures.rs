@@ -2,6 +2,7 @@
 
 pub mod arenasweep;
 pub mod batching;
+pub mod chaossweep;
 pub mod common;
 pub mod crashsweep;
 pub mod delta;

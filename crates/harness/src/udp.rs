@@ -559,6 +559,19 @@ pub fn run_udp_server(opts: &UdpServerOpts) -> std::io::Result<UdpServerReport> 
     })
 }
 
+/// What [`run_udp_clients_predicting`] measured.
+#[derive(Debug, Clone)]
+pub struct UdpClientOutcome {
+    pub sent: u64,
+    pub received: u64,
+    pub avg_ms: f64,
+    /// Client-side prediction accounting (all zero without a map).
+    pub prediction: parquake_metrics::PredictionStats,
+    /// Ring entries still unacked when the run ended (closes the
+    /// prediction ledger).
+    pub predict_in_flight: u64,
+}
+
 /// A minimal real-UDP client: drives `players` bots against a gateway
 /// for `duration`, returns (sent, received, avg latency ms).
 ///
@@ -572,6 +585,24 @@ pub fn run_udp_clients(
     players: u32,
     duration: Duration,
 ) -> std::io::Result<(u64, u64, f64)> {
+    let out = run_udp_clients_predicting(server, threads, players, duration, None)?;
+    Ok((out.sent, out.received, out.avg_ms))
+}
+
+/// As [`run_udp_clients`], with optional client-side prediction: given
+/// a compiled map (which must be bit-identical to the server's — both
+/// sides default to [`UdpServerOpts::default`]'s generator), every bot
+/// runs the movement kernel locally, opts into the Move/Reply
+/// prediction trailer, and reconciles against each authoritative
+/// reply. The outcome carries the full prediction ledger, including
+/// the divergence oracle.
+pub fn run_udp_clients_predicting(
+    server: SocketAddr,
+    threads: u32,
+    players: u32,
+    duration: Duration,
+    predict: Option<std::sync::Arc<parquake_bsp::BspWorld>>,
+) -> std::io::Result<UdpClientOutcome> {
     use parquake_protocol::Encode;
 
     const RETRY_MIN: Duration = Duration::from_millis(100);
@@ -595,6 +626,13 @@ pub fn run_udp_clients(
     let mut next_at = vec![Duration::ZERO; n];
     let mut backoff = vec![RETRY_MIN; n];
     let mut last_heard = vec![Duration::ZERO; n];
+    let mut predictors: Vec<Option<parquake_bots::Predictor>> = (0..n)
+        .map(|_| {
+            predict
+                .as_ref()
+                .map(|m| parquake_bots::Predictor::new(m.clone(), parquake_math::Vec3::ZERO))
+        })
+        .collect();
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut latency_sum = 0f64;
@@ -623,19 +661,25 @@ pub fn run_udp_clients(
             } else {
                 seq[i] += 1;
                 next_at[i] = now + Duration::from_millis(30);
+                let mut cmd = parquake_protocol::MoveCmd {
+                    seq: seq[i],
+                    sent_at: now_ns,
+                    pitch: 0.0,
+                    yaw: (i as f32 * 37.0) % 360.0 - 180.0,
+                    forward: 320.0,
+                    side: 0.0,
+                    up: 0.0,
+                    buttons: parquake_protocol::Buttons::NONE,
+                    msec: 30,
+                    predict_ack: None,
+                };
+                if let Some(p) = predictors[i].as_mut() {
+                    cmd.predict_ack = Some(p.trailer_ack());
+                    p.predict(&cmd);
+                }
                 ClientMessage::Move {
                     client_id: i as u32,
-                    cmd: parquake_protocol::MoveCmd {
-                        seq: seq[i],
-                        sent_at: now_ns,
-                        pitch: 0.0,
-                        yaw: (i as f32 * 37.0) % 360.0 - 180.0,
-                        forward: 320.0,
-                        side: 0.0,
-                        up: 0.0,
-                        buttons: parquake_protocol::Buttons::NONE,
-                        msec: 30,
-                    },
+                    cmd,
                 }
             };
             if sock
@@ -648,12 +692,25 @@ pub fn run_udp_clients(
         // Drain replies briefly.
         while let Ok((len, _)) = sock.recv_from(&mut buf) {
             match ServerMessage::from_bytes(&buf[..len]) {
-                Ok(ServerMessage::ConnectAck { client_id, .. }) => {
+                Ok(ServerMessage::ConnectAck {
+                    client_id, spawn, ..
+                }) => {
                     let i = client_id as usize;
                     if i < n {
                         if !acked[i] {
                             acked[i] = true;
                             next_at[i] = start.elapsed();
+                            // A fresh ack opens a new server-side
+                            // session whose reply sequence restarts
+                            // low (slot reclaim, supervised restart).
+                            // The duplicate-suppression window must
+                            // restart with it, or every reply of the
+                            // new session is swallowed as a stale
+                            // duplicate and the session starves again.
+                            last_rx_seq[i] = -1;
+                            if let Some(p) = predictors[i].as_mut() {
+                                p.reset(spawn);
+                            }
                         }
                         backoff[i] = RETRY_MIN;
                         last_heard[i] = start.elapsed();
@@ -664,6 +721,8 @@ pub fn run_udp_clients(
                     seq: rx_seq,
                     sent_at_echo,
                     assigned_thread,
+                    origin,
+                    predict: reply_predict,
                     ..
                 }) => {
                     let i = client_id as usize;
@@ -675,6 +734,11 @@ pub fn run_udp_clients(
                             let rx_ns = start.elapsed().as_nanos() as u64;
                             if sent_at_echo > 0 && rx_ns > sent_at_echo {
                                 latency_sum += (rx_ns - sent_at_echo) as f64 / 1e6;
+                            }
+                            if let (Some(p), Some(rp)) =
+                                (predictors[i].as_mut(), reply_predict.as_ref())
+                            {
+                                p.reconcile(origin, rp);
                             }
                         }
                         let t = assigned_thread as usize;
@@ -701,7 +765,19 @@ pub fn run_udp_clients(
     } else {
         0.0
     };
-    Ok((sent, received, avg))
+    let mut prediction = parquake_metrics::PredictionStats::new();
+    let mut predict_in_flight = 0u64;
+    for p in predictors.iter().flatten() {
+        prediction.merge(&p.stats);
+        predict_in_flight += p.in_flight();
+    }
+    Ok(UdpClientOutcome {
+        sent,
+        received,
+        avg_ms: avg,
+        prediction,
+        predict_in_flight,
+    })
 }
 
 #[cfg(test)]

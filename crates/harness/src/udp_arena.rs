@@ -997,6 +997,49 @@ pub fn run_udp_arena_clients_sharded(
     ramp: Option<(Duration, Duration, Duration)>,
     sockets: u32,
 ) -> std::io::Result<(u64, u64, f64, Vec<u64>, u64, u64)> {
+    let out =
+        run_udp_arena_clients_predicting(server, arenas, players, duration, ramp, sockets, None)?;
+    Ok((
+        out.sent,
+        out.received,
+        out.avg_ms,
+        out.per_arena,
+        out.restarts_observed,
+        out.rehomed_observed,
+    ))
+}
+
+/// What [`run_udp_arena_clients_predicting`] measured.
+#[derive(Debug, Clone)]
+pub struct ArenaClientOutcome {
+    pub sent: u64,
+    pub received: u64,
+    pub avg_ms: f64,
+    /// Replies counted per arena the client was placed in.
+    pub per_arena: Vec<u64>,
+    /// Unsolicited re-acks from the placed arena (supervised restarts).
+    pub restarts_observed: u64,
+    /// Unsolicited acks from a *different* arena (live migrations).
+    pub rehomed_observed: u64,
+    /// Client-side prediction accounting (all zero without a map).
+    pub prediction: parquake_metrics::PredictionStats,
+    /// Ring entries still unacked when the run ended.
+    pub predict_in_flight: u64,
+}
+
+/// As [`run_udp_arena_clients_sharded`], with optional client-side
+/// prediction against a compiled map that must be bit-identical to the
+/// arenas' (both sides default to the `UdpServerOpts` generator).
+#[allow(clippy::too_many_arguments)]
+pub fn run_udp_arena_clients_predicting(
+    server: SocketAddr,
+    arenas: u32,
+    players: u32,
+    duration: Duration,
+    ramp: Option<(Duration, Duration, Duration)>,
+    sockets: u32,
+    predict: Option<Arc<parquake_bsp::BspWorld>>,
+) -> std::io::Result<ArenaClientOutcome> {
     use parquake_protocol::Encode;
 
     const RETRY_MIN: Duration = Duration::from_millis(100);
@@ -1040,6 +1083,13 @@ pub fn run_udp_arena_clients_sharded(
         None => (vec![Duration::ZERO; n], vec![duration; n]),
     };
     let mut left = vec![false; n];
+    let mut predictors: Vec<Option<parquake_bots::Predictor>> = (0..n)
+        .map(|_| {
+            predict
+                .as_ref()
+                .map(|m| parquake_bots::Predictor::new(m.clone(), parquake_math::Vec3::ZERO))
+        })
+        .collect();
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut restarts_observed = 0u64;
@@ -1089,19 +1139,25 @@ pub fn run_udp_arena_clients_sharded(
             } else {
                 seq[i] += 1;
                 next_at[i] = now + Duration::from_millis(30);
+                let mut cmd = parquake_protocol::MoveCmd {
+                    seq: seq[i],
+                    sent_at: now_ns,
+                    pitch: 0.0,
+                    yaw: (i as f32 * 37.0) % 360.0 - 180.0,
+                    forward: 320.0,
+                    side: 0.0,
+                    up: 0.0,
+                    buttons: parquake_protocol::Buttons::NONE,
+                    msec: 30,
+                    predict_ack: None,
+                };
+                if let Some(p) = predictors[i].as_mut() {
+                    cmd.predict_ack = Some(p.trailer_ack());
+                    p.predict(&cmd);
+                }
                 ClientMessage::Move {
                     client_id: i as u32,
-                    cmd: parquake_protocol::MoveCmd {
-                        seq: seq[i],
-                        sent_at: now_ns,
-                        pitch: 0.0,
-                        yaw: (i as f32 * 37.0) % 360.0 - 180.0,
-                        forward: 320.0,
-                        side: 0.0,
-                        up: 0.0,
-                        buttons: parquake_protocol::Buttons::NONE,
-                        msec: 30,
-                    },
+                    cmd,
                 }
             };
             if socks[i % m].send_to(&msg.to_bytes(), server).is_ok() {
@@ -1111,13 +1167,26 @@ pub fn run_udp_arena_clients_sharded(
         let mut handle_reply = |buf: &[u8]| {
             match ServerMessage::from_bytes(buf) {
                 Ok(ServerMessage::ConnectAck {
-                    client_id, arena, ..
+                    client_id,
+                    arena,
+                    spawn,
                 }) => {
                     let i = client_id as usize;
                     if i < n {
                         if !acked[i] {
                             acked[i] = true;
                             next_at[i] = start.elapsed();
+                            // A fresh ack opens a new server-side
+                            // session whose reply sequence restarts
+                            // low (slot reclaim, supervised restart).
+                            // The duplicate-suppression window must
+                            // restart with it, or every reply of the
+                            // new session is swallowed as a stale
+                            // duplicate and the session starves again.
+                            last_rx_seq[i] = -1;
+                            if let Some(p) = predictors[i].as_mut() {
+                                p.reset(spawn);
+                            }
                         } else if !left[i] {
                             // Already connected and not retrying: this
                             // ack is unsolicited — a restored arena
@@ -1139,6 +1208,8 @@ pub fn run_udp_arena_clients_sharded(
                     client_id,
                     seq: rx_seq,
                     sent_at_echo,
+                    origin,
+                    predict: reply_predict,
                     ..
                 }) => {
                     let i = client_id as usize;
@@ -1153,6 +1224,11 @@ pub fn run_udp_arena_clients_sharded(
                             let rx_ns = start.elapsed().as_nanos() as u64;
                             if sent_at_echo > 0 && rx_ns > sent_at_echo {
                                 latency_sum += (rx_ns - sent_at_echo) as f64 / 1e6;
+                            }
+                            if let (Some(p), Some(rp)) =
+                                (predictors[i].as_mut(), reply_predict.as_ref())
+                            {
+                                p.reconcile(origin, rp);
                             }
                         }
                     }
@@ -1180,14 +1256,22 @@ pub fn run_udp_arena_clients_sharded(
     } else {
         0.0
     };
-    Ok((
+    let mut prediction = parquake_metrics::PredictionStats::new();
+    let mut predict_in_flight = 0u64;
+    for p in predictors.iter().flatten() {
+        prediction.merge(&p.stats);
+        predict_in_flight += p.in_flight();
+    }
+    Ok(ArenaClientOutcome {
         sent,
         received,
-        avg,
+        avg_ms: avg,
         per_arena,
         restarts_observed,
         rehomed_observed,
-    ))
+        prediction,
+        predict_in_flight,
+    })
 }
 
 #[cfg(test)]
@@ -1500,6 +1584,7 @@ mod tests {
             entities: Vec::new(),
             removed: Vec::new(),
             events: Vec::new(),
+            predict: None,
         }
         .to_bytes();
         real.send_external(gw, gw, reply);

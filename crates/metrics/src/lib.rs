@@ -30,7 +30,7 @@ pub mod witness;
 pub use arena::{rollup, ArenaLoad, ElasticEvent, ElasticEventKind, ElasticStats};
 pub use breakdown::{Breakdown, Bucket};
 pub use gateway::GatewayLane;
-pub use stats::{FrameStats, LockStats, ResponseStats, ThreadStats};
+pub use stats::{FrameStats, LockStats, PredictionStats, ResponseStats, ThreadStats};
 pub use supervisor::{SupervisorEvent, SupervisorEventKind, SupervisorStats};
 pub use timeline::{FrameSample, Timeline};
 pub use witness::{LockClass, LockLayer, LockViolation, LockViolationKind, WitnessReport};

@@ -33,6 +33,12 @@ pub struct ThreadStats {
     /// Frame panics caught by the supervision wrapper (the frame's
     /// effects are abandoned; the arena is fenced or restored).
     pub panics_caught: u64,
+    /// Moves discarded as duplicates of an already-applied input
+    /// sequence (predicting clients only; WAN duplication/reordering).
+    pub inputs_deduped: u64,
+    /// Input-sequence gaps observed from predicting clients (lost or
+    /// late moves) — each bumps the slot's perturbation epoch.
+    pub input_gaps: u64,
     /// Distribution of entity-update counts per reply sent.
     pub reply_sizes: SizeHist,
     pub lock: LockStats,
@@ -56,6 +62,8 @@ impl ThreadStats {
         self.timeouts += other.timeouts;
         self.lifecycle_sent += other.lifecycle_sent;
         self.panics_caught += other.panics_caught;
+        self.inputs_deduped += other.inputs_deduped;
+        self.input_gaps += other.input_gaps;
         self.reply_sizes.merge(&other.reply_sizes);
         self.lock.merge(&other.lock);
     }
@@ -120,6 +128,82 @@ impl SizeHist {
             .rposition(|&c| c > 0)
             .map(|v| v as u64)
             .unwrap_or(0)
+    }
+}
+
+/// Client-side prediction/reconciliation accounting (one per bot
+/// driver; mergeable across a swarm). The accounting identity — every
+/// locally predicted input is eventually *judged* against an
+/// authoritative ack, *dropped* by a ring overflow, or still *in
+/// flight* when the run ends — is checked by [`Self::closed`].
+#[derive(Clone, Debug, Default)]
+pub struct PredictionStats {
+    /// Inputs predicted locally (sent with the prediction trailer and
+    /// entered into the input ring).
+    pub predicted: u64,
+    /// Reconciliation passes: trailered replies consumed.
+    pub reconciled: u64,
+    /// Ring entries retired by an authoritative ack and compared
+    /// against the server's state for that seq.
+    pub judged: u64,
+    /// Judged entries whose predicted state differed from the server's
+    /// (rollback + replay corrected the client).
+    pub mispredictions: u64,
+    /// Ring entries discarded because the ring overflowed (server
+    /// starved long enough that unacked inputs exceeded capacity).
+    pub dropped: u64,
+    /// Inputs re-simulated during rollback replays.
+    pub replayed: u64,
+    /// Divergence-oracle evaluations: reconciliations with *no* inputs
+    /// in flight and an unperturbed slot, where prediction must equal
+    /// the server bit-for-bit.
+    pub oracle_checks: u64,
+    /// Oracle evaluations that failed — any nonzero value is a
+    /// prediction-kernel bug, not a tuning matter.
+    pub oracle_mismatches: u64,
+    /// Times the input ring wrapped (drives `dropped`).
+    pub ring_overflows: u64,
+    /// Distribution of reconciliation depth: unacked inputs replayed
+    /// per trailered reply.
+    pub depth: SizeHist,
+}
+
+impl PredictionStats {
+    pub fn new() -> PredictionStats {
+        PredictionStats::default()
+    }
+
+    pub fn merge(&mut self, o: &PredictionStats) {
+        self.predicted += o.predicted;
+        self.reconciled += o.reconciled;
+        self.judged += o.judged;
+        self.mispredictions += o.mispredictions;
+        self.dropped += o.dropped;
+        self.replayed += o.replayed;
+        self.oracle_checks += o.oracle_checks;
+        self.oracle_mismatches += o.oracle_mismatches;
+        self.ring_overflows += o.ring_overflows;
+        self.depth.merge(&o.depth);
+    }
+
+    /// Does the prediction ledger close? `in_flight` is the number of
+    /// ring entries still awaiting an ack at shutdown.
+    pub fn closed(&self, in_flight: u64) -> bool {
+        self.predicted == self.judged + self.dropped + in_flight
+    }
+
+    /// Fraction of judged inputs the client mispredicted.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.judged == 0 {
+            return 0.0;
+        }
+        self.mispredictions as f64 / self.judged as f64
+    }
+
+    /// Inputs that were predicted and *not* later invalidated — the
+    /// "effective responses" a predicting client acted on instantly.
+    pub fn effective_inputs(&self) -> u64 {
+        self.predicted.saturating_sub(self.mispredictions)
     }
 }
 
@@ -454,6 +538,8 @@ mod tests {
         b.timeouts = 1;
         b.lifecycle_sent = 6;
         b.panics_caught = 2;
+        b.inputs_deduped = 7;
+        b.input_gaps = 3;
         a.merge(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.replies, 3);
@@ -465,6 +551,40 @@ mod tests {
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.lifecycle_sent, 6);
         assert_eq!(a.panics_caught, 2);
+        assert_eq!(a.inputs_deduped, 7);
+        assert_eq!(a.input_gaps, 3);
+    }
+
+    #[test]
+    fn prediction_stats_ledger_closes_and_merges() {
+        let mut a = PredictionStats::new();
+        a.predicted = 100;
+        a.judged = 90;
+        a.mispredictions = 9;
+        a.dropped = 4;
+        a.replayed = 200;
+        a.reconciled = 80;
+        a.oracle_checks = 30;
+        a.depth.note(2);
+        a.depth.note(5);
+        // 100 predicted = 90 judged + 4 dropped + 6 in flight.
+        assert!(a.closed(6));
+        assert!(!a.closed(5));
+        assert!((a.misprediction_rate() - 0.1).abs() < 1e-9);
+        assert_eq!(a.effective_inputs(), 91);
+
+        let mut b = PredictionStats::new();
+        b.predicted = 50;
+        b.judged = 50;
+        b.depth.note(5);
+        a.merge(&b);
+        assert_eq!(a.predicted, 150);
+        assert_eq!(a.judged, 140);
+        assert_eq!(a.depth.samples(), 3);
+        assert_eq!(a.depth.percentile(1.0), 5);
+        assert!(a.closed(6));
+        // Zero-judged corner: rate is defined as 0.
+        assert_eq!(PredictionStats::new().misprediction_rate(), 0.0);
     }
 
     #[test]

@@ -17,10 +17,10 @@ pub mod tags;
 pub mod types;
 
 pub use codec::{CodecError, Decode, Encode};
-pub use tags::ARENA_EXT_TAG;
+pub use tags::{ARENA_EXT_TAG, PREDICT_EXT_TAG};
 pub use types::{
     Buttons, ClientMessage, EntityKind, EntityUpdate, GameEvent, GameEventKind, MoveCmd,
-    ServerMessage,
+    ReplyPredict, ServerMessage,
 };
 
 /// Protocol version byte; bumped on incompatible changes.
@@ -29,6 +29,14 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// Wire size of the arena extension when present (see
 /// [`tags::ARENA_EXT_TAG`] for the format).
 pub const ARENA_EXT_WIRE_BYTES: usize = 1 + 2;
+
+/// Wire size of the `Move` prediction extension when present:
+/// tag + ack (see [`tags::PREDICT_EXT_TAG`]).
+pub const MOVE_PREDICT_EXT_WIRE_BYTES: usize = 1 + 4;
+
+/// Wire size of the `Reply` prediction extension when present:
+/// tag + input_ack + perturb + vel + flags.
+pub const REPLY_PREDICT_EXT_WIRE_BYTES: usize = 1 + 4 + 4 + 12 + 1;
 
 /// Maximum duration a single move command may apply, in milliseconds
 /// (Quake clamps client msec to 250).
@@ -65,12 +73,16 @@ pub const GAME_EVENT_WIRE_BYTES: usize = 1 + 2 + 2 + 12;
 /// frame + assigned_thread + origin + delta flag.
 const REPLY_HEADER_WIRE_BYTES: usize = 1 + 4 + 4 + 8 + 4 + 1 + 12 + 1;
 
-/// Worst-case encoded `Reply`: header plus the three length-prefixed
-/// lists at their caps.
+/// Worst-case encoded *legacy* `Reply`: header plus the three
+/// length-prefixed lists at their caps (no prediction trailer).
 pub const MAX_REPLY_WIRE_BYTES: usize = REPLY_HEADER_WIRE_BYTES
     + (1 + MAX_ENTITIES_PER_REPLY * ENTITY_UPDATE_WIRE_BYTES)
     + (1 + MAX_REMOVALS_PER_REPLY * 2)
     + (1 + MAX_EVENTS_PER_REPLY * GAME_EVENT_WIRE_BYTES);
+
+/// Worst-case encoded `Reply` toward a predicting client: the legacy
+/// worst case plus the reconciliation trailer.
+pub const MAX_PREDICT_REPLY_WIRE_BYTES: usize = MAX_REPLY_WIRE_BYTES + REPLY_PREDICT_EXT_WIRE_BYTES;
 
 // Compile-time sanity on protocol limits.
 const _: () = assert!(MAX_MOVE_MSEC >= 100);
@@ -80,5 +92,7 @@ const _: () = assert!(MAX_ENTITIES_PER_REPLY >= 32);
 const _: () = assert!(MAX_ADDITIONS_PER_REPLY <= MAX_ENTITIES_PER_REPLY);
 const _: () = assert!(MAX_EVENTS_PER_REPLY >= 16);
 // The reply caps must keep every datagram within MAX_DATAGRAM, or the
-// fixed-size recv buffers on the UDP path would truncate replies.
+// fixed-size recv buffers on the UDP path would truncate replies —
+// including toward predicting clients, whose replies carry the trailer.
 const _: () = assert!(MAX_REPLY_WIRE_BYTES <= MAX_DATAGRAM);
+const _: () = assert!(MAX_PREDICT_REPLY_WIRE_BYTES <= MAX_DATAGRAM);

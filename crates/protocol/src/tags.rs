@@ -56,6 +56,16 @@ pub const TAG_MIGRATED: u8 = 204;
 /// and an absent extension decodes as arena 0.
 pub const ARENA_EXT_TAG: u8 = 0xA7;
 
+/// Tag byte opening the optional prediction extension that may trail a
+/// `Move` or `Reply`. On a `Move` it is `[PREDICT_EXT_TAG, ack: u32
+/// LE]` (the highest reply input-ack the client has consumed) and marks
+/// the client as predicting; on a `Reply` it is `[PREDICT_EXT_TAG,
+/// input_ack: u32, perturb: u32, vel: 3×f32, flags: u8]` — the
+/// last-applied input seq, the server's perturbation counter, and the
+/// authoritative velocity/ground state the client rolls back to. Absent
+/// ⇒ legacy traffic, byte-identical to the pre-extension format.
+pub const PREDICT_EXT_TAG: u8 = 0xA8;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +85,7 @@ mod tests {
             ("TAG_REJECTED", TAG_REJECTED),
             ("TAG_MIGRATED", TAG_MIGRATED),
             ("ARENA_EXT_TAG", ARENA_EXT_TAG),
+            ("PREDICT_EXT_TAG", PREDICT_EXT_TAG),
         ];
         for (i, (na, a)) in tags.iter().enumerate() {
             for (nb, b) in &tags[i + 1..] {

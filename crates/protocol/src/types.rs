@@ -62,6 +62,12 @@ pub struct MoveCmd {
     /// Milliseconds this command applies for (clamped to
     /// [`MAX_MOVE_MSEC`]).
     pub msec: u8,
+    /// Client-side-prediction opt-in: the highest reply `input_ack`
+    /// this client has consumed. `Some` rides in an optional trailing
+    /// extension (see [`crate::PREDICT_EXT_TAG`]) and asks the server
+    /// to echo per-slot input acks; `None` is a legacy client and
+    /// encodes byte-identically to the pre-extension format.
+    pub predict_ack: Option<u32>,
 }
 
 impl MoveCmd {
@@ -77,6 +83,7 @@ impl MoveCmd {
             up: 0.0,
             buttons: Buttons::NONE,
             msec,
+            predict_ack: None,
         }
     }
 
@@ -128,6 +135,79 @@ fn get_arena_ext(buf: &mut &[u8]) -> Result<u16, CodecError> {
     }
 }
 
+/// Authoritative reconciliation state a predicting client rolls back
+/// to; rides the optional [`crate::PREDICT_EXT_TAG`] trailer of a
+/// `Reply`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplyPredict {
+    /// Sequence number of the last move the server actually applied
+    /// for this slot (dedup'd and in arrival order).
+    pub input_ack: u32,
+    /// Perturbation epoch: bumped whenever the slot's state changed in
+    /// a way pure input replay cannot reproduce (input gaps, external
+    /// pushes, checkpoint restore). The client's divergence oracle only
+    /// fires when its recorded epoch matches.
+    pub perturb: u32,
+    /// Authoritative velocity after the acked move.
+    pub vel: Vec3,
+    /// Authoritative ground-contact flag after the acked move.
+    pub on_ground: bool,
+}
+
+/// Append the optional prediction trailer of a `Move`. Canonical form:
+/// a legacy (non-predicting) client encodes *nothing*, so old traffic
+/// stays byte-identical; a predicting client always emits the trailer,
+/// even at ack 0.
+fn put_move_predict_ext(out: &mut Vec<u8>, ack: Option<u32>) {
+    if let Some(ack) = ack {
+        put_u8(out, crate::PREDICT_EXT_TAG);
+        put_u32(out, ack);
+    }
+}
+
+/// Consume the optional `Move` prediction trailer iff the next byte is
+/// [`crate::PREDICT_EXT_TAG`]. Same contract as [`get_arena_ext`]:
+/// absent ⇒ legacy (`None`), truncated ⇒ error, other leftovers are
+/// reported as trailing bytes by `from_bytes`.
+fn get_move_predict_ext(buf: &mut &[u8]) -> Result<Option<u32>, CodecError> {
+    if buf.first() == Some(&crate::PREDICT_EXT_TAG) {
+        let _ = get_u8(buf)?;
+        Ok(Some(get_u32(buf)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Append the optional prediction trailer of a `Reply` (emitted only
+/// toward predicting clients).
+fn put_reply_predict_ext(out: &mut Vec<u8>, p: &Option<ReplyPredict>) {
+    if let Some(p) = p {
+        put_u8(out, crate::PREDICT_EXT_TAG);
+        put_u32(out, p.input_ack);
+        put_u32(out, p.perturb);
+        put_f32(out, p.vel.x);
+        put_f32(out, p.vel.y);
+        put_f32(out, p.vel.z);
+        put_u8(out, u8::from(p.on_ground));
+    }
+}
+
+/// Consume the optional `Reply` prediction trailer (see
+/// [`get_move_predict_ext`] for the compat contract).
+fn get_reply_predict_ext(buf: &mut &[u8]) -> Result<Option<ReplyPredict>, CodecError> {
+    if buf.first() == Some(&crate::PREDICT_EXT_TAG) {
+        let _ = get_u8(buf)?;
+        Ok(Some(ReplyPredict {
+            input_ack: get_u32(buf)?,
+            perturb: get_u32(buf)?,
+            vel: vec3(get_f32(buf)?, get_f32(buf)?, get_f32(buf)?),
+            on_ground: get_u8(buf)? != 0,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
 impl Encode for ClientMessage {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -148,6 +228,7 @@ impl Encode for ClientMessage {
                 put_f32(out, cmd.up);
                 put_u8(out, cmd.buttons.0);
                 put_u8(out, cmd.msec);
+                put_move_predict_ext(out, cmd.predict_ack);
             }
             ClientMessage::Disconnect { client_id } => {
                 put_u8(out, TAG_DISCONNECT);
@@ -176,6 +257,7 @@ impl Decode for ClientMessage {
                     up: get_f32(buf)?,
                     buttons: Buttons(get_u8(buf)?),
                     msec: get_u8(buf)?,
+                    predict_ack: get_move_predict_ext(buf)?,
                 },
             }),
             TAG_DISCONNECT => Ok(ClientMessage::Disconnect {
@@ -352,6 +434,10 @@ pub enum ServerMessage {
         removed: Vec<u16>,
         /// Broadcast events since the last reply.
         events: Vec<GameEvent>,
+        /// Reconciliation trailer for predicting clients (same
+        /// optional-extension encoding as `arena`; `None` for legacy
+        /// clients keeps the wire byte-identical).
+        predict: Option<ReplyPredict>,
     },
     /// The server is shutting down or kicked this client.
     Bye { client_id: u32 },
@@ -385,6 +471,7 @@ impl Encode for ServerMessage {
                 entities,
                 removed,
                 events,
+                predict,
             } => {
                 let start = out.len();
                 put_u8(out, TAG_REPLY);
@@ -412,6 +499,7 @@ impl Encode for ServerMessage {
                 for e in events.iter().take(MAX_EVENTS_PER_REPLY) {
                     e.encode(out);
                 }
+                put_reply_predict_ext(out, predict);
                 debug_assert!(
                     out.len() - start <= crate::MAX_DATAGRAM,
                     "encoded Reply exceeds MAX_DATAGRAM ({} bytes)",
@@ -466,6 +554,7 @@ impl Decode for ServerMessage {
                 for _ in 0..n_ev {
                     events.push(GameEvent::decode(buf)?);
                 }
+                let predict = get_reply_predict_ext(buf)?;
                 Ok(ServerMessage::Reply {
                     client_id,
                     seq,
@@ -477,6 +566,7 @@ impl Decode for ServerMessage {
                     entities,
                     removed,
                     events,
+                    predict,
                 })
             }
             TAG_BYE => Ok(ServerMessage::Bye {
@@ -504,6 +594,7 @@ mod tests {
                 up: 0.0,
                 buttons: Buttons(Buttons::ATTACK | Buttons::JUMP),
                 msec: 30,
+                predict_ack: None,
             },
         }
     }
@@ -560,9 +651,29 @@ mod tests {
                 b: 6,
                 pos: vec3(0.0, 0.0, 0.0),
             }],
+            predict: None,
         };
         let bytes = reply.to_bytes();
         assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), reply);
+
+        // With the reconciliation trailer attached.
+        let predicted = match reply {
+            ServerMessage::Reply { .. } => {
+                let mut r = reply.clone();
+                if let ServerMessage::Reply { predict, .. } = &mut r {
+                    *predict = Some(ReplyPredict {
+                        input_ack: 99,
+                        perturb: 3,
+                        vel: vec3(120.0, -40.0, -800.0),
+                        on_ground: true,
+                    });
+                }
+                r
+            }
+            _ => unreachable!(),
+        };
+        let bytes = predicted.to_bytes();
+        assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), predicted);
 
         for msg in [
             ServerMessage::ConnectAck {
@@ -661,6 +772,88 @@ mod tests {
     }
 
     #[test]
+    fn predict_extension_is_canonical_and_backward_compatible() {
+        // A legacy (None) move encodes to exactly the pre-extension
+        // bytes; round-trip of that wire stays None.
+        let legacy = sample_move();
+        let old_wire = legacy.to_bytes();
+        assert_eq!(ClientMessage::from_bytes(&old_wire).unwrap(), legacy);
+        // A predicting client appends exactly tag + u32 — ack 0 too,
+        // because presence is the opt-in signal.
+        for ack in [0u32, 98] {
+            let predicting = match legacy.clone() {
+                ClientMessage::Move { client_id, mut cmd } => {
+                    cmd.predict_ack = Some(ack);
+                    ClientMessage::Move { client_id, cmd }
+                }
+                _ => unreachable!(),
+            };
+            let wire = predicting.to_bytes();
+            assert_eq!(
+                wire.len(),
+                old_wire.len() + crate::MOVE_PREDICT_EXT_WIRE_BYTES
+            );
+            assert_eq!(&wire[..old_wire.len()], &old_wire[..]);
+            assert_eq!(wire[old_wire.len()], crate::PREDICT_EXT_TAG);
+            assert_eq!(ClientMessage::from_bytes(&wire).unwrap(), predicting);
+            // Truncated trailer: rejected, not silently legacy.
+            for cut in old_wire.len() + 1..wire.len() {
+                assert!(
+                    ClientMessage::from_bytes(&wire[..cut]).is_err(),
+                    "cut at {cut} decoded"
+                );
+            }
+            // Bytes after a complete trailer are trailing garbage.
+            let mut over = wire.clone();
+            over.push(7);
+            assert_eq!(
+                ClientMessage::from_bytes(&over),
+                Err(CodecError::TrailingBytes(1))
+            );
+        }
+    }
+
+    #[test]
+    fn reply_predict_extension_roundtrips_and_rejects_truncation() {
+        let bare = ServerMessage::Reply {
+            client_id: 1,
+            seq: 5,
+            sent_at_echo: 0,
+            frame: 2,
+            assigned_thread: 0,
+            origin: vec3(0.0, 0.0, 0.0),
+            delta: false,
+            entities: vec![],
+            removed: vec![],
+            events: vec![],
+            predict: None,
+        };
+        let old_wire = bare.to_bytes();
+        let mut trailered = bare.clone();
+        if let ServerMessage::Reply { predict, .. } = &mut trailered {
+            *predict = Some(ReplyPredict {
+                input_ack: 5,
+                perturb: 0,
+                vel: vec3(0.0, 0.0, -800.0),
+                on_ground: false,
+            });
+        }
+        let wire = trailered.to_bytes();
+        assert_eq!(
+            wire.len(),
+            old_wire.len() + crate::REPLY_PREDICT_EXT_WIRE_BYTES
+        );
+        assert_eq!(&wire[..old_wire.len()], &old_wire[..]);
+        assert_eq!(ServerMessage::from_bytes(&wire).unwrap(), trailered);
+        for cut in old_wire.len() + 1..wire.len() {
+            assert!(
+                ServerMessage::from_bytes(&wire[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_entity_count_is_rejected() {
         // Hand-craft a reply header claiming 200 entities.
         let mut bytes = Vec::new();
@@ -712,11 +905,28 @@ mod tests {
                     pos: vec3(4.0, 5.0, 6.0),
                 })
                 .collect(),
+            predict: None,
         };
         let bytes = reply.to_bytes();
         assert_eq!(bytes.len(), crate::MAX_REPLY_WIRE_BYTES);
         assert!(bytes.len() <= crate::MAX_DATAGRAM);
         assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), reply);
+
+        // Toward a predicting client the same worst case gains exactly
+        // the trailer and must still fit the recv buffers.
+        let mut trailered = reply.clone();
+        if let ServerMessage::Reply { predict, .. } = &mut trailered {
+            *predict = Some(ReplyPredict {
+                input_ack: u32::MAX,
+                perturb: u32::MAX,
+                vel: vec3(1.0e9, -1.0e9, 1.0e9),
+                on_ground: true,
+            });
+        }
+        let bytes = trailered.to_bytes();
+        assert_eq!(bytes.len(), crate::MAX_PREDICT_REPLY_WIRE_BYTES);
+        assert!(bytes.len() <= crate::MAX_DATAGRAM);
+        assert_eq!(ServerMessage::from_bytes(&bytes).unwrap(), trailered);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use parquake_math::vec3::vec3;
 use parquake_protocol::{
     Buttons, ClientMessage, Decode, Encode, EntityKind, EntityUpdate, GameEvent, GameEventKind,
-    MoveCmd, ServerMessage, ARENA_EXT_TAG, ARENA_EXT_WIRE_BYTES,
+    MoveCmd, ReplyPredict, ServerMessage, ARENA_EXT_TAG, ARENA_EXT_WIRE_BYTES,
+    MOVE_PREDICT_EXT_WIRE_BYTES, PREDICT_EXT_TAG, REPLY_PREDICT_EXT_WIRE_BYTES,
 };
 use proptest::prelude::*;
 
@@ -12,6 +13,47 @@ use proptest::prelude::*;
 /// message rather than trailing garbage.
 fn is_arena_ext(trailer: &[u8]) -> bool {
     trailer.len() == ARENA_EXT_WIRE_BYTES && trailer[0] == ARENA_EXT_TAG
+}
+
+/// Is this trailer exactly one well-formed `Move` prediction extension?
+/// Appended to a legacy `Move` it forms a valid predicting-client
+/// message rather than trailing garbage.
+fn is_move_predict_ext(trailer: &[u8]) -> bool {
+    trailer.len() == MOVE_PREDICT_EXT_WIRE_BYTES && trailer[0] == PREDICT_EXT_TAG
+}
+
+/// Is this trailer exactly one well-formed `Reply` prediction
+/// extension? (Any payload bytes qualify — the fields are unvalidated
+/// integers/floats/flag.)
+fn is_reply_predict_ext(trailer: &[u8]) -> bool {
+    trailer.len() == REPLY_PREDICT_EXT_WIRE_BYTES && trailer[0] == PREDICT_EXT_TAG
+}
+
+/// Prediction acks, with `None` (the canonical legacy encoding) always
+/// in the mix.
+fn arb_predict_ack() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), any::<u32>().prop_map(Some)]
+}
+
+fn arb_reply_predict() -> impl Strategy<Value = Option<ReplyPredict>> {
+    prop_oneof![
+        Just(None),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            -1000.0f32..1000.0,
+            -1000.0f32..1000.0,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(input_ack, perturb, vx, vz, on_ground)| Some(ReplyPredict {
+                    input_ack,
+                    perturb,
+                    vel: vec3(vx, 0.0, vz),
+                    on_ground,
+                })
+            ),
+    ]
 }
 
 fn arb_move() -> impl Strategy<Value = MoveCmd> {
@@ -25,9 +67,10 @@ fn arb_move() -> impl Strategy<Value = MoveCmd> {
         -400.0f32..400.0,
         any::<u8>(),
         any::<u8>(),
+        arb_predict_ack(),
     )
         .prop_map(
-            |(seq, sent_at, pitch, yaw, forward, side, up, buttons, msec)| MoveCmd {
+            |(seq, sent_at, pitch, yaw, forward, side, up, buttons, msec, predict_ack)| MoveCmd {
                 seq,
                 sent_at,
                 pitch,
@@ -37,6 +80,7 @@ fn arb_move() -> impl Strategy<Value = MoveCmd> {
                 up,
                 buttons: Buttons(buttons),
                 msec,
+                predict_ack,
             },
         )
 }
@@ -122,6 +166,7 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
             prop::collection::vec(arb_entity(), 0..64),
             prop::collection::vec(any::<u16>(), 0..64),
             prop::collection::vec(arb_event(), 0..32),
+            arb_reply_predict(),
         )
             .prop_map(
                 |(
@@ -134,6 +179,7 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
                     entities,
                     removed,
                     events,
+                    predict,
                 )| {
                     ServerMessage::Reply {
                         client_id,
@@ -146,6 +192,7 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMessage> {
                         entities,
                         removed,
                         events,
+                        predict,
                     }
                 }
             ),
@@ -199,12 +246,21 @@ proptest! {
     ) {
         // The wire format is length-exact: any trailing garbage after a
         // valid message must fail decode, never be silently ignored.
-        // The one exception is the arena extension itself: a trailer
-        // that *is* a well-formed extension on an extension-less
-        // Connect is by definition a valid new-format message.
+        // The exceptions are the optional extensions themselves: a
+        // trailer that *is* a well-formed extension on an extension-less
+        // message is by definition a valid new-format message.
         let mut bytes = msg.to_bytes();
         bytes.extend_from_slice(&trailer);
-        if matches!(msg, ClientMessage::Connect { arena: 0, .. }) && is_arena_ext(&trailer) {
+        let completes_ext = (matches!(msg, ClientMessage::Connect { arena: 0, .. })
+            && is_arena_ext(&trailer))
+            || (matches!(
+                msg,
+                ClientMessage::Move {
+                    cmd: MoveCmd { predict_ack: None, .. },
+                    ..
+                }
+            ) && is_move_predict_ext(&trailer));
+        if completes_ext {
             prop_assert!(ClientMessage::from_bytes(&bytes).is_ok());
         } else {
             prop_assert!(ClientMessage::from_bytes(&bytes).is_err());
@@ -214,11 +270,17 @@ proptest! {
     #[test]
     fn server_trailing_bytes_are_rejected(
         msg in arb_server_msg(),
-        trailer in prop::collection::vec(any::<u8>(), 1..16),
+        // Long enough to sometimes form a whole 22-byte reply
+        // prediction extension, so the exception path is exercised.
+        trailer in prop::collection::vec(any::<u8>(), 1..24),
     ) {
         let mut bytes = msg.to_bytes();
         bytes.extend_from_slice(&trailer);
-        if matches!(msg, ServerMessage::ConnectAck { arena: 0, .. }) && is_arena_ext(&trailer) {
+        let completes_ext = (matches!(msg, ServerMessage::ConnectAck { arena: 0, .. })
+            && is_arena_ext(&trailer))
+            || (matches!(msg, ServerMessage::Reply { predict: None, .. })
+                && is_reply_predict_ext(&trailer));
+        if completes_ext {
             prop_assert!(ServerMessage::from_bytes(&bytes).is_ok());
         } else {
             prop_assert!(ServerMessage::from_bytes(&bytes).is_err());

@@ -68,6 +68,24 @@ pub struct Slot {
     /// Last entity state acked to this client (delta compression
     /// baseline; owner-thread access only, reply phase).
     pub baseline: HashMap<u16, EntityUpdate>,
+    /// Whether this client opted into prediction (its `Move`s carry the
+    /// input-seq trailer). Sticky once seen; replies to the slot then
+    /// carry the reconciliation trailer.
+    pub predicts: bool,
+    /// Sequence number of the last *applied* move from a predicting
+    /// client (0 = none yet). Lower-or-equal seqs are dropped as
+    /// duplicates, jumps count as gaps.
+    pub input_ack: u32,
+    /// Perturbation epoch echoed to the client: bumped whenever this
+    /// slot's state changed in a way pure input replay cannot reproduce
+    /// (input gaps, external displacement caught by the shadow,
+    /// checkpoint restores).
+    pub input_perturb: u32,
+    /// Reconciliation shadow: the pure movement kernel's (pos, vel,
+    /// on_ground) after the applied inputs. Compared to authoritative
+    /// state at reply time — any difference is a perturbation. `None`
+    /// until the first trailered move (and after restores).
+    pub predict_shadow: Option<(parquake_math::Vec3, parquake_math::Vec3, bool)>,
 }
 
 impl Slot {
@@ -86,6 +104,10 @@ impl Slot {
             last_active: 0,
             events: Vec::new(),
             baseline: HashMap::new(),
+            predicts: false,
+            input_ack: 0,
+            input_perturb: 0,
+            predict_shadow: None,
         }
     }
 

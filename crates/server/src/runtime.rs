@@ -458,6 +458,24 @@ impl ServerShared {
                 for idx in range {
                     let slot = self.clients.slot(idx);
                     if slot.state == SlotState::Active && slot.client_id == client_id {
+                        // Prediction trailer handling, all before the
+                        // move executes: opt-in is sticky, duplicates
+                        // are dropped (applying a network duplicate
+                        // would double-move the player), and sequence
+                        // gaps disarm the client's divergence oracle by
+                        // bumping the perturbation epoch.
+                        if cmd.predict_ack.is_some() {
+                            slot.predicts = true;
+                            if slot.input_ack != 0 && cmd.seq <= slot.input_ack {
+                                stats.inputs_deduped += 1;
+                                slot.last_active = ctx.now();
+                                return false;
+                            }
+                            if slot.input_ack != 0 && cmd.seq != slot.input_ack + 1 {
+                                slot.input_perturb = slot.input_perturb.wrapping_add(1);
+                                stats.input_gaps += 1;
+                            }
+                        }
                         let env = self.exec_env();
                         let outcome = execute_move(
                             &env,
@@ -484,6 +502,33 @@ impl ServerShared {
                         slot.last_sent_at = cmd.sent_at;
                         slot.owner = thread;
                         slot.last_active = ctx.now();
+                        if slot.predicts {
+                            slot.input_ack = cmd.seq;
+                            // Advance the reconciliation shadow with
+                            // the pure movement kernel. The first
+                            // trailered move (and the first after a
+                            // restore) adopts the authoritative
+                            // post-move state instead — there is no
+                            // prior shadow to step from.
+                            slot.predict_shadow = match slot.predict_shadow {
+                                Some((pos, vel, on_ground)) => {
+                                    let next = parquake_sim::step_world_only(
+                                        &self.world.map,
+                                        parquake_sim::PredictState {
+                                            pos,
+                                            vel,
+                                            on_ground,
+                                        },
+                                        &cmd,
+                                    );
+                                    Some((next.pos, next.vel, next.on_ground))
+                                }
+                                None => {
+                                    let e = self.world.store.snapshot(idx as u16);
+                                    Some((e.pos, e.vel, e.on_ground))
+                                }
+                            };
+                        }
                         if dynamic {
                             self.locks.release_client(ctx, idx);
                         }
@@ -692,6 +737,9 @@ impl ServerShared {
                     owner: s.owner,
                     desired_thread: s.desired_thread,
                     last_seq: s.last_seq,
+                    predicts: s.predicts,
+                    input_ack: s.input_ack,
+                    input_perturb: s.input_perturb,
                 })
             })
             .collect()
@@ -710,6 +758,16 @@ impl ServerShared {
     ///
     /// Quiescent contexts only.
     pub fn restore_slots(&self, snaps: &[SlotSnapshot], now: Nanos) {
+        // Live pre-crash perturbation epochs, by slot index. The slot
+        // table survives the panic, and between the checkpoint and the
+        // crash the live epoch may have advanced past the snapshot's
+        // (collision bumps are not checkpointed). Reinstating from the
+        // snapshot alone could then reissue an epoch the client has
+        // already adopted, re-arming its divergence oracle against the
+        // rewound world.
+        let live_perturb: Vec<u32> = (0..self.clients.capacity())
+            .map(|idx| self.clients.slot(idx).input_perturb)
+            .collect();
         for idx in 0..self.clients.capacity() {
             let s = self.clients.slot(idx);
             s.state = SlotState::Empty;
@@ -718,6 +776,10 @@ impl ServerShared {
             s.requests_this_frame = 0;
             s.events.clear();
             s.baseline.clear();
+            s.predicts = false;
+            s.input_ack = 0;
+            s.input_perturb = 0;
+            s.predict_shadow = None;
         }
         for snap in snaps {
             let idx = snap.idx as usize;
@@ -734,6 +796,18 @@ impl ServerShared {
             s.last_sent_at = 0;
             s.last_active = now;
             s.needs_ack = snap.state == SlotState::Active;
+            // Prediction continuity across a restore: the restored
+            // world state is NOT what pure input replay from the
+            // client's ring would produce, so the perturbation epoch
+            // is bumped past BOTH the checkpointed and the live
+            // pre-crash value (disarming the client's divergence
+            // oracle until it re-adopts server state) and the shadow
+            // is dropped — the next trailered move re-seeds it from
+            // the restored authoritative state.
+            s.predicts = snap.predicts;
+            s.input_ack = snap.input_ack;
+            s.input_perturb = snap.input_perturb.max(live_perturb[idx]).wrapping_add(1);
+            s.predict_shadow = None;
         }
     }
 }
@@ -751,6 +825,12 @@ pub struct SlotSnapshot {
     pub owner: u32,
     pub desired_thread: u32,
     pub last_seq: u32,
+    /// Prediction opt-in survives a restore; the restore path bumps
+    /// `input_perturb` so the client's divergence oracle stands down
+    /// until it re-adopts server state.
+    pub predicts: bool,
+    pub input_ack: u32,
+    pub input_perturb: u32,
 }
 
 #[cfg(test)]
@@ -792,6 +872,14 @@ mod tests {
             slot.desired_thread = 1;
             slot.last_seq = 41;
             slot.last_active = 5;
+            slot.predicts = true;
+            slot.input_ack = 41;
+            slot.input_perturb = 3;
+            slot.predict_shadow = Some((
+                parquake_math::Vec3::new(1.0, 2.0, 3.0),
+                parquake_math::Vec3::ZERO,
+                true,
+            ));
             slot.events.push(parquake_protocol::GameEvent {
                 kind: parquake_protocol::GameEventKind::Sound,
                 a: 1,
@@ -809,8 +897,11 @@ mod tests {
         let snaps = s.snapshot_slots();
         assert_eq!(snaps.len(), 2);
 
-        // Diverge: drop one client, admit an impostor, then restore.
+        // Diverge: drop one client, admit an impostor, and let the
+        // live perturbation epoch advance past the checkpoint (a
+        // collision bump after the snapshot), then restore.
         s.clients.slot(3).state = SlotState::Empty;
+        s.clients.slot(3).input_perturb = 9;
         s.clients.slot(6).state = SlotState::Active;
         s.restore_slots(&snaps, 1_000);
 
@@ -824,6 +915,15 @@ mod tests {
         assert!(slot.needs_ack, "restored Active slots re-ack");
         assert!(slot.events.is_empty(), "queued events are rebuilt");
         assert!(slot.baseline.is_empty(), "delta baseline reset");
+        assert!(slot.predicts, "prediction opt-in survives restore");
+        assert_eq!(slot.input_ack, 41);
+        assert_eq!(
+            slot.input_perturb, 10,
+            "restore bumps the epoch past the LIVE pre-crash value, not \
+             just the checkpoint's — a reissued epoch would re-arm the \
+             client's oracle against the rewound world"
+        );
+        assert_eq!(slot.predict_shadow, None, "shadow re-seeds from reality");
 
         let pending = s.clients.slot(20);
         assert_eq!(pending.state, SlotState::Pending);

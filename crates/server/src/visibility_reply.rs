@@ -100,17 +100,42 @@ pub fn build_reply(
         (visible, Vec::new())
     };
 
+    let me = world.store.snapshot(slot_idx);
+    let predict = if slot.predicts {
+        // Reconciliation check: the shadow is what the pure movement
+        // kernel produced from the applied inputs alone. Any bit-level
+        // difference from authoritative state means something the
+        // client cannot replay happened (player collision, knockback,
+        // teleport, respawn) — bump the perturbation epoch so its
+        // divergence oracle stands down, and re-adopt reality.
+        let actual = (me.pos, me.vel, me.on_ground);
+        if let Some(shadow) = slot.predict_shadow {
+            if shadow != actual {
+                slot.input_perturb = slot.input_perturb.wrapping_add(1);
+            }
+        }
+        slot.predict_shadow = Some(actual);
+        Some(parquake_protocol::ReplyPredict {
+            input_ack: slot.input_ack,
+            perturb: slot.input_perturb,
+            vel: me.vel,
+            on_ground: me.on_ground,
+        })
+    } else {
+        None
+    };
     ServerMessage::Reply {
         client_id: slot.client_id,
         seq: slot.last_seq,
         sent_at_echo: slot.last_sent_at,
         frame,
         assigned_thread,
-        origin: world.store.snapshot(slot_idx).pos,
+        origin: me.pos,
         delta,
         entities,
         removed,
         events,
+        predict,
     }
 }
 

@@ -35,6 +35,7 @@ fn command(rng: &mut Pcg32, round: u32, seq: u32) -> MoveCmd {
         up: 0.0,
         buttons,
         msec: 30,
+        predict_ack: None,
     }
 }
 

@@ -486,3 +486,116 @@ fn global_event_buffer_roundtrip() {
     assert_eq!(n_read, 3);
     assert_eq!(n_after_clear, 0);
 }
+
+/// Satellite: one server, one gateway port, two concurrent clients —
+/// one legacy (no input-seq trailer), one predicting. The legacy
+/// client's replies must stay trailer-free while the predicting
+/// client's replies carry the reconciliation trailer, with duplicate
+/// inputs dropped and sequence gaps bumping the perturbation epoch.
+#[test]
+fn mixed_legacy_and_trailered_clients_share_a_server() {
+    let (fabric, shared) = make_shared(2, 8, Assignment::Static);
+    let legacy_port = fabric.alloc_port();
+    let predict_port = fabric.alloc_port();
+    let sh = shared.clone();
+    let (stats_out, legacy_reply, predict_reply) = in_task(&fabric, move |ctx| {
+        let mut stats = ThreadStats::new();
+        let mut mask = 0u64;
+        for (cid, port) in [(7u32, legacy_port), (8u32, predict_port)] {
+            sh.handle_message(
+                ctx,
+                0,
+                port,
+                ClientMessage::Connect {
+                    client_id: cid,
+                    arena: 0,
+                },
+                &mut stats,
+                &mut mask,
+            );
+        }
+        sh.run_world_update(ctx, sh.ports[0], &mut stats, 1);
+
+        let send_move = |ctx: &parquake_fabric::TaskCtx,
+                         stats: &mut ThreadStats,
+                         mask: &mut u64,
+                         cid: u32,
+                         seq: u32,
+                         trailer: bool| {
+            let cmd = MoveCmd {
+                forward: 320.0,
+                predict_ack: trailer.then_some(0),
+                ..MoveCmd::idle(seq, 30)
+            };
+            sh.handle_message(
+                ctx,
+                0,
+                if cid == 7 { legacy_port } else { predict_port },
+                ClientMessage::Move {
+                    client_id: cid,
+                    cmd,
+                },
+                stats,
+                mask,
+            )
+        };
+
+        // In-order inputs for both clients.
+        for seq in 1..=2u32 {
+            assert!(send_move(ctx, &mut stats, &mut mask, 7, seq, false));
+            assert!(send_move(ctx, &mut stats, &mut mask, 8, seq, true));
+        }
+        // A network duplicate of the predicting client's seq 2: dropped.
+        assert!(
+            !send_move(ctx, &mut stats, &mut mask, 8, 2, true),
+            "duplicate trailered input must not re-execute"
+        );
+        // The same duplicate from the legacy client IS re-executed
+        // (legacy semantics are untouched).
+        assert!(send_move(ctx, &mut stats, &mut mask, 7, 2, false));
+        // A gap: seqs 3..4 lost, 5 arrives.
+        assert!(send_move(ctx, &mut stats, &mut mask, 8, 5, true));
+
+        let my_port = sh.ports[0];
+        sh.reply_for_slots(
+            ctx,
+            my_port,
+            &[0, 1],
+            &[],
+            2,
+            &mut stats,
+            true,
+            None,
+            &mut InterestStats::default(),
+        );
+        ctx.sleep_until(ctx.now() + 2_000_000);
+        let grab = |port| {
+            let mut reply = None;
+            while let Some(m) = ctx.try_recv(port) {
+                if let Ok(ServerMessage::Reply { seq, predict, .. }) =
+                    ServerMessage::from_bytes(&m.payload)
+                {
+                    reply = Some((seq, predict));
+                }
+            }
+            reply
+        };
+        (stats, grab(legacy_port), grab(predict_port))
+    });
+
+    assert_eq!(stats_out.inputs_deduped, 1);
+    assert_eq!(stats_out.input_gaps, 1);
+
+    let (seq, predict) = legacy_reply.expect("legacy client got no reply");
+    assert_eq!(seq, 2);
+    assert_eq!(predict, None, "legacy reply must stay trailer-free");
+
+    let (seq, predict) = predict_reply.expect("predicting client got no reply");
+    assert_eq!(seq, 5);
+    let p = predict.expect("predicting reply lacks the trailer");
+    assert_eq!(p.input_ack, 5, "ack echoes the last applied input");
+    assert!(
+        p.perturb >= 1,
+        "the 3..4 gap must bump the perturbation epoch"
+    );
+}

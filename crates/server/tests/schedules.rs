@@ -62,6 +62,7 @@ fn gen_cmds(long_range: bool) -> Arc<Vec<Vec<MoveCmd>>> {
                         up: 0.0,
                         buttons,
                         msec: 30,
+                        predict_ack: None,
                     }
                 })
                 .collect()

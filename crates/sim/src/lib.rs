@@ -33,6 +33,10 @@ pub mod world;
 pub mod worldphase;
 
 pub use entity::{Entity, EntityClass, EntityId, EntityStore, ItemClass};
+pub use movement::{
+    step_kernel, step_world_only, world_only_hit, KernelOutcome, PredictState, PLAYER_MAXS,
+    PLAYER_MINS,
+};
 pub use world::GameWorld;
 
 /// Counters of raw algorithmic work performed by a simulation routine;

@@ -40,6 +40,11 @@ pub const WATER_FRICTION: f32 = 4.0;
 pub const WATER_SINK_SPEED: f32 = 60.0;
 /// Upward impulse when swim-jumping.
 pub const WATER_JUMP_VELOCITY: f32 = 100.0;
+/// The player collision hull (matches the BSP `Hull::Player`
+/// inflation); exported so client-side predictors use the exact box the
+/// server spawns players with.
+pub const PLAYER_MINS: Vec3 = Vec3::new(-16.0, -16.0, -24.0);
+pub const PLAYER_MAXS: Vec3 = Vec3::new(16.0, 16.0, 32.0);
 
 /// A world interaction triggered by motion.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,6 +56,38 @@ pub enum TouchEvent {
     Teleport { dest: Vec3 },
     /// The mover bumped into another player.
     PlayerContact { other: EntityId },
+}
+
+/// The player-visible motion state the pure kernel advances: exactly
+/// the fields a client can predict and the server can authoritatively
+/// correct. Everything else a move touches (view angles, scores,
+/// pickups) is either derived from the command or server-only.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredictState {
+    pub pos: Vec3,
+    pub vel: Vec3,
+    pub on_ground: bool,
+}
+
+/// What one kernel step did, besides producing the next state. The
+/// counters are returned (not accumulated in-place) so the kernel has
+/// no side channels — callers that meter work fold them in, callers
+/// that don't (the client predictor) ignore them.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelOutcome {
+    pub state: PredictState,
+    /// Slide-move iterations executed.
+    pub substeps: u64,
+    /// BSP trace steps spent by the kernel's own ground probe (the
+    /// collide callback accounts for its own).
+    pub trace_steps: u64,
+}
+
+/// The command's view pitch as committed to entity state (clamped like
+/// the original client).
+#[inline]
+pub fn view_pitch(cmd: &MoveCmd) -> f32 {
+    clampf(cmd.pitch, -89.0, 89.0)
 }
 
 /// The worst-case distance a single move command can carry a player,
@@ -95,122 +132,30 @@ pub fn run_move(
         return;
     }
 
-    // View angles come straight from the command.
-    let mut pos = me.pos;
-    let mut vel = me.vel;
-    let mut on_ground = me.on_ground;
+    // Advance the shared kernel, clipping against world geometry plus
+    // the gathered candidates. The kernel itself is candidate-agnostic:
+    // a client predictor drives the very same float ops with a
+    // world-only collide callback and lands bit-identically whenever no
+    // object impact wins.
+    let out = step_kernel(
+        &world.map,
+        PredictState {
+            pos: me.pos,
+            vel: me.vel,
+            on_ground: me.on_ground,
+        },
+        cmd,
+        &mut |pos, delta| nearest_hit(world, mover, pos, me.mins, me.maxs, delta, candidates, work),
+    );
+    work.substeps += out.substeps;
+    work.trace_steps += out.trace_steps;
+    let PredictState {
+        pos,
+        vel,
+        on_ground,
+    } = out.state;
     let yaw = cmd.yaw;
-    let pitch = clampf(cmd.pitch, -89.0, 89.0);
-
-    let submerged = world.map.in_water(pos);
-
-    // Wish velocity: horizontal on land, full 3D while swimming (the
-    // view pitch steers vertical motion in water, as in the original).
-    let (f, r, _) = if submerged {
-        Angles::new(pitch, yaw, 0.0).basis()
-    } else {
-        Angles::yawed(yaw).basis()
-    };
-    let mut wish = f * cmd.forward + r * cmd.side;
-    if !submerged {
-        wish.z = 0.0;
-    }
-    let wish_speed = wish
-        .length()
-        .min(MAX_GROUND_SPEED * if submerged { WATER_SPEED_FACTOR } else { 1.0 });
-    let wish_dir = wish.normalized();
-
-    if submerged {
-        // Water movement: drag in all axes, no gravity, slow sink.
-        let speed = vel.length();
-        if speed > 0.0 {
-            let drop = speed.max(STOP_SPEED * 0.5) * WATER_FRICTION * dt;
-            let scale = ((speed - drop).max(0.0)) / speed;
-            vel = vel * scale;
-        }
-        let current = vel.dot(wish_dir);
-        let add = (wish_speed - current)
-            .max(0.0)
-            .min(ACCELERATION * wish_speed * dt);
-        vel = vel.mul_add(wish_dir, add);
-        if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
-            vel.z = WATER_JUMP_VELOCITY;
-        } else if wish_speed < 1.0 {
-            vel.z -= WATER_SINK_SPEED * dt;
-        }
-        on_ground = false;
-    } else if on_ground {
-        // Ground friction.
-        let speed = vel.length_xy();
-        if speed > 0.0 {
-            let control = speed.max(STOP_SPEED);
-            let drop = control * FRICTION * dt;
-            let scale = ((speed - drop).max(0.0)) / speed;
-            vel.x *= scale;
-            vel.y *= scale;
-        }
-        // Ground acceleration towards the wish direction.
-        let current = vel.dot(wish_dir);
-        let add = (wish_speed - current)
-            .max(0.0)
-            .min(ACCELERATION * wish_speed * dt);
-        vel = vel.mul_add(wish_dir, add);
-        // Jump.
-        if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
-            vel.z = JUMP_VELOCITY;
-            on_ground = false;
-        }
-    } else {
-        // Weak air control, full gravity.
-        let current = vel.dot(wish_dir);
-        let add = (wish_speed - current)
-            .max(0.0)
-            .min(ACCELERATION * 0.1 * wish_speed * dt);
-        vel = vel.mul_add(wish_dir, add);
-    }
-    if !on_ground && !submerged {
-        vel.z = (vel.z - GRAVITY * dt).max(-MAX_FALL_SPEED);
-    }
-
-    // Slide move: world + object collisions.
-    let mut time_left = dt;
-    for _bump in 0..MAX_BUMPS {
-        if time_left <= 0.0 || vel.length_sq() < 1e-6 {
-            break;
-        }
-        work.substeps += 1;
-        let delta = vel * time_left;
-        let (frac, normal) =
-            nearest_hit(world, mover, pos, me.mins, me.maxs, delta, candidates, work);
-        pos = pos.mul_add(delta, frac);
-        if frac >= 1.0 {
-            break;
-        }
-        // Clip velocity and spend the consumed time.
-        time_left *= 1.0 - frac;
-        let plane = Plane::new(normal, 0.0);
-        vel = plane.clip_velocity(vel, 1.0);
-        // (grounding is decided by the probe below, not the bump plane)
-    }
-
-    // Ground re-check: a short downward probe.
-    {
-        let probe = Vec3::new(0.0, 0.0, -2.0);
-        let tr = world
-            .map
-            .trace(parquake_bsp::Hull::Player, pos, pos + probe);
-        work.trace_steps += tr.steps as u64;
-        on_ground = tr.hit() && tr.plane.normal.z > 0.7;
-        if on_ground && vel.z < 0.0 {
-            vel.z = 0.0;
-        }
-    }
-
-    if !pos.is_finite() || !vel.is_finite() {
-        // Defensive: never let NaNs escape into shared state.
-        pos = me.pos;
-        vel = Vec3::ZERO;
-    }
+    let pitch = view_pitch(cmd);
 
     // Commit motion.
     world.store.with_mut(mover, task, |e| {
@@ -284,6 +229,193 @@ pub fn run_move(
     }
 }
 
+/// Advance one move command through the pure movement physics: wish
+/// velocity, friction/acceleration (ground, air, water), jumping,
+/// gravity, the slide-move integrator, the downward ground probe and
+/// the NaN guard. `collide` resolves the earliest impact along a swept
+/// segment — the server passes world + claimed candidates
+/// ([`nearest_hit`] semantics), while the client predictor and the
+/// server's reconciliation shadow pass [`world_only_hit`]. Both paths
+/// execute the *same* float operations in the same order, so their
+/// results are bit-identical whenever no object impact wins.
+pub fn step_kernel(
+    map: &parquake_bsp::BspWorld,
+    state: PredictState,
+    cmd: &MoveCmd,
+    collide: &mut dyn FnMut(Vec3, Vec3) -> (f32, Vec3),
+) -> KernelOutcome {
+    let mut out = KernelOutcome {
+        state,
+        substeps: 0,
+        trace_steps: 0,
+    };
+    let dt = cmd.duration_secs();
+    if dt <= 0.0 {
+        return out;
+    }
+    let mut pos = state.pos;
+    let mut vel = state.vel;
+    let mut on_ground = state.on_ground;
+    let yaw = cmd.yaw;
+    let pitch = view_pitch(cmd);
+
+    let submerged = map.in_water(pos);
+
+    // Wish velocity: horizontal on land, full 3D while swimming (the
+    // view pitch steers vertical motion in water, as in the original).
+    let (f, r, _) = if submerged {
+        Angles::new(pitch, yaw, 0.0).basis()
+    } else {
+        Angles::yawed(yaw).basis()
+    };
+    let mut wish = f * cmd.forward + r * cmd.side;
+    if !submerged {
+        wish.z = 0.0;
+    }
+    let wish_speed = wish
+        .length()
+        .min(MAX_GROUND_SPEED * if submerged { WATER_SPEED_FACTOR } else { 1.0 });
+    let wish_dir = wish.normalized();
+
+    if submerged {
+        // Water movement: drag in all axes, no gravity, slow sink.
+        let speed = vel.length();
+        if speed > 0.0 {
+            let drop = speed.max(STOP_SPEED * 0.5) * WATER_FRICTION * dt;
+            let scale = ((speed - drop).max(0.0)) / speed;
+            vel = vel * scale;
+        }
+        let current = vel.dot(wish_dir);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * wish_speed * dt);
+        vel = vel.mul_add(wish_dir, add);
+        if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
+            vel.z = WATER_JUMP_VELOCITY;
+        } else if wish_speed < 1.0 {
+            vel.z -= WATER_SINK_SPEED * dt;
+        }
+        on_ground = false;
+    } else if on_ground {
+        // Ground friction.
+        let speed = vel.length_xy();
+        if speed > 0.0 {
+            let control = speed.max(STOP_SPEED);
+            let drop = control * FRICTION * dt;
+            let scale = ((speed - drop).max(0.0)) / speed;
+            vel.x *= scale;
+            vel.y *= scale;
+        }
+        // Ground acceleration towards the wish direction.
+        let current = vel.dot(wish_dir);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * wish_speed * dt);
+        vel = vel.mul_add(wish_dir, add);
+        // Jump.
+        if Buttons(cmd.buttons.0).has(Buttons::JUMP) {
+            vel.z = JUMP_VELOCITY;
+            on_ground = false;
+        }
+    } else {
+        // Weak air control, full gravity.
+        let current = vel.dot(wish_dir);
+        let add = (wish_speed - current)
+            .max(0.0)
+            .min(ACCELERATION * 0.1 * wish_speed * dt);
+        vel = vel.mul_add(wish_dir, add);
+    }
+    if !on_ground && !submerged {
+        vel.z = (vel.z - GRAVITY * dt).max(-MAX_FALL_SPEED);
+    }
+
+    // Slide move: clip against whatever `collide` reports.
+    let mut time_left = dt;
+    for _bump in 0..MAX_BUMPS {
+        if time_left <= 0.0 || vel.length_sq() < 1e-6 {
+            break;
+        }
+        out.substeps += 1;
+        let delta = vel * time_left;
+        let (frac, normal) = collide(pos, delta);
+        pos = pos.mul_add(delta, frac);
+        if frac >= 1.0 {
+            break;
+        }
+        // Clip velocity and spend the consumed time.
+        time_left *= 1.0 - frac;
+        let plane = Plane::new(normal, 0.0);
+        vel = plane.clip_velocity(vel, 1.0);
+        // (grounding is decided by the probe below, not the bump plane)
+    }
+
+    // Ground re-check: a short downward probe. World-only on purpose —
+    // standing on another player's head does not count as grounded —
+    // which is also what keeps this probe predictable client-side.
+    {
+        let probe = Vec3::new(0.0, 0.0, -2.0);
+        let tr = map.trace(parquake_bsp::Hull::Player, pos, pos + probe);
+        out.trace_steps += tr.steps as u64;
+        on_ground = tr.hit() && tr.plane.normal.z > 0.7;
+        if on_ground && vel.z < 0.0 {
+            vel.z = 0.0;
+        }
+    }
+
+    if !pos.is_finite() || !vel.is_finite() {
+        // Defensive: never let NaNs escape into shared state.
+        pos = state.pos;
+        vel = Vec3::ZERO;
+    }
+
+    out.state = PredictState {
+        pos,
+        vel,
+        on_ground,
+    };
+    out
+}
+
+/// [`step_kernel`] against world geometry only — the collide path of
+/// the client predictor and the server's reconciliation shadow.
+pub fn step_world_only(
+    map: &parquake_bsp::BspWorld,
+    state: PredictState,
+    cmd: &MoveCmd,
+) -> PredictState {
+    let mut scratch = 0u64;
+    step_kernel(map, state, cmd, &mut |pos, delta| {
+        world_only_hit(map, pos, delta, &mut scratch)
+    })
+    .state
+}
+
+/// Back the raw best-impact fraction off by the collision epsilon, or
+/// report a clear path. Shared by every collide implementation so the
+/// server and the predictor stay bit-identical.
+#[inline]
+fn finish_hit(best: f32, normal: Vec3, delta: Vec3) -> (f32, Vec3) {
+    if best >= 1.0 {
+        return (1.0, Vec3::ZERO); // clear path: no clipping plane
+    }
+    let len = delta.length();
+    (Aabb::backed_off(best, len).min(1.0), normal)
+}
+
+/// Earliest impact along `delta` against world geometry alone. Same
+/// back-off contract as [`nearest_hit`]; trace steps are accumulated
+/// into `trace_steps`.
+pub fn world_only_hit(
+    map: &parquake_bsp::BspWorld,
+    pos: Vec3,
+    delta: Vec3,
+    trace_steps: &mut u64,
+) -> (f32, Vec3) {
+    let tr = map.trace(parquake_bsp::Hull::Player, pos, pos + delta);
+    *trace_steps += tr.steps as u64;
+    finish_hit(tr.fraction, tr.plane.normal, delta)
+}
+
 /// Earliest impact along `delta`: world geometry vs candidate objects.
 /// Returns `(fraction, hit normal)`; fraction 1.0 = clear path.
 #[allow(clippy::too_many_arguments)]
@@ -323,11 +455,7 @@ fn nearest_hit(
             }
         }
     }
-    if best >= 1.0 {
-        return (1.0, Vec3::ZERO); // clear path: no clipping plane
-    }
-    let len = delta.length();
-    (Aabb::backed_off(best, len).min(1.0), normal)
+    finish_hit(best, normal, delta)
 }
 
 #[cfg(test)]
@@ -363,6 +491,7 @@ mod tests {
                 up: 0.0,
                 buttons: Buttons::NONE,
                 msec: 30,
+                predict_ack: None,
             };
             run_move(w, 0, id, &cmd, &[], 0, &mut touched, &mut work);
             w.relink_unlocked(id);
@@ -607,6 +736,53 @@ mod tests {
             after.abs_box(),
             bbox
         );
+    }
+
+    #[test]
+    fn kernel_matches_run_move_bit_for_bit_without_candidates() {
+        // The client predictor replays inputs through step_world_only;
+        // reconciliation only converges if that path produces *exactly*
+        // the floats run_move commits when no object impact interferes.
+        // Drive a varied command stream (walk, turn, jump, coast, fall)
+        // through both and require bit equality at every step.
+        let w = world();
+        let id = spawn(&w, 0);
+        let me = w.store.snapshot(id);
+        let mut shadow = PredictState {
+            pos: me.pos,
+            vel: me.vel,
+            on_ground: me.on_ground,
+        };
+        let mut touched = Vec::new();
+        let mut work = WorkCounters::new();
+        let mut rng = Pcg32::seeded(0xBEEF);
+        for i in 0..400u32 {
+            let cmd = MoveCmd {
+                seq: i,
+                sent_at: 0,
+                pitch: rng.range_f32(-30.0, 30.0),
+                yaw: rng.range_f32(-180.0, 180.0),
+                forward: if i % 7 == 3 { 0.0 } else { MAX_GROUND_SPEED },
+                side: if i % 5 == 0 { -MAX_GROUND_SPEED } else { 0.0 },
+                up: 0.0,
+                buttons: if i % 11 == 4 {
+                    Buttons(Buttons::JUMP)
+                } else {
+                    Buttons::NONE
+                },
+                msec: 15 + (i % 3) as u8 * 15,
+                predict_ack: None,
+            };
+            run_move(&w, 0, id, &cmd, &[], 0, &mut touched, &mut work);
+            w.relink_unlocked(id);
+            shadow = step_world_only(&w.map, shadow, &cmd);
+            let e = w.store.snapshot(id);
+            assert_eq!(
+                (e.pos, e.vel, e.on_ground),
+                (shadow.pos, shadow.vel, shadow.on_ground),
+                "kernel diverged from run_move at step {i}"
+            );
+        }
     }
 
     #[test]

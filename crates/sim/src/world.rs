@@ -178,8 +178,8 @@ impl GameWorld {
                 yaw: rng.range_f32(-180.0, 180.0),
                 pitch: 0.0,
                 on_ground: false,
-                mins: vec3(-16.0, -16.0, -24.0),
-                maxs: vec3(16.0, 16.0, 32.0),
+                mins: crate::movement::PLAYER_MINS,
+                maxs: crate::movement::PLAYER_MAXS,
                 linked_node: prev.linked_node,
                 linked: was_linked,
                 active: true,

@@ -29,6 +29,7 @@ fn arb_cmd() -> impl Strategy<Value = MoveCmd> {
             up: 0.0,
             buttons: Buttons(buttons & 0b1111),
             msec,
+            predict_ack: None,
         })
 }
 
